@@ -1,0 +1,97 @@
+//! E17: durable-backend ablation — what the paper's HDD deployment
+//! costs relative to pure in-memory emulation.
+//!
+//! * `backend/persist_line` — cost of one write+flush (a single 64-byte
+//!   line) on the in-memory backend, the write-through file backend,
+//!   and the file backend with the kill-harness's modelled HDD latency.
+//! * `backend/marker_flip` — the protocol's single-byte linearization
+//!   event (§3.4) end to end on both backends: the absolute numbers
+//!   differ by orders of magnitude, the *protocol cost in flushes* does
+//!   not (E13 counts those).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pstack_core::{FixedStack, PersistentStack};
+use pstack_nvram::{PMem, PMemBuilder, POffset};
+
+fn file_region(tag: &str, delay_us: u64) -> (PMem, std::path::PathBuf) {
+    let mut path = std::env::temp_dir();
+    path.push(format!("pstack-bench-{tag}-{}.img", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let pmem = PMemBuilder::new()
+        .len(1 << 20)
+        .persist_delay(Duration::from_micros(delay_us))
+        .build_file(&path)
+        .unwrap();
+    (pmem, path)
+}
+
+fn bench_persist_line(c: &mut Criterion) {
+    let mut g = c.benchmark_group("backend/persist_line");
+    g.sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+
+    let mem = PMemBuilder::new().len(1 << 20).build_in_memory();
+    g.bench_function("memory", |b| {
+        b.iter(|| {
+            mem.write_u64(POffset::new(128), 7).unwrap();
+            mem.flush(POffset::new(128), 8).unwrap();
+        });
+    });
+
+    let (file, path) = file_region("line", 0);
+    g.bench_function("file", |b| {
+        b.iter(|| {
+            file.write_u64(POffset::new(128), 7).unwrap();
+            file.flush(POffset::new(128), 8).unwrap();
+        });
+    });
+    drop(file);
+    let _ = std::fs::remove_file(&path);
+
+    // The kill harness's modelled HDD: 150 µs per persisted line.
+    let (slow, path) = file_region("slow", 150);
+    g.bench_function("file_hdd_model", |b| {
+        b.iter(|| {
+            slow.write_u64(POffset::new(128), 7).unwrap();
+            slow.flush(POffset::new(128), 8).unwrap();
+        });
+    });
+    drop(slow);
+    let _ = std::fs::remove_file(&path);
+
+    g.finish();
+}
+
+fn bench_marker_flip(c: &mut Criterion) {
+    let mut g = c.benchmark_group("backend/marker_flip");
+    g.sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+
+    let mem = PMemBuilder::new().len(1 << 20).build_in_memory();
+    let mut stack = FixedStack::format(mem, POffset::new(0), 1 << 19).unwrap();
+    g.bench_function("memory", |b| {
+        b.iter(|| {
+            stack.push(1, &[7u8; 16]).unwrap();
+            stack.pop().unwrap();
+        });
+    });
+
+    let (file, path) = file_region("flip", 0);
+    let mut stack = FixedStack::format(file, POffset::new(0), 1 << 19).unwrap();
+    g.bench_function("file", |b| {
+        b.iter(|| {
+            stack.push(1, &[7u8; 16]).unwrap();
+            stack.pop().unwrap();
+        });
+    });
+    let _ = std::fs::remove_file(&path);
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_persist_line, bench_marker_flip);
+criterion_main!(benches);

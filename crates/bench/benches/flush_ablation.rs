@@ -1,0 +1,85 @@
+//! E4/E13 ablation: what the paper's two flushing invariants (§3.4)
+//! cost. Production code must keep both; these benches quantify the
+//! price of correctness by comparing against the (unsafe) variants
+//! with either flush skipped.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pstack_bench::region;
+use pstack_core::{FixedStack, FlushPolicy, PersistentStack};
+use pstack_nvram::POffset;
+
+fn stack_with(policy: FlushPolicy) -> FixedStack {
+    let pmem = region(1 << 20);
+    let mut s = FixedStack::format(pmem, POffset::new(0), 512 * 1024).unwrap();
+    s.set_flush_policy(policy);
+    s
+}
+
+fn bench_flush_invariants(c: &mut Criterion) {
+    let mut g = c.benchmark_group("flush_ablation/invariants");
+    g.sample_size(20).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(600));
+    let configs = [
+        (
+            "both_flushes (correct)",
+            FlushPolicy {
+                flush_frame_before_advance: true,
+                flush_markers: true,
+            },
+        ),
+        (
+            "no_frame_flush (unsafe, fig 6a)",
+            FlushPolicy {
+                flush_frame_before_advance: false,
+                flush_markers: true,
+            },
+        ),
+        (
+            "no_marker_flush (unsafe, fig 6b)",
+            FlushPolicy {
+                flush_frame_before_advance: true,
+                flush_markers: false,
+            },
+        ),
+        (
+            "no_flushes (volatile stack)",
+            FlushPolicy {
+                flush_frame_before_advance: false,
+                flush_markers: false,
+            },
+        ),
+    ];
+    for (name, policy) in configs {
+        let mut stack = stack_with(policy);
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                stack.push(1, &[3u8; 128]).unwrap();
+                stack.pop().unwrap();
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_frame_size_vs_flush_cost(c: &mut Criterion) {
+    let mut g = c.benchmark_group("flush_ablation/lines_per_frame");
+    g.sample_size(20).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(600));
+    // Doubling the argument size doubles the flushed lines of the frame
+    // write but leaves the marker-flip cost constant: push cost should
+    // grow sub-linearly at small sizes, linearly once flushes dominate.
+    for arg_len in [16usize, 128, 512, 2048] {
+        let mut stack = stack_with(FlushPolicy::default());
+        let args = vec![1u8; arg_len];
+        g.bench_function(format!("args_{arg_len}"), |b| {
+            b.iter(|| {
+                stack.push(1, &args).unwrap();
+                stack.pop().unwrap();
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_flush_invariants, bench_frame_size_vs_flush_cost);
+criterion_main!(benches);

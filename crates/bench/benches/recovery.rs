@@ -1,0 +1,86 @@
+//! E5: parallel vs serial recovery (§4.3 claims parallel recovery beats
+//! an ordinary single-threaded recovery), swept over worker count and
+//! per-stack frame depth.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pstack_bench::crashed_system;
+use pstack_core::RecoveryMode;
+
+fn bench_parallel_vs_serial(c: &mut Criterion) {
+    let mut g = c.benchmark_group("recovery/parallel_vs_serial");
+    g.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(900));
+    // work = iterations of CPU work per recover dual: 0 measures the
+    // bare stack walk (lock-bound in the simulator), 20_000 models
+    // recover duals that actually complete interrupted operations.
+    for work in [0u64, 20_000] {
+        for depth in [16usize, 128] {
+            for mode in [RecoveryMode::Serial, RecoveryMode::Parallel] {
+                let label = match mode {
+                    RecoveryMode::Serial => format!("serial_work{work}"),
+                    RecoveryMode::Parallel => format!("parallel_work{work}"),
+                };
+                let id = BenchmarkId::new(label, depth);
+                g.bench_with_input(id, &(mode, depth), |b, &(mode, depth)| {
+                    b.iter_with_setup(
+                        || crashed_system(4, depth, work),
+                        |(_, rt, _)| {
+                            let report = rt.recover(mode).unwrap();
+                            assert_eq!(report.total_frames(), 4 * depth);
+                        },
+                    );
+                });
+            }
+        }
+    }
+    g.finish();
+}
+
+fn bench_worker_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("recovery/worker_scaling_parallel");
+    g.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(900));
+    // Fixed total work (workers × depth = 256 frames), spread across
+    // more recovery threads.
+    for workers in [1usize, 2, 4, 8] {
+        let depth = 256 / workers;
+        g.bench_with_input(
+            BenchmarkId::from_parameter(workers),
+            &workers,
+            |b, &workers| {
+                b.iter_with_setup(
+                    || crashed_system(workers, depth, 20_000),
+                    |(_, rt, _)| {
+                        let report = rt.recover(RecoveryMode::Parallel).unwrap();
+                        assert_eq!(report.total_frames(), workers * depth);
+                    },
+                );
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_clean_recovery_is_cheap(c: &mut Criterion) {
+    let mut g = c.benchmark_group("recovery/clean_noop");
+    g.sample_size(20).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(500));
+    // Recovery of an un-crashed system only walks dummy frames.
+    g.bench_function("4_workers_0_frames", |b| {
+        b.iter_with_setup(
+            || crashed_system(4, 0, 0),
+            |(_, rt, _)| {
+                let report = rt.recover(RecoveryMode::Parallel).unwrap();
+                assert_eq!(report.total_frames(), 0);
+            },
+        );
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_parallel_vs_serial,
+    bench_worker_scaling,
+    bench_clean_recovery_is_cheap
+);
+criterion_main!(benches);

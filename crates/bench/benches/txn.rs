@@ -1,0 +1,100 @@
+//! E11: the Appendix-A transactional for-loop — commit and rollback
+//! cost versus transaction size, across stack layouts.
+//!
+//! * `txn/commit` — items per second for a clean (committing)
+//!   transaction: one persistent frame per item plus apply/undo
+//!   persists. The unbounded layouts pay their block/resize overheads
+//!   here, which is the Appendix-A trade-off (A.2 copies on resize,
+//!   A.3 chains blocks).
+//! * `txn/rollback` — recovery cost of a transaction cut at the last
+//!   item: walk the whole chain top-down, restoring every cell.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pstack_core::{
+    FunctionRegistry, RecoveryMode, Runtime, RuntimeConfig, StackKind, TxnLoop, U64CellStep,
+};
+use pstack_nvram::{FailPlan, PMemBuilder};
+
+const TXN_FN: u64 = 0xBE7C;
+
+fn setup(kind: StackKind, count: u64) -> (pstack_nvram::PMem, Runtime, U64CellStep, TxnLoop) {
+    let pmem = PMemBuilder::new().len(1 << 22).build_in_memory();
+    let stub = FunctionRegistry::new();
+    let rt = Runtime::format(
+        pmem.clone(),
+        RuntimeConfig::new(1).stack_kind(kind).stack_capacity(1024),
+        &stub,
+    )
+    .unwrap();
+    let step = U64CellStep::format(&rt, count, Arc::new(|v| v + 1)).unwrap();
+    let mut registry = FunctionRegistry::new();
+    let txn = TxnLoop::register(&mut registry, TXN_FN, Arc::new(step.clone())).unwrap();
+    let rt = Runtime::open(pmem.clone(), &registry).unwrap();
+    (pmem, rt, step, txn)
+}
+
+fn bench_commit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("txn/commit");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    for kind in [StackKind::Fixed, StackKind::Vec, StackKind::List] {
+        for count in [16u64, 64, 256] {
+            // A fixed stack of 1 KiB cannot hold 256 deep frames;
+            // commit benches on Fixed stay within its capacity.
+            if kind == StackKind::Fixed && count > 16 {
+                continue;
+            }
+            g.throughput(Throughput::Elements(count));
+            g.bench_with_input(
+                BenchmarkId::new(format!("{kind}"), count),
+                &count,
+                |b, &count| {
+                    b.iter(|| {
+                        let (_, rt, step, txn) = setup(kind, count);
+                        step.begin().unwrap();
+                        let report = rt.run_tasks(vec![txn.task(count)]);
+                        assert_eq!(report.completed, 1);
+                    });
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_rollback(c: &mut Criterion) {
+    let mut g = c.benchmark_group("txn/rollback");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    for count in [16u64, 64, 256] {
+        g.throughput(Throughput::Elements(count));
+        g.bench_with_input(BenchmarkId::from_parameter(count), &count, |b, &count| {
+            b.iter(|| {
+                let (pmem, rt, step, txn) = setup(StackKind::List, count);
+                step.begin().unwrap();
+                // Cut the transaction deep into the chain: a generous
+                // event budget that still lands before the commit.
+                pmem.arm_failpoint(FailPlan::after_events(count * 10));
+                let report = rt.run_tasks(vec![txn.task(count)]);
+                assert!(report.crashed);
+                let pmem2 = pmem.reopen().unwrap();
+                let stub = FunctionRegistry::new();
+                let probe = Runtime::open(pmem2.clone(), &stub).unwrap();
+                let step2 = U64CellStep::open(&probe, step.base(), Arc::new(|v| v + 1)).unwrap();
+                let mut registry = FunctionRegistry::new();
+                TxnLoop::register(&mut registry, TXN_FN, Arc::new(step2)).unwrap();
+                let rt2 = Runtime::open(pmem2, &registry).unwrap();
+                rt2.recover(RecoveryMode::Parallel).unwrap();
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_commit, bench_rollback);
+criterion_main!(benches);

@@ -1,0 +1,147 @@
+//! Shared workload builders for the benchmark harness.
+//!
+//! Every table and figure reproduction in EXPERIMENTS.md is regenerated
+//! either by a criterion bench in `benches/` or by the `tables` binary
+//! (`cargo run -p pstack-bench --bin tables --release`); both build
+//! their systems through the helpers here so the configurations stay
+//! comparable.
+
+use pstack_core::{
+    FixedStack, FunctionRegistry, ListStack, PContext, PersistentStack, Runtime,
+    RuntimeConfig, StackKind, VecStack,
+};
+use pstack_heap::PHeap;
+use pstack_nvram::{PMem, PMemBuilder, POffset};
+
+/// Function id of the no-op workload function used by recovery benches.
+pub const NOOP_FUNC: u64 = 900;
+
+/// Function id of the slot-writer workload function.
+pub const SLOT_FUNC: u64 = 901;
+
+/// Builds an in-memory region of `len` bytes.
+#[must_use]
+pub fn region(len: usize) -> PMem {
+    PMemBuilder::new().len(len).build_in_memory()
+}
+
+/// Builds a region plus a heap occupying its upper half.
+#[must_use]
+pub fn region_with_heap(len: usize) -> (PMem, PHeap) {
+    let pmem = region(len);
+    let heap_base = (len / 2) as u64;
+    let heap = PHeap::format(pmem.clone(), POffset::new(heap_base), len as u64 - heap_base)
+        .expect("heap formats");
+    (pmem, heap)
+}
+
+/// Builds a stack of the given layout at offset 0 (fixed capacity or
+/// initial/default block of `capacity` bytes).
+#[must_use]
+pub fn make_stack(
+    kind: StackKind,
+    pmem: &PMem,
+    heap: &PHeap,
+    capacity: u64,
+) -> Box<dyn PersistentStack> {
+    match kind {
+        StackKind::Fixed => {
+            Box::new(FixedStack::format(pmem.clone(), POffset::new(0), capacity).unwrap())
+        }
+        StackKind::Vec => Box::new(
+            VecStack::format(pmem.clone(), heap.clone(), POffset::new(0), capacity).unwrap(),
+        ),
+        StackKind::List => Box::new(
+            ListStack::format(pmem.clone(), heap.clone(), POffset::new(0), capacity).unwrap(),
+        ),
+    }
+}
+
+/// Registry with the two standard workload functions: [`NOOP_FUNC`]
+/// (its recover dual spins for the number of iterations encoded in its
+/// 8-byte argument — zero means a pure no-op) and [`SLOT_FUNC`]
+/// (persists `args[8..16]` into user slot `args[0..8]`, idempotent).
+#[must_use]
+pub fn workload_registry() -> FunctionRegistry {
+    let mut reg = FunctionRegistry::new();
+    let spin = |_c: &mut PContext<'_>, args: &[u8]| {
+        let iters = args
+            .get(..8)
+            .and_then(|s| s.try_into().ok())
+            .map(u64::from_le_bytes)
+            .unwrap_or(0);
+        // CPU-bound application work, as real recover duals perform
+        // when completing or rolling back an interrupted operation.
+        let mut x = 0x9E37_79B9_7F4A_7C15u64;
+        for i in 0..iters {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(i);
+        }
+        std::hint::black_box(x);
+        Ok(None)
+    };
+    reg.register_pair(NOOP_FUNC, spin, spin).unwrap();
+    let body = |c: &mut PContext<'_>, args: &[u8]| {
+        let slot = u64::from_le_bytes(args[..8].try_into().unwrap());
+        let val = u64::from_le_bytes(args[8..16].try_into().unwrap());
+        let off = c.user_root() + slot * 8;
+        c.pmem.write_u64(off, val)?;
+        c.pmem.flush(off, 8)?;
+        Ok(None)
+    };
+    reg.register_pair(SLOT_FUNC, body, body).unwrap();
+    reg
+}
+
+/// Builds a crashed system with `workers` stacks each holding `depth`
+/// in-flight [`NOOP_FUNC`] frames whose recover duals each perform
+/// `work_iters` iterations of CPU work, reopened and ready for
+/// `Runtime::recover` — the recovery-benchmark fixture (E5).
+/// `work_iters == 0` measures the bare stack-walk machinery.
+#[must_use]
+pub fn crashed_system(
+    workers: usize,
+    depth: usize,
+    work_iters: u64,
+) -> (PMem, Runtime, FunctionRegistry) {
+    let pmem = region(1 << 22);
+    let reg = workload_registry();
+    let rt = Runtime::format(
+        pmem.clone(),
+        RuntimeConfig::new(workers).stack_capacity(64 * 1024),
+        &reg,
+    )
+    .unwrap();
+    for pid in 0..workers {
+        let mut stack = rt.open_stack(pid).unwrap();
+        for _ in 0..depth {
+            stack.push(NOOP_FUNC, &work_iters.to_le_bytes()).unwrap();
+        }
+    }
+    pmem.crash_now(0, 1.0);
+    let pmem = pmem.reopen().unwrap();
+    let rt = Runtime::open(pmem.clone(), &reg).unwrap();
+    (pmem, rt, reg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pstack_core::RecoveryMode;
+
+    #[test]
+    fn crashed_system_recovers_expected_frames() {
+        let (_, rt, _) = crashed_system(3, 7, 100);
+        let report = rt.recover(RecoveryMode::Parallel).unwrap();
+        assert_eq!(report.frames_recovered, vec![7, 7, 7]);
+    }
+
+    #[test]
+    fn make_stack_builds_all_kinds() {
+        for kind in [StackKind::Fixed, StackKind::Vec, StackKind::List] {
+            let (pmem, heap) = region_with_heap(1 << 18);
+            let mut s = make_stack(kind, &pmem, &heap, 4096);
+            s.push(1, b"x").unwrap();
+            assert_eq!(s.depth(), 1);
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Real-`kill(1)` crash campaign over a file-backed NVRAM image.
+//!
+//! ```text
+//! kill_campaign drive <image> [n_ops] [seed] [--buggy] [--narrow]
+//! kill_campaign child-run <image>        # spawned by the driver
+//! kill_campaign child-recover <image>    # spawned by the driver
+//! ```
+//!
+//! `drive` formats the image, then repeatedly spawns this same binary
+//! in `child-run` mode and SIGKILLs it at a random moment, running
+//! `child-recover` processes (also candidates for killing — repeated
+//! failures) after each kill, until every CAS descriptor completed.
+//! Finally it prints the §5.1 serializability verdict.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use pstack_chaos::{
+    child_recover, child_run, run_kill_campaign, ChildOutcome, KillCampaignConfig, KillOutcome,
+};
+use pstack_recoverable::{CasVariant, QueueVariant};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: kill_campaign drive <image> [n_ops] [seed] [--buggy] [--narrow] [--queue]\n\
+         \x20      kill_campaign child-run <image>\n\
+         \x20      kill_campaign child-recover <image>"
+    );
+    ExitCode::from(2)
+}
+
+fn drive(image: PathBuf, mut rest: std::env::Args) -> ExitCode {
+    let mut n_ops = 60usize;
+    let mut seed = 42u64;
+    let mut buggy = false;
+    let mut narrow = false;
+    let mut queue = false;
+    let mut positional = 0;
+    for arg in rest.by_ref() {
+        match arg.as_str() {
+            "--buggy" => buggy = true,
+            "--narrow" => narrow = true,
+            "--queue" => queue = true,
+            other => {
+                let parsed: Result<u64, _> = other.parse();
+                match (positional, parsed) {
+                    (0, Ok(v)) => n_ops = v as usize,
+                    (1, Ok(v)) => seed = v,
+                    _ => return usage(),
+                }
+                positional += 1;
+            }
+        }
+    }
+    let mut cfg = KillCampaignConfig::new(image, n_ops, seed);
+    cfg = if queue {
+        cfg.queue(if buggy { QueueVariant::NoScan } else { QueueVariant::Nsrl })
+    } else {
+        cfg.variant(if buggy { CasVariant::NoMatrix } else { CasVariant::Nsrl })
+    };
+    if narrow {
+        cfg = cfg.narrow();
+    }
+    let exe = match std::env::current_exe() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("cannot locate own executable: {e}");
+            return ExitCode::from(3);
+        }
+    };
+    println!(
+        "driving kill campaign: {} ops, seed {}, workload {:?}, image {}",
+        cfg.n_ops,
+        cfg.seed,
+        cfg.workload,
+        cfg.image.display()
+    );
+    match run_kill_campaign(&exe, &cfg) {
+        Ok(report) => {
+            println!(
+                "rounds: {}  kills: {}  recovery kills: {}  recovery attempts: {}",
+                report.rounds, report.kills, report.recovery_kills, report.recovery_attempts
+            );
+            match &report.outcome {
+                KillOutcome::Cas { history, verdict } => {
+                    println!(
+                        "history: {} ops, {} successful, final value {}",
+                        history.ops.len(),
+                        history.successful().len(),
+                        history.final_value
+                    );
+                    if verdict.is_serializable() {
+                        println!("verdict: SERIALIZABLE");
+                    } else {
+                        println!("verdict: NON-SERIALIZABLE ({verdict:?})");
+                    }
+                }
+                KillOutcome::Queue { history, verdict } => {
+                    println!(
+                        "history: {} ops, {} slots linearized, {} consumed",
+                        history.ops.len(),
+                        history.snapshot.len(),
+                        history
+                            .snapshot
+                            .iter()
+                            .filter(|s| s.dequeued_by.is_some())
+                            .count()
+                    );
+                    if verdict.is_fifo() {
+                        println!("verdict: FIFO");
+                    } else {
+                        println!("verdict: NOT FIFO ({verdict:?})");
+                    }
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("campaign failed: {e}");
+            ExitCode::from(3)
+        }
+    }
+}
+
+fn child(mode: &str, image: &Path) -> ExitCode {
+    let result = match mode {
+        "child-run" => child_run(image).map(|outcome| {
+            if let ChildOutcome::Ran { completed } = outcome {
+                eprintln!("worker: completed {completed} tasks");
+            }
+        }),
+        "child-recover" => child_recover(image).map(|frames| {
+            eprintln!("recovery: {frames} frames");
+        }),
+        _ => unreachable!("caller dispatches only child modes"),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{mode} failed: {e}");
+            ExitCode::from(3)
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args();
+    let _self = args.next();
+    let (Some(mode), Some(image)) = (args.next(), args.next()) else {
+        return usage();
+    };
+    let image = PathBuf::from(image);
+    match mode.as_str() {
+        "drive" => drive(image, args),
+        "child-run" | "child-recover" => child(&mode, &image),
+        _ => usage(),
+    }
+}

@@ -1,0 +1,207 @@
+//! Exhaustive crash-point enumeration.
+//!
+//! Counting persistence events makes crash testing *exhaustive* instead
+//! of probabilistic: run the operation once to learn its event count
+//! `E`, then for every `k < E` replay it on a fresh system with a crash
+//! armed after `k` events, reopen, and verify the recovered state. If
+//! the scenario passes, **no** crash moment (at persistence-event
+//! granularity) can corrupt it.
+
+use pstack_core::PError;
+use pstack_nvram::{FailPlan, PMem};
+
+/// A crash-enumeration scenario: how to build the system, the
+/// operation under test, and the post-crash verification.
+pub trait CrashScenario {
+    /// Volatile handles the scenario operates through.
+    type System;
+
+    /// Builds a fresh system; returns the region and the handles.
+    ///
+    /// # Errors
+    ///
+    /// Propagates setup failures.
+    fn setup(&self) -> Result<(PMem, Self::System), PError>;
+
+    /// The operation whose crash-atomicity is being tested.
+    ///
+    /// # Errors
+    ///
+    /// Must return the propagated crash when the fail-point fires.
+    fn run(&self, system: &mut Self::System) -> Result<(), PError>;
+
+    /// Verifies the state after a crash at event `crash_event` and
+    /// reopen. Must accept every legal intermediate state (typically
+    /// "either the operation happened entirely or not at all, and
+    /// recovery completes").
+    ///
+    /// # Errors
+    ///
+    /// Any error fails the enumeration with context.
+    fn verify(&self, pmem: PMem, crash_event: u64) -> Result<(), PError>;
+}
+
+/// Summary of an enumeration run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EnumerationReport {
+    /// Persistence events the clean operation performs.
+    pub total_events: u64,
+    /// Crash points exercised (events × survival probabilities).
+    pub crash_points_tested: u64,
+}
+
+/// Runs `scenario` once cleanly to count events, then once per crash
+/// point per survival probability.
+///
+/// # Errors
+///
+/// [`PError::InvalidConfig`] if the clean run fails or performs no
+/// persistence events; otherwise the first verification failure, with
+/// the crash point baked into the message by the scenario's `verify`.
+pub fn enumerate_crash_points<S: CrashScenario>(
+    scenario: &S,
+    survival_probs: &[f64],
+) -> Result<EnumerationReport, PError> {
+    // Clean run: count events.
+    let (pmem, mut system) = scenario.setup()?;
+    let e0 = pmem.events();
+    scenario.run(&mut system)?;
+    let total_events = pmem.events() - e0;
+    if total_events == 0 {
+        return Err(PError::InvalidConfig(
+            "operation performs no persistence events; nothing to enumerate".into(),
+        ));
+    }
+
+    let mut tested = 0u64;
+    for k in 0..total_events {
+        for &prob in survival_probs {
+            let (pmem, mut system) = scenario.setup()?;
+            pmem.arm_failpoint(FailPlan::after_events(k).with_survivors(k ^ 0x5EED, prob));
+            match scenario.run(&mut system) {
+                Err(e) if e.is_crash() => {}
+                Ok(()) => {
+                    return Err(PError::InvalidConfig(format!(
+                        "crash at event {k} did not interrupt the operation"
+                    )))
+                }
+                Err(e) => return Err(e),
+            }
+            let reopened = pmem.reopen()?;
+            scenario.verify(reopened, k)?;
+            tested += 1;
+        }
+    }
+    Ok(EnumerationReport {
+        total_events,
+        crash_points_tested: tested,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pstack_core::{FixedStack, PersistentStack};
+    use pstack_nvram::{PMemBuilder, POffset};
+
+    /// Scenario: pushing one frame onto a fixed stack is atomic.
+    struct PushScenario;
+
+    impl CrashScenario for PushScenario {
+        type System = FixedStack;
+
+        fn setup(&self) -> Result<(PMem, FixedStack), PError> {
+            let pmem = PMemBuilder::new().len(8 * 1024).build_in_memory();
+            let mut s = FixedStack::format(pmem.clone(), POffset::new(0), 4 * 1024)?;
+            s.push(1, b"anchor")?;
+            Ok((pmem, s))
+        }
+
+        fn run(&self, s: &mut FixedStack) -> Result<(), PError> {
+            s.push(2, &[0xAB; 90])
+        }
+
+        fn verify(&self, pmem: PMem, crash_event: u64) -> Result<(), PError> {
+            let s = FixedStack::open(pmem, POffset::new(0), 4 * 1024)?;
+            if s.depth() != 1 && s.depth() != 2 {
+                return Err(PError::CorruptStack(format!(
+                    "crash at event {crash_event} left depth {}",
+                    s.depth()
+                )));
+            }
+            if s.depth() == 2 {
+                let rec = s.frame_record(2)?;
+                if rec.args != vec![0xAB; 90] {
+                    return Err(PError::CorruptStack(format!(
+                        "crash at event {crash_event}: linearized push has torn args"
+                    )));
+                }
+            }
+            s.check_consistency()
+        }
+    }
+
+    #[test]
+    fn push_scenario_passes_exhaustively() {
+        let report = enumerate_crash_points(&PushScenario, &[0.0, 0.5, 1.0]).unwrap();
+        assert!(report.total_events >= 3);
+        assert_eq!(
+            report.crash_points_tested,
+            report.total_events * 3
+        );
+    }
+
+    /// Scenario deliberately broken: an unflushed write that verify
+    /// insists must survive. Enumeration must catch it.
+    struct BrokenScenario;
+
+    impl CrashScenario for BrokenScenario {
+        type System = PMem;
+
+        fn setup(&self) -> Result<(PMem, PMem), PError> {
+            let pmem = PMemBuilder::new().len(1024).build_in_memory();
+            Ok((pmem.clone(), pmem))
+        }
+
+        fn run(&self, pmem: &mut PMem) -> Result<(), PError> {
+            pmem.write_u64(POffset::new(0), 7)?; // never flushed
+            pmem.flush(POffset::new(512), 8)?; // unrelated flush
+            Ok(())
+        }
+
+        fn verify(&self, pmem: PMem, _k: u64) -> Result<(), PError> {
+            // Wrongly assumes the write is durable.
+            if pmem.read_u64(POffset::new(0))? != 7 {
+                return Err(PError::CorruptStack("value lost".into()));
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn broken_scenario_is_caught() {
+        let err = enumerate_crash_points(&BrokenScenario, &[0.0]).unwrap_err();
+        assert!(matches!(err, PError::CorruptStack(_)));
+    }
+
+    #[test]
+    fn eventless_scenario_is_rejected() {
+        struct Noop;
+        impl CrashScenario for Noop {
+            type System = ();
+            fn setup(&self) -> Result<(PMem, ()), PError> {
+                Ok((PMemBuilder::new().len(64).build_in_memory(), ()))
+            }
+            fn run(&self, _: &mut ()) -> Result<(), PError> {
+                Ok(())
+            }
+            fn verify(&self, _: PMem, _: u64) -> Result<(), PError> {
+                Ok(())
+            }
+        }
+        assert!(matches!(
+            enumerate_crash_points(&Noop, &[0.0]),
+            Err(PError::InvalidConfig(_))
+        ));
+    }
+}

@@ -1,0 +1,830 @@
+//! The §5.2 experiment with a *real* `kill(1)`: separate OS processes
+//! over a file-backed NVRAM image.
+//!
+//! The in-process campaign ([`crate::run_campaign`]) emulates the kill
+//! with deterministic fail-points. This module removes the emulation:
+//! a **driver** process formats an NVRAM image file, then repeatedly
+//! spawns a **worker** process (the same binary, `child-run` mode) that
+//! executes CAS descriptors against the file, and SIGKILLs it at a
+//! random wall-clock moment — exactly the paper's methodology ("we used
+//! UNIX utility `kill` to interrupt the system at random moments"). The
+//! worker's volatile state (its in-process dirty-line cache, threads,
+//! volatile stack indexes) genuinely evaporates with the process; only
+//! what the write-through file backend persisted survives. After each
+//! kill the driver runs a **recovery** process (`child-recover` mode),
+//! which it may also kill — the paper's repeated-failure scenario —
+//! until one recovery pass completes. When every descriptor is done the
+//! driver reads the answers from the image and runs the workload's
+//! semantic verifier — §5.1 serializability for the CAS workload, the
+//! FIFO witness check for the queue workload ([`KillWorkload`]).
+//!
+//! The driver/worker protocol lives in this module so both the
+//! `kill_campaign` binary and the integration tests can drive it; see
+//! `crates/chaos/src/bin/kill_campaign.rs` for the CLI.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::time::Duration;
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use pstack_core::{
+    FunctionRegistry, PError, RecoveryMode, Runtime, RuntimeConfig, StackKind, Task,
+};
+use pstack_nvram::{PMem, PMemBuilder, POffset};
+use pstack_recoverable::{
+    CasTaskFunction, CasVariant, QueueOpTable, QueueTaskFunction, QueueTaskOp, QueueVariant,
+    RecoverableCas, RecoverableQueue, TaskTable, CAS_TASK_FUNC_ID, QUEUE_TASK_FUNC_ID,
+};
+use pstack_verify::{
+    check_fifo, check_serializability, replay_witness, CasHistory, CasOp, FifoVerdict,
+    QueueHistory, SerialVerdict,
+};
+
+use crate::queue_campaign::build_queue_history;
+
+/// Magic word opening the harness root record in the user scratch area.
+const ROOT_MAGIC: u64 = 0x4B49_4C4C_524F_4F54; // "KILLROOT"
+/// The root record starts at the user scratch area (after the runtime
+/// superblock).
+const ROOT_OFF: u64 = 64;
+
+/// Which object (and semantic check) a kill campaign exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KillWorkload {
+    /// The §5.2 recoverable CAS, verified for serializability.
+    Cas(CasVariant),
+    /// The recoverable queue (future work 1), verified for FIFO.
+    Queue(QueueVariant),
+}
+
+impl Default for KillWorkload {
+    fn default() -> Self {
+        KillWorkload::Cas(CasVariant::Nsrl)
+    }
+}
+
+impl KillWorkload {
+    fn as_bytes(self) -> (u8, u8) {
+        match self {
+            KillWorkload::Cas(v) => (0, v.as_u8()),
+            KillWorkload::Queue(v) => (1, v.as_u8()),
+        }
+    }
+
+    fn from_bytes(kind: u8, variant: u8) -> Result<Self, PError> {
+        match kind {
+            0 => Ok(KillWorkload::Cas(CasVariant::from_u8(variant)?)),
+            1 => Ok(KillWorkload::Queue(QueueVariant::from_u8(variant)?)),
+            other => Err(PError::InvalidConfig(format!(
+                "unknown kill workload kind {other}"
+            ))),
+        }
+    }
+}
+
+/// Configuration of one real-`kill` campaign.
+///
+/// # Example
+///
+/// ```
+/// use pstack_chaos::KillCampaignConfig;
+///
+/// let cfg = KillCampaignConfig::new("/tmp/pstack-kill.img", 40, 7)
+///     .kill_delay_ms(2, 20)
+///     .max_kills(4);
+/// assert_eq!(cfg.n_ops, 40);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct KillCampaignConfig {
+    /// Path of the NVRAM image file (created by the driver).
+    pub image: PathBuf,
+    /// Number of CAS descriptors.
+    pub n_ops: usize,
+    /// Worker threads inside each worker process — the paper uses 4.
+    pub workers: usize,
+    /// Inclusive operand range.
+    pub value_range: (i64, i64),
+    /// Seed for the workload (operands and initial value). Kill timing
+    /// is wall-clock and therefore *not* reproducible — as in the paper.
+    pub seed: u64,
+    /// Which object (and check) the campaign exercises.
+    pub workload: KillWorkload,
+    /// Probability a descriptor is an enqueue (queue workloads only).
+    pub enqueue_bias: f64,
+    /// Stack layout for the worker threads.
+    pub stack_kind: StackKind,
+    /// NVRAM image length in bytes.
+    pub region_len: usize,
+    /// Kills of normal-mode worker processes before the driver lets the
+    /// campaign run to completion.
+    pub max_kills: usize,
+    /// Range (inclusive, milliseconds) the driver sleeps before killing
+    /// a worker process.
+    pub kill_delay: (u64, u64),
+    /// Probability that a recovery process is also killed (repeated
+    /// failures), while the kill budget lasts.
+    pub recovery_kill_prob: f64,
+    /// Per-line persist latency in microseconds, emulating the paper's
+    /// slow HDD persists. Without it the emulated device is so fast
+    /// that worker processes finish before any wall-clock kill can
+    /// land mid-operation. Persisted in the image's root record so
+    /// every child process runs the same device model.
+    pub persist_delay_us: u32,
+}
+
+impl KillCampaignConfig {
+    /// Starts a configuration with the paper's §5.2 defaults: 4 worker
+    /// threads, operands in the wide range `[-10⁵, 10⁵]`, the correct
+    /// NSRL CAS, fixed stacks and a 2 MiB image.
+    #[must_use]
+    pub fn new(image: impl Into<PathBuf>, n_ops: usize, seed: u64) -> Self {
+        KillCampaignConfig {
+            image: image.into(),
+            n_ops,
+            workers: 4,
+            value_range: (-100_000, 100_000),
+            seed,
+            workload: KillWorkload::Cas(CasVariant::Nsrl),
+            enqueue_bias: 0.6,
+            stack_kind: StackKind::Fixed,
+            region_len: 1 << 21,
+            max_kills: 6,
+            kill_delay: (2, 25),
+            recovery_kill_prob: 0.3,
+            persist_delay_us: 150,
+        }
+    }
+
+    /// Selects the CAS variant (and the CAS workload).
+    #[must_use]
+    pub fn variant(mut self, variant: CasVariant) -> Self {
+        self.workload = KillWorkload::Cas(variant);
+        self
+    }
+
+    /// Switches the campaign to the queue workload with the given
+    /// variant; operand range narrows to `[-100, 100]` like the
+    /// in-process queue campaign.
+    #[must_use]
+    pub fn queue(mut self, variant: QueueVariant) -> Self {
+        self.workload = KillWorkload::Queue(variant);
+        self.value_range = (-100, 100);
+        self
+    }
+
+    /// Narrows the operand range to the paper's `[-10, 10]` setup.
+    #[must_use]
+    pub fn narrow(mut self) -> Self {
+        self.value_range = (-10, 10);
+        self
+    }
+
+    /// Sets the kill-delay window in milliseconds.
+    #[must_use]
+    pub fn kill_delay_ms(mut self, lo: u64, hi: u64) -> Self {
+        self.kill_delay = (lo, hi);
+        self
+    }
+
+    /// Sets the kill budget.
+    #[must_use]
+    pub fn max_kills(mut self, kills: usize) -> Self {
+        self.max_kills = kills;
+        self
+    }
+}
+
+/// The collected execution and its semantic verdict, per workload.
+#[derive(Debug, Clone)]
+pub enum KillOutcome {
+    /// A CAS campaign's history and §5.1 serializability verdict.
+    Cas {
+        /// The collected execution.
+        history: CasHistory,
+        /// The §5.1 verdict.
+        verdict: SerialVerdict,
+    },
+    /// A queue campaign's history and FIFO verdict.
+    Queue {
+        /// The collected execution (answers + slot witness).
+        history: QueueHistory,
+        /// The FIFO verdict.
+        verdict: FifoVerdict,
+    },
+}
+
+impl KillOutcome {
+    /// `true` if the execution passed its semantic check
+    /// (serializability for CAS, FIFO for the queue).
+    #[must_use]
+    pub fn is_consistent(&self) -> bool {
+        match self {
+            KillOutcome::Cas { verdict, .. } => verdict.is_serializable(),
+            KillOutcome::Queue { verdict, .. } => verdict.is_fifo(),
+        }
+    }
+
+    /// Number of operations in the collected history.
+    #[must_use]
+    pub fn ops(&self) -> usize {
+        match self {
+            KillOutcome::Cas { history, .. } => history.ops.len(),
+            KillOutcome::Queue { history, .. } => history.ops.len(),
+        }
+    }
+}
+
+/// Outcome of a real-`kill` campaign.
+#[derive(Debug, Clone)]
+pub struct KillCampaignReport {
+    /// Worker processes spawned (killed or completed).
+    pub rounds: usize,
+    /// Worker processes killed by the driver.
+    pub kills: usize,
+    /// Recovery processes killed by the driver (repeated failures).
+    pub recovery_kills: usize,
+    /// Recovery processes spawned in total.
+    pub recovery_attempts: usize,
+    /// The collected execution and its verdict.
+    pub outcome: KillOutcome,
+}
+
+impl KillCampaignReport {
+    /// `true` if the execution passed its semantic check.
+    #[must_use]
+    pub fn is_consistent(&self) -> bool {
+        self.outcome.is_consistent()
+    }
+
+    /// `true` if this was a CAS campaign and it verified serializable
+    /// (kept for symmetry with the paper's §5.2 wording).
+    #[must_use]
+    pub fn is_serializable(&self) -> bool {
+        matches!(
+            &self.outcome,
+            KillOutcome::Cas { verdict, .. } if verdict.is_serializable()
+        )
+    }
+}
+
+/// The attached persistent objects, per workload.
+enum Objects {
+    Cas {
+        cas: RecoverableCas,
+        table: TaskTable,
+    },
+    Queue {
+        queue: RecoverableQueue,
+        table: QueueOpTable,
+    },
+}
+
+impl Objects {
+    fn pending(&self) -> Result<Vec<usize>, PError> {
+        match self {
+            Objects::Cas { table, .. } => table.pending(),
+            Objects::Queue { table, .. } => table.pending(),
+        }
+    }
+
+    fn func_id(&self) -> u64 {
+        match self {
+            Objects::Cas { .. } => CAS_TASK_FUNC_ID,
+            Objects::Queue { .. } => QUEUE_TASK_FUNC_ID,
+        }
+    }
+}
+
+/// Everything a process (driver or child) needs once attached to an
+/// existing image.
+struct Attached {
+    pmem: PMem,
+    registry: FunctionRegistry,
+    objects: Objects,
+}
+
+fn open_image(path: &Path, persist_delay_us: u32) -> Result<PMem, PError> {
+    let len = std::fs::metadata(path)
+        .map_err(|e| PError::InvalidConfig(format!("cannot stat image {}: {e}", path.display())))?
+        .len() as usize;
+    Ok(PMemBuilder::new()
+        .len(len)
+        .eager_flush(true)
+        .persist_delay(Duration::from_micros(u64::from(persist_delay_us)))
+        .build_file(path)?)
+}
+
+/// Reads the persist delay out of the root record without paying it:
+/// the probe handle uses no delay, and reads never persist lines.
+fn read_persist_delay(path: &Path) -> Result<u32, PError> {
+    let probe = open_image(path, 0)?;
+    let magic = probe.read_u64(POffset::new(ROOT_OFF))?;
+    if magic != ROOT_MAGIC {
+        return Err(PError::CorruptStack(format!(
+            "image {} has no kill-harness root record (magic {magic:#x})",
+            path.display()
+        )));
+    }
+    Ok(probe.read_u32(POffset::new(ROOT_OFF + 40))?)
+}
+
+fn write_root(
+    pmem: &PMem,
+    object_base: POffset,
+    table_base: POffset,
+    init: i64,
+    workers: usize,
+    workload: KillWorkload,
+    persist_delay_us: u32,
+) -> Result<(), PError> {
+    let (kind, variant) = workload.as_bytes();
+    let base = POffset::new(ROOT_OFF);
+    pmem.write_u64(base, ROOT_MAGIC)?;
+    pmem.write_u64(base + 8u64, object_base.get())?;
+    pmem.write_u64(base + 16u64, table_base.get())?;
+    pmem.write_i64(base + 24u64, init)?;
+    pmem.write_u32(base + 32u64, workers as u32)?;
+    pmem.write_u8(base + 36u64, variant)?;
+    pmem.write_u8(base + 37u64, kind)?;
+    pmem.write_u32(base + 40u64, persist_delay_us)?;
+    pmem.flush(base, 48)?;
+    Ok(())
+}
+
+fn attach(path: &Path) -> Result<(Attached, i64), PError> {
+    let persist_delay_us = read_persist_delay(path)?;
+    let pmem = open_image(path, persist_delay_us)?;
+    let base = POffset::new(ROOT_OFF);
+    let magic = pmem.read_u64(base)?;
+    if magic != ROOT_MAGIC {
+        return Err(PError::CorruptStack(format!(
+            "image {} has no kill-harness root record (magic {magic:#x})",
+            path.display()
+        )));
+    }
+    let object_base = POffset::new(pmem.read_u64(base + 8u64)?);
+    let table_base = POffset::new(pmem.read_u64(base + 16u64)?);
+    let init = pmem.read_i64(base + 24u64)?;
+    let workers = pmem.read_u32(base + 32u64)? as usize;
+    let variant = pmem.read_u8(base + 36u64)?;
+    let kind = pmem.read_u8(base + 37u64)?;
+    let mut registry = FunctionRegistry::new();
+    let objects = match KillWorkload::from_bytes(kind, variant)? {
+        KillWorkload::Cas(variant) => {
+            let cas = RecoverableCas::open(pmem.clone(), object_base, workers, variant)?;
+            let table = TaskTable::open(pmem.clone(), table_base)?;
+            registry.register(
+                CAS_TASK_FUNC_ID,
+                CasTaskFunction::new(cas.clone(), table.clone()).into_arc(),
+            )?;
+            Objects::Cas { cas, table }
+        }
+        KillWorkload::Queue(variant) => {
+            let queue = RecoverableQueue::open(pmem.clone(), object_base, variant)?;
+            let table = QueueOpTable::open(pmem.clone(), table_base)?;
+            registry.register(
+                QUEUE_TASK_FUNC_ID,
+                QueueTaskFunction::new(queue.clone(), table.clone()).into_arc(),
+            )?;
+            Objects::Queue { queue, table }
+        }
+    };
+    Ok((
+        Attached {
+            pmem,
+            registry,
+            objects,
+        },
+        init,
+    ))
+}
+
+/// Formats the image file for a campaign: runtime layout, the workload
+/// object, its descriptor table and the root record. Returns the
+/// initial register value (0 for queue workloads). Run by the driver
+/// before the first worker process.
+///
+/// # Errors
+///
+/// File I/O, layout or formatting failures.
+pub fn format_image(cfg: &KillCampaignConfig) -> Result<i64, PError> {
+    let (lo, hi) = cfg.value_range;
+    assert!(lo <= hi, "empty value range");
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+
+    let _ = std::fs::remove_file(&cfg.image);
+    // Formatting runs without the persist delay (no process is racing a
+    // kill against it); the delay recorded in the root record applies
+    // to every child that attaches afterwards.
+    let pmem = PMemBuilder::new()
+        .len(cfg.region_len)
+        .eager_flush(true)
+        .build_file(&cfg.image)?;
+    let stub = FunctionRegistry::new();
+    let rt = Runtime::format(
+        pmem.clone(),
+        RuntimeConfig::new(cfg.workers)
+            .stack_kind(cfg.stack_kind)
+            .stack_capacity(8 * 1024),
+        &stub,
+    )?;
+    let (object_base, table_base, init) = match cfg.workload {
+        KillWorkload::Cas(variant) => {
+            let init: i64 = rng.random_range(lo..=hi);
+            let ops: Vec<(i64, i64)> = (0..cfg.n_ops)
+                .map(|_| (rng.random_range(lo..=hi), rng.random_range(lo..=hi)))
+                .collect();
+            let cas = RecoverableCas::format(pmem.clone(), rt.heap(), cfg.workers, init, variant)?;
+            let table = TaskTable::format(pmem.clone(), rt.heap(), &ops)?;
+            (cas.base(), table.base(), init)
+        }
+        KillWorkload::Queue(variant) => {
+            let ops: Vec<QueueTaskOp> = (0..cfg.n_ops)
+                .map(|_| {
+                    if rng.random_bool(cfg.enqueue_bias) {
+                        QueueTaskOp::Enqueue(rng.random_range(lo..=hi))
+                    } else {
+                        QueueTaskOp::Dequeue
+                    }
+                })
+                .collect();
+            let capacity = ops
+                .iter()
+                .filter(|o| matches!(o, QueueTaskOp::Enqueue(_)))
+                .count()
+                .max(1) as u64;
+            let queue = RecoverableQueue::format(pmem.clone(), rt.heap(), capacity, variant)?;
+            let table = QueueOpTable::format(pmem.clone(), rt.heap(), &ops)?;
+            (queue.base(), table.base(), 0i64)
+        }
+    };
+    write_root(
+        &pmem,
+        object_base,
+        table_base,
+        init,
+        cfg.workers,
+        cfg.workload,
+        cfg.persist_delay_us,
+    )?;
+    Ok(init)
+}
+
+/// What a worker process found to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChildOutcome {
+    /// Every descriptor was already done; nothing ran.
+    AllDone,
+    /// The worker ran (and completed) the pending descriptors.
+    Ran {
+        /// Tasks completed in this process.
+        completed: usize,
+    },
+}
+
+/// Normal-mode body of a worker process: attach to the image, enqueue
+/// the still-pending descriptors in random order, and run them on
+/// `workers` threads. The process is expected to be SIGKILLed at any
+/// moment; everything it must not lose is persisted through the file
+/// backend.
+///
+/// # Errors
+///
+/// Attachment failures, or an in-process crash signal (which cannot
+/// happen in a worker process — no fail-points are armed — and is
+/// therefore reported as an error).
+pub fn child_run(image: &Path) -> Result<ChildOutcome, PError> {
+    let (att, _) = attach(image)?;
+    let rt = Runtime::open(att.pmem.clone(), &att.registry)?;
+    let mut pending = att.objects.pending()?;
+    if pending.is_empty() {
+        return Ok(ChildOutcome::AllDone);
+    }
+    // Shuffle from OS entropy: kill timing already makes runs
+    // non-reproducible, and distinct processes must not replay one
+    // fixed order.
+    let mut rng = SmallRng::seed_from_u64(rand::rng().random());
+    pending.shuffle(&mut rng);
+    let func_id = att.objects.func_id();
+    let tasks: Vec<Task> = pending
+        .iter()
+        .map(|&i| Task::new(func_id, (i as u64).to_le_bytes().to_vec()))
+        .collect();
+    let report = rt.run_tasks(tasks);
+    if report.crashed {
+        return Err(PError::Task(
+            "worker process observed an in-process crash signal".into(),
+        ));
+    }
+    Ok(ChildOutcome::Ran {
+        completed: report.completed,
+    })
+}
+
+/// Recovery-mode body: attach and run one parallel recovery pass over
+/// all worker stacks. Returns the number of frames recovered.
+///
+/// # Errors
+///
+/// Attachment or recovery failures.
+pub fn child_recover(image: &Path) -> Result<usize, PError> {
+    let (att, _) = attach(image)?;
+    let rt = Runtime::open(att.pmem.clone(), &att.registry)?;
+    Ok(rt.recover(RecoveryMode::Parallel)?.total_frames())
+}
+
+/// Reads the completed campaign's answers from the image and runs the
+/// workload's semantic check (step 9): §5.1 serializability for CAS,
+/// the FIFO witness check for the queue.
+///
+/// # Errors
+///
+/// Attachment failures, or [`PError::Task`] if any descriptor is still
+/// pending (the campaign has not finished).
+pub fn collect_report(image: &Path) -> Result<KillOutcome, PError> {
+    let (att, init) = attach(image)?;
+    match &att.objects {
+        Objects::Cas { cas, table } => {
+            let results = table.results()?;
+            let mut ops = Vec::with_capacity(results.len());
+            for (i, result) in results.iter().enumerate() {
+                let (old, new) = table.op(i)?;
+                let success = result.ok_or_else(|| {
+                    PError::Task(format!("descriptor {i} still pending; campaign incomplete"))
+                })?;
+                ops.push(CasOp {
+                    pid: 0,
+                    old,
+                    new,
+                    success,
+                });
+            }
+            let history = CasHistory::new(init, cas.read()?, ops);
+            let verdict = check_serializability(&history);
+            if let SerialVerdict::Serializable { order } = &verdict {
+                replay_witness(&history, order).expect("serializability witness must replay");
+            }
+            Ok(KillOutcome::Cas { history, verdict })
+        }
+        Objects::Queue { queue, table } => {
+            let history = build_queue_history(queue, table)?;
+            let verdict = check_fifo(&history);
+            Ok(KillOutcome::Queue { history, verdict })
+        }
+    }
+}
+
+/// Child subcommands the driver spawns; the binary maps these onto
+/// [`child_run`] / [`child_recover`].
+const CHILD_RUN: &str = "child-run";
+const CHILD_RECOVER: &str = "child-recover";
+
+fn spawn_child(exe: &Path, mode: &str, image: &Path) -> std::io::Result<std::process::Child> {
+    Command::new(exe)
+        .arg(mode)
+        .arg(image)
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+}
+
+/// Waits up to `delay`, then reports whether the child exited on its
+/// own (`Some(status)`) or is still running (`None`).
+fn wait_with_deadline(
+    child: &mut std::process::Child,
+    delay: Duration,
+) -> std::io::Result<Option<std::process::ExitStatus>> {
+    let deadline = std::time::Instant::now() + delay;
+    loop {
+        if let Some(status) = child.try_wait()? {
+            return Ok(Some(status));
+        }
+        if std::time::Instant::now() >= deadline {
+            return Ok(None);
+        }
+        std::thread::sleep(Duration::from_micros(300));
+    }
+}
+
+fn io_err(context: &str, e: std::io::Error) -> PError {
+    PError::Task(format!("{context}: {e}"))
+}
+
+/// Runs a full real-`kill` campaign: format the image, repeatedly spawn
+/// `exe child-run <image>` and SIGKILL it at a random moment, run (and
+/// occasionally kill) `exe child-recover <image>` passes, and loop
+/// until every descriptor completed; finally verify serializability.
+///
+/// `exe` must be a binary whose `child-run`/`child-recover` subcommands
+/// call [`child_run`]/[`child_recover`] — normally the `kill_campaign`
+/// binary itself (the driver re-invokes its own executable).
+///
+/// # Errors
+///
+/// Formatting, spawning or attachment failures, and child processes
+/// that *exit with an error* (a child that dies from the driver's own
+/// SIGKILL is the experiment working as intended, not an error).
+pub fn run_kill_campaign(
+    exe: &Path,
+    cfg: &KillCampaignConfig,
+) -> Result<KillCampaignReport, PError> {
+    format_image(cfg)?;
+    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x6B69_6C6C);
+    let mut rounds = 0usize;
+    let mut kills = 0usize;
+    let mut recovery_kills = 0usize;
+    let mut recovery_attempts = 0usize;
+
+    loop {
+        // Check for completion from the driver's side: the image is
+        // quiescent between children.
+        let (att, _) = attach(&cfg.image)?;
+        if att.objects.pending()?.is_empty() {
+            break;
+        }
+        drop(att);
+
+        rounds += 1;
+        let mut child =
+            spawn_child(exe, CHILD_RUN, &cfg.image).map_err(|e| io_err("spawn worker", e))?;
+        let delay = Duration::from_millis(rng.random_range(cfg.kill_delay.0..=cfg.kill_delay.1));
+        let status = if kills < cfg.max_kills {
+            wait_with_deadline(&mut child, delay).map_err(|e| io_err("wait for worker", e))?
+        } else {
+            Some(child.wait().map_err(|e| io_err("wait for worker", e))?)
+        };
+
+        match status {
+            Some(status) => {
+                // The worker finished this round on its own.
+                if !status.success() {
+                    return Err(PError::Task(format!(
+                        "worker process failed: {status}"
+                    )));
+                }
+                continue;
+            }
+            None => {
+                // §5.2 step 5: kill at a random moment. The process
+                // dies with SIGKILL; its unflushed dirty lines are lost
+                // with it.
+                let _ = child.kill();
+                let _ = child.wait();
+                kills += 1;
+            }
+        }
+
+        // §5.2 step 6: restart in recovery mode until one pass
+        // completes; the driver may kill recovery processes too
+        // (repeated failures).
+        loop {
+            recovery_attempts += 1;
+            let mut rec = spawn_child(exe, CHILD_RECOVER, &cfg.image)
+                .map_err(|e| io_err("spawn recovery", e))?;
+            let kill_this_one = recovery_kills + kills < cfg.max_kills * 2
+                && rng.random_bool(cfg.recovery_kill_prob);
+            let status = if kill_this_one {
+                let delay = Duration::from_millis(rng.random_range(1..=6));
+                wait_with_deadline(&mut rec, delay).map_err(|e| io_err("wait for recovery", e))?
+            } else {
+                Some(rec.wait().map_err(|e| io_err("wait for recovery", e))?)
+            };
+            match status {
+                Some(status) if status.success() => break,
+                Some(status) => {
+                    return Err(PError::Task(format!(
+                        "recovery process failed: {status}"
+                    )))
+                }
+                None => {
+                    let _ = rec.kill();
+                    let _ = rec.wait();
+                    recovery_kills += 1;
+                }
+            }
+        }
+    }
+
+    let outcome = collect_report(&cfg.image)?;
+    Ok(KillCampaignReport {
+        rounds,
+        kills,
+        recovery_kills,
+        recovery_attempts,
+        outcome,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_image(tag: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("pstack-kill-{tag}-{}.img", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn format_then_attach_round_trips_root_record() {
+        let image = tmp_image("root");
+        let cfg = KillCampaignConfig::new(&image, 10, 3);
+        let init = format_image(&cfg).unwrap();
+        let (att, init2) = attach(&image).unwrap();
+        assert_eq!(init, init2);
+        let Objects::Cas { cas, table } = &att.objects else {
+            panic!("default workload is CAS");
+        };
+        assert_eq!(cas.processes(), 4);
+        assert_eq!(cas.read().unwrap(), init);
+        assert_eq!(table.len(), 10);
+        assert_eq!(att.objects.pending().unwrap().len(), 10);
+        assert!(att.registry.contains(CAS_TASK_FUNC_ID));
+        let _ = std::fs::remove_file(&image);
+    }
+
+    #[test]
+    fn attach_rejects_unformatted_image() {
+        let image = tmp_image("bad");
+        std::fs::write(&image, vec![0u8; 4096]).unwrap();
+        assert!(matches!(attach(&image), Err(PError::CorruptStack(_))));
+        let _ = std::fs::remove_file(&image);
+    }
+
+    #[test]
+    fn child_run_completes_everything_without_kills() {
+        // In-process use of the child bodies: a single "worker process"
+        // run with no kill must finish all descriptors, after which
+        // another run reports AllDone and collect_report verifies.
+        let image = tmp_image("norm");
+        let cfg = KillCampaignConfig::new(&image, 12, 5);
+        format_image(&cfg).unwrap();
+        match child_run(&image).unwrap() {
+            ChildOutcome::Ran { completed } => assert_eq!(completed, 12),
+            ChildOutcome::AllDone => panic!("first run must execute tasks"),
+        }
+        assert_eq!(child_run(&image).unwrap(), ChildOutcome::AllDone);
+        let outcome = collect_report(&image).unwrap();
+        assert_eq!(outcome.ops(), 12);
+        assert!(outcome.is_consistent(), "{outcome:?}");
+        let _ = std::fs::remove_file(&image);
+    }
+
+    #[test]
+    fn child_recover_is_idempotent_on_clean_image() {
+        let image = tmp_image("rec");
+        let cfg = KillCampaignConfig::new(&image, 4, 9);
+        format_image(&cfg).unwrap();
+        assert_eq!(child_recover(&image).unwrap(), 0);
+        assert_eq!(child_recover(&image).unwrap(), 0);
+        let _ = std::fs::remove_file(&image);
+    }
+
+    #[test]
+    fn collect_report_rejects_incomplete_campaign() {
+        let image = tmp_image("inc");
+        let cfg = KillCampaignConfig::new(&image, 4, 11);
+        format_image(&cfg).unwrap();
+        assert!(matches!(collect_report(&image), Err(PError::Task(_))));
+        let _ = std::fs::remove_file(&image);
+    }
+
+    #[test]
+    fn config_builders_apply() {
+        let cfg = KillCampaignConfig::new("/tmp/x", 5, 1)
+            .narrow()
+            .variant(CasVariant::NoMatrix)
+            .kill_delay_ms(1, 2)
+            .max_kills(9);
+        assert_eq!(cfg.value_range, (-10, 10));
+        assert_eq!(cfg.workload, KillWorkload::Cas(CasVariant::NoMatrix));
+        assert_eq!(cfg.kill_delay, (1, 2));
+        assert_eq!(cfg.max_kills, 9);
+        let cfg = KillCampaignConfig::new("/tmp/x", 5, 1).queue(QueueVariant::Nsrl);
+        assert_eq!(cfg.workload, KillWorkload::Queue(QueueVariant::Nsrl));
+        assert_eq!(cfg.value_range, (-100, 100));
+    }
+
+    #[test]
+    fn queue_image_round_trips_and_runs_in_process() {
+        let image = tmp_image("queue");
+        let cfg = KillCampaignConfig::new(&image, 14, 8).queue(QueueVariant::Nsrl);
+        format_image(&cfg).unwrap();
+        let (att, _) = attach(&image).unwrap();
+        assert!(matches!(att.objects, Objects::Queue { .. }));
+        assert_eq!(att.objects.pending().unwrap().len(), 14);
+        drop(att);
+        match child_run(&image).unwrap() {
+            ChildOutcome::Ran { completed } => assert_eq!(completed, 14),
+            ChildOutcome::AllDone => panic!("first run must execute tasks"),
+        }
+        let outcome = collect_report(&image).unwrap();
+        assert!(matches!(outcome, KillOutcome::Queue { .. }));
+        assert!(outcome.is_consistent(), "{outcome:?}");
+        let _ = std::fs::remove_file(&image);
+    }
+}

@@ -1,0 +1,42 @@
+//! Crash-injection harness reproducing the paper's §5.2 experiments.
+//!
+//! The paper tests the persistent-stack runtime by running randomly
+//! generated recoverable-CAS workloads on emulated NVRAM, killing the
+//! system at random moments, restarting it in recovery mode, and
+//! finally checking the collected execution for serializability:
+//!
+//! > 1. Generate an initial integer value of the register; 2. generate
+//! > {newᵢ} and {oldᵢ} … uniformly sampled from some range: either wide
+//! > (`[-10⁵, 10⁵]`) or narrow (`[-10, 10]`); 3. start the system in
+//! > the normal mode, add descriptors … in random order; 4. run 4
+//! > working threads; 5. at a random moment, emulate system failure …;
+//! > 6. restart the system in the recovery mode …; 7. restart the
+//! > system in the normal mode, add all remaining descriptors …;
+//! > 8. run steps 4–7 until all operations are completed; 9. get
+//! > answers …, get the final value …, verify the execution for
+//! > serializability.
+//!
+//! Two implementations of that loop are provided:
+//!
+//! * [`run_campaign`] — in-process, with `kill` emulated by
+//!   deterministic fail-points (seeded, reproducible, CI-friendly; see
+//!   the substitution table in DESIGN.md);
+//! * [`run_kill_campaign`] — the real thing: worker **processes** over
+//!   a file-backed image, SIGKILLed by a driver process at random
+//!   wall-clock moments (the `kill_campaign` binary drives it).
+//!
+//! The module also provides [`enumerate_crash_points`], the exhaustive
+//! single-operation crash harness used across the test suites.
+
+mod campaign;
+mod crashpoints;
+mod killharness;
+mod queue_campaign;
+
+pub use campaign::{run_campaign, CampaignConfig, CampaignReport};
+pub use crashpoints::{enumerate_crash_points, CrashScenario, EnumerationReport};
+pub use killharness::{
+    child_recover, child_run, collect_report, format_image, run_kill_campaign, ChildOutcome,
+    KillCampaignConfig, KillCampaignReport, KillOutcome, KillWorkload,
+};
+pub use queue_campaign::{run_queue_campaign, QueueCampaignConfig, QueueCampaignReport};

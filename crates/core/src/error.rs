@@ -1,0 +1,140 @@
+//! Error type shared by the persistent-stack runtime.
+
+use std::error::Error;
+use std::fmt;
+
+use pstack_heap::HeapError;
+use pstack_nvram::MemError;
+
+/// Errors produced by stacks, the invocation machinery and the runtime.
+#[derive(Debug)]
+pub enum PError {
+    /// Underlying NVRAM access failed. [`MemError::Crashed`] is the
+    /// normal "the system just died" signal that unwinds workers.
+    Mem(MemError),
+    /// Persistent-heap operation failed.
+    Heap(HeapError),
+    /// A fixed-capacity stack cannot hold another frame.
+    StackOverflow {
+        /// Bytes the new frame needs.
+        needed: u64,
+        /// Remaining bytes in the stack region.
+        available: u64,
+    },
+    /// Pop was requested with no frame above the dummy frame.
+    StackEmpty,
+    /// Persistent stack bytes failed to parse.
+    CorruptStack(String),
+    /// A frame references a function id missing from the registry.
+    UnknownFunction(u64),
+    /// Arguments exceed the maximum encodable length.
+    ArgsTooLong {
+        /// Requested argument length.
+        len: usize,
+        /// Maximum supported length.
+        max: usize,
+    },
+    /// Invalid runtime configuration or layout.
+    InvalidConfig(String),
+    /// A task function failed with an application-defined message.
+    Task(String),
+}
+
+impl fmt::Display for PError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PError::Mem(e) => write!(f, "nvram access failed: {e}"),
+            PError::Heap(e) => write!(f, "persistent heap failed: {e}"),
+            PError::StackOverflow { needed, available } => write!(
+                f,
+                "stack overflow: frame of {needed} bytes does not fit in {available} remaining bytes"
+            ),
+            PError::StackEmpty => write!(f, "cannot pop: no frame above the dummy frame"),
+            PError::CorruptStack(msg) => write!(f, "persistent stack is corrupt: {msg}"),
+            PError::UnknownFunction(id) => {
+                write!(f, "function id {id:#x} is not registered")
+            }
+            PError::ArgsTooLong { len, max } => {
+                write!(f, "argument blob of {len} bytes exceeds the {max}-byte limit")
+            }
+            PError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            PError::Task(msg) => write!(f, "task failed: {msg}"),
+        }
+    }
+}
+
+impl Error for PError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PError::Mem(e) => Some(e),
+            PError::Heap(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MemError> for PError {
+    fn from(e: MemError) -> Self {
+        PError::Mem(e)
+    }
+}
+
+impl From<HeapError> for PError {
+    fn from(e: HeapError) -> Self {
+        // A heap error that is really a crash should look like a crash
+        // to the scheduler, whichever layer noticed it first.
+        match e {
+            HeapError::Mem(m) => PError::Mem(m),
+            other => PError::Heap(other),
+        }
+    }
+}
+
+impl PError {
+    /// Returns `true` if this error is a propagated crash: the worker
+    /// should unwind and the system restart in recovery mode.
+    #[must_use]
+    pub fn is_crash(&self) -> bool {
+        matches!(self, PError::Mem(MemError::Crashed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty() {
+        let errs = [
+            PError::Mem(MemError::Crashed),
+            PError::Heap(HeapError::OutOfMemory { requested: 4 }),
+            PError::StackOverflow {
+                needed: 100,
+                available: 10,
+            },
+            PError::StackEmpty,
+            PError::CorruptStack("x".into()),
+            PError::UnknownFunction(9),
+            PError::ArgsTooLong { len: 10, max: 5 },
+            PError::InvalidConfig("x".into()),
+            PError::Task("boom".into()),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn crash_classification() {
+        assert!(PError::Mem(MemError::Crashed).is_crash());
+        assert!(PError::from(HeapError::Mem(MemError::Crashed)).is_crash());
+        assert!(!PError::StackEmpty.is_crash());
+        assert!(!PError::from(HeapError::OutOfMemory { requested: 1 }).is_crash());
+    }
+
+    #[test]
+    fn sources_are_chained() {
+        assert!(Error::source(&PError::Mem(MemError::Crashed)).is_some());
+        assert!(Error::source(&PError::StackEmpty).is_none());
+    }
+}

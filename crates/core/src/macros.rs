@@ -1,0 +1,138 @@
+//! Boilerplate reduction for registering recoverable functions.
+//!
+//! The paper's future-work direction 3 proposes a compiler plugin that
+//! auto-generates the frame push/pop around each call. Rust gets most
+//! of the way there with a declarative macro: [`recoverable_functions!`]
+//! registers a batch of call/recover pairs with their stable ids in one
+//! readable block.
+
+/// Registers a batch of recoverable functions on a
+/// [`FunctionRegistry`](crate::FunctionRegistry).
+///
+/// Each entry names a stable function id, the `call` body and the
+/// `recover` dual. Bodies are ordinary closures receiving
+/// `(&mut PContext, &[u8])` and returning
+/// `Result<Option<RetBytes>, PError>`.
+///
+/// # Example
+///
+/// ```
+/// use pstack_core::{recoverable_functions, FunctionRegistry};
+///
+/// # fn main() -> Result<(), pstack_core::PError> {
+/// let mut registry = FunctionRegistry::new();
+/// recoverable_functions! { registry =>
+///     /// Doubles its 8-byte argument.
+///     DOUBLE = 1 {
+///         call(_ctx, args) {
+///             let x = u64::from_le_bytes(args[..8].try_into().unwrap());
+///             Ok(Some((x * 2).to_le_bytes()))
+///         }
+///         recover(_ctx, args) {
+///             let x = u64::from_le_bytes(args[..8].try_into().unwrap());
+///             Ok(Some((x * 2).to_le_bytes()))
+///         }
+///     }
+///     NOOP = 2 {
+///         call(_ctx, _args) { Ok(None) }
+///         recover(_ctx, _args) { Ok(None) }
+///     }
+/// }
+/// assert_eq!(DOUBLE, 1);
+/// assert_eq!(NOOP, 2);
+/// assert!(registry.contains(DOUBLE));
+/// assert!(registry.contains(NOOP));
+/// # Ok(())
+/// # }
+/// ```
+#[macro_export]
+macro_rules! recoverable_functions {
+    ($registry:expr => $(
+        $(#[$meta:meta])*
+        $name:ident = $id:literal {
+            call($call_ctx:tt, $call_args:tt) $call_body:block
+            recover($rec_ctx:tt, $rec_args:tt) $rec_body:block
+        }
+    )+) => {
+        $(
+            $(#[$meta])*
+            const $name: u64 = $id;
+            $registry.register_pair(
+                $name,
+                |$call_ctx: &mut $crate::PContext<'_>, $call_args: &[u8]|
+                    -> Result<Option<$crate::RetBytes>, $crate::PError> { $call_body },
+                |$rec_ctx: &mut $crate::PContext<'_>, $rec_args: &[u8]|
+                    -> Result<Option<$crate::RetBytes>, $crate::PError> { $rec_body },
+            )?;
+        )+
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{FunctionRegistry, PError, Runtime, RuntimeConfig, Task};
+    use pstack_nvram::PMemBuilder;
+
+    #[test]
+    fn macro_registers_and_runs() -> Result<(), PError> {
+        let mut registry = FunctionRegistry::new();
+        recoverable_functions! { registry =>
+            /// Persist the argument to the user root.
+            STORE = 11 {
+                call(ctx, args) {
+                    let v = u64::from_le_bytes(args[..8].try_into().unwrap());
+                    ctx.pmem.write_u64(ctx.user_root(), v)?;
+                    ctx.pmem.flush(ctx.user_root(), 8)?;
+                    Ok(None)
+                }
+                recover(ctx, args) {
+                    let v = u64::from_le_bytes(args[..8].try_into().unwrap());
+                    ctx.pmem.write_u64(ctx.user_root(), v)?;
+                    ctx.pmem.flush(ctx.user_root(), 8)?;
+                    Ok(None)
+                }
+            }
+            /// Calls STORE as a nested persistent call.
+            DELEGATE = 12 {
+                call(ctx, args) {
+                    ctx.call(STORE, args)
+                }
+                recover(ctx, args) {
+                    ctx.call(STORE, args)
+                }
+            }
+        }
+        assert!(registry.contains(STORE));
+        assert!(registry.contains(DELEGATE));
+
+        let pmem = PMemBuilder::new().len(1 << 20).build_in_memory();
+        let rt = Runtime::format(pmem.clone(), RuntimeConfig::new(1), &registry)?;
+        let report = rt.run_tasks(vec![Task::new(DELEGATE, 77u64.to_le_bytes().to_vec())]);
+        assert_eq!(report.completed, 1);
+        assert_eq!(pmem.read_u64(rt.user_root()?)?, 77);
+        Ok(())
+    }
+
+    #[test]
+    fn macro_duplicate_id_propagates_error() {
+        fn try_register() -> Result<(), PError> {
+            let mut registry = FunctionRegistry::new();
+            recoverable_functions! { registry =>
+                A = 5 {
+                    call(_c, _a) { Ok(None) }
+                    recover(_c, _a) { Ok(None) }
+                }
+            }
+            let _ = A;
+            recoverable_functions! { registry =>
+                B = 5 {
+                    call(_c, _a) { Ok(None) }
+                    recover(_c, _a) { Ok(None) }
+                }
+            }
+            let _ = B;
+            Ok(())
+        }
+        assert!(matches!(try_register(), Err(PError::InvalidConfig(_))));
+    }
+}

@@ -1,0 +1,274 @@
+//! Standard-mode execution: worker threads draining the task queue
+//! (§4.3, steps 3–4).
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use crate::invoke::PContext;
+use crate::runtime::queue::{Task, TaskQueue};
+use crate::runtime::Runtime;
+
+/// Outcome of one standard-mode run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunReport {
+    /// Tasks that completed (their invocation frame was pushed, the
+    /// function returned, and the frame was popped).
+    pub completed: usize,
+    /// Tasks aborted by application errors (frame unwound, effects not
+    /// rolled back).
+    pub task_errors: usize,
+    /// `true` if a crash interrupted the run: the region is now in the
+    /// crashed state and must be reopened and recovered.
+    pub crashed: bool,
+}
+
+impl Runtime {
+    /// Runs `tasks` to completion (or until a crash) on the configured
+    /// number of worker threads. Each worker opens its own persistent
+    /// stack, then repeatedly pops a task from the shared queue and
+    /// executes it as a root persistent call.
+    ///
+    /// On a crash every worker unwinds at its next NVRAM access — the
+    /// whole-system crash model of §2.2 — leaving all in-flight frames
+    /// on the per-worker stacks for [`Runtime::recover`].
+    pub fn run_tasks(&self, tasks: impl IntoIterator<Item = Task>) -> RunReport {
+        let queue = TaskQueue::new();
+        for t in tasks {
+            queue.push(t);
+        }
+        queue.close();
+        self.run_queue(&queue)
+    }
+
+    /// Like [`Runtime::run_tasks`] but draining a caller-managed queue,
+    /// so a driving thread can keep producing tasks while workers run
+    /// (the paper's main thread does exactly this). The caller must
+    /// eventually [`TaskQueue::close`] the queue.
+    pub fn run_queue(&self, queue: &TaskQueue) -> RunReport {
+        let completed = AtomicUsize::new(0);
+        let task_errors = AtomicUsize::new(0);
+        let crashed = AtomicBool::new(false);
+        let user_root = match self.user_root() {
+            Ok(r) => r,
+            Err(_) => {
+                return RunReport {
+                    completed: 0,
+                    task_errors: 0,
+                    crashed: true,
+                }
+            }
+        };
+
+        std::thread::scope(|scope| {
+            for pid in 0..self.workers() {
+                let queue = &queue;
+                let completed = &completed;
+                let task_errors = &task_errors;
+                let crashed = &crashed;
+                let body = move || {
+                    let mut stack = match self.open_stack(pid) {
+                        Ok(s) => s,
+                        Err(e) => {
+                            if e.is_crash() {
+                                crashed.store(true, Ordering::SeqCst);
+                            }
+                            return;
+                        }
+                    };
+                    while let Some(task) = queue.pop() {
+                        let mut ctx = PContext::new(
+                            self.pmem().clone(),
+                            self.heap().clone(),
+                            self.registry(),
+                            stack.as_mut(),
+                            pid,
+                            user_root,
+                        );
+                        match ctx.call(task.func_id, &task.args) {
+                            Ok(_) => {
+                                completed.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(e) if e.is_crash() => {
+                                crashed.store(true, Ordering::SeqCst);
+                                // The worker dies here, like a killed
+                                // process: frames stay for recovery.
+                                return;
+                            }
+                            Err(_) => {
+                                task_errors.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                };
+                // Persistent recursion is mirrored by host recursion,
+                // so deep workloads may need a bigger host stack (see
+                // Runtime::host_stack_size).
+                match self.host_stack() {
+                    None => {
+                        scope.spawn(body);
+                    }
+                    Some(bytes) => {
+                        std::thread::Builder::new()
+                            .name(format!("pstack-worker-{pid}"))
+                            .stack_size(bytes)
+                            .spawn_scoped(scope, body)
+                            .expect("worker thread spawns");
+                    }
+                }
+            }
+        });
+
+        RunReport {
+            completed: completed.load(Ordering::Relaxed),
+            task_errors: task_errors.load(Ordering::Relaxed),
+            crashed: crashed.load(Ordering::SeqCst),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::FunctionRegistry;
+    use crate::runtime::RuntimeConfig;
+    use crate::PError;
+    use pstack_nvram::{FailPlan, PMemBuilder};
+
+    /// Function 1: atomically (write+flush) adds its argument into the
+    /// u64 accumulator cell at `user_root + 8 * pid_slot`, guarded by a
+    /// per-task done-flag so recovery is idempotent. For these tests we
+    /// keep it simpler: each task writes to its own slot.
+    fn slot_registry() -> FunctionRegistry {
+        let mut reg = FunctionRegistry::new();
+        let body = |c: &mut PContext<'_>, args: &[u8]| {
+            let slot = u64::from_le_bytes(args[..8].try_into().unwrap());
+            let val = u64::from_le_bytes(args[8..16].try_into().unwrap());
+            let off = c.user_root() + slot * 8;
+            c.pmem.write_u64(off, val)?;
+            c.pmem.flush(off, 8)?;
+            Ok(None)
+        };
+        reg.register_pair(1, body, body).unwrap();
+        reg
+    }
+
+    #[test]
+    fn tasks_run_to_completion_across_workers() {
+        let pmem = PMemBuilder::new().len(1 << 20).build_in_memory();
+        let reg = slot_registry();
+        let rt = Runtime::format(pmem.clone(), RuntimeConfig::new(4), &reg).unwrap();
+        let tasks: Vec<Task> = (0..64u64)
+            .map(|i| {
+                let mut args = i.to_le_bytes().to_vec();
+                args.extend_from_slice(&(i + 1000).to_le_bytes());
+                Task::new(1, args)
+            })
+            .collect();
+        let report = rt.run_tasks(tasks);
+        assert_eq!(report.completed, 64);
+        assert_eq!(report.task_errors, 0);
+        assert!(!report.crashed);
+        let root = rt.user_root().unwrap();
+        for i in 0..64u64 {
+            assert_eq!(pmem.read_u64(root + i * 8).unwrap(), i + 1000);
+        }
+        // All stacks are balanced afterwards.
+        for pid in 0..4 {
+            assert_eq!(rt.open_stack(pid).unwrap().depth(), 0);
+        }
+    }
+
+    #[test]
+    fn application_errors_are_counted_not_fatal() {
+        let pmem = PMemBuilder::new().len(1 << 20).build_in_memory();
+        let mut reg = FunctionRegistry::new();
+        reg.register_pair(
+            1,
+            |_c, args| {
+                if args[0] == 1 {
+                    Err(PError::Task("odd one out".into()))
+                } else {
+                    Ok(None)
+                }
+            },
+            |_c, _| Ok(None),
+        )
+        .unwrap();
+        let rt = Runtime::format(pmem, RuntimeConfig::new(2), &reg).unwrap();
+        let tasks = vec![
+            Task::new(1, vec![0]),
+            Task::new(1, vec![1]),
+            Task::new(1, vec![0]),
+            Task::new(1, vec![1]),
+        ];
+        let report = rt.run_tasks(tasks);
+        assert_eq!(report.completed, 2);
+        assert_eq!(report.task_errors, 2);
+        assert!(!report.crashed);
+    }
+
+    #[test]
+    fn crash_stops_all_workers_and_is_reported() {
+        let pmem = PMemBuilder::new().len(1 << 20).build_in_memory();
+        let reg = slot_registry();
+        let rt = Runtime::format(pmem.clone(), RuntimeConfig::new(4), &reg).unwrap();
+        // Enough persistence events to get through part of the work.
+        pmem.arm_failpoint(FailPlan::after_events(40));
+        let tasks: Vec<Task> = (0..200u64)
+            .map(|i| {
+                let mut args = i.to_le_bytes().to_vec();
+                args.extend_from_slice(&7u64.to_le_bytes());
+                Task::new(1, args)
+            })
+            .collect();
+        let report = rt.run_tasks(tasks);
+        assert!(report.crashed);
+        assert!(report.completed < 200);
+        assert!(pmem.is_crashed());
+    }
+
+    #[test]
+    fn run_queue_supports_external_producer() {
+        let pmem = PMemBuilder::new().len(1 << 20).build_in_memory();
+        let reg = slot_registry();
+        let rt = Runtime::format(pmem, RuntimeConfig::new(2), &reg).unwrap();
+        let queue = TaskQueue::new();
+        let report = std::thread::scope(|s| {
+            let producer = s.spawn(|| {
+                for i in 0..16u64 {
+                    let mut args = i.to_le_bytes().to_vec();
+                    args.extend_from_slice(&1u64.to_le_bytes());
+                    queue.push(Task::new(1, args));
+                }
+                queue.close();
+            });
+            let report = rt.run_queue(&queue);
+            producer.join().unwrap();
+            report
+        });
+        assert_eq!(report.completed, 16);
+    }
+
+    #[test]
+    fn unknown_function_counts_as_task_error() {
+        let pmem = PMemBuilder::new().len(1 << 20).build_in_memory();
+        let reg = slot_registry();
+        let rt = Runtime::format(pmem, RuntimeConfig::new(1), &reg).unwrap();
+        let report = rt.run_tasks(vec![Task::new(999, vec![])]);
+        assert_eq!(report.task_errors, 1);
+        assert_eq!(report.completed, 0);
+    }
+
+    #[test]
+    fn user_root_is_wired_into_contexts() {
+        let pmem = PMemBuilder::new().len(1 << 20).build_in_memory();
+        let reg = slot_registry();
+        let rt = Runtime::format(pmem.clone(), RuntimeConfig::new(1), &reg).unwrap();
+        let cell = rt.heap().alloc_zeroed(64).unwrap();
+        rt.set_user_root(cell).unwrap();
+        let mut args = 0u64.to_le_bytes().to_vec();
+        args.extend_from_slice(&4242u64.to_le_bytes());
+        let report = rt.run_tasks(vec![Task::new(1, args)]);
+        assert_eq!(report.completed, 1);
+        assert_eq!(pmem.read_u64(cell).unwrap(), 4242);
+    }
+}

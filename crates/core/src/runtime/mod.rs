@@ -1,0 +1,461 @@
+//! The system architecture of §4.3: one main thread (standard mode or
+//! recovery mode), N worker threads with per-thread persistent stacks,
+//! a producer-consumer task queue, and parallel recovery.
+//!
+//! # Persistent layout
+//!
+//! ```text
+//! offset 0      superblock (64 bytes): magic, version, workers,
+//!               stack kind/capacity, stacks base, heap base/len,
+//!               user root
+//! offset 64     user scratch area (1 KiB) — default user root
+//! offset 1088   per-worker stack areas (fixed regions, or 64-byte
+//!               headers for the unbounded variants)
+//! then          the persistent heap, to the end of the region
+//! ```
+//!
+//! `Runtime::format` is the standard-mode boot of a fresh system;
+//! `Runtime::open` is the boot after a crash, and `Runtime::recover`
+//! is the recovery pass that must complete before tasks run again.
+
+mod exec;
+mod queue;
+mod recovery;
+
+pub use exec::RunReport;
+pub use queue::{Task, TaskQueue};
+pub use recovery::{RecoveryMode, RecoveryReport};
+
+use pstack_heap::PHeap;
+use pstack_nvram::{PMem, POffset};
+
+use crate::registry::FunctionRegistry;
+use crate::stack::{FixedStack, ListStack, PersistentStack, StackKind, VecStack};
+use crate::PError;
+
+const SB_MAGIC: u64 = 0x5053_5441_434B_5254; // "PSTACKRT"
+const SB_VERSION: u32 = 1;
+
+const OFF_MAGIC: u64 = 0;
+const OFF_VERSION: u64 = 8;
+const OFF_WORKERS: u64 = 12;
+const OFF_KIND: u64 = 16;
+const OFF_STACK_CAP: u64 = 24;
+const OFF_STACKS_BASE: u64 = 32;
+const OFF_HEAP_BASE: u64 = 40;
+const OFF_HEAP_LEN: u64 = 48;
+const OFF_USER_ROOT: u64 = 56;
+
+const SUPERBLOCK_LEN: u64 = 64;
+const USER_SCRATCH_LEN: u64 = 1024;
+
+/// Default per-worker stack capacity (fixed variant) or initial/default
+/// block size (unbounded variants).
+pub const DEFAULT_STACK_CAPACITY: u64 = 16 * 1024;
+
+/// Configuration for [`Runtime::format`].
+///
+/// # Example
+///
+/// ```
+/// use pstack_core::{RuntimeConfig, StackKind};
+///
+/// let cfg = RuntimeConfig::new(4)
+///     .stack_kind(StackKind::List)
+///     .stack_capacity(4096);
+/// assert_eq!(cfg.workers, 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuntimeConfig {
+    /// Number of worker threads (and persistent stacks).
+    pub workers: usize,
+    /// Stack layout for every worker.
+    pub kind: StackKind,
+    /// Capacity of each fixed stack, or initial capacity / default
+    /// block size for the unbounded variants.
+    pub capacity: u64,
+    /// Explicit heap length; defaults to all space after the stacks.
+    pub heap_len: Option<u64>,
+}
+
+impl RuntimeConfig {
+    /// Starts a configuration with `workers` workers, fixed stacks of
+    /// [`DEFAULT_STACK_CAPACITY`] and the rest of the region as heap.
+    #[must_use]
+    pub fn new(workers: usize) -> Self {
+        RuntimeConfig {
+            workers,
+            kind: StackKind::Fixed,
+            capacity: DEFAULT_STACK_CAPACITY,
+            heap_len: None,
+        }
+    }
+
+    /// Selects the stack layout.
+    #[must_use]
+    pub fn stack_kind(mut self, kind: StackKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Sets the per-worker stack capacity (see [`RuntimeConfig::capacity`]).
+    #[must_use]
+    pub fn stack_capacity(mut self, capacity: u64) -> Self {
+        self.capacity = capacity;
+        self
+    }
+
+    /// Limits the heap length instead of using all remaining space.
+    #[must_use]
+    pub fn heap_len(mut self, len: u64) -> Self {
+        self.heap_len = Some(len);
+        self
+    }
+}
+
+/// The persistent-stack runtime: formats or opens the NVRAM layout and
+/// runs tasks (standard mode) or recovery (recovery mode).
+///
+/// See the `pstack` facade crate documentation for a full example.
+#[derive(Debug, Clone)]
+pub struct Runtime {
+    pmem: PMem,
+    heap: PHeap,
+    registry: FunctionRegistry,
+    workers: usize,
+    kind: StackKind,
+    capacity: u64,
+    stacks_base: u64,
+    stack_area: u64,
+    host_stack: Option<usize>,
+}
+
+fn round64(v: u64) -> u64 {
+    (v + 63) & !63
+}
+
+impl Runtime {
+    /// Formats a fresh system over `pmem`: writes the superblock,
+    /// formats the heap and every worker stack. This is the standard-
+    /// mode initialization of §4.3 (steps 1–2).
+    ///
+    /// # Errors
+    ///
+    /// [`PError::InvalidConfig`] if the region is too small for the
+    /// requested configuration, or propagated NVRAM/heap errors.
+    pub fn format(
+        pmem: PMem,
+        cfg: RuntimeConfig,
+        registry: &FunctionRegistry,
+    ) -> Result<Self, PError> {
+        if cfg.workers == 0 {
+            return Err(PError::InvalidConfig("at least one worker is required".into()));
+        }
+        if cfg.capacity == 0 {
+            return Err(PError::InvalidConfig("stack capacity must be positive".into()));
+        }
+        let stacks_base = round64(SUPERBLOCK_LEN + USER_SCRATCH_LEN);
+        let stack_area = match cfg.kind {
+            StackKind::Fixed => round64(cfg.capacity),
+            StackKind::Vec | StackKind::List => 64,
+        };
+        let heap_base = round64(stacks_base + cfg.workers as u64 * stack_area);
+        let max_heap = (pmem.len() as u64).saturating_sub(heap_base);
+        let heap_len = cfg.heap_len.unwrap_or(max_heap);
+        if heap_len > max_heap || heap_len < 256 {
+            return Err(PError::InvalidConfig(format!(
+                "heap of {heap_len} bytes does not fit (region leaves {max_heap} after layout)"
+            )));
+        }
+
+        pmem.write_u64(POffset::new(OFF_MAGIC), SB_MAGIC)?;
+        pmem.write_u32(POffset::new(OFF_VERSION), SB_VERSION)?;
+        pmem.write_u32(POffset::new(OFF_WORKERS), cfg.workers as u32)?;
+        pmem.write_u8(POffset::new(OFF_KIND), cfg.kind.as_u8())?;
+        pmem.write_u64(POffset::new(OFF_STACK_CAP), cfg.capacity)?;
+        pmem.write_u64(POffset::new(OFF_STACKS_BASE), stacks_base)?;
+        pmem.write_u64(POffset::new(OFF_HEAP_BASE), heap_base)?;
+        pmem.write_u64(POffset::new(OFF_HEAP_LEN), heap_len)?;
+        pmem.write_u64(POffset::new(OFF_USER_ROOT), SUPERBLOCK_LEN)?;
+        pmem.flush(POffset::new(0), SUPERBLOCK_LEN as usize)?;
+
+        let heap = PHeap::format(pmem.clone(), POffset::new(heap_base), heap_len)?;
+        let rt = Runtime {
+            pmem,
+            heap,
+            registry: registry.clone(),
+            workers: cfg.workers,
+            kind: cfg.kind,
+            capacity: cfg.capacity,
+            stacks_base,
+            stack_area,
+            host_stack: None,
+        };
+        for pid in 0..rt.workers {
+            rt.format_stack(pid)?;
+        }
+        Ok(rt)
+    }
+
+    /// Opens a previously formatted system (recovery-mode boot,
+    /// steps 1–2 of §4.3's crash path). Run [`Runtime::recover`] before
+    /// submitting new tasks.
+    ///
+    /// # Errors
+    ///
+    /// [`PError::CorruptStack`] for a bad superblock, or propagated
+    /// heap/NVRAM errors.
+    pub fn open(pmem: PMem, registry: &FunctionRegistry) -> Result<Self, PError> {
+        let magic = pmem.read_u64(POffset::new(OFF_MAGIC))?;
+        if magic != SB_MAGIC {
+            return Err(PError::CorruptStack(format!(
+                "bad superblock magic {magic:#x}; was the region formatted?"
+            )));
+        }
+        let version = pmem.read_u32(POffset::new(OFF_VERSION))?;
+        if version != SB_VERSION {
+            return Err(PError::CorruptStack(format!(
+                "superblock version {version} is not supported (expected {SB_VERSION})"
+            )));
+        }
+        let workers = pmem.read_u32(POffset::new(OFF_WORKERS))? as usize;
+        let kind = StackKind::from_u8(pmem.read_u8(POffset::new(OFF_KIND))?)?;
+        let capacity = pmem.read_u64(POffset::new(OFF_STACK_CAP))?;
+        let stacks_base = pmem.read_u64(POffset::new(OFF_STACKS_BASE))?;
+        let heap_base = pmem.read_u64(POffset::new(OFF_HEAP_BASE))?;
+        let stack_area = match kind {
+            StackKind::Fixed => round64(capacity),
+            StackKind::Vec | StackKind::List => 64,
+        };
+        let heap = PHeap::open(pmem.clone(), POffset::new(heap_base))?;
+        Ok(Runtime {
+            pmem,
+            heap,
+            registry: registry.clone(),
+            workers,
+            kind,
+            capacity,
+            stacks_base,
+            stack_area,
+            host_stack: None,
+        })
+    }
+
+    fn stack_base(&self, pid: usize) -> POffset {
+        POffset::new(self.stacks_base + pid as u64 * self.stack_area)
+    }
+
+    fn format_stack(&self, pid: usize) -> Result<(), PError> {
+        let base = self.stack_base(pid);
+        match self.kind {
+            StackKind::Fixed => {
+                FixedStack::format(self.pmem.clone(), base, self.capacity)?;
+            }
+            StackKind::Vec => {
+                VecStack::format(self.pmem.clone(), self.heap.clone(), base, self.capacity)?;
+            }
+            StackKind::List => {
+                ListStack::format(self.pmem.clone(), self.heap.clone(), base, self.capacity)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Opens worker `pid`'s persistent stack, rebuilding its volatile
+    /// index from NVRAM.
+    ///
+    /// # Errors
+    ///
+    /// [`PError::InvalidConfig`] for an out-of-range `pid`, or
+    /// corruption/NVRAM errors.
+    pub fn open_stack(&self, pid: usize) -> Result<Box<dyn PersistentStack>, PError> {
+        if pid >= self.workers {
+            return Err(PError::InvalidConfig(format!(
+                "worker {pid} out of range ({} workers)",
+                self.workers
+            )));
+        }
+        let base = self.stack_base(pid);
+        Ok(match self.kind {
+            StackKind::Fixed => {
+                Box::new(FixedStack::open(self.pmem.clone(), base, self.capacity)?)
+            }
+            StackKind::Vec => Box::new(VecStack::open(
+                self.pmem.clone(),
+                self.heap.clone(),
+                base,
+            )?),
+            StackKind::List => Box::new(ListStack::open(
+                self.pmem.clone(),
+                self.heap.clone(),
+                base,
+            )?),
+        })
+    }
+
+    /// The NVRAM region this runtime lives in.
+    #[must_use]
+    pub fn pmem(&self) -> &PMem {
+        &self.pmem
+    }
+
+    /// The persistent heap.
+    #[must_use]
+    pub fn heap(&self) -> &PHeap {
+        &self.heap
+    }
+
+    /// The function registry this runtime resolves frames against.
+    #[must_use]
+    pub fn registry(&self) -> &FunctionRegistry {
+        &self.registry
+    }
+
+    /// Number of workers (and stacks).
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The stack layout in use.
+    #[must_use]
+    pub fn stack_kind(&self) -> StackKind {
+        self.kind
+    }
+
+    /// Sets the *host* (volatile) stack size for worker and recovery
+    /// threads. Persistent recursion is mirrored by host recursion —
+    /// one Rust frame per persistent frame — so deep transactional
+    /// loops (Appendix A) need more than the platform's default thread
+    /// stack even though the *persistent* stack is unbounded. Volatile
+    /// configuration: set it again after every open.
+    #[must_use]
+    pub fn host_stack_size(mut self, bytes: usize) -> Self {
+        self.host_stack = Some(bytes);
+        self
+    }
+
+    pub(crate) fn host_stack(&self) -> Option<usize> {
+        self.host_stack
+    }
+
+    /// Reads the persistent application root offset.
+    ///
+    /// # Errors
+    ///
+    /// Propagated NVRAM errors.
+    pub fn user_root(&self) -> Result<POffset, PError> {
+        Ok(POffset::new(self.pmem.read_u64(POffset::new(OFF_USER_ROOT))?))
+    }
+
+    /// Persists a new application root offset. Applications point this
+    /// at the heap cell anchoring their persistent data (offsets, not
+    /// pointers — §4.1).
+    ///
+    /// # Errors
+    ///
+    /// Propagated NVRAM errors.
+    pub fn set_user_root(&self, root: POffset) -> Result<(), PError> {
+        self.pmem.write_u64(POffset::new(OFF_USER_ROOT), root.get())?;
+        self.pmem.flush(POffset::new(OFF_USER_ROOT), 8)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pstack_nvram::PMemBuilder;
+
+    fn registry() -> FunctionRegistry {
+        let mut r = FunctionRegistry::new();
+        r.register_pair(1, |_c, _| Ok(None), |_c, _| Ok(None)).unwrap();
+        r
+    }
+
+    #[test]
+    fn format_then_open_round_trips_configuration() {
+        for kind in [StackKind::Fixed, StackKind::Vec, StackKind::List] {
+            let pmem = PMemBuilder::new().len(1 << 20).build_in_memory();
+            let reg = registry();
+            let cfg = RuntimeConfig::new(3).stack_kind(kind).stack_capacity(2048);
+            let rt = Runtime::format(pmem.clone(), cfg, &reg).unwrap();
+            assert_eq!(rt.workers(), 3);
+            assert_eq!(rt.stack_kind(), kind);
+            // Reopen as a recovery boot would.
+            pmem.crash_now(0, 1.0);
+            let pmem2 = pmem.reopen().unwrap();
+            let rt2 = Runtime::open(pmem2, &reg).unwrap();
+            assert_eq!(rt2.workers(), 3);
+            assert_eq!(rt2.stack_kind(), kind);
+            for pid in 0..3 {
+                let s = rt2.open_stack(pid).unwrap();
+                assert_eq!(s.depth(), 0);
+                s.check_consistency().unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn open_rejects_unformatted_region() {
+        let pmem = PMemBuilder::new().len(1 << 20).build_in_memory();
+        assert!(matches!(
+            Runtime::open(pmem, &registry()),
+            Err(PError::CorruptStack(_))
+        ));
+    }
+
+    #[test]
+    fn format_rejects_zero_workers() {
+        let pmem = PMemBuilder::new().len(1 << 20).build_in_memory();
+        assert!(matches!(
+            Runtime::format(pmem, RuntimeConfig::new(0), &registry()),
+            Err(PError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn format_rejects_oversized_layout() {
+        let pmem = PMemBuilder::new().len(8 * 1024).build_in_memory();
+        let cfg = RuntimeConfig::new(4).stack_capacity(64 * 1024);
+        assert!(matches!(
+            Runtime::format(pmem, cfg, &registry()),
+            Err(PError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn user_root_defaults_to_scratch_and_is_settable() {
+        let pmem = PMemBuilder::new().len(1 << 20).build_in_memory();
+        let reg = registry();
+        let rt = Runtime::format(pmem.clone(), RuntimeConfig::new(1), &reg).unwrap();
+        assert_eq!(rt.user_root().unwrap(), POffset::new(SUPERBLOCK_LEN));
+        let cell = rt.heap().alloc(64).unwrap();
+        rt.set_user_root(cell).unwrap();
+        assert_eq!(rt.user_root().unwrap(), cell);
+        // Survives a crash: it was flushed.
+        pmem.crash_now(0, 0.0);
+        let pmem2 = pmem.reopen().unwrap();
+        let rt2 = Runtime::open(pmem2, &reg).unwrap();
+        assert_eq!(rt2.user_root().unwrap(), cell);
+    }
+
+    #[test]
+    fn out_of_range_worker_is_rejected() {
+        let pmem = PMemBuilder::new().len(1 << 20).build_in_memory();
+        let rt = Runtime::format(pmem, RuntimeConfig::new(2), &registry()).unwrap();
+        assert!(rt.open_stack(2).is_err());
+    }
+
+    #[test]
+    fn worker_stacks_are_disjoint() {
+        let pmem = PMemBuilder::new().len(1 << 20).build_in_memory();
+        let reg = registry();
+        let rt = Runtime::format(pmem, RuntimeConfig::new(2), &reg).unwrap();
+        let mut s0 = rt.open_stack(0).unwrap();
+        let s1 = rt.open_stack(1).unwrap();
+        s0.push(1, b"only-on-zero").unwrap();
+        assert_eq!(s0.depth(), 1);
+        assert_eq!(s1.depth(), 0);
+    }
+}

@@ -1,0 +1,160 @@
+//! The producer-consumer task queue of §4.3.
+//!
+//! The queue itself is *volatile* (as in the paper: the main thread
+//! refills it after every restart from its persistent record of
+//! outstanding work); only task *effects* are persistent.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+/// One unit of work: a registered function id plus serialized
+/// arguments, exactly what a persistent stack frame records.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Task {
+    /// Registered function id to invoke.
+    pub func_id: u64,
+    /// Serialized arguments passed to the function (and persisted in
+    /// its frame).
+    pub args: Vec<u8>,
+}
+
+impl Task {
+    /// Creates a task.
+    #[must_use]
+    pub fn new(func_id: u64, args: Vec<u8>) -> Self {
+        Task { func_id, args }
+    }
+}
+
+/// Multi-producer multi-consumer queue feeding worker threads.
+///
+/// # Example
+///
+/// ```
+/// use pstack_core::{Task, TaskQueue};
+///
+/// let q = TaskQueue::new();
+/// q.push(Task::new(1, vec![]));
+/// q.close();
+/// assert_eq!(q.pop().unwrap().func_id, 1);
+/// assert!(q.pop().is_none());
+/// ```
+#[derive(Debug)]
+pub struct TaskQueue {
+    tx: Mutex<Option<Sender<Task>>>,
+    rx: Receiver<Task>,
+    pushed: AtomicU64,
+    popped: AtomicU64,
+}
+
+impl Default for TaskQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TaskQueue {
+    /// Creates an empty open queue.
+    #[must_use]
+    pub fn new() -> Self {
+        let (tx, rx) = unbounded();
+        TaskQueue {
+            tx: Mutex::new(Some(tx)),
+            rx,
+            pushed: AtomicU64::new(0),
+            popped: AtomicU64::new(0),
+        }
+    }
+
+    /// Enqueues a task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue has been closed.
+    pub fn push(&self, task: Task) {
+        let guard = self.tx.lock();
+        let tx = guard.as_ref().expect("queue is closed");
+        tx.send(task).expect("receiver lives as long as the queue");
+        self.pushed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Closes the queue: consumers drain the remaining tasks, then
+    /// [`TaskQueue::pop`] returns `None` forever.
+    pub fn close(&self) {
+        self.tx.lock().take();
+    }
+
+    /// Blocks for the next task; `None` once the queue is closed and
+    /// drained.
+    pub fn pop(&self) -> Option<Task> {
+        match self.rx.recv() {
+            Ok(t) => {
+                self.popped.fetch_add(1, Ordering::Relaxed);
+                Some(t)
+            }
+            Err(_) => None,
+        }
+    }
+
+    /// Total tasks ever enqueued.
+    #[must_use]
+    pub fn pushed(&self) -> u64 {
+        self.pushed.load(Ordering::Relaxed)
+    }
+
+    /// Total tasks ever dequeued.
+    #[must_use]
+    pub fn popped(&self) -> u64 {
+        self.popped.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_within_single_consumer() {
+        let q = TaskQueue::new();
+        q.push(Task::new(1, vec![1]));
+        q.push(Task::new(2, vec![2]));
+        q.close();
+        assert_eq!(q.pop().unwrap().func_id, 1);
+        assert_eq!(q.pop().unwrap().func_id, 2);
+        assert!(q.pop().is_none());
+        assert_eq!(q.pushed(), 2);
+        assert_eq!(q.popped(), 2);
+    }
+
+    #[test]
+    fn concurrent_consumers_drain_everything() {
+        let q = TaskQueue::new();
+        for i in 0..100 {
+            q.push(Task::new(i, vec![]));
+        }
+        q.close();
+        let seen = std::sync::Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    while let Some(t) = q.pop() {
+                        seen.lock().unwrap().push(t.func_id);
+                    }
+                });
+            }
+        });
+        let mut seen = seen.into_inner().unwrap();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "queue is closed")]
+    fn push_after_close_panics() {
+        let q = TaskQueue::new();
+        q.close();
+        q.push(Task::new(1, vec![]));
+    }
+}

@@ -1,0 +1,105 @@
+//! Human-readable stack dumps for debugging and post-mortem analysis.
+//!
+//! Recovery tooling wants to *look* at a persistent stack: which
+//! functions were in flight at the crash, with what arguments, and what
+//! their children returned. [`dump_stack`] renders any
+//! [`PersistentStack`] into a compact text report.
+
+use std::fmt::Write as _;
+
+use crate::registry::DUMMY_FUNC_ID;
+use crate::stack::{PersistentStack, ReturnSlot};
+use crate::PError;
+
+/// Renders the live frames of `stack`, bottom-up, one line per frame.
+///
+/// # Errors
+///
+/// Propagates NVRAM read failures.
+///
+/// # Example
+///
+/// ```
+/// use pstack_nvram::{PMemBuilder, POffset};
+/// use pstack_core::stack::{dump_stack, FixedStack, PersistentStack};
+///
+/// # fn main() -> Result<(), pstack_core::PError> {
+/// let pmem = PMemBuilder::new().len(4096).build_in_memory();
+/// let mut s = FixedStack::format(pmem, POffset::new(0), 2048)?;
+/// s.push(7, b"abc")?;
+/// let text = dump_stack(&s)?;
+/// assert!(text.contains("func 0x7"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn dump_stack(stack: &dyn PersistentStack) -> Result<String, PError> {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} stack: {} live frame(s), {} bytes",
+        stack.kind(),
+        stack.depth(),
+        stack.used_bytes()
+    );
+    for idx in 0..stack.frame_count() {
+        let rec = stack.frame_record(idx)?;
+        let slot = match stack.ret(idx)? {
+            ReturnSlot::Empty => "ret slot: empty".to_string(),
+            ReturnSlot::Unit => "ret slot: child completed (no value)".to_string(),
+            ReturnSlot::Value(v) => {
+                format!("ret slot: child returned {:#018x}", u64::from_le_bytes(v))
+            }
+        };
+        let name = if rec.func_id == DUMMY_FUNC_ID {
+            "[dummy]".to_string()
+        } else {
+            format!("func {:#x}", rec.func_id)
+        };
+        let args_preview: String = rec
+            .args
+            .iter()
+            .take(16)
+            .map(|b| format!("{b:02x}"))
+            .collect();
+        let ellipsis = if rec.args.len() > 16 { "…" } else { "" };
+        let _ = writeln!(
+            out,
+            "  #{idx:<3} {name:<18} args[{}]={args_preview}{ellipsis}  {slot}",
+            rec.args.len()
+        );
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stack::FixedStack;
+    use pstack_nvram::{PMemBuilder, POffset};
+
+    #[test]
+    fn dump_shows_frames_and_slots() {
+        let pmem = PMemBuilder::new().len(8192).build_in_memory();
+        let mut s = FixedStack::format(pmem, POffset::new(0), 4096).unwrap();
+        s.push(0xAB, &[1, 2, 3]).unwrap();
+        s.push(0xCD, &[0u8; 40]).unwrap();
+        s.set_ret(1, ReturnSlot::Value(7u64.to_le_bytes())).unwrap();
+        let text = dump_stack(&s).unwrap();
+        assert!(text.contains("fixed stack: 2 live frame(s)"));
+        assert!(text.contains("[dummy]"));
+        assert!(text.contains("func 0xab"));
+        assert!(text.contains("func 0xcd"));
+        assert!(text.contains("args[3]=010203"));
+        assert!(text.contains("child returned"));
+        assert!(text.contains('…'), "long args are abbreviated");
+    }
+
+    #[test]
+    fn dump_of_empty_stack_mentions_dummy_only() {
+        let pmem = PMemBuilder::new().len(4096).build_in_memory();
+        let s = FixedStack::format(pmem, POffset::new(0), 2048).unwrap();
+        let text = dump_stack(&s).unwrap();
+        assert!(text.contains("0 live frame(s)"));
+        assert!(text.contains("[dummy]"));
+    }
+}

@@ -1,0 +1,301 @@
+//! Persistent stack variants (§3 and Appendix A of the paper).
+//!
+//! Three layouts implement the shared [`PersistentStack`] trait:
+//!
+//! * [`FixedStack`] — a contiguous NVRAM region of constant capacity
+//!   (§3.3), the layout the paper's body describes;
+//! * [`VecStack`] — a dynamically resizable array (Appendix A.2): one
+//!   persistent pointer to a heap block, relocated with a copy and an
+//!   atomic 8-byte pointer swing when capacity changes;
+//! * [`ListStack`] — a linked list of heap blocks (Appendix A.3) where
+//!   pointer frames (`0xB`) chain blocks together.
+//!
+//! All variants linearize a push at the `0x1 → 0x0` end-marker flip of
+//! the previous top frame, and a pop at the `0x0 → 0x1` flip of the
+//! penultimate frame — single-byte flushes that are crash-atomic.
+//!
+//! Frames are addressed by *index*: index 0 is the dummy frame that the
+//! paper introduces so that push and pop always have a predecessor
+//! frame to flip; indices `1..=depth` are live invocation frames.
+
+mod dump;
+mod fixed;
+mod list;
+mod vec;
+
+pub use dump::dump_stack;
+pub use fixed::{FixedStack, FlushPolicy};
+pub use list::ListStack;
+pub use vec::VecStack;
+
+use pstack_nvram::{PMem, POffset};
+
+use crate::frame::{
+    FrameMeta, RET_COMPLETED_UNIT, RET_COMPLETED_VALUE, RET_EMPTY,
+};
+use crate::PError;
+
+/// Identifies a stack layout; persisted in the runtime superblock so a
+/// recovery boot opens stacks with the layout they were created with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum StackKind {
+    /// Contiguous fixed-capacity region (§3.3).
+    #[default]
+    Fixed,
+    /// Dynamically resizable array (Appendix A.2).
+    Vec,
+    /// Linked list of blocks (Appendix A.3).
+    List,
+}
+
+impl StackKind {
+    /// Encodes the kind as one byte for the superblock.
+    #[must_use]
+    pub fn as_u8(self) -> u8 {
+        match self {
+            StackKind::Fixed => 0,
+            StackKind::Vec => 1,
+            StackKind::List => 2,
+        }
+    }
+
+    /// Decodes a kind from its superblock byte.
+    ///
+    /// # Errors
+    ///
+    /// [`PError::CorruptStack`] for an unknown encoding.
+    pub fn from_u8(v: u8) -> Result<Self, PError> {
+        match v {
+            0 => Ok(StackKind::Fixed),
+            1 => Ok(StackKind::Vec),
+            2 => Ok(StackKind::List),
+            other => Err(PError::CorruptStack(format!(
+                "unknown stack kind encoding {other}"
+            ))),
+        }
+    }
+}
+
+impl std::fmt::Display for StackKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StackKind::Fixed => write!(f, "fixed"),
+            StackKind::Vec => write!(f, "vec"),
+            StackKind::List => write!(f, "list"),
+        }
+    }
+}
+
+/// A copied-out view of one frame: which function it belongs to and the
+/// serialized arguments it was invoked with. This is what recovery
+/// hands to the function's recover dual.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameRecord {
+    /// Registered id of the invoked function.
+    pub func_id: u64,
+    /// The serialized argument blob.
+    pub args: Vec<u8>,
+}
+
+/// Content of a frame's return slot (§4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReturnSlot {
+    /// No child completion recorded since the slot was last cleared.
+    #[default]
+    Empty,
+    /// The most recent child completed and returned no value.
+    Unit,
+    /// The most recent child completed and returned these 8 bytes.
+    Value([u8; 8]),
+}
+
+impl ReturnSlot {
+    /// The child-completion view: `None` if no completion is recorded.
+    #[must_use]
+    pub fn completion(self) -> Option<Option<[u8; 8]>> {
+        match self {
+            ReturnSlot::Empty => None,
+            ReturnSlot::Unit => Some(None),
+            ReturnSlot::Value(v) => Some(Some(v)),
+        }
+    }
+}
+
+/// The persistent program stack of one worker thread.
+///
+/// Implementations are **not** internally synchronized: the paper gives
+/// each thread its own stack, and the runtime upholds that. (They are
+/// `Send`, so a recovery thread may adopt another thread's stack.)
+pub trait PersistentStack: Send {
+    /// The layout of this stack.
+    fn kind(&self) -> StackKind;
+
+    /// Pushes a frame for an invocation of `func_id` with serialized
+    /// `args`. Linearizes at the end-marker flip of the previous top
+    /// frame; a crash before that flip leaves the stack logically
+    /// unchanged (the partially written frame is invisible).
+    ///
+    /// # Errors
+    ///
+    /// [`PError::StackOverflow`] (fixed layout), heap exhaustion
+    /// (unbounded layouts), or a propagated crash.
+    fn push(&mut self, func_id: u64, args: &[u8]) -> Result<(), PError>;
+
+    /// Pops the top frame by flipping the penultimate frame's marker to
+    /// stack-end. The dummy frame cannot be popped.
+    ///
+    /// # Errors
+    ///
+    /// [`PError::StackEmpty`] if only the dummy frame remains, or a
+    /// propagated crash.
+    fn pop(&mut self) -> Result<(), PError>;
+
+    /// Number of frames including the dummy frame (always ≥ 1).
+    fn frame_count(&self) -> usize;
+
+    /// Copies out the function id and arguments of frame `index`
+    /// (0 = dummy).
+    ///
+    /// # Errors
+    ///
+    /// [`PError::CorruptStack`] if `index` is out of range.
+    fn frame_record(&self, index: usize) -> Result<FrameRecord, PError>;
+
+    /// Writes and flushes the return slot of frame `index`.
+    ///
+    /// # Errors
+    ///
+    /// Out-of-range index or a propagated crash.
+    fn set_ret(&mut self, index: usize, slot: ReturnSlot) -> Result<(), PError>;
+
+    /// Reads the return slot of frame `index`.
+    ///
+    /// # Errors
+    ///
+    /// Out-of-range index or a propagated crash.
+    fn ret(&self, index: usize) -> Result<ReturnSlot, PError>;
+
+    /// Re-walks the persistent bytes and verifies they describe exactly
+    /// the frames this handle believes exist.
+    ///
+    /// # Errors
+    ///
+    /// [`PError::CorruptStack`] describing the first mismatch.
+    fn check_consistency(&self) -> Result<(), PError>;
+
+    /// Persistent bytes currently occupied by live frames (diagnostic).
+    fn used_bytes(&self) -> u64;
+
+    /// Number of live invocation frames (excluding the dummy frame).
+    fn depth(&self) -> usize {
+        self.frame_count() - 1
+    }
+
+    /// Index of the top frame (the dummy frame when the stack is empty).
+    fn top_index(&self) -> usize {
+        self.frame_count() - 1
+    }
+}
+
+/// Shared implementation: write and flush a frame's return slot.
+pub(crate) fn write_ret_slot(
+    pmem: &PMem,
+    meta: &FrameMeta,
+    slot: ReturnSlot,
+) -> Result<(), PError> {
+    match slot {
+        ReturnSlot::Empty => {
+            pmem.write_u8(meta.ret_flag_off(), RET_EMPTY)?;
+            pmem.flush(meta.ret_flag_off(), 1)?;
+        }
+        ReturnSlot::Unit => {
+            pmem.write_u8(meta.ret_flag_off(), RET_COMPLETED_UNIT)?;
+            pmem.flush(meta.ret_flag_off(), 1)?;
+        }
+        ReturnSlot::Value(v) => {
+            // Value first, then the flag: if the crash splits the two
+            // writes the flag still says "empty" and recovery re-runs
+            // the child rather than trusting a torn value.
+            pmem.write(meta.ret_val_off(), &v)?;
+            pmem.flush(meta.ret_val_off(), 8)?;
+            pmem.write_u8(meta.ret_flag_off(), RET_COMPLETED_VALUE)?;
+            pmem.flush(meta.ret_flag_off(), 1)?;
+        }
+    }
+    Ok(())
+}
+
+/// Shared implementation: read a frame's return slot.
+pub(crate) fn read_ret_slot(pmem: &PMem, meta: &FrameMeta) -> Result<ReturnSlot, PError> {
+    let flag = pmem.read_u8(meta.ret_flag_off())?;
+    match flag {
+        RET_EMPTY => Ok(ReturnSlot::Empty),
+        RET_COMPLETED_UNIT => Ok(ReturnSlot::Unit),
+        RET_COMPLETED_VALUE => {
+            let mut v = [0u8; 8];
+            pmem.read(meta.ret_val_off(), &mut v)?;
+            Ok(ReturnSlot::Value(v))
+        }
+        other => Err(PError::CorruptStack(format!(
+            "invalid return-slot flag {other:#x} in frame at {}",
+            meta.start
+        ))),
+    }
+}
+
+/// Walks a contiguous run of ordinary frames starting at `start` until
+/// a stack-end marker, bounds-checked by `limit`. Used by the fixed and
+/// resizable-array layouts, and per block by the linked-list layout.
+pub(crate) fn walk_contiguous(
+    pmem: &PMem,
+    start: POffset,
+    limit: POffset,
+) -> Result<Vec<FrameMeta>, PError> {
+    let mut frames = Vec::new();
+    let mut pos = start;
+    loop {
+        match crate::frame::parse_frame(pmem, pos, limit)? {
+            crate::frame::ParsedFrame::Ordinary { meta, marker } => {
+                pos = meta.end();
+                frames.push(meta);
+                if marker == crate::frame::MARKER_STACK_END {
+                    return Ok(frames);
+                }
+            }
+            crate::frame::ParsedFrame::Pointer { start, .. } => {
+                return Err(PError::CorruptStack(format!(
+                    "unexpected pointer frame at {start} in a contiguous stack"
+                )));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stack_kind_round_trips() {
+        for k in [StackKind::Fixed, StackKind::Vec, StackKind::List] {
+            assert_eq!(StackKind::from_u8(k.as_u8()).unwrap(), k);
+            assert!(!k.to_string().is_empty());
+        }
+        assert!(StackKind::from_u8(99).is_err());
+    }
+
+    #[test]
+    fn return_slot_completion_view() {
+        assert_eq!(ReturnSlot::Empty.completion(), None);
+        assert_eq!(ReturnSlot::Unit.completion(), Some(None));
+        assert_eq!(
+            ReturnSlot::Value([1; 8]).completion(),
+            Some(Some([1; 8]))
+        );
+    }
+
+    #[test]
+    fn default_kind_is_fixed() {
+        assert_eq!(StackKind::default(), StackKind::Fixed);
+    }
+}

@@ -1,0 +1,102 @@
+//! Error type for persistent-heap operations.
+
+use std::error::Error;
+use std::fmt;
+
+use pstack_nvram::MemError;
+
+/// Errors returned by [`PHeap`](crate::PHeap) operations.
+#[derive(Debug)]
+pub enum HeapError {
+    /// Underlying NVRAM access failed (crash, out of bounds, I/O).
+    Mem(MemError),
+    /// No free block can satisfy the request.
+    OutOfMemory {
+        /// Requested payload size in bytes.
+        requested: usize,
+    },
+    /// `free` was called with an offset that is not a live allocation.
+    InvalidFree {
+        /// The offending payload offset.
+        offset: u64,
+        /// Human-readable diagnosis.
+        reason: &'static str,
+    },
+    /// The persistent metadata failed validation.
+    Corrupt(String),
+    /// Bad construction parameters.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for HeapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HeapError::Mem(e) => write!(f, "nvram access failed: {e}"),
+            HeapError::OutOfMemory { requested } => {
+                write!(f, "no free block can hold {requested} bytes")
+            }
+            HeapError::InvalidFree { offset, reason } => {
+                write!(f, "invalid free of offset {offset:#x}: {reason}")
+            }
+            HeapError::Corrupt(msg) => write!(f, "heap metadata is corrupt: {msg}"),
+            HeapError::InvalidConfig(msg) => write!(f, "invalid heap configuration: {msg}"),
+        }
+    }
+}
+
+impl Error for HeapError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            HeapError::Mem(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MemError> for HeapError {
+    fn from(e: MemError) -> Self {
+        HeapError::Mem(e)
+    }
+}
+
+impl HeapError {
+    /// Returns `true` if the error is a propagated crash, i.e. the
+    /// process should unwind to its scheduler for recovery.
+    #[must_use]
+    pub fn is_crash(&self) -> bool {
+        matches!(self, HeapError::Mem(MemError::Crashed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty() {
+        for e in [
+            HeapError::Mem(MemError::Crashed),
+            HeapError::OutOfMemory { requested: 8 },
+            HeapError::InvalidFree {
+                offset: 16,
+                reason: "double free",
+            },
+            HeapError::Corrupt("bad canary".into()),
+            HeapError::InvalidConfig("too small".into()),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn crash_detection() {
+        assert!(HeapError::Mem(MemError::Crashed).is_crash());
+        assert!(!HeapError::OutOfMemory { requested: 1 }.is_crash());
+    }
+
+    #[test]
+    fn mem_error_is_source() {
+        let e = HeapError::Mem(MemError::Crashed);
+        assert!(Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,100 @@
+//! Error type for emulated-NVRAM operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by [`PMem`](crate::PMem) operations.
+///
+/// The most important variant is [`MemError::Crashed`]: once a crash has
+/// been injected (by a fail-point or by [`PMem::crash_now`](crate::PMem::crash_now)),
+/// every subsequent access fails with it. Callers are expected to unwind
+/// to their scheduler loop, exactly as a killed process would stop
+/// executing — the runtime then reopens the region and runs recovery.
+#[derive(Debug)]
+pub enum MemError {
+    /// The region is in the crashed state; no access is possible until
+    /// the region is reopened.
+    Crashed,
+    /// An access fell outside the mapped region.
+    OutOfBounds {
+        /// Start offset of the attempted access.
+        offset: u64,
+        /// Length of the attempted access in bytes.
+        len: usize,
+        /// Total region length in bytes.
+        region_len: usize,
+    },
+    /// A zero-length region or other invalid construction parameter.
+    InvalidConfig(String),
+    /// The backing file could not be created, read or written.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::Crashed => write!(f, "region is crashed; reopen it to recover"),
+            MemError::OutOfBounds {
+                offset,
+                len,
+                region_len,
+            } => write!(
+                f,
+                "access of {len} bytes at offset {offset} exceeds region of {region_len} bytes"
+            ),
+            MemError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            MemError::Io(e) => write!(f, "backing file I/O failed: {e}"),
+        }
+    }
+}
+
+impl Error for MemError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MemError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for MemError {
+    fn from(e: std::io::Error) -> Self {
+        MemError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs: Vec<MemError> = vec![
+            MemError::Crashed,
+            MemError::OutOfBounds {
+                offset: 10,
+                len: 4,
+                region_len: 8,
+            },
+            MemError::InvalidConfig("len must be positive".into()),
+            MemError::Io(std::io::Error::other("boom")),
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn io_error_has_source() {
+        let e = MemError::Io(std::io::Error::other("boom"));
+        assert!(Error::source(&e).is_some());
+        assert!(Error::source(&MemError::Crashed).is_none());
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        assert!(!format!("{:?}", MemError::Crashed).is_empty());
+    }
+}

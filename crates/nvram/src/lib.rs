@@ -1,0 +1,59 @@
+//! Emulated NVRAM for executing and testing persistent-memory programs.
+//!
+//! This crate is the hardware substrate of the persistent-stack runtime
+//! described in *"Execution of NVRAM Programs with Persistent Stack"*
+//! (Aksenov et al., PACT 2021). It models the two properties of real
+//! NVRAM systems that the paper's protocols defend against:
+//!
+//! 1. **A volatile cache in front of persistence.** Writes land in a
+//!    volatile buffer of cache lines. Data only becomes durable when its
+//!    line is explicitly flushed — or, nondeterministically, when a line
+//!    is "evicted" before a crash. A crash discards every dirty line that
+//!    was not (explicitly or nondeterministically) persisted.
+//! 2. **Per-line atomic flush.** Flushing one cache line is atomic: after
+//!    a crash the line is either entirely persistent or entirely lost. A
+//!    flush spanning several lines can be cut in the middle by a crash.
+//!
+//! All persistent references are [`POffset`] values — offsets from the
+//! start of the region — never raw addresses, because the mapping address
+//! may change across restarts (§4.1 of the paper). The API makes this
+//! discipline impossible to violate: no raw pointers are ever exposed.
+//!
+//! Two backends are provided: a fast in-memory image for tests and
+//! benchmarks, and a file-backed image that emulates the paper's
+//! HDD-based `mmap` deployment and survives real process restarts.
+//!
+//! # Example
+//!
+//! ```
+//! use pstack_nvram::{PMem, PMemBuilder, POffset};
+//!
+//! # fn main() -> Result<(), pstack_nvram::MemError> {
+//! let pmem = PMemBuilder::new().len(4096).build_in_memory();
+//! let off = POffset::new(128);
+//! pmem.write_u64(off, 0xDEAD_BEEF)?;
+//! pmem.flush(off, 8)?;
+//! assert_eq!(pmem.read_u64(off)?, 0xDEAD_BEEF);
+//!
+//! // A crash with survival probability 0 wipes everything unflushed,
+//! // but the flushed word survives.
+//! pmem.crash_now(42, 0.0);
+//! let pmem = pmem.reopen()?;
+//! assert_eq!(pmem.read_u64(off)?, 0xDEAD_BEEF);
+//! # Ok(())
+//! # }
+//! ```
+
+mod backend;
+mod error;
+mod failpoint;
+mod offset;
+mod pmem;
+mod stats;
+
+pub use backend::BackendKind;
+pub use error::MemError;
+pub use failpoint::FailPlan;
+pub use offset::POffset;
+pub use pmem::{PMem, PMemBuilder, DEFAULT_CACHE_LINE, DEFAULT_REGION_LEN};
+pub use stats::{MemStats, StatsSnapshot};

@@ -1,0 +1,241 @@
+//! Offset-based persistent references (§4.1 of the paper).
+//!
+//! After a restart the NVRAM mapping may land at a different virtual
+//! address, so raw pointers stored in NVRAM become garbage. The paper's
+//! rule is to store *offsets from the start of the mapping* instead.
+//! [`POffset`] enforces that rule in the type system: it is the only
+//! form of persistent reference this crate understands.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// An offset into an NVRAM region, measured in bytes from the region base.
+///
+/// `POffset` is what the paper calls `ptr - MAP_ADDR`: a relocatable
+/// persistent reference. It is safe to store a `POffset` *inside* NVRAM
+/// (e.g. in a stack frame or a heap block header) because it stays valid
+/// across restarts and remappings.
+///
+/// The all-ones value is reserved as [`POffset::NULL`], mirroring how
+/// persistent data structures need a distinguishable "no reference" value.
+///
+/// # Example
+///
+/// ```
+/// use pstack_nvram::POffset;
+///
+/// let base = POffset::new(64);
+/// let field = base + 16u64;
+/// assert_eq!(field.get(), 80);
+/// assert!(POffset::NULL.is_null());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct POffset(u64);
+
+impl POffset {
+    /// The distinguished "null" offset (all bits set).
+    pub const NULL: POffset = POffset(u64::MAX);
+
+    /// Creates an offset from a raw byte count.
+    #[must_use]
+    pub const fn new(raw: u64) -> Self {
+        POffset(raw)
+    }
+
+    /// Returns the raw byte offset.
+    #[must_use]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the raw byte offset as a `usize`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the offset does not fit in `usize` (impossible on
+    /// 64-bit targets for non-null offsets within a real region).
+    #[must_use]
+    pub fn as_usize(self) -> usize {
+        usize::try_from(self.0).expect("offset exceeds usize")
+    }
+
+    /// Returns `true` if this is [`POffset::NULL`].
+    #[must_use]
+    pub const fn is_null(self) -> bool {
+        self.0 == u64::MAX
+    }
+
+    /// Returns the offset rounded up to the next multiple of `align`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is zero or not a power of two.
+    #[must_use]
+    pub fn align_up(self, align: u64) -> Self {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        POffset((self.0 + align - 1) & !(align - 1))
+    }
+
+    /// Returns `true` if the offset is a multiple of `align`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is zero or not a power of two.
+    #[must_use]
+    pub fn is_aligned(self, align: u64) -> bool {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        self.0 & (align - 1) == 0
+    }
+
+    /// Checked addition; `None` on overflow or if `self` is null.
+    #[must_use]
+    pub fn checked_add(self, rhs: u64) -> Option<Self> {
+        if self.is_null() {
+            return None;
+        }
+        self.0.checked_add(rhs).map(POffset)
+    }
+
+    /// Byte distance from `origin` to `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `origin > self`.
+    #[must_use]
+    pub fn distance_from(self, origin: POffset) -> u64 {
+        assert!(
+            origin.0 <= self.0,
+            "origin {origin} is past offset {self}"
+        );
+        self.0 - origin.0
+    }
+}
+
+impl fmt::Debug for POffset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_null() {
+            write!(f, "POffset(NULL)")
+        } else {
+            write!(f, "POffset({:#x})", self.0)
+        }
+    }
+}
+
+impl fmt::Display for POffset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_null() {
+            write!(f, "NULL")
+        } else {
+            write!(f, "+{:#x}", self.0)
+        }
+    }
+}
+
+impl From<u64> for POffset {
+    fn from(raw: u64) -> Self {
+        POffset(raw)
+    }
+}
+
+impl From<POffset> for u64 {
+    fn from(off: POffset) -> Self {
+        off.0
+    }
+}
+
+impl Add<u64> for POffset {
+    type Output = POffset;
+
+    fn add(self, rhs: u64) -> POffset {
+        debug_assert!(!self.is_null(), "arithmetic on NULL offset");
+        POffset(self.0 + rhs)
+    }
+}
+
+impl Add<usize> for POffset {
+    type Output = POffset;
+
+    fn add(self, rhs: usize) -> POffset {
+        self + rhs as u64
+    }
+}
+
+impl AddAssign<u64> for POffset {
+    fn add_assign(&mut self, rhs: u64) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<u64> for POffset {
+    type Output = POffset;
+
+    fn sub(self, rhs: u64) -> POffset {
+        debug_assert!(!self.is_null(), "arithmetic on NULL offset");
+        POffset(self.0 - rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_round_trip() {
+        let a = POffset::new(100);
+        assert_eq!((a + 28u64).get(), 128);
+        assert_eq!((a + 28usize).get(), 128);
+        assert_eq!((a + 28u64 - 28u64), a);
+        let mut b = a;
+        b += 5;
+        assert_eq!(b.get(), 105);
+    }
+
+    #[test]
+    fn null_is_distinguished() {
+        assert!(POffset::NULL.is_null());
+        assert!(!POffset::new(0).is_null());
+        assert_eq!(POffset::NULL.checked_add(1), None);
+    }
+
+    #[test]
+    fn align_up_works() {
+        assert_eq!(POffset::new(0).align_up(8).get(), 0);
+        assert_eq!(POffset::new(1).align_up(8).get(), 8);
+        assert_eq!(POffset::new(8).align_up(8).get(), 8);
+        assert_eq!(POffset::new(63).align_up(64).get(), 64);
+        assert!(POffset::new(64).is_aligned(64));
+        assert!(!POffset::new(65).is_aligned(64));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn align_up_rejects_non_power_of_two() {
+        let _ = POffset::new(1).align_up(3);
+    }
+
+    #[test]
+    fn distance_from_measures_bytes() {
+        assert_eq!(POffset::new(128).distance_from(POffset::new(64)), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "past offset")]
+    fn distance_from_rejects_reversed_arguments() {
+        let _ = POffset::new(64).distance_from(POffset::new(128));
+    }
+
+    #[test]
+    fn display_and_debug() {
+        assert_eq!(POffset::new(0x40).to_string(), "+0x40");
+        assert_eq!(POffset::NULL.to_string(), "NULL");
+        assert_eq!(format!("{:?}", POffset::NULL), "POffset(NULL)");
+    }
+
+    #[test]
+    fn conversions() {
+        let o: POffset = 7u64.into();
+        let raw: u64 = o.into();
+        assert_eq!(raw, 7);
+        assert_eq!(o.as_usize(), 7);
+    }
+}

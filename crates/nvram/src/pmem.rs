@@ -1,0 +1,1172 @@
+//! The emulated NVRAM region.
+//!
+//! [`PMem`] models a byte-addressable persistent region fronted by a
+//! volatile cache of fixed-size lines (§1–§3 of the paper):
+//!
+//! * [`PMem::write`] stores into volatile dirty lines only;
+//! * [`PMem::flush`] makes the covering lines durable, **one line at a
+//!   time** — each line persists atomically, but a crash can land
+//!   between the lines of a multi-line flush;
+//! * a crash ([`PMem::crash_now`] or an armed [`FailPlan`]) persists an
+//!   arbitrary seeded subset of dirty lines (modelling evictions that
+//!   happened to occur before the failure) and discards the rest, after
+//!   which **every** access fails with [`MemError::Crashed`];
+//! * [`PMem::reopen`] produces a fresh handle onto the surviving
+//!   persistent image, as the recovery boot of the system would.
+//!
+//! Accesses are serialized internally with critical sections of a single
+//! read/write/flush, so concurrent threads interleave at persistence-event
+//! granularity — exactly the granularity at which a `kill` can cut a real
+//! execution between flushes.
+
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use parking_lot::FairMutex;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::backend::{Backend, BackendKind, FileBackend, MemBackend};
+use crate::failpoint::{FailPlan, FailState};
+use crate::stats::MemStats;
+use crate::{MemError, POffset};
+
+/// Default cache-line size in bytes, matching x86.
+pub const DEFAULT_CACHE_LINE: usize = 64;
+
+/// Default region length: 1 MiB.
+pub const DEFAULT_REGION_LEN: usize = 1 << 20;
+
+/// Configures and creates [`PMem`] regions.
+///
+/// # Example
+///
+/// ```
+/// use pstack_nvram::PMemBuilder;
+///
+/// let pmem = PMemBuilder::new()
+///     .len(64 * 1024)
+///     .line_size(64)
+///     .eager_flush(false)
+///     .build_in_memory();
+/// assert_eq!(pmem.len(), 64 * 1024);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PMemBuilder {
+    len: usize,
+    line_size: usize,
+    eager_flush: bool,
+    jitter: Option<Jitter>,
+    persist_delay: Option<std::time::Duration>,
+}
+
+/// Scheduling-noise configuration: after a mutating access, the calling
+/// thread occasionally pauses until other threads have made progress,
+/// modelling OS preemption and slow persistence hardware. See
+/// [`PMemBuilder::access_jitter`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Jitter {
+    prob: f64,
+    pause_events: u64,
+}
+
+impl Default for PMemBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PMemBuilder {
+    /// Starts a builder with default length, 64-byte lines and buffered
+    /// (non-eager) flushing.
+    #[must_use]
+    pub fn new() -> Self {
+        PMemBuilder {
+            len: DEFAULT_REGION_LEN,
+            line_size: DEFAULT_CACHE_LINE,
+            eager_flush: false,
+            jitter: None,
+            persist_delay: None,
+        }
+    }
+
+    /// Adds a fixed latency to every line persist, emulating the slow
+    /// persistence of the paper's HDD-backed deployment (or an SSD /
+    /// pessimistic NVRAM write). The delay is paid inside the device's
+    /// critical section, serializing persists exactly as a single
+    /// mechanical device would.
+    ///
+    /// Real kills land *mid-operation* because persists are slow; with
+    /// the default zero-latency emulation a whole workload can finish
+    /// before any wall-clock kill fires. The real-`kill` harness uses
+    /// this knob to restore the paper's timing regime.
+    #[must_use]
+    pub fn persist_delay(mut self, delay: std::time::Duration) -> Self {
+        self.persist_delay = if delay.is_zero() { None } else { Some(delay) };
+        self
+    }
+
+    /// Enables scheduling noise: after each mutating access, with
+    /// probability `prob`, the calling thread pauses until `pause_events`
+    /// further persistence events have happened (necessarily performed
+    /// by *other* threads), bounded by a 5 ms deadline so a system
+    /// where everyone pauses cannot deadlock.
+    ///
+    /// Real deployments (the paper emulates NVRAM with HDD-backed
+    /// `mmap`) have slow persists and OS preemption, so a thread can sit
+    /// arbitrarily long between two of its own accesses while others
+    /// proceed — exactly the windows crash campaigns must exercise. In
+    /// the simulator, threads otherwise interleave in near-lockstep and
+    /// those windows stay unrealistically narrow. Pausing on *event*
+    /// progress rather than wall-clock time keeps the interleaving
+    /// pressure independent of machine load. Jittered regions are
+    /// **not** deterministic; leave this off (the default) for
+    /// reproducible tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prob` is outside `[0, 1]`.
+    #[must_use]
+    pub fn access_jitter(mut self, prob: f64, pause_events: u64) -> Self {
+        assert!((0.0..=1.0).contains(&prob), "probability must be in [0, 1]");
+        self.jitter = if prob > 0.0 && pause_events > 0 {
+            Some(Jitter { prob, pause_events })
+        } else {
+            None
+        };
+        self
+    }
+
+    /// Sets the region length in bytes.
+    #[must_use]
+    pub fn len(mut self, len: usize) -> Self {
+        self.len = len;
+        self
+    }
+
+    /// Sets the cache-line size in bytes (must be a power of two).
+    ///
+    /// Small lines (e.g. 8 bytes) are useful in tests: they make "frame
+    /// does not fit in one line" scenarios (§3.4, *Flushing long frames*)
+    /// easy to trigger.
+    #[must_use]
+    pub fn line_size(mut self, line_size: usize) -> Self {
+        self.line_size = line_size;
+        self
+    }
+
+    /// When `true`, every write is immediately made durable, emulating
+    /// hardware *without* a volatile NVRAM cache. §5 of the paper uses
+    /// this mode to run the recoverable-CAS algorithm, which was designed
+    /// for cache-less NVRAM.
+    #[must_use]
+    pub fn eager_flush(mut self, eager: bool) -> Self {
+        self.eager_flush = eager;
+        self
+    }
+
+    /// Builds a region whose durable image lives only in process memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (zero length, or a line
+    /// size that is zero or not a power of two).
+    #[must_use]
+    pub fn build_in_memory(self) -> PMem {
+        self.validate().expect("invalid PMem configuration");
+        let image = vec![0u8; self.len];
+        self.assemble(image, Box::new(MemBackend))
+    }
+
+    /// Builds a region backed by a write-through file, creating and
+    /// zero-extending the file if necessary. Reopening the same path
+    /// later (even from another process) sees all persisted data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::InvalidConfig`] for invalid parameters and
+    /// [`MemError::Io`] if the file cannot be opened or read.
+    pub fn build_file(self, path: impl AsRef<Path>) -> Result<PMem, MemError> {
+        self.validate()?;
+        let mut backend = FileBackend::open(path.as_ref(), self.len)?;
+        let mut image = vec![0u8; self.len];
+        backend.load(&mut image)?;
+        Ok(self.assemble(image, Box::new(backend)))
+    }
+
+    fn validate(&self) -> Result<(), MemError> {
+        if self.len == 0 {
+            return Err(MemError::InvalidConfig("region length must be positive".into()));
+        }
+        if self.line_size == 0 || !self.line_size.is_power_of_two() {
+            return Err(MemError::InvalidConfig(
+                "line size must be a positive power of two".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    fn assemble(self, image: Vec<u8>, backend: Box<dyn Backend>) -> PMem {
+        PMem {
+            inner: Arc::new(Inner {
+                len: self.len,
+                line_size: self.line_size,
+                eager_flush: self.eager_flush,
+                jitter: self.jitter,
+                persist_delay: self.persist_delay,
+                crashed: AtomicBool::new(false),
+                stats: MemStats::default(),
+                state: FairMutex::new(State {
+                    image,
+                    dirty: HashMap::new(),
+                    backend,
+                    fail: FailState::default(),
+                }),
+            }),
+        }
+    }
+}
+
+struct State {
+    image: Vec<u8>,
+    /// Volatile cache: line index → full line content.
+    dirty: HashMap<usize, Vec<u8>>,
+    backend: Box<dyn Backend>,
+    fail: FailState,
+}
+
+struct Inner {
+    len: usize,
+    line_size: usize,
+    eager_flush: bool,
+    jitter: Option<Jitter>,
+    persist_delay: Option<std::time::Duration>,
+    crashed: AtomicBool,
+    stats: MemStats,
+    state: FairMutex<State>,
+}
+
+/// Handle to an emulated NVRAM region. Cheap to clone; all clones refer
+/// to the same region.
+///
+/// See the [crate-level documentation](crate) for the memory model and a
+/// usage example.
+#[derive(Clone)]
+pub struct PMem {
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for PMem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PMem")
+            .field("len", &self.inner.len)
+            .field("line_size", &self.inner.line_size)
+            .field("eager_flush", &self.inner.eager_flush)
+            .field("crashed", &self.inner.crashed.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl PMem {
+    /// Region length in bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.len
+    }
+
+    /// Returns `true` if the region has zero length (never happens for
+    /// regions built through [`PMemBuilder`]).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.inner.len == 0
+    }
+
+    /// Cache-line size in bytes.
+    #[must_use]
+    pub fn line_size(&self) -> usize {
+        self.inner.line_size
+    }
+
+    /// `true` if every write is immediately made durable (§5 mode).
+    #[must_use]
+    pub fn is_eager_flush(&self) -> bool {
+        self.inner.eager_flush
+    }
+
+    /// Live statistics counters for this boot of the region.
+    #[must_use]
+    pub fn stats(&self) -> &MemStats {
+        &self.inner.stats
+    }
+
+    /// `true` once a crash has been injected and until [`PMem::reopen`].
+    #[must_use]
+    pub fn is_crashed(&self) -> bool {
+        self.inner.crashed.load(Ordering::SeqCst)
+    }
+
+    /// Which durable backend the region uses.
+    #[must_use]
+    pub fn backend_kind(&self) -> BackendKind {
+        self.inner.state.lock().backend.kind()
+    }
+
+    /// Total persistence events (writes, per-line persists, CAS) since
+    /// this handle's boot. Used by crash-point enumeration.
+    #[must_use]
+    pub fn events(&self) -> u64 {
+        self.inner.state.lock().fail.events
+    }
+
+    /// Arms a crash-injection plan. The crash fires during the operation
+    /// that performs the `countdown + 1`-th next persistence event.
+    pub fn arm_failpoint(&self, plan: FailPlan) {
+        self.inner.state.lock().fail.arm(plan);
+    }
+
+    /// Removes any armed crash-injection plan.
+    pub fn disarm_failpoint(&self) {
+        self.inner.state.lock().fail.disarm();
+    }
+
+    /// Returns `true` if a crash-injection plan is armed.
+    #[must_use]
+    pub fn failpoint_armed(&self) -> bool {
+        self.inner.state.lock().fail.armed()
+    }
+
+    fn check_alive(&self) -> Result<(), MemError> {
+        if self.is_crashed() {
+            Err(MemError::Crashed)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn check_bounds(&self, off: POffset, len: usize) -> Result<(), MemError> {
+        if off.is_null() {
+            return Err(MemError::OutOfBounds {
+                offset: u64::MAX,
+                len,
+                region_len: self.inner.len,
+            });
+        }
+        let end = off.get().checked_add(len as u64);
+        match end {
+            Some(end) if end <= self.inner.len as u64 => Ok(()),
+            _ => Err(MemError::OutOfBounds {
+                offset: off.get(),
+                len,
+                region_len: self.inner.len,
+            }),
+        }
+    }
+
+    /// Registers a persistence event; crashes in place when a plan fires.
+    fn on_event(&self, st: &mut State) -> Result<(), MemError> {
+        if let Some(plan) = st.fail.on_event() {
+            self.crash_locked(st, plan.survivor_seed, plan.survival_prob);
+            return Err(MemError::Crashed);
+        }
+        Ok(())
+    }
+
+    /// Reads `buf.len()` bytes at `off`, seeing the volatile cache over
+    /// the persistent image (a running program always sees its own
+    /// writes, flushed or not).
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::Crashed`] after a crash; [`MemError::OutOfBounds`]
+    /// for accesses past the region end.
+    pub fn read(&self, off: POffset, buf: &mut [u8]) -> Result<(), MemError> {
+        self.check_alive()?;
+        self.check_bounds(off, buf.len())?;
+        let st = self.inner.state.lock();
+        self.compose_read(&st, off.as_usize(), buf);
+        MemStats::bump(&self.inner.stats.reads);
+        Ok(())
+    }
+
+    fn compose_read(&self, st: &State, start: usize, buf: &mut [u8]) {
+        buf.copy_from_slice(&st.image[start..start + buf.len()]);
+        if st.dirty.is_empty() {
+            return;
+        }
+        let line = self.inner.line_size;
+        let first_line = start / line;
+        let last_line = (start + buf.len().max(1) - 1) / line;
+        for li in first_line..=last_line {
+            if let Some(content) = st.dirty.get(&li) {
+                let line_start = li * line;
+                let copy_from = start.max(line_start);
+                let copy_to = (start + buf.len()).min(line_start + line);
+                if copy_from < copy_to {
+                    buf[copy_from - start..copy_to - start]
+                        .copy_from_slice(&content[copy_from - line_start..copy_to - line_start]);
+                }
+            }
+        }
+    }
+
+    /// Writes `data` at `off` into the volatile cache. The data is *not*
+    /// durable until the covering lines are flushed (unless the region
+    /// was built with [`PMemBuilder::eager_flush`]).
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::Crashed`] after a crash (including one injected by an
+    /// armed fail-point during this very call, in which case the write
+    /// does **not** take effect); [`MemError::OutOfBounds`] past the end.
+    pub fn write(&self, off: POffset, data: &[u8]) -> Result<(), MemError> {
+        self.check_alive()?;
+        self.check_bounds(off, data.len())?;
+        {
+            let mut st = self.inner.state.lock();
+            self.on_event(&mut st)?;
+            self.write_locked(&mut st, off.as_usize(), data);
+            MemStats::bump(&self.inner.stats.writes);
+            MemStats::add(&self.inner.stats.bytes_written, data.len() as u64);
+            if self.inner.eager_flush {
+                self.persist_range_locked(&mut st, off.as_usize(), data.len())?;
+            }
+        }
+        self.maybe_jitter();
+        Ok(())
+    }
+
+    /// With jitter configured, occasionally parks the calling thread
+    /// until other threads have advanced the global event counter — the
+    /// moral equivalent of the OS descheduling it right after a
+    /// persistence operation. Never called with the region lock held.
+    fn maybe_jitter(&self) {
+        if let Some(j) = self.inner.jitter {
+            let mut rng = rand::rng();
+            if !rng.random_bool(j.prob) {
+                return;
+            }
+            let target = self.events() + j.pause_events;
+            let deadline = std::time::Instant::now() + std::time::Duration::from_millis(5);
+            while self.events() < target
+                && !self.is_crashed()
+                && std::time::Instant::now() < deadline
+            {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    fn write_locked(&self, st: &mut State, start: usize, data: &[u8]) {
+        let line = self.inner.line_size;
+        let mut pos = 0usize;
+        while pos < data.len() {
+            let abs = start + pos;
+            let li = abs / line;
+            let line_start = li * line;
+            let within = abs - line_start;
+            let n = (line - within).min(data.len() - pos);
+            let image = &st.image;
+            let content = st
+                .dirty
+                .entry(li)
+                .or_insert_with(|| image[line_start..line_start + line].to_vec());
+            content[within..within + n].copy_from_slice(&data[pos..pos + n]);
+            pos += n;
+        }
+    }
+
+    /// Flushes the cache lines covering `[off, off + len)` to durable
+    /// storage, one line at a time. Each line persists atomically; a
+    /// crash injected mid-call persists a prefix of the lines only —
+    /// this is the partial-flush hazard of Fig. 5 in the paper.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::Crashed`], [`MemError::OutOfBounds`], or an I/O error
+    /// from the write-through backend.
+    pub fn flush(&self, off: POffset, len: usize) -> Result<(), MemError> {
+        self.check_alive()?;
+        self.check_bounds(off, len)?;
+        {
+            let mut st = self.inner.state.lock();
+            MemStats::bump(&self.inner.stats.flush_calls);
+            self.persist_range_locked(&mut st, off.as_usize(), len)?;
+        }
+        self.maybe_jitter();
+        Ok(())
+    }
+
+    fn persist_range_locked(
+        &self,
+        st: &mut State,
+        start: usize,
+        len: usize,
+    ) -> Result<(), MemError> {
+        if len == 0 {
+            return Ok(());
+        }
+        let line = self.inner.line_size;
+        let first = start / line;
+        let last = (start + len - 1) / line;
+        for li in first..=last {
+            // In eager mode the write that queued this line already
+            // counted as the persistence event; per-line events would
+            // make "between write and its own flush" crash points
+            // expressible, which cache-less hardware precludes.
+            if !self.inner.eager_flush {
+                self.on_event(st)?;
+            }
+            if let Some(content) = st.dirty.remove(&li) {
+                let line_start = li * line;
+                st.image[line_start..line_start + line].copy_from_slice(&content);
+                st.backend.persist_line(line_start, &content)?;
+                MemStats::bump(&self.inner.stats.lines_persisted);
+                if let Some(delay) = self.inner.persist_delay {
+                    // Slow device: the delay is paid with the region
+                    // locked, serializing persists like one spindle.
+                    std::thread::sleep(delay);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Writes and immediately flushes — the common "persist this value
+    /// now" idiom of the paper's protocols.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PMem::write`] and [`PMem::flush`].
+    pub fn write_persist(&self, off: POffset, data: &[u8]) -> Result<(), MemError> {
+        self.write(off, data)?;
+        self.flush(off, data.len())
+    }
+
+    /// Persistence fence. Our flushes are synchronous, so this is a
+    /// statistics-only marker corresponding to `sfence` on real hardware.
+    pub fn fence(&self) {
+        MemStats::bump(&self.inner.stats.fences);
+    }
+
+    /// Atomic compare-exchange on `expected.len()` bytes at `off`,
+    /// modelling a hardware CAS: it acts on the *cached* value and its
+    /// result still needs a flush to become durable.
+    ///
+    /// Returns `true` (and installs `new`) if the current content equals
+    /// `expected`.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::Crashed`] or [`MemError::OutOfBounds`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `expected` and `new` have different lengths.
+    pub fn compare_exchange(
+        &self,
+        off: POffset,
+        expected: &[u8],
+        new: &[u8],
+    ) -> Result<bool, MemError> {
+        assert_eq!(
+            expected.len(),
+            new.len(),
+            "compare_exchange operands must have equal lengths"
+        );
+        self.check_alive()?;
+        self.check_bounds(off, expected.len())?;
+        let mut st = self.inner.state.lock();
+        self.on_event(&mut st)?;
+        MemStats::bump(&self.inner.stats.cas_ops);
+        let mut current = vec![0u8; expected.len()];
+        self.compose_read(&st, off.as_usize(), &mut current);
+        if current != expected {
+            return Ok(false);
+        }
+        self.write_locked(&mut st, off.as_usize(), new);
+        MemStats::bump(&self.inner.stats.writes);
+        MemStats::add(&self.inner.stats.bytes_written, new.len() as u64);
+        if self.inner.eager_flush {
+            self.persist_range_locked(&mut st, off.as_usize(), new.len())?;
+        }
+        drop(st);
+        self.maybe_jitter();
+        Ok(true)
+    }
+
+    /// Injects a crash: each dirty line independently survives (is
+    /// persisted) with probability `survival_prob`, decided
+    /// deterministically from `seed`; all other dirty lines are lost.
+    /// Afterwards every access fails until [`PMem::reopen`].
+    ///
+    /// Calling this on an already-crashed region is a no-op.
+    pub fn crash_now(&self, seed: u64, survival_prob: f64) {
+        if self.is_crashed() {
+            return;
+        }
+        let mut st = self.inner.state.lock();
+        self.crash_locked(&mut st, seed, survival_prob);
+    }
+
+    fn crash_locked(&self, st: &mut State, seed: u64, survival_prob: f64) {
+        self.inner.crashed.store(true, Ordering::SeqCst);
+        st.fail.disarm();
+        MemStats::bump(&self.inner.stats.crashes);
+        let line = self.inner.line_size;
+        let mut lines: Vec<usize> = st.dirty.keys().copied().collect();
+        lines.sort_unstable();
+        for li in lines {
+            let survives = if survival_prob <= 0.0 {
+                false
+            } else if survival_prob >= 1.0 {
+                true
+            } else {
+                let mut rng = SmallRng::seed_from_u64(
+                    seed ^ (li as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
+                rng.random_bool(survival_prob)
+            };
+            let content = st.dirty.remove(&li).expect("line listed as dirty");
+            if survives {
+                let line_start = li * line;
+                st.image[line_start..line_start + line].copy_from_slice(&content);
+                // Write-through failures during a crash are ignored: the
+                // crash wins, and the image stays authoritative for the
+                // in-process reopen path.
+                let _ = st.backend.persist_line(line_start, &content);
+                MemStats::bump(&self.inner.stats.lines_persisted);
+            }
+        }
+        st.dirty.clear();
+    }
+
+    /// Reopens a crashed region, as the recovery boot of the system
+    /// would: the persistent image survives, the volatile cache is
+    /// empty, statistics start from zero, and no fail plan is armed.
+    ///
+    /// For file-backed regions the image is re-read from the file, so
+    /// the returned handle sees exactly what a new process would see.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::InvalidConfig`] if the region has not
+    /// crashed, or an I/O error when re-reading a file backend.
+    pub fn reopen(&self) -> Result<PMem, MemError> {
+        if !self.is_crashed() {
+            return Err(MemError::InvalidConfig(
+                "reopen requires a crashed region; call crash_now first".into(),
+            ));
+        }
+        let mut st = self.inner.state.lock();
+        let mut backend = std::mem::replace(&mut st.backend, Box::new(MemBackend));
+        let mut image = std::mem::take(&mut st.image);
+        if let BackendKind::File(_) = backend.kind() {
+            image = vec![0u8; self.inner.len];
+            backend.load(&mut image)?;
+        }
+        Ok(PMem {
+            inner: Arc::new(Inner {
+                len: self.inner.len,
+                line_size: self.inner.line_size,
+                eager_flush: self.inner.eager_flush,
+                jitter: self.inner.jitter,
+                persist_delay: self.inner.persist_delay,
+                crashed: AtomicBool::new(false),
+                stats: MemStats::default(),
+                state: FairMutex::new(State {
+                    image,
+                    dirty: HashMap::new(),
+                    backend,
+                    fail: FailState::default(),
+                }),
+            }),
+        })
+    }
+
+    // ---- typed helpers ------------------------------------------------
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PMem::read`].
+    pub fn read_u8(&self, off: POffset) -> Result<u8, MemError> {
+        let mut b = [0u8; 1];
+        self.read(off, &mut b)?;
+        Ok(b[0])
+    }
+
+    /// Writes one byte (volatile until flushed).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PMem::write`].
+    pub fn write_u8(&self, off: POffset, v: u8) -> Result<(), MemError> {
+        self.write(off, &[v])
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PMem::read`].
+    pub fn read_u32(&self, off: POffset) -> Result<u32, MemError> {
+        let mut b = [0u8; 4];
+        self.read(off, &mut b)?;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    /// Writes a little-endian `u32` (volatile until flushed).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PMem::write`].
+    pub fn write_u32(&self, off: POffset, v: u32) -> Result<(), MemError> {
+        self.write(off, &v.to_le_bytes())
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PMem::read`].
+    pub fn read_u64(&self, off: POffset) -> Result<u64, MemError> {
+        let mut b = [0u8; 8];
+        self.read(off, &mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Writes a little-endian `u64` (volatile until flushed).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PMem::write`].
+    pub fn write_u64(&self, off: POffset, v: u64) -> Result<(), MemError> {
+        self.write(off, &v.to_le_bytes())
+    }
+
+    /// Reads a little-endian `i64`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PMem::read`].
+    pub fn read_i64(&self, off: POffset) -> Result<i64, MemError> {
+        let mut b = [0u8; 8];
+        self.read(off, &mut b)?;
+        Ok(i64::from_le_bytes(b))
+    }
+
+    /// Writes a little-endian `i64` (volatile until flushed).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PMem::write`].
+    pub fn write_i64(&self, off: POffset, v: i64) -> Result<(), MemError> {
+        self.write(off, &v.to_le_bytes())
+    }
+
+    /// Reads `len` bytes into a freshly allocated vector.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PMem::read`].
+    pub fn read_vec(&self, off: POffset, len: usize) -> Result<Vec<u8>, MemError> {
+        let mut v = vec![0u8; len];
+        self.read(off, &mut v)?;
+        Ok(v)
+    }
+
+    /// Writes `len` copies of `byte` (volatile until flushed).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PMem::write`].
+    pub fn fill(&self, off: POffset, byte: u8, len: usize) -> Result<(), MemError> {
+        self.write(off, &vec![byte; len])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> PMem {
+        PMemBuilder::new().len(1024).line_size(64).build_in_memory()
+    }
+
+    #[test]
+    fn read_sees_unflushed_writes() {
+        let p = small();
+        p.write_u64(POffset::new(8), 77).unwrap();
+        assert_eq!(p.read_u64(POffset::new(8)).unwrap(), 77);
+    }
+
+    #[test]
+    fn unflushed_data_lost_on_crash() {
+        let p = small();
+        p.write_u64(POffset::new(8), 77).unwrap();
+        p.crash_now(0, 0.0);
+        let p = p.reopen().unwrap();
+        assert_eq!(p.read_u64(POffset::new(8)).unwrap(), 0);
+    }
+
+    #[test]
+    fn flushed_data_survives_crash() {
+        let p = small();
+        p.write_u64(POffset::new(8), 77).unwrap();
+        p.flush(POffset::new(8), 8).unwrap();
+        p.crash_now(0, 0.0);
+        let p = p.reopen().unwrap();
+        assert_eq!(p.read_u64(POffset::new(8)).unwrap(), 77);
+    }
+
+    #[test]
+    fn survivors_with_probability_one_keep_everything() {
+        let p = small();
+        p.write_u64(POffset::new(8), 77).unwrap();
+        p.write_u64(POffset::new(512), 88).unwrap();
+        p.crash_now(1, 1.0);
+        let p = p.reopen().unwrap();
+        assert_eq!(p.read_u64(POffset::new(8)).unwrap(), 77);
+        assert_eq!(p.read_u64(POffset::new(512)).unwrap(), 88);
+    }
+
+    #[test]
+    fn survivors_are_deterministic_per_seed() {
+        let outcome = |seed: u64| {
+            let p = small();
+            for i in 0..16 {
+                p.write_u64(POffset::new(i * 64), i + 1).unwrap();
+            }
+            p.crash_now(seed, 0.5);
+            let p = p.reopen().unwrap();
+            (0..16)
+                .map(|i| p.read_u64(POffset::new(i * 64)).unwrap())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(outcome(7), outcome(7));
+        // With 16 independent 50% draws, two different seeds virtually
+        // never agree on all lines *and* differ from all-lost; accept
+        // equality only if both kept everything or nothing, which the
+        // probability argument makes absurd for these seeds.
+        assert_ne!(outcome(7), outcome(8));
+    }
+
+    #[test]
+    fn whole_line_persists_or_not_atomically() {
+        // Two values inside one 64-byte line, only the line flushed once:
+        // after a survivor-less crash both are gone; after a full-survivor
+        // crash both are present. Never one without the other.
+        for (prob, expect) in [(0.0, 0u64), (1.0, 5u64)] {
+            let p = small();
+            p.write_u64(POffset::new(0), 5).unwrap();
+            p.write_u64(POffset::new(8), 5).unwrap();
+            p.crash_now(3, prob);
+            let p = p.reopen().unwrap();
+            assert_eq!(p.read_u64(POffset::new(0)).unwrap(), expect);
+            assert_eq!(p.read_u64(POffset::new(8)).unwrap(), expect);
+        }
+    }
+
+    #[test]
+    fn multi_line_flush_can_be_cut_in_the_middle() {
+        // Write 3 lines, arm a crash after the 4th event
+        // (3 writes + first persisted line), so exactly one line persists.
+        let p = small();
+        p.write(POffset::new(0), &[1u8; 64]).unwrap();
+        p.write(POffset::new(64), &[2u8; 64]).unwrap();
+        p.write(POffset::new(128), &[3u8; 64]).unwrap();
+        p.arm_failpoint(FailPlan::after_events(1));
+        let err = p.flush(POffset::new(0), 192).unwrap_err();
+        assert!(matches!(err, MemError::Crashed));
+        let p = p.reopen().unwrap();
+        assert_eq!(p.read_u8(POffset::new(0)).unwrap(), 1);
+        assert_eq!(p.read_u8(POffset::new(64)).unwrap(), 0);
+        assert_eq!(p.read_u8(POffset::new(128)).unwrap(), 0);
+    }
+
+    #[test]
+    fn failpoint_crashes_before_the_write_applies() {
+        let p = small();
+        p.write_u8(POffset::new(0), 1).unwrap();
+        p.flush(POffset::new(0), 1).unwrap();
+        p.arm_failpoint(FailPlan::after_events(0));
+        let err = p.write_u8(POffset::new(0), 2).unwrap_err();
+        assert!(matches!(err, MemError::Crashed));
+        let p = p.reopen().unwrap();
+        assert_eq!(p.read_u8(POffset::new(0)).unwrap(), 1);
+    }
+
+    #[test]
+    fn crashed_region_rejects_everything() {
+        let p = small();
+        p.crash_now(0, 0.0);
+        assert!(matches!(p.read_u8(POffset::new(0)), Err(MemError::Crashed)));
+        assert!(matches!(p.write_u8(POffset::new(0), 1), Err(MemError::Crashed)));
+        assert!(matches!(p.flush(POffset::new(0), 1), Err(MemError::Crashed)));
+        assert!(matches!(
+            p.compare_exchange(POffset::new(0), &[0], &[1]),
+            Err(MemError::Crashed)
+        ));
+    }
+
+    #[test]
+    fn reopen_requires_crash() {
+        let p = small();
+        assert!(matches!(p.reopen(), Err(MemError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn out_of_bounds_is_rejected() {
+        let p = small();
+        assert!(matches!(
+            p.read_u64(POffset::new(1020)),
+            Err(MemError::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            p.write(POffset::new(1024), &[1]),
+            Err(MemError::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            p.read(POffset::NULL, &mut [0u8; 1]),
+            Err(MemError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn compare_exchange_success_and_failure() {
+        let p = small();
+        p.write_u64(POffset::new(0), 10).unwrap();
+        let ok = p
+            .compare_exchange(
+                POffset::new(0),
+                &10u64.to_le_bytes(),
+                &20u64.to_le_bytes(),
+            )
+            .unwrap();
+        assert!(ok);
+        assert_eq!(p.read_u64(POffset::new(0)).unwrap(), 20);
+        let ok = p
+            .compare_exchange(
+                POffset::new(0),
+                &10u64.to_le_bytes(),
+                &30u64.to_le_bytes(),
+            )
+            .unwrap();
+        assert!(!ok);
+        assert_eq!(p.read_u64(POffset::new(0)).unwrap(), 20);
+    }
+
+    #[test]
+    fn cas_result_is_volatile_until_flushed() {
+        let p = small();
+        p.write_u64(POffset::new(0), 10).unwrap();
+        p.flush(POffset::new(0), 8).unwrap();
+        p.compare_exchange(POffset::new(0), &10u64.to_le_bytes(), &20u64.to_le_bytes())
+            .unwrap();
+        p.crash_now(0, 0.0);
+        let p = p.reopen().unwrap();
+        assert_eq!(p.read_u64(POffset::new(0)).unwrap(), 10);
+    }
+
+    #[test]
+    fn eager_flush_makes_writes_durable_immediately() {
+        let p = PMemBuilder::new()
+            .len(1024)
+            .eager_flush(true)
+            .build_in_memory();
+        p.write_u64(POffset::new(8), 99).unwrap();
+        p.crash_now(0, 0.0);
+        let p = p.reopen().unwrap();
+        assert_eq!(p.read_u64(POffset::new(8)).unwrap(), 99);
+    }
+
+    #[test]
+    fn eager_flush_cas_is_durable() {
+        let p = PMemBuilder::new()
+            .len(1024)
+            .eager_flush(true)
+            .build_in_memory();
+        p.write_u64(POffset::new(0), 1).unwrap();
+        p.compare_exchange(POffset::new(0), &1u64.to_le_bytes(), &2u64.to_le_bytes())
+            .unwrap();
+        p.crash_now(0, 0.0);
+        let p = p.reopen().unwrap();
+        assert_eq!(p.read_u64(POffset::new(0)).unwrap(), 2);
+    }
+
+    #[test]
+    fn stats_count_operations() {
+        let p = small();
+        let before = p.stats().snapshot();
+        p.write(POffset::new(0), &[0u8; 16]).unwrap();
+        p.flush(POffset::new(0), 16).unwrap();
+        p.read_u8(POffset::new(0)).unwrap();
+        p.fence();
+        let d = p.stats().snapshot() - before;
+        assert_eq!(d.writes, 1);
+        assert_eq!(d.bytes_written, 16);
+        assert_eq!(d.flush_calls, 1);
+        assert_eq!(d.lines_persisted, 1);
+        assert_eq!(d.reads, 1);
+        assert_eq!(d.fences, 1);
+    }
+
+    #[test]
+    fn flush_of_clean_lines_persists_nothing() {
+        let p = small();
+        p.write_u8(POffset::new(0), 1).unwrap();
+        p.flush(POffset::new(0), 1).unwrap();
+        let before = p.stats().snapshot();
+        p.flush(POffset::new(0), 1).unwrap();
+        let d = p.stats().snapshot() - before;
+        assert_eq!(d.lines_persisted, 0);
+        assert_eq!(d.flush_calls, 1);
+    }
+
+    #[test]
+    fn single_byte_flush_touches_one_line() {
+        let p = small();
+        p.write_u8(POffset::new(100), 1).unwrap();
+        let before = p.stats().snapshot();
+        p.flush(POffset::new(100), 1).unwrap();
+        let d = p.stats().snapshot() - before;
+        assert_eq!(d.lines_persisted, 1);
+    }
+
+    #[test]
+    fn write_spanning_lines_is_reassembled_on_read() {
+        let p = small();
+        let data: Vec<u8> = (0..200).map(|i| i as u8).collect();
+        p.write(POffset::new(30), &data).unwrap();
+        assert_eq!(p.read_vec(POffset::new(30), 200).unwrap(), data);
+    }
+
+    #[test]
+    fn fill_and_read_vec() {
+        let p = small();
+        p.fill(POffset::new(10), 0xAB, 50).unwrap();
+        assert_eq!(p.read_vec(POffset::new(10), 50).unwrap(), vec![0xAB; 50]);
+    }
+
+    #[test]
+    fn file_backend_survives_real_reopen_from_path() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("pstack-pmem-file-{}", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        {
+            let p = PMemBuilder::new().len(4096).build_file(&path).unwrap();
+            p.write_u64(POffset::new(128), 4242).unwrap();
+            p.flush(POffset::new(128), 8).unwrap();
+            p.write_u64(POffset::new(256), 1111).unwrap(); // never flushed
+        }
+        // A brand new handle (as a restarted process would create) sees
+        // only the flushed data.
+        let p = PMemBuilder::new().len(4096).build_file(&path).unwrap();
+        assert_eq!(p.read_u64(POffset::new(128)).unwrap(), 4242);
+        assert_eq!(p.read_u64(POffset::new(256)).unwrap(), 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn file_backend_reopen_after_crash_reloads_from_file() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("pstack-pmem-crash-{}", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let p = PMemBuilder::new().len(4096).build_file(&path).unwrap();
+        p.write_u64(POffset::new(0), 1).unwrap();
+        p.flush(POffset::new(0), 8).unwrap();
+        p.write_u64(POffset::new(64), 2).unwrap();
+        p.crash_now(0, 0.0);
+        let p = p.reopen().unwrap();
+        assert_eq!(p.read_u64(POffset::new(0)).unwrap(), 1);
+        assert_eq!(p.read_u64(POffset::new(64)).unwrap(), 0);
+        assert!(matches!(p.backend_kind(), BackendKind::File(_)));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn events_counter_advances() {
+        let p = small();
+        let e0 = p.events();
+        p.write_u8(POffset::new(0), 1).unwrap();
+        p.flush(POffset::new(0), 1).unwrap();
+        assert_eq!(p.events(), e0 + 2);
+    }
+
+    #[test]
+    fn builder_validates() {
+        assert!(PMemBuilder::new().len(0).build_file("/tmp/x").is_err());
+        assert!(PMemBuilder::new().line_size(3).build_file("/tmp/x").is_err());
+    }
+
+    #[test]
+    fn persist_delay_slows_line_persists() {
+        let fast = small();
+        let slow = PMemBuilder::new()
+            .len(1024)
+            .line_size(64)
+            .persist_delay(std::time::Duration::from_millis(4))
+            .build_in_memory();
+        for p in [&fast, &slow] {
+            p.write(POffset::new(0), &[1u8; 256]).unwrap();
+        }
+        let t = std::time::Instant::now();
+        fast.flush(POffset::new(0), 256).unwrap();
+        let fast_elapsed = t.elapsed();
+        let t = std::time::Instant::now();
+        slow.flush(POffset::new(0), 256).unwrap();
+        let slow_elapsed = t.elapsed();
+        // 4 lines × 4 ms ≥ 16 ms; the fast path is microseconds.
+        assert!(slow_elapsed >= std::time::Duration::from_millis(16));
+        assert!(slow_elapsed > fast_elapsed);
+        // The delay survives a reopen.
+        slow.crash_now(0, 0.0);
+        let slow = slow.reopen().unwrap();
+        slow.write_u8(POffset::new(0), 1).unwrap();
+        let t = std::time::Instant::now();
+        slow.flush(POffset::new(0), 1).unwrap();
+        assert!(t.elapsed() >= std::time::Duration::from_millis(4));
+    }
+
+    #[test]
+    fn zero_persist_delay_is_ignored() {
+        let p = PMemBuilder::new()
+            .len(1024)
+            .persist_delay(std::time::Duration::ZERO)
+            .build_in_memory();
+        p.write_u8(POffset::new(0), 1).unwrap();
+        p.flush(POffset::new(0), 1).unwrap();
+        assert_eq!(p.read_u8(POffset::new(0)).unwrap(), 1);
+    }
+
+    #[test]
+    fn handles_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PMem>();
+    }
+
+    #[test]
+    fn concurrent_writers_do_not_lose_lines() {
+        let p = PMemBuilder::new().len(64 * 64).build_in_memory();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let p = p.clone();
+                s.spawn(move || {
+                    for i in 0..16usize {
+                        let off = POffset::new(((t * 16 + i) * 64) as u64);
+                        p.write_u64(off, (t * 16 + i) as u64 + 1).unwrap();
+                        p.flush(off, 8).unwrap();
+                    }
+                });
+            }
+        });
+        p.crash_now(0, 0.0);
+        let p = p.reopen().unwrap();
+        for i in 0..64usize {
+            assert_eq!(p.read_u64(POffset::new((i * 64) as u64)).unwrap(), i as u64 + 1);
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Access statistics for the emulated NVRAM.
+//!
+//! The paper's design arguments are in part *flush-count* arguments:
+//! a stack push costs one frame flush plus exactly one single-byte
+//! marker flush; a pop costs one single-byte flush (§3.4). The counters
+//! here let tests and benchmarks check those claims directly
+//! (experiment E13 in DESIGN.md).
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Live atomic counters attached to a [`PMem`](crate::PMem) region.
+#[derive(Debug, Default)]
+pub struct MemStats {
+    pub(crate) reads: AtomicU64,
+    pub(crate) writes: AtomicU64,
+    pub(crate) bytes_written: AtomicU64,
+    pub(crate) flush_calls: AtomicU64,
+    pub(crate) lines_persisted: AtomicU64,
+    pub(crate) fences: AtomicU64,
+    pub(crate) cas_ops: AtomicU64,
+    pub(crate) crashes: AtomicU64,
+}
+
+impl MemStats {
+    /// Captures a point-in-time copy of all counters.
+    #[must_use]
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            flush_calls: self.flush_calls.load(Ordering::Relaxed),
+            lines_persisted: self.lines_persisted.load(Ordering::Relaxed),
+            fences: self.fences.load(Ordering::Relaxed),
+            cas_ops: self.cas_ops.load(Ordering::Relaxed),
+            crashes: self.crashes.load(Ordering::Relaxed),
+        }
+    }
+
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of [`MemStats`] counters.
+///
+/// Supports subtraction, so a test can measure the cost of a single
+/// operation:
+///
+/// ```
+/// use pstack_nvram::PMemBuilder;
+///
+/// # fn main() -> Result<(), pstack_nvram::MemError> {
+/// let pmem = PMemBuilder::new().len(1024).build_in_memory();
+/// let before = pmem.stats().snapshot();
+/// pmem.write_u8(64.into(), 1)?;
+/// pmem.flush(64.into(), 1)?;
+/// let delta = pmem.stats().snapshot() - before;
+/// assert_eq!(delta.writes, 1);
+/// assert_eq!(delta.lines_persisted, 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Number of read operations.
+    pub reads: u64,
+    /// Number of write operations (including compare-exchange attempts).
+    pub writes: u64,
+    /// Total bytes passed to write operations.
+    pub bytes_written: u64,
+    /// Number of `flush` calls.
+    pub flush_calls: u64,
+    /// Number of individual cache lines made durable.
+    pub lines_persisted: u64,
+    /// Number of persistence fences.
+    pub fences: u64,
+    /// Number of compare-exchange operations.
+    pub cas_ops: u64,
+    /// Number of injected crashes.
+    pub crashes: u64,
+}
+
+impl std::ops::Sub for StatsSnapshot {
+    type Output = StatsSnapshot;
+
+    fn sub(self, rhs: StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            reads: self.reads - rhs.reads,
+            writes: self.writes - rhs.writes,
+            bytes_written: self.bytes_written - rhs.bytes_written,
+            flush_calls: self.flush_calls - rhs.flush_calls,
+            lines_persisted: self.lines_persisted - rhs.lines_persisted,
+            fences: self.fences - rhs.fences,
+            cas_ops: self.cas_ops - rhs.cas_ops,
+            crashes: self.crashes - rhs.crashes,
+        }
+    }
+}
+
+impl fmt::Display for StatsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "reads={} writes={} bytes_written={} flush_calls={} lines_persisted={} \
+             fences={} cas_ops={} crashes={}",
+            self.reads,
+            self.writes,
+            self.bytes_written,
+            self.flush_calls,
+            self.lines_persisted,
+            self.fences,
+            self.cas_ops,
+            self.crashes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_subtraction() {
+        let stats = MemStats::default();
+        MemStats::bump(&stats.writes);
+        let a = stats.snapshot();
+        MemStats::bump(&stats.writes);
+        MemStats::add(&stats.bytes_written, 16);
+        let b = stats.snapshot();
+        let d = b - a;
+        assert_eq!(d.writes, 1);
+        assert_eq!(d.bytes_written, 16);
+        assert_eq!(d.reads, 0);
+    }
+
+    #[test]
+    fn display_lists_every_counter() {
+        let s = StatsSnapshot::default().to_string();
+        for key in [
+            "reads=",
+            "writes=",
+            "bytes_written=",
+            "flush_calls=",
+            "lines_persisted=",
+            "fences=",
+            "cas_ops=",
+            "crashes=",
+        ] {
+            assert!(s.contains(key), "missing {key} in {s}");
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Recoverable (NSRL) primitives built on the persistent-stack runtime.
+//!
+//! §5 of *"Execution of NVRAM Programs with Persistent Stack"* uses the
+//! runtime to implement and verify the **recoverable CAS** algorithm of
+//! Attiya, Ben-Baruch and Hendler (PODC'18, reference 8 of the
+//! paper). This crate provides:
+//!
+//! * [`RecoverableCas`] — the CAS algorithm with its N×N matrix `R` of
+//!   overwrite evidence, plus the paper's deliberately *buggy* variant
+//!   with the matrix removed ([`CasVariant::NoMatrix`]), which §5.2
+//!   shows produces non-serializable executions;
+//! * [`RecoverableCounter`], [`RecoverableRegister`],
+//!   [`RecoverableQueue`] and [`RecoverableTas`] — further NSRL-style
+//!   primitives (the paper's future-work direction 1), including the
+//!   queue's own injected-bug variant ([`QueueVariant::NoScan`]) for
+//!   the §5.2-style negative control;
+//! * [`TaskTable`] — the persistent table of operation descriptors and
+//!   answers that lets the §5.2 experiment re-enqueue unfinished
+//!   operations after every restart;
+//! * [`CasTaskFunction`] / [`CounterTaskFunction`] — glue registering
+//!   these operations as recoverable functions on the persistent stack.
+//!
+//! The CAS algorithm assumes NVRAM **without** a volatile cache (§5:
+//! "we should flush each written cache line immediately after the
+//! corresponding write"), so [`RecoverableCas`] insists on a region
+//! built with `eager_flush(true)`; every value it writes is placed so
+//! that it never crosses a cache-line border.
+
+mod cas;
+mod cell;
+mod counter;
+mod funcs;
+mod queue;
+mod queue_funcs;
+mod register;
+mod tas;
+mod tasks;
+
+pub use cas::{CasVariant, RecoverableCas};
+pub use cell::{TaggedValue, INIT_PID, TAGGED_LEN};
+pub use counter::RecoverableCounter;
+pub use funcs::{CasTaskFunction, CounterTaskFunction, CAS_TASK_FUNC_ID, COUNTER_TASK_FUNC_ID};
+pub use queue::{QueueSlot, QueueVariant, RecoverableQueue, NO_DEQ};
+pub use queue_funcs::{
+    QueueOpTable, QueueTaskAnswer, QueueTaskFunction, QueueTaskOp, QueueTaskResult,
+    QUEUE_TASK_FUNC_ID,
+};
+pub use register::RecoverableRegister;
+pub use tas::{RecoverableTas, NO_WINNER};
+pub use tasks::TaskTable;

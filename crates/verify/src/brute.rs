@@ -1,0 +1,111 @@
+//! Brute-force serializability for tiny histories.
+//!
+//! Tries every permutation of the operations; usable only for a handful
+//! of operations, but an ideal cross-check oracle for the polynomial
+//! checker (property tests compare the two on random small histories).
+
+use crate::history::CasHistory;
+use crate::witness::replay_witness;
+
+/// Decides serializability by exhaustive permutation search.
+///
+/// # Panics
+///
+/// Panics if the history has more than 9 operations (the search is
+/// factorial; use [`check_serializability`](crate::check_serializability)
+/// for real inputs).
+#[must_use]
+pub fn brute_force_serializable(history: &CasHistory) -> bool {
+    assert!(
+        history.ops.len() <= 9,
+        "brute force is factorial; {} ops is too many",
+        history.ops.len()
+    );
+    let mut order: Vec<usize> = (0..history.ops.len()).collect();
+    permute(history, &mut order, 0)
+}
+
+fn permute(history: &CasHistory, order: &mut Vec<usize>, k: usize) -> bool {
+    if k == order.len() {
+        return replay_witness(history, order).is_ok();
+    }
+    for i in k..order.len() {
+        order.swap(k, i);
+        if permute(history, order, k + 1) {
+            return true;
+        }
+        order.swap(k, i);
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::CasOp;
+    use crate::serializability::check_serializability;
+
+    fn op(old: i64, new: i64, success: bool) -> CasOp {
+        CasOp {
+            pid: 0,
+            old,
+            new,
+            success,
+        }
+    }
+
+    #[test]
+    fn agrees_on_simple_cases() {
+        let yes = CasHistory::new(0, 2, vec![op(1, 2, true), op(0, 1, true)]);
+        let no = CasHistory::new(0, 5, vec![op(0, 5, true), op(0, 5, true)]);
+        assert!(brute_force_serializable(&yes));
+        assert!(!brute_force_serializable(&no));
+    }
+
+    #[test]
+    #[should_panic(expected = "too many")]
+    fn too_many_ops_panics() {
+        let ops = vec![op(0, 1, true); 10];
+        let _ = brute_force_serializable(&CasHistory::new(0, 1, ops));
+    }
+
+    #[test]
+    fn cross_check_exhaustive_small_space() {
+        // Enumerate every history with values in {0,1,2}, up to 4 ops,
+        // success flags exhaustive — compare brute force with the
+        // polynomial checker. This is a miniature model check.
+        let values = [0i64, 1, 2];
+        let mut checked = 0usize;
+        // Pre-build the op universe: (old, new, success).
+        let mut universe = Vec::new();
+        for &o in &values {
+            for &n in &values {
+                universe.push(op(o, n, true));
+                universe.push(op(o, n, false));
+            }
+        }
+        // Sample the space deterministically rather than fully (it is
+        // 18^4 ≈ 105k with 4 ops): stride through it.
+        let m = universe.len();
+        for a in 0..m {
+            for b in (a % 3..m).step_by(3) {
+                for c in (b % 5..m).step_by(5) {
+                    let ops = vec![universe[a], universe[b], universe[c]];
+                    for &init in &values {
+                        for &fin in &values {
+                            let h = CasHistory::new(init, fin, ops.clone());
+                            let fast = check_serializability(&h).is_serializable();
+                            let slow = brute_force_serializable(&h);
+                            assert_eq!(
+                                fast, slow,
+                                "checkers disagree on {h:?} (fast={fast}, slow={slow})"
+                            );
+                            checked += 1;
+                        }
+                    }
+                }
+            }
+        }
+        assert!(checked > 3_000, "only {checked} cases covered");
+    }
+}

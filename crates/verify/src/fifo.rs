@@ -1,0 +1,692 @@
+//! FIFO verifier for recoverable-queue executions — the queue analogue
+//! of the §5.1 CAS serializability check.
+//!
+//! Deciding FIFO serializability of a queue history from per-operation
+//! answers alone is NP-hard in general (unlike the CAS case, where the
+//! Eulerian-path structure makes it polynomial). The recoverable queue
+//! sidesteps the search the same way §5.1 sidesteps it for CAS — by
+//! extracting a **witness** from the object itself: slots are never
+//! recycled, they fill and tombstone in strictly increasing index
+//! order, so the quiescent slot array *is* the linearization order of
+//! all enqueues and all dequeues. [`check_fifo`] validates the recorded
+//! answers against that witness in linear time:
+//!
+//! * every accepted enqueue appears in exactly one slot with its tag,
+//!   value intact; rejected (queue-full) enqueues appear in none;
+//! * every value-returning dequeue owns exactly one tombstone with its
+//!   dequeuer tag, carrying the value it reported; empty-returning
+//!   dequeues own none;
+//! * no slot or tombstone is unaccounted for (phantom effects);
+//! * tombstones form a prefix of the filled slots (FIFO discipline at
+//!   quiescence);
+//! * each process's accepted enqueues occupy slots in its program
+//!   order (per-producer FIFO).
+//!
+//! The recovery bugs the §5.2 methodology hunts for — double
+//! application after a lost answer, dropped operations — all surface as
+//! violations of these conditions: the `NoScan` queue variant leaves
+//! two slots (or two tombstones) with one tag.
+
+use std::collections::HashMap;
+
+/// The kind of a queue operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueOpKind {
+    /// `enqueue(value)`.
+    Enqueue,
+    /// `dequeue()`.
+    Dequeue,
+}
+
+/// The recorded answer of a queue operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueAnswer {
+    /// An enqueue's answer: `true` if accepted, `false` if the queue's
+    /// lifetime capacity was exhausted.
+    Accepted(bool),
+    /// A dequeue's answer: the value removed, or `None` for an empty
+    /// queue.
+    Dequeued(Option<i64>),
+}
+
+/// One operation of a queue execution, with its recorded answer.
+///
+/// Operations sharing a `pid` are in program order when they appear in
+/// ascending order in [`QueueHistory::ops`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueOp {
+    /// Executing process.
+    pub pid: u64,
+    /// The operation's unique tag (unique per `(pid, seq)` pair).
+    pub seq: u64,
+    /// Enqueue or dequeue.
+    pub kind: QueueOpKind,
+    /// The enqueued value (ignored for dequeues).
+    pub value: i64,
+    /// The recorded answer.
+    pub answer: QueueAnswer,
+}
+
+/// One touched slot of the quiescent queue, in slot (= linearization)
+/// order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotWitness {
+    /// The value the slot holds.
+    pub value: i64,
+    /// Enqueuer tag.
+    pub pid: u64,
+    /// Enqueuer sequence.
+    pub seq: u64,
+    /// `Some((pid, seq))` of the dequeuer if the slot is tombstoned.
+    pub dequeued_by: Option<(u64, u64)>,
+}
+
+/// A complete queue execution: every operation with its answer, plus
+/// the quiescent slot-array witness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueueHistory {
+    /// All operations; same-`pid` operations are in program order.
+    pub ops: Vec<QueueOp>,
+    /// The queue's touched slots in slot order.
+    pub snapshot: Vec<SlotWitness>,
+}
+
+/// Why a queue execution failed the FIFO check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FifoViolation {
+    /// An enqueue tag occupies more than one slot (double application).
+    DuplicateEnqueue {
+        /// The offending `(pid, seq)` tag.
+        tag: (u64, u64),
+    },
+    /// A dequeuer tag owns more than one tombstone (double
+    /// application).
+    DuplicateDequeue {
+        /// The offending `(pid, seq)` tag.
+        tag: (u64, u64),
+    },
+    /// An accepted enqueue appears in no slot (lost operation).
+    LostEnqueue {
+        /// The offending `(pid, seq)` tag.
+        tag: (u64, u64),
+    },
+    /// A rejected (queue-full) enqueue nevertheless occupies a slot.
+    RejectedButApplied {
+        /// The offending `(pid, seq)` tag.
+        tag: (u64, u64),
+    },
+    /// A slot's value differs from what its enqueue operation submitted.
+    EnqueueValueMismatch {
+        /// The offending `(pid, seq)` tag.
+        tag: (u64, u64),
+        /// Value recorded in the slot.
+        slot_value: i64,
+        /// Value the operation submitted.
+        op_value: i64,
+    },
+    /// A slot is occupied by a tag no operation in the history owns.
+    PhantomEnqueue {
+        /// The unaccounted `(pid, seq)` tag.
+        tag: (u64, u64),
+    },
+    /// A dequeue reported a value but owns no tombstone (lost answer
+    /// evidence).
+    LostDequeue {
+        /// The offending `(pid, seq)` tag.
+        tag: (u64, u64),
+    },
+    /// A dequeue reported "empty" yet owns a tombstone.
+    EmptyButConsumed {
+        /// The offending `(pid, seq)` tag.
+        tag: (u64, u64),
+    },
+    /// A dequeue's reported value differs from its tombstone's value.
+    DequeueValueMismatch {
+        /// The offending `(pid, seq)` tag.
+        tag: (u64, u64),
+        /// Value in the tombstoned slot.
+        slot_value: i64,
+        /// Value the operation reported.
+        reported: i64,
+    },
+    /// A tombstone is owned by a dequeuer tag no operation in the
+    /// history owns.
+    PhantomDequeue {
+        /// The unaccounted `(pid, seq)` tag.
+        tag: (u64, u64),
+    },
+    /// A filled slot precedes a tombstoned slot: the FIFO discipline
+    /// (head advances monotonically) was violated.
+    TombstonesNotPrefix {
+        /// Index of the first still-full slot.
+        full_at: usize,
+        /// Index of a later tombstoned slot.
+        tombstone_at: usize,
+    },
+    /// A producer's accepted enqueues occupy slots out of its program
+    /// order.
+    ProducerOrderViolated {
+        /// The offending producer.
+        pid: u64,
+    },
+}
+
+impl std::fmt::Display for FifoViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FifoViolation::DuplicateEnqueue { tag } => {
+                write!(f, "enqueue {tag:?} applied more than once")
+            }
+            FifoViolation::DuplicateDequeue { tag } => {
+                write!(f, "dequeue {tag:?} applied more than once")
+            }
+            FifoViolation::LostEnqueue { tag } => {
+                write!(f, "accepted enqueue {tag:?} missing from the queue")
+            }
+            FifoViolation::RejectedButApplied { tag } => {
+                write!(f, "rejected enqueue {tag:?} nevertheless occupies a slot")
+            }
+            FifoViolation::EnqueueValueMismatch {
+                tag,
+                slot_value,
+                op_value,
+            } => write!(
+                f,
+                "enqueue {tag:?} slot holds {slot_value} but the operation submitted {op_value}"
+            ),
+            FifoViolation::PhantomEnqueue { tag } => {
+                write!(f, "slot owned by unknown enqueue tag {tag:?}")
+            }
+            FifoViolation::LostDequeue { tag } => {
+                write!(f, "dequeue {tag:?} reported a value but owns no tombstone")
+            }
+            FifoViolation::EmptyButConsumed { tag } => {
+                write!(f, "dequeue {tag:?} reported empty yet owns a tombstone")
+            }
+            FifoViolation::DequeueValueMismatch {
+                tag,
+                slot_value,
+                reported,
+            } => write!(
+                f,
+                "dequeue {tag:?} reported {reported} but its tombstone holds {slot_value}"
+            ),
+            FifoViolation::PhantomDequeue { tag } => {
+                write!(f, "tombstone owned by unknown dequeuer tag {tag:?}")
+            }
+            FifoViolation::TombstonesNotPrefix {
+                full_at,
+                tombstone_at,
+            } => write!(
+                f,
+                "slot {full_at} is still full but later slot {tombstone_at} is tombstoned"
+            ),
+            FifoViolation::ProducerOrderViolated { pid } => {
+                write!(f, "producer {pid}'s enqueues occupy slots out of program order")
+            }
+        }
+    }
+}
+
+/// Verdict of the FIFO check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FifoVerdict {
+    /// The answers are consistent with the slot-order linearization.
+    Fifo,
+    /// The execution violates FIFO queue semantics.
+    NotFifo {
+        /// The first violation found.
+        violation: FifoViolation,
+    },
+}
+
+impl FifoVerdict {
+    /// `true` for [`FifoVerdict::Fifo`].
+    #[must_use]
+    pub fn is_fifo(&self) -> bool {
+        matches!(self, FifoVerdict::Fifo)
+    }
+}
+
+fn fail(violation: FifoViolation) -> FifoVerdict {
+    FifoVerdict::NotFifo { violation }
+}
+
+/// Checks a queue execution against FIFO semantics using the quiescent
+/// slot array as the linearization witness. Runs in `O(ops + slots)`.
+///
+/// See the module header of `fifo.rs` for the exact conditions.
+///
+/// # Example
+///
+/// ```
+/// use pstack_verify::{
+///     check_fifo, QueueAnswer, QueueHistory, QueueOp, QueueOpKind, SlotWitness,
+/// };
+///
+/// let history = QueueHistory {
+///     ops: vec![
+///         QueueOp {
+///             pid: 0,
+///             seq: 1,
+///             kind: QueueOpKind::Enqueue,
+///             value: 7,
+///             answer: QueueAnswer::Accepted(true),
+///         },
+///         QueueOp {
+///             pid: 1,
+///             seq: 1,
+///             kind: QueueOpKind::Dequeue,
+///             value: 0,
+///             answer: QueueAnswer::Dequeued(Some(7)),
+///         },
+///     ],
+///     snapshot: vec![SlotWitness {
+///         value: 7,
+///         pid: 0,
+///         seq: 1,
+///         dequeued_by: Some((1, 1)),
+///     }],
+/// };
+/// assert!(check_fifo(&history).is_fifo());
+/// ```
+#[must_use]
+pub fn check_fifo(history: &QueueHistory) -> FifoVerdict {
+    // Index the witness: enqueue tag → (slot index, value), dequeuer
+    // tag → (slot index, value); duplicates fail immediately.
+    let mut slot_of_enq: HashMap<(u64, u64), (usize, i64)> = HashMap::new();
+    let mut slot_of_deq: HashMap<(u64, u64), (usize, i64)> = HashMap::new();
+    let mut first_full: Option<usize> = None;
+    for (i, slot) in history.snapshot.iter().enumerate() {
+        if slot_of_enq.insert((slot.pid, slot.seq), (i, slot.value)).is_some() {
+            return fail(FifoViolation::DuplicateEnqueue {
+                tag: (slot.pid, slot.seq),
+            });
+        }
+        match slot.dequeued_by {
+            Some(tag) => {
+                if let Some(full_at) = first_full {
+                    return fail(FifoViolation::TombstonesNotPrefix {
+                        full_at,
+                        tombstone_at: i,
+                    });
+                }
+                if slot_of_deq.insert(tag, (i, slot.value)).is_some() {
+                    return fail(FifoViolation::DuplicateDequeue { tag });
+                }
+            }
+            None => {
+                first_full.get_or_insert(i);
+            }
+        }
+    }
+
+    // Check every operation's answer against the witness.
+    let mut enq_seen: HashMap<(u64, u64), ()> = HashMap::new();
+    let mut deq_seen: HashMap<(u64, u64), ()> = HashMap::new();
+    let mut producer_slots: HashMap<u64, Vec<usize>> = HashMap::new();
+    for op in &history.ops {
+        let tag = (op.pid, op.seq);
+        match (op.kind, op.answer) {
+            (QueueOpKind::Enqueue, QueueAnswer::Accepted(true)) => {
+                enq_seen.insert(tag, ());
+                match slot_of_enq.get(&tag) {
+                    None => return fail(FifoViolation::LostEnqueue { tag }),
+                    Some(&(i, slot_value)) => {
+                        if slot_value != op.value {
+                            return fail(FifoViolation::EnqueueValueMismatch {
+                                tag,
+                                slot_value,
+                                op_value: op.value,
+                            });
+                        }
+                        producer_slots.entry(op.pid).or_default().push(i);
+                    }
+                }
+            }
+            (QueueOpKind::Enqueue, QueueAnswer::Accepted(false)) => {
+                enq_seen.insert(tag, ());
+                if slot_of_enq.contains_key(&tag) {
+                    return fail(FifoViolation::RejectedButApplied { tag });
+                }
+            }
+            (QueueOpKind::Dequeue, QueueAnswer::Dequeued(Some(reported))) => {
+                deq_seen.insert(tag, ());
+                match slot_of_deq.get(&tag) {
+                    None => return fail(FifoViolation::LostDequeue { tag }),
+                    Some(&(_, slot_value)) => {
+                        if slot_value != reported {
+                            return fail(FifoViolation::DequeueValueMismatch {
+                                tag,
+                                slot_value,
+                                reported,
+                            });
+                        }
+                    }
+                }
+            }
+            (QueueOpKind::Dequeue, QueueAnswer::Dequeued(None)) => {
+                deq_seen.insert(tag, ());
+                if slot_of_deq.contains_key(&tag) {
+                    return fail(FifoViolation::EmptyButConsumed { tag });
+                }
+            }
+            // Mismatched kind/answer pairs are constructor bugs in the
+            // harness, not execution bugs; treat the enqueue/dequeue
+            // evidence check as authoritative.
+            (QueueOpKind::Enqueue, QueueAnswer::Dequeued(_))
+            | (QueueOpKind::Dequeue, QueueAnswer::Accepted(_)) => {
+                return fail(FifoViolation::PhantomEnqueue { tag });
+            }
+        }
+    }
+
+    // Phantom effects: witness entries no operation accounts for.
+    for tag in slot_of_enq.keys() {
+        if !enq_seen.contains_key(tag) {
+            return fail(FifoViolation::PhantomEnqueue { tag: *tag });
+        }
+    }
+    for tag in slot_of_deq.keys() {
+        if !deq_seen.contains_key(tag) {
+            return fail(FifoViolation::PhantomDequeue { tag: *tag });
+        }
+    }
+
+    // Per-producer FIFO: ops are in program order per pid, so the slot
+    // indexes collected above must be strictly increasing.
+    for (pid, slots) in &producer_slots {
+        if slots.windows(2).any(|w| w[0] >= w[1]) {
+            return fail(FifoViolation::ProducerOrderViolated { pid: *pid });
+        }
+    }
+
+    FifoVerdict::Fifo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn enq(pid: u64, seq: u64, value: i64, accepted: bool) -> QueueOp {
+        QueueOp {
+            pid,
+            seq,
+            kind: QueueOpKind::Enqueue,
+            value,
+            answer: QueueAnswer::Accepted(accepted),
+        }
+    }
+
+    fn deq(pid: u64, seq: u64, result: Option<i64>) -> QueueOp {
+        QueueOp {
+            pid,
+            seq,
+            kind: QueueOpKind::Dequeue,
+            value: 0,
+            answer: QueueAnswer::Dequeued(result),
+        }
+    }
+
+    fn slot(pid: u64, seq: u64, value: i64, dequeued_by: Option<(u64, u64)>) -> SlotWitness {
+        SlotWitness {
+            value,
+            pid,
+            seq,
+            dequeued_by,
+        }
+    }
+
+    #[test]
+    fn empty_history_is_fifo() {
+        let h = QueueHistory {
+            ops: vec![],
+            snapshot: vec![],
+        };
+        assert!(check_fifo(&h).is_fifo());
+    }
+
+    #[test]
+    fn simple_producer_consumer_is_fifo() {
+        let h = QueueHistory {
+            ops: vec![
+                enq(0, 1, 10, true),
+                enq(0, 2, 20, true),
+                deq(1, 1, Some(10)),
+                deq(1, 2, Some(20)),
+                deq(1, 3, None),
+            ],
+            snapshot: vec![
+                slot(0, 1, 10, Some((1, 1))),
+                slot(0, 2, 20, Some((1, 2))),
+            ],
+        };
+        assert!(check_fifo(&h).is_fifo());
+    }
+
+    #[test]
+    fn duplicate_enqueue_tag_is_flagged() {
+        let h = QueueHistory {
+            ops: vec![enq(0, 1, 10, true)],
+            snapshot: vec![slot(0, 1, 10, None), slot(0, 1, 10, None)],
+        };
+        assert_eq!(
+            check_fifo(&h),
+            FifoVerdict::NotFifo {
+                violation: FifoViolation::DuplicateEnqueue { tag: (0, 1) }
+            }
+        );
+    }
+
+    #[test]
+    fn duplicate_dequeue_tag_is_flagged() {
+        let h = QueueHistory {
+            ops: vec![
+                enq(0, 1, 10, true),
+                enq(0, 2, 20, true),
+                deq(1, 1, Some(10)),
+            ],
+            snapshot: vec![
+                slot(0, 1, 10, Some((1, 1))),
+                slot(0, 2, 20, Some((1, 1))),
+            ],
+        };
+        assert_eq!(
+            check_fifo(&h),
+            FifoVerdict::NotFifo {
+                violation: FifoViolation::DuplicateDequeue { tag: (1, 1) }
+            }
+        );
+    }
+
+    #[test]
+    fn lost_enqueue_is_flagged() {
+        let h = QueueHistory {
+            ops: vec![enq(0, 1, 10, true)],
+            snapshot: vec![],
+        };
+        assert_eq!(
+            check_fifo(&h),
+            FifoVerdict::NotFifo {
+                violation: FifoViolation::LostEnqueue { tag: (0, 1) }
+            }
+        );
+    }
+
+    #[test]
+    fn rejected_but_applied_is_flagged() {
+        let h = QueueHistory {
+            ops: vec![enq(0, 1, 10, false)],
+            snapshot: vec![slot(0, 1, 10, None)],
+        };
+        assert!(matches!(
+            check_fifo(&h),
+            FifoVerdict::NotFifo {
+                violation: FifoViolation::RejectedButApplied { .. }
+            }
+        ));
+    }
+
+    #[test]
+    fn value_mismatches_are_flagged() {
+        let h = QueueHistory {
+            ops: vec![enq(0, 1, 10, true)],
+            snapshot: vec![slot(0, 1, 99, None)],
+        };
+        assert!(matches!(
+            check_fifo(&h),
+            FifoVerdict::NotFifo {
+                violation: FifoViolation::EnqueueValueMismatch { .. }
+            }
+        ));
+        let h = QueueHistory {
+            ops: vec![enq(0, 1, 10, true), deq(1, 1, Some(11))],
+            snapshot: vec![slot(0, 1, 10, Some((1, 1)))],
+        };
+        assert!(matches!(
+            check_fifo(&h),
+            FifoVerdict::NotFifo {
+                violation: FifoViolation::DequeueValueMismatch { .. }
+            }
+        ));
+    }
+
+    #[test]
+    fn phantom_effects_are_flagged() {
+        let h = QueueHistory {
+            ops: vec![],
+            snapshot: vec![slot(0, 1, 10, None)],
+        };
+        assert!(matches!(
+            check_fifo(&h),
+            FifoVerdict::NotFifo {
+                violation: FifoViolation::PhantomEnqueue { .. }
+            }
+        ));
+        let h = QueueHistory {
+            ops: vec![enq(0, 1, 10, true)],
+            snapshot: vec![slot(0, 1, 10, Some((9, 9)))],
+        };
+        assert!(matches!(
+            check_fifo(&h),
+            FifoVerdict::NotFifo {
+                violation: FifoViolation::PhantomDequeue { .. }
+            }
+        ));
+    }
+
+    #[test]
+    fn empty_answer_with_tombstone_is_flagged() {
+        let h = QueueHistory {
+            ops: vec![enq(0, 1, 10, true), deq(1, 1, None)],
+            snapshot: vec![slot(0, 1, 10, Some((1, 1)))],
+        };
+        assert!(matches!(
+            check_fifo(&h),
+            FifoVerdict::NotFifo {
+                violation: FifoViolation::EmptyButConsumed { .. }
+            }
+        ));
+    }
+
+    #[test]
+    fn lost_dequeue_answer_is_flagged() {
+        let h = QueueHistory {
+            ops: vec![enq(0, 1, 10, true), deq(1, 1, Some(10))],
+            snapshot: vec![slot(0, 1, 10, None)],
+        };
+        assert!(matches!(
+            check_fifo(&h),
+            FifoVerdict::NotFifo {
+                violation: FifoViolation::LostDequeue { .. }
+            }
+        ));
+    }
+
+    #[test]
+    fn tombstone_after_full_slot_is_flagged() {
+        let h = QueueHistory {
+            ops: vec![
+                enq(0, 1, 10, true),
+                enq(0, 2, 20, true),
+                deq(1, 1, Some(20)),
+            ],
+            snapshot: vec![slot(0, 1, 10, None), slot(0, 2, 20, Some((1, 1)))],
+        };
+        assert!(matches!(
+            check_fifo(&h),
+            FifoVerdict::NotFifo {
+                violation: FifoViolation::TombstonesNotPrefix { .. }
+            }
+        ));
+    }
+
+    #[test]
+    fn producer_order_violation_is_flagged() {
+        // Producer 0 enqueued seq 1 then seq 2, but the slots are
+        // swapped in the witness.
+        let h = QueueHistory {
+            ops: vec![enq(0, 1, 10, true), enq(0, 2, 20, true)],
+            snapshot: vec![slot(0, 2, 20, None), slot(0, 1, 10, None)],
+        };
+        assert_eq!(
+            check_fifo(&h),
+            FifoVerdict::NotFifo {
+                violation: FifoViolation::ProducerOrderViolated { pid: 0 }
+            }
+        );
+    }
+
+    #[test]
+    fn interleaved_producers_are_fifo() {
+        let h = QueueHistory {
+            ops: vec![
+                enq(0, 1, 1, true),
+                enq(0, 2, 2, true),
+                enq(1, 1, 3, true),
+                enq(1, 2, 4, true),
+                deq(2, 1, Some(1)),
+                deq(2, 2, Some(3)),
+            ],
+            snapshot: vec![
+                slot(0, 1, 1, Some((2, 1))),
+                slot(1, 1, 3, Some((2, 2))),
+                slot(0, 2, 2, None),
+                slot(1, 2, 4, None),
+            ],
+        };
+        assert!(check_fifo(&h).is_fifo());
+    }
+
+    #[test]
+    fn violations_display_nonempty() {
+        let violations = [
+            FifoViolation::DuplicateEnqueue { tag: (0, 1) },
+            FifoViolation::DuplicateDequeue { tag: (0, 1) },
+            FifoViolation::LostEnqueue { tag: (0, 1) },
+            FifoViolation::RejectedButApplied { tag: (0, 1) },
+            FifoViolation::EnqueueValueMismatch {
+                tag: (0, 1),
+                slot_value: 1,
+                op_value: 2,
+            },
+            FifoViolation::PhantomEnqueue { tag: (0, 1) },
+            FifoViolation::LostDequeue { tag: (0, 1) },
+            FifoViolation::EmptyButConsumed { tag: (0, 1) },
+            FifoViolation::DequeueValueMismatch {
+                tag: (0, 1),
+                slot_value: 1,
+                reported: 2,
+            },
+            FifoViolation::PhantomDequeue { tag: (0, 1) },
+            FifoViolation::TombstonesNotPrefix {
+                full_at: 0,
+                tombstone_at: 1,
+            },
+            FifoViolation::ProducerOrderViolated { pid: 0 },
+        ];
+        for v in violations {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Execution records handed to the verifiers.
+
+use std::fmt;
+
+/// One `CAS(old → new)` operation and its answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CasOp {
+    /// Executing process id (informational; serializability ignores it).
+    pub pid: usize,
+    /// Expected value.
+    pub old: i64,
+    /// Replacement value.
+    pub new: i64,
+    /// Whether the operation reported success.
+    pub success: bool,
+}
+
+impl fmt::Display for CasOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "p{}: CAS({} -> {}) = {}",
+            self.pid, self.old, self.new, self.success
+        )
+    }
+}
+
+/// A complete execution on one register: everything §5.1 needs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CasHistory {
+    /// Register value before any operation.
+    pub init: i64,
+    /// Register value read after all operations completed.
+    pub final_value: i64,
+    /// Every operation with its answer.
+    pub ops: Vec<CasOp>,
+}
+
+impl CasHistory {
+    /// Builds a history.
+    #[must_use]
+    pub fn new(init: i64, final_value: i64, ops: Vec<CasOp>) -> Self {
+        CasHistory {
+            init,
+            final_value,
+            ops,
+        }
+    }
+
+    /// Indices of the successful operations.
+    #[must_use]
+    pub fn successful(&self) -> Vec<usize> {
+        (0..self.ops.len()).filter(|&i| self.ops[i].success).collect()
+    }
+
+    /// Indices of the failed operations.
+    #[must_use]
+    pub fn failed(&self) -> Vec<usize> {
+        (0..self.ops.len()).filter(|&i| !self.ops[i].success).collect()
+    }
+}
+
+/// A [`CasOp`] with its real-time interval, for linearizability
+/// checking. Timestamps come from a monotonic global counter; the
+/// operation was in flight from `invoked` to `returned`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimedOp {
+    /// The operation and its answer.
+    pub op: CasOp,
+    /// Invocation timestamp.
+    pub invoked: u64,
+    /// Response timestamp (must be `> invoked`).
+    pub returned: u64,
+}
+
+/// A timed execution for the linearizability checker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimedHistory {
+    /// Register value before any operation.
+    pub init: i64,
+    /// Every operation with its interval.
+    pub ops: Vec<TimedOp>,
+}
+
+impl TimedHistory {
+    /// Builds a timed history.
+    #[must_use]
+    pub fn new(init: i64, ops: Vec<TimedOp>) -> Self {
+        TimedHistory { init, ops }
+    }
+
+    /// Drops the timing information, producing the serializability view
+    /// (the final value must be supplied: a linearizability history
+    /// does not record a terminal read).
+    #[must_use]
+    pub fn untimed(&self, final_value: i64) -> CasHistory {
+        CasHistory {
+            init: self.init,
+            final_value,
+            ops: self.ops.iter().map(|t| t.op).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn successful_and_failed_partition() {
+        let h = CasHistory::new(
+            0,
+            1,
+            vec![
+                CasOp {
+                    pid: 0,
+                    old: 0,
+                    new: 1,
+                    success: true,
+                },
+                CasOp {
+                    pid: 1,
+                    old: 5,
+                    new: 6,
+                    success: false,
+                },
+            ],
+        );
+        assert_eq!(h.successful(), vec![0]);
+        assert_eq!(h.failed(), vec![1]);
+    }
+
+    #[test]
+    fn display_mentions_operands() {
+        let op = CasOp {
+            pid: 2,
+            old: 1,
+            new: 3,
+            success: true,
+        };
+        let s = op.to_string();
+        assert!(s.contains("p2"));
+        assert!(s.contains("1 -> 3"));
+    }
+
+    #[test]
+    fn untimed_preserves_ops() {
+        let t = TimedHistory::new(
+            0,
+            vec![TimedOp {
+                op: CasOp {
+                    pid: 0,
+                    old: 0,
+                    new: 1,
+                    success: true,
+                },
+                invoked: 1,
+                returned: 2,
+            }],
+        );
+        let h = t.untimed(1);
+        assert_eq!(h.ops.len(), 1);
+        assert_eq!(h.final_value, 1);
+        assert_eq!(h.init, 0);
+    }
+}

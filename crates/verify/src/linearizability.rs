@@ -1,0 +1,260 @@
+//! Linearizability checking for small timed histories.
+//!
+//! The paper leaves open whether CAS executions can be verified for
+//! linearizability in polynomial time (future work, direction 2). As a
+//! practical extension we provide the classic Wing–Gong style decision
+//! procedure: a DFS over "which operations have linearized so far",
+//! memoized on (operation set, register value). Worst-case exponential,
+//! fine for the small histories used in tests — and it cross-validates
+//! the serializability checker, since every linearizable history is
+//! serializable.
+//!
+//! Real-time order: if `a.returned < b.invoked` then `a` must linearize
+//! before `b`. An operation may linearize next iff every *earlier-
+//! returning* unlinearized operation overlaps it.
+
+use std::collections::HashSet;
+
+use crate::history::TimedHistory;
+
+/// Result of [`check_linearizability`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinVerdict {
+    /// A legal linearization order exists (operation indices).
+    Linearizable {
+        /// Operation indices in linearization order.
+        order: Vec<usize>,
+    },
+    /// No linearization order exists.
+    NotLinearizable,
+}
+
+impl LinVerdict {
+    /// `true` for the linearizable verdict.
+    #[must_use]
+    pub fn is_linearizable(&self) -> bool {
+        matches!(self, LinVerdict::Linearizable { .. })
+    }
+}
+
+/// Decides linearizability of a timed CAS history (≤ 63 operations).
+///
+/// # Panics
+///
+/// Panics if the history has more than 63 operations (state is a
+/// bitmask) or an operation interval is inverted.
+///
+/// # Example
+///
+/// ```
+/// use pstack_verify::{check_linearizability, CasOp, TimedHistory, TimedOp};
+///
+/// let h = TimedHistory::new(0, vec![
+///     TimedOp { op: CasOp { pid: 0, old: 0, new: 1, success: true }, invoked: 1, returned: 2 },
+///     TimedOp { op: CasOp { pid: 1, old: 1, new: 2, success: true }, invoked: 3, returned: 4 },
+/// ]);
+/// assert!(check_linearizability(&h).is_linearizable());
+/// ```
+#[must_use]
+pub fn check_linearizability(history: &TimedHistory) -> LinVerdict {
+    let n = history.ops.len();
+    assert!(n <= 63, "bitmask state limits the checker to 63 operations");
+    for t in &history.ops {
+        assert!(t.invoked < t.returned, "operation interval is inverted");
+    }
+
+    let mut memo: HashSet<(u64, i64)> = HashSet::new();
+    let mut order = Vec::with_capacity(n);
+    if dfs(history, 0, history.init, &mut memo, &mut order) {
+        LinVerdict::Linearizable { order }
+    } else {
+        LinVerdict::NotLinearizable
+    }
+}
+
+fn dfs(
+    history: &TimedHistory,
+    done: u64,
+    register: i64,
+    memo: &mut HashSet<(u64, i64)>,
+    order: &mut Vec<usize>,
+) -> bool {
+    let n = history.ops.len();
+    if done == (1u64 << n) - 1 {
+        return true;
+    }
+    if !memo.insert((done, register)) {
+        return false;
+    }
+    // The earliest return among unlinearized ops bounds what may go
+    // next: an op invoked after that return would violate real time.
+    let min_ret = (0..n)
+        .filter(|i| done & (1 << i) == 0)
+        .map(|i| history.ops[i].returned)
+        .min()
+        .expect("not all done");
+    for i in 0..n {
+        if done & (1 << i) != 0 {
+            continue;
+        }
+        let t = &history.ops[i];
+        if t.invoked > min_ret {
+            continue;
+        }
+        let op = t.op;
+        let next_register = if op.success {
+            if register != op.old {
+                continue;
+            }
+            op.new
+        } else {
+            if register == op.old {
+                continue;
+            }
+            register
+        };
+        order.push(i);
+        if dfs(history, done | (1 << i), next_register, memo, order) {
+            return true;
+        }
+        order.pop();
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::{CasOp, TimedOp};
+    use crate::serializability::check_serializability;
+
+    fn timed(old: i64, new: i64, success: bool, invoked: u64, returned: u64) -> TimedOp {
+        TimedOp {
+            op: CasOp {
+                pid: 0,
+                old,
+                new,
+                success,
+            },
+            invoked,
+            returned,
+        }
+    }
+
+    #[test]
+    fn sequential_chain_linearizes() {
+        let h = TimedHistory::new(
+            0,
+            vec![timed(0, 1, true, 1, 2), timed(1, 2, true, 3, 4)],
+        );
+        match check_linearizability(&h) {
+            LinVerdict::Linearizable { order } => assert_eq!(order, vec![0, 1]),
+            other => panic!("expected linearizable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn real_time_order_is_enforced() {
+        // Op 0 (CAS 1→2) returns before op 1 (CAS 0→1) is invoked, so
+        // op 0 must linearize first — but then it cannot succeed on
+        // register 0. Serializable (reverse order), yet NOT linearizable.
+        let h = TimedHistory::new(
+            0,
+            vec![timed(1, 2, true, 1, 2), timed(0, 1, true, 5, 6)],
+        );
+        assert_eq!(check_linearizability(&h), LinVerdict::NotLinearizable);
+        assert!(check_serializability(&h.untimed(2)).is_serializable());
+    }
+
+    #[test]
+    fn overlapping_ops_may_reorder() {
+        // Same ops, but overlapping in real time: now the checker may
+        // pick the value-respecting order.
+        let h = TimedHistory::new(
+            0,
+            vec![timed(1, 2, true, 1, 10), timed(0, 1, true, 2, 9)],
+        );
+        match check_linearizability(&h) {
+            LinVerdict::Linearizable { order } => assert_eq!(order, vec![1, 0]),
+            other => panic!("expected linearizable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn failed_op_constrains_placement() {
+        // Failed CAS(0→9) entirely after the only transition away from
+        // 0 — fine. Entirely before it — impossible.
+        let ok = TimedHistory::new(
+            0,
+            vec![timed(0, 1, true, 1, 2), timed(0, 9, false, 3, 4)],
+        );
+        assert!(check_linearizability(&ok).is_linearizable());
+        let bad = TimedHistory::new(
+            0,
+            vec![timed(0, 9, false, 1, 2), timed(0, 1, true, 3, 4)],
+        );
+        assert_eq!(check_linearizability(&bad), LinVerdict::NotLinearizable);
+    }
+
+    #[test]
+    fn double_application_is_not_linearizable() {
+        let h = TimedHistory::new(
+            0,
+            vec![timed(0, 5, true, 1, 2), timed(0, 5, true, 3, 4)],
+        );
+        assert_eq!(check_linearizability(&h), LinVerdict::NotLinearizable);
+    }
+
+    #[test]
+    fn empty_history_is_linearizable() {
+        let h = TimedHistory::new(7, vec![]);
+        assert!(check_linearizability(&h).is_linearizable());
+    }
+
+    #[test]
+    fn linearizable_implies_serializable_on_samples() {
+        // A few concurrent shapes; whenever linearizable, the untimed
+        // view must be serializable with the implied final value.
+        let shapes = vec![
+            TimedHistory::new(
+                0,
+                vec![
+                    timed(0, 1, true, 1, 4),
+                    timed(1, 2, true, 2, 6),
+                    timed(9, 9, false, 3, 5),
+                ],
+            ),
+            TimedHistory::new(
+                5,
+                vec![
+                    timed(5, 5, true, 1, 3),
+                    timed(4, 1, false, 2, 4),
+                    timed(5, 0, true, 3, 7),
+                ],
+            ),
+        ];
+        for h in shapes {
+            if let LinVerdict::Linearizable { order } = check_linearizability(&h) {
+                // Compute the final value by replaying the order.
+                let mut reg = h.init;
+                for &i in &order {
+                    let op = h.ops[i].op;
+                    if op.success {
+                        reg = op.new;
+                    }
+                }
+                assert!(
+                    check_serializability(&h.untimed(reg)).is_serializable(),
+                    "linearizable but not serializable: {h:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn inverted_interval_panics() {
+        let h = TimedHistory::new(0, vec![timed(0, 1, true, 5, 2)]);
+        let _ = check_linearizability(&h);
+    }
+}

@@ -1,0 +1,503 @@
+//! The polynomial serializability checker of §5.1.
+//!
+//! Successful `CAS(a → b)` operations become edges `a → b` of a
+//! directed multigraph over register values. The execution is
+//! serializable iff:
+//!
+//! 1. the multigraph has an **Eulerian path** from the initial to the
+//!    final register value (each successful CAS is a state transition
+//!    that happened exactly once), and
+//! 2. every failed `CAS(old → ·)` can be placed at some moment when
+//!    the register held a value `≠ old` (footnote 8 of the paper).
+//!
+//! The checker returns a full serial order (witness) on success; the
+//! witness is independently replayable with
+//! [`replay_witness`](crate::replay_witness).
+
+use std::collections::HashMap;
+
+use crate::history::CasHistory;
+
+/// Why a history failed the serializability check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NonSerializableReason {
+    /// A value's in/out degree imbalance is impossible for an Eulerian
+    /// path from `init` to `final`.
+    DegreeMismatch {
+        /// The offending register value.
+        value: i64,
+        /// `out-degree − in-degree` observed for the value.
+        imbalance: i64,
+        /// The imbalance an Eulerian path would require.
+        required: i64,
+    },
+    /// The successful operations split into disconnected components, so
+    /// no single path traverses all of them.
+    Disconnected {
+        /// A value unreachable from the initial value's component.
+        example: i64,
+    },
+    /// No successful operations exist yet the final value differs from
+    /// the initial one.
+    FinalMismatch {
+        /// The expected final value.
+        expected: i64,
+        /// The reported final value.
+        reported: i64,
+    },
+    /// A failed `CAS(old → ·)` cannot be placed: the register provably
+    /// held `old` at every moment of every serialization.
+    FailedOpImpossible {
+        /// Index of the failed operation in the history.
+        index: usize,
+        /// Its expected value.
+        old: i64,
+    },
+}
+
+impl std::fmt::Display for NonSerializableReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NonSerializableReason::DegreeMismatch {
+                value,
+                imbalance,
+                required,
+            } => write!(
+                f,
+                "value {value} has out-in imbalance {imbalance}, an eulerian path requires {required}"
+            ),
+            NonSerializableReason::Disconnected { example } => write!(
+                f,
+                "successful operations around value {example} are unreachable from the initial value"
+            ),
+            NonSerializableReason::FinalMismatch { expected, reported } => write!(
+                f,
+                "final value should be {expected} but {reported} was read"
+            ),
+            NonSerializableReason::FailedOpImpossible { index, old } => write!(
+                f,
+                "failed op #{index} expects the register to differ from {old}, but it never does"
+            ),
+        }
+    }
+}
+
+/// Result of [`check_serializability`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SerialVerdict {
+    /// Serializable; `order` lists all operation indices (successful
+    /// and failed) in one legal sequential order.
+    Serializable {
+        /// Operation indices in witness order.
+        order: Vec<usize>,
+    },
+    /// Not serializable, with the first reason found.
+    NotSerializable {
+        /// Why the history cannot be serialized.
+        reason: NonSerializableReason,
+    },
+}
+
+impl SerialVerdict {
+    /// `true` for the serializable verdict.
+    #[must_use]
+    pub fn is_serializable(&self) -> bool {
+        matches!(self, SerialVerdict::Serializable { .. })
+    }
+}
+
+/// Checks a CAS history for serializability in polynomial time (§5.1).
+///
+/// # Example
+///
+/// ```
+/// use pstack_verify::{check_serializability, CasHistory, CasOp};
+///
+/// let h = CasHistory::new(0, 2, vec![
+///     CasOp { pid: 0, old: 0, new: 1, success: true },
+///     CasOp { pid: 1, old: 1, new: 2, success: true },
+///     CasOp { pid: 0, old: 9, new: 5, success: false },
+/// ]);
+/// assert!(check_serializability(&h).is_serializable());
+/// ```
+#[must_use]
+pub fn check_serializability(history: &CasHistory) -> SerialVerdict {
+    // Adjacency with per-edge operation indices, so the witness can
+    // name concrete operations.
+    let mut adj: HashMap<i64, Vec<(i64, usize)>> = HashMap::new();
+    let mut degree: HashMap<i64, i64> = HashMap::new(); // out - in
+    let mut edge_count = 0usize;
+
+    for (i, op) in history.ops.iter().enumerate() {
+        if op.success {
+            adj.entry(op.old).or_default().push((op.new, i));
+            *degree.entry(op.old).or_default() += 1;
+            *degree.entry(op.new).or_default() -= 1;
+            edge_count += 1;
+        }
+    }
+
+    if edge_count == 0 {
+        if history.final_value != history.init {
+            return SerialVerdict::NotSerializable {
+                reason: NonSerializableReason::FinalMismatch {
+                    expected: history.init,
+                    reported: history.final_value,
+                },
+            };
+        }
+    } else {
+        // Degree conditions for an Eulerian path init → final.
+        let mut required: HashMap<i64, i64> = HashMap::new();
+        if history.init != history.final_value {
+            *required.entry(history.init).or_default() += 1;
+            *required.entry(history.final_value).or_default() -= 1;
+        }
+        for (&v, &imbalance) in &degree {
+            let req = required.get(&v).copied().unwrap_or(0);
+            if imbalance != req {
+                return SerialVerdict::NotSerializable {
+                    reason: NonSerializableReason::DegreeMismatch {
+                        value: v,
+                        imbalance,
+                        required: req,
+                    },
+                };
+            }
+        }
+        for (&v, &req) in &required {
+            if req != 0 && !degree.contains_key(&v) {
+                return SerialVerdict::NotSerializable {
+                    reason: NonSerializableReason::DegreeMismatch {
+                        value: v,
+                        imbalance: 0,
+                        required: req,
+                    },
+                };
+            }
+        }
+        // Weak connectivity of all vertices that carry edges, anchored
+        // at the initial value.
+        if let Some(example) = disconnected_vertex(&adj, history.init) {
+            return SerialVerdict::NotSerializable {
+                reason: NonSerializableReason::Disconnected { example },
+            };
+        }
+    }
+
+    // Hierholzer: build the Eulerian path (sequence of edge op indices).
+    let path = eulerian_path(&adj, history.init, edge_count)
+        .expect("degree and connectivity conditions guarantee a path");
+
+    // States along the path: state[k] is the register value before the
+    // k-th successful op; state[m] is the final value.
+    let mut states = Vec::with_capacity(path.len() + 1);
+    states.push(history.init);
+    for &op_idx in &path {
+        states.push(history.ops[op_idx].new);
+    }
+    debug_assert_eq!(*states.last().expect("nonempty"), history.final_value);
+
+    // Place each failed op at the first state differing from `old`.
+    let mut placed: Vec<Vec<usize>> = vec![Vec::new(); states.len()];
+    for i in history.failed() {
+        let old = history.ops[i].old;
+        match states.iter().position(|&s| s != old) {
+            Some(k) => placed[k].push(i),
+            None => {
+                return SerialVerdict::NotSerializable {
+                    reason: NonSerializableReason::FailedOpImpossible { index: i, old },
+                }
+            }
+        }
+    }
+
+    // Interleave: failed ops assigned to state k run before the k-th
+    // successful transition.
+    let mut order = Vec::with_capacity(history.ops.len());
+    for (k, bucket) in placed.iter().enumerate() {
+        order.extend_from_slice(bucket);
+        if k < path.len() {
+            order.push(path[k]);
+        }
+    }
+    SerialVerdict::Serializable { order }
+}
+
+/// Returns a vertex with edges that the initial value cannot reach
+/// (treating edges as undirected), or `None` if everything is
+/// connected.
+fn disconnected_vertex(adj: &HashMap<i64, Vec<(i64, usize)>>, init: i64) -> Option<i64> {
+    let mut undirected: HashMap<i64, Vec<i64>> = HashMap::new();
+    for (&from, outs) in adj {
+        for &(to, _) in outs {
+            undirected.entry(from).or_default().push(to);
+            undirected.entry(to).or_default().push(from);
+        }
+    }
+    let mut visited = std::collections::HashSet::new();
+    let mut stack = vec![init];
+    while let Some(v) = stack.pop() {
+        if !visited.insert(v) {
+            continue;
+        }
+        if let Some(ns) = undirected.get(&v) {
+            for &n in ns {
+                if !visited.contains(&n) {
+                    stack.push(n);
+                }
+            }
+        }
+    }
+    undirected
+        .keys()
+        .filter(|v| !visited.contains(v))
+        .min()
+        .copied()
+}
+
+/// Hierholzer's algorithm over the op-indexed multigraph. Returns the
+/// op indices of successful operations in path order, or `None` if not
+/// all edges are reachable (callers pre-validate, so this is defensive).
+fn eulerian_path(
+    adj: &HashMap<i64, Vec<(i64, usize)>>,
+    start: i64,
+    edge_count: usize,
+) -> Option<Vec<usize>> {
+    let mut iters: HashMap<i64, usize> = HashMap::new();
+    let mut stack: Vec<(i64, Option<usize>)> = vec![(start, None)];
+    let mut out_rev = Vec::with_capacity(edge_count);
+    while let Some(&(v, via)) = stack.last() {
+        let cursor = iters.entry(v).or_insert(0);
+        match adj.get(&v).and_then(|outs| outs.get(*cursor)) {
+            Some(&(to, op_idx)) => {
+                *cursor += 1;
+                stack.push((to, Some(op_idx)));
+            }
+            None => {
+                stack.pop();
+                if let Some(op_idx) = via {
+                    out_rev.push(op_idx);
+                }
+            }
+        }
+    }
+    if out_rev.len() != edge_count {
+        return None;
+    }
+    out_rev.reverse();
+    Some(out_rev)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::CasOp;
+
+    fn op(old: i64, new: i64, success: bool) -> CasOp {
+        CasOp {
+            pid: 0,
+            old,
+            new,
+            success,
+        }
+    }
+
+    #[test]
+    fn empty_history_is_serializable() {
+        let h = CasHistory::new(5, 5, vec![]);
+        assert!(check_serializability(&h).is_serializable());
+    }
+
+    #[test]
+    fn empty_history_with_wrong_final_is_rejected() {
+        let h = CasHistory::new(5, 6, vec![]);
+        assert_eq!(
+            check_serializability(&h),
+            SerialVerdict::NotSerializable {
+                reason: NonSerializableReason::FinalMismatch {
+                    expected: 5,
+                    reported: 6
+                }
+            }
+        );
+    }
+
+    #[test]
+    fn simple_chain_is_serializable_with_correct_witness() {
+        let h = CasHistory::new(
+            0,
+            3,
+            vec![op(1, 2, true), op(0, 1, true), op(2, 3, true)],
+        );
+        match check_serializability(&h) {
+            SerialVerdict::Serializable { order } => {
+                assert_eq!(order, vec![1, 0, 2], "chain must serialize 0→1→2→3");
+            }
+            other => panic!("expected serializable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cycle_back_to_init_is_serializable() {
+        let h = CasHistory::new(0, 0, vec![op(0, 1, true), op(1, 0, true)]);
+        assert!(check_serializability(&h).is_serializable());
+    }
+
+    #[test]
+    fn double_application_is_detected() {
+        // The §5.2 bug: one reported success, but the register moved
+        // twice — here modelled as two identical successful CAS(0→5)
+        // with no way to get back to 0 in between.
+        let h = CasHistory::new(0, 5, vec![op(0, 5, true), op(0, 5, true)]);
+        assert!(!check_serializability(&h).is_serializable());
+    }
+
+    #[test]
+    fn lost_success_is_detected() {
+        // A CAS that actually moved the register but reported false:
+        // the remaining successful ops no longer connect init to final.
+        let h = CasHistory::new(0, 2, vec![op(1, 2, true), op(0, 1, false)]);
+        assert!(!check_serializability(&h).is_serializable());
+    }
+
+    #[test]
+    fn disconnected_components_are_detected() {
+        // 0→1 and 5→6 cannot be one path.
+        let h = CasHistory::new(0, 1, vec![op(0, 1, true), op(5, 6, true)]);
+        match check_serializability(&h) {
+            SerialVerdict::NotSerializable {
+                reason: NonSerializableReason::DegreeMismatch { .. },
+            }
+            | SerialVerdict::NotSerializable {
+                reason: NonSerializableReason::Disconnected { .. },
+            } => {}
+            other => panic!("expected rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn disconnected_cycle_is_detected_by_connectivity() {
+        // Degrees all balance (5→6, 6→5 is a cycle) but it is
+        // unreachable from init=0's component.
+        let h = CasHistory::new(
+            0,
+            1,
+            vec![op(0, 1, true), op(5, 6, true), op(6, 5, true)],
+        );
+        assert_eq!(
+            check_serializability(&h),
+            SerialVerdict::NotSerializable {
+                reason: NonSerializableReason::Disconnected { example: 5 }
+            }
+        );
+    }
+
+    #[test]
+    fn failed_op_places_anywhere_register_differs() {
+        let h = CasHistory::new(0, 1, vec![op(0, 1, true), op(7, 9, false)]);
+        match check_serializability(&h) {
+            SerialVerdict::Serializable { order } => {
+                assert_eq!(order.len(), 2);
+                assert!(order.contains(&0) && order.contains(&1));
+            }
+            other => panic!("expected serializable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn failed_op_that_must_succeed_is_rejected() {
+        // Register is always 5; a failed CAS(5→9) is impossible.
+        let h = CasHistory::new(5, 5, vec![op(5, 9, false)]);
+        assert_eq!(
+            check_serializability(&h),
+            SerialVerdict::NotSerializable {
+                reason: NonSerializableReason::FailedOpImpossible { index: 0, old: 5 }
+            }
+        );
+    }
+
+    #[test]
+    fn failed_op_with_self_loop_states_is_rejected() {
+        // All states equal 5 (self-loop 5→5): failed CAS(5→1) cannot be
+        // placed.
+        let h = CasHistory::new(5, 5, vec![op(5, 5, true), op(5, 1, false)]);
+        assert_eq!(
+            check_serializability(&h),
+            SerialVerdict::NotSerializable {
+                reason: NonSerializableReason::FailedOpImpossible { index: 1, old: 5 }
+            }
+        );
+    }
+
+    #[test]
+    fn failed_op_before_first_transition_when_init_differs() {
+        // init=3 differs from old=5 right away.
+        let h = CasHistory::new(3, 3, vec![op(5, 9, false)]);
+        assert!(check_serializability(&h).is_serializable());
+    }
+
+    #[test]
+    fn duplicate_values_form_multigraph() {
+        // Narrow-range style: the same edge 1→2 occurs twice, connected
+        // by a 2→1 edge. Eulerian path: 1→2, 2→1, 1→2.
+        let h = CasHistory::new(
+            1,
+            2,
+            vec![op(1, 2, true), op(1, 2, true), op(2, 1, true)],
+        );
+        match check_serializability(&h) {
+            SerialVerdict::Serializable { order } => {
+                assert_eq!(order.len(), 3);
+                // Middle op must be the 2→1 edge (index 2).
+                assert_eq!(order[1], 2);
+            }
+            other => panic!("expected serializable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_final_value_with_edges_is_rejected() {
+        let h = CasHistory::new(0, 0, vec![op(0, 1, true)]);
+        assert!(!check_serializability(&h).is_serializable());
+    }
+
+    #[test]
+    fn self_loops_are_handled() {
+        let h = CasHistory::new(5, 5, vec![op(5, 5, true), op(5, 5, true)]);
+        assert!(check_serializability(&h).is_serializable());
+    }
+
+    #[test]
+    fn long_random_chain_is_serializable() {
+        // A scrambled long chain with interleaved failures.
+        let n = 500i64;
+        let mut ops: Vec<CasOp> = (0..n).map(|i| op(i, i + 1, true)).collect();
+        ops.push(op(-100, -200, false));
+        ops.push(op(9999, 1, false));
+        // Scramble deterministically.
+        ops.reverse();
+        ops.rotate_left(7);
+        let h = CasHistory::new(0, n, ops);
+        assert!(check_serializability(&h).is_serializable());
+    }
+
+    #[test]
+    fn reasons_display_cleanly() {
+        for r in [
+            NonSerializableReason::DegreeMismatch {
+                value: 1,
+                imbalance: 2,
+                required: 0,
+            },
+            NonSerializableReason::Disconnected { example: 5 },
+            NonSerializableReason::FinalMismatch {
+                expected: 1,
+                reported: 2,
+            },
+            NonSerializableReason::FailedOpImpossible { index: 0, old: 5 },
+        ] {
+            assert!(!r.to_string().is_empty());
+        }
+    }
+}

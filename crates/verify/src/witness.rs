@@ -1,0 +1,208 @@
+//! Independent replay of a serialization witness.
+//!
+//! The checker's positive verdicts come with a full serial order;
+//! replaying that order against simple register semantics gives an
+//! independent proof that the verdict is sound (and a great test
+//! oracle for the checker itself).
+
+use crate::history::CasHistory;
+
+/// Why a witness failed to replay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WitnessError {
+    /// The order does not mention every operation exactly once.
+    NotAPermutation,
+    /// A successful op found the register holding a different value.
+    SuccessfulOpBlocked {
+        /// Index of the operation in the history.
+        index: usize,
+        /// Register value at its position in the witness.
+        register: i64,
+    },
+    /// A failed op found the register holding exactly its expected
+    /// value (it would have succeeded).
+    FailedOpWouldSucceed {
+        /// Index of the operation in the history.
+        index: usize,
+    },
+    /// The register ends at a different value than the history reports.
+    WrongFinalValue {
+        /// Register value after the replay.
+        replayed: i64,
+        /// Final value the history reports.
+        reported: i64,
+    },
+}
+
+impl std::fmt::Display for WitnessError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WitnessError::NotAPermutation => {
+                write!(f, "witness order is not a permutation of the operations")
+            }
+            WitnessError::SuccessfulOpBlocked { index, register } => write!(
+                f,
+                "successful op #{index} replayed against register value {register}"
+            ),
+            WitnessError::FailedOpWouldSucceed { index } => {
+                write!(f, "failed op #{index} replayed at a moment it would succeed")
+            }
+            WitnessError::WrongFinalValue { replayed, reported } => {
+                write!(f, "replay ends at {replayed}, history reports {reported}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WitnessError {}
+
+/// Replays `order` (operation indices) against sequential CAS
+/// semantics, verifying every answer and the final value.
+///
+/// # Errors
+///
+/// The first [`WitnessError`] encountered.
+///
+/// # Example
+///
+/// ```
+/// use pstack_verify::{check_serializability, replay_witness, CasHistory, CasOp, SerialVerdict};
+///
+/// let h = CasHistory::new(0, 1, vec![CasOp { pid: 0, old: 0, new: 1, success: true }]);
+/// let SerialVerdict::Serializable { order } = check_serializability(&h) else { panic!() };
+/// replay_witness(&h, &order).unwrap();
+/// ```
+pub fn replay_witness(history: &CasHistory, order: &[usize]) -> Result<(), WitnessError> {
+    if order.len() != history.ops.len() {
+        return Err(WitnessError::NotAPermutation);
+    }
+    let mut seen = vec![false; history.ops.len()];
+    for &i in order {
+        if i >= seen.len() || seen[i] {
+            return Err(WitnessError::NotAPermutation);
+        }
+        seen[i] = true;
+    }
+
+    let mut register = history.init;
+    for &i in order {
+        let op = &history.ops[i];
+        if op.success {
+            if register != op.old {
+                return Err(WitnessError::SuccessfulOpBlocked { index: i, register });
+            }
+            register = op.new;
+        } else if register == op.old {
+            return Err(WitnessError::FailedOpWouldSucceed { index: i });
+        }
+    }
+    if register != history.final_value {
+        return Err(WitnessError::WrongFinalValue {
+            replayed: register,
+            reported: history.final_value,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::CasOp;
+    use crate::serializability::{check_serializability, SerialVerdict};
+
+    fn op(old: i64, new: i64, success: bool) -> CasOp {
+        CasOp {
+            pid: 0,
+            old,
+            new,
+            success,
+        }
+    }
+
+    #[test]
+    fn valid_witness_replays() {
+        let h = CasHistory::new(0, 2, vec![op(0, 1, true), op(1, 2, true)]);
+        replay_witness(&h, &[0, 1]).unwrap();
+    }
+
+    #[test]
+    fn wrong_order_is_rejected() {
+        let h = CasHistory::new(0, 2, vec![op(0, 1, true), op(1, 2, true)]);
+        assert_eq!(
+            replay_witness(&h, &[1, 0]),
+            Err(WitnessError::SuccessfulOpBlocked {
+                index: 1,
+                register: 0
+            })
+        );
+    }
+
+    #[test]
+    fn non_permutations_are_rejected() {
+        let h = CasHistory::new(0, 1, vec![op(0, 1, true)]);
+        assert_eq!(replay_witness(&h, &[]), Err(WitnessError::NotAPermutation));
+        assert_eq!(
+            replay_witness(&h, &[5]),
+            Err(WitnessError::NotAPermutation)
+        );
+        let h2 = CasHistory::new(0, 1, vec![op(0, 1, true), op(9, 9, false)]);
+        assert_eq!(
+            replay_witness(&h2, &[0, 0]),
+            Err(WitnessError::NotAPermutation)
+        );
+    }
+
+    #[test]
+    fn failed_op_at_wrong_moment_is_rejected() {
+        let h = CasHistory::new(0, 1, vec![op(0, 1, true), op(0, 9, false)]);
+        // Placing the failed CAS(0→9) before the transition (register
+        // still 0) is wrong; after, it is fine.
+        assert_eq!(
+            replay_witness(&h, &[1, 0]),
+            Err(WitnessError::FailedOpWouldSucceed { index: 1 })
+        );
+        replay_witness(&h, &[0, 1]).unwrap();
+    }
+
+    #[test]
+    fn final_value_mismatch_is_rejected() {
+        let h = CasHistory::new(0, 7, vec![op(0, 1, true)]);
+        assert_eq!(
+            replay_witness(&h, &[0]),
+            Err(WitnessError::WrongFinalValue {
+                replayed: 1,
+                reported: 7
+            })
+        );
+    }
+
+    #[test]
+    fn checker_witnesses_always_replay() {
+        // Round-trip on a batch of serializable histories.
+        let histories = vec![
+            CasHistory::new(0, 0, vec![]),
+            CasHistory::new(0, 3, vec![op(0, 1, true), op(1, 2, true), op(2, 3, true)]),
+            CasHistory::new(
+                1,
+                2,
+                vec![op(1, 2, true), op(1, 2, true), op(2, 1, true), op(9, 0, false)],
+            ),
+            CasHistory::new(5, 5, vec![op(5, 5, true), op(4, 5, false)]),
+        ];
+        for h in histories {
+            match check_serializability(&h) {
+                SerialVerdict::Serializable { order } => {
+                    replay_witness(&h, &order)
+                        .unwrap_or_else(|e| panic!("witness failed for {h:?}: {e}"));
+                }
+                other => panic!("expected serializable for {h:?}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(!WitnessError::NotAPermutation.to_string().is_empty());
+    }
+}

@@ -1,0 +1,120 @@
+//! Post-mortem inspector for persistent NVRAM images.
+//!
+//! ```sh
+//! pstack-dump <image-file>
+//! ```
+//!
+//! Opens a file-backed NVRAM image (as produced by the runtime on the
+//! file backend — e.g. by `examples/file_backed_restart` or the
+//! `kill_campaign` harness), and prints:
+//!
+//! * the runtime superblock (workers, stack layout, heap geometry);
+//! * every worker's persistent stack, frame by frame (function ids,
+//!   argument previews, return-slot states) — exactly what a recovery
+//!   boot would walk;
+//! * heap allocator statistics from a consistency-checked block walk;
+//! * the kill-harness root record, if the image carries one.
+//!
+//! The inspector never writes to the image: it is safe to point at the
+//! artifact of a crashed (killed) run before deciding how to recover it.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use pstack::core::stack::dump_stack;
+use pstack::core::{FunctionRegistry, Runtime};
+use pstack::heap::PHeap;
+use pstack::nvram::{PMemBuilder, POffset};
+use pstack::recoverable::{CasVariant, QueueVariant};
+
+/// Magic of the kill-harness root record (see `pstack-chaos`).
+const KILL_ROOT_MAGIC: u64 = 0x4B49_4C4C_524F_4F54;
+const KILL_ROOT_OFF: u64 = 64;
+
+fn dump(path: &Path) -> Result<(), Box<dyn std::error::Error>> {
+    let len = std::fs::metadata(path)?.len() as usize;
+    println!("image: {} ({} bytes)", path.display(), len);
+    let pmem = PMemBuilder::new().len(len).build_file(path)?;
+
+    // The registry is irrelevant for inspection: nothing is invoked.
+    let stub = FunctionRegistry::new();
+    let rt = Runtime::open(pmem.clone(), &stub)?;
+    println!("\nsuperblock:");
+    println!("  workers:      {}", rt.workers());
+    println!("  stack layout: {}", rt.stack_kind());
+    println!("  user root:    {}", rt.user_root()?);
+
+    for pid in 0..rt.workers() {
+        match rt.open_stack(pid) {
+            Ok(stack) => {
+                println!("\nworker {pid}:");
+                for line in dump_stack(stack.as_ref())?.lines() {
+                    println!("  {line}");
+                }
+                match stack.check_consistency() {
+                    Ok(()) => println!("  consistency: ok"),
+                    Err(e) => println!("  consistency: FAILED — {e}"),
+                }
+            }
+            Err(e) => println!("\nworker {pid}: unreadable stack — {e}"),
+        }
+    }
+
+    println!("\nheap:");
+    let heap: &PHeap = rt.heap();
+    let stats = heap.stats();
+    println!("  blocks:        {} used, {} free", stats.used_blocks, stats.free_blocks);
+    println!(
+        "  payload bytes: {} used, {} free",
+        stats.used_payload_bytes, stats.free_payload_bytes
+    );
+    match heap.check_consistency() {
+        Ok(()) => println!("  consistency:   ok"),
+        Err(e) => println!("  consistency:   FAILED — {e}"),
+    }
+
+    if pmem.read_u64(POffset::new(KILL_ROOT_OFF))? == KILL_ROOT_MAGIC {
+        let base = POffset::new(KILL_ROOT_OFF);
+        println!("\nkill-harness root record:");
+        println!("  object at:       {:#x}", pmem.read_u64(base + 8u64)?);
+        println!("  task table at:   {:#x}", pmem.read_u64(base + 16u64)?);
+        println!("  initial value:   {}", pmem.read_i64(base + 24u64)?);
+        println!("  processes:       {}", pmem.read_u32(base + 32u64)?);
+        let variant = pmem.read_u8(base + 36u64)?;
+        let workload = match pmem.read_u8(base + 37u64)? {
+            0 => format!(
+                "CAS ({})",
+                CasVariant::from_u8(variant)
+                    .map(|v| format!("{v:?}"))
+                    .unwrap_or_else(|_| "unknown variant".into())
+            ),
+            1 => format!(
+                "queue ({})",
+                QueueVariant::from_u8(variant)
+                    .map(|v| format!("{v:?}"))
+                    .unwrap_or_else(|_| "unknown variant".into())
+            ),
+            other => format!("unknown kind {other}"),
+        };
+        println!("  workload:        {workload}");
+        println!("  persist delay:   {} µs/line", pmem.read_u32(base + 40u64)?);
+    }
+
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args();
+    let _self = args.next();
+    let Some(path) = args.next() else {
+        eprintln!("usage: pstack-dump <image-file>");
+        return ExitCode::from(2);
+    };
+    match dump(Path::new(&path)) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("pstack-dump: {e}");
+            ExitCode::from(1)
+        }
+    }
+}

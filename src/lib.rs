@@ -1,0 +1,71 @@
+//! # pstack — Execution of NVRAM Programs with Persistent Stack
+//!
+//! Facade crate for the reproduction of Aksenov, Ben-Baruch, Hendler,
+//! Kokorin and Rusanovsky, *"Execution of NVRAM Programs with Persistent
+//! Stack"* (PACT 2021, arXiv:2105.11932).
+//!
+//! The workspace is organized bottom-up:
+//!
+//! * [`nvram`] — emulated NVRAM: a persistent byte region behind a
+//!   volatile cache-line buffer, with per-line atomic flushes, crash
+//!   injection and offset-based addressing.
+//! * [`heap`] — a persistent free-list allocator on top of the NVRAM.
+//! * [`core`] — the paper's contribution: persistent stacks (fixed,
+//!   resizable-array and linked-list variants), the recoverable-function
+//!   registry, the invocation machinery, the worker/recovery runtime and
+//!   the Appendix-A transactional-loop combinator.
+//! * [`recoverable`] — NSRL primitives built on the runtime: the
+//!   recoverable CAS (with its deliberately buggy no-matrix variant), a
+//!   recoverable counter, register, bounded FIFO queue (with its own
+//!   injected-bug variant) and one-shot test-and-set, plus the
+//!   persistent descriptor tables driving the §5.2 experiments.
+//! * [`verify`] — the polynomial serializability verifier (Eulerian
+//!   paths), a FIFO verifier for queue executions, and linearizability /
+//!   sequential-consistency checkers for small histories.
+//! * [`chaos`] — crash campaigns (CAS and queue), exhaustive crash-point
+//!   enumeration, and the real-`kill(1)` multi-process harness over
+//!   file-backed images.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use pstack::nvram::PMemBuilder;
+//! use pstack::core::{FunctionRegistry, Runtime, RuntimeConfig, Task};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A function that persists its argument into the user area, plus the
+//! // recovery dual that the runtime invokes after a crash.
+//! let mut registry = FunctionRegistry::new();
+//! let store = registry.register_pair(
+//!     1,
+//!     |ctx, args| {
+//!         let val = u64::from_le_bytes(args[..8].try_into().unwrap());
+//!         let root = ctx.user_root();
+//!         ctx.pmem.write_u64(root, val)?;
+//!         ctx.pmem.flush(root, 8)?;
+//!         Ok(None)
+//!     },
+//!     |ctx, args| {
+//!         // Idempotent: simply redo the write.
+//!         let val = u64::from_le_bytes(args[..8].try_into().unwrap());
+//!         let root = ctx.user_root();
+//!         ctx.pmem.write_u64(root, val)?;
+//!         ctx.pmem.flush(root, 8)?;
+//!         Ok(None)
+//!     },
+//! )?;
+//!
+//! let pmem = PMemBuilder::new().len(1 << 20).build_in_memory();
+//! let runtime = Runtime::format(pmem.clone(), RuntimeConfig::new(2), &registry)?;
+//! let report = runtime.run_tasks(vec![Task::new(store, 7u64.to_le_bytes().to_vec())]);
+//! assert_eq!(report.completed, 1);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use pstack_chaos as chaos;
+pub use pstack_core as core;
+pub use pstack_heap as heap;
+pub use pstack_nvram as nvram;
+pub use pstack_recoverable as recoverable;
+pub use pstack_verify as verify;

@@ -1,0 +1,87 @@
+//! Integration test for the `pstack-dump` image inspector: build a
+//! file-backed system, leave an in-flight frame on a worker stack via a
+//! crash, and check the inspector renders it without touching the
+//! image.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use pstack::core::{FunctionRegistry, Runtime, RuntimeConfig, Task};
+use pstack::nvram::{FailPlan, PMemBuilder};
+
+fn tmp_image(tag: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("pstack-dumptest-{tag}-{}.img", std::process::id()));
+    p
+}
+
+#[test]
+fn dump_renders_crashed_image() {
+    let image = tmp_image("crashed");
+    let _ = std::fs::remove_file(&image);
+    {
+        let pmem = PMemBuilder::new()
+            .len(1 << 20)
+            .eager_flush(true)
+            .build_file(&image)
+            .unwrap();
+        let mut registry = FunctionRegistry::new();
+        registry
+            .register_pair(
+                0xDEAD,
+                |ctx, _args| {
+                    // Burn persistence events until the fail-point cuts us.
+                    for i in 0..1000u64 {
+                        ctx.pmem.write_u64(ctx.user_root(), i)?;
+                        ctx.pmem.flush(ctx.user_root(), 8)?;
+                    }
+                    Ok(None)
+                },
+                |_ctx, _args| Ok(None),
+            )
+            .unwrap();
+        let rt = Runtime::format(pmem.clone(), RuntimeConfig::new(2), &registry).unwrap();
+        pmem.arm_failpoint(FailPlan::after_events(60));
+        let report = rt.run_tasks(vec![Task::new(0xDEAD, b"payload!".to_vec())]);
+        assert!(report.crashed);
+        // Process "dies": handles dropped, only the file remains.
+    }
+
+    let before = std::fs::read(&image).unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_pstack-dump"))
+        .arg(&image)
+        .output()
+        .expect("inspector runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("superblock"), "{text}");
+    assert!(text.contains("workers:      2"), "{text}");
+    assert!(text.contains("func 0xdead"), "in-flight frame missing: {text}");
+    assert!(text.contains("consistency: ok"), "{text}");
+    assert!(text.contains("heap:"), "{text}");
+    // Read-only: the image is bit-identical after inspection.
+    assert_eq!(before, std::fs::read(&image).unwrap(), "inspector must not write");
+
+    let _ = std::fs::remove_file(&image);
+}
+
+#[test]
+fn dump_rejects_garbage_and_missing_files() {
+    let image = tmp_image("garbage");
+    std::fs::write(&image, vec![0u8; 4096]).unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_pstack-dump"))
+        .arg(&image)
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "garbage image must not parse");
+    let _ = std::fs::remove_file(&image);
+
+    let out = Command::new(env!("CARGO_BIN_EXE_pstack-dump"))
+        .arg("/nonexistent/image.img")
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+
+    let out = Command::new(env!("CARGO_BIN_EXE_pstack-dump")).output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "usage error code");
+}

@@ -1,0 +1,120 @@
+//! Property tests: the persistent heap against a volatile reference
+//! model, under random alloc/free sequences, with crash/reopen
+//! consistency at random points.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use pstack::heap::PHeap;
+use pstack::nvram::{PMemBuilder, POffset};
+
+const REGION: usize = 1 << 20;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Allocate `size` bytes and remember the handle under `slot`.
+    Alloc { slot: u8, size: usize },
+    /// Free the handle remembered under `slot` (no-op if none).
+    Free { slot: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0u8..16, 1usize..2048).prop_map(|(slot, size)| Op::Alloc { slot, size }),
+        2 => (0u8..16).prop_map(|slot| Op::Free { slot }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Allocations never overlap, never leave the region, survive a
+    /// full-survivor crash, and the allocator's internal consistency
+    /// check passes after every reopen.
+    #[test]
+    fn random_alloc_free_stays_consistent(ops in proptest::collection::vec(op_strategy(), 1..80)) {
+        let pmem = PMemBuilder::new().len(REGION).build_in_memory();
+        let heap = PHeap::format(pmem.clone(), POffset::new(0), REGION as u64).unwrap();
+        let mut live: HashMap<u8, (POffset, usize)> = HashMap::new();
+
+        for op in &ops {
+            match op {
+                Op::Alloc { slot, size } => {
+                    if live.contains_key(slot) {
+                        continue;
+                    }
+                    match heap.alloc(*size) {
+                        Ok(p) => {
+                            // In bounds.
+                            prop_assert!(p.get() as usize + size <= REGION);
+                            // Disjoint from every live allocation.
+                            for (q, qlen) in live.values() {
+                                let disjoint = p.get() + *size as u64 <= q.get()
+                                    || q.get() + *qlen as u64 <= p.get();
+                                prop_assert!(disjoint, "{p} overlaps {q}");
+                            }
+                            // Scribble over the payload; this must never
+                            // corrupt allocator metadata (checked below).
+                            pmem.fill(p, 0xEE, *size).unwrap();
+                            live.insert(*slot, (p, *size));
+                        }
+                        Err(_) => {
+                            // Out of memory is legal under fragmentation;
+                            // the heap must still be consistent.
+                            heap.check_consistency().unwrap();
+                        }
+                    }
+                }
+                Op::Free { slot } => {
+                    if let Some((p, _)) = live.remove(slot) {
+                        heap.free(p).unwrap();
+                    }
+                }
+            }
+        }
+        heap.check_consistency().unwrap();
+
+        // A clean-shutdown crash (all dirty lines survive) and reopen
+        // must reconstruct the same live set.
+        pmem.crash_now(0, 1.0);
+        let pmem2 = pmem.reopen().unwrap();
+        let heap2 = PHeap::open(pmem2.clone(), POffset::new(0)).unwrap();
+        heap2.check_consistency().unwrap();
+        for (p, len) in live.values() {
+            prop_assert_eq!(heap2.payload_len(*p).unwrap() >= *len as u64, true);
+            // Payload bytes survived.
+            let bytes = pmem2.read_vec(*p, *len).unwrap();
+            prop_assert!(bytes.iter().all(|b| *b == 0xEE));
+        }
+        // Live allocations can still be freed after recovery; freed
+        // space is reusable.
+        for (p, _) in live.values() {
+            heap2.free(*p).unwrap();
+        }
+        heap2.check_consistency().unwrap();
+        let big = heap2.alloc(REGION / 2).unwrap();
+        heap2.free(big).unwrap();
+    }
+
+    /// Alignment requests are honored and do not break consistency.
+    #[test]
+    fn aligned_allocations_are_aligned(
+        sizes in proptest::collection::vec(1usize..1024, 1..20),
+        align_pow in 4u32..8,
+    ) {
+        let align = 1u64 << align_pow;
+        let pmem = PMemBuilder::new().len(REGION).build_in_memory();
+        let heap = PHeap::format(pmem, POffset::new(0), REGION as u64).unwrap();
+        let mut handles = Vec::new();
+        for size in &sizes {
+            let p = heap.alloc_aligned(*size, align).unwrap();
+            prop_assert!(p.is_aligned(align), "{p} not {align}-aligned");
+            handles.push(p);
+        }
+        for p in handles {
+            heap.free(p).unwrap();
+        }
+        heap.check_consistency().unwrap();
+    }
+}

@@ -1,0 +1,176 @@
+//! Property tests for the verifiers: the polynomial Eulerian checker
+//! against the brute-force oracle, witness replay soundness, and
+//! "simulated executions are always serializable".
+
+use proptest::prelude::*;
+
+use pstack::verify::{
+    brute_force_serializable, check_linearizability, check_sequential_consistency,
+    check_serializability, replay_witness, CasHistory, CasOp, ProgramOrderHistory,
+    SerialVerdict, TimedHistory, TimedOp,
+};
+
+fn op_strategy(values: std::ops::RangeInclusive<i64>) -> impl Strategy<Value = CasOp> {
+    (
+        0usize..4,
+        values.clone(),
+        values,
+        proptest::bool::ANY,
+    )
+        .prop_map(|(pid, old, new, success)| CasOp {
+            pid,
+            old,
+            new,
+            success,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The polynomial checker agrees with brute force on random small
+    /// histories over a tiny value domain (maximizing collisions).
+    #[test]
+    fn eulerian_checker_matches_brute_force(
+        init in -2i64..=2,
+        final_value in -2i64..=2,
+        ops in proptest::collection::vec(op_strategy(-2..=2), 0..7),
+    ) {
+        let h = CasHistory::new(init, final_value, ops);
+        let fast = check_serializability(&h).is_serializable();
+        let slow = brute_force_serializable(&h);
+        prop_assert_eq!(fast, slow, "disagreement on {:?}", h);
+    }
+
+    /// Positive verdicts always come with a replayable witness.
+    #[test]
+    fn witnesses_always_replay(
+        init in -3i64..=3,
+        final_value in -3i64..=3,
+        ops in proptest::collection::vec(op_strategy(-3..=3), 0..8),
+    ) {
+        let h = CasHistory::new(init, final_value, ops);
+        if let SerialVerdict::Serializable { order } = check_serializability(&h) {
+            prop_assert!(replay_witness(&h, &order).is_ok(), "witness failed for {:?}", h);
+        }
+    }
+
+    /// Histories produced by an actual sequential register simulation
+    /// are always serializable — and stay so under op reordering.
+    #[test]
+    fn simulated_executions_are_serializable(
+        init in -5i64..=5,
+        attempts in proptest::collection::vec((-5i64..=5, -5i64..=5), 1..40),
+        rotation in 0usize..40,
+    ) {
+        let mut register = init;
+        let mut ops = Vec::new();
+        for (old, new) in attempts {
+            let success = register == old;
+            if success {
+                register = new;
+            }
+            ops.push(CasOp { pid: 0, old, new, success });
+        }
+        let final_value = register;
+        // Serializability has no real-time constraints: any reporting
+        // order of the same op multiset must stay serializable.
+        let r = rotation % ops.len().max(1);
+        ops.rotate_left(r);
+        let h = CasHistory::new(init, final_value, ops);
+        prop_assert!(
+            check_serializability(&h).is_serializable(),
+            "simulated execution rejected: {:?}",
+            h
+        );
+    }
+
+    /// Corrupting one successful op's reported answer in a simulated
+    /// execution is (almost always) caught; specifically, flipping a
+    /// *unique-valued* successful op to failed must always be caught,
+    /// because its edge was load-bearing for the final value.
+    #[test]
+    fn dropping_a_success_is_caught_when_values_are_unique(
+        n in 2usize..20,
+        victim in 0usize..20,
+    ) {
+        // Build a chain 0→1→2→…→n with unique values: every edge is
+        // necessary.
+        let mut ops: Vec<CasOp> = (0..n as i64)
+            .map(|i| CasOp { pid: 0, old: i, new: i + 1, success: true })
+            .collect();
+        let victim = victim % n;
+        ops[victim].success = false; // lie: it actually happened
+        let h = CasHistory::new(0, n as i64, ops);
+        prop_assert!(
+            !check_serializability(&h).is_serializable(),
+            "dropped success not caught: {:?}",
+            h
+        );
+    }
+
+    /// Linearizable timed histories are serializable after untiming.
+    #[test]
+    fn linearizable_implies_serializable(
+        init in -2i64..=2,
+        raw in proptest::collection::vec((op_strategy(-2..=2), 0u64..40, 1u64..10), 0..6),
+    ) {
+        let ops: Vec<TimedOp> = raw
+            .into_iter()
+            .map(|(op, start, dur)| TimedOp { op, invoked: start, returned: start + dur })
+            .collect();
+        let h = TimedHistory::new(init, ops);
+        if let pstack::verify::LinVerdict::Linearizable { order } = check_linearizability(&h) {
+            let mut reg = h.init;
+            for &i in &order {
+                if h.ops[i].op.success {
+                    reg = h.ops[i].op.new;
+                }
+            }
+            prop_assert!(
+                check_serializability(&h.untimed(reg)).is_serializable(),
+                "linearizable but not serializable: {:?}",
+                h
+            );
+        }
+    }
+
+    /// The classical hierarchy: linearizability implies sequential
+    /// consistency. Per-process programs get sequential (within a
+    /// process) but overlapping (across processes) intervals; whenever
+    /// the timed history linearizes, the same answers must admit a
+    /// program-order-respecting interleaving.
+    #[test]
+    fn linearizable_implies_sequentially_consistent(
+        init in -2i64..=2,
+        programs in proptest::collection::vec(
+            proptest::collection::vec((-2i64..=2, -2i64..=2, proptest::bool::ANY), 0..3),
+            1..4,
+        ),
+    ) {
+        let mut timed = Vec::new();
+        let mut per_process = Vec::new();
+        for (pid, prog) in programs.iter().enumerate() {
+            let mut mine = Vec::new();
+            for (j, (old, new, success)) in prog.iter().enumerate() {
+                let op = CasOp { pid, old: *old, new: *new, success: *success };
+                mine.push(op);
+                // Sequential within the process, overlapping across
+                // processes: [10j + pid, 10j + pid + 8].
+                let invoked = (j as u64) * 10 + pid as u64;
+                timed.push(TimedOp { op, invoked, returned: invoked + 8 });
+            }
+            per_process.push(mine);
+        }
+        prop_assume!(!timed.is_empty() && timed.len() <= 12);
+        let th = TimedHistory::new(init, timed);
+        if check_linearizability(&th).is_linearizable() {
+            let poh = ProgramOrderHistory::new(init, per_process);
+            prop_assert!(
+                check_sequential_consistency(&poh).is_sequentially_consistent(),
+                "linearizable but not SC: {:?}",
+                th
+            );
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Contract tests: every `PersistentStack` variant must satisfy the
+//! same observable behaviour (the §3 protocol), including reopen after
+//! a crash. Each test runs against all three layouts.
+
+use pstack::core::{FixedStack, ListStack, PError, PersistentStack, ReturnSlot, VecStack};
+use pstack::heap::PHeap;
+use pstack::nvram::{PMem, PMemBuilder, POffset};
+
+const HEAP_BASE: u64 = 64 * 1024;
+
+struct Variant {
+    name: &'static str,
+    make: fn(PMem, PHeap) -> Box<dyn PersistentStack>,
+    reopen: fn(PMem, PHeap) -> Result<Box<dyn PersistentStack>, PError>,
+}
+
+fn fresh() -> (PMem, PHeap) {
+    let pmem = PMemBuilder::new().len(1 << 18).build_in_memory();
+    let heap = PHeap::format(pmem.clone(), POffset::new(HEAP_BASE), (1 << 18) - HEAP_BASE)
+        .expect("heap formats");
+    (pmem, heap)
+}
+
+fn variants() -> Vec<Variant> {
+    vec![
+        Variant {
+            name: "fixed",
+            make: |pmem, _| {
+                Box::new(FixedStack::format(pmem, POffset::new(0), 32 * 1024).unwrap())
+            },
+            reopen: |pmem, _| {
+                Ok(Box::new(FixedStack::open(pmem, POffset::new(0), 32 * 1024)?))
+            },
+        },
+        Variant {
+            name: "vec",
+            make: |pmem, heap| {
+                Box::new(VecStack::format(pmem, heap, POffset::new(0), 128).unwrap())
+            },
+            reopen: |pmem, heap| Ok(Box::new(VecStack::open(pmem, heap, POffset::new(0))?)),
+        },
+        Variant {
+            name: "list",
+            make: |pmem, heap| {
+                Box::new(ListStack::format(pmem, heap, POffset::new(0), 128).unwrap())
+            },
+            reopen: |pmem, heap| Ok(Box::new(ListStack::open(pmem, heap, POffset::new(0))?)),
+        },
+    ]
+}
+
+#[test]
+fn lifo_discipline_holds() {
+    for v in variants() {
+        let (pmem, heap) = fresh();
+        let mut s = (v.make)(pmem, heap);
+        for i in 0..40u64 {
+            s.push(i, &i.to_le_bytes()).unwrap();
+            assert_eq!(s.depth() as u64, i + 1, "{}", v.name);
+        }
+        for i in (0..40u64).rev() {
+            let top = s.frame_record(s.top_index()).unwrap();
+            assert_eq!(top.func_id, i, "{}", v.name);
+            assert_eq!(top.args, i.to_le_bytes(), "{}", v.name);
+            s.pop().unwrap();
+        }
+        assert_eq!(s.depth(), 0, "{}", v.name);
+        assert!(matches!(s.pop(), Err(PError::StackEmpty)), "{}", v.name);
+        s.check_consistency().unwrap();
+    }
+}
+
+#[test]
+fn interleaved_push_pop_random_walk() {
+    for v in variants() {
+        let (pmem, heap) = fresh();
+        let mut s = (v.make)(pmem, heap);
+        // Deterministic pseudo-random walk.
+        let mut x = 0x12345678u64;
+        let mut model: Vec<(u64, Vec<u8>)> = Vec::new();
+        for step in 0..400 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let go_push = model.is_empty() || !(x >> 33).is_multiple_of(3);
+            if go_push && model.len() < 60 {
+                let args = vec![(step % 251) as u8; (x % 48) as usize];
+                s.push(step, &args).unwrap();
+                model.push((step, args));
+            } else if !model.is_empty() {
+                s.pop().unwrap();
+                model.pop();
+            }
+            assert_eq!(s.depth(), model.len(), "{} at step {step}", v.name);
+        }
+        // Full content comparison at the end.
+        for (idx, (id, args)) in model.iter().enumerate() {
+            let rec = s.frame_record(idx + 1).unwrap();
+            assert_eq!(rec.func_id, *id, "{}", v.name);
+            assert_eq!(&rec.args, args, "{}", v.name);
+        }
+        s.check_consistency().unwrap();
+    }
+}
+
+#[test]
+fn survives_crash_and_reopen_with_content() {
+    for v in variants() {
+        let (pmem, heap) = fresh();
+        let mut s = (v.make)(pmem.clone(), heap.clone());
+        for i in 0..25u64 {
+            s.push(100 + i, &[i as u8; 33]).unwrap();
+        }
+        s.pop().unwrap();
+        s.pop().unwrap();
+        s.set_ret(5, ReturnSlot::Value(*b"SLOT-ABC")).unwrap();
+        drop(s);
+        pmem.crash_now(1, 0.0);
+        let pmem2 = pmem.reopen().unwrap();
+        let heap2 = PHeap::open(pmem2.clone(), POffset::new(HEAP_BASE)).unwrap();
+        let s2 = (v.reopen)(pmem2, heap2).unwrap();
+        assert_eq!(s2.depth(), 23, "{}", v.name);
+        assert_eq!(s2.frame_record(23).unwrap().func_id, 122, "{}", v.name);
+        assert_eq!(
+            s2.ret(5).unwrap(),
+            ReturnSlot::Value(*b"SLOT-ABC"),
+            "{}",
+            v.name
+        );
+        s2.check_consistency().unwrap();
+    }
+}
+
+#[test]
+fn unflushed_push_never_survives_as_torn_frame() {
+    // Write-heavy push then immediate survivor-less crash: whatever the
+    // variant, the reopened stack must parse cleanly to a prefix depth.
+    for v in variants() {
+        let (pmem, heap) = fresh();
+        let mut s = (v.make)(pmem.clone(), heap.clone());
+        for i in 0..10u64 {
+            s.push(i, &[7u8; 100]).unwrap();
+        }
+        drop(s);
+        pmem.crash_now(2, 0.5);
+        let pmem2 = pmem.reopen().unwrap();
+        let heap2 = PHeap::open(pmem2.clone(), POffset::new(HEAP_BASE)).unwrap();
+        let s2 = (v.reopen)(pmem2, heap2).unwrap();
+        // Flush discipline means everything is durable here.
+        assert_eq!(s2.depth(), 10, "{}", v.name);
+        s2.check_consistency().unwrap();
+    }
+}
+
+#[test]
+fn return_slot_protocol_is_uniform() {
+    for v in variants() {
+        let (pmem, heap) = fresh();
+        let mut s = (v.make)(pmem, heap);
+        s.push(1, b"parent").unwrap();
+        assert_eq!(s.ret(1).unwrap(), ReturnSlot::Empty, "{}", v.name);
+        s.set_ret(1, ReturnSlot::Unit).unwrap();
+        assert_eq!(s.ret(1).unwrap(), ReturnSlot::Unit, "{}", v.name);
+        s.set_ret(1, ReturnSlot::Value([3u8; 8])).unwrap();
+        assert_eq!(s.ret(1).unwrap(), ReturnSlot::Value([3u8; 8]), "{}", v.name);
+        s.set_ret(0, ReturnSlot::Value([9u8; 8])).unwrap();
+        assert_eq!(s.ret(0).unwrap(), ReturnSlot::Value([9u8; 8]), "{}", v.name);
+        // Out-of-range indices are rejected uniformly.
+        assert!(s.ret(7).is_err(), "{}", v.name);
+        assert!(s.set_ret(7, ReturnSlot::Unit).is_err(), "{}", v.name);
+    }
+}
+
+#[test]
+fn empty_args_and_large_args_round_trip() {
+    for v in variants() {
+        let (pmem, heap) = fresh();
+        let mut s = (v.make)(pmem, heap);
+        s.push(1, &[]).unwrap();
+        let big = vec![0xC3u8; 4096];
+        s.push(2, &big).unwrap();
+        assert_eq!(s.frame_record(1).unwrap().args, Vec::<u8>::new(), "{}", v.name);
+        assert_eq!(s.frame_record(2).unwrap().args, big, "{}", v.name);
+        s.check_consistency().unwrap();
+    }
+}
