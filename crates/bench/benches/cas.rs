@@ -20,10 +20,15 @@ fn eager_fixture(variant: CasVariant) -> RecoverableCas {
 
 fn bench_successful_cas(c: &mut Criterion) {
     let mut g = c.benchmark_group("cas/successful_op");
-    g.sample_size(20).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(600));
+    g.sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
     // A successful CAS followed by its inverse keeps the register
     // oscillating, so every iteration succeeds.
-    for (name, variant) in [("nsrl", CasVariant::Nsrl), ("no_matrix", CasVariant::NoMatrix)] {
+    for (name, variant) in [
+        ("nsrl", CasVariant::Nsrl),
+        ("no_matrix", CasVariant::NoMatrix),
+    ] {
         let cas = eager_fixture(variant);
         let mut seq = 1u64;
         g.bench_function(name, |b| {
@@ -39,10 +44,15 @@ fn bench_successful_cas(c: &mut Criterion) {
 
 fn bench_failed_cas(c: &mut Criterion) {
     let mut g = c.benchmark_group("cas/failed_op");
-    g.sample_size(20).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(500));
+    g.sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(500));
     // Failed CAS never writes evidence or the register: both variants
     // should cost the same (one read).
-    for (name, variant) in [("nsrl", CasVariant::Nsrl), ("no_matrix", CasVariant::NoMatrix)] {
+    for (name, variant) in [
+        ("nsrl", CasVariant::Nsrl),
+        ("no_matrix", CasVariant::NoMatrix),
+    ] {
         let cas = eager_fixture(variant);
         g.bench_function(name, |b| {
             b.iter(|| {
@@ -55,7 +65,9 @@ fn bench_failed_cas(c: &mut Criterion) {
 
 fn bench_recover_paths(c: &mut Criterion) {
     let mut g = c.benchmark_group("cas/recover");
-    g.sample_size(20).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(500));
+    g.sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(500));
     // Path 1: value still in the register (cheapest confirmation).
     let cas = eager_fixture(CasVariant::Nsrl);
     cas.cas(0, 0, 5, 1).unwrap();
@@ -80,10 +92,15 @@ fn bench_recover_paths(c: &mut Criterion) {
 
 fn bench_contended_chain(c: &mut Criterion) {
     let mut g = c.benchmark_group("cas/contended_chain");
-    g.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(900));
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
     // 4 threads advancing a chain 0→1→…→N together: total throughput of
     // the whole contended workload.
-    for (name, variant) in [("nsrl", CasVariant::Nsrl), ("no_matrix", CasVariant::NoMatrix)] {
+    for (name, variant) in [
+        ("nsrl", CasVariant::Nsrl),
+        ("no_matrix", CasVariant::NoMatrix),
+    ] {
         g.bench_function(name, |b| {
             b.iter_with_setup(
                 || eager_fixture(variant),

@@ -19,7 +19,9 @@ fn stack_with(policy: FlushPolicy) -> FixedStack {
 
 fn bench_flush_invariants(c: &mut Criterion) {
     let mut g = c.benchmark_group("flush_ablation/invariants");
-    g.sample_size(20).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(600));
+    g.sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
     let configs = [
         (
             "both_flushes (correct)",
@@ -64,7 +66,9 @@ fn bench_flush_invariants(c: &mut Criterion) {
 
 fn bench_frame_size_vs_flush_cost(c: &mut Criterion) {
     let mut g = c.benchmark_group("flush_ablation/lines_per_frame");
-    g.sample_size(20).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(600));
+    g.sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
     // Doubling the argument size doubles the flushed lines of the frame
     // write but leaves the marker-flip cost constant: push cost should
     // grow sub-linearly at small sizes, linearly once flushes dominate.
@@ -81,5 +85,9 @@ fn bench_frame_size_vs_flush_cost(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_flush_invariants, bench_frame_size_vs_flush_cost);
+criterion_group!(
+    benches,
+    bench_flush_invariants,
+    bench_frame_size_vs_flush_cost
+);
 criterion_main!(benches);

@@ -18,7 +18,10 @@ use pstack_nvram::{PMemBuilder, POffset};
 use pstack_recoverable::{QueueVariant, RecoverableQueue};
 
 fn eager_region(len: usize) -> (pstack_nvram::PMem, PHeap) {
-    let pmem = PMemBuilder::new().len(len).eager_flush(true).build_in_memory();
+    let pmem = PMemBuilder::new()
+        .len(len)
+        .eager_flush(true)
+        .build_in_memory();
     let heap = PHeap::format(pmem.clone(), POffset::new(0), len as u64).unwrap();
     (pmem, heap)
 }
@@ -33,8 +36,7 @@ fn bench_enqueue_dequeue_pair(c: &mut Criterion) {
     let (_, heap) = eager_region(1 << 26);
     let capacity = 400_000u64;
     let queue =
-        RecoverableQueue::format(heap.pmem().clone(), &heap, capacity, QueueVariant::Nsrl)
-            .unwrap();
+        RecoverableQueue::format(heap.pmem().clone(), &heap, capacity, QueueVariant::Nsrl).unwrap();
     let mut seq = 0u64;
     g.bench_function("nsrl", |b| {
         b.iter(|| {
@@ -58,13 +60,9 @@ fn bench_recover_scan(c: &mut Criterion) {
         .measurement_time(Duration::from_millis(600));
     for occupied in [16u64, 256, 4096] {
         let (_, heap) = eager_region(1 << 24);
-        let queue = RecoverableQueue::format(
-            heap.pmem().clone(),
-            &heap,
-            occupied + 8,
-            QueueVariant::Nsrl,
-        )
-        .unwrap();
+        let queue =
+            RecoverableQueue::format(heap.pmem().clone(), &heap, occupied + 8, QueueVariant::Nsrl)
+                .unwrap();
         for i in 0..occupied {
             queue.enqueue(0, i + 1, i as i64).unwrap();
         }

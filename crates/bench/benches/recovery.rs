@@ -10,7 +10,9 @@ use pstack_core::RecoveryMode;
 
 fn bench_parallel_vs_serial(c: &mut Criterion) {
     let mut g = c.benchmark_group("recovery/parallel_vs_serial");
-    g.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(900));
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
     // work = iterations of CPU work per recover dual: 0 measures the
     // bare stack walk (lock-bound in the simulator), 20_000 models
     // recover duals that actually complete interrupted operations.
@@ -39,7 +41,9 @@ fn bench_parallel_vs_serial(c: &mut Criterion) {
 
 fn bench_worker_scaling(c: &mut Criterion) {
     let mut g = c.benchmark_group("recovery/worker_scaling_parallel");
-    g.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(900));
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
     // Fixed total work (workers × depth = 256 frames), spread across
     // more recovery threads.
     for workers in [1usize, 2, 4, 8] {
@@ -63,7 +67,9 @@ fn bench_worker_scaling(c: &mut Criterion) {
 
 fn bench_clean_recovery_is_cheap(c: &mut Criterion) {
     let mut g = c.benchmark_group("recovery/clean_noop");
-    g.sample_size(20).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(500));
+    g.sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(500));
     // Recovery of an un-crashed system only walks dummy frames.
     g.bench_function("4_workers_0_frames", |b| {
         b.iter_with_setup(

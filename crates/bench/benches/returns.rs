@@ -35,7 +35,9 @@ fn registry(big_len: usize) -> FunctionRegistry {
 
 fn bench_return_paths(c: &mut Criterion) {
     let mut g = c.benchmark_group("returns/path");
-    g.sample_size(20).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(600));
+    g.sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
 
     // Small value: one nested call returning through the slot.
     {
@@ -46,8 +48,14 @@ fn bench_return_paths(c: &mut Criterion) {
         let heap = rt.heap().clone();
         let user_root = rt.user_root().unwrap();
         g.bench_function("small_on_stack", |b| {
-            let mut ctx =
-                PContext::new(pmem.clone(), heap.clone(), rt.registry(), stack.as_mut(), 0, user_root);
+            let mut ctx = PContext::new(
+                pmem.clone(),
+                heap.clone(),
+                rt.registry(),
+                stack.as_mut(),
+                0,
+                user_root,
+            );
             b.iter(|| {
                 let r = ctx.call(SMALL_RET, &[]).unwrap();
                 assert_eq!(r, Some(0xABCD_u64.to_le_bytes()));
@@ -67,8 +75,14 @@ fn bench_return_paths(c: &mut Criterion) {
         let user_root = rt.user_root().unwrap();
         let id = BenchmarkId::new("big_in_heap", big_len);
         g.bench_with_input(id, &big_len, |b, _| {
-            let mut ctx =
-                PContext::new(pmem.clone(), heap.clone(), rt.registry(), stack.as_mut(), 0, user_root);
+            let mut ctx = PContext::new(
+                pmem.clone(),
+                heap.clone(),
+                rt.registry(),
+                stack.as_mut(),
+                0,
+                user_root,
+            );
             let args = cell.get().to_le_bytes().to_vec();
             b.iter(|| {
                 ctx.call(BIG_RET, &args).unwrap();
@@ -80,7 +94,9 @@ fn bench_return_paths(c: &mut Criterion) {
 
 fn bench_nested_depth(c: &mut Criterion) {
     let mut g = c.benchmark_group("returns/nested_call_depth");
-    g.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(800));
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
     // A recursive function returning values back up D persistent frames.
     const RECURSE: u64 = 3;
     for depth in [4u64, 16, 64] {

@@ -11,7 +11,9 @@ use pstack_nvram::{PMemBuilder, POffset};
 
 fn bench_push_pop_pair(c: &mut Criterion) {
     let mut g = c.benchmark_group("stack_ops/push_pop_pair");
-    g.sample_size(20).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(600));
+    g.sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
     // E1+E2: one push immediately undone by one pop, per argument size.
     // Sizes below and above one 64-byte cache line (E3's long frames).
     for arg_len in [0usize, 8, 32, 64, 256, 1024] {
@@ -30,7 +32,9 @@ fn bench_push_pop_pair(c: &mut Criterion) {
 
 fn bench_push_at_depth(c: &mut Criterion) {
     let mut g = c.benchmark_group("stack_ops/push_at_depth");
-    g.sample_size(20).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(600));
+    g.sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
     // Push cost is O(1) in stack depth — the protocol touches only the
     // frame being written and one marker byte.
     for depth in [0usize, 16, 128, 512] {
@@ -51,7 +55,9 @@ fn bench_push_at_depth(c: &mut Criterion) {
 
 fn bench_eager_vs_buffered(c: &mut Criterion) {
     let mut g = c.benchmark_group("stack_ops/eager_vs_buffered");
-    g.sample_size(20).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(600));
+    g.sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
     for (name, eager) in [("buffered", false), ("eager", true)] {
         let pmem = PMemBuilder::new()
             .len(1 << 20)
@@ -70,7 +76,9 @@ fn bench_eager_vs_buffered(c: &mut Criterion) {
 
 fn bench_line_size_sweep(c: &mut Criterion) {
     let mut g = c.benchmark_group("stack_ops/line_size_sweep");
-    g.sample_size(20).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(600));
+    g.sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
     // Smaller lines mean more per-line persists for the same frame: the
     // long-frame effect (E3) amplified.
     for line in [16usize, 64, 256] {

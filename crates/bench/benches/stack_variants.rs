@@ -13,7 +13,9 @@ const KINDS: [StackKind; 3] = [StackKind::Fixed, StackKind::Vec, StackKind::List
 
 fn bench_steady_state(c: &mut Criterion) {
     let mut g = c.benchmark_group("stack_variants/steady_push_pop");
-    g.sample_size(20).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(600));
+    g.sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
     // Warm stacks at a fixed depth where no variant needs to grow.
     for kind in KINDS {
         let (pmem, heap) = region_with_heap(1 << 21);
@@ -33,7 +35,9 @@ fn bench_steady_state(c: &mut Criterion) {
 
 fn bench_deep_growth(c: &mut Criterion) {
     let mut g = c.benchmark_group("stack_variants/grow_then_drain");
-    g.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(900));
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
     // N pushes followed by N pops from tiny initial capacity: the
     // unbounded variants pay their growth machinery (array copies vs
     // block chaining), the fixed variant is the no-growth baseline.
@@ -68,7 +72,9 @@ fn bench_deep_growth(c: &mut Criterion) {
 
 fn bench_vec_shrink_ablation(c: &mut Criterion) {
     let mut g = c.benchmark_group("stack_variants/vec_shrink_ablation");
-    g.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(900));
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
     // Appendix A.2 shrinks when capacity > 4 × size; measure the cost
     // of that policy against never shrinking.
     for (name, shrink) in [("shrink_on", true), ("shrink_off", false)] {
@@ -76,8 +82,7 @@ fn bench_vec_shrink_ablation(c: &mut Criterion) {
             b.iter_with_setup(
                 || {
                     let (pmem, heap) = region_with_heap(1 << 22);
-                    let mut s =
-                        VecStack::format(pmem, heap, POffset::new(0), 128).unwrap();
+                    let mut s = VecStack::format(pmem, heap, POffset::new(0), 128).unwrap();
                     s.set_shrink(shrink);
                     s
                 },

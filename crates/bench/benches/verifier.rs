@@ -25,7 +25,7 @@ fn chain_history(n: usize, seed: u64) -> CasHistory {
     for _ in 0..n / 4 {
         ops.push(CasOp {
             pid: 1,
-            old: -(rng.random_range(1..1000)),
+            old: -rng.random_range(1i64..1000),
             new: 0,
             success: false,
         });
@@ -64,7 +64,9 @@ fn narrow_history(n: usize, seed: u64) -> CasHistory {
 
 fn bench_chain_scaling(c: &mut Criterion) {
     let mut g = c.benchmark_group("verifier/chain_scaling");
-    g.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(800));
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
     for n in [100usize, 1_000, 10_000, 50_000] {
         let h = chain_history(n, 7);
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
@@ -78,7 +80,9 @@ fn bench_chain_scaling(c: &mut Criterion) {
 
 fn bench_narrow_scaling(c: &mut Criterion) {
     let mut g = c.benchmark_group("verifier/narrow_scaling");
-    g.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(800));
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
     for n in [100usize, 1_000, 10_000, 50_000] {
         let h = narrow_history(n, 11);
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
@@ -92,7 +96,9 @@ fn bench_narrow_scaling(c: &mut Criterion) {
 
 fn bench_rejection_is_fast(c: &mut Criterion) {
     let mut g = c.benchmark_group("verifier/rejection");
-    g.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(600));
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
     // Degree violations are caught without building the path.
     let mut h = chain_history(10_000, 13);
     h.ops.push(CasOp {

@@ -17,13 +17,12 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use pstack_bench::{crashed_system, region_with_heap};
-use pstack_chaos::{
-    run_campaign, run_kill_campaign, run_queue_campaign, CampaignConfig, KillCampaignConfig,
-    QueueCampaignConfig,
-};
+use pstack_chaos::{run_campaign, run_queue_campaign, CampaignConfig, QueueCampaignConfig};
+#[cfg(all(unix, feature = "kill-harness"))]
+use pstack_chaos::{run_kill_campaign, KillCampaignConfig};
 use pstack_core::{
-    FixedStack, FunctionRegistry, ListStack, PersistentStack, RecoveryMode, Runtime,
-    RuntimeConfig, StackKind, TxnLoop, U64CellStep, VecStack,
+    FixedStack, FunctionRegistry, ListStack, PersistentStack, RecoveryMode, Runtime, RuntimeConfig,
+    StackKind, TxnLoop, U64CellStep, VecStack,
 };
 use pstack_nvram::{FailPlan, PMemBuilder, POffset};
 use pstack_recoverable::{CasVariant, QueueVariant};
@@ -82,18 +81,14 @@ fn flush_accounting() {
 
 fn recovery_speedup() {
     println!("\n### T5 — parallel vs serial recovery, 4 workers (E5)\n");
-    println!(
-        "Recover duals perform CPU work (completing interrupted operations). The"
-    );
-    println!(
-        "modelled speedup is total work / critical path from a serial pass — the"
-    );
-    println!(
-        "figure an ideally parallel host achieves; measured wall-clock speedup is"
-    );
+    println!("Recover duals perform CPU work (completing interrupted operations). The");
+    println!("modelled speedup is total work / critical path from a serial pass — the");
+    println!("figure an ideally parallel host achieves; measured wall-clock speedup is");
     println!(
         "also shown but is a property of this host's {} core(s), not the algorithm.\n",
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     );
     println!("| work per frame | frames per stack | serial (sum) | critical path | modelled speedup | measured parallel |");
     println!("|---------------:|-----------------:|-------------:|--------------:|-----------------:|------------------:|");
@@ -155,7 +150,11 @@ fn variant_counters() {
         for i in 0..512u64 {
             s.push(i, &[0u8; 24]).unwrap();
         }
-        let grown = format!("{} blocks chained, {} blocks live", s.blocks_chained(), s.block_count());
+        let grown = format!(
+            "{} blocks chained, {} blocks live",
+            s.blocks_chained(),
+            s.block_count()
+        );
         for _ in 0..512 {
             s.pop().unwrap();
         }
@@ -295,6 +294,7 @@ fn txn_sweep() {
     }
 }
 
+#[cfg(all(unix, feature = "kill-harness"))]
 fn kill_campaigns() {
     println!("\n### T10 — real-`kill(1)` campaigns, file-backed image (E18)\n");
     // The kill harness re-invokes the `kill_campaign` binary; locate it
@@ -328,7 +328,10 @@ fn kill_campaigns() {
         (6, "queue"),
     ] {
         let mut image = std::env::temp_dir();
-        image.push(format!("pstack-tables-kill-{seed}-{}.img", std::process::id()));
+        image.push(format!(
+            "pstack-tables-kill-{seed}-{}.img",
+            std::process::id()
+        ));
         let mut cfg = KillCampaignConfig::new(&image, 60, seed)
             .kill_delay_ms(2, 20)
             .max_kills(5);
@@ -360,7 +363,12 @@ fn kill_campaigns() {
 
 fn main() {
     println!("# pstack experiment tables (generated by `tables`)\n");
-    println!("Host: {} workers available", std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+    println!(
+        "Host: {} workers available",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    );
 
     let (ok, n) = campaign_table(
         "T1 — correct NSRL CAS, wide range [-100000, 100000] (E7)",
@@ -431,7 +439,13 @@ fn main() {
     assert!(n - ok > 0, "queue bug must be detected at least once");
 
     txn_sweep();
+    #[cfg(all(unix, feature = "kill-harness"))]
     kill_campaigns();
+    #[cfg(not(all(unix, feature = "kill-harness")))]
+    println!(
+        "\n### T10 — real-`kill(1)` campaigns, file-backed image (E18)\n\n\
+         skipped: rebuild with `--features kill-harness` (unix only) to regenerate."
+    );
 
     println!("\nall table assertions hold");
 }

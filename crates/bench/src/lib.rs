@@ -7,8 +7,8 @@
 //! comparable.
 
 use pstack_core::{
-    FixedStack, FunctionRegistry, ListStack, PContext, PersistentStack, Runtime,
-    RuntimeConfig, StackKind, VecStack,
+    FixedStack, FunctionRegistry, ListStack, PContext, PersistentStack, Runtime, RuntimeConfig,
+    StackKind, VecStack,
 };
 use pstack_heap::PHeap;
 use pstack_nvram::{PMem, PMemBuilder, POffset};
@@ -30,8 +30,12 @@ pub fn region(len: usize) -> PMem {
 pub fn region_with_heap(len: usize) -> (PMem, PHeap) {
     let pmem = region(len);
     let heap_base = (len / 2) as u64;
-    let heap = PHeap::format(pmem.clone(), POffset::new(heap_base), len as u64 - heap_base)
-        .expect("heap formats");
+    let heap = PHeap::format(
+        pmem.clone(),
+        POffset::new(heap_base),
+        len as u64 - heap_base,
+    )
+    .expect("heap formats");
     (pmem, heap)
 }
 

@@ -54,9 +54,17 @@ fn drive(image: PathBuf, mut rest: std::env::Args) -> ExitCode {
     }
     let mut cfg = KillCampaignConfig::new(image, n_ops, seed);
     cfg = if queue {
-        cfg.queue(if buggy { QueueVariant::NoScan } else { QueueVariant::Nsrl })
+        cfg.queue(if buggy {
+            QueueVariant::NoScan
+        } else {
+            QueueVariant::Nsrl
+        })
     } else {
-        cfg.variant(if buggy { CasVariant::NoMatrix } else { CasVariant::Nsrl })
+        cfg.variant(if buggy {
+            CasVariant::NoMatrix
+        } else {
+            CasVariant::Nsrl
+        })
     };
     if narrow {
         cfg = cfg.narrow();

@@ -8,7 +8,9 @@ use pstack_core::{
     FunctionRegistry, PError, RecoveryMode, Runtime, RuntimeConfig, StackKind, Task,
 };
 use pstack_nvram::{FailPlan, PMem, PMemBuilder, POffset};
-use pstack_recoverable::{CasTaskFunction, CasVariant, RecoverableCas, TaskTable, CAS_TASK_FUNC_ID};
+use pstack_recoverable::{
+    CasTaskFunction, CasVariant, RecoverableCas, TaskTable, CAS_TASK_FUNC_ID,
+};
 use pstack_verify::{check_serializability, replay_witness, CasHistory, CasOp, SerialVerdict};
 
 /// Configuration of one §5.2 campaign.
@@ -207,13 +209,7 @@ pub fn run_campaign(cfg: &CampaignConfig) -> Result<CampaignReport, PError> {
             .stack_capacity(8 * 1024),
         &stub,
     )?;
-    let cas = RecoverableCas::format(
-        pmem.clone(),
-        rt.heap(),
-        cfg.workers,
-        init,
-        cfg.cas_variant,
-    )?;
+    let cas = RecoverableCas::format(pmem.clone(), rt.heap(), cfg.workers, init, cfg.cas_variant)?;
     let table = TaskTable::format(pmem.clone(), rt.heap(), &ops)?;
     write_root(
         &pmem,
@@ -359,8 +355,7 @@ mod tests {
     #[test]
     fn all_stack_kinds_complete_campaigns() {
         for kind in [StackKind::Fixed, StackKind::Vec, StackKind::List] {
-            let report =
-                run_campaign(&CampaignConfig::wide(30, 11).stack(kind)).unwrap();
+            let report = run_campaign(&CampaignConfig::wide(30, 11).stack(kind)).unwrap();
             assert!(
                 report.is_serializable(),
                 "stack {kind}: verdict {:?}",

@@ -145,10 +145,7 @@ mod tests {
     fn push_scenario_passes_exhaustively() {
         let report = enumerate_crash_points(&PushScenario, &[0.0, 0.5, 1.0]).unwrap();
         assert!(report.total_events >= 3);
-        assert_eq!(
-            report.crash_points_tested,
-            report.total_events * 3
-        );
+        assert_eq!(report.crash_points_tested, report.total_events * 3);
     }
 
     /// Scenario deliberately broken: an unflushed write that verify

@@ -662,9 +662,7 @@ pub fn run_kill_campaign(
             Some(status) => {
                 // The worker finished this round on its own.
                 if !status.success() {
-                    return Err(PError::Task(format!(
-                        "worker process failed: {status}"
-                    )));
+                    return Err(PError::Task(format!("worker process failed: {status}")));
                 }
                 continue;
             }
@@ -696,9 +694,7 @@ pub fn run_kill_campaign(
             match status {
                 Some(status) if status.success() => break,
                 Some(status) => {
-                    return Err(PError::Task(format!(
-                        "recovery process failed: {status}"
-                    )))
+                    return Err(PError::Task(format!("recovery process failed: {status}")))
                 }
                 None => {
                     let _ = rec.kill();

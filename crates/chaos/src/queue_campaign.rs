@@ -18,8 +18,8 @@ use pstack_core::{
 };
 use pstack_nvram::{FailPlan, PMem, PMemBuilder, POffset};
 use pstack_recoverable::{
-    QueueOpTable, QueueTaskFunction, QueueTaskOp, QueueTaskResult, QueueVariant,
-    RecoverableQueue, QUEUE_TASK_FUNC_ID,
+    QueueOpTable, QueueTaskFunction, QueueTaskOp, QueueTaskResult, QueueVariant, RecoverableQueue,
+    QUEUE_TASK_FUNC_ID,
 };
 use pstack_verify::{
     check_fifo, FifoVerdict, QueueAnswer, QueueHistory, QueueOp, QueueOpKind, SlotWitness,
@@ -187,7 +187,9 @@ pub(crate) fn build_queue_history(
     let mut ops = Vec::with_capacity(table.len());
     for idx in 0..table.len() {
         let answer = table.result(idx)?.ok_or_else(|| {
-            PError::Task(format!("descriptor {idx} still pending; campaign incomplete"))
+            PError::Task(format!(
+                "descriptor {idx} still pending; campaign incomplete"
+            ))
         })?;
         let pid = u64::from(answer.executor);
         let seq = idx as u64 + 1;
@@ -376,8 +378,7 @@ mod tests {
     #[test]
     fn queue_campaign_works_on_all_stack_kinds() {
         for kind in [StackKind::Fixed, StackKind::Vec, StackKind::List] {
-            let report =
-                run_queue_campaign(&QueueCampaignConfig::new(30, 23).stack(kind)).unwrap();
+            let report = run_queue_campaign(&QueueCampaignConfig::new(30, 23).stack(kind)).unwrap();
             assert!(report.is_fifo(), "stack {kind}: {:?}", report.verdict);
         }
     }

@@ -28,7 +28,9 @@ fn killed_processes_leave_a_serializable_history() {
     // correct CAS + persistent-stack recovery always yields a
     // serializable execution, no matter where SIGKILL lands.
     let image = tmp_image("wide");
-    let cfg = KillCampaignConfig::new(&image, 36, 1).kill_delay_ms(4, 30).max_kills(4);
+    let cfg = KillCampaignConfig::new(&image, 36, 1)
+        .kill_delay_ms(4, 30)
+        .max_kills(4);
     let report = run_kill_campaign(harness_exe(), &cfg).expect("campaign completes");
     assert!(
         report.is_serializable(),
@@ -64,7 +66,9 @@ fn unbounded_stacks_survive_process_kills() {
     // The list-of-blocks stack keeps block pointers in the NVRAM heap;
     // a SIGKILL must never leave it unparseable for the next process.
     let image = tmp_image("list");
-    let mut cfg = KillCampaignConfig::new(&image, 24, 3).kill_delay_ms(1, 8).max_kills(3);
+    let mut cfg = KillCampaignConfig::new(&image, 24, 3)
+        .kill_delay_ms(1, 8)
+        .max_kills(3);
     cfg.stack_kind = StackKind::List;
     let report = run_kill_campaign(harness_exe(), &cfg).expect("campaign completes");
     assert!(report.is_serializable(), "{:?}", report.outcome);

@@ -308,8 +308,12 @@ mod tests {
     fn application_error_aborts_and_unwinds() {
         let (pmem, heap, mut stack) = fixture();
         let mut reg = FunctionRegistry::new();
-        reg.register_pair(1, |_c, _| Err(PError::Task("boom".into())), |_c, _| Ok(None))
-            .unwrap();
+        reg.register_pair(
+            1,
+            |_c, _| Err(PError::Task("boom".into())),
+            |_c, _| Ok(None),
+        )
+        .unwrap();
         let mut c = ctx(&pmem, &heap, &reg, &mut stack);
         assert!(matches!(c.call(1, &[]), Err(PError::Task(_))));
         assert_eq!(c.depth(), 0, "aborted frame must be unwound");
@@ -323,8 +327,12 @@ mod tests {
         let mut reg = FunctionRegistry::new();
         reg.register_pair(1, |c, _| c.call(2, &[]), |_c, _| Ok(None))
             .unwrap();
-        reg.register_pair(2, |_c, _| Err(PError::Task("inner".into())), |_c, _| Ok(None))
-            .unwrap();
+        reg.register_pair(
+            2,
+            |_c, _| Err(PError::Task("inner".into())),
+            |_c, _| Ok(None),
+        )
+        .unwrap();
         let mut c = ctx(&pmem, &heap, &reg, &mut stack);
         assert!(c.call(1, &[]).is_err());
         assert_eq!(c.depth(), 0);

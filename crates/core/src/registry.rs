@@ -105,7 +105,9 @@ impl fmt::Debug for FunctionRegistry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let mut ids: Vec<u64> = self.funcs.keys().copied().collect();
         ids.sort_unstable();
-        f.debug_struct("FunctionRegistry").field("ids", &ids).finish()
+        f.debug_struct("FunctionRegistry")
+            .field("ids", &ids)
+            .finish()
     }
 }
 
@@ -122,11 +124,7 @@ impl FunctionRegistry {
     ///
     /// [`PError::InvalidConfig`] if `id` is already taken or is the
     /// reserved dummy id.
-    pub fn register(
-        &mut self,
-        id: u64,
-        func: Arc<dyn RecoverableFunction>,
-    ) -> Result<u64, PError> {
+    pub fn register(&mut self, id: u64, func: Arc<dyn RecoverableFunction>) -> Result<u64, PError> {
         if id == DUMMY_FUNC_ID {
             return Err(PError::InvalidConfig(format!(
                 "function id {id:#x} is reserved for the dummy frame"
@@ -149,14 +147,8 @@ impl FunctionRegistry {
     /// Same as [`FunctionRegistry::register`].
     pub fn register_pair<C, R>(&mut self, id: u64, call_fn: C, recover_fn: R) -> Result<u64, PError>
     where
-        C: Fn(&mut PContext<'_>, &[u8]) -> Result<Option<RetBytes>, PError>
-            + Send
-            + Sync
-            + 'static,
-        R: Fn(&mut PContext<'_>, &[u8]) -> Result<Option<RetBytes>, PError>
-            + Send
-            + Sync
-            + 'static,
+        C: Fn(&mut PContext<'_>, &[u8]) -> Result<Option<RetBytes>, PError> + Send + Sync + 'static,
+        R: Fn(&mut PContext<'_>, &[u8]) -> Result<Option<RetBytes>, PError> + Send + Sync + 'static,
     {
         self.register(id, Arc::new(FnPair::new(call_fn, recover_fn)))
     }
@@ -233,7 +225,8 @@ mod tests {
     #[test]
     fn clone_shares_entries() {
         let mut r = FunctionRegistry::new();
-        r.register_pair(3, |_, _| Ok(None), |_, _| Ok(None)).unwrap();
+        r.register_pair(3, |_, _| Ok(None), |_, _| Ok(None))
+            .unwrap();
         let r2 = r.clone();
         assert!(r2.contains(3));
     }

@@ -149,10 +149,14 @@ impl Runtime {
         registry: &FunctionRegistry,
     ) -> Result<Self, PError> {
         if cfg.workers == 0 {
-            return Err(PError::InvalidConfig("at least one worker is required".into()));
+            return Err(PError::InvalidConfig(
+                "at least one worker is required".into(),
+            ));
         }
         if cfg.capacity == 0 {
-            return Err(PError::InvalidConfig("stack capacity must be positive".into()));
+            return Err(PError::InvalidConfig(
+                "stack capacity must be positive".into(),
+            ));
         }
         let stacks_base = round64(SUPERBLOCK_LEN + USER_SCRATCH_LEN);
         let stack_area = match cfg.kind {
@@ -277,19 +281,11 @@ impl Runtime {
         }
         let base = self.stack_base(pid);
         Ok(match self.kind {
-            StackKind::Fixed => {
-                Box::new(FixedStack::open(self.pmem.clone(), base, self.capacity)?)
+            StackKind::Fixed => Box::new(FixedStack::open(self.pmem.clone(), base, self.capacity)?),
+            StackKind::Vec => Box::new(VecStack::open(self.pmem.clone(), self.heap.clone(), base)?),
+            StackKind::List => {
+                Box::new(ListStack::open(self.pmem.clone(), self.heap.clone(), base)?)
             }
-            StackKind::Vec => Box::new(VecStack::open(
-                self.pmem.clone(),
-                self.heap.clone(),
-                base,
-            )?),
-            StackKind::List => Box::new(ListStack::open(
-                self.pmem.clone(),
-                self.heap.clone(),
-                base,
-            )?),
         })
     }
 
@@ -345,7 +341,9 @@ impl Runtime {
     ///
     /// Propagated NVRAM errors.
     pub fn user_root(&self) -> Result<POffset, PError> {
-        Ok(POffset::new(self.pmem.read_u64(POffset::new(OFF_USER_ROOT))?))
+        Ok(POffset::new(
+            self.pmem.read_u64(POffset::new(OFF_USER_ROOT))?,
+        ))
     }
 
     /// Persists a new application root offset. Applications point this
@@ -356,7 +354,8 @@ impl Runtime {
     ///
     /// Propagated NVRAM errors.
     pub fn set_user_root(&self, root: POffset) -> Result<(), PError> {
-        self.pmem.write_u64(POffset::new(OFF_USER_ROOT), root.get())?;
+        self.pmem
+            .write_u64(POffset::new(OFF_USER_ROOT), root.get())?;
         self.pmem.flush(POffset::new(OFF_USER_ROOT), 8)?;
         Ok(())
     }
@@ -369,7 +368,8 @@ mod tests {
 
     fn registry() -> FunctionRegistry {
         let mut r = FunctionRegistry::new();
-        r.register_pair(1, |_c, _| Ok(None), |_c, _| Ok(None)).unwrap();
+        r.register_pair(1, |_c, _| Ok(None), |_c, _| Ok(None))
+            .unwrap();
         r
     }
 

@@ -96,23 +96,22 @@ impl Runtime {
                 out
             }
             RecoveryMode::Parallel => {
-                let results: Vec<Result<(usize, Duration), PError>> =
-                    std::thread::scope(|scope| {
-                        let handles: Vec<_> = (0..self.workers())
-                            .map(|pid| match self.host_stack() {
-                                None => scope.spawn(move || self.recover_worker_timed(pid)),
-                                Some(bytes) => std::thread::Builder::new()
-                                    .name(format!("pstack-recovery-{pid}"))
-                                    .stack_size(bytes)
-                                    .spawn_scoped(scope, move || self.recover_worker_timed(pid))
-                                    .expect("recovery thread spawns"),
-                            })
-                            .collect();
-                        handles
-                            .into_iter()
-                            .map(|h| h.join().expect("recovery thread must not panic"))
-                            .collect()
-                    });
+                let results: Vec<Result<(usize, Duration), PError>> = std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..self.workers())
+                        .map(|pid| match self.host_stack() {
+                            None => scope.spawn(move || self.recover_worker_timed(pid)),
+                            Some(bytes) => std::thread::Builder::new()
+                                .name(format!("pstack-recovery-{pid}"))
+                                .stack_size(bytes)
+                                .spawn_scoped(scope, move || self.recover_worker_timed(pid))
+                                .expect("recovery thread spawns"),
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("recovery thread must not panic"))
+                        .collect()
+                });
                 let mut out = Vec::with_capacity(results.len());
                 for r in results {
                     out.push(r?);

@@ -20,8 +20,8 @@ use pstack_heap::PHeap;
 use pstack_nvram::{PMem, POffset};
 
 use crate::frame::{
-    encode_ordinary, encode_pointer, parse_frame, FrameMeta, MARKER_FRAME_END, MARKER_STACK_END,
-    ORDINARY_OVERHEAD, POINTER_FRAME_LEN, ParsedFrame,
+    encode_ordinary, encode_pointer, parse_frame, FrameMeta, ParsedFrame, MARKER_FRAME_END,
+    MARKER_STACK_END, ORDINARY_OVERHEAD, POINTER_FRAME_LEN,
 };
 use crate::registry::DUMMY_FUNC_ID;
 use crate::stack::{
@@ -291,7 +291,8 @@ impl PersistentStack for ListStack {
             let buf = encode_ordinary(func_id, args, MARKER_STACK_END)?;
             self.pmem.write(tail, &buf)?;
             self.pmem.flush(tail, buf.len())?;
-            self.pmem.write_u8(top_meta.marker_off(), MARKER_FRAME_END)?;
+            self.pmem
+                .write_u8(top_meta.marker_off(), MARKER_FRAME_END)?;
             self.pmem.flush(top_meta.marker_off(), 1)?;
             self.frames.push((
                 top_bidx,
@@ -306,9 +307,7 @@ impl PersistentStack for ListStack {
 
         // Chain a new block (Appendix A.3): everything below is
         // invisible until the old top's marker flips.
-        let block_len = self
-            .default_block
-            .max(BLOCK_HDR + need + POINTER_FRAME_LEN);
+        let block_len = self.default_block.max(BLOCK_HDR + need + POINTER_FRAME_LEN);
         let new_payload = self.heap.alloc(block_len as usize)?;
         write_block_header(&self.pmem, new_payload, self.blocks[top_bidx].payload)?;
         let frame_start = new_payload + BLOCK_HDR;
@@ -319,7 +318,8 @@ impl PersistentStack for ListStack {
         self.pmem.write(tail, &ptr)?;
         self.pmem.flush(tail, ptr.len())?;
         // Linearization: flip the old top's marker.
-        self.pmem.write_u8(top_meta.marker_off(), MARKER_FRAME_END)?;
+        self.pmem
+            .write_u8(top_meta.marker_off(), MARKER_FRAME_END)?;
         self.pmem.flush(top_meta.marker_off(), 1)?;
 
         let new_limit = new_payload + self.heap.payload_len(new_payload)?;

@@ -30,9 +30,7 @@ pub use vec::VecStack;
 
 use pstack_nvram::{PMem, POffset};
 
-use crate::frame::{
-    FrameMeta, RET_COMPLETED_UNIT, RET_COMPLETED_VALUE, RET_EMPTY,
-};
+use crate::frame::{FrameMeta, RET_COMPLETED_UNIT, RET_COMPLETED_VALUE, RET_EMPTY};
 use crate::PError;
 
 /// Identifies a stack layout; persisted in the runtime superblock so a
@@ -288,10 +286,7 @@ mod tests {
     fn return_slot_completion_view() {
         assert_eq!(ReturnSlot::Empty.completion(), None);
         assert_eq!(ReturnSlot::Unit.completion(), Some(None));
-        assert_eq!(
-            ReturnSlot::Value([1; 8]).completion(),
-            Some(Some([1; 8]))
-        );
+        assert_eq!(ReturnSlot::Value([1; 8]).completion(), Some(Some([1; 8])));
     }
 
     #[test]

@@ -384,7 +384,11 @@ impl U64CellStep {
     ///
     /// Panics if `i` is out of range.
     pub fn read_item(&self, i: u64) -> Result<u64, PError> {
-        assert!(i < self.count, "cell {i} out of range ({} cells)", self.count);
+        assert!(
+            i < self.count,
+            "cell {i} out of range ({} cells)",
+            self.count
+        );
         Ok(self.pmem.read_u64(self.item_off(i))?)
     }
 
@@ -398,7 +402,11 @@ impl U64CellStep {
     ///
     /// Panics if `i` is out of range.
     pub fn write_item(&self, i: u64, v: u64) -> Result<(), PError> {
-        assert!(i < self.count, "cell {i} out of range ({} cells)", self.count);
+        assert!(
+            i < self.count,
+            "cell {i} out of range ({} cells)",
+            self.count
+        );
         self.pmem.write_u64(self.item_off(i), v)?;
         self.pmem.flush(self.item_off(i), 8)?;
         Ok(())
@@ -761,7 +769,9 @@ mod tests {
         let stub = FunctionRegistry::new();
         let rt = Runtime::format(
             pmem.clone(),
-            RuntimeConfig::new(1).stack_kind(StackKind::List).stack_capacity(1024),
+            RuntimeConfig::new(1)
+                .stack_kind(StackKind::List)
+                .stack_capacity(1024),
             &stub,
         )
         .unwrap();

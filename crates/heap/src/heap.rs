@@ -160,7 +160,9 @@ impl PHeap {
 
     fn usable_range(base: POffset, len: u64) -> Result<(u64, u64), HeapError> {
         if base.is_null() {
-            return Err(HeapError::InvalidConfig("heap base must not be null".into()));
+            return Err(HeapError::InvalidConfig(
+                "heap base must not be null".into(),
+            ));
         }
         let first_block = (base + HEAP_HEADER_LEN).align_up(16).get();
         let end = (base.get() + len) & !15;
@@ -464,11 +466,7 @@ fn write_header_word(pmem: &PMem, start: u64, size: u64, used: bool) -> Result<(
     Ok(())
 }
 
-fn walk_blocks(
-    pmem: &PMem,
-    first_block: u64,
-    end: u64,
-) -> Result<BTreeMap<u64, Block>, HeapError> {
+fn walk_blocks(pmem: &PMem, first_block: u64, end: u64) -> Result<BTreeMap<u64, Block>, HeapError> {
     let mut blocks = BTreeMap::new();
     let mut pos = first_block;
     while pos < end {

@@ -103,10 +103,7 @@ impl POffset {
     /// Panics if `origin > self`.
     #[must_use]
     pub fn distance_from(self, origin: POffset) -> u64 {
-        assert!(
-            origin.0 <= self.0,
-            "origin {origin} is past offset {self}"
-        );
+        assert!(origin.0 <= self.0, "origin {origin} is past offset {self}");
         self.0 - origin.0
     }
 }

@@ -198,7 +198,9 @@ impl PMemBuilder {
 
     fn validate(&self) -> Result<(), MemError> {
         if self.len == 0 {
-            return Err(MemError::InvalidConfig("region length must be positive".into()));
+            return Err(MemError::InvalidConfig(
+                "region length must be positive".into(),
+            ));
         }
         if self.line_size == 0 || !self.line_size.is_power_of_two() {
             return Err(MemError::InvalidConfig(
@@ -623,9 +625,8 @@ impl PMem {
             } else if survival_prob >= 1.0 {
                 true
             } else {
-                let mut rng = SmallRng::seed_from_u64(
-                    seed ^ (li as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-                );
+                let mut rng =
+                    SmallRng::seed_from_u64(seed ^ (li as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
                 rng.random_bool(survival_prob)
             };
             let content = st.dirty.remove(&li).expect("line listed as dirty");
@@ -904,8 +905,14 @@ mod tests {
         let p = small();
         p.crash_now(0, 0.0);
         assert!(matches!(p.read_u8(POffset::new(0)), Err(MemError::Crashed)));
-        assert!(matches!(p.write_u8(POffset::new(0), 1), Err(MemError::Crashed)));
-        assert!(matches!(p.flush(POffset::new(0), 1), Err(MemError::Crashed)));
+        assert!(matches!(
+            p.write_u8(POffset::new(0), 1),
+            Err(MemError::Crashed)
+        ));
+        assert!(matches!(
+            p.flush(POffset::new(0), 1),
+            Err(MemError::Crashed)
+        ));
         assert!(matches!(
             p.compare_exchange(POffset::new(0), &[0], &[1]),
             Err(MemError::Crashed)
@@ -940,20 +947,12 @@ mod tests {
         let p = small();
         p.write_u64(POffset::new(0), 10).unwrap();
         let ok = p
-            .compare_exchange(
-                POffset::new(0),
-                &10u64.to_le_bytes(),
-                &20u64.to_le_bytes(),
-            )
+            .compare_exchange(POffset::new(0), &10u64.to_le_bytes(), &20u64.to_le_bytes())
             .unwrap();
         assert!(ok);
         assert_eq!(p.read_u64(POffset::new(0)).unwrap(), 20);
         let ok = p
-            .compare_exchange(
-                POffset::new(0),
-                &10u64.to_le_bytes(),
-                &30u64.to_le_bytes(),
-            )
+            .compare_exchange(POffset::new(0), &10u64.to_le_bytes(), &30u64.to_le_bytes())
             .unwrap();
         assert!(!ok);
         assert_eq!(p.read_u64(POffset::new(0)).unwrap(), 20);
@@ -1099,7 +1098,10 @@ mod tests {
     #[test]
     fn builder_validates() {
         assert!(PMemBuilder::new().len(0).build_file("/tmp/x").is_err());
-        assert!(PMemBuilder::new().line_size(3).build_file("/tmp/x").is_err());
+        assert!(PMemBuilder::new()
+            .line_size(3)
+            .build_file("/tmp/x")
+            .is_err());
     }
 
     #[test]
@@ -1166,7 +1168,10 @@ mod tests {
         p.crash_now(0, 0.0);
         let p = p.reopen().unwrap();
         for i in 0..64usize {
-            assert_eq!(p.read_u64(POffset::new((i * 64) as u64)).unwrap(), i as u64 + 1);
+            assert_eq!(
+                p.read_u64(POffset::new((i * 64) as u64)).unwrap(),
+                i as u64 + 1
+            );
         }
     }
 }

@@ -25,9 +25,9 @@
 //! operations that succeeded, and the serializability verifier catches
 //! the resulting histories.
 
+use pstack_core::PError;
 use pstack_heap::PHeap;
 use pstack_nvram::{PMem, POffset};
-use pstack_core::PError;
 
 use crate::cell::{TaggedValue, INIT_PID};
 
@@ -156,12 +156,7 @@ impl RecoverableCas {
     /// # Errors
     ///
     /// [`PError::InvalidConfig`] if the region is not `eager_flush`.
-    pub fn open(
-        pmem: PMem,
-        base: POffset,
-        n: usize,
-        variant: CasVariant,
-    ) -> Result<Self, PError> {
+    pub fn open(pmem: PMem, base: POffset, n: usize, variant: CasVariant) -> Result<Self, PError> {
         if !pmem.is_eager_flush() {
             return Err(PError::InvalidConfig(
                 "recoverable CAS requires an eager-flush region".into(),
@@ -227,7 +222,11 @@ impl RecoverableCas {
     ///
     /// Panics if `pid >= n`.
     pub fn cas(&self, pid: usize, old: i64, new: i64, seq: u64) -> Result<bool, PError> {
-        assert!(pid < self.n, "pid {pid} out of range ({} processes)", self.n);
+        assert!(
+            pid < self.n,
+            "pid {pid} out of range ({} processes)",
+            self.n
+        );
         let desired = TaggedValue {
             value: new,
             pid: pid as u64,
@@ -267,7 +266,11 @@ impl RecoverableCas {
     ///
     /// Panics if `pid >= n`.
     pub fn recover(&self, pid: usize, old: i64, new: i64, seq: u64) -> Result<bool, PError> {
-        assert!(pid < self.n, "pid {pid} out of range ({} processes)", self.n);
+        assert!(
+            pid < self.n,
+            "pid {pid} out of range ({} processes)",
+            self.n
+        );
         let mine = TaggedValue {
             value: new,
             pid: pid as u64,
@@ -279,8 +282,7 @@ impl RecoverableCas {
         }
         if self.variant == CasVariant::Nsrl {
             for j in 0..self.n as u64 {
-                let evidence =
-                    TaggedValue::read_from(&self.pmem, self.matrix_cell(pid as u64, j))?;
+                let evidence = TaggedValue::read_from(&self.pmem, self.matrix_cell(pid as u64, j))?;
                 if evidence == mine {
                     return Ok(true);
                 }
@@ -341,7 +343,7 @@ mod tests {
         let (_, _, cas) = fixture(2, 0, CasVariant::Nsrl);
         assert!(cas.cas(0, 0, 5, 1).unwrap());
         assert!(cas.cas(1, 5, 9, 2).unwrap()); // overwrites p0's value
-        // p0's recovery must still report success via R[0][1].
+                                               // p0's recovery must still report success via R[0][1].
         assert!(cas.recover(0, 0, 5, 1).unwrap());
         // And must not have re-executed: register still holds 9.
         assert_eq!(cas.read().unwrap(), 9);
@@ -411,7 +413,10 @@ mod tests {
             let cas2 = RecoverableCas::open(pmem2, cas.base(), 1, CasVariant::Nsrl).unwrap();
             let _ = heap2;
             let result = cas2.recover(0, 0, 5, 1).unwrap();
-            assert!(result, "recovery must complete the op (re-executing if needed)");
+            assert!(
+                result,
+                "recovery must complete the op (re-executing if needed)"
+            );
             assert_eq!(cas2.read().unwrap(), 5, "crash at event {k}");
         }
     }

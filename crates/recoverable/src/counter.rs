@@ -7,9 +7,9 @@
 //! effect before the crash and is not applied again. The counter value
 //! is the sum of all slots, as in classic shared counters.
 
+use pstack_core::PError;
 use pstack_heap::PHeap;
 use pstack_nvram::{PMem, POffset};
-use pstack_core::PError;
 
 const SLOT_STRIDE: u64 = 64;
 
@@ -93,7 +93,11 @@ impl RecoverableCounter {
     /// Panics if `pid >= n` or `seq` is zero (zero marks "no operation
     /// yet").
     pub fn increment(&self, pid: usize, seq: u64) -> Result<(), PError> {
-        assert!(pid < self.n, "pid {pid} out of range ({} processes)", self.n);
+        assert!(
+            pid < self.n,
+            "pid {pid} out of range ({} processes)",
+            self.n
+        );
         assert_ne!(seq, 0, "sequence tags start at 1");
         let slot = self.slot(pid);
         let count = self.pmem.read_u64(slot)?;

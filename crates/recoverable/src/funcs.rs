@@ -149,13 +149,11 @@ mod tests {
             .build_in_memory();
         let mut registry = FunctionRegistry::new();
         let rt = Runtime::format(pmem.clone(), RuntimeConfig::new(2), &registry).unwrap();
-        let cas =
-            RecoverableCas::format(pmem.clone(), rt.heap(), 2, 0, CasVariant::Nsrl).unwrap();
+        let cas = RecoverableCas::format(pmem.clone(), rt.heap(), 2, 0, CasVariant::Nsrl).unwrap();
         // A chain 0→1→2→3: all succeed when executed in order by one
         // worker each... but workers race, so use a single worker for
         // determinism here.
-        let table =
-            TaskTable::format(pmem.clone(), rt.heap(), &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let table = TaskTable::format(pmem.clone(), rt.heap(), &[(0, 1), (1, 2), (2, 3)]).unwrap();
         registry
             .register(
                 CAS_TASK_FUNC_ID,
@@ -164,10 +162,8 @@ mod tests {
             .unwrap();
         let rt = Runtime::format(pmem.clone(), RuntimeConfig::new(1), &registry).unwrap();
         // Reformatting wiped the heap; recreate objects on the fresh heap.
-        let cas =
-            RecoverableCas::format(pmem.clone(), rt.heap(), 1, 0, CasVariant::Nsrl).unwrap();
-        let table =
-            TaskTable::format(pmem.clone(), rt.heap(), &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let cas = RecoverableCas::format(pmem.clone(), rt.heap(), 1, 0, CasVariant::Nsrl).unwrap();
+        let table = TaskTable::format(pmem.clone(), rt.heap(), &[(0, 1), (1, 2), (2, 3)]).unwrap();
         let mut registry = FunctionRegistry::new();
         registry
             .register(
@@ -198,7 +194,9 @@ mod tests {
 
         // Run once through the runtime-free path: fabricate a context.
         let mut registry = FunctionRegistry::new();
-        registry.register(CAS_TASK_FUNC_ID, f.clone().into_arc()).unwrap();
+        registry
+            .register(CAS_TASK_FUNC_ID, f.clone().into_arc())
+            .unwrap();
         let mut stack =
             pstack_core::FixedStack::format(pmem.clone(), POffset::new(0), 2048).unwrap();
         let mut ctx = PContext::new(
@@ -242,16 +240,14 @@ mod tests {
         let rt = Runtime::open(pmem.clone(), &registry).unwrap();
 
         pmem.arm_failpoint(pstack_nvram::FailPlan::after_events(60));
-        let report =
-            rt.run_tasks((0..40).map(|i| Task::new(COUNTER_TASK_FUNC_ID, encode_idx(i))));
+        let report = rt.run_tasks((0..40).map(|i| Task::new(COUNTER_TASK_FUNC_ID, encode_idx(i))));
         assert!(report.crashed);
 
         let pmem2 = pmem.reopen().unwrap();
-        let rt2 = Runtime::open(pmem2.clone(), &registry_for(&RecoverableCounter::open(
+        let rt2 = Runtime::open(
             pmem2.clone(),
-            counter.base(),
-            2,
-        )))
+            &registry_for(&RecoverableCounter::open(pmem2.clone(), counter.base(), 2)),
+        )
         .unwrap();
         rt2.recover(pstack_core::RecoveryMode::Parallel).unwrap();
         // Counter value equals completed + recovered increments; all

@@ -240,7 +240,9 @@ impl RecoverableQueue {
         variant: QueueVariant,
     ) -> Result<Self, PError> {
         if capacity == 0 {
-            return Err(PError::InvalidConfig("queue capacity must be positive".into()));
+            return Err(PError::InvalidConfig(
+                "queue capacity must be positive".into(),
+            ));
         }
         if !pmem.is_eager_flush() {
             return Err(PError::InvalidConfig(
@@ -323,7 +325,11 @@ impl RecoverableQueue {
     ///
     /// Panics if `i >= capacity`.
     pub fn slot(&self, i: u64) -> Result<QueueSlot, PError> {
-        assert!(i < self.capacity, "slot {i} out of range ({} slots)", self.capacity);
+        assert!(
+            i < self.capacity,
+            "slot {i} out of range ({} slots)",
+            self.capacity
+        );
         let mut b = [0u8; SLOT_RECORD_LEN];
         self.pmem.read(self.slot_off(i), &mut b)?;
         Ok(QueueSlot::decode(&b))
@@ -531,7 +537,10 @@ mod tests {
         let (_, _, q) = fixture(2, QueueVariant::Nsrl);
         assert!(q.enqueue(0, 1, 1).unwrap());
         assert!(q.enqueue(0, 2, 2).unwrap());
-        assert!(!q.enqueue(0, 3, 3).unwrap(), "third enqueue must report full");
+        assert!(
+            !q.enqueue(0, 3, 3).unwrap(),
+            "third enqueue must report full"
+        );
         // Dequeuing does not free capacity: slots are never recycled.
         assert_eq!(q.dequeue(0, 4).unwrap(), Some(1));
         assert!(!q.enqueue(0, 5, 5).unwrap());
@@ -722,7 +731,11 @@ mod tests {
         assert_eq!(all.len(), (producers * per) as usize);
         all.sort_unstable();
         all.dedup();
-        assert_eq!(all.len(), (producers * per) as usize, "no item lost or duplicated");
+        assert_eq!(
+            all.len(),
+            (producers * per) as usize,
+            "no item lost or duplicated"
+        );
         // Per-producer FIFO: slot order must preserve each producer's
         // program order.
         let snap = q.snapshot().unwrap();

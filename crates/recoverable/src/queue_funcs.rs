@@ -391,8 +391,8 @@ mod tests {
             .eager_flush(true)
             .build_in_memory();
         let heap = PHeap::format(pmem.clone(), POffset::new(8192), (1 << 18) - 8192).unwrap();
-        let q = RecoverableQueue::format(pmem.clone(), &heap, capacity, QueueVariant::Nsrl)
-            .unwrap();
+        let q =
+            RecoverableQueue::format(pmem.clone(), &heap, capacity, QueueVariant::Nsrl).unwrap();
         let table = QueueOpTable::format(pmem.clone(), &heap, ops).unwrap();
         (pmem, heap, q, table)
     }
@@ -410,7 +410,9 @@ mod tests {
         assert_eq!(table.op(1).unwrap(), QueueTaskOp::Dequeue);
         assert_eq!(table.pending().unwrap(), vec![0, 1, 2]);
 
-        table.mark_done(0, 2, QueueTaskResult::Accepted(true)).unwrap();
+        table
+            .mark_done(0, 2, QueueTaskResult::Accepted(true))
+            .unwrap();
         table
             .mark_done(1, 3, QueueTaskResult::Dequeued(Some(-5)))
             .unwrap();
@@ -451,7 +453,9 @@ mod tests {
     #[test]
     fn dequeued_none_round_trips() {
         let (_, _, _, table) = fixture(2, &[QueueTaskOp::Dequeue]);
-        table.mark_done(0, 1, QueueTaskResult::Dequeued(None)).unwrap();
+        table
+            .mark_done(0, 1, QueueTaskResult::Dequeued(None))
+            .unwrap();
         assert_eq!(
             table.result(0).unwrap().unwrap().result,
             QueueTaskResult::Dequeued(None)
@@ -542,7 +546,9 @@ mod tests {
                     0,
                     POffset::new(64),
                 );
-                let err = ctx.call(QUEUE_TASK_FUNC_ID, &0u64.to_le_bytes()).unwrap_err();
+                let err = ctx
+                    .call(QUEUE_TASK_FUNC_ID, &0u64.to_le_bytes())
+                    .unwrap_err();
                 assert!(err.is_crash(), "crash at event {k}");
             }
             let pmem2 = pmem.reopen().unwrap();
@@ -558,14 +564,8 @@ mod tests {
                 .unwrap();
             let mut stack2 =
                 pstack_core::FixedStack::open(pmem2.clone(), POffset::new(0), 4096).unwrap();
-            let mut ctx2 = PContext::new(
-                pmem2,
-                heap2,
-                &registry2,
-                &mut stack2,
-                0,
-                POffset::new(64),
-            );
+            let mut ctx2 =
+                PContext::new(pmem2, heap2, &registry2, &mut stack2, 0, POffset::new(64));
             pstack_core::recover_stack(&mut ctx2).unwrap();
             // Whether or not the frame linearized before the crash, the
             // final state must hold the value at most once; if the

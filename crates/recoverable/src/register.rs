@@ -4,9 +4,9 @@
 //! re-executes it — the simplest NSRL primitive, included as one of
 //! the paper's "other NVRAM algorithms" (future-work direction 1).
 
+use pstack_core::PError;
 use pstack_heap::PHeap;
 use pstack_nvram::{PMem, POffset};
-use pstack_core::PError;
 
 use crate::cell::TaggedValue;
 

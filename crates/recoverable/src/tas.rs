@@ -109,11 +109,10 @@ impl RecoverableTas {
     /// Panics if `pid` equals the [`NO_WINNER`] sentinel.
     pub fn test_and_set(&self, pid: u64) -> Result<bool, PError> {
         assert_ne!(pid, NO_WINNER, "pid collides with the NO_WINNER sentinel");
-        if self.pmem.compare_exchange(
-            self.base,
-            &NO_WINNER.to_le_bytes(),
-            &pid.to_le_bytes(),
-        )? {
+        if self
+            .pmem
+            .compare_exchange(self.base, &NO_WINNER.to_le_bytes(), &pid.to_le_bytes())?
+        {
             return Ok(true);
         }
         // Lost — or already won earlier (idempotence).

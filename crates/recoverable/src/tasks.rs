@@ -8,9 +8,9 @@
 //! status/answer pair that is persisted with a single atomic two-byte
 //! flush when the operation completes.
 
+use pstack_core::PError;
 use pstack_heap::PHeap;
 use pstack_nvram::{PMem, POffset};
-use pstack_core::PError;
 
 const TABLE_MAGIC: u64 = 0x5053_5441_534B_5442; // "PSTASKTB"
 const HEADER_LEN: u64 = 16;
@@ -62,7 +62,9 @@ impl TaskTable {
     /// op list.
     pub fn format(pmem: PMem, heap: &PHeap, ops: &[(i64, i64)]) -> Result<Self, PError> {
         if ops.is_empty() {
-            return Err(PError::InvalidConfig("task table needs at least one op".into()));
+            return Err(PError::InvalidConfig(
+                "task table needs at least one op".into(),
+            ));
         }
         let len = Self::required_len(ops.len());
         let base = heap.alloc_aligned(len, 64)?;

@@ -222,7 +222,10 @@ impl std::fmt::Display for FifoViolation {
                 "slot {full_at} is still full but later slot {tombstone_at} is tombstoned"
             ),
             FifoViolation::ProducerOrderViolated { pid } => {
-                write!(f, "producer {pid}'s enqueues occupy slots out of program order")
+                write!(
+                    f,
+                    "producer {pid}'s enqueues occupy slots out of program order"
+                )
             }
         }
     }
@@ -298,7 +301,10 @@ pub fn check_fifo(history: &QueueHistory) -> FifoVerdict {
     let mut slot_of_deq: HashMap<(u64, u64), (usize, i64)> = HashMap::new();
     let mut first_full: Option<usize> = None;
     for (i, slot) in history.snapshot.iter().enumerate() {
-        if slot_of_enq.insert((slot.pid, slot.seq), (i, slot.value)).is_some() {
+        if slot_of_enq
+            .insert((slot.pid, slot.seq), (i, slot.value))
+            .is_some()
+        {
             return fail(FifoViolation::DuplicateEnqueue {
                 tag: (slot.pid, slot.seq),
             });
@@ -456,10 +462,7 @@ mod tests {
                 deq(1, 2, Some(20)),
                 deq(1, 3, None),
             ],
-            snapshot: vec![
-                slot(0, 1, 10, Some((1, 1))),
-                slot(0, 2, 20, Some((1, 2))),
-            ],
+            snapshot: vec![slot(0, 1, 10, Some((1, 1))), slot(0, 2, 20, Some((1, 2)))],
         };
         assert!(check_fifo(&h).is_fifo());
     }
@@ -486,10 +489,7 @@ mod tests {
                 enq(0, 2, 20, true),
                 deq(1, 1, Some(10)),
             ],
-            snapshot: vec![
-                slot(0, 1, 10, Some((1, 1))),
-                slot(0, 2, 20, Some((1, 1))),
-            ],
+            snapshot: vec![slot(0, 1, 10, Some((1, 1))), slot(0, 2, 20, Some((1, 1)))],
         };
         assert_eq!(
             check_fifo(&h),

@@ -50,13 +50,17 @@ impl CasHistory {
     /// Indices of the successful operations.
     #[must_use]
     pub fn successful(&self) -> Vec<usize> {
-        (0..self.ops.len()).filter(|&i| self.ops[i].success).collect()
+        (0..self.ops.len())
+            .filter(|&i| self.ops[i].success)
+            .collect()
     }
 
     /// Indices of the failed operations.
     #[must_use]
     pub fn failed(&self) -> Vec<usize> {
-        (0..self.ops.len()).filter(|&i| !self.ops[i].success).collect()
+        (0..self.ops.len())
+            .filter(|&i| !self.ops[i].success)
+            .collect()
     }
 }
 

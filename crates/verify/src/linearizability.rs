@@ -143,10 +143,7 @@ mod tests {
 
     #[test]
     fn sequential_chain_linearizes() {
-        let h = TimedHistory::new(
-            0,
-            vec![timed(0, 1, true, 1, 2), timed(1, 2, true, 3, 4)],
-        );
+        let h = TimedHistory::new(0, vec![timed(0, 1, true, 1, 2), timed(1, 2, true, 3, 4)]);
         match check_linearizability(&h) {
             LinVerdict::Linearizable { order } => assert_eq!(order, vec![0, 1]),
             other => panic!("expected linearizable, got {other:?}"),
@@ -158,10 +155,7 @@ mod tests {
         // Op 0 (CAS 1→2) returns before op 1 (CAS 0→1) is invoked, so
         // op 0 must linearize first — but then it cannot succeed on
         // register 0. Serializable (reverse order), yet NOT linearizable.
-        let h = TimedHistory::new(
-            0,
-            vec![timed(1, 2, true, 1, 2), timed(0, 1, true, 5, 6)],
-        );
+        let h = TimedHistory::new(0, vec![timed(1, 2, true, 1, 2), timed(0, 1, true, 5, 6)]);
         assert_eq!(check_linearizability(&h), LinVerdict::NotLinearizable);
         assert!(check_serializability(&h.untimed(2)).is_serializable());
     }
@@ -170,10 +164,7 @@ mod tests {
     fn overlapping_ops_may_reorder() {
         // Same ops, but overlapping in real time: now the checker may
         // pick the value-respecting order.
-        let h = TimedHistory::new(
-            0,
-            vec![timed(1, 2, true, 1, 10), timed(0, 1, true, 2, 9)],
-        );
+        let h = TimedHistory::new(0, vec![timed(1, 2, true, 1, 10), timed(0, 1, true, 2, 9)]);
         match check_linearizability(&h) {
             LinVerdict::Linearizable { order } => assert_eq!(order, vec![1, 0]),
             other => panic!("expected linearizable, got {other:?}"),
@@ -184,24 +175,15 @@ mod tests {
     fn failed_op_constrains_placement() {
         // Failed CAS(0→9) entirely after the only transition away from
         // 0 — fine. Entirely before it — impossible.
-        let ok = TimedHistory::new(
-            0,
-            vec![timed(0, 1, true, 1, 2), timed(0, 9, false, 3, 4)],
-        );
+        let ok = TimedHistory::new(0, vec![timed(0, 1, true, 1, 2), timed(0, 9, false, 3, 4)]);
         assert!(check_linearizability(&ok).is_linearizable());
-        let bad = TimedHistory::new(
-            0,
-            vec![timed(0, 9, false, 1, 2), timed(0, 1, true, 3, 4)],
-        );
+        let bad = TimedHistory::new(0, vec![timed(0, 9, false, 1, 2), timed(0, 1, true, 3, 4)]);
         assert_eq!(check_linearizability(&bad), LinVerdict::NotLinearizable);
     }
 
     #[test]
     fn double_application_is_not_linearizable() {
-        let h = TimedHistory::new(
-            0,
-            vec![timed(0, 5, true, 1, 2), timed(0, 5, true, 3, 4)],
-        );
+        let h = TimedHistory::new(0, vec![timed(0, 5, true, 1, 2), timed(0, 5, true, 3, 4)]);
         assert_eq!(check_linearizability(&h), LinVerdict::NotLinearizable);
     }
 

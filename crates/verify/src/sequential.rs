@@ -173,17 +173,11 @@ mod tests {
     #[test]
     fn single_process_respects_program_order() {
         // In program order the ops only work as 0→1 then 1→2.
-        let ok = ProgramOrderHistory::new(
-            0,
-            vec![vec![op(0, 0, 1, true), op(0, 1, 2, true)]],
-        );
+        let ok = ProgramOrderHistory::new(0, vec![vec![op(0, 0, 1, true), op(0, 1, 2, true)]]);
         assert!(check_sequential_consistency(&ok).is_sequentially_consistent());
         // Reversed program order cannot be fixed by reordering: SC must
         // keep p0's order, so this fails.
-        let bad = ProgramOrderHistory::new(
-            0,
-            vec![vec![op(0, 1, 2, true), op(0, 0, 1, true)]],
-        );
+        let bad = ProgramOrderHistory::new(0, vec![vec![op(0, 1, 2, true), op(0, 0, 1, true)]]);
         assert!(!check_sequential_consistency(&bad).is_sequentially_consistent());
         // ... although the same multiset is serializable.
         let flat = CasHistory::new(0, 2, vec![op(0, 1, 2, true), op(0, 0, 1, true)]);
@@ -192,13 +186,7 @@ mod tests {
 
     #[test]
     fn cross_process_reordering_is_allowed() {
-        let h = ProgramOrderHistory::new(
-            0,
-            vec![
-                vec![op(0, 1, 2, true)],
-                vec![op(1, 0, 1, true)],
-            ],
-        );
+        let h = ProgramOrderHistory::new(0, vec![vec![op(0, 1, 2, true)], vec![op(1, 0, 1, true)]]);
         match check_sequential_consistency(&h) {
             ScVerdict::SequentiallyConsistent { order } => {
                 assert_eq!(order, vec![(1, 0), (0, 0)]);
@@ -212,10 +200,7 @@ mod tests {
         // p0: fail CAS(0→9) then succeed CAS(0→1). The failure needs the
         // register ≠ 0 before p0's success — impossible for a single
         // process alone...
-        let alone = ProgramOrderHistory::new(
-            0,
-            vec![vec![op(0, 0, 9, false), op(0, 0, 1, true)]],
-        );
+        let alone = ProgramOrderHistory::new(0, vec![vec![op(0, 0, 9, false), op(0, 0, 1, true)]]);
         assert!(!check_sequential_consistency(&alone).is_sequentially_consistent());
         // ...but another process can take the register away and back.
         let helped = ProgramOrderHistory::new(
@@ -230,13 +215,7 @@ mod tests {
 
     #[test]
     fn double_application_is_not_sc() {
-        let h = ProgramOrderHistory::new(
-            0,
-            vec![
-                vec![op(0, 0, 5, true)],
-                vec![op(1, 0, 5, true)],
-            ],
-        );
+        let h = ProgramOrderHistory::new(0, vec![vec![op(0, 0, 5, true)], vec![op(1, 0, 5, true)]]);
         assert!(!check_sequential_consistency(&h).is_sequentially_consistent());
     }
 
@@ -261,8 +240,7 @@ mod tests {
                 vec![op(1, 4, 2, true)],
             ],
         );
-        let ScVerdict::SequentiallyConsistent { order } = check_sequential_consistency(&h)
-        else {
+        let ScVerdict::SequentiallyConsistent { order } = check_sequential_consistency(&h) else {
             panic!("expected SC")
         };
         let mut reg = h.init;

@@ -325,11 +325,7 @@ mod tests {
 
     #[test]
     fn simple_chain_is_serializable_with_correct_witness() {
-        let h = CasHistory::new(
-            0,
-            3,
-            vec![op(1, 2, true), op(0, 1, true), op(2, 3, true)],
-        );
+        let h = CasHistory::new(0, 3, vec![op(1, 2, true), op(0, 1, true), op(2, 3, true)]);
         match check_serializability(&h) {
             SerialVerdict::Serializable { order } => {
                 assert_eq!(order, vec![1, 0, 2], "chain must serialize 0→1→2→3");
@@ -380,11 +376,7 @@ mod tests {
     fn disconnected_cycle_is_detected_by_connectivity() {
         // Degrees all balance (5→6, 6→5 is a cycle) but it is
         // unreachable from init=0's component.
-        let h = CasHistory::new(
-            0,
-            1,
-            vec![op(0, 1, true), op(5, 6, true), op(6, 5, true)],
-        );
+        let h = CasHistory::new(0, 1, vec![op(0, 1, true), op(5, 6, true), op(6, 5, true)]);
         assert_eq!(
             check_serializability(&h),
             SerialVerdict::NotSerializable {
@@ -441,11 +433,7 @@ mod tests {
     fn duplicate_values_form_multigraph() {
         // Narrow-range style: the same edge 1→2 occurs twice, connected
         // by a 2→1 edge. Eulerian path: 1→2, 2→1, 1→2.
-        let h = CasHistory::new(
-            1,
-            2,
-            vec![op(1, 2, true), op(1, 2, true), op(2, 1, true)],
-        );
+        let h = CasHistory::new(1, 2, vec![op(1, 2, true), op(1, 2, true), op(2, 1, true)]);
         match check_serializability(&h) {
             SerialVerdict::Serializable { order } => {
                 assert_eq!(order.len(), 3);

@@ -45,7 +45,10 @@ impl std::fmt::Display for WitnessError {
                 "successful op #{index} replayed against register value {register}"
             ),
             WitnessError::FailedOpWouldSucceed { index } => {
-                write!(f, "failed op #{index} replayed at a moment it would succeed")
+                write!(
+                    f,
+                    "failed op #{index} replayed at a moment it would succeed"
+                )
             }
             WitnessError::WrongFinalValue { replayed, reported } => {
                 write!(f, "replay ends at {replayed}, history reports {reported}")
@@ -142,10 +145,7 @@ mod tests {
     fn non_permutations_are_rejected() {
         let h = CasHistory::new(0, 1, vec![op(0, 1, true)]);
         assert_eq!(replay_witness(&h, &[]), Err(WitnessError::NotAPermutation));
-        assert_eq!(
-            replay_witness(&h, &[5]),
-            Err(WitnessError::NotAPermutation)
-        );
+        assert_eq!(replay_witness(&h, &[5]), Err(WitnessError::NotAPermutation));
         let h2 = CasHistory::new(0, 1, vec![op(0, 1, true), op(9, 9, false)]);
         assert_eq!(
             replay_witness(&h2, &[0, 0]),
@@ -186,7 +186,12 @@ mod tests {
             CasHistory::new(
                 1,
                 2,
-                vec![op(1, 2, true), op(1, 2, true), op(2, 1, true), op(9, 0, false)],
+                vec![
+                    op(1, 2, true),
+                    op(1, 2, true),
+                    op(2, 1, true),
+                    op(9, 0, false),
+                ],
             ),
             CasHistory::new(5, 5, vec![op(5, 5, true), op(4, 5, false)]),
         ];

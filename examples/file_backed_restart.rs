@@ -56,8 +56,9 @@ fn phase_run(path: &Path, crash_in_process: bool) -> Result<(), Box<dyn std::err
     if crash_in_process {
         pmem.arm_failpoint(FailPlan::after_events(150));
     }
-    let tasks: Vec<Task> =
-        (1..=32u64).map(|i| Task::new(CHECKPOINTED_SUM, i.to_le_bytes().to_vec())).collect();
+    let tasks: Vec<Task> = (1..=32u64)
+        .map(|i| Task::new(CHECKPOINTED_SUM, i.to_le_bytes().to_vec()))
+        .collect();
     let report = rt.run_tasks(tasks);
     println!(
         "phase run: completed={} crashed={} (file: {})",

@@ -61,8 +61,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let runtime = Runtime::format(pmem.clone(), RuntimeConfig::new(2), &registry)?;
     pmem.arm_failpoint(FailPlan::after_events(120));
 
-    let tasks: Vec<Task> =
-        (0..24u64).map(|i| Task::new(STORE_SQUARED, i.to_le_bytes().to_vec())).collect();
+    let tasks: Vec<Task> = (0..24u64)
+        .map(|i| Task::new(STORE_SQUARED, i.to_le_bytes().to_vec()))
+        .collect();
     let report = runtime.run_tasks(tasks);
     println!(
         "standard mode: completed={} crashed={}",
@@ -84,8 +85,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // Back to standard mode: finish whatever never started.
         // (A real system would persist which tasks completed; here we
         // simply re-run everything — the functions are idempotent.)
-        let tasks: Vec<Task> =
-            (0..24u64).map(|i| Task::new(STORE_SQUARED, i.to_le_bytes().to_vec())).collect();
+        let tasks: Vec<Task> = (0..24u64)
+            .map(|i| Task::new(STORE_SQUARED, i.to_le_bytes().to_vec()))
+            .collect();
         let report = runtime.run_tasks(tasks);
         println!("resumed: completed={}", report.completed);
 

@@ -28,8 +28,7 @@
 use std::sync::Arc;
 
 use pstack::core::{
-    FunctionRegistry, PError, RecoveryMode, Runtime, RuntimeConfig, StackKind, TxnLoop,
-    U64CellStep,
+    FunctionRegistry, PError, RecoveryMode, Runtime, RuntimeConfig, StackKind, TxnLoop, U64CellStep,
 };
 use pstack::nvram::{FailPlan, PMem, PMemBuilder, POffset};
 
@@ -92,7 +91,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         before == after
     );
     assert_eq!(before, after, "rollback must restore every item");
-    assert!(!step2.is_committed()?, "the interrupted transaction must not commit");
+    assert!(
+        !step2.is_committed()?,
+        "the interrupted transaction must not commit"
+    );
 
     // Run 2: no crash. The whole transaction commits atomically (the
     // deepest frame's commit-flag flush), then unwinds.

@@ -63,7 +63,10 @@ fn dump(path: &Path) -> Result<(), Box<dyn std::error::Error>> {
     println!("\nheap:");
     let heap: &PHeap = rt.heap();
     let stats = heap.stats();
-    println!("  blocks:        {} used, {} free", stats.used_blocks, stats.free_blocks);
+    println!(
+        "  blocks:        {} used, {} free",
+        stats.used_blocks, stats.free_blocks
+    );
     println!(
         "  payload bytes: {} used, {} free",
         stats.used_payload_bytes, stats.free_payload_bytes
@@ -97,7 +100,10 @@ fn dump(path: &Path) -> Result<(), Box<dyn std::error::Error>> {
             other => format!("unknown kind {other}"),
         };
         println!("  workload:        {workload}");
-        println!("  persist delay:   {} µs/line", pmem.read_u32(base + 40u64)?);
+        println!(
+            "  persist delay:   {} µs/line",
+            pmem.read_u32(base + 40u64)?
+        );
     }
 
     Ok(())

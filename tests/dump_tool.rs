@@ -52,15 +52,26 @@ fn dump_renders_crashed_image() {
         .arg(&image)
         .output()
         .expect("inspector runs");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.contains("superblock"), "{text}");
     assert!(text.contains("workers:      2"), "{text}");
-    assert!(text.contains("func 0xdead"), "in-flight frame missing: {text}");
+    assert!(
+        text.contains("func 0xdead"),
+        "in-flight frame missing: {text}"
+    );
     assert!(text.contains("consistency: ok"), "{text}");
     assert!(text.contains("heap:"), "{text}");
     // Read-only: the image is bit-identical after inspection.
-    assert_eq!(before, std::fs::read(&image).unwrap(), "inspector must not write");
+    assert_eq!(
+        before,
+        std::fs::read(&image).unwrap(),
+        "inspector must not write"
+    );
 
     let _ = std::fs::remove_file(&image);
 }
@@ -82,6 +93,8 @@ fn dump_rejects_garbage_and_missing_files() {
         .unwrap();
     assert!(!out.status.success());
 
-    let out = Command::new(env!("CARGO_BIN_EXE_pstack-dump")).output().unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_pstack-dump"))
+        .output()
+        .unwrap();
     assert_eq!(out.status.code(), Some(2), "usage error code");
 }

@@ -49,7 +49,9 @@ impl CrashScenario for FullTaskScenario {
         let stub = FunctionRegistry::new();
         let rt = Runtime::format(
             pmem.clone(),
-            RuntimeConfig::new(1).stack_kind(self.kind).stack_capacity(4096),
+            RuntimeConfig::new(1)
+                .stack_kind(self.kind)
+                .stack_capacity(4096),
             &stub,
         )?;
         let cas = RecoverableCas::format(pmem.clone(), rt.heap(), 1, INIT, CasVariant::Nsrl)?;
@@ -63,9 +65,10 @@ impl CrashScenario for FullTaskScenario {
     }
 
     fn run(&self, sys: &mut System) -> Result<(), PError> {
-        let report = sys
-            .runtime
-            .run_tasks(vec![Task::new(CAS_TASK_FUNC_ID, 0u64.to_le_bytes().to_vec())]);
+        let report = sys.runtime.run_tasks(vec![Task::new(
+            CAS_TASK_FUNC_ID,
+            0u64.to_le_bytes().to_vec(),
+        )]);
         if report.crashed || sys.pmem.is_crashed() {
             Err(PError::Mem(pstack::nvram::MemError::Crashed))
         } else {

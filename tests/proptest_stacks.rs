@@ -3,9 +3,7 @@
 
 use proptest::prelude::*;
 
-use pstack::core::{
-    FixedStack, ListStack, PError, PersistentStack, StackKind, VecStack,
-};
+use pstack::core::{FixedStack, ListStack, PError, PersistentStack, StackKind, VecStack};
 use pstack::heap::PHeap;
 use pstack::nvram::{FailPlan, PMem, PMemBuilder, POffset};
 
@@ -37,28 +35,24 @@ fn build(kind: StackKind, pmem: &PMem, heap: &PHeap) -> Box<dyn PersistentStack>
         StackKind::Fixed => {
             Box::new(FixedStack::format(pmem.clone(), POffset::new(0), 48 * 1024).unwrap())
         }
-        StackKind::Vec => Box::new(
-            VecStack::format(pmem.clone(), heap.clone(), POffset::new(0), 128).unwrap(),
-        ),
-        StackKind::List => Box::new(
-            ListStack::format(pmem.clone(), heap.clone(), POffset::new(0), 160).unwrap(),
-        ),
+        StackKind::Vec => {
+            Box::new(VecStack::format(pmem.clone(), heap.clone(), POffset::new(0), 128).unwrap())
+        }
+        StackKind::List => {
+            Box::new(ListStack::format(pmem.clone(), heap.clone(), POffset::new(0), 160).unwrap())
+        }
     }
 }
 
-fn reopen(
-    kind: StackKind,
-    pmem: &PMem,
-    heap: &PHeap,
-) -> Result<Box<dyn PersistentStack>, PError> {
+fn reopen(kind: StackKind, pmem: &PMem, heap: &PHeap) -> Result<Box<dyn PersistentStack>, PError> {
     Ok(match kind {
-        StackKind::Fixed => {
-            Box::new(FixedStack::open(pmem.clone(), POffset::new(0), 48 * 1024)?)
-        }
+        StackKind::Fixed => Box::new(FixedStack::open(pmem.clone(), POffset::new(0), 48 * 1024)?),
         StackKind::Vec => Box::new(VecStack::open(pmem.clone(), heap.clone(), POffset::new(0))?),
-        StackKind::List => {
-            Box::new(ListStack::open(pmem.clone(), heap.clone(), POffset::new(0))?)
-        }
+        StackKind::List => Box::new(ListStack::open(
+            pmem.clone(),
+            heap.clone(),
+            POffset::new(0),
+        )?),
     })
 }
 

@@ -7,8 +7,7 @@ use std::sync::Arc;
 use proptest::prelude::*;
 
 use pstack::core::{
-    FunctionRegistry, PError, RecoveryMode, Runtime, RuntimeConfig, StackKind, TxnLoop,
-    U64CellStep,
+    FunctionRegistry, PError, RecoveryMode, Runtime, RuntimeConfig, StackKind, TxnLoop, U64CellStep,
 };
 use pstack::nvram::{FailPlan, PMem, PMemBuilder, POffset};
 
@@ -18,10 +17,7 @@ fn update(v: u64) -> u64 {
     v.wrapping_mul(3).wrapping_add(7)
 }
 
-fn setup(
-    kind: StackKind,
-    init: &[u64],
-) -> Result<(PMem, Runtime, U64CellStep, TxnLoop), PError> {
+fn setup(kind: StackKind, init: &[u64]) -> Result<(PMem, Runtime, U64CellStep, TxnLoop), PError> {
     let pmem = PMemBuilder::new().len(1 << 21).build_in_memory();
     let stub = FunctionRegistry::new();
     let rt = Runtime::format(

@@ -6,23 +6,19 @@ use proptest::prelude::*;
 
 use pstack::verify::{
     brute_force_serializable, check_linearizability, check_sequential_consistency,
-    check_serializability, replay_witness, CasHistory, CasOp, ProgramOrderHistory,
-    SerialVerdict, TimedHistory, TimedOp,
+    check_serializability, replay_witness, CasHistory, CasOp, ProgramOrderHistory, SerialVerdict,
+    TimedHistory, TimedOp,
 };
 
 fn op_strategy(values: std::ops::RangeInclusive<i64>) -> impl Strategy<Value = CasOp> {
-    (
-        0usize..4,
-        values.clone(),
-        values,
-        proptest::bool::ANY,
-    )
-        .prop_map(|(pid, old, new, success)| CasOp {
+    (0usize..4, values.clone(), values, proptest::bool::ANY).prop_map(|(pid, old, new, success)| {
+        CasOp {
             pid,
             old,
             new,
             success,
-        })
+        }
+    })
 }
 
 proptest! {

@@ -195,7 +195,10 @@ fn eager_flush_region_runs_the_runtime_too() {
     pmem.crash_now(0, 0.0);
     let pmem2 = pmem.reopen().unwrap();
     let rt2 = Runtime::open(pmem2.clone(), &reg).unwrap();
-    assert_eq!(rt2.recover(RecoveryMode::Parallel).unwrap().total_frames(), 0);
+    assert_eq!(
+        rt2.recover(RecoveryMode::Parallel).unwrap().total_frames(),
+        0
+    );
     let root = rt2.user_root().unwrap();
     for i in 0..20u64 {
         assert_eq!(pmem2.read_u64(root + i * 8).unwrap(), i + 1);

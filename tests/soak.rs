@@ -12,9 +12,7 @@
 
 use std::sync::Arc;
 
-use pstack::chaos::{
-    run_campaign, run_queue_campaign, CampaignConfig, QueueCampaignConfig,
-};
+use pstack::chaos::{run_campaign, run_queue_campaign, CampaignConfig, QueueCampaignConfig};
 use pstack::core::{
     FunctionRegistry, RecoveryMode, Runtime, RuntimeConfig, StackKind, TxnLoop, U64CellStep,
 };

@@ -25,11 +25,13 @@ fn variants() -> Vec<Variant> {
     vec![
         Variant {
             name: "fixed",
-            make: |pmem, _| {
-                Box::new(FixedStack::format(pmem, POffset::new(0), 32 * 1024).unwrap())
-            },
+            make: |pmem, _| Box::new(FixedStack::format(pmem, POffset::new(0), 32 * 1024).unwrap()),
             reopen: |pmem, _| {
-                Ok(Box::new(FixedStack::open(pmem, POffset::new(0), 32 * 1024)?))
+                Ok(Box::new(FixedStack::open(
+                    pmem,
+                    POffset::new(0),
+                    32 * 1024,
+                )?))
             },
         },
         Variant {
@@ -79,7 +81,9 @@ fn interleaved_push_pop_random_walk() {
         let mut x = 0x12345678u64;
         let mut model: Vec<(u64, Vec<u8>)> = Vec::new();
         for step in 0..400 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let go_push = model.is_empty() || !(x >> 33).is_multiple_of(3);
             if go_push && model.len() < 60 {
                 let args = vec![(step % 251) as u8; (x % 48) as usize];
@@ -177,7 +181,12 @@ fn empty_args_and_large_args_round_trip() {
         s.push(1, &[]).unwrap();
         let big = vec![0xC3u8; 4096];
         s.push(2, &big).unwrap();
-        assert_eq!(s.frame_record(1).unwrap().args, Vec::<u8>::new(), "{}", v.name);
+        assert_eq!(
+            s.frame_record(1).unwrap().args,
+            Vec::<u8>::new(),
+            "{}",
+            v.name
+        );
         assert_eq!(s.frame_record(2).unwrap().args, big, "{}", v.name);
         s.check_consistency().unwrap();
     }
