@@ -1,0 +1,161 @@
+//! E16: YCSB-style workload mixes on the recoverable KV store.
+//!
+//! Keys are drawn zipfian (`s = 0.99`, the YCSB default) over a
+//! preloaded key space, so a hot minority of keys absorbs most
+//! traffic — the worst case for the store's per-bucket version chains,
+//! whose lookup cost grows with a key's update count.
+//!
+//! * `kv/read_heavy` — YCSB-B: 95% get / 5% put.
+//! * `kv/write_heavy` — YCSB-A: 50% get / 50% put.
+//! * `kv/scan_mix` — YCSB-E-flavoured: short 16-key scans (sequential
+//!   gets; the hash index has no range order) with 5% puts.
+//! * `kv/recover_scan` — the price of the NSRL evidence scan as a
+//!   function of a key's version-chain length, the trade the store
+//!   makes for needing no helping matrix.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pstack_heap::PHeap;
+use pstack_kv::{KvVariant, PKvStore};
+use pstack_nvram::{PMemBuilder, POffset};
+use rand::distr::{Distribution, Zipf};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const KEY_SPACE: u64 = 4096;
+
+fn preloaded_store(region_len: usize, log_cap: u64) -> PKvStore {
+    let pmem = PMemBuilder::new()
+        .len(region_len)
+        .eager_flush(true)
+        .build_in_memory();
+    let heap = PHeap::format(pmem.clone(), POffset::new(0), region_len as u64).unwrap();
+    let kv = PKvStore::format(pmem, &heap, 1024, log_cap, KvVariant::Nsrl).unwrap();
+    for key in 0..KEY_SPACE {
+        assert!(kv.put(0, key + 1, key, key as i64).unwrap());
+    }
+    kv
+}
+
+/// One benchmark over a get/put mix: `put_percent`% of operations are
+/// puts to a zipfian-chosen key, the rest gets.
+///
+/// The version log is lifetime-bounded, so the bench plays the role a
+/// compactor would in a production deployment: when the put budget is
+/// spent it swaps in a fresh preloaded store. The swap costs a few
+/// milliseconds once per ~250k puts — amortized noise, visible at most
+/// in the max sample.
+fn bench_mix(c: &mut Criterion, name: &str, put_percent: u64) {
+    const LOG_CAP: u64 = 300_000;
+    let mut g = c.benchmark_group(format!("kv/{name}"));
+    g.sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    g.throughput(Throughput::Elements(1));
+    let mut kv = preloaded_store(1 << 26, LOG_CAP);
+    let mut puts_left = LOG_CAP - KEY_SPACE - 8;
+    let zipf = Zipf::new(KEY_SPACE, 0.99).unwrap();
+    let mut rng = SmallRng::seed_from_u64(42);
+    let mut seq = KEY_SPACE + 1;
+    g.bench_function(format!("zipf_{put_percent}pct_put"), |b| {
+        b.iter(|| {
+            let key = zipf.sample(&mut rng) - 1;
+            if rng.random_range(0u64..100) < put_percent {
+                if puts_left == 0 {
+                    kv = preloaded_store(1 << 26, LOG_CAP);
+                    puts_left = LOG_CAP - KEY_SPACE - 8;
+                }
+                puts_left -= 1;
+                seq += 1;
+                assert!(kv.put(1, seq, key, seq as i64).unwrap(), "log exhausted");
+            } else {
+                criterion::black_box(kv.get(key).unwrap());
+            }
+        });
+    });
+    g.finish();
+}
+
+fn bench_read_heavy(c: &mut Criterion) {
+    bench_mix(c, "read_heavy", 5);
+}
+
+fn bench_write_heavy(c: &mut Criterion) {
+    bench_mix(c, "write_heavy", 50);
+}
+
+fn bench_scan_mix(c: &mut Criterion) {
+    const SCAN_LEN: u64 = 16;
+    let mut g = c.benchmark_group("kv/scan_mix");
+    g.sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    g.throughput(Throughput::Elements(SCAN_LEN));
+    const LOG_CAP: u64 = 300_000;
+    let mut kv = preloaded_store(1 << 26, LOG_CAP);
+    let mut puts_left = LOG_CAP - KEY_SPACE - 8;
+    let zipf = Zipf::new(KEY_SPACE - SCAN_LEN, 0.99).unwrap();
+    let mut rng = SmallRng::seed_from_u64(43);
+    let mut seq = KEY_SPACE + 1;
+    g.bench_function("scan16_5pct_put", |b| {
+        b.iter(|| {
+            let start = zipf.sample(&mut rng) - 1;
+            if rng.random_range(0u64..100) < 5 {
+                if puts_left == 0 {
+                    kv = preloaded_store(1 << 26, LOG_CAP);
+                    puts_left = LOG_CAP - KEY_SPACE - 8;
+                }
+                puts_left -= 1;
+                seq += 1;
+                assert!(kv.put(1, seq, start, seq as i64).unwrap(), "log exhausted");
+            }
+            let mut acc = 0i64;
+            for key in start..start + SCAN_LEN {
+                if let Some(v) = kv.get(key).unwrap() {
+                    acc = acc.wrapping_add(v);
+                }
+            }
+            criterion::black_box(acc)
+        });
+    });
+    g.finish();
+}
+
+fn bench_recover_scan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kv/recover_scan");
+    g.sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    for versions in [4u64, 64, 1024] {
+        let pmem = PMemBuilder::new()
+            .len(1 << 22)
+            .eager_flush(true)
+            .build_in_memory();
+        let heap = PHeap::format(pmem.clone(), POffset::new(0), 1 << 22).unwrap();
+        // One bucket: the whole history lands on one chain — the worst
+        // case for the evidence scan.
+        let kv = PKvStore::format(pmem, &heap, 1, versions + 8, KvVariant::Nsrl).unwrap();
+        for i in 0..versions {
+            assert!(kv.put(0, i + 1, 7, i as i64).unwrap());
+        }
+        g.bench_with_input(BenchmarkId::from_parameter(versions), &versions, |b, _| {
+            b.iter(|| {
+                // Recover an operation that *did* linearize with the
+                // oldest record — the full-chain scan.
+                let done = kv.recover_put(0, 1, 7, 0).unwrap();
+                assert!(done);
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_read_heavy,
+    bench_write_heavy,
+    bench_scan_mix,
+    bench_recover_scan
+);
+criterion_main!(benches);

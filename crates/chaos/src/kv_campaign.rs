@@ -1,0 +1,510 @@
+//! The §5.2 crash-campaign methodology applied to the recoverable
+//! key-value store — the ROADMAP's "real workload" on the runtime,
+//! exercised end to end: random KV workload, seeded crashes at flush
+//! boundaries, restart + recovery until completion, then a semantic
+//! verdict from the KV verifier.
+//!
+//! Mirrors [`crate::run_campaign`] with the CAS register replaced by a
+//! [`PKvStore`], the descriptor table by a [`KvOpTable`], and the §5.1
+//! Eulerian-path check by [`pstack_verify::check_kv`]'s chain-witness
+//! linearizability check against the sequential map specification.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use pstack_core::{
+    FunctionRegistry, PError, RecoveryMode, Runtime, RuntimeConfig, StackKind, Task,
+};
+use pstack_kv::{
+    KvOpTable, KvTaskFunction, KvTaskOp, KvTaskResult, KvVariant, PKvStore, KV_TASK_FUNC_ID,
+};
+use pstack_nvram::{FailPlan, PMem, PMemBuilder, POffset};
+use pstack_verify::{check_kv, KvAnswer, KvHistory, KvOp, KvOpKind, KvVerdict, KvWitnessRecord};
+
+/// Configuration of one KV crash campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KvCampaignConfig {
+    /// Number of KV operations (descriptors).
+    pub n_ops: usize,
+    /// Worker threads — 4, like the paper's CAS campaign.
+    pub workers: usize,
+    /// Keys are drawn from `0..key_space`; a small space forces
+    /// same-key contention (chain conflicts, cas races).
+    pub key_space: u64,
+    /// Inclusive range put/cas values are drawn from.
+    pub value_range: (i64, i64),
+    /// Probability weights of (put, get, delete) — the remainder are
+    /// cas operations.
+    pub op_mix: (f64, f64, f64),
+    /// Master seed; campaigns are deterministic given the seed (for a
+    /// single worker).
+    pub seed: u64,
+    /// Stack layout for the workers.
+    pub stack_kind: StackKind,
+    /// Correct NSRL recovery or the no-scan bug.
+    pub variant: KvVariant,
+    /// Crashes stop after this many, so the campaign terminates.
+    pub max_crashes: usize,
+    /// Fail-point countdown drawn uniformly from this range.
+    pub crash_window: (u64, u64),
+    /// Probability of injecting a crash into each recovery pass.
+    pub recovery_crash_prob: f64,
+    /// NVRAM region length.
+    pub region_len: usize,
+    /// Scheduling noise `(probability, pause-events)`; see
+    /// [`crate::CampaignConfig::access_jitter`].
+    pub access_jitter: Option<(f64, u64)>,
+}
+
+impl KvCampaignConfig {
+    /// Defaults mirroring the paper's CAS campaign: 4 workers, 16 hot
+    /// keys, values in `[-100, 100]`, a 50/25/10/15 put/get/delete/cas
+    /// mix.
+    #[must_use]
+    pub fn new(n_ops: usize, seed: u64) -> Self {
+        KvCampaignConfig {
+            n_ops,
+            workers: 4,
+            key_space: 16,
+            value_range: (-100, 100),
+            op_mix: (0.5, 0.25, 0.1),
+            seed,
+            stack_kind: StackKind::Fixed,
+            variant: KvVariant::Nsrl,
+            max_crashes: 8,
+            crash_window: (40, 400),
+            recovery_crash_prob: 0.3,
+            region_len: 1 << 21,
+            access_jitter: None,
+        }
+    }
+
+    /// Selects the recovery variant.
+    #[must_use]
+    pub fn variant(mut self, variant: KvVariant) -> Self {
+        self.variant = variant;
+        self
+    }
+
+    /// Selects the stack layout.
+    #[must_use]
+    pub fn stack(mut self, kind: StackKind) -> Self {
+        self.stack_kind = kind;
+        self
+    }
+}
+
+/// Outcome of a KV campaign.
+#[derive(Debug, Clone)]
+pub struct KvCampaignReport {
+    /// Normal-mode rounds executed (≥ 1).
+    pub rounds: usize,
+    /// Crashes injected during normal-mode rounds.
+    pub crashes: usize,
+    /// Crashes injected during recovery passes.
+    pub recovery_crashes: usize,
+    /// Total frames completed by recovery passes.
+    pub recovered_frames: usize,
+    /// The collected execution (answers + chain witness).
+    pub history: KvHistory,
+    /// The KV linearizability verdict.
+    pub verdict: KvVerdict,
+    /// Version-log slots reserved by the end of the campaign
+    /// (published records plus crash orphans).
+    pub log_reserved: u64,
+    /// The store's lifetime version-log capacity.
+    pub log_capacity: u64,
+}
+
+impl KvCampaignReport {
+    /// `true` if the execution passed the KV check.
+    #[must_use]
+    pub fn is_linearizable(&self) -> bool {
+        self.verdict.is_linearizable()
+    }
+
+    /// Total crash/recover cycles the campaign survived.
+    #[must_use]
+    pub fn total_crashes(&self) -> usize {
+        self.crashes + self.recovery_crashes
+    }
+
+    /// `true` if the version log never filled. When the log fills the
+    /// store turns read-only and every later mutation legally answers
+    /// "no effect" — an execution the verifier rightly accepts but one
+    /// that stops exercising crash recovery, so campaign tests assert
+    /// this stayed `true`.
+    #[must_use]
+    pub fn log_had_headroom(&self) -> bool {
+        self.log_reserved < self.log_capacity
+    }
+}
+
+const ROOT_OFF: u64 = 64;
+
+fn write_root(pmem: &PMem, store_base: POffset, table_base: POffset) -> Result<(), PError> {
+    pmem.write_u64(POffset::new(ROOT_OFF), store_base.get())?;
+    pmem.write_u64(POffset::new(ROOT_OFF + 8), table_base.get())?;
+    pmem.flush(POffset::new(ROOT_OFF), 16)?;
+    Ok(())
+}
+
+fn build_registry(
+    pmem: &PMem,
+    variant: KvVariant,
+) -> Result<(FunctionRegistry, PKvStore, KvOpTable), PError> {
+    let store_base = POffset::new(pmem.read_u64(POffset::new(ROOT_OFF))?);
+    let table_base = POffset::new(pmem.read_u64(POffset::new(ROOT_OFF + 8))?);
+    let store = PKvStore::open(pmem.clone(), store_base, variant)?;
+    let table = KvOpTable::open(pmem.clone(), table_base)?;
+    let mut registry = FunctionRegistry::new();
+    registry.register(
+        KV_TASK_FUNC_ID,
+        KvTaskFunction::new(store.clone(), table.clone()).into_arc(),
+    )?;
+    Ok((registry, store, table))
+}
+
+/// Builds the verifier history from the quiescent table and store.
+pub(crate) fn build_kv_history(store: &PKvStore, table: &KvOpTable) -> Result<KvHistory, PError> {
+    let chains: Vec<Vec<KvWitnessRecord>> = store
+        .snapshot()?
+        .into_iter()
+        .map(|chain| {
+            chain
+                .into_iter()
+                .map(|r| KvWitnessRecord {
+                    key: r.key,
+                    value: r.value,
+                    pid: r.pid,
+                    seq: r.seq,
+                    is_delete: r.is_delete,
+                })
+                .collect()
+        })
+        .collect();
+
+    let mut ops = Vec::with_capacity(table.len());
+    for idx in 0..table.len() {
+        let answer = table.result(idx)?.ok_or_else(|| {
+            PError::Task(format!(
+                "descriptor {idx} still pending; campaign incomplete"
+            ))
+        })?;
+        let pid = u64::from(answer.executor);
+        let seq = idx as u64 + 1;
+        let (kind, key, value, expected, ans) = match (table.op(idx)?, answer.result) {
+            (KvTaskOp::Put { key, value }, KvTaskResult::Stored(ok)) => {
+                (KvOpKind::Put, key, value, 0, KvAnswer::Stored(ok))
+            }
+            (KvTaskOp::Get { key }, KvTaskResult::Got(v)) => {
+                (KvOpKind::Get, key, 0, 0, KvAnswer::Got(v))
+            }
+            (KvTaskOp::Delete { key }, KvTaskResult::Deleted(ok)) => {
+                (KvOpKind::Delete, key, 0, 0, KvAnswer::Deleted(ok))
+            }
+            (KvTaskOp::Cas { key, expected, new }, KvTaskResult::Swapped(ok)) => {
+                (KvOpKind::Cas, key, new, expected, KvAnswer::Swapped(ok))
+            }
+            (op, res) => {
+                return Err(PError::Task(format!(
+                    "descriptor {idx}: answer {res:?} does not match op {op:?}"
+                )))
+            }
+        };
+        ops.push(KvOp {
+            pid,
+            seq,
+            kind,
+            key,
+            value,
+            expected,
+            answer: ans,
+        });
+    }
+    Ok(KvHistory { ops, chains })
+}
+
+/// Runs one full KV crash campaign (the §5.2 loop with the KV store as
+/// the object under test). Deterministic for a given configuration
+/// with a single worker.
+///
+/// # Errors
+///
+/// Propagates setup failures; the crash/restart loop itself handles
+/// crashes as part of the experiment.
+///
+/// # Example
+///
+/// ```
+/// use pstack_chaos::{run_kv_campaign, KvCampaignConfig};
+///
+/// # fn main() -> Result<(), pstack_core::PError> {
+/// let report = run_kv_campaign(&KvCampaignConfig::new(30, 7))?;
+/// assert!(report.is_linearizable());
+/// # Ok(())
+/// # }
+/// ```
+pub fn run_kv_campaign(cfg: &KvCampaignConfig) -> Result<KvCampaignReport, PError> {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let (lo, hi) = cfg.value_range;
+    assert!(lo <= hi, "empty value range");
+    assert!(cfg.key_space > 0, "empty key space");
+    let (p_put, p_get, p_del) = cfg.op_mix;
+    let ops: Vec<KvTaskOp> = (0..cfg.n_ops)
+        .map(|_| {
+            let key = rng.random_range(0..cfg.key_space);
+            let roll: f64 = rng.random();
+            if roll < p_put {
+                KvTaskOp::Put {
+                    key,
+                    value: rng.random_range(lo..=hi),
+                }
+            } else if roll < p_put + p_get {
+                KvTaskOp::Get { key }
+            } else if roll < p_put + p_get + p_del {
+                KvTaskOp::Delete { key }
+            } else {
+                KvTaskOp::Cas {
+                    key,
+                    expected: rng.random_range(lo..=hi),
+                    new: rng.random_range(lo..=hi),
+                }
+            }
+        })
+        .collect();
+    // Each descriptor consumes at most one published slot, every crash
+    // can orphan up to one reserved slot per in-flight worker, and
+    // precondition-fail retries can orphan one more per execution
+    // attempt; provision for all of it so the log never turns the
+    // store read-only mid-campaign (the tests assert log_had_headroom).
+    let log_cap =
+        cfg.n_ops as u64 * 2 + (cfg.max_crashes as u64 * 2 + 1) * (cfg.workers as u64 + 1) + 64;
+    let nbuckets = cfg.key_space.max(4);
+
+    let mut builder = PMemBuilder::new().len(cfg.region_len).eager_flush(true);
+    if let Some((prob, pause_events)) = cfg.access_jitter {
+        builder = builder.access_jitter(prob, pause_events);
+    }
+    let mut pmem = builder.build_in_memory();
+    let stub = FunctionRegistry::new();
+    let rt = Runtime::format(
+        pmem.clone(),
+        RuntimeConfig::new(cfg.workers)
+            .stack_kind(cfg.stack_kind)
+            .stack_capacity(8 * 1024),
+        &stub,
+    )?;
+    let store = PKvStore::format(pmem.clone(), rt.heap(), nbuckets, log_cap, cfg.variant)?;
+    let table = KvOpTable::format(pmem.clone(), rt.heap(), &ops)?;
+    write_root(&pmem, store.base(), table.base())?;
+
+    let mut rounds = 0usize;
+    let mut crashes = 0usize;
+    let mut recovery_crashes = 0usize;
+    let mut recovered_frames = 0usize;
+
+    loop {
+        rounds += 1;
+        let (registry, _, table) = build_registry(&pmem, cfg.variant)?;
+        let rt = Runtime::open(pmem.clone(), &registry)?;
+
+        // Step 3/7: enqueue the remaining descriptors in random order.
+        let mut pending = table.pending()?;
+        if pending.is_empty() {
+            break;
+        }
+        pending.shuffle(&mut rng);
+        let tasks: Vec<Task> = pending
+            .iter()
+            .map(|&i| Task::new(KV_TASK_FUNC_ID, (i as u64).to_le_bytes().to_vec()))
+            .collect();
+
+        // Step 5: arm the kill at a random flush boundary — while the
+        // crash budget lasts.
+        if crashes < cfg.max_crashes {
+            let countdown = rng.random_range(cfg.crash_window.0..=cfg.crash_window.1);
+            pmem.arm_failpoint(FailPlan::after_events(countdown));
+        }
+        let report = rt.run_tasks(tasks);
+        if !report.crashed {
+            pmem.disarm_failpoint();
+            continue;
+        }
+        crashes += 1;
+
+        // Step 6: restart in recovery mode; repeated failures may hit
+        // the recovery itself.
+        pmem = pmem.reopen()?;
+        loop {
+            let (registry, _, _) = build_registry(&pmem, cfg.variant)?;
+            let rt = Runtime::open(pmem.clone(), &registry)?;
+            if crashes + recovery_crashes < cfg.max_crashes * 2
+                && rng.random_bool(cfg.recovery_crash_prob)
+            {
+                let countdown = rng.random_range(5..=60);
+                pmem.arm_failpoint(FailPlan::after_events(countdown));
+            }
+            match rt.recover(RecoveryMode::Parallel) {
+                Ok(rep) => {
+                    pmem.disarm_failpoint();
+                    recovered_frames += rep.total_frames();
+                    break;
+                }
+                Err(e) if e.is_crash() => {
+                    recovery_crashes += 1;
+                    pmem = pmem.reopen()?;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    // Step 9: answers, chain witness, linearizability.
+    let (_, store, table) = build_registry(&pmem, cfg.variant)?;
+    let history = build_kv_history(&store, &table)?;
+    let verdict = check_kv(&history);
+    Ok(KvCampaignReport {
+        rounds,
+        crashes,
+        recovery_crashes,
+        recovered_frames,
+        history,
+        verdict,
+        log_reserved: store.log_reserved()?,
+        log_capacity: store.log_capacity(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kv_campaign_is_linearizable_and_crashes() {
+        let report = run_kv_campaign(&KvCampaignConfig::new(60, 31)).unwrap();
+        assert!(report.is_linearizable(), "verdict: {:?}", report.verdict);
+        assert!(report.crashes > 0, "campaign should experience crashes");
+        assert_eq!(report.history.ops.len(), 60);
+        assert!(report.rounds > 1);
+        assert!(
+            report.log_had_headroom(),
+            "log filled ({}/{}) — the campaign degenerated to a read-only store",
+            report.log_reserved,
+            report.log_capacity
+        );
+    }
+
+    #[test]
+    fn kv_campaigns_are_deterministic_per_seed() {
+        let cfg = KvCampaignConfig {
+            workers: 1,
+            ..KvCampaignConfig::new(30, 5)
+        };
+        let a = run_kv_campaign(&cfg).unwrap();
+        let b = run_kv_campaign(&cfg).unwrap();
+        assert_eq!(a.history, b.history);
+        assert_eq!(a.crashes, b.crashes);
+        assert_eq!(a.rounds, b.rounds);
+    }
+
+    #[test]
+    fn kv_campaign_works_on_all_stack_kinds() {
+        for kind in [StackKind::Fixed, StackKind::Vec, StackKind::List] {
+            let report = run_kv_campaign(&KvCampaignConfig::new(30, 37).stack(kind)).unwrap();
+            assert!(
+                report.is_linearizable(),
+                "stack {kind}: {:?}",
+                report.verdict
+            );
+        }
+    }
+
+    #[test]
+    fn two_hundred_crash_recover_cycles_lose_nothing() {
+        // The acceptance gate of the KV subsystem: ≥ 200 seeded
+        // crash/recover cycles across flush boundaries, each campaign
+        // reopening, recovering, and verifying against the sequential
+        // spec — zero lost or torn updates tolerated.
+        let mut cycles = 0usize;
+        let mut campaigns = 0usize;
+        for seed in 0.. {
+            let cfg = KvCampaignConfig {
+                max_crashes: 14,
+                crash_window: (20, 200),
+                recovery_crash_prob: 0.5,
+                ..KvCampaignConfig::new(50, 1000 + seed)
+            };
+            let report = run_kv_campaign(&cfg).unwrap();
+            assert!(
+                report.is_linearizable(),
+                "seed {seed}: lost or torn update after {} crashes: {:?}",
+                report.total_crashes(),
+                report.verdict
+            );
+            assert!(
+                report.log_had_headroom(),
+                "seed {seed}: log filled ({}/{}) — cycles stopped exercising recovery",
+                report.log_reserved,
+                report.log_capacity
+            );
+            cycles += report.total_crashes();
+            campaigns += 1;
+            if cycles >= 200 {
+                break;
+            }
+        }
+        assert!(
+            cycles >= 200,
+            "only {cycles} crash/recover cycles across {campaigns} campaigns"
+        );
+    }
+
+    #[test]
+    fn correct_kv_never_flagged_across_seeds() {
+        for seed in 300..308 {
+            let report = run_kv_campaign(&KvCampaignConfig::new(40, seed)).unwrap();
+            assert!(
+                report.is_linearizable(),
+                "seed {seed}: {:?}",
+                report.verdict
+            );
+            assert!(report.log_had_headroom(), "seed {seed}: log filled");
+        }
+    }
+
+    #[test]
+    fn noscan_kv_is_caught_across_seeds() {
+        // The KV analogue of §5.2's matrix-removal experiment: no-scan
+        // recovery re-executes operations whose effects already
+        // published, and the verifier reports the duplicate tags.
+        // Detection is probabilistic per run, so scan seeds with a
+        // crash-heavy, high-contention configuration.
+        let mut detected = 0;
+        let mut runs = 0;
+        for seed in 0..24 {
+            if detected >= 2 {
+                break;
+            }
+            let cfg = KvCampaignConfig {
+                key_space: 4,
+                max_crashes: 40,
+                crash_window: (10, 80),
+                recovery_crash_prob: 0.5,
+                access_jitter: Some((0.15, 40)),
+                ..KvCampaignConfig::new(80, seed)
+            }
+            .variant(KvVariant::NoScan);
+            let report = run_kv_campaign(&cfg).unwrap();
+            runs += 1;
+            if !report.is_linearizable() {
+                detected += 1;
+            }
+        }
+        assert!(
+            detected > 0,
+            "no KV violation detected in {runs} no-scan runs"
+        );
+    }
+}

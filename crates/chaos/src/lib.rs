@@ -30,6 +30,7 @@
 
 mod campaign;
 mod crashpoints;
+mod kv_campaign;
 // The real-kill(1) harness spawns and SIGKILLs OS processes: unix-only
 // and inherently nondeterministic, so it is opt-in via the
 // `kill-harness` feature. Default builds and `cargo test -q` stay
@@ -45,4 +46,5 @@ pub use killharness::{
     child_recover, child_run, collect_report, format_image, run_kill_campaign, ChildOutcome,
     KillCampaignConfig, KillCampaignReport, KillOutcome, KillWorkload,
 };
+pub use kv_campaign::{run_kv_campaign, KvCampaignConfig, KvCampaignReport};
 pub use queue_campaign::{run_queue_campaign, QueueCampaignConfig, QueueCampaignReport};

@@ -1,0 +1,673 @@
+//! KV workload descriptors and the recoverable function gluing the
+//! [`PKvStore`] to the persistent-stack runtime — the KV analogue of
+//! the §5.2 CAS machinery (`TaskTable` + `CasTaskFunction`) and of the
+//! queue's `QueueOpTable` + `QueueTaskFunction`.
+
+use std::sync::Arc;
+
+use pstack_core::{PContext, PError, RecoverableFunction, RetBytes};
+use pstack_heap::PHeap;
+use pstack_nvram::{PMem, POffset};
+
+use crate::store::PKvStore;
+
+/// Function id under which [`KvTaskFunction`] is registered.
+pub const KV_TASK_FUNC_ID: u64 = 0x0FFD;
+
+const TABLE_MAGIC: u64 = 0x5053_4B56_5441_4231; // "PSKVTAB1"
+const HEADER_LEN: u64 = 16;
+const ENTRY_STRIDE: u64 = 48;
+
+const KIND_PUT: u8 = 0;
+const KIND_GET: u8 = 1;
+const KIND_DEL: u8 = 2;
+const KIND_CAS: u8 = 3;
+
+const ST_DONE: u8 = 1;
+
+/// One KV operation descriptor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KvTaskOp {
+    /// Store `value` under `key`.
+    Put {
+        /// The key.
+        key: u64,
+        /// The value to store.
+        value: i64,
+    },
+    /// Read `key`'s current value.
+    Get {
+        /// The key.
+        key: u64,
+    },
+    /// Remove `key`.
+    Delete {
+        /// The key.
+        key: u64,
+    },
+    /// Replace `key`'s value with `new` iff it equals `expected`.
+    Cas {
+        /// The key.
+        key: u64,
+        /// The value the key must currently hold.
+        expected: i64,
+        /// The replacement value.
+        new: i64,
+    },
+}
+
+/// A completed descriptor's answer, with the worker that executed it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KvTaskAnswer {
+    /// Worker (process) id that completed the operation — together with
+    /// the descriptor index this is the operation's `(pid, seq)` tag.
+    pub executor: u32,
+    /// The operation's result.
+    pub result: KvTaskResult,
+}
+
+/// The result payload of a completed KV descriptor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KvTaskResult {
+    /// Put answer: stored, or rejected because the store's lifetime
+    /// version-log capacity was exhausted.
+    Stored(bool),
+    /// Get answer.
+    Got(Option<i64>),
+    /// Delete answer: `true` if the key was present.
+    Deleted(bool),
+    /// Cas answer: `true` if the expected value matched.
+    Swapped(bool),
+}
+
+/// A persistent table of KV operation descriptors and answers, driving
+/// re-enqueue after restarts exactly like the §5.2 CAS table.
+///
+/// # Example
+///
+/// ```
+/// use pstack_nvram::PMemBuilder;
+/// use pstack_heap::PHeap;
+/// use pstack_kv::{KvOpTable, KvTaskOp};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let pmem = PMemBuilder::new().len(1 << 14).eager_flush(true).build_in_memory();
+/// let heap = PHeap::format(pmem.clone(), 0u64.into(), 1 << 14)?;
+/// let ops = [KvTaskOp::Put { key: 1, value: 5 }, KvTaskOp::Get { key: 1 }];
+/// let table = KvOpTable::format(pmem, &heap, &ops)?;
+/// assert_eq!(table.pending()?, vec![0, 1]);
+/// assert_eq!(table.op(1)?, KvTaskOp::Get { key: 1 });
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct KvOpTable {
+    pmem: PMem,
+    base: POffset,
+    len: usize,
+}
+
+impl KvOpTable {
+    /// Bytes of NVRAM needed for `n` descriptors.
+    #[must_use]
+    pub fn required_len(n: usize) -> usize {
+        (HEADER_LEN + n as u64 * ENTRY_STRIDE) as usize
+    }
+
+    /// Allocates and persists a table holding `ops`, all pending.
+    ///
+    /// # Errors
+    ///
+    /// Heap or NVRAM errors, or [`PError::InvalidConfig`] for an empty
+    /// op list.
+    pub fn format(pmem: PMem, heap: &PHeap, ops: &[KvTaskOp]) -> Result<Self, PError> {
+        if ops.is_empty() {
+            return Err(PError::InvalidConfig(
+                "KV op table needs at least one descriptor".into(),
+            ));
+        }
+        let len = Self::required_len(ops.len());
+        let base = heap.alloc_aligned(len, 64)?;
+        pmem.fill(base, 0, len)?;
+        pmem.write_u64(base, TABLE_MAGIC)?;
+        pmem.write_u64(base + 8u64, ops.len() as u64)?;
+        for (i, op) in ops.iter().enumerate() {
+            let e = Self::entry_off(base, i);
+            match *op {
+                KvTaskOp::Put { key, value } => {
+                    pmem.write_u8(e, KIND_PUT)?;
+                    pmem.write_u64(e + 8u64, key)?;
+                    pmem.write_i64(e + 16u64, value)?;
+                }
+                KvTaskOp::Get { key } => {
+                    pmem.write_u8(e, KIND_GET)?;
+                    pmem.write_u64(e + 8u64, key)?;
+                }
+                KvTaskOp::Delete { key } => {
+                    pmem.write_u8(e, KIND_DEL)?;
+                    pmem.write_u64(e + 8u64, key)?;
+                }
+                KvTaskOp::Cas { key, expected, new } => {
+                    pmem.write_u8(e, KIND_CAS)?;
+                    pmem.write_u64(e + 8u64, key)?;
+                    pmem.write_i64(e + 16u64, new)?;
+                    pmem.write_i64(e + 24u64, expected)?;
+                }
+            }
+        }
+        pmem.flush(base, len)?;
+        Ok(KvOpTable {
+            pmem,
+            base,
+            len: ops.len(),
+        })
+    }
+
+    /// Re-attaches to a table created at `base`.
+    ///
+    /// # Errors
+    ///
+    /// [`PError::CorruptStack`] on a bad magic word.
+    pub fn open(pmem: PMem, base: POffset) -> Result<Self, PError> {
+        let magic = pmem.read_u64(base)?;
+        if magic != TABLE_MAGIC {
+            return Err(PError::CorruptStack(format!(
+                "bad KV-op-table magic {magic:#x} at {base}"
+            )));
+        }
+        let len = pmem.read_u64(base + 8u64)? as usize;
+        Ok(KvOpTable { pmem, base, len })
+    }
+
+    fn entry_off(base: POffset, idx: usize) -> POffset {
+        base + (HEADER_LEN + idx as u64 * ENTRY_STRIDE)
+    }
+
+    fn entry(&self, idx: usize) -> Result<POffset, PError> {
+        if idx >= self.len {
+            return Err(PError::InvalidConfig(format!(
+                "descriptor index {idx} out of range ({} descriptors)",
+                self.len
+            )));
+        }
+        Ok(Self::entry_off(self.base, idx))
+    }
+
+    /// The table's base offset (persist it to find the table again).
+    #[must_use]
+    pub fn base(&self) -> POffset {
+        self.base
+    }
+
+    /// Number of descriptors.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if the table holds no descriptors (never happens for
+    /// tables built through [`KvOpTable::format`]).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads descriptor `idx`'s operation.
+    ///
+    /// # Errors
+    ///
+    /// Out-of-range index or NVRAM errors.
+    pub fn op(&self, idx: usize) -> Result<KvTaskOp, PError> {
+        let e = self.entry(idx)?;
+        let key = self.pmem.read_u64(e + 8u64)?;
+        match self.pmem.read_u8(e)? {
+            KIND_PUT => Ok(KvTaskOp::Put {
+                key,
+                value: self.pmem.read_i64(e + 16u64)?,
+            }),
+            KIND_GET => Ok(KvTaskOp::Get { key }),
+            KIND_DEL => Ok(KvTaskOp::Delete { key }),
+            KIND_CAS => Ok(KvTaskOp::Cas {
+                key,
+                expected: self.pmem.read_i64(e + 24u64)?,
+                new: self.pmem.read_i64(e + 16u64)?,
+            }),
+            other => Err(PError::CorruptStack(format!(
+                "descriptor {idx} has unknown kind {other}"
+            ))),
+        }
+    }
+
+    /// Reads descriptor `idx`'s answer, if it completed.
+    ///
+    /// # Errors
+    ///
+    /// Out-of-range index, an unknown kind byte (corruption), or NVRAM
+    /// errors.
+    pub fn result(&self, idx: usize) -> Result<Option<KvTaskAnswer>, PError> {
+        let e = self.entry(idx)?;
+        if self.pmem.read_u8(e + 1u64)? != ST_DONE {
+            return Ok(None);
+        }
+        let executor = self.pmem.read_u32(e + 4u64)?;
+        let flag = self.pmem.read_u8(e + 2u64)? != 0;
+        let result = match self.pmem.read_u8(e)? {
+            KIND_PUT => KvTaskResult::Stored(flag),
+            KIND_GET => KvTaskResult::Got(if flag {
+                Some(self.pmem.read_i64(e + 32u64)?)
+            } else {
+                None
+            }),
+            KIND_DEL => KvTaskResult::Deleted(flag),
+            KIND_CAS => KvTaskResult::Swapped(flag),
+            other => {
+                return Err(PError::CorruptStack(format!(
+                    "descriptor {idx} has unknown kind {other}"
+                )))
+            }
+        };
+        Ok(Some(KvTaskAnswer { executor, result }))
+    }
+
+    /// Persists descriptor `idx`'s answer. The answer payload is
+    /// persisted before the one-byte done flag, so a crash in between
+    /// leaves the descriptor pending and recovery recomputes the
+    /// answer — the same discipline as the stack's marker flips.
+    ///
+    /// # Errors
+    ///
+    /// Out-of-range index or NVRAM errors.
+    pub fn mark_done(&self, idx: usize, executor: u32, result: KvTaskResult) -> Result<(), PError> {
+        let e = self.entry(idx)?;
+        self.pmem.write_u32(e + 4u64, executor)?;
+        match result {
+            KvTaskResult::Stored(ok) | KvTaskResult::Deleted(ok) | KvTaskResult::Swapped(ok) => {
+                self.pmem.write_u8(e + 2u64, u8::from(ok))?;
+            }
+            KvTaskResult::Got(None) => {
+                self.pmem.write_u8(e + 2u64, 0)?;
+            }
+            KvTaskResult::Got(Some(v)) => {
+                self.pmem.write_i64(e + 32u64, v)?;
+                self.pmem.write_u8(e + 2u64, 1)?;
+            }
+        }
+        self.pmem.flush(e, ENTRY_STRIDE as usize)?;
+        self.pmem.write_u8(e + 1u64, ST_DONE)?;
+        self.pmem.flush(e + 1u64, 1)?;
+        Ok(())
+    }
+
+    /// Indexes of descriptors that have not completed, in table order.
+    ///
+    /// # Errors
+    ///
+    /// Propagated NVRAM errors.
+    pub fn pending(&self) -> Result<Vec<usize>, PError> {
+        let mut out = Vec::new();
+        for i in 0..self.len {
+            if self.pmem.read_u8(self.entry(i)? + 1u64)? != ST_DONE {
+                out.push(i);
+            }
+        }
+        Ok(out)
+    }
+
+    /// All answers, `None` for still-pending descriptors.
+    ///
+    /// # Errors
+    ///
+    /// Propagated NVRAM errors.
+    pub fn results(&self) -> Result<Vec<Option<KvTaskAnswer>>, PError> {
+        (0..self.len).map(|i| self.result(i)).collect()
+    }
+}
+
+/// Executes descriptor `idx` of a [`KvOpTable`] against a [`PKvStore`].
+///
+/// * `call` runs the operation tagged `(worker pid, idx + 1)` and
+///   persists the answer in the table;
+/// * `recover` first checks the table (the answer may already be
+///   durable), then runs the store's *recovery* procedure — which scans
+///   the published chain evidence before re-executing — and persists
+///   its verdict.
+#[derive(Clone)]
+pub struct KvTaskFunction {
+    store: PKvStore,
+    table: KvOpTable,
+}
+
+impl KvTaskFunction {
+    /// Bundles a store and its descriptor table.
+    #[must_use]
+    pub fn new(store: PKvStore, table: KvOpTable) -> Self {
+        KvTaskFunction { store, table }
+    }
+
+    /// Convenience: wraps into the `Arc<dyn RecoverableFunction>` shape
+    /// the registry wants.
+    #[must_use]
+    pub fn into_arc(self) -> Arc<dyn RecoverableFunction> {
+        Arc::new(self)
+    }
+
+    fn seq_of(idx: usize) -> u64 {
+        idx as u64 + 1
+    }
+
+    fn parse_index(args: &[u8]) -> Result<usize, PError> {
+        let bytes: [u8; 8] = args
+            .get(..8)
+            .and_then(|s| s.try_into().ok())
+            .ok_or_else(|| PError::Task("KV task arguments must hold an 8-byte index".into()))?;
+        Ok(u64::from_le_bytes(bytes) as usize)
+    }
+
+    fn encode_answer(result: KvTaskResult) -> Option<RetBytes> {
+        let mut b = [0u8; 8];
+        match result {
+            KvTaskResult::Stored(ok) => {
+                b[0] = 1;
+                b[1] = u8::from(ok);
+            }
+            KvTaskResult::Got(None) => b[0] = 2,
+            KvTaskResult::Got(Some(v)) => {
+                b[0] = 3;
+                // Squeeze the low 7 bytes through the small-return slot;
+                // the authoritative full answer lives in the table.
+                b[1..8].copy_from_slice(&v.to_le_bytes()[..7]);
+            }
+            KvTaskResult::Deleted(ok) => {
+                b[0] = 4;
+                b[1] = u8::from(ok);
+            }
+            KvTaskResult::Swapped(ok) => {
+                b[0] = 5;
+                b[1] = u8::from(ok);
+            }
+        }
+        Some(b)
+    }
+
+    fn run(
+        &self,
+        ctx: &mut PContext<'_>,
+        idx: usize,
+        recovery: bool,
+    ) -> Result<Option<RetBytes>, PError> {
+        if let Some(answer) = self.table.result(idx)? {
+            return Ok(Self::encode_answer(answer.result));
+        }
+        let pid = ctx.pid as u64;
+        let seq = Self::seq_of(idx);
+        let result = match self.table.op(idx)? {
+            KvTaskOp::Put { key, value } => {
+                let ok = if recovery {
+                    self.store.recover_put(pid, seq, key, value)?
+                } else {
+                    self.store.put(pid, seq, key, value)?
+                };
+                KvTaskResult::Stored(ok)
+            }
+            KvTaskOp::Get { key } => KvTaskResult::Got(self.store.get(key)?),
+            KvTaskOp::Delete { key } => {
+                let ok = if recovery {
+                    self.store.recover_delete(pid, seq, key)?
+                } else {
+                    self.store.delete(pid, seq, key)?
+                };
+                KvTaskResult::Deleted(ok)
+            }
+            KvTaskOp::Cas { key, expected, new } => {
+                let ok = if recovery {
+                    self.store.recover_cas(pid, seq, key, expected, new)?
+                } else {
+                    self.store.cas(pid, seq, key, expected, new)?
+                };
+                KvTaskResult::Swapped(ok)
+            }
+        };
+        self.table.mark_done(idx, ctx.pid as u32, result)?;
+        Ok(Self::encode_answer(result))
+    }
+}
+
+impl RecoverableFunction for KvTaskFunction {
+    fn call(&self, ctx: &mut PContext<'_>, args: &[u8]) -> Result<Option<RetBytes>, PError> {
+        let idx = Self::parse_index(args)?;
+        self.run(ctx, idx, false)
+    }
+
+    fn recover(&self, ctx: &mut PContext<'_>, args: &[u8]) -> Result<Option<RetBytes>, PError> {
+        let idx = Self::parse_index(args)?;
+        self.run(ctx, idx, true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::KvVariant;
+    use pstack_core::{FixedStack, FunctionRegistry};
+    use pstack_nvram::PMemBuilder;
+
+    fn fixture(ops: &[KvTaskOp]) -> (PMem, PHeap, PKvStore, KvOpTable) {
+        let pmem = PMemBuilder::new()
+            .len(1 << 18)
+            .eager_flush(true)
+            .build_in_memory();
+        let heap = PHeap::format(pmem.clone(), POffset::new(8192), (1 << 18) - 8192).unwrap();
+        let store = PKvStore::format(pmem.clone(), &heap, 8, 64, KvVariant::Nsrl).unwrap();
+        let table = KvOpTable::format(pmem.clone(), &heap, ops).unwrap();
+        (pmem, heap, store, table)
+    }
+
+    #[test]
+    fn table_round_trips_ops_and_answers() {
+        let ops = [
+            KvTaskOp::Put { key: 1, value: -5 },
+            KvTaskOp::Get { key: 1 },
+            KvTaskOp::Delete { key: 1 },
+            KvTaskOp::Cas {
+                key: 2,
+                expected: i64::MIN,
+                new: i64::MAX,
+            },
+        ];
+        let (pmem, _, _, table) = fixture(&ops);
+        assert_eq!(table.len(), 4);
+        for (i, op) in ops.iter().enumerate() {
+            assert_eq!(table.op(i).unwrap(), *op);
+        }
+        assert_eq!(table.pending().unwrap(), vec![0, 1, 2, 3]);
+
+        table.mark_done(0, 2, KvTaskResult::Stored(true)).unwrap();
+        table.mark_done(1, 3, KvTaskResult::Got(Some(-5))).unwrap();
+        table.mark_done(2, 1, KvTaskResult::Deleted(true)).unwrap();
+        assert_eq!(table.pending().unwrap(), vec![3]);
+        assert_eq!(
+            table.result(1).unwrap(),
+            Some(KvTaskAnswer {
+                executor: 3,
+                result: KvTaskResult::Got(Some(-5))
+            })
+        );
+        // Reopen sees the same state.
+        let t2 = KvOpTable::open(pmem, table.base()).unwrap();
+        assert_eq!(t2.pending().unwrap(), vec![3]);
+        assert_eq!(
+            t2.result(2).unwrap().unwrap().result,
+            KvTaskResult::Deleted(true)
+        );
+    }
+
+    #[test]
+    fn got_none_and_false_answers_round_trip() {
+        let ops = [
+            KvTaskOp::Get { key: 9 },
+            KvTaskOp::Cas {
+                key: 9,
+                expected: 0,
+                new: 1,
+            },
+        ];
+        let (_, _, _, table) = fixture(&ops);
+        table.mark_done(0, 0, KvTaskResult::Got(None)).unwrap();
+        table.mark_done(1, 0, KvTaskResult::Swapped(false)).unwrap();
+        assert_eq!(
+            table.result(0).unwrap().unwrap().result,
+            KvTaskResult::Got(None)
+        );
+        assert_eq!(
+            table.result(1).unwrap().unwrap().result,
+            KvTaskResult::Swapped(false)
+        );
+    }
+
+    #[test]
+    fn table_rejects_bad_magic_and_empty_ops() {
+        let (pmem, heap, _, _) = fixture(&[KvTaskOp::Get { key: 0 }]);
+        let junk = heap.alloc_zeroed(64).unwrap();
+        assert!(matches!(
+            KvOpTable::open(pmem.clone(), junk),
+            Err(PError::CorruptStack(_))
+        ));
+        assert!(matches!(
+            KvOpTable::format(pmem, &heap, &[]),
+            Err(PError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn out_of_range_index_is_rejected() {
+        let (_, _, _, table) = fixture(&[KvTaskOp::Get { key: 0 }]);
+        assert!(table.op(1).is_err());
+        assert!(table.mark_done(1, 0, KvTaskResult::Got(None)).is_err());
+    }
+
+    #[test]
+    fn task_function_runs_and_replays_answers() {
+        let ops = [
+            KvTaskOp::Put { key: 7, value: 70 },
+            KvTaskOp::Cas {
+                key: 7,
+                expected: 70,
+                new: 71,
+            },
+            KvTaskOp::Get { key: 7 },
+            KvTaskOp::Delete { key: 7 },
+        ];
+        let (pmem, heap, store, table) = fixture(&ops);
+        let f = KvTaskFunction::new(store.clone(), table.clone());
+        let mut registry = FunctionRegistry::new();
+        registry.register(KV_TASK_FUNC_ID, f.into_arc()).unwrap();
+        let mut stack = FixedStack::format(pmem.clone(), POffset::new(0), 4096).unwrap();
+        let mut ctx = PContext::new(
+            pmem.clone(),
+            heap.clone(),
+            &registry,
+            &mut stack,
+            0,
+            POffset::new(64),
+        );
+        for i in 0..4u64 {
+            ctx.call(KV_TASK_FUNC_ID, &i.to_le_bytes()).unwrap();
+        }
+        assert_eq!(
+            table.result(1).unwrap().unwrap().result,
+            KvTaskResult::Swapped(true)
+        );
+        assert_eq!(
+            table.result(2).unwrap().unwrap().result,
+            KvTaskResult::Got(Some(71))
+        );
+        assert_eq!(
+            table.result(3).unwrap().unwrap().result,
+            KvTaskResult::Deleted(true)
+        );
+        // Re-running a completed descriptor replays the answer without
+        // touching the store.
+        let before = store.log_reserved().unwrap();
+        ctx.call(KV_TASK_FUNC_ID, &0u64.to_le_bytes()).unwrap();
+        assert_eq!(store.log_reserved().unwrap(), before);
+    }
+
+    #[test]
+    fn crash_between_store_op_and_mark_done_recovers_exactly_once() {
+        // The critical §5.2-style window: the head CAS landed but the
+        // answer never persisted. Recovery must find the chain evidence
+        // and not double-apply.
+        use pstack_nvram::FailPlan;
+        let build = || fixture(&[KvTaskOp::Put { key: 3, value: 33 }]);
+
+        // Count events for a clean run to know the crash range.
+        let (pmem, heap, store, table) = build();
+        let f = KvTaskFunction::new(store.clone(), table.clone());
+        let mut registry = FunctionRegistry::new();
+        registry.register(KV_TASK_FUNC_ID, f.into_arc()).unwrap();
+        let mut stack = FixedStack::format(pmem.clone(), POffset::new(0), 4096).unwrap();
+        let e0 = pmem.events();
+        {
+            let mut ctx = PContext::new(
+                pmem.clone(),
+                heap.clone(),
+                &registry,
+                &mut stack,
+                0,
+                POffset::new(64),
+            );
+            ctx.call(KV_TASK_FUNC_ID, &0u64.to_le_bytes()).unwrap();
+        }
+        let total = pmem.events() - e0;
+
+        for k in 0..total {
+            let (pmem, heap, store, table) = build();
+            let mut registry = FunctionRegistry::new();
+            registry
+                .register(
+                    KV_TASK_FUNC_ID,
+                    KvTaskFunction::new(store.clone(), table.clone()).into_arc(),
+                )
+                .unwrap();
+            let mut stack = FixedStack::format(pmem.clone(), POffset::new(0), 4096).unwrap();
+            pmem.arm_failpoint(FailPlan::after_events(k));
+            {
+                let mut ctx = PContext::new(
+                    pmem.clone(),
+                    heap,
+                    &registry,
+                    &mut stack,
+                    0,
+                    POffset::new(64),
+                );
+                let err = ctx.call(KV_TASK_FUNC_ID, &0u64.to_le_bytes()).unwrap_err();
+                assert!(err.is_crash(), "crash at event {k}");
+            }
+            let pmem2 = pmem.reopen().unwrap();
+            let heap2 = PHeap::open(pmem2.clone(), POffset::new(8192)).unwrap();
+            let store2 = PKvStore::open(pmem2.clone(), store.base(), KvVariant::Nsrl).unwrap();
+            let t2 = KvOpTable::open(pmem2.clone(), table.base()).unwrap();
+            let mut registry2 = FunctionRegistry::new();
+            registry2
+                .register(
+                    KV_TASK_FUNC_ID,
+                    KvTaskFunction::new(store2.clone(), t2.clone()).into_arc(),
+                )
+                .unwrap();
+            let mut stack2 = FixedStack::open(pmem2.clone(), POffset::new(0), 4096).unwrap();
+            let mut ctx2 =
+                PContext::new(pmem2, heap2, &registry2, &mut stack2, 0, POffset::new(64));
+            pstack_core::recover_stack(&mut ctx2).unwrap();
+            // Whether or not the operation linearized before the crash,
+            // the key holds the value at most once in the published log;
+            // if the descriptor is marked done, exactly once.
+            let published: usize = store2.snapshot().unwrap().iter().map(Vec::len).sum();
+            assert!(published <= 1, "crash at event {k}: duplicate record");
+            if let Some(ans) = t2.result(0).unwrap() {
+                assert_eq!(ans.result, KvTaskResult::Stored(true));
+                assert_eq!(published, 1, "crash at event {k}: answer without record");
+                assert_eq!(store2.get(3).unwrap(), Some(33));
+            }
+        }
+    }
+}

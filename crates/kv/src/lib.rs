@@ -1,0 +1,56 @@
+//! `pstack-kv` — a recoverable key-value store on the persistent-stack
+//! runtime.
+//!
+//! The ROADMAP's north star asks for a real workload on top of the
+//! micro-primitives (CAS, counter, queue); a durable KV store is the
+//! canonical end-to-end application of this literature (it is the
+//! evaluation vehicle of both FliT and NVTraverse). This crate provides
+//! one in the NSRL style of `pstack-recoverable`:
+//!
+//! * [`PKvStore`] — a persistent hash-indexed map from `u64` keys to
+//!   `i64` values, laid out in the `PMem` region via `PHeap`, with
+//!   `put`/`get`/`delete`/`cas` operations and their recovery duals;
+//! * [`KvOpTable`] — the persistent table of operation descriptors and
+//!   answers that lets a §5.2-style experiment re-enqueue unfinished
+//!   operations after every restart;
+//! * [`KvTaskFunction`] — glue registering KV operations as recoverable
+//!   functions, so KV traffic runs through `Runtime::run_tasks` and
+//!   survives crashes via the persistent stack.
+//!
+//! # Design: a hash index over an append-only version log
+//!
+//! Updating a value *in place* destroys the evidence recovery needs —
+//! exactly the problem §5's recoverable CAS solves with its helping
+//! matrix `R`. The store sidesteps it the same way the recoverable
+//! queue does: **effects are never overwritten**. The store is a bucket
+//! array of chain heads plus a bounded log of immutable version
+//! records:
+//!
+//! ```text
+//! bucket[h(k)] ──▶ record ──next──▶ record ──next──▶ … ──▶ ∅
+//!                  (newest)                (oldest)
+//! ```
+//!
+//! A mutation reserves a log slot (CAS on the persistent tail counter),
+//! writes the full record — `(kind, key, value, pid, seq, next)` fits
+//! in 48 bytes of a 64-byte-aligned slot, so it persists atomically —
+//! and then *publishes* it with a single 8-byte CAS on the bucket head.
+//! The record is unreachable until that CAS, so a crash can only leave
+//! an invisible orphan, never a torn or half-visible update. The bucket
+//! chain order **is** the linearization order of the key's mutations,
+//! which is what makes the execution verifiable (`pstack-verify`'s
+//! `check_kv`) and recovery a scan: an interrupted operation linearized
+//! iff some published record carries its `(pid, seq)` tag.
+//! [`KvVariant::NoScan`] removes that scan — the analogue of the paper
+//! removing the matrix `R` — and the verifier catches the resulting
+//! double applications.
+//!
+//! Like every §5 object, the store requires an `eager_flush` region:
+//! the algorithm is specified for cache-less NVRAM, where every write
+//! is durable the moment it completes.
+
+mod funcs;
+mod store;
+
+pub use funcs::{KvOpTable, KvTaskAnswer, KvTaskFunction, KvTaskOp, KvTaskResult, KV_TASK_FUNC_ID};
+pub use store::{KvVariant, PKvStore, VersionRecord};

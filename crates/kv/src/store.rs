@@ -1,0 +1,906 @@
+//! The persistent hash-indexed key-value store.
+//!
+//! See the crate-level documentation for the design rationale. The
+//! persistent layout, starting at the heap allocation's base:
+//!
+//! ```text
+//! header (64 B): magic, bucket count, log capacity, log tail
+//! buckets:       nbuckets × 8 B   — absolute offset of the newest
+//!                                   record of each chain (0 = empty)
+//! version log:   log_cap × 64 B   — immutable records, 64-aligned
+//! ```
+//!
+//! A record occupies the first 48 bytes of its 64-byte slot:
+//!
+//! ```text
+//! 0      kind   (0 = unpublished, 1 = PUT, 2 = DELETE)
+//! 8..16  key
+//! 16..24 value  (the stored value; for DELETE, the value removed)
+//! 24..32 pid    (writer's process id)
+//! 32..40 seq    (writer's operation tag)
+//! 40..48 next   (offset of the chain's previous record, 0 = end)
+//! ```
+//!
+//! Records become visible only through the bucket-head CAS, after every
+//! field is durable (the region is eager-flush), so no crash moment can
+//! expose a torn record. Reserved-but-unpublished slots are orphans:
+//! invisible to lookups, scans and the verifier alike.
+
+use std::collections::BTreeMap;
+
+use pstack_core::PError;
+use pstack_heap::PHeap;
+use pstack_nvram::{PMem, POffset};
+
+const KV_MAGIC: u64 = 0x5053_4B56_5354_4F31; // "PSKVSTO1"
+const HEADER_LEN: u64 = 64;
+const RECORD_STRIDE: u64 = 64;
+const RECORD_LEN: usize = 48;
+
+const OFF_MAGIC: u64 = 0;
+const OFF_NBUCKETS: u64 = 8;
+const OFF_LOG_CAP: u64 = 16;
+const OFF_LOG_TAIL: u64 = 24;
+
+const KIND_PUT: u8 = 1;
+const KIND_DEL: u8 = 2;
+
+/// Which recovery procedure the store runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KvVariant {
+    /// Correct NSRL recovery: scan the key's published chain for the
+    /// interrupted operation's tag before re-executing.
+    #[default]
+    Nsrl,
+    /// Injected bug mirroring §5.2's matrix removal: recovery skips the
+    /// evidence scan and always re-executes — operations that already
+    /// linearized are applied twice, which the KV verifier flags.
+    NoScan,
+}
+
+impl KvVariant {
+    /// One-byte encoding for persistent configuration records.
+    #[must_use]
+    pub fn as_u8(self) -> u8 {
+        match self {
+            KvVariant::Nsrl => 0,
+            KvVariant::NoScan => 1,
+        }
+    }
+
+    /// Decodes [`KvVariant::as_u8`].
+    ///
+    /// # Errors
+    ///
+    /// [`PError::InvalidConfig`] for unknown encodings.
+    pub fn from_u8(v: u8) -> Result<Self, PError> {
+        match v {
+            0 => Ok(KvVariant::Nsrl),
+            1 => Ok(KvVariant::NoScan),
+            other => Err(PError::InvalidConfig(format!(
+                "unknown KV variant encoding {other}"
+            ))),
+        }
+    }
+}
+
+/// One published version record, decoded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VersionRecord {
+    /// The key this record belongs to.
+    pub key: u64,
+    /// The value stored (for a delete: the value that was removed).
+    pub value: i64,
+    /// Writer's process id.
+    pub pid: u64,
+    /// Writer's operation tag.
+    pub seq: u64,
+    /// `true` for a DELETE record, `false` for a PUT record.
+    pub is_delete: bool,
+}
+
+/// Outcome of the internal append loop.
+enum Append {
+    /// The record was published.
+    Applied,
+    /// The precondition failed against the current chain state.
+    PrecondFailed,
+    /// The version log's lifetime capacity is exhausted.
+    LogFull,
+}
+
+/// Precondition checked atomically with the publish CAS (the head CAS
+/// fails if any other mutation intervened, so a passed check still
+/// holds at the linearization point).
+enum Precond {
+    /// No precondition (plain put).
+    None,
+    /// The key must currently be present (delete).
+    Exists,
+    /// The key must currently hold exactly this value (cas).
+    ValueIs(i64),
+}
+
+/// A crash-recoverable hash-indexed map from `u64` keys to `i64`
+/// values. Cheap to clone; all clones share the same store. See the
+/// [module docs](self) for the persistent layout and the crate docs
+/// for the recovery argument.
+///
+/// # Example
+///
+/// ```
+/// use pstack_nvram::PMemBuilder;
+/// use pstack_heap::PHeap;
+/// use pstack_kv::{KvVariant, PKvStore};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let pmem = PMemBuilder::new().len(1 << 18).eager_flush(true).build_in_memory();
+/// let heap = PHeap::format(pmem.clone(), 0u64.into(), 1 << 18)?;
+/// let kv = PKvStore::format(pmem, &heap, 16, 64, KvVariant::Nsrl)?;
+/// assert!(kv.put(0, 1, 7, 700)?);
+/// assert_eq!(kv.get(7)?, Some(700));
+/// assert!(kv.cas(0, 2, 7, 700, 701)?);
+/// assert!(kv.delete(0, 3, 7)?);
+/// assert_eq!(kv.get(7)?, None);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct PKvStore {
+    pmem: PMem,
+    base: POffset,
+    nbuckets: u64,
+    log_cap: u64,
+    variant: KvVariant,
+}
+
+fn round64(v: u64) -> u64 {
+    (v + 63) & !63
+}
+
+/// SplitMix64 finalizer: a full-avalanche mix so sequential keys spread
+/// across buckets.
+fn mix(key: u64) -> u64 {
+    let mut z = key.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl PKvStore {
+    /// Bytes of NVRAM the store needs for `nbuckets` buckets and a
+    /// `log_cap`-record version log.
+    #[must_use]
+    pub fn required_len(nbuckets: u64, log_cap: u64) -> usize {
+        (round64(HEADER_LEN + nbuckets * 8) + log_cap * RECORD_STRIDE) as usize
+    }
+
+    /// Allocates and persists an empty store. `log_cap` bounds the
+    /// store's *lifetime* mutation count (records are never recycled —
+    /// the same trade the recoverable queue makes to keep recovery a
+    /// scan; compaction is future work).
+    ///
+    /// # Errors
+    ///
+    /// [`PError::InvalidConfig`] for a zero bucket count or log
+    /// capacity, or a region without `eager_flush`; heap/NVRAM errors
+    /// otherwise.
+    pub fn format(
+        pmem: PMem,
+        heap: &PHeap,
+        nbuckets: u64,
+        log_cap: u64,
+        variant: KvVariant,
+    ) -> Result<Self, PError> {
+        if nbuckets == 0 || log_cap == 0 {
+            return Err(PError::InvalidConfig(
+                "KV store needs at least one bucket and one log slot".into(),
+            ));
+        }
+        if !pmem.is_eager_flush() {
+            return Err(PError::InvalidConfig(
+                "KV store requires an eager-flush region (the algorithm assumes cache-less \
+                 NVRAM, like §5's CAS)"
+                    .into(),
+            ));
+        }
+        let len = Self::required_len(nbuckets, log_cap);
+        let base = heap.alloc_aligned(len, 64)?;
+        pmem.fill(base, 0, len)?;
+        pmem.write_u64(base + OFF_NBUCKETS, nbuckets)?;
+        pmem.write_u64(base + OFF_LOG_CAP, log_cap)?;
+        pmem.write_u64(base + OFF_MAGIC, KV_MAGIC)?;
+        Ok(PKvStore {
+            pmem,
+            base,
+            nbuckets,
+            log_cap,
+            variant,
+        })
+    }
+
+    /// Re-attaches to a store previously created at `base` (recovery
+    /// boot).
+    ///
+    /// # Errors
+    ///
+    /// [`PError::CorruptStack`] on a bad magic word,
+    /// [`PError::InvalidConfig`] without `eager_flush`.
+    pub fn open(pmem: PMem, base: POffset, variant: KvVariant) -> Result<Self, PError> {
+        if !pmem.is_eager_flush() {
+            return Err(PError::InvalidConfig(
+                "KV store requires an eager-flush region".into(),
+            ));
+        }
+        let magic = pmem.read_u64(base + OFF_MAGIC)?;
+        if magic != KV_MAGIC {
+            return Err(PError::CorruptStack(format!(
+                "bad KV store magic {magic:#x} at {base}"
+            )));
+        }
+        let nbuckets = pmem.read_u64(base + OFF_NBUCKETS)?;
+        let log_cap = pmem.read_u64(base + OFF_LOG_CAP)?;
+        Ok(PKvStore {
+            pmem,
+            base,
+            nbuckets,
+            log_cap,
+            variant,
+        })
+    }
+
+    /// The store's base offset (persist it to find the store again).
+    #[must_use]
+    pub fn base(&self) -> POffset {
+        self.base
+    }
+
+    /// Number of hash buckets.
+    #[must_use]
+    pub fn nbuckets(&self) -> u64 {
+        self.nbuckets
+    }
+
+    /// Lifetime version-log capacity in records.
+    #[must_use]
+    pub fn log_capacity(&self) -> u64 {
+        self.log_cap
+    }
+
+    /// The recovery variant this handle runs.
+    #[must_use]
+    pub fn variant(&self) -> KvVariant {
+        self.variant
+    }
+
+    /// Log slots reserved so far (published plus crash orphans).
+    ///
+    /// # Errors
+    ///
+    /// Propagated NVRAM errors.
+    pub fn log_reserved(&self) -> Result<u64, PError> {
+        Ok(self.pmem.read_u64(self.base + OFF_LOG_TAIL)?)
+    }
+
+    fn bucket_off(&self, key: u64) -> POffset {
+        let b = mix(key) % self.nbuckets;
+        self.base + (HEADER_LEN + b * 8)
+    }
+
+    fn record_off(&self, idx: u64) -> u64 {
+        self.base.get() + round64(HEADER_LEN + self.nbuckets * 8) + idx * RECORD_STRIDE
+    }
+
+    fn read_record(&self, off: u64) -> Result<(VersionRecord, u64), PError> {
+        let mut b = [0u8; RECORD_LEN];
+        self.pmem.read(POffset::new(off), &mut b)?;
+        let kind = b[0];
+        if kind != KIND_PUT && kind != KIND_DEL {
+            return Err(PError::CorruptStack(format!(
+                "published KV record at {off:#x} has kind {kind}"
+            )));
+        }
+        let rec = VersionRecord {
+            key: u64::from_le_bytes(b[8..16].try_into().expect("slice length")),
+            value: i64::from_le_bytes(b[16..24].try_into().expect("slice length")),
+            pid: u64::from_le_bytes(b[24..32].try_into().expect("slice length")),
+            seq: u64::from_le_bytes(b[32..40].try_into().expect("slice length")),
+            is_delete: kind == KIND_DEL,
+        };
+        let next = u64::from_le_bytes(b[40..48].try_into().expect("slice length"));
+        Ok((rec, next))
+    }
+
+    /// Walks a chain from `head` for `key`: the newest record decides.
+    fn lookup_from(&self, head: u64, key: u64) -> Result<Option<i64>, PError> {
+        let mut off = head;
+        while off != 0 {
+            let (rec, next) = self.read_record(off)?;
+            if rec.key == key {
+                return Ok(if rec.is_delete { None } else { Some(rec.value) });
+            }
+            off = next;
+        }
+        Ok(None)
+    }
+
+    /// Reserves one log slot; `None` when the log is exhausted.
+    fn reserve(&self) -> Result<Option<u64>, PError> {
+        loop {
+            let t = self.pmem.read_u64(self.base + OFF_LOG_TAIL)?;
+            if t >= self.log_cap {
+                return Ok(None);
+            }
+            if self.pmem.compare_exchange(
+                self.base + OFF_LOG_TAIL,
+                &t.to_le_bytes(),
+                &(t + 1).to_le_bytes(),
+            )? {
+                return Ok(Some(self.record_off(t)));
+            }
+        }
+    }
+
+    /// The append loop shared by every mutation: check the precondition
+    /// against the current chain, write the full record into a reserved
+    /// slot, publish it with the bucket-head CAS. A failed CAS means
+    /// another mutation intervened — re-check and retry. The slot is
+    /// reserved lazily and at most once; if the precondition fails
+    /// after a slot was reserved, the slot is abandoned as an invisible
+    /// orphan (the price of never recycling evidence).
+    fn append(
+        &self,
+        pid: u64,
+        seq: u64,
+        key: u64,
+        kind: u8,
+        value: i64,
+        precond: &Precond,
+    ) -> Result<Append, PError> {
+        let bucket = self.bucket_off(key);
+        let mut slot: Option<u64> = None;
+        loop {
+            let head = self.pmem.read_u64(bucket)?;
+            let value = match precond {
+                Precond::None => value,
+                Precond::Exists => match self.lookup_from(head, key)? {
+                    // A delete records the value it removed.
+                    Some(current) => current,
+                    None => return Ok(Append::PrecondFailed),
+                },
+                Precond::ValueIs(expected) => {
+                    if self.lookup_from(head, key)? != Some(*expected) {
+                        return Ok(Append::PrecondFailed);
+                    }
+                    value
+                }
+            };
+            let off = match slot {
+                Some(off) => off,
+                None => match self.reserve()? {
+                    Some(off) => {
+                        slot = Some(off);
+                        off
+                    }
+                    None => return Ok(Append::LogFull),
+                },
+            };
+            let mut b = [0u8; RECORD_LEN];
+            b[0] = kind;
+            b[8..16].copy_from_slice(&key.to_le_bytes());
+            b[16..24].copy_from_slice(&value.to_le_bytes());
+            b[24..32].copy_from_slice(&pid.to_le_bytes());
+            b[32..40].copy_from_slice(&seq.to_le_bytes());
+            b[40..48].copy_from_slice(&head.to_le_bytes());
+            self.pmem.write(POffset::new(off), &b)?;
+            if self
+                .pmem
+                .compare_exchange(bucket, &head.to_le_bytes(), &off.to_le_bytes())?
+            {
+                return Ok(Append::Applied);
+            }
+        }
+    }
+
+    /// Stores `value` under `key` as process `pid` with unique tag
+    /// `seq`, inserting or overwriting. Returns `false` if the version
+    /// log's lifetime capacity is exhausted (the store is then
+    /// read-only).
+    ///
+    /// # Errors
+    ///
+    /// A propagated crash (complete with [`PKvStore::recover_put`]
+    /// after restart).
+    pub fn put(&self, pid: u64, seq: u64, key: u64, value: i64) -> Result<bool, PError> {
+        match self.append(pid, seq, key, KIND_PUT, value, &Precond::None)? {
+            Append::Applied => Ok(true),
+            Append::LogFull => Ok(false),
+            Append::PrecondFailed => unreachable!("put has no precondition"),
+        }
+    }
+
+    /// Reads the current value of `key`.
+    ///
+    /// # Errors
+    ///
+    /// Propagated NVRAM errors.
+    pub fn get(&self, key: u64) -> Result<Option<i64>, PError> {
+        let head = self.pmem.read_u64(self.bucket_off(key))?;
+        self.lookup_from(head, key)
+    }
+
+    /// Removes `key` as process `pid` with unique tag `seq`. Returns
+    /// `true` if the key was present (and is now removed), `false` if
+    /// it was absent or the log is full.
+    ///
+    /// # Errors
+    ///
+    /// A propagated crash (complete with [`PKvStore::recover_delete`]
+    /// after restart).
+    pub fn delete(&self, pid: u64, seq: u64, key: u64) -> Result<bool, PError> {
+        match self.append(pid, seq, key, KIND_DEL, 0, &Precond::Exists)? {
+            Append::Applied => Ok(true),
+            Append::PrecondFailed | Append::LogFull => Ok(false),
+        }
+    }
+
+    /// Replaces `key`'s value with `new` iff it currently equals
+    /// `expected`, as process `pid` with unique tag `seq`. Returns
+    /// `false` if the current value differs (or the key is absent, or
+    /// the log is full).
+    ///
+    /// # Errors
+    ///
+    /// A propagated crash (complete with [`PKvStore::recover_cas`]
+    /// after restart).
+    pub fn cas(
+        &self,
+        pid: u64,
+        seq: u64,
+        key: u64,
+        expected: i64,
+        new: i64,
+    ) -> Result<bool, PError> {
+        match self.append(pid, seq, key, KIND_PUT, new, &Precond::ValueIs(expected))? {
+            Append::Applied => Ok(true),
+            Append::PrecondFailed | Append::LogFull => Ok(false),
+        }
+    }
+
+    /// Searches `key`'s published chain for the record tagged
+    /// `(pid, seq)` — the evidence scan of the NSRL recovery duals.
+    fn find_tag(&self, key: u64, pid: u64, seq: u64) -> Result<Option<VersionRecord>, PError> {
+        let mut off = self.pmem.read_u64(self.bucket_off(key))?;
+        while off != 0 {
+            let (rec, next) = self.read_record(off)?;
+            if rec.pid == pid && rec.seq == seq {
+                return Ok(Some(rec));
+            }
+            off = next;
+        }
+        Ok(None)
+    }
+
+    /// Completes an interrupted `put(pid, seq, key, value)`: the
+    /// operation linearized iff a published record carries its tag;
+    /// only then is re-execution skipped.
+    ///
+    /// # Errors
+    ///
+    /// A propagated crash; recovery is then re-run after restart.
+    pub fn recover_put(&self, pid: u64, seq: u64, key: u64, value: i64) -> Result<bool, PError> {
+        if self.variant == KvVariant::Nsrl && self.find_tag(key, pid, seq)?.is_some() {
+            return Ok(true);
+        }
+        self.put(pid, seq, key, value)
+    }
+
+    /// Completes an interrupted `delete(pid, seq, key)`.
+    ///
+    /// A delete that observed an absent key and crashed before
+    /// reporting leaves no evidence — recovery re-executes it, which is
+    /// correct because an answer that was never persisted is
+    /// indistinguishable from the operation not having run (the same
+    /// argument the recoverable queue makes for empty dequeues).
+    ///
+    /// # Errors
+    ///
+    /// A propagated crash; recovery is then re-run after restart.
+    pub fn recover_delete(&self, pid: u64, seq: u64, key: u64) -> Result<bool, PError> {
+        if self.variant == KvVariant::Nsrl && self.find_tag(key, pid, seq)?.is_some() {
+            return Ok(true);
+        }
+        self.delete(pid, seq, key)
+    }
+
+    /// Completes an interrupted `cas(pid, seq, key, expected, new)`. A
+    /// successful CAS left a tagged record; a failed one left no effect
+    /// and is safely re-executed.
+    ///
+    /// # Errors
+    ///
+    /// A propagated crash; recovery is then re-run after restart.
+    pub fn recover_cas(
+        &self,
+        pid: u64,
+        seq: u64,
+        key: u64,
+        expected: i64,
+        new: i64,
+    ) -> Result<bool, PError> {
+        if self.variant == KvVariant::Nsrl && self.find_tag(key, pid, seq)?.is_some() {
+            return Ok(true);
+        }
+        self.cas(pid, seq, key, expected, new)
+    }
+
+    /// One bucket's published chain, oldest record first.
+    ///
+    /// # Errors
+    ///
+    /// Propagated NVRAM errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket >= nbuckets`.
+    pub fn chain(&self, bucket: u64) -> Result<Vec<VersionRecord>, PError> {
+        assert!(
+            bucket < self.nbuckets,
+            "bucket {bucket} out of range ({} buckets)",
+            self.nbuckets
+        );
+        let mut off = self.pmem.read_u64(self.base + (HEADER_LEN + bucket * 8))?;
+        let mut out = Vec::new();
+        while off != 0 {
+            let (rec, next) = self.read_record(off)?;
+            out.push(rec);
+            off = next;
+        }
+        out.reverse();
+        Ok(out)
+    }
+
+    /// Every bucket's published chain (oldest first), in bucket order —
+    /// the linearization witness the KV verifier checks answers
+    /// against.
+    ///
+    /// # Errors
+    ///
+    /// Propagated NVRAM errors.
+    pub fn snapshot(&self) -> Result<Vec<Vec<VersionRecord>>, PError> {
+        (0..self.nbuckets).map(|b| self.chain(b)).collect()
+    }
+
+    /// The store's current contents as an ordinary map.
+    ///
+    /// # Errors
+    ///
+    /// Propagated NVRAM errors.
+    pub fn contents(&self) -> Result<BTreeMap<u64, i64>, PError> {
+        let mut out = BTreeMap::new();
+        for chain in self.snapshot()? {
+            for rec in chain {
+                if rec.is_delete {
+                    out.remove(&rec.key);
+                } else {
+                    out.insert(rec.key, rec.value);
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pstack_nvram::{FailPlan, PMemBuilder};
+
+    fn fixture(nbuckets: u64, log_cap: u64) -> (PMem, PHeap, PKvStore) {
+        let pmem = PMemBuilder::new()
+            .len(1 << 19)
+            .eager_flush(true)
+            .build_in_memory();
+        let heap = PHeap::format(pmem.clone(), POffset::new(0), 1 << 19).unwrap();
+        let kv = PKvStore::format(pmem.clone(), &heap, nbuckets, log_cap, KvVariant::Nsrl).unwrap();
+        (pmem, heap, kv)
+    }
+
+    #[test]
+    fn put_get_delete_cas_semantics() {
+        let (_, _, kv) = fixture(8, 64);
+        assert_eq!(kv.get(1).unwrap(), None);
+        assert!(kv.put(0, 1, 1, 100).unwrap());
+        assert!(kv.put(0, 2, 2, 200).unwrap());
+        assert_eq!(kv.get(1).unwrap(), Some(100));
+        assert!(kv.put(0, 3, 1, 101).unwrap(), "overwrite succeeds");
+        assert_eq!(kv.get(1).unwrap(), Some(101));
+        assert!(!kv.cas(0, 4, 1, 100, 999).unwrap(), "stale expected fails");
+        assert!(kv.cas(0, 5, 1, 101, 102).unwrap());
+        assert_eq!(kv.get(1).unwrap(), Some(102));
+        assert!(!kv.cas(0, 6, 99, 0, 1).unwrap(), "absent key fails cas");
+        assert!(kv.delete(0, 7, 1).unwrap());
+        assert_eq!(kv.get(1).unwrap(), None);
+        assert!(!kv.delete(0, 8, 1).unwrap(), "double delete reports absent");
+        assert!(!kv.cas(0, 9, 1, 102, 103).unwrap(), "deleted key fails cas");
+        assert_eq!(kv.get(2).unwrap(), Some(200));
+    }
+
+    #[test]
+    fn put_after_delete_reinserts() {
+        let (_, _, kv) = fixture(4, 32);
+        kv.put(0, 1, 5, 50).unwrap();
+        kv.delete(0, 2, 5).unwrap();
+        assert!(kv.put(0, 3, 5, 51).unwrap());
+        assert_eq!(kv.get(5).unwrap(), Some(51));
+    }
+
+    #[test]
+    fn log_capacity_is_lifetime_bounded() {
+        let (_, _, kv) = fixture(2, 3);
+        assert!(kv.put(0, 1, 1, 1).unwrap());
+        assert!(kv.put(0, 2, 2, 2).unwrap());
+        assert!(kv.put(0, 3, 3, 3).unwrap());
+        assert!(!kv.put(0, 4, 4, 4).unwrap(), "log exhausted");
+        // Deletes and cas also need log slots.
+        assert!(!kv.delete(0, 5, 1).unwrap());
+        assert!(!kv.cas(0, 6, 1, 1, 9).unwrap());
+        // Reads still work.
+        assert_eq!(kv.get(2).unwrap(), Some(2));
+        assert_eq!(kv.log_reserved().unwrap(), 3);
+    }
+
+    #[test]
+    fn eager_flush_region_is_required() {
+        let pmem = PMemBuilder::new().len(1 << 16).build_in_memory();
+        let heap = PHeap::format(pmem.clone(), POffset::new(0), 1 << 16).unwrap();
+        assert!(matches!(
+            PKvStore::format(pmem.clone(), &heap, 4, 16, KvVariant::Nsrl),
+            Err(PError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            PKvStore::open(pmem, POffset::new(64), KvVariant::Nsrl),
+            Err(PError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn open_round_trips_and_rejects_garbage() {
+        let (pmem, heap, kv) = fixture(8, 32);
+        kv.put(1, 1, 42, -7).unwrap();
+        let kv2 = PKvStore::open(pmem.clone(), kv.base(), KvVariant::Nsrl).unwrap();
+        assert_eq!(kv2.nbuckets(), 8);
+        assert_eq!(kv2.log_capacity(), 32);
+        assert_eq!(kv2.get(42).unwrap(), Some(-7));
+        let junk = heap.alloc_zeroed(128).unwrap();
+        assert!(matches!(
+            PKvStore::open(pmem, junk, KvVariant::Nsrl),
+            Err(PError::CorruptStack(_))
+        ));
+    }
+
+    #[test]
+    fn contents_and_chains_reflect_history() {
+        let (_, _, kv) = fixture(4, 64);
+        kv.put(0, 1, 10, 1).unwrap();
+        kv.put(0, 2, 11, 2).unwrap();
+        kv.put(0, 3, 10, 3).unwrap();
+        kv.delete(0, 4, 11).unwrap();
+        let contents = kv.contents().unwrap();
+        assert_eq!(contents.get(&10), Some(&3));
+        assert_eq!(contents.get(&11), None);
+        let total: usize = kv.snapshot().unwrap().iter().map(Vec::len).sum();
+        assert_eq!(total, 4, "every published mutation appears exactly once");
+        // The delete record carries the removed value.
+        let del = kv
+            .snapshot()
+            .unwrap()
+            .into_iter()
+            .flatten()
+            .find(|r| r.is_delete)
+            .unwrap();
+        assert_eq!(del.key, 11);
+        assert_eq!(del.value, 2);
+    }
+
+    #[test]
+    fn state_survives_crash_and_reopen() {
+        let (pmem, _, kv) = fixture(8, 64);
+        kv.put(0, 1, 7, 70).unwrap();
+        kv.put(0, 2, 8, 80).unwrap();
+        kv.delete(0, 3, 8).unwrap();
+        pmem.crash_now(0, 0.0); // eager region: nothing volatile to lose
+        let pmem2 = pmem.reopen().unwrap();
+        let kv2 = PKvStore::open(pmem2, kv.base(), KvVariant::Nsrl).unwrap();
+        assert_eq!(kv2.get(7).unwrap(), Some(70));
+        assert_eq!(kv2.get(8).unwrap(), None);
+    }
+
+    #[test]
+    fn recovery_sees_linearized_ops() {
+        let (_, _, kv) = fixture(8, 64);
+        assert!(kv.put(3, 9, 1, 11).unwrap());
+        assert!(kv.recover_put(3, 9, 1, 11).unwrap());
+        assert_eq!(kv.log_reserved().unwrap(), 1, "no second application");
+        assert!(kv.cas(2, 10, 1, 11, 12).unwrap());
+        assert!(kv.recover_cas(2, 10, 1, 11, 12).unwrap());
+        assert!(kv.delete(1, 11, 1).unwrap());
+        assert!(kv.recover_delete(1, 11, 1).unwrap());
+        assert_eq!(kv.log_reserved().unwrap(), 3);
+        assert_eq!(kv.get(1).unwrap(), None);
+    }
+
+    #[test]
+    fn recovery_reexecutes_unlinearized_ops() {
+        let (_, _, kv) = fixture(8, 64);
+        assert!(kv.recover_put(0, 1, 5, 55).unwrap());
+        assert_eq!(kv.get(5).unwrap(), Some(55));
+        assert!(kv.recover_delete(0, 2, 5).unwrap());
+        assert_eq!(kv.get(5).unwrap(), None);
+        assert!(!kv.recover_cas(0, 3, 5, 55, 56).unwrap());
+    }
+
+    #[test]
+    fn noscan_variant_double_applies() {
+        let pmem = PMemBuilder::new()
+            .len(1 << 18)
+            .eager_flush(true)
+            .build_in_memory();
+        let heap = PHeap::format(pmem.clone(), POffset::new(0), 1 << 18).unwrap();
+        let kv = PKvStore::format(pmem, &heap, 4, 32, KvVariant::NoScan).unwrap();
+        assert!(kv.put(0, 1, 1, 10).unwrap());
+        assert!(kv.recover_put(0, 1, 1, 10).unwrap());
+        let records: Vec<VersionRecord> = kv.snapshot().unwrap().into_iter().flatten().collect();
+        assert_eq!(records.len(), 2, "double application must be visible");
+        assert_eq!(records[0].seq, records[1].seq);
+    }
+
+    #[test]
+    fn crash_point_enumeration_put_recovers_exactly_once() {
+        let probe = || fixture(4, 16);
+        let (pmem, _, kv) = probe();
+        let e0 = pmem.events();
+        assert!(kv.put(0, 1, 7, 77).unwrap());
+        let total = pmem.events() - e0;
+        assert!(total >= 2, "reserve CAS + record write + head CAS");
+
+        for k in 0..total {
+            let (pmem, _, kv) = probe();
+            pmem.arm_failpoint(FailPlan::after_events(k));
+            let err = kv.put(0, 1, 7, 77).unwrap_err();
+            assert!(err.is_crash());
+            let pmem2 = pmem.reopen().unwrap();
+            let kv2 = PKvStore::open(pmem2, kv.base(), KvVariant::Nsrl).unwrap();
+            assert!(kv2.recover_put(0, 1, 7, 77).unwrap(), "crash at event {k}");
+            assert_eq!(kv2.get(7).unwrap(), Some(77), "crash at event {k}");
+            let published: usize = kv2.snapshot().unwrap().iter().map(Vec::len).sum();
+            assert_eq!(published, 1, "crash at event {k}: exactly one record");
+        }
+    }
+
+    #[test]
+    fn crash_point_enumeration_delete_recovers_exactly_once() {
+        let probe = || {
+            let (pmem, heap, kv) = fixture(4, 16);
+            kv.put(0, 1, 7, 77).unwrap();
+            (pmem, heap, kv)
+        };
+        let (pmem, _, kv) = probe();
+        let e0 = pmem.events();
+        assert!(kv.delete(1, 2, 7).unwrap());
+        let total = pmem.events() - e0;
+
+        for k in 0..total {
+            let (pmem, _, kv) = probe();
+            pmem.arm_failpoint(FailPlan::after_events(k));
+            let err = kv.delete(1, 2, 7).unwrap_err();
+            assert!(err.is_crash());
+            let pmem2 = pmem.reopen().unwrap();
+            let kv2 = PKvStore::open(pmem2, kv.base(), KvVariant::Nsrl).unwrap();
+            assert!(kv2.recover_delete(1, 2, 7).unwrap(), "crash at event {k}");
+            assert_eq!(kv2.get(7).unwrap(), None, "crash at event {k}");
+            let published: usize = kv2.snapshot().unwrap().iter().map(Vec::len).sum();
+            assert_eq!(published, 2, "crash at event {k}: put + delete records");
+        }
+    }
+
+    #[test]
+    fn crash_point_enumeration_cas_recovers_exactly_once() {
+        let probe = || {
+            let (pmem, heap, kv) = fixture(4, 16);
+            kv.put(0, 1, 7, 77).unwrap();
+            (pmem, heap, kv)
+        };
+        let (pmem, _, kv) = probe();
+        let e0 = pmem.events();
+        assert!(kv.cas(1, 2, 7, 77, 78).unwrap());
+        let total = pmem.events() - e0;
+
+        for k in 0..total {
+            let (pmem, _, kv) = probe();
+            pmem.arm_failpoint(FailPlan::after_events(k));
+            let err = kv.cas(1, 2, 7, 77, 78).unwrap_err();
+            assert!(err.is_crash());
+            let pmem2 = pmem.reopen().unwrap();
+            let kv2 = PKvStore::open(pmem2, kv.base(), KvVariant::Nsrl).unwrap();
+            assert!(
+                kv2.recover_cas(1, 2, 7, 77, 78).unwrap(),
+                "crash at event {k}"
+            );
+            assert_eq!(kv2.get(7).unwrap(), Some(78), "crash at event {k}");
+            let published: usize = kv2.snapshot().unwrap().iter().map(Vec::len).sum();
+            assert_eq!(published, 2, "crash at event {k}: no double application");
+        }
+    }
+
+    #[test]
+    fn concurrent_writers_lose_nothing() {
+        let (_, _, kv) = fixture(16, 1024);
+        let writers = 4u64;
+        let per = 64u64;
+        std::thread::scope(|s| {
+            for w in 0..writers {
+                let kv = kv.clone();
+                s.spawn(move || {
+                    for i in 0..per {
+                        let key = w * per + i;
+                        assert!(kv.put(w, i + 1, key, key as i64).unwrap());
+                    }
+                });
+            }
+        });
+        let contents = kv.contents().unwrap();
+        assert_eq!(contents.len(), (writers * per) as usize);
+        for (k, v) in contents {
+            assert_eq!(k as i64, v);
+        }
+    }
+
+    #[test]
+    fn concurrent_cas_on_one_key_applies_each_transition_once() {
+        // Four threads increment one key via cas-retry loops; the final
+        // value counts every success exactly once.
+        let (_, _, kv) = fixture(4, 4096);
+        kv.put(0, 1, 0, 0).unwrap();
+        let per = 50i64;
+        std::thread::scope(|s| {
+            for w in 0..4u64 {
+                let kv = kv.clone();
+                s.spawn(move || {
+                    let mut seq = 1_000 * (w + 1);
+                    for _ in 0..per {
+                        loop {
+                            seq += 1;
+                            let cur = kv.get(0).unwrap().unwrap();
+                            if kv.cas(w, seq, 0, cur, cur + 1).unwrap() {
+                                break;
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(kv.get(0).unwrap(), Some(4 * per));
+    }
+
+    #[test]
+    fn required_len_covers_layout() {
+        let need = PKvStore::required_len(16, 8);
+        assert_eq!(need as u64, round64(64 + 16 * 8) + 8 * 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn chain_bounds_are_enforced() {
+        let (_, _, kv) = fixture(2, 8);
+        let _ = kv.chain(2);
+    }
+
+    #[test]
+    fn variant_codec_round_trips() {
+        for v in [KvVariant::Nsrl, KvVariant::NoScan] {
+            assert_eq!(KvVariant::from_u8(v.as_u8()).unwrap(), v);
+        }
+        assert!(KvVariant::from_u8(9).is_err());
+    }
+}

@@ -9,9 +9,16 @@
 //! * [`FileBackend`] writes every persisted line through to a file,
 //!   emulating the paper's HDD-backed `mmap` deployment (§5.2). A real
 //!   process restart can then reopen the file and recover.
+//!
+//! On unix the file backend writes lines with the positional
+//! `FileExt::write_all_at` (no seek, safe under concurrent clones of
+//! the handle); elsewhere it falls back to portable seek-then-write,
+//! which is equivalent here because every write happens inside the
+//! region's critical section.
 
 use std::fs::{File, OpenOptions};
 use std::io::Read;
+#[cfg(unix)]
 use std::os::unix::fs::FileExt;
 use std::path::{Path, PathBuf};
 
@@ -82,8 +89,17 @@ impl FileBackend {
 }
 
 impl Backend for FileBackend {
+    #[cfg(unix)]
     fn persist_line(&mut self, offset: usize, data: &[u8]) -> Result<(), MemError> {
         self.file.write_all_at(data, offset as u64)?;
+        Ok(())
+    }
+
+    #[cfg(not(unix))]
+    fn persist_line(&mut self, offset: usize, data: &[u8]) -> Result<(), MemError> {
+        use std::io::{Seek, SeekFrom, Write};
+        self.file.seek(SeekFrom::Start(offset as u64))?;
+        self.file.write_all(data)?;
         Ok(())
     }
 

@@ -1,0 +1,840 @@
+//! KV verifier — the key-value analogue of the §5.1 methodology, built
+//! the same way as the FIFO checker: instead of searching for a legal
+//! linearization (NP-hard from answers alone), extract the
+//! linearization **witness** from the object itself and validate every
+//! recorded answer against it in linear time.
+//!
+//! The `pstack-kv` store never overwrites an effect: each mutation
+//! publishes an immutable version record by CASing a bucket's chain
+//! head, so a bucket chain in publish order *is* the real-time order of
+//! the linearization points of every mutation on that bucket's keys.
+//! [`check_kv`] replays each chain, oldest record first, against the
+//! sequential map specification [`KvSpec`] and checks:
+//!
+//! * every record belongs to exactly one operation of the history, with
+//!   matching key, kind and value (no phantom or torn records);
+//! * no operation's tag appears on two records (double application —
+//!   the §5.2 recovery-bug signature);
+//! * every answered effectful operation (`put → stored`,
+//!   `delete → true`, `cas → true`) owns exactly one record (no lost
+//!   updates), and every answered no-effect operation (`cas → false`,
+//!   `delete → false`, capacity-rejected `put`) owns none;
+//! * at each record's position in the replay, the sequential spec
+//!   agrees the operation takes effect there — a `cas` record's
+//!   expected value matches the key's current value, a `delete` record
+//!   removes a present key;
+//! * every `get` that returned a value is explained by some version of
+//!   its key (gets take no locks and leave no evidence, so — like the
+//!   per-process program order in the FIFO checker's note — their exact
+//!   linearization point is not reconstructable from the quiescent
+//!   state; value membership is the checkable projection).
+
+use std::collections::{HashMap, HashSet};
+
+/// The kind of a KV operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KvOpKind {
+    /// `put(key, value)`.
+    Put,
+    /// `get(key)`.
+    Get,
+    /// `delete(key)`.
+    Delete,
+    /// `cas(key, expected, new)`.
+    Cas,
+}
+
+/// The recorded answer of a KV operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KvAnswer {
+    /// A put's answer: `true` if stored, `false` if the store's
+    /// lifetime version-log capacity was exhausted.
+    Stored(bool),
+    /// A get's answer.
+    Got(Option<i64>),
+    /// A delete's answer: `true` if the key was present.
+    Deleted(bool),
+    /// A cas's answer: `true` if the expected value matched.
+    Swapped(bool),
+}
+
+/// One operation of a KV execution, with its recorded answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KvOp {
+    /// Executing process.
+    pub pid: u64,
+    /// The operation's unique tag (unique per `(pid, seq)` pair).
+    pub seq: u64,
+    /// Which operation this is.
+    pub kind: KvOpKind,
+    /// The key operated on.
+    pub key: u64,
+    /// The put value / cas replacement value (ignored for get/delete).
+    pub value: i64,
+    /// The cas expected value (ignored for the other kinds).
+    pub expected: i64,
+    /// The recorded answer.
+    pub answer: KvAnswer,
+}
+
+/// One published version record of the quiescent store, as reported by
+/// the store's snapshot: the witness the answers are checked against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KvWitnessRecord {
+    /// The key the record belongs to.
+    pub key: u64,
+    /// The value stored (for a delete record: the value removed).
+    pub value: i64,
+    /// Writer's process id.
+    pub pid: u64,
+    /// Writer's operation tag.
+    pub seq: u64,
+    /// `true` for a delete record.
+    pub is_delete: bool,
+}
+
+/// A complete KV execution: every operation with its answer, plus the
+/// per-bucket chain witness (each chain oldest record first).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KvHistory {
+    /// All operations, in any order.
+    pub ops: Vec<KvOp>,
+    /// Per-bucket published chains, each oldest record first.
+    pub chains: Vec<Vec<KvWitnessRecord>>,
+}
+
+/// The sequential specification of the store: an ordinary map with the
+/// exact answer semantics `PKvStore` promises. The checker replays the
+/// witness through this model; tests can use it as a reference
+/// implementation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct KvSpec {
+    map: HashMap<u64, i64>,
+}
+
+impl KvSpec {
+    /// An empty map — the store's initial state.
+    #[must_use]
+    pub fn new() -> Self {
+        KvSpec::default()
+    }
+
+    /// Sequential `put`: always stores (the spec has no capacity).
+    pub fn put(&mut self, key: u64, value: i64) -> bool {
+        self.map.insert(key, value);
+        true
+    }
+
+    /// Sequential `get`.
+    #[must_use]
+    pub fn get(&self, key: u64) -> Option<i64> {
+        self.map.get(&key).copied()
+    }
+
+    /// Sequential `delete`: `true` iff the key was present.
+    pub fn delete(&mut self, key: u64) -> bool {
+        self.map.remove(&key).is_some()
+    }
+
+    /// Sequential `cas`: replaces and returns `true` iff the key holds
+    /// exactly `expected`.
+    pub fn cas(&mut self, key: u64, expected: i64, new: i64) -> bool {
+        if self.map.get(&key) == Some(&expected) {
+            self.map.insert(key, new);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The spec's current contents.
+    #[must_use]
+    pub fn contents(&self) -> &HashMap<u64, i64> {
+        &self.map
+    }
+}
+
+/// Why a KV execution failed the check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KvViolation {
+    /// An operation's tag appears on more than one record (double
+    /// application).
+    DuplicateApplication {
+        /// The offending `(pid, seq)` tag.
+        tag: (u64, u64),
+    },
+    /// A record is owned by a tag no operation in the history owns.
+    PhantomRecord {
+        /// The unaccounted `(pid, seq)` tag.
+        tag: (u64, u64),
+    },
+    /// A record's key differs from its operation's key.
+    KeyMismatch {
+        /// The offending `(pid, seq)` tag.
+        tag: (u64, u64),
+        /// Key in the record.
+        record_key: u64,
+        /// Key the operation submitted.
+        op_key: u64,
+    },
+    /// A record's kind cannot result from its operation (e.g. a delete
+    /// record owned by a put).
+    WrongRecordKind {
+        /// The offending `(pid, seq)` tag.
+        tag: (u64, u64),
+    },
+    /// A put/cas record's value differs from what the operation
+    /// submitted.
+    ValueMismatch {
+        /// The offending `(pid, seq)` tag.
+        tag: (u64, u64),
+        /// Value in the record.
+        record_value: i64,
+        /// Value the operation submitted.
+        op_value: i64,
+    },
+    /// A cas record took effect although the key did not hold the
+    /// expected value at that point of the chain.
+    CasExpectationViolated {
+        /// The offending `(pid, seq)` tag.
+        tag: (u64, u64),
+        /// The value the operation expected.
+        expected: i64,
+        /// The value the key actually held (`None` = absent).
+        found: Option<i64>,
+    },
+    /// A delete record took effect although the key was absent at that
+    /// point of the chain.
+    DeleteOfAbsentKey {
+        /// The offending `(pid, seq)` tag.
+        tag: (u64, u64),
+    },
+    /// A delete record's value differs from the value the key held at
+    /// that point of the chain (torn or misattributed record).
+    DeletedValueMismatch {
+        /// The offending `(pid, seq)` tag.
+        tag: (u64, u64),
+        /// Value in the record.
+        record_value: i64,
+        /// Value the key actually held.
+        held: i64,
+    },
+    /// An answered effectful operation owns no record (lost update).
+    LostUpdate {
+        /// The offending `(pid, seq)` tag.
+        tag: (u64, u64),
+    },
+    /// An operation that answered "no effect" nevertheless owns a
+    /// record.
+    RejectedButApplied {
+        /// The offending `(pid, seq)` tag.
+        tag: (u64, u64),
+    },
+    /// A get returned a value that no version of its key ever held.
+    UnexplainedGet {
+        /// The offending `(pid, seq)` tag.
+        tag: (u64, u64),
+        /// The value the get reported.
+        reported: i64,
+    },
+}
+
+impl std::fmt::Display for KvViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KvViolation::DuplicateApplication { tag } => {
+                write!(f, "operation {tag:?} applied more than once")
+            }
+            KvViolation::PhantomRecord { tag } => {
+                write!(f, "record owned by unknown operation tag {tag:?}")
+            }
+            KvViolation::KeyMismatch {
+                tag,
+                record_key,
+                op_key,
+            } => write!(
+                f,
+                "operation {tag:?} on key {op_key} left a record on key {record_key}"
+            ),
+            KvViolation::WrongRecordKind { tag } => {
+                write!(f, "operation {tag:?} left a record of the wrong kind")
+            }
+            KvViolation::ValueMismatch {
+                tag,
+                record_value,
+                op_value,
+            } => write!(
+                f,
+                "operation {tag:?} submitted {op_value} but its record holds {record_value}"
+            ),
+            KvViolation::CasExpectationViolated {
+                tag,
+                expected,
+                found,
+            } => write!(
+                f,
+                "cas {tag:?} expected {expected} but the key held {found:?} at its \
+                 linearization point"
+            ),
+            KvViolation::DeleteOfAbsentKey { tag } => {
+                write!(f, "delete {tag:?} linearized on an absent key")
+            }
+            KvViolation::DeletedValueMismatch {
+                tag,
+                record_value,
+                held,
+            } => write!(
+                f,
+                "delete {tag:?} recorded removing {record_value} but the key held {held}"
+            ),
+            KvViolation::LostUpdate { tag } => {
+                write!(f, "operation {tag:?} answered success but left no record")
+            }
+            KvViolation::RejectedButApplied { tag } => {
+                write!(f, "operation {tag:?} answered no-effect yet owns a record")
+            }
+            KvViolation::UnexplainedGet { tag, reported } => write!(
+                f,
+                "get {tag:?} reported {reported}, a value its key never held"
+            ),
+        }
+    }
+}
+
+/// Verdict of the KV check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KvVerdict {
+    /// The answers are consistent with the chain-order linearization.
+    Linearizable,
+    /// The execution violates the sequential map specification.
+    NotLinearizable {
+        /// The first violation found.
+        violation: KvViolation,
+    },
+}
+
+impl KvVerdict {
+    /// `true` for [`KvVerdict::Linearizable`].
+    #[must_use]
+    pub fn is_linearizable(&self) -> bool {
+        matches!(self, KvVerdict::Linearizable)
+    }
+}
+
+fn fail(violation: KvViolation) -> KvVerdict {
+    KvVerdict::NotLinearizable { violation }
+}
+
+/// Checks a KV execution against the sequential map specification,
+/// using the per-bucket chains as the linearization witness. Runs in
+/// `O(ops + records)`.
+///
+/// See the module header of `kv.rs` for the exact conditions.
+///
+/// # Example
+///
+/// ```
+/// use pstack_verify::{
+///     check_kv, KvAnswer, KvHistory, KvOp, KvOpKind, KvWitnessRecord,
+/// };
+///
+/// let history = KvHistory {
+///     ops: vec![
+///         KvOp {
+///             pid: 0,
+///             seq: 1,
+///             kind: KvOpKind::Put,
+///             key: 7,
+///             value: 70,
+///             expected: 0,
+///             answer: KvAnswer::Stored(true),
+///         },
+///         KvOp {
+///             pid: 1,
+///             seq: 2,
+///             kind: KvOpKind::Get,
+///             key: 7,
+///             value: 0,
+///             expected: 0,
+///             answer: KvAnswer::Got(Some(70)),
+///         },
+///     ],
+///     chains: vec![vec![KvWitnessRecord {
+///         key: 7,
+///         value: 70,
+///         pid: 0,
+///         seq: 1,
+///         is_delete: false,
+///     }]],
+/// };
+/// assert!(check_kv(&history).is_linearizable());
+/// ```
+#[must_use]
+pub fn check_kv(history: &KvHistory) -> KvVerdict {
+    // Index operations by tag.
+    let ops_by_tag: HashMap<(u64, u64), &KvOp> = history
+        .ops
+        .iter()
+        .map(|op| ((op.pid, op.seq), op))
+        .collect();
+
+    // Which values each key ever held (for explaining gets).
+    let mut values_of_key: HashMap<u64, Vec<i64>> = HashMap::new();
+
+    // Replay every chain through the sequential spec. Chains of
+    // different buckets hold disjoint key sets, so their relative
+    // interleaving cannot matter; one spec instance replays them all.
+    let mut spec = KvSpec::new();
+    let mut applied_tags: HashSet<(u64, u64)> = HashSet::new();
+    for chain in &history.chains {
+        for rec in chain {
+            let tag = (rec.pid, rec.seq);
+            if !applied_tags.insert(tag) {
+                return fail(KvViolation::DuplicateApplication { tag });
+            }
+            let Some(op) = ops_by_tag.get(&tag) else {
+                return fail(KvViolation::PhantomRecord { tag });
+            };
+            if op.key != rec.key {
+                return fail(KvViolation::KeyMismatch {
+                    tag,
+                    record_key: rec.key,
+                    op_key: op.key,
+                });
+            }
+            match (op.kind, rec.is_delete) {
+                (KvOpKind::Put, false) => {
+                    if rec.value != op.value {
+                        return fail(KvViolation::ValueMismatch {
+                            tag,
+                            record_value: rec.value,
+                            op_value: op.value,
+                        });
+                    }
+                    spec.put(rec.key, rec.value);
+                }
+                (KvOpKind::Cas, false) => {
+                    if rec.value != op.value {
+                        return fail(KvViolation::ValueMismatch {
+                            tag,
+                            record_value: rec.value,
+                            op_value: op.value,
+                        });
+                    }
+                    let found = spec.get(rec.key);
+                    if !spec.cas(rec.key, op.expected, rec.value) {
+                        return fail(KvViolation::CasExpectationViolated {
+                            tag,
+                            expected: op.expected,
+                            found,
+                        });
+                    }
+                }
+                (KvOpKind::Delete, true) => {
+                    let held = spec.get(rec.key);
+                    match held {
+                        None => return fail(KvViolation::DeleteOfAbsentKey { tag }),
+                        Some(held) if held != rec.value => {
+                            return fail(KvViolation::DeletedValueMismatch {
+                                tag,
+                                record_value: rec.value,
+                                held,
+                            })
+                        }
+                        Some(_) => {
+                            spec.delete(rec.key);
+                        }
+                    }
+                }
+                _ => return fail(KvViolation::WrongRecordKind { tag }),
+            }
+            if !rec.is_delete {
+                values_of_key.entry(rec.key).or_default().push(rec.value);
+            }
+        }
+    }
+
+    // Check every operation's answer against the witness.
+    for op in &history.ops {
+        let tag = (op.pid, op.seq);
+        let applied = applied_tags.contains(&tag);
+        let effectful = match (op.kind, op.answer) {
+            (KvOpKind::Put, KvAnswer::Stored(ok)) => ok,
+            (KvOpKind::Delete, KvAnswer::Deleted(ok)) => ok,
+            (KvOpKind::Cas, KvAnswer::Swapped(ok)) => ok,
+            (KvOpKind::Get, KvAnswer::Got(reported)) => {
+                if let Some(v) = reported {
+                    let explained = values_of_key.get(&op.key).is_some_and(|vs| vs.contains(&v));
+                    if !explained {
+                        return fail(KvViolation::UnexplainedGet { tag, reported: v });
+                    }
+                }
+                // Gets never own records.
+                if applied {
+                    return fail(KvViolation::PhantomRecord { tag });
+                }
+                continue;
+            }
+            // A kind/answer mismatch is a harness-construction bug;
+            // surface it as a wrong-kind violation.
+            _ => return fail(KvViolation::WrongRecordKind { tag }),
+        };
+        match (effectful, applied) {
+            (true, false) => return fail(KvViolation::LostUpdate { tag }),
+            (false, true) => return fail(KvViolation::RejectedButApplied { tag }),
+            _ => {}
+        }
+    }
+
+    KvVerdict::Linearizable
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn put(pid: u64, seq: u64, key: u64, value: i64, ok: bool) -> KvOp {
+        KvOp {
+            pid,
+            seq,
+            kind: KvOpKind::Put,
+            key,
+            value,
+            expected: 0,
+            answer: KvAnswer::Stored(ok),
+        }
+    }
+
+    fn get(pid: u64, seq: u64, key: u64, got: Option<i64>) -> KvOp {
+        KvOp {
+            pid,
+            seq,
+            kind: KvOpKind::Get,
+            key,
+            value: 0,
+            expected: 0,
+            answer: KvAnswer::Got(got),
+        }
+    }
+
+    fn del(pid: u64, seq: u64, key: u64, ok: bool) -> KvOp {
+        KvOp {
+            pid,
+            seq,
+            kind: KvOpKind::Delete,
+            key,
+            value: 0,
+            expected: 0,
+            answer: KvAnswer::Deleted(ok),
+        }
+    }
+
+    fn cas(pid: u64, seq: u64, key: u64, expected: i64, new: i64, ok: bool) -> KvOp {
+        KvOp {
+            pid,
+            seq,
+            kind: KvOpKind::Cas,
+            key,
+            value: new,
+            expected,
+            answer: KvAnswer::Swapped(ok),
+        }
+    }
+
+    fn rec(pid: u64, seq: u64, key: u64, value: i64) -> KvWitnessRecord {
+        KvWitnessRecord {
+            key,
+            value,
+            pid,
+            seq,
+            is_delete: false,
+        }
+    }
+
+    fn drec(pid: u64, seq: u64, key: u64, value: i64) -> KvWitnessRecord {
+        KvWitnessRecord {
+            key,
+            value,
+            pid,
+            seq,
+            is_delete: true,
+        }
+    }
+
+    #[test]
+    fn empty_history_is_linearizable() {
+        let h = KvHistory {
+            ops: vec![],
+            chains: vec![vec![], vec![]],
+        };
+        assert!(check_kv(&h).is_linearizable());
+    }
+
+    #[test]
+    fn put_cas_delete_get_round_trip_is_linearizable() {
+        let h = KvHistory {
+            ops: vec![
+                put(0, 1, 7, 70, true),
+                cas(1, 2, 7, 70, 71, true),
+                get(2, 3, 7, Some(71)),
+                del(0, 4, 7, true),
+                get(1, 5, 7, None),
+                cas(2, 6, 7, 71, 72, false),
+            ],
+            chains: vec![vec![rec(0, 1, 7, 70), rec(1, 2, 7, 71), drec(0, 4, 7, 71)]],
+        };
+        assert!(check_kv(&h).is_linearizable());
+    }
+
+    #[test]
+    fn duplicate_application_is_flagged() {
+        let h = KvHistory {
+            ops: vec![put(0, 1, 7, 70, true)],
+            chains: vec![vec![rec(0, 1, 7, 70), rec(0, 1, 7, 70)]],
+        };
+        assert_eq!(
+            check_kv(&h),
+            KvVerdict::NotLinearizable {
+                violation: KvViolation::DuplicateApplication { tag: (0, 1) }
+            }
+        );
+    }
+
+    #[test]
+    fn duplicate_across_chains_is_flagged() {
+        let h = KvHistory {
+            ops: vec![put(0, 1, 7, 70, true)],
+            chains: vec![vec![rec(0, 1, 7, 70)], vec![rec(0, 1, 8, 70)]],
+        };
+        assert!(matches!(
+            check_kv(&h),
+            KvVerdict::NotLinearizable {
+                violation: KvViolation::DuplicateApplication { .. }
+            }
+        ));
+    }
+
+    #[test]
+    fn lost_update_is_flagged() {
+        let h = KvHistory {
+            ops: vec![put(0, 1, 7, 70, true)],
+            chains: vec![vec![]],
+        };
+        assert_eq!(
+            check_kv(&h),
+            KvVerdict::NotLinearizable {
+                violation: KvViolation::LostUpdate { tag: (0, 1) }
+            }
+        );
+    }
+
+    #[test]
+    fn phantom_record_is_flagged() {
+        let h = KvHistory {
+            ops: vec![],
+            chains: vec![vec![rec(9, 9, 7, 70)]],
+        };
+        assert!(matches!(
+            check_kv(&h),
+            KvVerdict::NotLinearizable {
+                violation: KvViolation::PhantomRecord { .. }
+            }
+        ));
+    }
+
+    #[test]
+    fn value_and_key_mismatches_are_flagged() {
+        let h = KvHistory {
+            ops: vec![put(0, 1, 7, 70, true)],
+            chains: vec![vec![rec(0, 1, 7, 99)]],
+        };
+        assert!(matches!(
+            check_kv(&h),
+            KvVerdict::NotLinearizable {
+                violation: KvViolation::ValueMismatch { .. }
+            }
+        ));
+        let h = KvHistory {
+            ops: vec![put(0, 1, 7, 70, true)],
+            chains: vec![vec![rec(0, 1, 8, 70)]],
+        };
+        assert!(matches!(
+            check_kv(&h),
+            KvVerdict::NotLinearizable {
+                violation: KvViolation::KeyMismatch { .. }
+            }
+        ));
+    }
+
+    #[test]
+    fn cas_expectation_violation_is_flagged() {
+        // The cas record claims effect although the key held 99, not 70.
+        let h = KvHistory {
+            ops: vec![put(0, 1, 7, 99, true), cas(1, 2, 7, 70, 71, true)],
+            chains: vec![vec![rec(0, 1, 7, 99), rec(1, 2, 7, 71)]],
+        };
+        assert!(matches!(
+            check_kv(&h),
+            KvVerdict::NotLinearizable {
+                violation: KvViolation::CasExpectationViolated { .. }
+            }
+        ));
+    }
+
+    #[test]
+    fn cas_false_with_record_is_flagged() {
+        let h = KvHistory {
+            ops: vec![put(0, 1, 7, 70, true), cas(1, 2, 7, 70, 71, false)],
+            chains: vec![vec![rec(0, 1, 7, 70), rec(1, 2, 7, 71)]],
+        };
+        assert!(matches!(
+            check_kv(&h),
+            KvVerdict::NotLinearizable {
+                violation: KvViolation::RejectedButApplied { .. }
+            }
+        ));
+    }
+
+    #[test]
+    fn delete_violations_are_flagged() {
+        // Delete record on an absent key.
+        let h = KvHistory {
+            ops: vec![del(0, 1, 7, true)],
+            chains: vec![vec![drec(0, 1, 7, 0)]],
+        };
+        assert!(matches!(
+            check_kv(&h),
+            KvVerdict::NotLinearizable {
+                violation: KvViolation::DeleteOfAbsentKey { .. }
+            }
+        ));
+        // Delete record carrying the wrong removed value.
+        let h = KvHistory {
+            ops: vec![put(0, 1, 7, 70, true), del(1, 2, 7, true)],
+            chains: vec![vec![rec(0, 1, 7, 70), drec(1, 2, 7, 71)]],
+        };
+        assert!(matches!(
+            check_kv(&h),
+            KvVerdict::NotLinearizable {
+                violation: KvViolation::DeletedValueMismatch { .. }
+            }
+        ));
+        // Delete answered false yet owns a record.
+        let h = KvHistory {
+            ops: vec![put(0, 1, 7, 70, true), del(1, 2, 7, false)],
+            chains: vec![vec![rec(0, 1, 7, 70), drec(1, 2, 7, 70)]],
+        };
+        assert!(matches!(
+            check_kv(&h),
+            KvVerdict::NotLinearizable {
+                violation: KvViolation::RejectedButApplied { .. }
+            }
+        ));
+    }
+
+    #[test]
+    fn unexplained_get_is_flagged() {
+        let h = KvHistory {
+            ops: vec![put(0, 1, 7, 70, true), get(1, 2, 7, Some(71))],
+            chains: vec![vec![rec(0, 1, 7, 70)]],
+        };
+        assert!(matches!(
+            check_kv(&h),
+            KvVerdict::NotLinearizable {
+                violation: KvViolation::UnexplainedGet { .. }
+            }
+        ));
+        // Got(None) is always explainable (the key starts absent).
+        let h = KvHistory {
+            ops: vec![put(0, 1, 7, 70, true), get(1, 2, 7, None)],
+            chains: vec![vec![rec(0, 1, 7, 70)]],
+        };
+        assert!(check_kv(&h).is_linearizable());
+    }
+
+    #[test]
+    fn wrong_record_kind_is_flagged() {
+        let h = KvHistory {
+            ops: vec![put(0, 1, 7, 70, true)],
+            chains: vec![vec![drec(0, 1, 7, 70)]],
+        };
+        assert!(matches!(
+            check_kv(&h),
+            KvVerdict::NotLinearizable {
+                violation: KvViolation::WrongRecordKind { .. }
+            }
+        ));
+    }
+
+    #[test]
+    fn rejected_put_must_leave_no_record() {
+        let h = KvHistory {
+            ops: vec![put(0, 1, 7, 70, false)],
+            chains: vec![vec![]],
+        };
+        assert!(check_kv(&h).is_linearizable());
+        let h = KvHistory {
+            ops: vec![put(0, 1, 7, 70, false)],
+            chains: vec![vec![rec(0, 1, 7, 70)]],
+        };
+        assert!(matches!(
+            check_kv(&h),
+            KvVerdict::NotLinearizable {
+                violation: KvViolation::RejectedButApplied { .. }
+            }
+        ));
+    }
+
+    #[test]
+    fn kv_spec_matches_map_semantics() {
+        let mut spec = KvSpec::new();
+        assert_eq!(spec.get(1), None);
+        assert!(spec.put(1, 10));
+        assert_eq!(spec.get(1), Some(10));
+        assert!(!spec.cas(1, 99, 11));
+        assert!(spec.cas(1, 10, 11));
+        assert!(spec.delete(1));
+        assert!(!spec.delete(1));
+        assert!(!spec.cas(1, 11, 12), "cas on absent key fails");
+        assert!(spec.contents().is_empty());
+    }
+
+    #[test]
+    fn violations_display_nonempty() {
+        let violations = [
+            KvViolation::DuplicateApplication { tag: (0, 1) },
+            KvViolation::PhantomRecord { tag: (0, 1) },
+            KvViolation::KeyMismatch {
+                tag: (0, 1),
+                record_key: 1,
+                op_key: 2,
+            },
+            KvViolation::WrongRecordKind { tag: (0, 1) },
+            KvViolation::ValueMismatch {
+                tag: (0, 1),
+                record_value: 1,
+                op_value: 2,
+            },
+            KvViolation::CasExpectationViolated {
+                tag: (0, 1),
+                expected: 1,
+                found: None,
+            },
+            KvViolation::DeleteOfAbsentKey { tag: (0, 1) },
+            KvViolation::DeletedValueMismatch {
+                tag: (0, 1),
+                record_value: 1,
+                held: 2,
+            },
+            KvViolation::LostUpdate { tag: (0, 1) },
+            KvViolation::RejectedButApplied { tag: (0, 1) },
+            KvViolation::UnexplainedGet {
+                tag: (0, 1),
+                reported: 3,
+            },
+        ];
+        for v in violations {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+}

@@ -16,11 +16,16 @@
 //! with memoization) handles small timed histories, a
 //! [`check_sequential_consistency`] procedure handles per-process
 //! program orders, and [`brute_force_serializable`] cross-checks the
-//! polynomial checker on tiny inputs.
+//! polynomial checker on tiny inputs. Two further object-specific
+//! witness checkers follow the same extract-the-witness strategy:
+//! [`check_fifo`] for recoverable-queue executions and [`check_kv`]
+//! for key-value executions against the sequential map spec
+//! ([`KvSpec`]).
 
 mod brute;
 mod fifo;
 mod history;
+mod kv;
 mod linearizability;
 mod sequential;
 mod serializability;
@@ -32,6 +37,9 @@ pub use fifo::{
     SlotWitness,
 };
 pub use history::{CasHistory, CasOp, TimedHistory, TimedOp};
+pub use kv::{
+    check_kv, KvAnswer, KvHistory, KvOp, KvOpKind, KvSpec, KvVerdict, KvViolation, KvWitnessRecord,
+};
 pub use linearizability::{check_linearizability, LinVerdict};
 pub use sequential::{check_sequential_consistency, ProgramOrderHistory, ScVerdict};
 pub use serializability::{check_serializability, NonSerializableReason, SerialVerdict};

@@ -7,10 +7,20 @@
 //! throughput annotation, `Bencher::iter`) and implements a simple but
 //! honest measurement loop: per benchmark it warms up, then times
 //! `sample_size` samples whose per-sample iteration count is calibrated
-//! so a sample lasts roughly `measurement_time / sample_size`, and
-//! reports the fastest sample's mean iteration time (a robust
-//! low-noise estimator). There is no HTML report and no statistical
-//! regression analysis.
+//! so a sample lasts roughly `measurement_time / sample_size`.
+//!
+//! Each benchmark reports one line:
+//!
+//! ```text
+//! <group>/<id>   time: [<min> <mean> <max>]  n=<samples>×<iters>  thrpt: <rate>
+//! ```
+//!
+//! where `min`/`mean`/`max` are per-iteration times over the samples
+//! (min ≈ the low-noise floor, mean the central estimate the optional
+//! throughput rate is derived from, max the tail) and `n` is the
+//! sample count times the calibrated iterations per sample — enough
+//! spread information to make before/after comparisons defensible.
+//! There is no HTML report and no statistical regression analysis.
 
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -248,31 +258,36 @@ impl BenchmarkGroup<'_> {
             (sample_budget.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64
         };
 
-        let mut best: Option<Duration> = None;
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_size);
         for _ in 0..self.sample_size {
             let mut b = Bencher {
                 iters,
                 elapsed: Duration::ZERO,
             };
             routine(&mut b);
-            let mean = b.elapsed / iters as u32;
-            best = Some(match best {
-                Some(prev) if prev <= mean => prev,
-                _ => mean,
-            });
+            samples.push(b.elapsed / iters as u32);
         }
-        let best = best.unwrap_or_default();
+        let min = samples.iter().min().copied().unwrap_or_default();
+        let max = samples.iter().max().copied().unwrap_or_default();
+        let mean = samples
+            .iter()
+            .sum::<Duration>()
+            .checked_div(samples.len() as u32)
+            .unwrap_or_default();
 
         let rate = match self.throughput {
-            Some(Throughput::Elements(n)) if !best.is_zero() => {
-                format!("  thrpt: {:.3e} elem/s", n as f64 / best.as_secs_f64())
+            Some(Throughput::Elements(n)) if !mean.is_zero() => {
+                format!("  thrpt: {:.3e} elem/s", n as f64 / mean.as_secs_f64())
             }
-            Some(Throughput::Bytes(n)) if !best.is_zero() => {
-                format!("  thrpt: {:.3e} B/s", n as f64 / best.as_secs_f64())
+            Some(Throughput::Bytes(n)) if !mean.is_zero() => {
+                format!("  thrpt: {:.3e} B/s", n as f64 / mean.as_secs_f64())
             }
             _ => String::new(),
         };
-        println!("{full:<55} time: {best:>12.3?}{rate}");
+        println!(
+            "{full:<55} time: [{min:>10.3?} {mean:>10.3?} {max:>10.3?}]  n={}×{iters}{rate}",
+            samples.len()
+        );
     }
 }
 

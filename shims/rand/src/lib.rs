@@ -10,7 +10,9 @@
 //! * [`SeedableRng::seed_from_u64`] and [`rngs::SmallRng`] — a
 //!   SplitMix64-fed xorshift generator with the same determinism
 //!   contract (same seed ⇒ same stream);
-//! * [`seq::SliceRandom::shuffle`] — Fisher–Yates.
+//! * [`seq::SliceRandom::shuffle`] — Fisher–Yates;
+//! * [`distr::Zipf`] — a zipfian rank distribution (YCSB-style skewed
+//!   key popularity) behind the [`distr::Distribution`] trait.
 //!
 //! Statistical quality is adequate for test workload generation; this
 //! is not a cryptographic generator.
@@ -232,6 +234,90 @@ pub fn rng() -> rngs::ThreadRng {
     rngs::ThreadRng::new()
 }
 
+/// Distributions beyond the uniform ones baked into [`Rng`] —
+/// mirroring the `rand_distr` / `rand::distr` API surface the
+/// workspace uses (currently the zipfian key generator driving the
+/// YCSB-style KV benches).
+pub mod distr {
+    use super::RngCore;
+
+    /// Types that sample values of `T` from a fixed distribution.
+    pub trait Distribution<T> {
+        /// Draws one value from `rng`.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// A zipfian distribution over ranks `1..=n` with exponent `s`:
+    /// `P(k) ∝ 1 / k^s`. Rank 1 is the most popular element — the
+    /// standard skewed-popularity model of the YCSB workloads.
+    ///
+    /// The shim precomputes the cumulative weights (`O(n)` memory,
+    /// `O(log n)` per sample via binary search); adequate for workload
+    /// generation, not for huge `n`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use rand::distr::{Distribution, Zipf};
+    /// use rand::rngs::SmallRng;
+    /// use rand::SeedableRng;
+    ///
+    /// let zipf = Zipf::new(100, 0.99).unwrap();
+    /// let mut rng = SmallRng::seed_from_u64(7);
+    /// let rank = zipf.sample(&mut rng);
+    /// assert!((1..=100).contains(&rank));
+    /// ```
+    #[derive(Debug, Clone)]
+    pub struct Zipf {
+        /// Cumulative weights; `cdf[k-1]` is the total weight of ranks
+        /// `1..=k`, normalized to end at 1.0.
+        cdf: Vec<f64>,
+    }
+
+    impl Zipf {
+        /// Builds a zipfian distribution over `1..=n` with exponent
+        /// `s >= 0` (`s = 0` is uniform).
+        ///
+        /// # Errors
+        ///
+        /// Returns a message for `n == 0` or a non-finite/negative
+        /// exponent.
+        pub fn new(n: u64, s: f64) -> Result<Self, String> {
+            if n == 0 {
+                return Err("zipf needs at least one element".into());
+            }
+            if !s.is_finite() || s < 0.0 {
+                return Err(format!("zipf exponent {s} must be finite and >= 0"));
+            }
+            let mut cdf = Vec::with_capacity(n as usize);
+            let mut total = 0.0f64;
+            for k in 1..=n {
+                total += (k as f64).powf(-s);
+                cdf.push(total);
+            }
+            for w in &mut cdf {
+                *w /= total;
+            }
+            Ok(Zipf { cdf })
+        }
+
+        /// Number of ranks.
+        #[must_use]
+        pub fn n(&self) -> u64 {
+            self.cdf.len() as u64
+        }
+    }
+
+    impl Distribution<u64> for Zipf {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+            let u = <f64 as super::Random>::random(rng);
+            // First rank whose cumulative weight exceeds the draw.
+            let idx = self.cdf.partition_point(|&w| w <= u);
+            (idx as u64 + 1).min(self.n())
+        }
+    }
+}
+
 /// Slice utilities.
 pub mod seq {
     use super::RngCore;
@@ -326,5 +412,47 @@ mod tests {
         let a: u64 = super::rng().random();
         let b: u64 = super::rng().random();
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn zipf_respects_bounds_and_skews_to_low_ranks() {
+        use super::distr::{Distribution, Zipf};
+        let zipf = Zipf::new(50, 0.99).unwrap();
+        let mut rng = SmallRng::seed_from_u64(13);
+        let mut counts = [0u64; 50];
+        for _ in 0..20_000 {
+            let k = zipf.sample(&mut rng);
+            assert!((1..=50).contains(&k));
+            counts[(k - 1) as usize] += 1;
+        }
+        // Rank 1 dominates rank 50 under s ≈ 1.
+        assert!(counts[0] > counts[49] * 4, "{counts:?}");
+        // Every rank is reachable enough to show up.
+        assert!(counts.iter().filter(|&&c| c > 0).count() >= 40);
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_uniform_and_deterministic() {
+        use super::distr::{Distribution, Zipf};
+        let zipf = Zipf::new(4, 0.0).unwrap();
+        let draw = |seed| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            (0..8).map(|_| zipf.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(3), draw(3), "same seed, same stream");
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[(zipf.sample(&mut rng) - 1) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn zipf_rejects_bad_parameters() {
+        use super::distr::Zipf;
+        assert!(Zipf::new(0, 1.0).is_err());
+        assert!(Zipf::new(10, -1.0).is_err());
+        assert!(Zipf::new(10, f64::NAN).is_err());
     }
 }

@@ -19,12 +19,16 @@
 //!   recoverable counter, register, bounded FIFO queue (with its own
 //!   injected-bug variant) and one-shot test-and-set, plus the
 //!   persistent descriptor tables driving the §5.2 experiments.
+//! * [`kv`] — the first real workload on the runtime: a recoverable
+//!   hash-indexed key-value store (per-bucket version chains published
+//!   by atomic head CAS, so recovery is an evidence scan), with its
+//!   descriptor table and runtime task function.
 //! * [`verify`] — the polynomial serializability verifier (Eulerian
-//!   paths), a FIFO verifier for queue executions, and linearizability /
+//!   paths), FIFO and KV witness verifiers, and linearizability /
 //!   sequential-consistency checkers for small histories.
-//! * [`chaos`] — crash campaigns (CAS and queue), exhaustive crash-point
-//!   enumeration, and the real-`kill(1)` multi-process harness over
-//!   file-backed images.
+//! * [`chaos`] — crash campaigns (CAS, queue and KV), exhaustive
+//!   crash-point enumeration, and the real-`kill(1)` multi-process
+//!   harness over file-backed images.
 //!
 //! # Quickstart
 //!
@@ -66,6 +70,7 @@
 pub use pstack_chaos as chaos;
 pub use pstack_core as core;
 pub use pstack_heap as heap;
+pub use pstack_kv as kv;
 pub use pstack_nvram as nvram;
 pub use pstack_recoverable as recoverable;
 pub use pstack_verify as verify;

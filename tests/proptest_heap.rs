@@ -97,6 +97,76 @@ proptest! {
         heap2.free(big).unwrap();
     }
 
+    /// Canary round-trip under random alloc/free: every live
+    /// allocation is filled with a slot-unique byte pattern, and no
+    /// interleaving of allocs, frees, coalescing or crash/reopen may
+    /// disturb another allocation's payload — the no-overlap guarantee
+    /// observed through the data itself rather than through offsets.
+    /// After everything is freed, coalescing must restore a single
+    /// free block.
+    #[test]
+    fn canaries_survive_and_frees_recoalesce(ops in proptest::collection::vec(op_strategy(), 1..80)) {
+        let pmem = PMemBuilder::new().len(REGION).build_in_memory();
+        let heap = PHeap::format(pmem.clone(), POffset::new(0), REGION as u64).unwrap();
+        let initial = heap.stats();
+        let mut live: HashMap<u8, (POffset, usize)> = HashMap::new();
+
+        for op in &ops {
+            match op {
+                Op::Alloc { slot, size } => {
+                    if live.contains_key(slot) {
+                        continue;
+                    }
+                    if let Ok(p) = heap.alloc(*size) {
+                        // Slot-unique canary, never 0x00 (the fresh-heap
+                        // fill) so stale memory cannot masquerade.
+                        pmem.fill(p, 0xA0 | (slot & 0x0F), *size).unwrap();
+                        pmem.flush(p, *size).unwrap();
+                        live.insert(*slot, (p, *size));
+                    }
+                }
+                Op::Free { slot } => {
+                    if let Some((p, _)) = live.remove(slot) {
+                        heap.free(p).unwrap();
+                    }
+                }
+            }
+            // Every live canary is intact after every operation.
+            for (slot, (p, len)) in &live {
+                let want = 0xA0 | (slot & 0x0F);
+                let bytes = pmem.read_vec(*p, *len).unwrap();
+                prop_assert!(
+                    bytes.iter().all(|b| *b == want),
+                    "slot {slot} canary disturbed"
+                );
+            }
+        }
+
+        // Canaries also survive a crash/reopen (payloads were flushed).
+        pmem.crash_now(0, 0.0);
+        let pmem2 = pmem.reopen().unwrap();
+        let heap2 = PHeap::open(pmem2.clone(), POffset::new(0)).unwrap();
+        for (slot, (p, len)) in &live {
+            let want = 0xA0 | (slot & 0x0F);
+            let bytes = pmem2.read_vec(*p, *len).unwrap();
+            prop_assert!(
+                bytes.iter().all(|b| *b == want),
+                "slot {slot} canary lost across reopen"
+            );
+        }
+
+        // Free everything: coalescing must fold the heap back into one
+        // free block with the original capacity.
+        for (p, _) in live.values() {
+            heap2.free(*p).unwrap();
+        }
+        let end = heap2.stats();
+        prop_assert_eq!(end.used_blocks, 0);
+        prop_assert_eq!(end.free_blocks, 1, "fragments left: {:?}", end);
+        prop_assert_eq!(end.free_payload_bytes, initial.free_payload_bytes);
+        heap2.check_consistency().unwrap();
+    }
+
     /// Alignment requests are honored and do not break consistency.
     #[test]
     fn aligned_allocations_are_aligned(

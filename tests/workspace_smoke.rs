@@ -111,3 +111,30 @@ fn facade_campaign_is_serializable() {
         "correct NSRL CAS must stay serializable under crashes"
     );
 }
+
+/// The kv + chaos + verify layers through the facade: store operations
+/// round-trip, and a small seeded KV crash campaign verifies
+/// linearizable against the sequential spec.
+#[test]
+fn facade_kv_store_and_campaign() {
+    use pstack::kv::{KvVariant, PKvStore};
+
+    let pmem = PMemBuilder::new()
+        .len(1 << 16)
+        .eager_flush(true)
+        .build_in_memory();
+    let heap =
+        pstack::heap::PHeap::format(pmem.clone(), POffset::new(0), 1 << 16).expect("heap formats");
+    let kv = PKvStore::format(pmem, &heap, 8, 32, KvVariant::Nsrl).expect("store formats");
+    assert!(kv.put(0, 1, 9, 90).expect("put"));
+    assert_eq!(kv.get(9).expect("get"), Some(90));
+    assert!(kv.delete(0, 2, 9).expect("delete"));
+
+    let cfg = pstack::chaos::KvCampaignConfig::new(24, 7);
+    let report = pstack::chaos::run_kv_campaign(&cfg).expect("campaign completes");
+    assert!(report.rounds >= 1);
+    assert!(
+        report.is_linearizable(),
+        "correct KV store must stay linearizable under crashes"
+    );
+}
