@@ -1,0 +1,213 @@
+//! E17: sharded-KV thread-scaling sweep and group-commit ablation.
+//!
+//! Writes to a persistent store are **persist-latency-bound**: the
+//! device charges a round-trip per persist, paid inside the region's
+//! critical section (the paper's evaluation emulates NVRAM with an
+//! HDD-backed mmap for exactly this reason). The sweeps therefore run
+//! the in-memory backend with an emulated per-round-trip
+//! `flush_latency`, which makes both scaling levers measurable in
+//! wall-clock regardless of host core count:
+//!
+//! * **Sharding** multiplies persist channels — each shard's region is
+//!   its own device, so `N` shards overlap `N` round-trips;
+//! * **group commit** divides round-trips — a batch persists all its
+//!   records (and the log tail, heads, epoch) in a handful of
+//!   round-trips instead of ≥ 3 per mutation.
+//!
+//! Benchmarks:
+//!
+//! * `kv_sharded/scale_puts` — aggregate write throughput at 1/2/4/8
+//!   threads × 1/4/8 shards, eager per-op commits. Ends with
+//!   `Comparison` ratio lines (shim format in README); the acceptance
+//!   bar is ≥ 2× for 4 shards / 4 threads over 1 shard / 4 threads.
+//! * `kv_sharded/scale_puts_batched` — the same sweep over buffered
+//!   regions with group commits of 16: the two levers compound.
+//! * `kv_sharded/group_commit` — single-shard batch-size ablation:
+//!   wall-clock next to persist round-trips, lines and coalesced
+//!   bytes per mutation, read straight from the `PMem` stats
+//!   counters (visible even on DRAM, where wall-clock barely moves).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Comparison, Criterion, Measurement, Throughput};
+use pstack_heap::PHeap;
+use pstack_kv::{KvBatchOp, KvVariant, PKvStore, ShardedKvStore};
+use pstack_nvram::{PMemBuilder, POffset};
+
+/// Emulated per-round-trip persist latency for the scaling sweeps.
+const LATENCY: Duration = Duration::from_micros(50);
+
+/// Puts per writer thread in the latency-bound sweeps.
+const OPS_PER_THREAD: u64 = 48;
+
+fn fresh_store(shards: usize, threads: u64, eager: bool) -> ShardedKvStore {
+    let total = threads * OPS_PER_THREAD;
+    // Keys spread ~uniformly; 3× headroom absorbs shard skew.
+    let log_cap = (total / shards as u64) * 3 + 64;
+    let region_len = (PKvStore::required_len(1024, log_cap) + (1 << 16)).next_power_of_two();
+    let mut builder = PMemBuilder::new().len(region_len).flush_latency(LATENCY);
+    if eager {
+        builder = builder.eager_flush(true);
+    }
+    let stripe = builder.build_striped(shards);
+    ShardedKvStore::format(stripe.regions(), 1024, log_cap, KvVariant::Nsrl).unwrap()
+}
+
+/// `threads` writers, each putting `OPS_PER_THREAD` distinct keys of
+/// its own shard (`thread % shards` — the shard-affine partitioning a
+/// fronting router gives a sharded store, and what the crash campaign
+/// workers do). `batch = 1` issues per-op puts, larger batches
+/// group-commit through `KvBatch`.
+fn run_writers(kv: &ShardedKvStore, threads: u64, batch: usize) {
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let kv = kv.clone();
+            s.spawn(move || {
+                let own = (t as usize) % kv.nshards();
+                let keys: Vec<u64> = (0u64..)
+                    .filter(|&k| kv.shard_of(k) == own)
+                    .skip((t as usize / kv.nshards()) * OPS_PER_THREAD as usize)
+                    .take(OPS_PER_THREAD as usize)
+                    .collect();
+                if batch <= 1 {
+                    for (i, &key) in keys.iter().enumerate() {
+                        assert!(kv.put(t, i as u64 + 1, key, key as i64).unwrap());
+                    }
+                } else {
+                    let mut seq = 0u64;
+                    for chunk in keys.chunks(batch) {
+                        let mut b = kv.batch();
+                        for &key in chunk {
+                            seq += 1;
+                            b.put(t, seq, key, key as i64);
+                        }
+                        assert!(b.commit().unwrap().iter().all(|o| o.took_effect()));
+                    }
+                }
+            });
+        }
+    });
+}
+
+fn sweep(
+    c: &mut Criterion,
+    name: &str,
+    eager: bool,
+    batch: usize,
+) -> Vec<(usize, u64, Measurement)> {
+    let mut g = c.benchmark_group(format!("kv_sharded/{name}"));
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(400));
+    let mut out = Vec::new();
+    for shards in [1usize, 4, 8] {
+        for threads in [1u64, 2, 4, 8] {
+            g.throughput(Throughput::Elements(threads * OPS_PER_THREAD));
+            let m = g.bench_measured(format!("s{shards}_t{threads}"), |b| {
+                b.iter_with_setup(
+                    || fresh_store(shards, threads, eager),
+                    |kv| run_writers(&kv, threads, batch),
+                );
+            });
+            out.push((shards, threads, m));
+        }
+    }
+    g.finish();
+    out
+}
+
+fn find(ms: &[(usize, u64, Measurement)], shards: usize, threads: u64) -> Measurement {
+    ms.iter()
+        .find(|&&(s, t, _)| s == shards && t == threads)
+        .map(|&(_, _, m)| m)
+        .expect("measured configuration")
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let eager = sweep(c, "scale_puts", true, 1);
+    let cmp = Comparison::new(
+        "kv_sharded/scale_puts",
+        "1 shard x 4 threads",
+        find(&eager, 1, 4),
+    );
+    cmp.versus("4 shards x 4 threads", find(&eager, 4, 4));
+    cmp.versus("8 shards x 8 threads", find(&eager, 8, 8));
+}
+
+fn bench_scaling_batched(c: &mut Criterion) {
+    let batched = sweep(c, "scale_puts_batched", false, 16);
+    let cmp = Comparison::new(
+        "kv_sharded/scale_puts_batched",
+        "1 shard x 4 threads",
+        find(&batched, 1, 4),
+    );
+    cmp.versus("4 shards x 4 threads", find(&batched, 4, 4));
+}
+
+fn bench_group_commit(c: &mut Criterion) {
+    const N: u64 = 512;
+    let mut g = c.benchmark_group("kv_sharded/group_commit");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(400));
+    g.throughput(Throughput::Elements(N));
+
+    let build = |eager: bool| {
+        let mut builder = PMemBuilder::new().len(1 << 20).flush_latency(LATENCY);
+        if eager {
+            builder = builder.eager_flush(true);
+        }
+        let pmem = builder.build_in_memory();
+        let heap = PHeap::format(pmem.clone(), POffset::new(0), 1 << 20).unwrap();
+        let kv = PKvStore::format(pmem.clone(), &heap, 256, N + 64, KvVariant::Nsrl).unwrap();
+        (pmem, kv)
+    };
+    let workload = |kv: &PKvStore, batch: usize| {
+        let ops: Vec<KvBatchOp> = (0..N)
+            .map(|key| KvBatchOp::Put {
+                pid: 0,
+                seq: key + 1,
+                key,
+                value: key as i64,
+            })
+            .collect();
+        for chunk in ops.chunks(batch) {
+            assert!(kv
+                .apply_batch(chunk)
+                .unwrap()
+                .iter()
+                .all(|o| o.took_effect()));
+        }
+    };
+
+    let mut configs: Vec<(String, bool, usize)> = vec![("eager_per_op".into(), true, 1)];
+    for batch in [1usize, 8, 64] {
+        configs.push((format!("buffered_batch{batch}"), false, batch));
+    }
+    for (name, eager, batch) in configs {
+        g.bench_function(name.clone(), |b| {
+            b.iter_with_setup(|| build(eager), |(_, kv)| workload(&kv, batch));
+        });
+        // Instrumented pass: the persist economy of this config, from
+        // the region's own counters.
+        let (pmem, kv) = build(eager);
+        let before = pmem.stats().snapshot();
+        workload(&kv, batch);
+        let d = pmem.stats().snapshot() - before;
+        pstack_bench::report_persist_economy(
+            &format!("kv_sharded/group_commit/{name}"),
+            pmem.line_size(),
+            d,
+            N as f64,
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_scaling,
+    bench_scaling_batched,
+    bench_group_commit
+);
+criterion_main!(benches);

@@ -11,7 +11,7 @@ use pstack_core::{
     StackKind, VecStack,
 };
 use pstack_heap::PHeap;
-use pstack_nvram::{PMem, PMemBuilder, POffset};
+use pstack_nvram::{PMem, PMemBuilder, POffset, StatsSnapshot};
 
 /// Function id of the no-op workload function used by recovery benches.
 pub const NOOP_FUNC: u64 = 900;
@@ -23,6 +23,20 @@ pub const SLOT_FUNC: u64 = 901;
 #[must_use]
 pub fn region(len: usize) -> PMem {
     PMemBuilder::new().len(len).build_in_memory()
+}
+
+/// Prints a measured run's persist economy — persist round-trips,
+/// durable lines and coalesced bytes per operation, derived from a
+/// `PMem` stats delta over `ops` operations. One format for every
+/// bench that reports the counters (flush ablation, group-commit
+/// sweep), so the lines stay comparable.
+pub fn report_persist_economy(label: &str, line_size: usize, delta: StatsSnapshot, ops: f64) {
+    println!(
+        "{label:<55} stats: persists/op={:.3} lines/op={:.3} coalesced_bytes/op={:.1}",
+        delta.persists as f64 / ops,
+        delta.lines_persisted as f64 / ops,
+        delta.coalesced_lines as f64 * line_size as f64 / ops,
+    );
 }
 
 /// Builds a region plus a heap occupying its upper half.

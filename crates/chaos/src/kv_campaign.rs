@@ -95,6 +95,67 @@ impl KvCampaignConfig {
     }
 }
 
+/// One shard's version-log usage at the end of a campaign. A filled
+/// log turns *that shard* read-only — every later mutation routed to
+/// it legally answers "no effect", an execution the verifier rightly
+/// accepts but one that stops exercising crash recovery. Reporting
+/// usage per shard (instead of a global sum) is what lets campaign
+/// tests catch a single hot shard degenerating while the others keep
+/// plenty of headroom.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardLogUsage {
+    /// The shard index (always 0 for the unsharded campaign).
+    pub shard: usize,
+    /// Log slots reserved (published records plus crash orphans).
+    pub reserved: u64,
+    /// The shard's lifetime version-log capacity.
+    pub capacity: u64,
+}
+
+impl ShardLogUsage {
+    /// `true` while the shard can still accept mutations.
+    #[must_use]
+    pub fn has_headroom(&self) -> bool {
+        self.reserved < self.capacity
+    }
+
+    /// `true` if **every** shard in `usage` keeps headroom — the
+    /// per-shard check that catches one hot shard turning read-only
+    /// even while aggregate usage looks healthy.
+    #[must_use]
+    pub fn all_have_headroom(usage: &[ShardLogUsage]) -> bool {
+        usage.iter().all(ShardLogUsage::has_headroom)
+    }
+
+    /// The fullest shard of `usage` (highest reserved/capacity ratio,
+    /// compared by cross-multiplication) — what a capacity alert would
+    /// page on.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty list (campaign reports always hold ≥ 1).
+    #[must_use]
+    pub fn tightest(usage: &[ShardLogUsage]) -> ShardLogUsage {
+        let ratio = |x: &ShardLogUsage, other_cap: u64| {
+            u128::from(x.reserved) * u128::from(other_cap.max(1))
+        };
+        *usage
+            .iter()
+            .max_by(|a, b| ratio(a, b.capacity).cmp(&ratio(b, a.capacity)))
+            .expect("at least one shard")
+    }
+}
+
+impl std::fmt::Display for ShardLogUsage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "shard {}: {}/{}",
+            self.shard, self.reserved, self.capacity
+        )
+    }
+}
+
 /// Outcome of a KV campaign.
 #[derive(Debug, Clone)]
 pub struct KvCampaignReport {
@@ -110,11 +171,10 @@ pub struct KvCampaignReport {
     pub history: KvHistory,
     /// The KV linearizability verdict.
     pub verdict: KvVerdict,
-    /// Version-log slots reserved by the end of the campaign
-    /// (published records plus crash orphans).
-    pub log_reserved: u64,
-    /// The store's lifetime version-log capacity.
-    pub log_capacity: u64,
+    /// Per-shard version-log usage at the end of the campaign (one
+    /// entry for this single-store campaign; the sharded campaign
+    /// reports one per shard).
+    pub log_usage: Vec<ShardLogUsage>,
 }
 
 impl KvCampaignReport {
@@ -130,14 +190,21 @@ impl KvCampaignReport {
         self.crashes + self.recovery_crashes
     }
 
-    /// `true` if the version log never filled. When the log fills the
-    /// store turns read-only and every later mutation legally answers
-    /// "no effect" — an execution the verifier rightly accepts but one
-    /// that stops exercising crash recovery, so campaign tests assert
-    /// this stayed `true`.
+    /// See [`ShardLogUsage::all_have_headroom`].
     #[must_use]
     pub fn log_had_headroom(&self) -> bool {
-        self.log_reserved < self.log_capacity
+        ShardLogUsage::all_have_headroom(&self.log_usage)
+    }
+
+    /// See [`ShardLogUsage::tightest`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the report holds no shards (never produced by the
+    /// campaign runners).
+    #[must_use]
+    pub fn tightest_shard(&self) -> ShardLogUsage {
+        ShardLogUsage::tightest(&self.log_usage)
     }
 }
 
@@ -372,8 +439,11 @@ pub fn run_kv_campaign(cfg: &KvCampaignConfig) -> Result<KvCampaignReport, PErro
         recovered_frames,
         history,
         verdict,
-        log_reserved: store.log_reserved()?,
-        log_capacity: store.log_capacity(),
+        log_usage: vec![ShardLogUsage {
+            shard: 0,
+            reserved: store.log_reserved()?,
+            capacity: store.log_capacity(),
+        }],
     })
 }
 
@@ -390,9 +460,8 @@ mod tests {
         assert!(report.rounds > 1);
         assert!(
             report.log_had_headroom(),
-            "log filled ({}/{}) — the campaign degenerated to a read-only store",
-            report.log_reserved,
-            report.log_capacity
+            "log filled ({}) — the campaign degenerated to a read-only store",
+            report.tightest_shard()
         );
     }
 
@@ -445,9 +514,8 @@ mod tests {
             );
             assert!(
                 report.log_had_headroom(),
-                "seed {seed}: log filled ({}/{}) — cycles stopped exercising recovery",
-                report.log_reserved,
-                report.log_capacity
+                "seed {seed}: log filled ({}) — cycles stopped exercising recovery",
+                report.tightest_shard()
             );
             cycles += report.total_crashes();
             campaigns += 1;

@@ -31,6 +31,7 @@
 mod campaign;
 mod crashpoints;
 mod kv_campaign;
+mod sharded_kv_campaign;
 // The real-kill(1) harness spawns and SIGKILLs OS processes: unix-only
 // and inherently nondeterministic, so it is opt-in via the
 // `kill-harness` feature. Default builds and `cargo test -q` stay
@@ -46,5 +47,8 @@ pub use killharness::{
     child_recover, child_run, collect_report, format_image, run_kill_campaign, ChildOutcome,
     KillCampaignConfig, KillCampaignReport, KillOutcome, KillWorkload,
 };
-pub use kv_campaign::{run_kv_campaign, KvCampaignConfig, KvCampaignReport};
+pub use kv_campaign::{run_kv_campaign, KvCampaignConfig, KvCampaignReport, ShardLogUsage};
 pub use queue_campaign::{run_queue_campaign, QueueCampaignConfig, QueueCampaignReport};
+pub use sharded_kv_campaign::{
+    run_sharded_kv_campaign, ShardedKvCampaignConfig, ShardedKvCampaignReport,
+};

@@ -1,0 +1,770 @@
+//! The §5.2 crash-campaign methodology applied to the **sharded**
+//! key-value store: worker threads drive disjoint shard sets over a
+//! striped region bundle, group commits batch persists inside each
+//! shard, kills land *inside batch windows* (the countdowns are drawn
+//! from event windows smaller than a batch's event footprint), a system
+//! failure takes every region down together, and recovery runs **in
+//! parallel, one scan per shard**. The collected execution is checked
+//! by `pstack-verify`'s [`check_kv_sharded`]: per-shard chain
+//! witnesses, globally unique operation tags, key-routing validation.
+//!
+//! The campaign is deterministic per seed even with multiple worker
+//! threads: shards are statically assigned to workers (`shard %
+//! workers`), every shard's schedule/kill randomness comes from its own
+//! seeded RNG, and different shards touch different regions — so no
+//! cross-thread interleaving can influence any region's event stream.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use pstack_core::PError;
+use pstack_kv::{
+    shard_of, KvBatchOp, KvOpTable, KvTaskOp, KvTaskResult, KvVariant, ShardedKvStore,
+    ShardedKvTaskFunction,
+};
+use pstack_nvram::{FailPlan, PMemBuilder, PMemStripe, POffset, StatsSnapshot};
+use pstack_verify::{
+    check_kv_sharded, KvAnswer, KvOp, KvOpKind, KvShardedHistory, KvVerdict, KvWitnessRecord,
+};
+
+use crate::kv_campaign::ShardLogUsage;
+
+/// Where each shard region persists its descriptor-table base (inside
+/// the 64-byte shard root, past the offsets the store itself uses).
+const TABLE_ROOT_OFF: u64 = 40;
+
+/// Configuration of one sharded KV crash campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardedKvCampaignConfig {
+    /// Number of KV operations across all shards.
+    pub n_ops: usize,
+    /// Number of shards (independent regions).
+    pub shards: usize,
+    /// Worker threads; shard `s` is owned by worker `s % workers`, so
+    /// shard schedules are worker-private and deterministic.
+    pub workers: usize,
+    /// Keys are drawn from `0..key_space`.
+    pub key_space: u64,
+    /// Inclusive range put/cas values are drawn from.
+    pub value_range: (i64, i64),
+    /// Probability weights of (put, get, delete) — the remainder are
+    /// cas operations.
+    pub op_mix: (f64, f64, f64),
+    /// Master seed; campaigns are deterministic given the seed.
+    pub seed: u64,
+    /// Correct NSRL recovery or the no-scan bug.
+    pub variant: KvVariant,
+    /// `Some(k)`: buffered regions, mutations group-committed in
+    /// batches of up to `k`. `None`: eager regions, per-op durability.
+    pub group_commit: Option<usize>,
+    /// Crashes stop after this many, so the campaign terminates.
+    pub max_crashes: usize,
+    /// Per-shard fail-point countdown drawn uniformly from this event
+    /// window. Keep it smaller than a batch's event footprint and
+    /// kills land inside batch windows.
+    pub crash_window: (u64, u64),
+    /// Probability that a given shard region gets a fail-point armed
+    /// in a given round (while the crash budget lasts).
+    pub crash_prob: f64,
+    /// NVRAM region length *per shard*.
+    pub region_len: usize,
+    /// Per-shard version-log capacity override; `None` provisions
+    /// automatically from the workload.
+    pub log_cap_per_shard: Option<u64>,
+}
+
+impl ShardedKvCampaignConfig {
+    /// Defaults: 4 shards × 4 workers over buffered regions with
+    /// group commits of 8, 16 hot keys, a 50/25/10/15
+    /// put/get/delete/cas mix, and kill countdowns short enough to
+    /// land inside batch windows.
+    #[must_use]
+    pub fn new(n_ops: usize, seed: u64) -> Self {
+        ShardedKvCampaignConfig {
+            n_ops,
+            shards: 4,
+            workers: 4,
+            key_space: 16,
+            value_range: (-100, 100),
+            op_mix: (0.5, 0.25, 0.1),
+            seed,
+            variant: KvVariant::Nsrl,
+            group_commit: Some(8),
+            max_crashes: 8,
+            crash_window: (8, 80),
+            crash_prob: 0.6,
+            region_len: 1 << 19,
+            log_cap_per_shard: None,
+        }
+    }
+
+    /// Selects the shard count.
+    #[must_use]
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Selects the recovery variant.
+    #[must_use]
+    pub fn variant(mut self, variant: KvVariant) -> Self {
+        self.variant = variant;
+        self
+    }
+
+    /// Selects the commit mode: `Some(batch)` for buffered regions
+    /// with group commits, `None` for eager per-op durability.
+    #[must_use]
+    pub fn group_commit(mut self, batch: Option<usize>) -> Self {
+        self.group_commit = batch;
+        self
+    }
+}
+
+/// Outcome of a sharded KV campaign.
+#[derive(Debug, Clone)]
+pub struct ShardedKvCampaignReport {
+    /// Rounds executed (≥ 1); each crash adds a recovery round.
+    pub rounds: usize,
+    /// Crash/recover cycles: system failures injected and recovered
+    /// from (kills during normal rounds *and* during recovery rounds).
+    pub crashes: usize,
+    /// Individual shard regions whose fail-point actually fired,
+    /// summed over all cycles (the remaining regions of a cycle are
+    /// taken down by the system failure itself).
+    pub shard_kills: usize,
+    /// The collected execution: answers plus per-shard chain witness.
+    pub history: KvShardedHistory,
+    /// The sharded linearizability verdict.
+    pub verdict: KvVerdict,
+    /// Per-shard version-log usage — a single hot shard degenerating
+    /// to read-only is visible here even when the aggregate is fine.
+    pub log_usage: Vec<ShardLogUsage>,
+    /// Per-shard completed group commits.
+    pub flush_epochs: Vec<u64>,
+    /// Aggregate NVRAM statistics across all shard regions and boots
+    /// (persists, coalesced lines, …).
+    pub stats: StatsSnapshot,
+    /// Mutation descriptors in the workload (put/delete/cas — the
+    /// denominator of the persists-per-mutation metric).
+    pub mutations: usize,
+}
+
+impl ShardedKvCampaignReport {
+    /// `true` if the execution passed the sharded KV check.
+    #[must_use]
+    pub fn is_linearizable(&self) -> bool {
+        self.verdict.is_linearizable()
+    }
+
+    /// Total crash/recover cycles the campaign survived.
+    #[must_use]
+    pub fn total_crashes(&self) -> usize {
+        self.crashes
+    }
+
+    /// See [`ShardLogUsage::all_have_headroom`].
+    #[must_use]
+    pub fn log_had_headroom(&self) -> bool {
+        ShardLogUsage::all_have_headroom(&self.log_usage)
+    }
+
+    /// See [`ShardLogUsage::tightest`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the report holds no shards (never produced by
+    /// [`run_sharded_kv_campaign`]).
+    #[must_use]
+    pub fn tightest_shard(&self) -> ShardLogUsage {
+        ShardLogUsage::tightest(&self.log_usage)
+    }
+
+    /// Persist round-trips per mutation descriptor — the group-commit
+    /// headline (compare a `group_commit: Some(k)` run against
+    /// `None`).
+    #[must_use]
+    pub fn persists_per_mutation(&self) -> f64 {
+        if self.mutations == 0 {
+            0.0
+        } else {
+            self.stats.persists as f64 / self.mutations as f64
+        }
+    }
+}
+
+/// Generates the workload exactly like the unsharded campaign.
+fn generate_ops(cfg: &ShardedKvCampaignConfig, rng: &mut SmallRng) -> Vec<KvTaskOp> {
+    let (lo, hi) = cfg.value_range;
+    let (p_put, p_get, p_del) = cfg.op_mix;
+    (0..cfg.n_ops)
+        .map(|_| {
+            let key = rng.random_range(0..cfg.key_space);
+            let roll: f64 = rng.random();
+            if roll < p_put {
+                KvTaskOp::Put {
+                    key,
+                    value: rng.random_range(lo..=hi),
+                }
+            } else if roll < p_put + p_get {
+                KvTaskOp::Get { key }
+            } else if roll < p_put + p_get + p_del {
+                KvTaskOp::Delete { key }
+            } else {
+                KvTaskOp::Cas {
+                    key,
+                    expected: rng.random_range(lo..=hi),
+                    new: rng.random_range(lo..=hi),
+                }
+            }
+        })
+        .collect()
+}
+
+/// Runs the pending descriptors of one shard for one round. Returns
+/// `true` if the shard's region crashed mid-round.
+///
+/// Gets resolve immediately; mutations collect into chunks that go
+/// through the shard's group commit — `apply_batch` in a normal round,
+/// its recovery dual `recover_batch` (evidence scans first, one group
+/// commit for the re-executions) after any crash — so kills land
+/// inside real multi-op batch windows in *both* kinds of round. Each
+/// chunk's answers persist with one coalesced `mark_done_batch`. An
+/// eager stripe degenerates to per-op durability inside the same
+/// structure.
+fn run_shard_round(
+    store: &ShardedKvStore,
+    shard: usize,
+    table: &KvOpTable,
+    batch_size: usize,
+    recovery: bool,
+    rng: &mut SmallRng,
+) -> Result<bool, PError> {
+    let crashed = |e: &PError| e.is_crash();
+    let mut pending = table.pending()?;
+    pending.shuffle(rng);
+    let pid = shard as u64;
+    let pstore = store.shard(shard);
+
+    for chunk in pending.chunks(batch_size.max(1)) {
+        let mut answers: Vec<(usize, u32, KvTaskResult)> = Vec::new();
+        let mut batch: Vec<(usize, KvBatchOp)> = Vec::new();
+        for &idx in chunk {
+            let seq = ShardedKvTaskFunction::seq_of(shard as u32, idx);
+            let mut step = || -> Result<(), PError> {
+                match table.op(idx)? {
+                    KvTaskOp::Get { key } => {
+                        let got = pstore.get(key)?;
+                        answers.push((idx, pid as u32, KvTaskResult::Got(got)));
+                    }
+                    KvTaskOp::Put { key, value } => batch.push((
+                        idx,
+                        KvBatchOp::Put {
+                            pid,
+                            seq,
+                            key,
+                            value,
+                        },
+                    )),
+                    KvTaskOp::Delete { key } => {
+                        batch.push((idx, KvBatchOp::Delete { pid, seq, key }));
+                    }
+                    KvTaskOp::Cas { key, expected, new } => batch.push((
+                        idx,
+                        KvBatchOp::Cas {
+                            pid,
+                            seq,
+                            key,
+                            expected,
+                            new,
+                        },
+                    )),
+                }
+                Ok(())
+            };
+            match step() {
+                Ok(()) => {}
+                Err(e) if crashed(&e) => return Ok(true),
+                Err(e) => return Err(e),
+            }
+        }
+        // The batch window: one group commit for the chunk's mutations.
+        if !batch.is_empty() {
+            let ops: Vec<KvBatchOp> = batch.iter().map(|&(_, op)| op).collect();
+            let result = if recovery {
+                pstore.recover_batch(&ops)
+            } else {
+                pstore.apply_batch(&ops)
+            };
+            let outcomes = match result {
+                Ok(outcomes) => outcomes,
+                Err(e) if crashed(&e) => return Ok(true),
+                Err(e) => return Err(e),
+            };
+            for (&(idx, op), outcome) in batch.iter().zip(outcomes) {
+                let result = match op {
+                    KvBatchOp::Put { .. } => KvTaskResult::Stored(outcome.took_effect()),
+                    KvBatchOp::Delete { .. } => KvTaskResult::Deleted(outcome.took_effect()),
+                    KvBatchOp::Cas { .. } => KvTaskResult::Swapped(outcome.took_effect()),
+                };
+                answers.push((idx, pid as u32, result));
+            }
+        }
+        match table.mark_done_batch(&answers) {
+            Ok(()) => {}
+            Err(e) if crashed(&e) => return Ok(true),
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(false)
+}
+
+fn open_tables(stripe: &PMemStripe) -> Result<Vec<KvOpTable>, PError> {
+    (0..stripe.len())
+        .map(|s| {
+            let base = stripe.region(s).read_u64(POffset::new(TABLE_ROOT_OFF))?;
+            KvOpTable::open(stripe.region(s).clone(), POffset::new(base))
+        })
+        .collect()
+}
+
+/// Builds the verifier history from the quiescent per-shard tables and
+/// the sharded store's chain witnesses.
+fn build_sharded_history(
+    store: &ShardedKvStore,
+    tables: &[KvOpTable],
+) -> Result<KvShardedHistory, PError> {
+    let shards: Vec<Vec<Vec<KvWitnessRecord>>> = store
+        .snapshot_sharded()?
+        .into_iter()
+        .map(|chains| {
+            chains
+                .into_iter()
+                .map(|chain| {
+                    chain
+                        .into_iter()
+                        .map(|r| KvWitnessRecord {
+                            key: r.key,
+                            value: r.value,
+                            pid: r.pid,
+                            seq: r.seq,
+                            is_delete: r.is_delete,
+                        })
+                        .collect()
+                })
+                .collect()
+        })
+        .collect();
+
+    let mut ops = Vec::new();
+    for (s, table) in tables.iter().enumerate() {
+        for idx in 0..table.len() {
+            let answer = table.result(idx)?.ok_or_else(|| {
+                PError::Task(format!(
+                    "shard {s} descriptor {idx} still pending; campaign incomplete"
+                ))
+            })?;
+            let pid = u64::from(answer.executor);
+            let seq = ShardedKvTaskFunction::seq_of(s as u32, idx);
+            let (kind, key, value, expected, ans) = match (table.op(idx)?, answer.result) {
+                (KvTaskOp::Put { key, value }, KvTaskResult::Stored(ok)) => {
+                    (KvOpKind::Put, key, value, 0, KvAnswer::Stored(ok))
+                }
+                (KvTaskOp::Get { key }, KvTaskResult::Got(v)) => {
+                    (KvOpKind::Get, key, 0, 0, KvAnswer::Got(v))
+                }
+                (KvTaskOp::Delete { key }, KvTaskResult::Deleted(ok)) => {
+                    (KvOpKind::Delete, key, 0, 0, KvAnswer::Deleted(ok))
+                }
+                (KvTaskOp::Cas { key, expected, new }, KvTaskResult::Swapped(ok)) => {
+                    (KvOpKind::Cas, key, new, expected, KvAnswer::Swapped(ok))
+                }
+                (op, res) => {
+                    return Err(PError::Task(format!(
+                        "shard {s} descriptor {idx}: answer {res:?} does not match op {op:?}"
+                    )))
+                }
+            };
+            ops.push(KvOp {
+                pid,
+                seq,
+                kind,
+                key,
+                value,
+                expected,
+                answer: ans,
+            });
+        }
+    }
+    Ok(KvShardedHistory { ops, shards })
+}
+
+/// Runs one full sharded KV crash campaign: stripe the store over
+/// `shards` regions, drive the descriptors with `workers` threads (one
+/// shard never has two drivers), kill shard regions inside their batch
+/// windows, take the whole stripe down on every failure, recover all
+/// shards in parallel, and finally verify the collected execution with
+/// the sharded witness checker. Deterministic per configuration.
+///
+/// # Errors
+///
+/// Propagates setup failures; the crash/restart loop itself handles
+/// crashes as part of the experiment.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics (assertion failures inside the
+/// harness).
+///
+/// # Example
+///
+/// ```
+/// use pstack_chaos::{run_sharded_kv_campaign, ShardedKvCampaignConfig};
+///
+/// # fn main() -> Result<(), pstack_core::PError> {
+/// let report = run_sharded_kv_campaign(&ShardedKvCampaignConfig::new(40, 7))?;
+/// assert!(report.is_linearizable());
+/// assert_eq!(report.log_usage.len(), 4);
+/// # Ok(())
+/// # }
+/// ```
+pub fn run_sharded_kv_campaign(
+    cfg: &ShardedKvCampaignConfig,
+) -> Result<ShardedKvCampaignReport, PError> {
+    assert!(cfg.shards > 0, "at least one shard");
+    assert!(cfg.workers > 0, "at least one worker");
+    assert!(cfg.key_space > 0, "empty key space");
+    let (lo, hi) = cfg.value_range;
+    assert!(lo <= hi, "empty value range");
+
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let ops = generate_ops(cfg, &mut rng);
+    let mutations = ops
+        .iter()
+        .filter(|op| !matches!(op, KvTaskOp::Get { .. }))
+        .count();
+
+    // Partition by home shard; pad idle shards with a no-op get on a
+    // key they own, so every table is non-empty.
+    let mut per_shard = ShardedKvTaskFunction::partition_ops(&ops, cfg.shards);
+    for (s, shard_ops) in per_shard.iter_mut().enumerate() {
+        if shard_ops.is_empty() {
+            let key = (0..)
+                .find(|&k| shard_of(k, cfg.shards) == s)
+                .expect("router is total");
+            shard_ops.push(KvTaskOp::Get { key });
+        }
+    }
+
+    // Provision each shard's log: every descriptor at most one
+    // published slot, plus crash orphans (at most one staged batch per
+    // cycle survives unpublished), plus retry slack.
+    let max_shard_ops = per_shard.iter().map(Vec::len).max().unwrap_or(1) as u64;
+    let batch = cfg.group_commit.unwrap_or(1).max(1);
+    let log_cap = cfg
+        .log_cap_per_shard
+        .unwrap_or(max_shard_ops * 2 + (cfg.max_crashes as u64 + 1) * (batch as u64 + 1) + 64);
+    let nbuckets = cfg.key_space.max(4);
+
+    let mut builder = PMemBuilder::new().len(cfg.region_len);
+    if cfg.group_commit.is_none() {
+        builder = builder.eager_flush(true);
+    }
+    let mut stripe = builder.build_striped(cfg.shards);
+    {
+        let store = ShardedKvStore::format(stripe.regions(), nbuckets, log_cap, cfg.variant)?;
+        for (s, shard_ops) in per_shard.iter().enumerate() {
+            let table = KvOpTable::format(stripe.region(s).clone(), store.heap(s), shard_ops)?;
+            stripe
+                .region(s)
+                .write_u64(POffset::new(TABLE_ROOT_OFF), table.base().get())?;
+            stripe.region(s).flush(POffset::new(TABLE_ROOT_OFF), 8)?;
+        }
+    }
+
+    let mut rounds = 0usize;
+    let mut crashes = 0usize;
+    let mut shard_kills = 0usize;
+    let mut stats = StatsSnapshot::default();
+
+    loop {
+        rounds += 1;
+        let store = ShardedKvStore::open(stripe.regions(), cfg.variant)?;
+        let tables = open_tables(&stripe)?;
+        if tables
+            .iter()
+            .map(KvOpTable::pending)
+            .collect::<Result<Vec<_>, _>>()?
+            .iter()
+            .all(Vec::is_empty)
+        {
+            // Quiescent: fold in this boot's counters and stop.
+            stats = stats + stripe.aggregate_stats();
+            let history = build_sharded_history(&store, &tables)?;
+            let nshards = cfg.shards;
+            let verdict = check_kv_sharded(&history, |key| shard_of(key, nshards));
+            let log_usage = store
+                .log_reserved_per_shard()?
+                .into_iter()
+                .enumerate()
+                .map(|(shard, reserved)| ShardLogUsage {
+                    shard,
+                    reserved,
+                    capacity: store.log_capacity(),
+                })
+                .collect();
+            return Ok(ShardedKvCampaignReport {
+                rounds,
+                crashes,
+                shard_kills,
+                history,
+                verdict,
+                log_usage,
+                flush_epochs: store.flush_epochs()?,
+                stats,
+                mutations,
+            });
+        }
+
+        // Arm per-shard fail-points while the crash budget lasts. The
+        // draws happen on the main thread, per shard, so worker
+        // scheduling cannot perturb them.
+        if crashes < cfg.max_crashes {
+            for s in 0..cfg.shards {
+                if rng.random_bool(cfg.crash_prob) {
+                    let countdown = rng.random_range(cfg.crash_window.0..=cfg.crash_window.1);
+                    stripe
+                        .region(s)
+                        .arm_failpoint(FailPlan::after_events(countdown));
+                }
+            }
+        }
+
+        // One worker per shard set; a shard's whole round runs on its
+        // owner, seeded per (shard, round). Recovery rounds (after any
+        // crash) drive every pending descriptor through its recovery
+        // dual — the per-shard evidence scans, in parallel.
+        let recovery = crashes > 0;
+        let round_seed = cfg.seed ^ (rounds as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let crashed_flags: Vec<Result<bool, PError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..cfg.workers)
+                .map(|w| {
+                    let store = store.clone();
+                    let tables = &tables;
+                    scope.spawn(move || {
+                        let mut any_crash = false;
+                        for s in (w..cfg.shards).step_by(cfg.workers) {
+                            let mut shard_rng = SmallRng::seed_from_u64(
+                                round_seed ^ (s as u64 + 1).wrapping_mul(0xD134_2543_DE82_EF95),
+                            );
+                            match run_shard_round(
+                                &store,
+                                s,
+                                &tables[s],
+                                batch,
+                                recovery,
+                                &mut shard_rng,
+                            ) {
+                                Ok(true) => any_crash = true,
+                                Ok(false) => {}
+                                Err(e) => return Err(e),
+                            }
+                        }
+                        Ok(any_crash)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        });
+        let mut any_crash = false;
+        for flag in crashed_flags {
+            any_crash |= flag?;
+        }
+
+        if any_crash {
+            crashes += 1;
+            shard_kills += stripe.regions().iter().filter(|r| r.is_crashed()).count();
+            // System failure: every region dies with the killed ones
+            // (unflushed lines of buffered regions are lost — survival
+            // probability 0 keeps the campaign deterministic).
+            stats = stats + stripe.aggregate_stats();
+            stripe.crash_all(cfg.seed ^ crashes as u64, 0.0);
+            stripe = stripe.reopen_all()?;
+        } else {
+            for s in 0..cfg.shards {
+                stripe.region(s).disarm_failpoint();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sharded_campaign_is_linearizable_and_crashes_in_batch_windows() {
+        let report = run_sharded_kv_campaign(&ShardedKvCampaignConfig::new(80, 21)).unwrap();
+        assert!(report.is_linearizable(), "verdict: {:?}", report.verdict);
+        assert!(report.crashes > 0, "campaign should experience crashes");
+        assert!(report.shard_kills > 0, "fail-points should actually fire");
+        assert_eq!(report.history.shards.len(), 4);
+        assert!(report.rounds > 1);
+        assert!(report.log_had_headroom(), "{}", report.tightest_shard());
+        assert!(
+            report.flush_epochs.iter().any(|&e| e > 0),
+            "group commits should have completed: {:?}",
+            report.flush_epochs
+        );
+        assert!(
+            report.stats.coalesced_lines > 0,
+            "group commits should coalesce persists: {:?}",
+            report.stats
+        );
+    }
+
+    #[test]
+    fn sharded_campaigns_are_deterministic_per_seed() {
+        let cfg = ShardedKvCampaignConfig::new(48, 5);
+        let a = run_sharded_kv_campaign(&cfg).unwrap();
+        let b = run_sharded_kv_campaign(&cfg).unwrap();
+        assert_eq!(a.history, b.history);
+        assert_eq!(a.crashes, b.crashes);
+        assert_eq!(a.rounds, b.rounds);
+        assert_eq!(a.shard_kills, b.shard_kills);
+    }
+
+    #[test]
+    fn eager_sharded_campaign_passes_too() {
+        let cfg = ShardedKvCampaignConfig::new(60, 9).group_commit(None);
+        let report = run_sharded_kv_campaign(&cfg).unwrap();
+        assert!(report.is_linearizable(), "verdict: {:?}", report.verdict);
+        assert_eq!(
+            report.flush_epochs,
+            vec![0; 4],
+            "eager stores never group-commit"
+        );
+    }
+
+    #[test]
+    fn group_commit_cuts_persists_per_mutation() {
+        // Same workload, no crashes: the batched campaign must spend
+        // far fewer persist round-trips per mutation than the per-op
+        // buffered one — measured straight from the PMem counters.
+        let quiet = |batch| {
+            let mut cfg = ShardedKvCampaignConfig::new(200, 3).group_commit(batch);
+            cfg.max_crashes = 0;
+            cfg.key_space = 64;
+            run_sharded_kv_campaign(&cfg).unwrap()
+        };
+        let batched = quiet(Some(16));
+        let per_op = quiet(Some(1));
+        assert!(batched.is_linearizable() && per_op.is_linearizable());
+        assert_eq!(batched.mutations, per_op.mutations);
+        assert!(
+            batched.persists_per_mutation() * 2.0 < per_op.persists_per_mutation(),
+            "batched {:.2} vs per-op {:.2} persists/mutation",
+            batched.persists_per_mutation(),
+            per_op.persists_per_mutation(),
+        );
+    }
+
+    #[test]
+    fn single_hot_shard_headroom_is_detected_per_shard() {
+        // One key → one hot shard. With a tiny per-shard log the hot
+        // shard fills while the others stay empty: the per-shard
+        // report must expose it (the old global sum would have hidden
+        // it behind three idle shards' headroom).
+        let mut cfg = ShardedKvCampaignConfig::new(60, 11);
+        cfg.key_space = 1;
+        cfg.max_crashes = 0;
+        cfg.op_mix = (1.0, 0.0, 0.0); // all puts
+        cfg.log_cap_per_shard = Some(8);
+        let report = run_sharded_kv_campaign(&cfg).unwrap();
+        assert!(
+            report.is_linearizable(),
+            "capacity-rejected puts are legal answers: {:?}",
+            report.verdict
+        );
+        assert!(!report.log_had_headroom(), "hot shard must be flagged");
+        let hot = shard_of(0, 4);
+        for usage in &report.log_usage {
+            assert_eq!(
+                usage.has_headroom(),
+                usage.shard != hot,
+                "only the hot shard fills: {usage}"
+            );
+        }
+        assert_eq!(report.tightest_shard().shard, hot);
+    }
+
+    #[test]
+    fn two_hundred_sharded_crash_recover_cycles_lose_nothing() {
+        // The sharded acceptance gate: ≥ 200 crash/recover cycles with
+        // kills landing inside group-commit batch windows, every
+        // campaign recovering all shards in parallel and verifying
+        // against the sequential spec — zero lost or torn updates.
+        let mut cycles = 0usize;
+        let mut campaigns = 0usize;
+        for seed in 0.. {
+            let mut cfg = ShardedKvCampaignConfig::new(60, 4000 + seed);
+            cfg.max_crashes = 14;
+            cfg.crash_prob = 0.8;
+            let report = run_sharded_kv_campaign(&cfg).unwrap();
+            assert!(
+                report.is_linearizable(),
+                "seed {seed}: lost or torn update after {} crashes: {:?}",
+                report.total_crashes(),
+                report.verdict
+            );
+            assert!(
+                report.log_had_headroom(),
+                "seed {seed}: {} filled — cycles stopped exercising recovery",
+                report.tightest_shard()
+            );
+            cycles += report.total_crashes();
+            campaigns += 1;
+            if cycles >= 200 {
+                break;
+            }
+        }
+        assert!(
+            cycles >= 200,
+            "only {cycles} crash/recover cycles across {campaigns} campaigns"
+        );
+    }
+
+    #[test]
+    fn sharded_noscan_is_caught() {
+        // The sharded analogue of the §5.2 matrix-removal experiment:
+        // no-scan recovery re-executes operations whose records already
+        // published in their home shard; the sharded verifier reports
+        // the duplicate tags. Detection is probabilistic per run, so
+        // scan seeds.
+        let mut detected = 0;
+        let mut runs = 0;
+        for seed in 0..24 {
+            if detected >= 2 {
+                break;
+            }
+            let mut cfg = ShardedKvCampaignConfig::new(80, seed).variant(KvVariant::NoScan);
+            cfg.key_space = 4;
+            cfg.max_crashes = 30;
+            cfg.crash_prob = 0.9;
+            cfg.crash_window = (5, 60);
+            let report = run_sharded_kv_campaign(&cfg).unwrap();
+            runs += 1;
+            if !report.is_linearizable() {
+                detected += 1;
+            }
+        }
+        assert!(
+            detected > 0,
+            "no sharded KV violation detected in {runs} no-scan runs"
+        );
+    }
+}

@@ -9,10 +9,14 @@ use pstack_core::{PContext, PError, RecoverableFunction, RetBytes};
 use pstack_heap::PHeap;
 use pstack_nvram::{PMem, POffset};
 
+use crate::shard::{shard_of, ShardedKvStore};
 use crate::store::PKvStore;
 
 /// Function id under which [`KvTaskFunction`] is registered.
 pub const KV_TASK_FUNC_ID: u64 = 0x0FFD;
+
+/// Function id under which [`ShardedKvTaskFunction`] is registered.
+pub const KV_SHARDED_FUNC_ID: u64 = 0x0FFE;
 
 const TABLE_MAGIC: u64 = 0x5053_4B56_5441_4231; // "PSKVTAB1"
 const HEADER_LEN: u64 = 16;
@@ -54,6 +58,19 @@ pub enum KvTaskOp {
         /// The replacement value.
         new: i64,
     },
+}
+
+impl KvTaskOp {
+    /// The key the operation targets (what the shard router hashes).
+    #[must_use]
+    pub fn key(&self) -> u64 {
+        match *self {
+            KvTaskOp::Put { key, .. }
+            | KvTaskOp::Get { key }
+            | KvTaskOp::Delete { key }
+            | KvTaskOp::Cas { key, .. } => key,
+        }
+    }
 }
 
 /// A completed descriptor's answer, with the worker that executed it.
@@ -269,15 +286,14 @@ impl KvOpTable {
         Ok(Some(KvTaskAnswer { executor, result }))
     }
 
-    /// Persists descriptor `idx`'s answer. The answer payload is
-    /// persisted before the one-byte done flag, so a crash in between
-    /// leaves the descriptor pending and recovery recomputes the
-    /// answer — the same discipline as the stack's marker flips.
-    ///
-    /// # Errors
-    ///
-    /// Out-of-range index or NVRAM errors.
-    pub fn mark_done(&self, idx: usize, executor: u32, result: KvTaskResult) -> Result<(), PError> {
+    /// Writes descriptor `idx`'s answer payload (volatile on a
+    /// buffered region until flushed).
+    fn write_answer(
+        &self,
+        idx: usize,
+        executor: u32,
+        result: KvTaskResult,
+    ) -> Result<POffset, PError> {
         let e = self.entry(idx)?;
         self.pmem.write_u32(e + 4u64, executor)?;
         match result {
@@ -292,9 +308,56 @@ impl KvOpTable {
                 self.pmem.write_u8(e + 2u64, 1)?;
             }
         }
+        Ok(e)
+    }
+
+    /// Persists descriptor `idx`'s answer. The answer payload is
+    /// persisted before the one-byte done flag, so a crash in between
+    /// leaves the descriptor pending and recovery recomputes the
+    /// answer — the same discipline as the stack's marker flips.
+    ///
+    /// # Errors
+    ///
+    /// Out-of-range index or NVRAM errors.
+    pub fn mark_done(&self, idx: usize, executor: u32, result: KvTaskResult) -> Result<(), PError> {
+        let e = self.write_answer(idx, executor, result)?;
         self.pmem.flush(e, ENTRY_STRIDE as usize)?;
         self.pmem.write_u8(e + 1u64, ST_DONE)?;
         self.pmem.flush(e + 1u64, 1)?;
+        Ok(())
+    }
+
+    /// Persists a whole batch of answers with two coalesced persists
+    /// (all payloads, then all done flags) instead of two per answer —
+    /// the answer half of the group-commit discipline. Per entry the
+    /// ordering invariant of [`KvOpTable::mark_done`] is preserved:
+    /// every payload is durable strictly before its flag, and a flag
+    /// line persists atomically with the (already durable) payload it
+    /// shares the line with — so a crash anywhere in the batch leaves
+    /// a clean mix of done and still-pending descriptors, never a
+    /// flagged descriptor with a torn answer.
+    ///
+    /// # Errors
+    ///
+    /// Out-of-range index or NVRAM errors.
+    pub fn mark_done_batch(&self, entries: &[(usize, u32, KvTaskResult)]) -> Result<(), PError> {
+        let Some(&(first, ..)) = entries.first() else {
+            return Ok(());
+        };
+        let mut lo = Self::entry_off(self.base, first).get();
+        let mut hi = lo;
+        for &(idx, executor, result) in entries {
+            let e = self.write_answer(idx, executor, result)?;
+            lo = lo.min(e.get());
+            hi = hi.max(e.get());
+        }
+        let span = (hi - lo + ENTRY_STRIDE) as usize;
+        self.pmem.flush(POffset::new(lo), span)?;
+        for &(idx, ..) in entries {
+            self.pmem
+                .write_u8(Self::entry_off(self.base, idx) + 1u64, ST_DONE)?;
+        }
+        self.pmem.flush(POffset::new(lo), span)?;
         Ok(())
     }
 
@@ -444,6 +507,147 @@ impl RecoverableFunction for KvTaskFunction {
     }
 }
 
+/// Executes descriptors of **per-shard** [`KvOpTable`]s against a
+/// [`ShardedKvStore`] — the sharded analogue of [`KvTaskFunction`].
+///
+/// Each shard carries its own descriptor table (ideally allocated from
+/// the shard's own region via [`ShardedKvStore::heap`]), so executing,
+/// answering and recovering a descriptor touches exactly one shard:
+/// workers driving different shards never contend on a region lock.
+/// Arguments name a descriptor as `(shard, index)`
+/// ([`ShardedKvTaskFunction::args_for`]); the operation tag is
+/// `(worker pid, (shard << 32) | (index + 1))`, globally unique across
+/// shards so the sharded verifier can match records to operations.
+#[derive(Clone)]
+pub struct ShardedKvTaskFunction {
+    store: ShardedKvStore,
+    tables: Vec<KvOpTable>,
+}
+
+impl ShardedKvTaskFunction {
+    /// Bundles a sharded store with one descriptor table per shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table count differs from the store's shard count.
+    #[must_use]
+    pub fn new(store: ShardedKvStore, tables: Vec<KvOpTable>) -> Self {
+        assert_eq!(
+            store.nshards(),
+            tables.len(),
+            "one descriptor table per shard"
+        );
+        ShardedKvTaskFunction { store, tables }
+    }
+
+    /// Convenience: wraps into the `Arc<dyn RecoverableFunction>` shape
+    /// the registry wants.
+    #[must_use]
+    pub fn into_arc(self) -> Arc<dyn RecoverableFunction> {
+        Arc::new(self)
+    }
+
+    /// Encodes descriptor `(shard, idx)` as task arguments.
+    #[must_use]
+    pub fn args_for(shard: u32, idx: u32) -> [u8; 8] {
+        let mut b = [0u8; 8];
+        b[..4].copy_from_slice(&shard.to_le_bytes());
+        b[4..].copy_from_slice(&idx.to_le_bytes());
+        b
+    }
+
+    /// Partitions a global operation list into per-shard descriptor
+    /// lists by key routing, so each shard's table only names keys the
+    /// shard owns. Returns `nshards` lists (some possibly empty).
+    #[must_use]
+    pub fn partition_ops(ops: &[KvTaskOp], nshards: usize) -> Vec<Vec<KvTaskOp>> {
+        let mut out = vec![Vec::new(); nshards];
+        for op in ops {
+            out[shard_of(op.key(), nshards)].push(*op);
+        }
+        out
+    }
+
+    /// The globally unique operation tag of descriptor `(shard, idx)`.
+    #[must_use]
+    pub fn seq_of(shard: u32, idx: usize) -> u64 {
+        (u64::from(shard) << 32) | (idx as u64 + 1)
+    }
+
+    fn parse_args(args: &[u8]) -> Result<(u32, usize), PError> {
+        let bytes: [u8; 8] = args
+            .get(..8)
+            .and_then(|s| s.try_into().ok())
+            .ok_or_else(|| {
+                PError::Task("sharded KV task arguments must hold (shard, index) u32s".into())
+            })?;
+        let shard = u32::from_le_bytes(bytes[..4].try_into().expect("slice length"));
+        let idx = u32::from_le_bytes(bytes[4..].try_into().expect("slice length"));
+        Ok((shard, idx as usize))
+    }
+
+    fn run(
+        &self,
+        ctx: &mut PContext<'_>,
+        shard: u32,
+        idx: usize,
+        recovery: bool,
+    ) -> Result<Option<RetBytes>, PError> {
+        let table = self.tables.get(shard as usize).ok_or_else(|| {
+            PError::Task(format!(
+                "shard {shard} out of range ({} shards)",
+                self.tables.len()
+            ))
+        })?;
+        if let Some(answer) = table.result(idx)? {
+            return Ok(KvTaskFunction::encode_answer(answer.result));
+        }
+        let pid = ctx.pid as u64;
+        let seq = Self::seq_of(shard, idx);
+        let result = match table.op(idx)? {
+            KvTaskOp::Put { key, value } => {
+                let ok = if recovery {
+                    self.store.recover_put(pid, seq, key, value)?
+                } else {
+                    self.store.put(pid, seq, key, value)?
+                };
+                KvTaskResult::Stored(ok)
+            }
+            KvTaskOp::Get { key } => KvTaskResult::Got(self.store.get(key)?),
+            KvTaskOp::Delete { key } => {
+                let ok = if recovery {
+                    self.store.recover_delete(pid, seq, key)?
+                } else {
+                    self.store.delete(pid, seq, key)?
+                };
+                KvTaskResult::Deleted(ok)
+            }
+            KvTaskOp::Cas { key, expected, new } => {
+                let ok = if recovery {
+                    self.store.recover_cas(pid, seq, key, expected, new)?
+                } else {
+                    self.store.cas(pid, seq, key, expected, new)?
+                };
+                KvTaskResult::Swapped(ok)
+            }
+        };
+        table.mark_done(idx, ctx.pid as u32, result)?;
+        Ok(KvTaskFunction::encode_answer(result))
+    }
+}
+
+impl RecoverableFunction for ShardedKvTaskFunction {
+    fn call(&self, ctx: &mut PContext<'_>, args: &[u8]) -> Result<Option<RetBytes>, PError> {
+        let (shard, idx) = Self::parse_args(args)?;
+        self.run(ctx, shard, idx, false)
+    }
+
+    fn recover(&self, ctx: &mut PContext<'_>, args: &[u8]) -> Result<Option<RetBytes>, PError> {
+        let (shard, idx) = Self::parse_args(args)?;
+        self.run(ctx, shard, idx, true)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -525,6 +729,71 @@ mod tests {
     }
 
     #[test]
+    fn mark_done_batch_coalesces_and_round_trips() {
+        use pstack_nvram::PMemBuilder;
+        let pmem = PMemBuilder::new().len(1 << 16).build_in_memory(); // buffered
+        let heap = PHeap::format(pmem.clone(), POffset::new(0), 1 << 16).unwrap();
+        let ops: Vec<KvTaskOp> = (0..8).map(|key| KvTaskOp::Get { key }).collect();
+        let table = KvOpTable::format(pmem.clone(), &heap, &ops).unwrap();
+        let entries: Vec<(usize, u32, KvTaskResult)> = (0..8)
+            .map(|i| (i, 1u32, KvTaskResult::Got(Some(i as i64))))
+            .collect();
+        let before = pmem.stats().snapshot();
+        table.mark_done_batch(&entries).unwrap();
+        let delta = pmem.stats().snapshot() - before;
+        assert_eq!(delta.persists, 2, "one payload persist + one flag persist");
+        assert!(delta.coalesced_lines > 0);
+        assert!(table.pending().unwrap().is_empty());
+        for i in 0..8 {
+            assert_eq!(
+                table.result(i).unwrap().unwrap().result,
+                KvTaskResult::Got(Some(i as i64))
+            );
+        }
+        assert!(table.mark_done_batch(&[]).is_ok());
+    }
+
+    #[test]
+    fn mark_done_batch_crash_points_leave_clean_mix() {
+        // Crash at every flush boundary of a batched answer persist:
+        // each descriptor must end up either still pending or done
+        // with its full, untorn answer.
+        use pstack_nvram::{FailPlan, PMemBuilder};
+        let build = || {
+            let pmem = PMemBuilder::new().len(1 << 16).build_in_memory();
+            let heap = PHeap::format(pmem.clone(), POffset::new(0), 1 << 16).unwrap();
+            let ops: Vec<KvTaskOp> = (0..4).map(|key| KvTaskOp::Get { key }).collect();
+            let table = KvOpTable::format(pmem.clone(), &heap, &ops).unwrap();
+            (pmem, table)
+        };
+        let entries: Vec<(usize, u32, KvTaskResult)> = (0..4)
+            .map(|i| (i, 2u32, KvTaskResult::Got(Some(-(i as i64) - 1))))
+            .collect();
+        let (pmem, table) = build();
+        let e0 = pmem.events();
+        table.mark_done_batch(&entries).unwrap();
+        let total = pmem.events() - e0;
+        assert!(total >= 2);
+
+        for k in 0..total {
+            let (pmem, table) = build();
+            pmem.arm_failpoint(FailPlan::after_events(k));
+            assert!(table.mark_done_batch(&entries).unwrap_err().is_crash());
+            let pmem2 = pmem.reopen().unwrap();
+            let t2 = KvOpTable::open(pmem2, table.base()).unwrap();
+            for i in 0..4 {
+                if let Some(ans) = t2.result(i).unwrap() {
+                    assert_eq!(
+                        ans.result,
+                        KvTaskResult::Got(Some(-(i as i64) - 1)),
+                        "crash at event {k}: descriptor {i} has a torn answer"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn table_rejects_bad_magic_and_empty_ops() {
         let (pmem, heap, _, _) = fixture(&[KvTaskOp::Get { key: 0 }]);
         let junk = heap.alloc_zeroed(64).unwrap();
@@ -590,6 +859,213 @@ mod tests {
         let before = store.log_reserved().unwrap();
         ctx.call(KV_TASK_FUNC_ID, &0u64.to_le_bytes()).unwrap();
         assert_eq!(store.log_reserved().unwrap(), before);
+    }
+
+    fn sharded_fixture(
+        ops: &[KvTaskOp],
+        nshards: usize,
+    ) -> (
+        pstack_nvram::PMemStripe,
+        PMem,
+        PHeap,
+        ShardedKvStore,
+        Vec<KvOpTable>,
+    ) {
+        use pstack_nvram::PMemBuilder;
+        let stripe = PMemBuilder::new()
+            .len(1 << 18)
+            .eager_flush(true)
+            .build_striped(nshards);
+        let store = ShardedKvStore::format(stripe.regions(), 8, 128, KvVariant::Nsrl).unwrap();
+        let tables: Vec<KvOpTable> = ShardedKvTaskFunction::partition_ops(ops, nshards)
+            .iter()
+            .enumerate()
+            .map(|(s, shard_ops)| {
+                // Keep every table non-empty so format succeeds; pad
+                // idle shards with a harmless get.
+                let padded = if shard_ops.is_empty() {
+                    vec![KvTaskOp::Get { key: 0 }]
+                } else {
+                    shard_ops.clone()
+                };
+                KvOpTable::format(stripe.region(s).clone(), store.heap(s), &padded).unwrap()
+            })
+            .collect();
+        let main = PMemBuilder::new()
+            .len(1 << 18)
+            .eager_flush(true)
+            .build_in_memory();
+        let heap = PHeap::format(main.clone(), POffset::new(8192), (1 << 18) - 8192).unwrap();
+        (stripe, main, heap, store, tables)
+    }
+
+    #[test]
+    fn sharded_task_function_runs_and_replays_per_shard() {
+        let nshards = 2usize;
+        let ops: Vec<KvTaskOp> = (0..12u64)
+            .map(|key| KvTaskOp::Put {
+                key,
+                value: key as i64 * 10,
+            })
+            .collect();
+        let (_stripe, main, heap, store, tables) = sharded_fixture(&ops, nshards);
+        let partitioned = ShardedKvTaskFunction::partition_ops(&ops, nshards);
+        let f = ShardedKvTaskFunction::new(store.clone(), tables.clone());
+        let mut registry = FunctionRegistry::new();
+        registry.register(KV_SHARDED_FUNC_ID, f.into_arc()).unwrap();
+        let mut stack = FixedStack::format(main.clone(), POffset::new(0), 4096).unwrap();
+        let mut ctx = PContext::new(
+            main.clone(),
+            heap,
+            &registry,
+            &mut stack,
+            0,
+            POffset::new(64),
+        );
+        for (s, shard_ops) in partitioned.iter().enumerate() {
+            for idx in 0..shard_ops.len() {
+                ctx.call(
+                    KV_SHARDED_FUNC_ID,
+                    &ShardedKvTaskFunction::args_for(s as u32, idx as u32),
+                )
+                .unwrap();
+            }
+        }
+        assert_eq!(store.contents().unwrap().len(), 12);
+        // Answers landed in each shard's own table, in that shard's
+        // own region; records landed only in the key's home shard.
+        for (s, table) in tables.iter().enumerate() {
+            assert!(table.pending().unwrap().is_empty(), "shard {s} drained");
+            for idx in 0..table.len() {
+                assert!(matches!(
+                    table.result(idx).unwrap().unwrap().result,
+                    KvTaskResult::Stored(true)
+                ));
+            }
+        }
+        // Replaying a completed descriptor re-reads the answer without
+        // consuming a new log slot anywhere.
+        let before = store.log_reserved_per_shard().unwrap();
+        ctx.call(KV_SHARDED_FUNC_ID, &ShardedKvTaskFunction::args_for(0, 0))
+            .unwrap();
+        assert_eq!(store.log_reserved_per_shard().unwrap(), before);
+    }
+
+    #[test]
+    fn sharded_tags_are_globally_unique() {
+        assert_ne!(
+            ShardedKvTaskFunction::seq_of(0, 1),
+            ShardedKvTaskFunction::seq_of(1, 1)
+        );
+        assert_ne!(
+            ShardedKvTaskFunction::seq_of(0, 0),
+            ShardedKvTaskFunction::seq_of(0, 1)
+        );
+        let args = ShardedKvTaskFunction::args_for(3, 7);
+        assert_eq!(
+            ShardedKvTaskFunction::parse_args(&args).unwrap(),
+            (3, 7usize)
+        );
+        assert!(ShardedKvTaskFunction::parse_args(&[0; 4]).is_err());
+    }
+
+    #[test]
+    fn sharded_crash_between_store_op_and_mark_done_recovers_once() {
+        // The §5.2 window, per shard: the shard's head CAS landed but
+        // the answer in the shard's table never persisted. Recovery
+        // must find the chain evidence inside that shard alone.
+        use pstack_nvram::FailPlan;
+        let ops = [KvTaskOp::Put { key: 3, value: 33 }];
+        let shard = shard_of(3, 2) as u32;
+
+        // Clean run: count the shard region's events for one call.
+        let (stripe, main, heap, store, tables) = sharded_fixture(&ops, 2);
+        let f = ShardedKvTaskFunction::new(store.clone(), tables.clone());
+        let mut registry = FunctionRegistry::new();
+        registry
+            .register(KV_SHARDED_FUNC_ID, f.clone().into_arc())
+            .unwrap();
+        let mut stack = FixedStack::format(main.clone(), POffset::new(0), 4096).unwrap();
+        let e0 = stripe.region(shard as usize).events();
+        {
+            let mut ctx = PContext::new(
+                main.clone(),
+                heap.clone(),
+                &registry,
+                &mut stack,
+                0,
+                POffset::new(64),
+            );
+            ctx.call(
+                KV_SHARDED_FUNC_ID,
+                &ShardedKvTaskFunction::args_for(shard, 0),
+            )
+            .unwrap();
+        }
+        let total = stripe.region(shard as usize).events() - e0;
+        assert!(total >= 2, "store op + answer persist in the shard region");
+
+        for k in 0..total {
+            let (stripe, main, heap, store, tables) = sharded_fixture(&ops, 2);
+            let f = ShardedKvTaskFunction::new(store.clone(), tables.clone());
+            let mut registry = FunctionRegistry::new();
+            registry
+                .register(KV_SHARDED_FUNC_ID, f.clone().into_arc())
+                .unwrap();
+            let mut stack = FixedStack::format(main.clone(), POffset::new(0), 4096).unwrap();
+            stripe
+                .region(shard as usize)
+                .arm_failpoint(FailPlan::after_events(k));
+            {
+                let mut ctx = PContext::new(
+                    main.clone(),
+                    heap,
+                    &registry,
+                    &mut stack,
+                    0,
+                    POffset::new(64),
+                );
+                let err = ctx
+                    .call(
+                        KV_SHARDED_FUNC_ID,
+                        &ShardedKvTaskFunction::args_for(shard, 0),
+                    )
+                    .unwrap_err();
+                assert!(err.is_crash(), "crash at shard event {k}");
+            }
+            // System failure: the other regions die with the shard.
+            stripe.crash_all(5, 0.0);
+            main.crash_now(5, 0.0);
+            let stripe2 = stripe.reopen_all().unwrap();
+            let main2 = main.reopen().unwrap();
+            let store2 = ShardedKvStore::open(stripe2.regions(), KvVariant::Nsrl).unwrap();
+            let tables2: Vec<KvOpTable> = tables
+                .iter()
+                .enumerate()
+                .map(|(s, t)| KvOpTable::open(stripe2.region(s).clone(), t.base()).unwrap())
+                .collect();
+            let f2 = ShardedKvTaskFunction::new(store2.clone(), tables2.clone());
+            let heap2 = PHeap::open(main2.clone(), POffset::new(8192)).unwrap();
+            let registry2 = FunctionRegistry::new();
+            let mut stack2 = FixedStack::open(main2.clone(), POffset::new(0), 4096).unwrap();
+            let mut ctx2 =
+                PContext::new(main2, heap2, &registry2, &mut stack2, 0, POffset::new(64));
+            f2.recover(&mut ctx2, &ShardedKvTaskFunction::args_for(shard, 0))
+                .unwrap();
+            assert_eq!(store2.get(3).unwrap(), Some(33), "crash at {k}");
+            let published: usize = store2
+                .snapshot_sharded()
+                .unwrap()
+                .iter()
+                .flatten()
+                .map(Vec::len)
+                .sum();
+            assert_eq!(published, 1, "crash at {k}: exactly one record");
+            assert!(matches!(
+                tables2[shard as usize].result(0).unwrap().unwrap().result,
+                KvTaskResult::Stored(true)
+            ));
+        }
     }
 
     #[test]

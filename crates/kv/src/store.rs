@@ -4,7 +4,8 @@
 //! persistent layout, starting at the heap allocation's base:
 //!
 //! ```text
-//! header (64 B): magic, bucket count, log capacity, log tail
+//! header (64 B): magic, bucket count, log capacity, log tail,
+//!                flush epoch
 //! buckets:       nbuckets × 8 B   — absolute offset of the newest
 //!                                   record of each chain (0 = empty)
 //! version log:   log_cap × 64 B   — immutable records, 64-aligned
@@ -21,16 +22,35 @@
 //! 40..48 next   (offset of the chain's previous record, 0 = end)
 //! ```
 //!
-//! Records become visible only through the bucket-head CAS, after every
-//! field is durable (the region is eager-flush), so no crash moment can
-//! expose a torn record. Reserved-but-unpublished slots are orphans:
-//! invisible to lookups, scans and the verifier alike.
-
-use std::collections::BTreeMap;
+//! Records become visible only through the bucket-head publish, after
+//! every field is durable, so no crash moment can expose a torn
+//! record. Reserved-but-unpublished slots are orphans: invisible to
+//! lookups, scans and the verifier alike.
+//!
+//! # Commit modes
+//!
+//! The durability discipline depends on the region:
+//!
+//! * **Eager** (`eager_flush` region, §5's cache-less NVRAM): every
+//!   write is durable the moment it completes, so mutations are
+//!   lock-free CAS-retry loops and nothing is ever explicitly flushed.
+//! * **Batched** (buffered region): the store orders persists itself.
+//!   [`PKvStore::apply_batch`] stages the records of a whole batch,
+//!   makes them (and the log tail) durable with one coalesced
+//!   persist, publishes each touched bucket's head once, persists the
+//!   heads, and finally bumps the persistent **flush epoch** in the
+//!   header. Records are durable strictly before any head that can
+//!   reach them, so a crash at *any* flush boundary leaves each bucket
+//!   either entirely pre-batch or entirely post-batch — never a torn
+//!   head — and the evidence-scan recovery argument carries over
+//!   unchanged. Batched mutations serialize on the region's advisory lock
+//!   (shard-level parallelism comes from striping stores across
+//!   regions, see [`ShardedKvStore`](crate::ShardedKvStore)).
 
 use pstack_core::PError;
 use pstack_heap::PHeap;
 use pstack_nvram::{PMem, POffset};
+use std::collections::BTreeMap;
 
 const KV_MAGIC: u64 = 0x5053_4B56_5354_4F31; // "PSKVSTO1"
 const HEADER_LEN: u64 = 64;
@@ -41,6 +61,7 @@ const OFF_MAGIC: u64 = 0;
 const OFF_NBUCKETS: u64 = 8;
 const OFF_LOG_CAP: u64 = 16;
 const OFF_LOG_TAIL: u64 = 24;
+const OFF_FLUSH_EPOCH: u64 = 32;
 
 const KIND_PUT: u8 = 1;
 const KIND_DEL: u8 = 2;
@@ -100,6 +121,7 @@ pub struct VersionRecord {
 }
 
 /// Outcome of the internal append loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Append {
     /// The record was published.
     Applied,
@@ -107,6 +129,36 @@ enum Append {
     PrecondFailed,
     /// The version log's lifetime capacity is exhausted.
     LogFull,
+}
+
+/// Per-op outcome of [`PKvStore::apply_batch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KvApplied {
+    /// The mutation took effect (its record is published).
+    Applied,
+    /// The precondition failed (absent key for a delete, mismatched
+    /// expected value for a cas) — no effect, no record.
+    PrecondFailed,
+    /// The version log's lifetime capacity is exhausted — no effect.
+    LogFull,
+}
+
+impl KvApplied {
+    /// `true` for [`KvApplied::Applied`].
+    #[must_use]
+    pub fn took_effect(self) -> bool {
+        matches!(self, KvApplied::Applied)
+    }
+}
+
+impl From<Append> for KvApplied {
+    fn from(a: Append) -> Self {
+        match a {
+            Append::Applied => KvApplied::Applied,
+            Append::PrecondFailed => KvApplied::PrecondFailed,
+            Append::LogFull => KvApplied::LogFull,
+        }
+    }
 }
 
 /// Precondition checked atomically with the publish CAS (the head CAS
@@ -119,6 +171,88 @@ enum Precond {
     Exists,
     /// The key must currently hold exactly this value (cas).
     ValueIs(i64),
+}
+
+/// One mutation of a group-commit batch (see
+/// [`PKvStore::apply_batch`]). Gets never need batching — they take no
+/// log slot and persist nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KvBatchOp {
+    /// Store `value` under `key` (insert or overwrite).
+    Put {
+        /// Writer's process id.
+        pid: u64,
+        /// Writer's unique operation tag.
+        seq: u64,
+        /// The key.
+        key: u64,
+        /// The value to store.
+        value: i64,
+    },
+    /// Remove `key`.
+    Delete {
+        /// Writer's process id.
+        pid: u64,
+        /// Writer's unique operation tag.
+        seq: u64,
+        /// The key.
+        key: u64,
+    },
+    /// Replace `key`'s value with `new` iff it currently holds
+    /// `expected`.
+    Cas {
+        /// Writer's process id.
+        pid: u64,
+        /// Writer's unique operation tag.
+        seq: u64,
+        /// The key.
+        key: u64,
+        /// The value the key must currently hold.
+        expected: i64,
+        /// The replacement value.
+        new: i64,
+    },
+}
+
+impl KvBatchOp {
+    /// The key this mutation targets (what the shard router hashes).
+    #[must_use]
+    pub fn key(&self) -> u64 {
+        match *self {
+            KvBatchOp::Put { key, .. }
+            | KvBatchOp::Delete { key, .. }
+            | KvBatchOp::Cas { key, .. } => key,
+        }
+    }
+
+    /// The writer's `(pid, seq)` tag.
+    #[must_use]
+    pub fn tag(&self) -> (u64, u64) {
+        match *self {
+            KvBatchOp::Put { pid, seq, .. }
+            | KvBatchOp::Delete { pid, seq, .. }
+            | KvBatchOp::Cas { pid, seq, .. } => (pid, seq),
+        }
+    }
+
+    fn parts(&self) -> (u64, u64, u64, u8, i64, Precond) {
+        match *self {
+            KvBatchOp::Put {
+                pid,
+                seq,
+                key,
+                value,
+            } => (pid, seq, key, KIND_PUT, value, Precond::None),
+            KvBatchOp::Delete { pid, seq, key } => (pid, seq, key, KIND_DEL, 0, Precond::Exists),
+            KvBatchOp::Cas {
+                pid,
+                seq,
+                key,
+                expected,
+                new,
+            } => (pid, seq, key, KIND_PUT, new, Precond::ValueIs(expected)),
+        }
+    }
 }
 
 /// A crash-recoverable hash-indexed map from `u64` keys to `i64`
@@ -152,6 +286,11 @@ pub struct PKvStore {
     nbuckets: u64,
     log_cap: u64,
     variant: KvVariant,
+    /// Commit mode, inferred from the region: `true` = eager (§5
+    /// cache-less NVRAM, lock-free per-op CAS), `false` = batched (the
+    /// store orders its own persists; mutations serialize on the
+    /// region's advisory lock, shared by every handle on the region).
+    eager: bool,
 }
 
 fn round64(v: u64) -> u64 {
@@ -160,7 +299,7 @@ fn round64(v: u64) -> u64 {
 
 /// SplitMix64 finalizer: a full-avalanche mix so sequential keys spread
 /// across buckets.
-fn mix(key: u64) -> u64 {
+pub(crate) fn mix(key: u64) -> u64 {
     let mut z = key.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -180,11 +319,15 @@ impl PKvStore {
     /// the same trade the recoverable queue makes to keep recovery a
     /// scan; compaction is future work).
     ///
+    /// An `eager_flush` region yields an eager store (§5's cache-less
+    /// NVRAM, lock-free per-op CAS); a buffered region yields a batched
+    /// store that orders its own persists and group-commits mutations
+    /// (see the [module docs](self)).
+    ///
     /// # Errors
     ///
     /// [`PError::InvalidConfig`] for a zero bucket count or log
-    /// capacity, or a region without `eager_flush`; heap/NVRAM errors
-    /// otherwise.
+    /// capacity; heap/NVRAM errors otherwise.
     pub fn format(
         pmem: PMem,
         heap: &PHeap,
@@ -197,41 +340,27 @@ impl PKvStore {
                 "KV store needs at least one bucket and one log slot".into(),
             ));
         }
-        if !pmem.is_eager_flush() {
-            return Err(PError::InvalidConfig(
-                "KV store requires an eager-flush region (the algorithm assumes cache-less \
-                 NVRAM, like §5's CAS)"
-                    .into(),
-            ));
-        }
         let len = Self::required_len(nbuckets, log_cap);
         let base = heap.alloc_aligned(len, 64)?;
         pmem.fill(base, 0, len)?;
         pmem.write_u64(base + OFF_NBUCKETS, nbuckets)?;
         pmem.write_u64(base + OFF_LOG_CAP, log_cap)?;
         pmem.write_u64(base + OFF_MAGIC, KV_MAGIC)?;
-        Ok(PKvStore {
-            pmem,
-            base,
-            nbuckets,
-            log_cap,
-            variant,
-        })
+        if !pmem.is_eager_flush() {
+            // Batched store: nothing above was durable yet.
+            pmem.flush(base, len)?;
+        }
+        Ok(Self::assemble(pmem, base, nbuckets, log_cap, variant))
     }
 
     /// Re-attaches to a store previously created at `base` (recovery
-    /// boot).
+    /// boot). The commit mode follows the region, exactly as in
+    /// [`PKvStore::format`].
     ///
     /// # Errors
     ///
-    /// [`PError::CorruptStack`] on a bad magic word,
-    /// [`PError::InvalidConfig`] without `eager_flush`.
+    /// [`PError::CorruptStack`] on a bad magic word.
     pub fn open(pmem: PMem, base: POffset, variant: KvVariant) -> Result<Self, PError> {
-        if !pmem.is_eager_flush() {
-            return Err(PError::InvalidConfig(
-                "KV store requires an eager-flush region".into(),
-            ));
-        }
         let magic = pmem.read_u64(base + OFF_MAGIC)?;
         if magic != KV_MAGIC {
             return Err(PError::CorruptStack(format!(
@@ -240,13 +369,25 @@ impl PKvStore {
         }
         let nbuckets = pmem.read_u64(base + OFF_NBUCKETS)?;
         let log_cap = pmem.read_u64(base + OFF_LOG_CAP)?;
-        Ok(PKvStore {
+        Ok(Self::assemble(pmem, base, nbuckets, log_cap, variant))
+    }
+
+    fn assemble(
+        pmem: PMem,
+        base: POffset,
+        nbuckets: u64,
+        log_cap: u64,
+        variant: KvVariant,
+    ) -> Self {
+        let eager = pmem.is_eager_flush();
+        PKvStore {
             pmem,
             base,
             nbuckets,
             log_cap,
             variant,
-        })
+            eager,
+        }
     }
 
     /// The store's base offset (persist it to find the store again).
@@ -280,6 +421,28 @@ impl PKvStore {
     /// Propagated NVRAM errors.
     pub fn log_reserved(&self) -> Result<u64, PError> {
         Ok(self.pmem.read_u64(self.base + OFF_LOG_TAIL)?)
+    }
+
+    /// `true` for an eager store (per-op durability on a cache-less
+    /// region), `false` for a batched store (group-commit persists).
+    #[must_use]
+    pub fn is_eager(&self) -> bool {
+        self.eager
+    }
+
+    /// Completed group commits since format — the persistent flush
+    /// epoch a batched store bumps (and persists) at the end of every
+    /// batch. After a crash it counts exactly the batches whose epoch
+    /// bump reached durability; the batch *publishes* (head flips) are
+    /// durable strictly before its epoch bump, so `flush_epoch() == n`
+    /// implies the first `n` batches are fully visible. Always `0` on
+    /// an eager store.
+    ///
+    /// # Errors
+    ///
+    /// Propagated NVRAM errors.
+    pub fn flush_epoch(&self) -> Result<u64, PError> {
+        Ok(self.pmem.read_u64(self.base + OFF_FLUSH_EPOCH)?)
     }
 
     fn bucket_off(&self, key: u64) -> POffset {
@@ -341,13 +504,59 @@ impl PKvStore {
         }
     }
 
-    /// The append loop shared by every mutation: check the precondition
-    /// against the current chain, write the full record into a reserved
-    /// slot, publish it with the bucket-head CAS. A failed CAS means
-    /// another mutation intervened — re-check and retry. The slot is
-    /// reserved lazily and at most once; if the precondition fails
-    /// after a slot was reserved, the slot is abandoned as an invisible
-    /// orphan (the price of never recycling evidence).
+    /// Resolves a mutation's precondition against the chain at `head`:
+    /// `None` means the precondition failed, `Some(v)` the value the
+    /// record must carry (a delete records the value it removed).
+    fn resolve_value(
+        &self,
+        head: u64,
+        key: u64,
+        value: i64,
+        precond: &Precond,
+    ) -> Result<Option<i64>, PError> {
+        match precond {
+            Precond::None => Ok(Some(value)),
+            Precond::Exists => self.lookup_from(head, key),
+            Precond::ValueIs(expected) => {
+                if self.lookup_from(head, key)? == Some(*expected) {
+                    Ok(Some(value))
+                } else {
+                    Ok(None)
+                }
+            }
+        }
+    }
+
+    /// Writes a full record into slot `off` (volatile on a buffered
+    /// region; durable immediately on an eager one). `tag` is the
+    /// writer's `(pid, seq)` pair.
+    fn write_record(
+        &self,
+        off: u64,
+        kind: u8,
+        key: u64,
+        value: i64,
+        tag: (u64, u64),
+        next: u64,
+    ) -> Result<(), PError> {
+        let mut b = [0u8; RECORD_LEN];
+        b[0] = kind;
+        b[8..16].copy_from_slice(&key.to_le_bytes());
+        b[16..24].copy_from_slice(&value.to_le_bytes());
+        b[24..32].copy_from_slice(&tag.0.to_le_bytes());
+        b[32..40].copy_from_slice(&tag.1.to_le_bytes());
+        b[40..48].copy_from_slice(&next.to_le_bytes());
+        Ok(self.pmem.write(POffset::new(off), &b)?)
+    }
+
+    /// The eager append loop shared by every mutation: check the
+    /// precondition against the current chain, write the full record
+    /// into a reserved slot, publish it with the bucket-head CAS. A
+    /// failed CAS means another mutation intervened — re-check and
+    /// retry. The slot is reserved lazily and at most once; if the
+    /// precondition fails after a slot was reserved, the slot is
+    /// abandoned as an invisible orphan (the price of never recycling
+    /// evidence).
     fn append(
         &self,
         pid: u64,
@@ -361,19 +570,8 @@ impl PKvStore {
         let mut slot: Option<u64> = None;
         loop {
             let head = self.pmem.read_u64(bucket)?;
-            let value = match precond {
-                Precond::None => value,
-                Precond::Exists => match self.lookup_from(head, key)? {
-                    // A delete records the value it removed.
-                    Some(current) => current,
-                    None => return Ok(Append::PrecondFailed),
-                },
-                Precond::ValueIs(expected) => {
-                    if self.lookup_from(head, key)? != Some(*expected) {
-                        return Ok(Append::PrecondFailed);
-                    }
-                    value
-                }
+            let Some(value) = self.resolve_value(head, key, value, precond)? else {
+                return Ok(Append::PrecondFailed);
             };
             let off = match slot {
                 Some(off) => off,
@@ -385,14 +583,7 @@ impl PKvStore {
                     None => return Ok(Append::LogFull),
                 },
             };
-            let mut b = [0u8; RECORD_LEN];
-            b[0] = kind;
-            b[8..16].copy_from_slice(&key.to_le_bytes());
-            b[16..24].copy_from_slice(&value.to_le_bytes());
-            b[24..32].copy_from_slice(&pid.to_le_bytes());
-            b[32..40].copy_from_slice(&seq.to_le_bytes());
-            b[40..48].copy_from_slice(&head.to_le_bytes());
-            self.pmem.write(POffset::new(off), &b)?;
+            self.write_record(off, kind, key, value, (pid, seq), head)?;
             if self
                 .pmem
                 .compare_exchange(bucket, &head.to_le_bytes(), &off.to_le_bytes())?
@@ -400,6 +591,156 @@ impl PKvStore {
                 return Ok(Append::Applied);
             }
         }
+    }
+
+    /// Applies one mutation through the commit mode's native path: the
+    /// eager CAS loop, or a singleton group commit on a batched store.
+    fn apply_one(&self, op: KvBatchOp) -> Result<KvApplied, PError> {
+        if self.eager {
+            let (pid, seq, key, kind, value, precond) = op.parts();
+            Ok(KvApplied::from(
+                self.append(pid, seq, key, kind, value, &precond)?,
+            ))
+        } else {
+            Ok(self.apply_batch(&[op])?[0])
+        }
+    }
+
+    /// Group-commits a batch of mutations, in order, and reports each
+    /// op's outcome. Ops see the staged effects of earlier ops in the
+    /// same batch (a `cas` after a `put` of its expected value
+    /// succeeds).
+    ///
+    /// On a **batched** store this is the hot path the sharding layer
+    /// amortizes persists with: all records (and the log tail) become
+    /// durable in one coalesced persist, each touched bucket's head is
+    /// published once, the heads are persisted, and the header's flush
+    /// epoch is bumped — 3 + ⌈heads/lines⌉ persist round-trips for the
+    /// whole batch instead of ≥ 3 per mutation. A crash at any flush
+    /// boundary leaves every bucket either entirely pre-batch or
+    /// entirely post-batch (records are durable strictly before any
+    /// head that can reach them), so recovery remains the per-key
+    /// evidence scan. On an **eager** store the batch degenerates to
+    /// the per-op loop — durability is per-write there, so there is
+    /// nothing to coalesce.
+    ///
+    /// # Errors
+    ///
+    /// A propagated crash (recover each op with its recovery dual
+    /// after restart).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use pstack_nvram::PMemBuilder;
+    /// use pstack_heap::PHeap;
+    /// use pstack_kv::{KvBatchOp, KvVariant, PKvStore};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// // A *buffered* region: the store orders its own persists.
+    /// let pmem = PMemBuilder::new().len(1 << 18).build_in_memory();
+    /// let heap = PHeap::format(pmem.clone(), 0u64.into(), 1 << 18)?;
+    /// let kv = PKvStore::format(pmem, &heap, 16, 64, KvVariant::Nsrl)?;
+    /// let applied = kv.apply_batch(&[
+    ///     KvBatchOp::Put { pid: 0, seq: 1, key: 7, value: 70 },
+    ///     KvBatchOp::Cas { pid: 0, seq: 2, key: 7, expected: 70, new: 71 },
+    /// ])?;
+    /// assert_eq!(applied, vec![Applied, Applied]);
+    /// assert_eq!(kv.get(7)?, Some(71));
+    /// assert_eq!(kv.flush_epoch()?, 1);
+    /// # Ok(())
+    /// # }
+    /// # use pstack_kv::KvApplied::Applied;
+    /// ```
+    pub fn apply_batch(&self, ops: &[KvBatchOp]) -> Result<Vec<KvApplied>, PError> {
+        if self.eager {
+            return ops.iter().map(|&op| self.apply_one(op)).collect();
+        }
+        // Region-scoped (not handle-scoped): any handle opened on this
+        // region — clone or independent `open` — serializes here.
+        let _serialize = self.pmem.advisory_lock();
+        let mut outcomes = vec![KvApplied::PrecondFailed; ops.len()];
+        // Per touched bucket: the durable pre-batch head and the staged
+        // head the batch will publish.
+        let mut pre_heads: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut staged_heads: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut slots: Option<(u64, u64)> = None;
+
+        // Phase 1 — stage: resolve preconditions against the staged
+        // chain state, reserve slots, write records (volatile).
+        for (i, op) in ops.iter().enumerate() {
+            let (pid, seq, key, kind, value, precond) = op.parts();
+            let bucket = self.bucket_off(key).get();
+            let head = match staged_heads.get(&bucket) {
+                Some(&h) => h,
+                None => {
+                    let h = self.pmem.read_u64(POffset::new(bucket))?;
+                    pre_heads.insert(bucket, h);
+                    h
+                }
+            };
+            let Some(value) = self.resolve_value(head, key, value, &precond)? else {
+                continue;
+            };
+            let Some(off) = self.reserve()? else {
+                outcomes[i] = KvApplied::LogFull;
+                continue;
+            };
+            self.write_record(off, kind, key, value, (pid, seq), head)?;
+            staged_heads.insert(bucket, off);
+            slots = Some(match slots {
+                None => (off, off),
+                Some((lo, hi)) => (lo.min(off), hi.max(off)),
+            });
+            outcomes[i] = KvApplied::Applied;
+        }
+        let Some((lo, hi)) = slots else {
+            // Nothing staged: no records, no tail movement to persist.
+            return Ok(outcomes);
+        };
+
+        // Phase 2 — persist the records and the log tail with one
+        // coalesced flush each. The batch lock makes the reserved
+        // slots consecutive, so [lo, hi] covers exactly this batch.
+        self.pmem
+            .flush(POffset::new(lo), (hi - lo + RECORD_STRIDE) as usize)?;
+        self.pmem.flush(self.base + OFF_LOG_TAIL, 8)?;
+
+        // Phase 3 — publish: flip each touched bucket's head once, to
+        // the newest staged record. Intermediate staged heads are never
+        // published, so per bucket the batch is all-or-nothing.
+        for (&bucket, &new_head) in &staged_heads {
+            let expected = pre_heads[&bucket];
+            if !self.pmem.compare_exchange(
+                POffset::new(bucket),
+                &expected.to_le_bytes(),
+                &new_head.to_le_bytes(),
+            )? {
+                return Err(PError::CorruptStack(
+                    "bucket head moved under a group commit — batched-store mutations must \
+                     all go through the batch lock"
+                        .into(),
+                ));
+            }
+        }
+
+        // Phase 4 — persist the heads: one flush spanning the touched
+        // buckets (clean lines in between persist nothing, touched
+        // lines coalesce).
+        let first = *staged_heads.keys().next().expect("non-empty staged set");
+        let last = *staged_heads
+            .keys()
+            .next_back()
+            .expect("non-empty staged set");
+        self.pmem
+            .flush(POffset::new(first), (last - first + 8) as usize)?;
+
+        // Phase 5 — bump and persist the flush epoch.
+        let epoch = self.pmem.read_u64(self.base + OFF_FLUSH_EPOCH)?;
+        self.pmem
+            .write_u64(self.base + OFF_FLUSH_EPOCH, epoch + 1)?;
+        self.pmem.flush(self.base + OFF_FLUSH_EPOCH, 8)?;
+        Ok(outcomes)
     }
 
     /// Stores `value` under `key` as process `pid` with unique tag
@@ -412,10 +753,15 @@ impl PKvStore {
     /// A propagated crash (complete with [`PKvStore::recover_put`]
     /// after restart).
     pub fn put(&self, pid: u64, seq: u64, key: u64, value: i64) -> Result<bool, PError> {
-        match self.append(pid, seq, key, KIND_PUT, value, &Precond::None)? {
-            Append::Applied => Ok(true),
-            Append::LogFull => Ok(false),
-            Append::PrecondFailed => unreachable!("put has no precondition"),
+        match self.apply_one(KvBatchOp::Put {
+            pid,
+            seq,
+            key,
+            value,
+        })? {
+            KvApplied::Applied => Ok(true),
+            KvApplied::LogFull => Ok(false),
+            KvApplied::PrecondFailed => unreachable!("put has no precondition"),
         }
     }
 
@@ -438,10 +784,9 @@ impl PKvStore {
     /// A propagated crash (complete with [`PKvStore::recover_delete`]
     /// after restart).
     pub fn delete(&self, pid: u64, seq: u64, key: u64) -> Result<bool, PError> {
-        match self.append(pid, seq, key, KIND_DEL, 0, &Precond::Exists)? {
-            Append::Applied => Ok(true),
-            Append::PrecondFailed | Append::LogFull => Ok(false),
-        }
+        Ok(self
+            .apply_one(KvBatchOp::Delete { pid, seq, key })?
+            .took_effect())
     }
 
     /// Replaces `key`'s value with `new` iff it currently equals
@@ -461,10 +806,15 @@ impl PKvStore {
         expected: i64,
         new: i64,
     ) -> Result<bool, PError> {
-        match self.append(pid, seq, key, KIND_PUT, new, &Precond::ValueIs(expected))? {
-            Append::Applied => Ok(true),
-            Append::PrecondFailed | Append::LogFull => Ok(false),
-        }
+        Ok(self
+            .apply_one(KvBatchOp::Cas {
+                pid,
+                seq,
+                key,
+                expected,
+                new,
+            })?
+            .took_effect())
     }
 
     /// Searches `key`'s published chain for the record tagged
@@ -532,6 +882,43 @@ impl PKvStore {
             return Ok(true);
         }
         self.cas(pid, seq, key, expected, new)
+    }
+
+    /// The batched recovery dual of [`PKvStore::apply_batch`]: runs the
+    /// evidence scan for every op first (an op whose tagged record
+    /// already published answers `Applied` without re-executing), then
+    /// re-executes the remainder through **one** group commit.
+    /// Equivalent to running each op's recovery dual in submission
+    /// order — a re-execution publishes only its own tag, so it cannot
+    /// create or destroy another pending op's evidence — but it pays
+    /// the batch's persist economy, so recovery traffic runs inside
+    /// real batch windows too (which is what lets a crash campaign
+    /// kill *recovery* mid-batch and still converge).
+    ///
+    /// Under [`KvVariant::NoScan`] the scans are skipped and every op
+    /// re-executes — the injected §5.2-style bug, preserved here so
+    /// batched recovery stays subject to the same negative control.
+    ///
+    /// # Errors
+    ///
+    /// A propagated crash; re-run after restart.
+    pub fn recover_batch(&self, ops: &[KvBatchOp]) -> Result<Vec<KvApplied>, PError> {
+        let mut outcomes = vec![KvApplied::PrecondFailed; ops.len()];
+        let mut rest = Vec::new();
+        let mut rest_idx = Vec::new();
+        for (i, &op) in ops.iter().enumerate() {
+            let (pid, seq) = op.tag();
+            if self.variant == KvVariant::Nsrl && self.find_tag(op.key(), pid, seq)?.is_some() {
+                outcomes[i] = KvApplied::Applied;
+            } else {
+                rest.push(op);
+                rest_idx.push(i);
+            }
+        }
+        for (i, outcome) in rest_idx.into_iter().zip(self.apply_batch(&rest)?) {
+            outcomes[i] = outcome;
+        }
+        Ok(outcomes)
     }
 
     /// One bucket's published chain, oldest record first.
@@ -650,18 +1037,386 @@ mod tests {
         assert_eq!(kv.log_reserved().unwrap(), 3);
     }
 
+    fn buffered_fixture(nbuckets: u64, log_cap: u64) -> (PMem, PHeap, PKvStore) {
+        let pmem = PMemBuilder::new().len(1 << 19).build_in_memory();
+        let heap = PHeap::format(pmem.clone(), POffset::new(0), 1 << 19).unwrap();
+        let kv = PKvStore::format(pmem.clone(), &heap, nbuckets, log_cap, KvVariant::Nsrl).unwrap();
+        (pmem, heap, kv)
+    }
+
     #[test]
-    fn eager_flush_region_is_required() {
-        let pmem = PMemBuilder::new().len(1 << 16).build_in_memory();
-        let heap = PHeap::format(pmem.clone(), POffset::new(0), 1 << 16).unwrap();
-        assert!(matches!(
-            PKvStore::format(pmem.clone(), &heap, 4, 16, KvVariant::Nsrl),
-            Err(PError::InvalidConfig(_))
-        ));
-        assert!(matches!(
-            PKvStore::open(pmem, POffset::new(64), KvVariant::Nsrl),
-            Err(PError::InvalidConfig(_))
-        ));
+    fn buffered_region_yields_a_batched_store() {
+        let (pmem, _, kv) = buffered_fixture(8, 64);
+        assert!(!kv.is_eager());
+        assert!(kv.put(0, 1, 7, 70).unwrap());
+        assert!(kv.cas(0, 2, 7, 70, 71).unwrap());
+        assert_eq!(kv.get(7).unwrap(), Some(71));
+        // Every per-op mutation is a singleton group commit: all of its
+        // effects are durable before it returns.
+        pmem.crash_now(0, 0.0);
+        let pmem2 = pmem.reopen().unwrap();
+        let kv2 = PKvStore::open(pmem2, kv.base(), KvVariant::Nsrl).unwrap();
+        assert_eq!(kv2.get(7).unwrap(), Some(71));
+        assert_eq!(kv2.log_reserved().unwrap(), 2);
+        assert_eq!(kv2.flush_epoch().unwrap(), 2, "one epoch per commit");
+    }
+
+    #[test]
+    fn batch_sees_its_own_staged_effects() {
+        let (_, _, kv) = buffered_fixture(4, 64);
+        let out = kv
+            .apply_batch(&[
+                KvBatchOp::Put {
+                    pid: 0,
+                    seq: 1,
+                    key: 1,
+                    value: 10,
+                },
+                KvBatchOp::Cas {
+                    pid: 0,
+                    seq: 2,
+                    key: 1,
+                    expected: 10,
+                    new: 11,
+                },
+                KvBatchOp::Delete {
+                    pid: 0,
+                    seq: 3,
+                    key: 1,
+                },
+                KvBatchOp::Put {
+                    pid: 0,
+                    seq: 4,
+                    key: 1,
+                    value: 12,
+                },
+                KvBatchOp::Cas {
+                    pid: 0,
+                    seq: 5,
+                    key: 9,
+                    expected: 0,
+                    new: 1,
+                },
+                KvBatchOp::Delete {
+                    pid: 0,
+                    seq: 6,
+                    key: 9,
+                },
+            ])
+            .unwrap();
+        assert_eq!(
+            out,
+            vec![
+                KvApplied::Applied,
+                KvApplied::Applied,
+                KvApplied::Applied,
+                KvApplied::Applied,
+                KvApplied::PrecondFailed,
+                KvApplied::PrecondFailed,
+            ]
+        );
+        assert_eq!(kv.get(1).unwrap(), Some(12));
+        assert_eq!(kv.get(9).unwrap(), None);
+        assert_eq!(kv.flush_epoch().unwrap(), 1, "one commit for the batch");
+    }
+
+    #[test]
+    fn empty_and_no_effect_batches_skip_the_flush_protocol() {
+        let (pmem, _, kv) = buffered_fixture(4, 64);
+        kv.put(0, 1, 5, 50).unwrap();
+        let before = pmem.stats().snapshot();
+        assert!(kv.apply_batch(&[]).unwrap().is_empty());
+        let out = kv
+            .apply_batch(&[KvBatchOp::Delete {
+                pid: 0,
+                seq: 2,
+                key: 99,
+            }])
+            .unwrap();
+        assert_eq!(out, vec![KvApplied::PrecondFailed]);
+        let delta = pmem.stats().snapshot() - before;
+        assert_eq!(delta.persists, 0, "nothing staged, nothing persisted");
+        assert_eq!(kv.flush_epoch().unwrap(), 1, "no epoch for empty commits");
+    }
+
+    #[test]
+    fn group_commit_coalesces_persists() {
+        // The batching headline: k mutations in one batch cost far
+        // fewer persist round-trips than k singleton commits.
+        let (batched_pmem, _, batched) = buffered_fixture(4, 64);
+        let (per_op_pmem, _, per_op) = buffered_fixture(4, 64);
+        let ops: Vec<KvBatchOp> = (0..16)
+            .map(|i| KvBatchOp::Put {
+                pid: 0,
+                seq: i + 1,
+                key: i,
+                value: i as i64,
+            })
+            .collect();
+
+        let before = batched_pmem.stats().snapshot();
+        assert!(batched
+            .apply_batch(&ops)
+            .unwrap()
+            .iter()
+            .all(|o| o.took_effect()));
+        let batched_delta = batched_pmem.stats().snapshot() - before;
+
+        let before = per_op_pmem.stats().snapshot();
+        for &op in &ops {
+            assert!(per_op.apply_batch(&[op]).unwrap()[0].took_effect());
+        }
+        let per_op_delta = per_op_pmem.stats().snapshot() - before;
+
+        assert_eq!(batched.contents().unwrap(), per_op.contents().unwrap());
+        assert!(
+            batched_delta.persists * 3 <= per_op_delta.persists,
+            "batched {} vs per-op {} persist round-trips",
+            batched_delta.persists,
+            per_op_delta.persists,
+        );
+        assert!(
+            batched_delta.coalesced_lines > 0,
+            "record persists must coalesce: {batched_delta:?}"
+        );
+    }
+
+    #[test]
+    fn log_full_mid_batch_reports_per_op() {
+        let (_, _, kv) = buffered_fixture(2, 2);
+        let ops: Vec<KvBatchOp> = (0..4)
+            .map(|i| KvBatchOp::Put {
+                pid: 0,
+                seq: i + 1,
+                key: i,
+                value: 1,
+            })
+            .collect();
+        let out = kv.apply_batch(&ops).unwrap();
+        assert_eq!(
+            out,
+            vec![
+                KvApplied::Applied,
+                KvApplied::Applied,
+                KvApplied::LogFull,
+                KvApplied::LogFull,
+            ]
+        );
+        assert_eq!(kv.contents().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn batch_crash_points_leave_no_lost_or_torn_heads() {
+        // The group-commit publish path, exhaustively: crash at every
+        // persistence event inside a batch window. After recovery the
+        // published state must be per-bucket all-or-nothing (no torn
+        // heads), and the recovery duals must complete every op exactly
+        // once.
+        let ops = [
+            KvBatchOp::Put {
+                pid: 1,
+                seq: 1,
+                key: 0,
+                value: 10,
+            },
+            KvBatchOp::Put {
+                pid: 1,
+                seq: 2,
+                key: 2,
+                value: 20,
+            },
+            // Same bucket pressure: nbuckets = 2, so keys collide and
+            // chain within the batch.
+            KvBatchOp::Put {
+                pid: 1,
+                seq: 3,
+                key: 4,
+                value: 40,
+            },
+            KvBatchOp::Cas {
+                pid: 1,
+                seq: 4,
+                key: 0,
+                expected: 10,
+                new: 11,
+            },
+            KvBatchOp::Delete {
+                pid: 1,
+                seq: 5,
+                key: 2,
+            },
+        ];
+        let probe = || {
+            let pmem = PMemBuilder::new().len(1 << 16).build_in_memory();
+            let heap = PHeap::format(pmem.clone(), POffset::new(0), 1 << 16).unwrap();
+            let kv = PKvStore::format(pmem.clone(), &heap, 2, 16, KvVariant::Nsrl).unwrap();
+            (pmem, kv)
+        };
+        let (pmem, kv) = probe();
+        let e0 = pmem.events();
+        let out = kv.apply_batch(&ops).unwrap();
+        assert!(out.iter().all(|o| o.took_effect()));
+        let total = pmem.events() - e0;
+        let want = kv.contents().unwrap();
+        assert!(total > 8, "the batch window spans many flush boundaries");
+
+        for k in 0..total {
+            let (pmem, kv) = probe();
+            pmem.arm_failpoint(FailPlan::after_events(k));
+            let err = kv.apply_batch(&ops).unwrap_err();
+            assert!(err.is_crash(), "crash at event {k}");
+            let pmem2 = pmem.reopen().unwrap();
+            let kv2 = PKvStore::open(pmem2, kv.base(), KvVariant::Nsrl).unwrap();
+
+            // No torn state: every published record decodes, every
+            // chain walks, and published tags are unique.
+            let mut tags = std::collections::HashSet::new();
+            for chain in kv2.snapshot().unwrap() {
+                for rec in chain {
+                    assert!(tags.insert((rec.pid, rec.seq)), "crash at {k}: dup tag");
+                }
+            }
+            // Per-bucket all-or-nothing: a bucket publishes either none
+            // or all of its batch records (one head flip per bucket).
+            for bucket in 0..2 {
+                let batch_recs = kv2
+                    .chain(bucket)
+                    .unwrap()
+                    .iter()
+                    .filter(|r| r.pid == 1)
+                    .count();
+                let full = ops.iter().filter(|op| mix(op.key()) % 2 == bucket).count();
+                assert!(
+                    batch_recs == 0 || batch_recs == full,
+                    "crash at {k}: bucket {bucket} published {batch_recs}/{full} — torn batch"
+                );
+            }
+
+            // Recovery duals complete the batch exactly once.
+            assert!(kv2.recover_put(1, 1, 0, 10).unwrap());
+            assert!(kv2.recover_put(1, 2, 2, 20).unwrap());
+            assert!(kv2.recover_put(1, 3, 4, 40).unwrap());
+            assert!(kv2.recover_cas(1, 4, 0, 10, 11).unwrap());
+            assert!(kv2.recover_delete(1, 5, 2).unwrap());
+            assert_eq!(kv2.contents().unwrap(), want, "crash at event {k}");
+            let published: usize = kv2.snapshot().unwrap().iter().map(Vec::len).sum();
+            assert_eq!(published, ops.len(), "crash at {k}: duplicate application");
+        }
+    }
+
+    #[test]
+    fn independently_opened_handles_serialize_group_commits() {
+        // The batch lock is region-scoped, not handle-scoped: a second
+        // handle from PKvStore::open (not a clone) must serialize with
+        // the first, or concurrent commits would race the publish CAS.
+        let (pmem, _, kv) = buffered_fixture(4, 4096);
+        let kv2 = PKvStore::open(pmem.clone(), kv.base(), KvVariant::Nsrl).unwrap();
+        let per = 256u64;
+        std::thread::scope(|s| {
+            for (w, handle) in [kv.clone(), kv2].into_iter().enumerate() {
+                s.spawn(move || {
+                    let w = w as u64;
+                    let ops: Vec<KvBatchOp> = (0..per)
+                        .map(|i| KvBatchOp::Put {
+                            pid: w,
+                            seq: i + 1,
+                            key: w * per + i,
+                            value: i as i64,
+                        })
+                        .collect();
+                    for chunk in ops.chunks(16) {
+                        assert!(handle
+                            .apply_batch(chunk)
+                            .unwrap()
+                            .iter()
+                            .all(|o| o.took_effect()));
+                    }
+                });
+            }
+        });
+        assert_eq!(kv.contents().unwrap().len(), 2 * per as usize);
+        assert_eq!(kv.log_reserved().unwrap(), 2 * per);
+    }
+
+    #[test]
+    fn recover_batch_completes_exactly_once_and_is_idempotent() {
+        let (_, _, kv) = buffered_fixture(4, 64);
+        assert!(kv.put(1, 1, 10, 100).unwrap());
+        let ops = [
+            // Linearized before the "crash": evidence skips it.
+            KvBatchOp::Put {
+                pid: 1,
+                seq: 1,
+                key: 10,
+                value: 100,
+            },
+            // Never ran: re-executed through the group commit.
+            KvBatchOp::Put {
+                pid: 1,
+                seq: 2,
+                key: 11,
+                value: 110,
+            },
+            // No evidence and no key: re-executes to a clean no-effect.
+            KvBatchOp::Delete {
+                pid: 1,
+                seq: 3,
+                key: 99,
+            },
+        ];
+        for round in 0..2 {
+            let out = kv.recover_batch(&ops).unwrap();
+            assert_eq!(
+                out,
+                vec![
+                    KvApplied::Applied,
+                    KvApplied::Applied,
+                    KvApplied::PrecondFailed,
+                ],
+                "recovery round {round}"
+            );
+            let published: usize = kv.snapshot().unwrap().iter().map(Vec::len).sum();
+            assert_eq!(published, 2, "recovery round {round}: no duplicates");
+        }
+        assert_eq!(kv.get(11).unwrap(), Some(110));
+    }
+
+    #[test]
+    fn recover_batch_noscan_double_applies() {
+        let pmem = PMemBuilder::new().len(1 << 18).build_in_memory();
+        let heap = PHeap::format(pmem.clone(), POffset::new(0), 1 << 18).unwrap();
+        let kv = PKvStore::format(pmem, &heap, 4, 32, KvVariant::NoScan).unwrap();
+        assert!(kv.put(0, 1, 1, 10).unwrap());
+        let out = kv
+            .recover_batch(&[KvBatchOp::Put {
+                pid: 0,
+                seq: 1,
+                key: 1,
+                value: 10,
+            }])
+            .unwrap();
+        assert_eq!(out, vec![KvApplied::Applied]);
+        let published: usize = kv.snapshot().unwrap().iter().map(Vec::len).sum();
+        assert_eq!(published, 2, "no-scan batched recovery must re-execute");
+    }
+
+    #[test]
+    fn flush_epoch_counts_only_durable_batches() {
+        let (pmem, _, kv) = buffered_fixture(4, 64);
+        for s in 0..3 {
+            kv.apply_batch(&[KvBatchOp::Put {
+                pid: 0,
+                seq: s + 1,
+                key: s,
+                value: 1,
+            }])
+            .unwrap();
+        }
+        assert_eq!(kv.flush_epoch().unwrap(), 3);
+        pmem.crash_now(0, 0.0);
+        let pmem2 = pmem.reopen().unwrap();
+        let kv2 = PKvStore::open(pmem2, kv.base(), KvVariant::Nsrl).unwrap();
+        assert_eq!(kv2.flush_epoch().unwrap(), 3, "epoch bump is persisted");
     }
 
     #[test]

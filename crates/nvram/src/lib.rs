@@ -50,6 +50,7 @@ mod failpoint;
 mod offset;
 mod pmem;
 mod stats;
+mod stripe;
 
 pub use backend::BackendKind;
 pub use error::MemError;
@@ -57,3 +58,4 @@ pub use failpoint::FailPlan;
 pub use offset::POffset;
 pub use pmem::{PMem, PMemBuilder, DEFAULT_CACHE_LINE, DEFAULT_REGION_LEN};
 pub use stats::{MemStats, StatsSnapshot};
+pub use stripe::PMemStripe;

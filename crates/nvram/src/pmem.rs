@@ -24,7 +24,7 @@ use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use parking_lot::FairMutex;
+use parking_lot::{FairMutex, Mutex, MutexGuard};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -60,6 +60,7 @@ pub struct PMemBuilder {
     eager_flush: bool,
     jitter: Option<Jitter>,
     persist_delay: Option<std::time::Duration>,
+    flush_latency: Option<std::time::Duration>,
 }
 
 /// Scheduling-noise configuration: after a mutating access, the calling
@@ -89,7 +90,29 @@ impl PMemBuilder {
             eager_flush: false,
             jitter: None,
             persist_delay: None,
+            flush_latency: None,
         }
+    }
+
+    /// Adds a fixed latency to every persist **round-trip** (a flush
+    /// or eager write that makes at least one line durable), paid once
+    /// per round-trip inside the region's critical section — the
+    /// command/fence cost of a real device, as opposed to
+    /// [`PMemBuilder::persist_delay`]'s per-line bandwidth cost.
+    ///
+    /// This is the knob that makes the two scaling levers measurable
+    /// in wall-clock even on a single core: striping a store over `N`
+    /// regions lets `N` round-trips overlap (each region is its own
+    /// device), and group commit divides the number of round-trips
+    /// outright.
+    #[must_use]
+    pub fn flush_latency(mut self, latency: std::time::Duration) -> Self {
+        self.flush_latency = if latency.is_zero() {
+            None
+        } else {
+            Some(latency)
+        };
+        self
     }
 
     /// Adds a fixed latency to every line persist, emulating the slow
@@ -218,6 +241,7 @@ impl PMemBuilder {
                 eager_flush: self.eager_flush,
                 jitter: self.jitter,
                 persist_delay: self.persist_delay,
+                flush_latency: self.flush_latency,
                 crashed: AtomicBool::new(false),
                 stats: MemStats::default(),
                 state: FairMutex::new(State {
@@ -226,6 +250,7 @@ impl PMemBuilder {
                     backend,
                     fail: FailState::default(),
                 }),
+                advisory: Mutex::new(()),
             }),
         }
     }
@@ -245,9 +270,13 @@ struct Inner {
     eager_flush: bool,
     jitter: Option<Jitter>,
     persist_delay: Option<std::time::Duration>,
+    flush_latency: Option<std::time::Duration>,
     crashed: AtomicBool,
     stats: MemStats,
     state: FairMutex<State>,
+    /// Advisory region-scoped lock for cooperating writers (see
+    /// [`PMem::advisory_lock`]); never taken by `PMem` itself.
+    advisory: Mutex<()>,
 }
 
 /// Handle to an emulated NVRAM region. Cheap to clone; all clones refer
@@ -301,6 +330,17 @@ impl PMem {
     #[must_use]
     pub fn stats(&self) -> &MemStats {
         &self.inner.stats
+    }
+
+    /// Acquires the region's **advisory** lock. `PMem` never takes it
+    /// itself; it exists so cooperating writers that need atomicity
+    /// across *multiple* accesses (e.g. the KV store's group commit,
+    /// which must not interleave with another commit's stage/publish
+    /// phases) can serialize per region rather than per handle — any
+    /// number of handles opened from the same region share it. Purely
+    /// volatile: not part of the persistent image, reset on reopen.
+    pub fn advisory_lock(&self) -> MutexGuard<'_, ()> {
+        self.inner.advisory.lock()
     }
 
     /// `true` once a crash has been injected and until [`PMem::reopen`].
@@ -512,19 +552,29 @@ impl PMem {
         let line = self.inner.line_size;
         let first = start / line;
         let last = (start + len - 1) / line;
+        let mut persisted = 0u64;
         for li in first..=last {
             // In eager mode the write that queued this line already
             // counted as the persistence event; per-line events would
             // make "between write and its own flush" crash points
             // expressible, which cache-less hardware precludes.
             if !self.inner.eager_flush {
-                self.on_event(st)?;
+                self.on_event(st).inspect_err(|_| {
+                    Self::note_persist(&self.inner.stats, persisted);
+                })?;
             }
             if let Some(content) = st.dirty.remove(&li) {
                 let line_start = li * line;
                 st.image[line_start..line_start + line].copy_from_slice(&content);
-                st.backend.persist_line(line_start, &content)?;
+                // A backend failure still ends the round-trip: account
+                // the lines persisted so far, like the crash path above.
+                st.backend
+                    .persist_line(line_start, &content)
+                    .inspect_err(|_| {
+                        Self::note_persist(&self.inner.stats, persisted);
+                    })?;
                 MemStats::bump(&self.inner.stats.lines_persisted);
+                persisted += 1;
                 if let Some(delay) = self.inner.persist_delay {
                     // Slow device: the delay is paid with the region
                     // locked, serializing persists like one spindle.
@@ -532,7 +582,25 @@ impl PMem {
                 }
             }
         }
+        Self::note_persist(&self.inner.stats, persisted);
+        if persisted > 0 {
+            if let Some(latency) = self.inner.flush_latency {
+                // The per-round-trip command cost, paid with the
+                // region locked: the device is busy for the duration.
+                std::thread::sleep(latency);
+            }
+        }
         Ok(())
+    }
+
+    /// Accounts one persist round-trip that made `lines` lines durable:
+    /// `persists` counts the round-trip, `coalesced_lines` the lines
+    /// amortized beyond the first.
+    fn note_persist(stats: &MemStats, lines: u64) {
+        if lines > 0 {
+            MemStats::bump(&stats.persists);
+            MemStats::add(&stats.coalesced_lines, lines - 1);
+        }
     }
 
     /// Writes and immediately flushes — the common "persist this value
@@ -674,6 +742,8 @@ impl PMem {
                 eager_flush: self.inner.eager_flush,
                 jitter: self.inner.jitter,
                 persist_delay: self.inner.persist_delay,
+                flush_latency: self.inner.flush_latency,
+                advisory: Mutex::new(()),
                 crashed: AtomicBool::new(false),
                 stats: MemStats::default(),
                 state: FairMutex::new(State {
@@ -1131,6 +1201,50 @@ mod tests {
         let t = std::time::Instant::now();
         slow.flush(POffset::new(0), 1).unwrap();
         assert!(t.elapsed() >= std::time::Duration::from_millis(4));
+    }
+
+    #[test]
+    fn flush_latency_charges_per_round_trip() {
+        let latent = PMemBuilder::new()
+            .len(1024)
+            .line_size(64)
+            .flush_latency(std::time::Duration::from_millis(4))
+            .build_in_memory();
+        // One multi-line flush = one round-trip = one latency charge.
+        // The best of three attempts filters scheduler noise out of
+        // the upper-bound check (4 per-line charges would be ≥ 16 ms
+        // of pure sleep, unreachable by a single 4 ms one).
+        let one_round_trip = (0..3)
+            .map(|_| {
+                latent.write(POffset::new(0), &[1u8; 256]).unwrap();
+                let t = std::time::Instant::now();
+                latent.flush(POffset::new(0), 256).unwrap();
+                t.elapsed()
+            })
+            .min()
+            .expect("three attempts");
+        assert!(one_round_trip >= std::time::Duration::from_millis(4));
+        assert!(
+            one_round_trip < std::time::Duration::from_millis(16),
+            "latency is per round-trip, not per line: {one_round_trip:?}"
+        );
+        // A clean flush persists nothing and pays nothing.
+        let t = std::time::Instant::now();
+        latent.flush(POffset::new(0), 256).unwrap();
+        assert!(t.elapsed() < std::time::Duration::from_millis(4));
+        // The knob survives a reopen; zero disables it.
+        latent.crash_now(0, 0.0);
+        let latent = latent.reopen().unwrap();
+        latent.write_u8(POffset::new(0), 1).unwrap();
+        let t = std::time::Instant::now();
+        latent.flush(POffset::new(0), 1).unwrap();
+        assert!(t.elapsed() >= std::time::Duration::from_millis(4));
+        let free = PMemBuilder::new()
+            .len(1024)
+            .flush_latency(std::time::Duration::ZERO)
+            .build_in_memory();
+        free.write_u8(POffset::new(0), 1).unwrap();
+        free.flush(POffset::new(0), 1).unwrap();
     }
 
     #[test]

@@ -17,6 +17,8 @@ pub struct MemStats {
     pub(crate) bytes_written: AtomicU64,
     pub(crate) flush_calls: AtomicU64,
     pub(crate) lines_persisted: AtomicU64,
+    pub(crate) persists: AtomicU64,
+    pub(crate) coalesced_lines: AtomicU64,
     pub(crate) fences: AtomicU64,
     pub(crate) cas_ops: AtomicU64,
     pub(crate) crashes: AtomicU64,
@@ -32,6 +34,8 @@ impl MemStats {
             bytes_written: self.bytes_written.load(Ordering::Relaxed),
             flush_calls: self.flush_calls.load(Ordering::Relaxed),
             lines_persisted: self.lines_persisted.load(Ordering::Relaxed),
+            persists: self.persists.load(Ordering::Relaxed),
+            coalesced_lines: self.coalesced_lines.load(Ordering::Relaxed),
             fences: self.fences.load(Ordering::Relaxed),
             cas_ops: self.cas_ops.load(Ordering::Relaxed),
             crashes: self.crashes.load(Ordering::Relaxed),
@@ -78,6 +82,16 @@ pub struct StatsSnapshot {
     pub flush_calls: u64,
     /// Number of individual cache lines made durable.
     pub lines_persisted: u64,
+    /// Number of persist round-trips: flush/write operations that made
+    /// at least one line durable. This is the group-commit headline
+    /// metric — batching many record persists into one `flush` call
+    /// leaves `lines_persisted` unchanged but collapses `persists`.
+    pub persists: u64,
+    /// Lines made durable *beyond the first* within a single persist
+    /// round-trip — durability work amortized by coalescing
+    /// (`lines_persisted - persists` when every persist lands ≥ 1
+    /// line). Multiply by the line size for coalesced bytes.
+    pub coalesced_lines: u64,
     /// Number of persistence fences.
     pub fences: u64,
     /// Number of compare-exchange operations.
@@ -96,9 +110,32 @@ impl std::ops::Sub for StatsSnapshot {
             bytes_written: self.bytes_written - rhs.bytes_written,
             flush_calls: self.flush_calls - rhs.flush_calls,
             lines_persisted: self.lines_persisted - rhs.lines_persisted,
+            persists: self.persists - rhs.persists,
+            coalesced_lines: self.coalesced_lines - rhs.coalesced_lines,
             fences: self.fences - rhs.fences,
             cas_ops: self.cas_ops - rhs.cas_ops,
             crashes: self.crashes - rhs.crashes,
+        }
+    }
+}
+
+impl std::ops::Add for StatsSnapshot {
+    type Output = StatsSnapshot;
+
+    /// Aggregates counters across regions — the per-stripe total a
+    /// sharded system reports (see [`PMemStripe`](crate::PMemStripe)).
+    fn add(self, rhs: StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            reads: self.reads + rhs.reads,
+            writes: self.writes + rhs.writes,
+            bytes_written: self.bytes_written + rhs.bytes_written,
+            flush_calls: self.flush_calls + rhs.flush_calls,
+            lines_persisted: self.lines_persisted + rhs.lines_persisted,
+            persists: self.persists + rhs.persists,
+            coalesced_lines: self.coalesced_lines + rhs.coalesced_lines,
+            fences: self.fences + rhs.fences,
+            cas_ops: self.cas_ops + rhs.cas_ops,
+            crashes: self.crashes + rhs.crashes,
         }
     }
 }
@@ -108,12 +145,14 @@ impl fmt::Display for StatsSnapshot {
         write!(
             f,
             "reads={} writes={} bytes_written={} flush_calls={} lines_persisted={} \
-             fences={} cas_ops={} crashes={}",
+             persists={} coalesced_lines={} fences={} cas_ops={} crashes={}",
             self.reads,
             self.writes,
             self.bytes_written,
             self.flush_calls,
             self.lines_persisted,
+            self.persists,
+            self.coalesced_lines,
             self.fences,
             self.cas_ops,
             self.crashes
@@ -148,6 +187,8 @@ mod tests {
             "bytes_written=",
             "flush_calls=",
             "lines_persisted=",
+            "persists=",
+            "coalesced_lines=",
             "fences=",
             "cas_ops=",
             "crashes=",

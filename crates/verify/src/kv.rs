@@ -103,6 +103,23 @@ pub struct KvHistory {
     pub chains: Vec<Vec<KvWitnessRecord>>,
 }
 
+/// A complete **sharded** KV execution: every operation with its
+/// answer, plus one per-bucket chain witness per shard
+/// (`shards[s][b]` = shard `s`'s bucket `b`, oldest record first).
+///
+/// Checked by [`check_kv_sharded`]: each shard's chains are a local
+/// linearization witness, keys are disjoint across shards (the router
+/// is a pure function of the key), and operation tags are global — so
+/// the global check is the per-shard replay plus cross-shard tag
+/// uniqueness plus key-routing validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KvShardedHistory {
+    /// All operations across every shard, in any order.
+    pub ops: Vec<KvOp>,
+    /// Per-shard, per-bucket published chains.
+    pub shards: Vec<Vec<Vec<KvWitnessRecord>>>,
+}
+
 /// The sequential specification of the store: an ordinary map with the
 /// exact answer semantics `PKvStore` promises. The checker replays the
 /// witness through this model; tests can use it as a reference
@@ -237,6 +254,20 @@ pub enum KvViolation {
         /// The value the get reported.
         reported: i64,
     },
+    /// A record landed in a shard the router does not map its key to —
+    /// the striping invariant (each key lives in exactly one shard) is
+    /// broken, so per-key chain order no longer witnesses the global
+    /// per-key linearization order.
+    MisroutedKey {
+        /// The offending `(pid, seq)` tag.
+        tag: (u64, u64),
+        /// The key the record carries.
+        key: u64,
+        /// The shard the record was found in.
+        shard: usize,
+        /// The shard the router maps the key to.
+        home: usize,
+    },
 }
 
 impl std::fmt::Display for KvViolation {
@@ -296,6 +327,16 @@ impl std::fmt::Display for KvViolation {
             KvViolation::UnexplainedGet { tag, reported } => write!(
                 f,
                 "get {tag:?} reported {reported}, a value its key never held"
+            ),
+            KvViolation::MisroutedKey {
+                tag,
+                key,
+                shard,
+                home,
+            } => write!(
+                f,
+                "operation {tag:?} left a record for key {key} in shard {shard}, but the \
+                 router homes that key in shard {home}"
             ),
         }
     }
@@ -371,12 +412,78 @@ fn fail(violation: KvViolation) -> KvVerdict {
 /// ```
 #[must_use]
 pub fn check_kv(history: &KvHistory) -> KvVerdict {
+    check_ops_against_chains(&history.ops, history.chains.iter().map(Vec::as_slice))
+}
+
+/// Checks a **sharded** KV execution: validates that every record sits
+/// in its key's home shard under `router`, then runs the chain-replay
+/// check of [`check_kv`] over the union of all shards' chains (valid
+/// because routed shards, like buckets, hold disjoint key sets, while
+/// the operation-tag bookkeeping stays global — a double application
+/// across two shards is still caught). Runs in `O(ops + records)`.
+///
+/// `router` must be the same pure key→shard function the store used
+/// (`pstack_kv::shard_of` partially applied with the shard count).
+///
+/// # Example
+///
+/// ```
+/// use pstack_verify::{
+///     check_kv_sharded, KvAnswer, KvOp, KvOpKind, KvShardedHistory, KvWitnessRecord,
+/// };
+///
+/// let history = KvShardedHistory {
+///     ops: vec![KvOp {
+///         pid: 0,
+///         seq: 1,
+///         kind: KvOpKind::Put,
+///         key: 7,
+///         value: 70,
+///         expected: 0,
+///         answer: KvAnswer::Stored(true),
+///     }],
+///     shards: vec![
+///         vec![vec![]],
+///         vec![vec![KvWitnessRecord {
+///             key: 7,
+///             value: 70,
+///             pid: 0,
+///             seq: 1,
+///             is_delete: false,
+///         }]],
+///     ],
+/// };
+/// // Key 7's home shard is 1 under this (toy) router.
+/// assert!(check_kv_sharded(&history, |key| (key % 2) as usize).is_linearizable());
+/// ```
+#[must_use]
+pub fn check_kv_sharded(history: &KvShardedHistory, router: impl Fn(u64) -> usize) -> KvVerdict {
+    for (shard, chains) in history.shards.iter().enumerate() {
+        for rec in chains.iter().flatten() {
+            let home = router(rec.key);
+            if home != shard {
+                return fail(KvViolation::MisroutedKey {
+                    tag: (rec.pid, rec.seq),
+                    key: rec.key,
+                    shard,
+                    home,
+                });
+            }
+        }
+    }
+    check_ops_against_chains(
+        &history.ops,
+        history.shards.iter().flatten().map(Vec::as_slice),
+    )
+}
+
+fn check_ops_against_chains<'a>(
+    ops: &[KvOp],
+    chains: impl IntoIterator<Item = &'a [KvWitnessRecord]>,
+) -> KvVerdict {
     // Index operations by tag.
-    let ops_by_tag: HashMap<(u64, u64), &KvOp> = history
-        .ops
-        .iter()
-        .map(|op| ((op.pid, op.seq), op))
-        .collect();
+    let ops_by_tag: HashMap<(u64, u64), &KvOp> =
+        ops.iter().map(|op| ((op.pid, op.seq), op)).collect();
 
     // Which values each key ever held (for explaining gets).
     let mut values_of_key: HashMap<u64, Vec<i64>> = HashMap::new();
@@ -386,7 +493,7 @@ pub fn check_kv(history: &KvHistory) -> KvVerdict {
     // interleaving cannot matter; one spec instance replays them all.
     let mut spec = KvSpec::new();
     let mut applied_tags: HashSet<(u64, u64)> = HashSet::new();
-    for chain in &history.chains {
+    for chain in chains {
         for rec in chain {
             let tag = (rec.pid, rec.seq);
             if !applied_tags.insert(tag) {
@@ -455,7 +562,7 @@ pub fn check_kv(history: &KvHistory) -> KvVerdict {
     }
 
     // Check every operation's answer against the witness.
-    for op in &history.ops {
+    for op in ops {
         let tag = (op.pid, op.seq);
         let applied = applied_tags.contains(&tag);
         let effectful = match (op.kind, op.answer) {
@@ -785,6 +892,109 @@ mod tests {
         ));
     }
 
+    /// Toy router for the sharded tests: shard = key parity.
+    fn parity(key: u64) -> usize {
+        (key % 2) as usize
+    }
+
+    #[test]
+    fn sharded_history_with_routed_chains_is_linearizable() {
+        let h = KvShardedHistory {
+            ops: vec![
+                put(0, 1, 2, 20, true),
+                put(1, 2, 3, 30, true),
+                cas(0, 3, 3, 30, 31, true),
+                del(1, 4, 2, true),
+                get(2, 5, 3, Some(31)),
+            ],
+            shards: vec![
+                vec![vec![rec(0, 1, 2, 20), drec(1, 4, 2, 20)]],
+                vec![vec![rec(1, 2, 3, 30), rec(0, 3, 3, 31)]],
+            ],
+        };
+        assert!(check_kv_sharded(&h, parity).is_linearizable());
+    }
+
+    #[test]
+    fn misrouted_record_is_flagged() {
+        // Key 3 is odd → home shard 1, but its record sits in shard 0.
+        let h = KvShardedHistory {
+            ops: vec![put(0, 1, 3, 30, true)],
+            shards: vec![vec![vec![rec(0, 1, 3, 30)]], vec![vec![]]],
+        };
+        assert_eq!(
+            check_kv_sharded(&h, parity),
+            KvVerdict::NotLinearizable {
+                violation: KvViolation::MisroutedKey {
+                    tag: (0, 1),
+                    key: 3,
+                    shard: 0,
+                    home: 1,
+                }
+            }
+        );
+    }
+
+    #[test]
+    fn duplicate_application_across_shards_is_flagged() {
+        // The same tag published in two shards (a recovery bug that
+        // re-executed in the wrong shard would produce this after a
+        // router change): global tag bookkeeping must catch it even
+        // though each shard's local replay looks fine.
+        let h = KvShardedHistory {
+            ops: vec![put(0, 1, 2, 20, true), put(0, 2, 3, 20, true)],
+            shards: vec![
+                vec![vec![rec(0, 1, 2, 20)]],
+                vec![vec![KvWitnessRecord {
+                    key: 3,
+                    value: 20,
+                    pid: 0,
+                    seq: 1,
+                    is_delete: false,
+                }]],
+            ],
+        };
+        assert!(matches!(
+            check_kv_sharded(&h, parity),
+            KvVerdict::NotLinearizable {
+                violation: KvViolation::DuplicateApplication { .. }
+            }
+        ));
+    }
+
+    #[test]
+    fn sharded_lost_update_and_unexplained_get_are_flagged() {
+        let h = KvShardedHistory {
+            ops: vec![put(0, 1, 2, 20, true)],
+            shards: vec![vec![vec![]], vec![vec![]]],
+        };
+        assert!(matches!(
+            check_kv_sharded(&h, parity),
+            KvVerdict::NotLinearizable {
+                violation: KvViolation::LostUpdate { .. }
+            }
+        ));
+        let h = KvShardedHistory {
+            ops: vec![put(0, 1, 2, 20, true), get(1, 2, 2, Some(99))],
+            shards: vec![vec![vec![rec(0, 1, 2, 20)]], vec![vec![]]],
+        };
+        assert!(matches!(
+            check_kv_sharded(&h, parity),
+            KvVerdict::NotLinearizable {
+                violation: KvViolation::UnexplainedGet { .. }
+            }
+        ));
+    }
+
+    #[test]
+    fn empty_sharded_history_is_linearizable() {
+        let h = KvShardedHistory {
+            ops: vec![],
+            shards: vec![vec![vec![], vec![]], vec![vec![]]],
+        };
+        assert!(check_kv_sharded(&h, parity).is_linearizable());
+    }
+
     #[test]
     fn kv_spec_matches_map_semantics() {
         let mut spec = KvSpec::new();
@@ -831,6 +1041,12 @@ mod tests {
             KvViolation::UnexplainedGet {
                 tag: (0, 1),
                 reported: 3,
+            },
+            KvViolation::MisroutedKey {
+                tag: (0, 1),
+                key: 3,
+                shard: 0,
+                home: 1,
             },
         ];
         for v in violations {

@@ -38,7 +38,8 @@ pub use fifo::{
 };
 pub use history::{CasHistory, CasOp, TimedHistory, TimedOp};
 pub use kv::{
-    check_kv, KvAnswer, KvHistory, KvOp, KvOpKind, KvSpec, KvVerdict, KvViolation, KvWitnessRecord,
+    check_kv, check_kv_sharded, KvAnswer, KvHistory, KvOp, KvOpKind, KvShardedHistory, KvSpec,
+    KvVerdict, KvViolation, KvWitnessRecord,
 };
 pub use linearizability::{check_linearizability, LinVerdict};
 pub use sequential::{check_sequential_consistency, ProgramOrderHistory, ScVerdict};

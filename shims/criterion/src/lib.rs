@@ -21,6 +21,20 @@
 //! sample count times the calibrated iterations per sample — enough
 //! spread information to make before/after comparisons defensible.
 //! There is no HTML report and no statistical regression analysis.
+//!
+//! Beyond the upstream API, the shim adds a small comparison facility
+//! for scaling sweeps: [`BenchmarkGroup::bench_measured`] runs a
+//! benchmark exactly like `bench_function` but also returns its
+//! [`Measurement`], and [`Comparison`] renders a baseline-vs-candidate
+//! ratio line:
+//!
+//! ```text
+//! <name>   <candidate> vs <baseline>: x<ratio>  (<candidate rate> vs <baseline rate>)
+//! ```
+//!
+//! The ratio is candidate/baseline throughput when both carry rates
+//! (higher = candidate faster), baseline/candidate mean time otherwise
+//! (still higher = candidate faster).
 
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -87,6 +101,98 @@ impl IntoBenchmarkId for &str {
 impl IntoBenchmarkId for String {
     fn into_benchmark_id(self) -> BenchmarkId {
         BenchmarkId { id: self }
+    }
+}
+
+/// One benchmark's measured result, as returned by
+/// [`BenchmarkGroup::bench_measured`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Measurement {
+    /// Minimum per-iteration time over the samples.
+    pub min: Duration,
+    /// Mean per-iteration time over the samples.
+    pub mean: Duration,
+    /// Maximum per-iteration time over the samples.
+    pub max: Duration,
+    /// Mean throughput in units (elements or bytes) per second, when
+    /// the group carried a [`Throughput`] annotation.
+    pub rate: Option<f64>,
+}
+
+impl Measurement {
+    /// Candidate-vs-baseline speedup: throughput ratio when both sides
+    /// carry rates, inverse mean-time ratio otherwise. Greater than 1
+    /// means `self` (the candidate) is faster.
+    #[must_use]
+    pub fn speedup_over(&self, baseline: &Measurement) -> f64 {
+        match (self.rate, baseline.rate) {
+            (Some(c), Some(b)) if b > 0.0 => c / b,
+            _ => {
+                if self.mean.is_zero() {
+                    f64::INFINITY
+                } else {
+                    baseline.mean.as_secs_f64() / self.mean.as_secs_f64()
+                }
+            }
+        }
+    }
+}
+
+/// Baseline-vs-candidate reporting for scaling sweeps. Feed it the
+/// [`Measurement`]s returned by [`BenchmarkGroup::bench_measured`];
+/// every [`Comparison::versus`] call prints one ratio line (format in
+/// the [crate docs](crate)).
+///
+/// ```
+/// use std::time::Duration;
+/// use criterion::{Comparison, Measurement};
+///
+/// let base = Measurement {
+///     min: Duration::from_micros(9),
+///     mean: Duration::from_micros(10),
+///     max: Duration::from_micros(12),
+///     rate: Some(1.0e6),
+/// };
+/// let cand = Measurement { rate: Some(2.5e6), ..base };
+/// let speedup = Comparison::new("sweep", "1 thread", base)
+///     .versus("4 threads", cand);
+/// assert!((speedup - 2.5).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    name: String,
+    baseline_label: String,
+    baseline: Measurement,
+}
+
+impl Comparison {
+    /// Fixes the baseline every later candidate is compared against.
+    pub fn new(
+        name: impl Into<String>,
+        baseline_label: impl Into<String>,
+        baseline: Measurement,
+    ) -> Self {
+        Comparison {
+            name: name.into(),
+            baseline_label: baseline_label.into(),
+            baseline,
+        }
+    }
+
+    /// Prints the candidate's ratio line and returns the speedup
+    /// (candidate over baseline; > 1 = candidate faster).
+    pub fn versus(&self, label: impl Into<String>, candidate: Measurement) -> f64 {
+        let label = label.into();
+        let speedup = candidate.speedup_over(&self.baseline);
+        let detail = match (candidate.rate, self.baseline.rate) {
+            (Some(c), Some(b)) => format!("({c:.3e} vs {b:.3e})"),
+            _ => format!("({:.3?} vs {:.3?})", candidate.mean, self.baseline.mean),
+        };
+        println!(
+            "{:<55} {} vs {}: x{speedup:.2}  {detail}",
+            self.name, label, self.baseline_label
+        );
+        speedup
     }
 }
 
@@ -208,6 +314,19 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Runs one benchmark exactly like
+    /// [`bench_function`](BenchmarkGroup::bench_function) (same
+    /// measurement loop, same report line) and additionally returns
+    /// the [`Measurement`], for feeding a [`Comparison`].
+    pub fn bench_measured<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> Measurement {
+        let id = id.into_benchmark_id();
+        self.run(&id.id, &mut |b| f(b))
+    }
+
     /// Runs one benchmark with a borrowed input value.
     pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
         &mut self,
@@ -223,7 +342,7 @@ impl BenchmarkGroup<'_> {
     /// Ends the group.
     pub fn finish(self) {}
 
-    fn run(&mut self, id: &str, routine: &mut dyn FnMut(&mut Bencher)) {
+    fn run(&mut self, id: &str, routine: &mut dyn FnMut(&mut Bencher)) -> Measurement {
         let full = if self.name.is_empty() {
             id.to_string()
         } else {
@@ -275,19 +394,27 @@ impl BenchmarkGroup<'_> {
             .checked_div(samples.len() as u32)
             .unwrap_or_default();
 
-        let rate = match self.throughput {
+        let (rate, rate_note) = match self.throughput {
             Some(Throughput::Elements(n)) if !mean.is_zero() => {
-                format!("  thrpt: {:.3e} elem/s", n as f64 / mean.as_secs_f64())
+                let r = n as f64 / mean.as_secs_f64();
+                (Some(r), format!("  thrpt: {r:.3e} elem/s"))
             }
             Some(Throughput::Bytes(n)) if !mean.is_zero() => {
-                format!("  thrpt: {:.3e} B/s", n as f64 / mean.as_secs_f64())
+                let r = n as f64 / mean.as_secs_f64();
+                (Some(r), format!("  thrpt: {r:.3e} B/s"))
             }
-            _ => String::new(),
+            _ => (None, String::new()),
         };
         println!(
-            "{full:<55} time: [{min:>10.3?} {mean:>10.3?} {max:>10.3?}]  n={}×{iters}{rate}",
+            "{full:<55} time: [{min:>10.3?} {mean:>10.3?} {max:>10.3?}]  n={}×{iters}{rate_note}",
             samples.len()
         );
+        Measurement {
+            min,
+            mean,
+            max,
+            rate,
+        }
     }
 }
 
@@ -335,5 +462,50 @@ mod tests {
         });
         g.finish();
         assert!(ran >= 2, "warm-up plus samples should call the closure");
+    }
+
+    #[test]
+    fn bench_measured_reports_rate_and_spread() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(3))
+            .throughput(Throughput::Elements(10));
+        let m = g.bench_measured("measured", |b| {
+            b.iter(|| black_box((0..100u64).sum::<u64>()));
+        });
+        g.finish();
+        assert!(m.min <= m.mean && m.mean <= m.max);
+        assert!(m.rate.unwrap_or(0.0) > 0.0);
+    }
+
+    #[test]
+    fn comparison_speedup_prefers_rates_then_times() {
+        let base = Measurement {
+            min: Duration::from_micros(8),
+            mean: Duration::from_micros(10),
+            max: Duration::from_micros(14),
+            rate: Some(1.0e6),
+        };
+        let cand = Measurement {
+            rate: Some(3.0e6),
+            ..base
+        };
+        assert!((cand.speedup_over(&base) - 3.0).abs() < 1e-9);
+        // Without rates, fall back to inverse mean-time ratio.
+        let slow = Measurement {
+            mean: Duration::from_micros(20),
+            rate: None,
+            ..base
+        };
+        let fast = Measurement {
+            mean: Duration::from_micros(5),
+            rate: None,
+            ..base
+        };
+        assert!((fast.speedup_over(&slow) - 4.0).abs() < 1e-9);
+        let cmp = Comparison::new("sweep", "baseline", slow);
+        assert!((cmp.versus("candidate", fast) - 4.0).abs() < 1e-9);
     }
 }

@@ -137,4 +137,35 @@ fn facade_kv_store_and_campaign() {
         report.is_linearizable(),
         "correct KV store must stay linearizable under crashes"
     );
+    assert!(report.log_had_headroom());
+}
+
+/// The sharded scaling layer through the facade: a striped store with
+/// a group-committed cross-shard batch, and a small sharded crash
+/// campaign with kills inside batch windows.
+#[test]
+fn facade_sharded_kv_store_and_campaign() {
+    use pstack::kv::{KvVariant, ShardedKvStore};
+
+    let stripe = PMemBuilder::new().len(1 << 17).build_striped(2);
+    let kv =
+        ShardedKvStore::format(stripe.regions(), 8, 64, KvVariant::Nsrl).expect("store formats");
+    let mut batch = kv.batch();
+    for key in 0..16u64 {
+        batch.put(0, key + 1, key, key as i64);
+    }
+    assert!(batch
+        .commit()
+        .expect("commit")
+        .iter()
+        .all(|o| o.took_effect()));
+    assert_eq!(kv.contents().expect("contents").len(), 16);
+
+    let cfg = pstack::chaos::ShardedKvCampaignConfig::new(32, 7);
+    let report = pstack::chaos::run_sharded_kv_campaign(&cfg).expect("campaign completes");
+    assert!(
+        report.is_linearizable(),
+        "sharded store must stay linearizable under batch-window kills"
+    );
+    assert_eq!(report.log_usage.len(), 4);
 }
