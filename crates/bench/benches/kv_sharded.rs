@@ -27,11 +27,21 @@
 //!   bytes per mutation, read straight from the `PMem` stats
 //!   counters (visible even on DRAM, where wall-clock barely moves).
 
+//! * `kv_sharded/runtime_driven` — the same batched write workload
+//!   driven directly versus as `StripedRuntime` batch-window tasks
+//!   (one persistent frame + one coalesced answer persist per window
+//!   on top of each group commit): the price of putting the stack on
+//!   the sharded hot path.
+
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Comparison, Criterion, Measurement, Throughput};
+use pstack_core::{FunctionRegistry, RuntimeConfig, StripedRuntime};
 use pstack_heap::PHeap;
-use pstack_kv::{KvBatchOp, KvVariant, PKvStore, ShardedKvStore};
+use pstack_kv::{
+    KvBatchOp, KvOpTable, KvTaskOp, KvVariant, PKvStore, ShardedKvStore, ShardedKvTaskFunction,
+    KV_SHARDED_FUNC_ID,
+};
 use pstack_nvram::{PMemBuilder, POffset};
 
 /// Emulated per-round-trip persist latency for the scaling sweeps.
@@ -204,10 +214,90 @@ fn bench_group_commit(c: &mut Criterion) {
     g.finish();
 }
 
+/// E18: the persistent stack on the sharded hot path. Direct-drive
+/// group commits versus the identical workload running as
+/// `StripedRuntime` batch-window tasks — each window pays a frame
+/// push/pop on the worker's persistent stack and one coalesced
+/// answer-table persist on top of its group commit.
+fn bench_runtime_driven(c: &mut Criterion) {
+    const SHARDS: usize = 4;
+    const THREADS: u64 = 4;
+    const BATCH: usize = 16;
+    let total = THREADS * OPS_PER_THREAD;
+    let mut g = c.benchmark_group("kv_sharded/runtime_driven");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(400));
+    g.throughput(Throughput::Elements(total));
+
+    let direct = g.bench_measured("direct_batched", |b| {
+        b.iter_with_setup(
+            || fresh_store(SHARDS, THREADS, false),
+            |kv| run_writers(&kv, THREADS, BATCH),
+        );
+    });
+
+    let build_runtime = || {
+        let log_cap = total / SHARDS as u64 * 3 + 64;
+        let region_len = (PKvStore::required_len(1024, log_cap) + (1 << 17)).next_power_of_two();
+        let stripe = PMemBuilder::new()
+            .len(region_len)
+            .flush_latency(LATENCY)
+            .build_striped(SHARDS);
+        let store = ShardedKvStore::format(stripe.regions(), 1024, log_cap, KvVariant::Nsrl)
+            .expect("store formats");
+        let ops: Vec<KvTaskOp> = (0..total)
+            .map(|key| KvTaskOp::Put {
+                key,
+                value: key as i64,
+            })
+            .collect();
+        let per_shard = ShardedKvTaskFunction::partition_ops_padded(&ops, SHARDS);
+        let tables: Vec<KvOpTable> = per_shard
+            .iter()
+            .enumerate()
+            .map(|(s, shard_ops)| {
+                KvOpTable::format(stripe.region(s).clone(), store.heap(s), shard_ops)
+                    .expect("table formats")
+            })
+            .collect();
+        let func = ShardedKvTaskFunction::new(store, tables);
+        let tasks = func
+            .pending_tasks(KV_SHARDED_FUNC_ID, BATCH)
+            .expect("pending tasks");
+        let mut registry = FunctionRegistry::new();
+        registry
+            .register(KV_SHARDED_FUNC_ID, func.into_arc())
+            .expect("function registers");
+        // The control region is not latency-emulated: the comparison
+        // isolates the stack's persist traffic, not a slower device.
+        let control = PMemBuilder::new().len(1 << 20).build_in_memory();
+        let rt = StripedRuntime::format(
+            control,
+            stripe,
+            RuntimeConfig::new(THREADS as usize).stack_capacity(8 * 1024),
+            &registry,
+        )
+        .expect("runtime formats");
+        (rt, tasks)
+    };
+    let runtime = g.bench_measured("runtime_batched", |b| {
+        b.iter_with_setup(build_runtime, |(rt, tasks)| {
+            let report = rt.run_tasks(tasks);
+            assert!(!report.crashed && report.task_errors == 0);
+        });
+    });
+    g.finish();
+
+    let cmp = Comparison::new("kv_sharded/runtime_driven", "direct group commits", direct);
+    cmp.versus("StripedRuntime batch windows", runtime);
+}
+
 criterion_group!(
     benches,
     bench_scaling,
     bench_scaling_batched,
-    bench_group_commit
+    bench_group_commit,
+    bench_runtime_driven
 );
 criterion_main!(benches);

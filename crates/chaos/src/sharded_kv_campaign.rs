@@ -18,12 +18,14 @@ use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
-use pstack_core::PError;
+use pstack_core::{
+    CrashRegion, CrashSite, FunctionRegistry, PError, RecoveryMode, RuntimeConfig, StripedRuntime,
+};
 use pstack_kv::{
     shard_of, KvBatchOp, KvOpTable, KvTaskOp, KvTaskResult, KvVariant, ShardedKvStore,
-    ShardedKvTaskFunction,
+    ShardedKvTaskFunction, KV_SHARDED_FUNC_ID,
 };
-use pstack_nvram::{FailPlan, PMemBuilder, PMemStripe, POffset, StatsSnapshot};
+use pstack_nvram::{FailPlan, PMem, PMemBuilder, PMemStripe, POffset, StatsSnapshot};
 use pstack_verify::{
     check_kv_sharded, KvAnswer, KvOp, KvOpKind, KvShardedHistory, KvVerdict, KvWitnessRecord,
 };
@@ -72,6 +74,20 @@ pub struct ShardedKvCampaignConfig {
     /// Per-shard version-log capacity override; `None` provisions
     /// automatically from the workload.
     pub log_cap_per_shard: Option<u64>,
+    /// `true`: drive the descriptors through
+    /// [`StripedRuntime::run_tasks`] — every put/get/batch executes as
+    /// a persistent-stack task, a crash in any region trips the whole
+    /// system, and restart goes through stack-driven recovery
+    /// (`reopen_all` + frame replay with per-shard evidence-scan
+    /// preludes). `false`: PR 3's direct worker-thread drive, no
+    /// persistent stack in the loop.
+    pub runtime_driven: bool,
+    /// Control-region length for the runtime-driven mode (superblock,
+    /// per-worker stacks, heap).
+    pub control_region_len: usize,
+    /// Probability of arming a kill *inside* each recovery pass
+    /// (runtime-driven mode only; bounded by twice the crash budget).
+    pub recovery_crash_prob: f64,
 }
 
 impl ShardedKvCampaignConfig {
@@ -96,6 +112,9 @@ impl ShardedKvCampaignConfig {
             crash_prob: 0.6,
             region_len: 1 << 19,
             log_cap_per_shard: None,
+            runtime_driven: false,
+            control_region_len: 1 << 20,
+            recovery_crash_prob: 0.35,
         }
     }
 
@@ -103,6 +122,14 @@ impl ShardedKvCampaignConfig {
     #[must_use]
     pub fn shards(mut self, shards: usize) -> Self {
         self.shards = shards;
+        self
+    }
+
+    /// Selects the drive mode: `true` routes all traffic through
+    /// [`StripedRuntime::run_tasks`] (the persistent stack in the loop).
+    #[must_use]
+    pub fn runtime_driven(mut self, runtime_driven: bool) -> Self {
+        self.runtime_driven = runtime_driven;
         self
     }
 
@@ -127,12 +154,26 @@ impl ShardedKvCampaignConfig {
 pub struct ShardedKvCampaignReport {
     /// Rounds executed (≥ 1); each crash adds a recovery round.
     pub rounds: usize,
-    /// Crash/recover cycles: system failures injected and recovered
-    /// from (kills during normal rounds *and* during recovery rounds).
+    /// Crash/recover cycles tripped during normal rounds. (The direct
+    /// worker-thread mode also counts its recovery-round kills here;
+    /// the runtime-driven mode reports those separately in
+    /// [`ShardedKvCampaignReport::recovery_crashes`].)
     pub crashes: usize,
+    /// Kills that landed *inside* stack-driven recovery passes
+    /// (runtime-driven mode; always 0 for the direct drive).
+    pub recovery_crashes: usize,
+    /// Frames completed by stack-driven recovery across all cycles
+    /// (runtime-driven mode; always 0 for the direct drive).
+    pub recovered_frames: usize,
+    /// Attribution of each whole-system crash in the runtime-driven
+    /// mode: the region that tripped it (shard index or the control
+    /// region) plus that region's frozen persistence-event counter —
+    /// what campaign logs key kills by.
+    pub crash_sites: Vec<CrashSite>,
     /// Individual shard regions whose fail-point actually fired,
     /// summed over all cycles (the remaining regions of a cycle are
-    /// taken down by the system failure itself).
+    /// taken down by the system failure itself). The runtime-driven
+    /// mode counts the tripping shard region of each cycle.
     pub shard_kills: usize,
     /// The collected execution: answers plus per-shard chain witness.
     pub history: KvShardedHistory,
@@ -158,10 +199,11 @@ impl ShardedKvCampaignReport {
         self.verdict.is_linearizable()
     }
 
-    /// Total crash/recover cycles the campaign survived.
+    /// Total crash/recover cycles the campaign survived (kills in
+    /// normal rounds plus kills inside recovery).
     #[must_use]
     pub fn total_crashes(&self) -> usize {
-        self.crashes
+        self.crashes + self.recovery_crashes
     }
 
     /// See [`ShardLogUsage::all_have_headroom`].
@@ -329,6 +371,56 @@ fn open_tables(stripe: &PMemStripe) -> Result<Vec<KvOpTable>, PError> {
         .collect()
 }
 
+/// Crash/recover bookkeeping shared by both drive modes.
+#[derive(Debug, Default)]
+struct CampaignTally {
+    rounds: usize,
+    crashes: usize,
+    recovery_crashes: usize,
+    recovered_frames: usize,
+    shard_kills: usize,
+    crash_sites: Vec<CrashSite>,
+    stats: StatsSnapshot,
+}
+
+/// Builds the final report from a quiescent store (every descriptor
+/// answered) and the campaign tally.
+fn finalize_report(
+    cfg: &ShardedKvCampaignConfig,
+    store: &ShardedKvStore,
+    tables: &[KvOpTable],
+    tally: CampaignTally,
+    mutations: usize,
+) -> Result<ShardedKvCampaignReport, PError> {
+    let history = build_sharded_history(store, tables)?;
+    let nshards = cfg.shards;
+    let verdict = check_kv_sharded(&history, |key| shard_of(key, nshards));
+    let log_usage = store
+        .log_reserved_per_shard()?
+        .into_iter()
+        .enumerate()
+        .map(|(shard, reserved)| ShardLogUsage {
+            shard,
+            reserved,
+            capacity: store.log_capacity(),
+        })
+        .collect();
+    Ok(ShardedKvCampaignReport {
+        rounds: tally.rounds,
+        crashes: tally.crashes,
+        recovery_crashes: tally.recovery_crashes,
+        recovered_frames: tally.recovered_frames,
+        crash_sites: tally.crash_sites,
+        shard_kills: tally.shard_kills,
+        history,
+        verdict,
+        log_usage,
+        flush_epochs: store.flush_epochs()?,
+        stats: tally.stats,
+        mutations,
+    })
+}
+
 /// Builds the verifier history from the quiescent per-shard tables and
 /// the sharded store's chain witnesses.
 fn build_sharded_history(
@@ -445,26 +537,26 @@ pub fn run_sharded_kv_campaign(
         .filter(|op| !matches!(op, KvTaskOp::Get { .. }))
         .count();
 
-    // Partition by home shard; pad idle shards with a no-op get on a
-    // key they own, so every table is non-empty.
-    let mut per_shard = ShardedKvTaskFunction::partition_ops(&ops, cfg.shards);
-    for (s, shard_ops) in per_shard.iter_mut().enumerate() {
-        if shard_ops.is_empty() {
-            let key = (0..)
-                .find(|&k| shard_of(k, cfg.shards) == s)
-                .expect("router is total");
-            shard_ops.push(KvTaskOp::Get { key });
-        }
-    }
+    // Partition by home shard; idle shards get a no-op get on a key
+    // they own, so every table is non-empty.
+    let per_shard = ShardedKvTaskFunction::partition_ops_padded(&ops, cfg.shards);
 
     // Provision each shard's log: every descriptor at most one
     // published slot, plus crash orphans (at most one staged batch per
-    // cycle survives unpublished), plus retry slack.
+    // cycle survives unpublished — per in-flight worker in the
+    // runtime-driven mode, where several workers may run windows of
+    // the same shard concurrently), plus retry slack. The runtime mode
+    // also spends its crash budget twice (run kills + recovery kills).
     let max_shard_ops = per_shard.iter().map(Vec::len).max().unwrap_or(1) as u64;
     let batch = cfg.group_commit.unwrap_or(1).max(1);
-    let log_cap = cfg
-        .log_cap_per_shard
-        .unwrap_or(max_shard_ops * 2 + (cfg.max_crashes as u64 + 1) * (batch as u64 + 1) + 64);
+    let orphan_sources = if cfg.runtime_driven {
+        cfg.workers as u64 * 2
+    } else {
+        1
+    };
+    let log_cap = cfg.log_cap_per_shard.unwrap_or(
+        max_shard_ops * 2 + (cfg.max_crashes as u64 + 1) * (batch as u64 + 1) * orphan_sources + 64,
+    );
     let nbuckets = cfg.key_space.max(4);
 
     let mut builder = PMemBuilder::new().len(cfg.region_len);
@@ -483,13 +575,14 @@ pub fn run_sharded_kv_campaign(
         }
     }
 
-    let mut rounds = 0usize;
-    let mut crashes = 0usize;
-    let mut shard_kills = 0usize;
-    let mut stats = StatsSnapshot::default();
+    if cfg.runtime_driven {
+        return drive_with_runtime(cfg, stripe, mutations, rng, batch);
+    }
+
+    let mut tally = CampaignTally::default();
 
     loop {
-        rounds += 1;
+        tally.rounds += 1;
         let store = ShardedKvStore::open(stripe.regions(), cfg.variant)?;
         let tables = open_tables(&stripe)?;
         if tables
@@ -500,37 +593,14 @@ pub fn run_sharded_kv_campaign(
             .all(Vec::is_empty)
         {
             // Quiescent: fold in this boot's counters and stop.
-            stats = stats + stripe.aggregate_stats();
-            let history = build_sharded_history(&store, &tables)?;
-            let nshards = cfg.shards;
-            let verdict = check_kv_sharded(&history, |key| shard_of(key, nshards));
-            let log_usage = store
-                .log_reserved_per_shard()?
-                .into_iter()
-                .enumerate()
-                .map(|(shard, reserved)| ShardLogUsage {
-                    shard,
-                    reserved,
-                    capacity: store.log_capacity(),
-                })
-                .collect();
-            return Ok(ShardedKvCampaignReport {
-                rounds,
-                crashes,
-                shard_kills,
-                history,
-                verdict,
-                log_usage,
-                flush_epochs: store.flush_epochs()?,
-                stats,
-                mutations,
-            });
+            tally.stats = tally.stats + stripe.aggregate_stats();
+            return finalize_report(cfg, &store, &tables, tally, mutations);
         }
 
         // Arm per-shard fail-points while the crash budget lasts. The
         // draws happen on the main thread, per shard, so worker
         // scheduling cannot perturb them.
-        if crashes < cfg.max_crashes {
+        if tally.crashes < cfg.max_crashes {
             for s in 0..cfg.shards {
                 if rng.random_bool(cfg.crash_prob) {
                     let countdown = rng.random_range(cfg.crash_window.0..=cfg.crash_window.1);
@@ -545,8 +615,8 @@ pub fn run_sharded_kv_campaign(
         // owner, seeded per (shard, round). Recovery rounds (after any
         // crash) drive every pending descriptor through its recovery
         // dual — the per-shard evidence scans, in parallel.
-        let recovery = crashes > 0;
-        let round_seed = cfg.seed ^ (rounds as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let recovery = tally.crashes > 0;
+        let round_seed = cfg.seed ^ (tally.rounds as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
         let crashed_flags: Vec<Result<bool, PError>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..cfg.workers)
                 .map(|w| {
@@ -586,17 +656,192 @@ pub fn run_sharded_kv_campaign(
         }
 
         if any_crash {
-            crashes += 1;
-            shard_kills += stripe.regions().iter().filter(|r| r.is_crashed()).count();
+            tally.crashes += 1;
+            tally.shard_kills += stripe.regions().iter().filter(|r| r.is_crashed()).count();
             // System failure: every region dies with the killed ones
             // (unflushed lines of buffered regions are lost — survival
             // probability 0 keeps the campaign deterministic).
-            stats = stats + stripe.aggregate_stats();
-            stripe.crash_all(cfg.seed ^ crashes as u64, 0.0);
+            tally.stats = tally.stats + stripe.aggregate_stats();
+            stripe.crash_all(cfg.seed ^ tally.crashes as u64, 0.0);
             stripe = stripe.reopen_all()?;
         } else {
+            stripe.disarm_all();
+        }
+    }
+}
+
+/// The runtime-driven drive: every pending descriptor (or batch
+/// window) becomes a persistent-stack task executed by
+/// [`StripedRuntime::run_tasks`] over the control region + shard
+/// stripe. Kills land inside batch windows (shard-region fail-points
+/// with window-sized countdowns), inside the runtime's own stack
+/// discipline (control-region fail-points), *and* inside the
+/// stack-driven recovery passes; every crash trips the whole system,
+/// is attributed to the region that fired it, and restart goes through
+/// `reopen_all` + frame replay with per-shard evidence-scan preludes.
+fn drive_with_runtime(
+    cfg: &ShardedKvCampaignConfig,
+    mut stripe: PMemStripe,
+    mutations: usize,
+    mut rng: SmallRng,
+    batch: usize,
+) -> Result<ShardedKvCampaignReport, PError> {
+    // The control region carries the runtime layout: superblock,
+    // per-worker persistent stacks, heap. Formatted once; every later
+    // boot is an open.
+    let mut control = PMemBuilder::new()
+        .len(cfg.control_region_len)
+        .build_in_memory();
+    {
+        let stub = FunctionRegistry::new();
+        StripedRuntime::format(
+            control.clone(),
+            stripe.clone(),
+            RuntimeConfig::new(cfg.workers).stack_capacity(8 * 1024),
+            &stub,
+        )?;
+    }
+
+    // Builds the registry of the current boot: one task function
+    // re-attached to the freshly opened store and tables. Used both
+    // for direct opens and as the `reopen_all_with` registry builder.
+    let make_registry =
+        |store: &ShardedKvStore, tables: &[KvOpTable]| -> Result<FunctionRegistry, PError> {
+            let mut registry = FunctionRegistry::new();
+            registry.register(
+                KV_SHARDED_FUNC_ID,
+                ShardedKvTaskFunction::new(store.clone(), tables.to_vec()).into_arc(),
+            )?;
+            Ok(registry)
+        };
+    // Re-attaches store, tables, task function and runtime to the
+    // current boot's regions.
+    let attach = |control: &PMem,
+                  stripe: &PMemStripe|
+     -> Result<
+        (
+            ShardedKvStore,
+            Vec<KvOpTable>,
+            ShardedKvTaskFunction,
+            StripedRuntime,
+        ),
+        PError,
+    > {
+        let store = ShardedKvStore::open(stripe.regions(), cfg.variant)?;
+        let tables = open_tables(stripe)?;
+        let registry = make_registry(&store, &tables)?;
+        let rt = StripedRuntime::open(control.clone(), stripe.clone(), &registry)?;
+        let func = ShardedKvTaskFunction::new(store.clone(), tables.clone());
+        Ok((store, tables, func, rt))
+    };
+    // The multi-region boot path after a whole-system crash: reopen
+    // every region together, rebuilding the registry over the fresh
+    // handles (the old task function holds dead pre-crash clones).
+    let reboot = |rt: &StripedRuntime| -> Result<(PMem, PMemStripe), PError> {
+        let next = rt.reopen_all_with(|_, stripe| {
+            let store = ShardedKvStore::open(stripe.regions(), cfg.variant)?;
+            let tables = open_tables(stripe)?;
+            make_registry(&store, &tables)
+        })?;
+        Ok((next.control().clone(), next.stripe().clone()))
+    };
+
+    let mut tally = CampaignTally::default();
+    let window = if cfg.group_commit.is_some() { batch } else { 1 };
+
+    loop {
+        tally.rounds += 1;
+        let (store, tables, func, rt) = attach(&control, &stripe)?;
+        let rt =
+            rt.crash_seed(cfg.seed ^ (tally.rounds as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut tasks = func.pending_tasks(KV_SHARDED_FUNC_ID, window)?;
+        if tasks.is_empty() {
+            tally.stats = tally.stats + stripe.aggregate_stats();
+            return finalize_report(cfg, &store, &tables, tally, mutations);
+        }
+        tasks.shuffle(&mut rng);
+
+        // Arm kills while the budget lasts: per-shard fail-points with
+        // countdowns shorter than a batch window's event footprint, and
+        // occasionally one in the control region so the persistent
+        // stack's own discipline gets hit too.
+        if tally.crashes + tally.recovery_crashes < cfg.max_crashes {
             for s in 0..cfg.shards {
-                stripe.region(s).disarm_failpoint();
+                if rng.random_bool(cfg.crash_prob) {
+                    let countdown = rng.random_range(cfg.crash_window.0..=cfg.crash_window.1);
+                    stripe
+                        .region(s)
+                        .arm_failpoint(FailPlan::after_events(countdown));
+                }
+            }
+            if rng.random_bool(cfg.crash_prob / 2.0) {
+                let countdown = rng.random_range(cfg.crash_window.0..=cfg.crash_window.1);
+                control.arm_failpoint(FailPlan::after_events(countdown));
+            }
+        }
+
+        let report = rt.run_tasks(tasks);
+        if !report.crashed {
+            stripe.disarm_all();
+            control.disarm_failpoint();
+            continue;
+        }
+        tally.crashes += 1;
+        if let Some(site) = report.crash_site {
+            if matches!(site.region, CrashRegion::Shard(_)) {
+                tally.shard_kills += 1;
+            }
+            tally.crash_sites.push(site);
+        }
+        tally.stats = tally.stats + stripe.aggregate_stats();
+        (control, stripe) = reboot(&rt)?;
+
+        // Stack-driven recovery, possibly killed mid-pass: reopen and
+        // retry until a pass completes (idempotence across regions —
+        // frames popped by a completed recover dual never replay).
+        loop {
+            let (store, _tables, _func, rt) = attach(&control, &stripe)?;
+            let rt = rt.crash_seed(
+                cfg.seed ^ (tally.recovery_crashes as u64 + 1).wrapping_mul(0xD134_2543_DE82_EF95),
+            );
+            if tally.crashes + tally.recovery_crashes < cfg.max_crashes * 2
+                && rng.random_bool(cfg.recovery_crash_prob)
+            {
+                // A kill inside recovery: a random shard region or the
+                // control region, with a short countdown so it lands
+                // mid-replay.
+                let target = rng.random_range(0..=cfg.shards as u64) as usize;
+                let countdown = rng.random_range(2..=40);
+                let plan = FailPlan::after_events(countdown);
+                if target == cfg.shards {
+                    control.arm_failpoint(plan);
+                } else {
+                    stripe.region(target).arm_failpoint(plan);
+                }
+            }
+            let prelude_store = store.clone();
+            let result = rt.recover_with(RecoveryMode::Parallel, |shard, _region| {
+                // Per-shard evidence fan-out before any frame replays:
+                // walk the shard's published chains, the witness the
+                // recover duals' tag scans run against.
+                prelude_store.shard(shard).snapshot().map(|_| ())
+            });
+            match result {
+                Ok(rep) => {
+                    stripe.disarm_all();
+                    control.disarm_failpoint();
+                    tally.recovered_frames += rep.total_frames();
+                    break;
+                }
+                Err(e) if e.is_crash() => {
+                    tally.recovery_crashes += 1;
+                    if let Some(site) = rt.last_crash_site() {
+                        tally.crash_sites.push(site);
+                    }
+                    tally.stats = tally.stats + stripe.aggregate_stats();
+                    (control, stripe) = reboot(&rt)?;
+                }
+                Err(e) => return Err(e),
             }
         }
     }
@@ -736,6 +981,466 @@ mod tests {
             cycles >= 200,
             "only {cycles} crash/recover cycles across {campaigns} campaigns"
         );
+    }
+
+    // ---- runtime-driven mode ------------------------------------------
+
+    #[test]
+    fn runtime_driven_campaign_puts_the_stack_in_the_loop() {
+        let report =
+            run_sharded_kv_campaign(&ShardedKvCampaignConfig::new(80, 21).runtime_driven(true))
+                .unwrap();
+        assert!(report.is_linearizable(), "verdict: {:?}", report.verdict);
+        assert!(report.crashes > 0, "campaign should experience crashes");
+        assert!(report.rounds > 1);
+        assert!(report.log_had_headroom(), "{}", report.tightest_shard());
+        // The batch windows ran as persistent-stack tasks: group
+        // commits completed and interrupted frames were replayed.
+        assert!(
+            report.flush_epochs.iter().any(|&e| e > 0),
+            "windows should group-commit: {:?}",
+            report.flush_epochs
+        );
+        assert!(
+            report.recovered_frames > 0,
+            "stack-driven recovery should replay interrupted frames"
+        );
+        // Every cycle is attributed to the region that tripped it.
+        assert!(!report.crash_sites.is_empty());
+        assert!(report.crash_sites.len() <= report.total_crashes());
+        for site in &report.crash_sites {
+            match site.region {
+                CrashRegion::Shard(s) => assert!(s < 4, "shard index in range: {site}"),
+                CrashRegion::Runtime => {}
+            }
+            assert!(
+                site.events > 0,
+                "the op counter freezes at the kill: {site}"
+            );
+        }
+    }
+
+    #[test]
+    fn runtime_driven_campaign_is_deterministic_with_one_worker() {
+        let mut cfg = ShardedKvCampaignConfig::new(48, 5).runtime_driven(true);
+        cfg.workers = 1;
+        let a = run_sharded_kv_campaign(&cfg).unwrap();
+        let b = run_sharded_kv_campaign(&cfg).unwrap();
+        assert_eq!(a.history, b.history);
+        assert_eq!(a.crashes, b.crashes);
+        assert_eq!(a.recovery_crashes, b.recovery_crashes);
+        assert_eq!(a.crash_sites, b.crash_sites);
+        assert_eq!(a.rounds, b.rounds);
+    }
+
+    #[test]
+    fn runtime_driven_eager_campaign_passes_too() {
+        let cfg = ShardedKvCampaignConfig::new(60, 9)
+            .group_commit(None)
+            .runtime_driven(true);
+        let report = run_sharded_kv_campaign(&cfg).unwrap();
+        assert!(report.is_linearizable(), "verdict: {:?}", report.verdict);
+        assert_eq!(
+            report.flush_epochs,
+            vec![0; 4],
+            "eager stores never group-commit"
+        );
+    }
+
+    #[test]
+    fn runtime_driven_two_hundred_crash_recover_cycles_lose_nothing() {
+        // The runtime-driven acceptance gate: ≥ 200 crash/recover
+        // cycles with every put/get/batch executing as a persistent-
+        // stack task, kills landing inside batch windows *and* inside
+        // stack-driven recovery, every crash tripping the whole
+        // system, and the sharded verifier confirming zero lost or
+        // torn updates.
+        let mut cycles = 0usize;
+        let mut recovery_kills = 0usize;
+        let mut batch_window_kills = 0usize;
+        let mut frames = 0usize;
+        let mut campaigns = 0usize;
+        for seed in 0.. {
+            let mut cfg = ShardedKvCampaignConfig::new(60, 7000 + seed).runtime_driven(true);
+            cfg.max_crashes = 14;
+            cfg.crash_prob = 0.8;
+            cfg.recovery_crash_prob = 0.5;
+            let report = run_sharded_kv_campaign(&cfg).unwrap();
+            assert!(
+                report.is_linearizable(),
+                "seed {seed}: lost or torn update after {} crashes: {:?}",
+                report.total_crashes(),
+                report.verdict
+            );
+            assert!(
+                report.log_had_headroom(),
+                "seed {seed}: {} filled — cycles stopped exercising recovery",
+                report.tightest_shard()
+            );
+            cycles += report.total_crashes();
+            recovery_kills += report.recovery_crashes;
+            batch_window_kills += report.shard_kills;
+            frames += report.recovered_frames;
+            campaigns += 1;
+            if cycles >= 200 {
+                break;
+            }
+        }
+        assert!(
+            cycles >= 200,
+            "only {cycles} crash/recover cycles across {campaigns} campaigns"
+        );
+        assert!(
+            recovery_kills > 0,
+            "kills must land inside recovery passes too"
+        );
+        assert!(
+            batch_window_kills > 0,
+            "kills must land inside shard batch windows"
+        );
+        assert!(frames > 0, "recovery must replay interrupted frames");
+    }
+
+    #[test]
+    fn runtime_driven_noscan_is_caught() {
+        // The NoScan bug variant driven through `run_tasks`: recovery
+        // duals that skip the per-shard evidence scan re-execute
+        // already-published operations, and the campaign's verifier
+        // must flag the resulting duplicates. Detection is
+        // probabilistic per run, so scan seeds.
+        let mut detected = 0;
+        let mut runs = 0;
+        for seed in 0..24 {
+            if detected >= 2 {
+                break;
+            }
+            let mut cfg = ShardedKvCampaignConfig::new(80, seed)
+                .variant(KvVariant::NoScan)
+                .runtime_driven(true);
+            cfg.key_space = 4;
+            cfg.max_crashes = 30;
+            cfg.crash_prob = 0.9;
+            cfg.recovery_crash_prob = 0.6;
+            cfg.crash_window = (5, 60);
+            let report = run_sharded_kv_campaign(&cfg).unwrap();
+            runs += 1;
+            if !report.is_linearizable() {
+                detected += 1;
+            }
+        }
+        assert!(
+            detected > 0,
+            "no sharded KV violation detected in {runs} runtime-driven no-scan runs"
+        );
+    }
+
+    // ---- multi-region crash-point enumeration -------------------------
+
+    /// Formats a deterministic 2-shard runtime-driven system: buffered
+    /// stripe, one store + descriptor table per shard (table bases at
+    /// `TABLE_ROOT_OFF`), and a 1-worker runtime over a fresh control
+    /// region.
+    fn build_enum_system(ops: &[KvTaskOp]) -> (PMem, PMemStripe) {
+        let stripe = PMemBuilder::new().len(1 << 19).build_striped(2);
+        let store = ShardedKvStore::format(stripe.regions(), 8, 128, KvVariant::Nsrl).unwrap();
+        let per_shard = ShardedKvTaskFunction::partition_ops_padded(ops, 2);
+        for (s, shard_ops) in per_shard.iter().enumerate() {
+            let table =
+                KvOpTable::format(stripe.region(s).clone(), store.heap(s), shard_ops).unwrap();
+            stripe
+                .region(s)
+                .write_u64(POffset::new(TABLE_ROOT_OFF), table.base().get())
+                .unwrap();
+            stripe
+                .region(s)
+                .flush(POffset::new(TABLE_ROOT_OFF), 8)
+                .unwrap();
+        }
+        let control = PMemBuilder::new().len(1 << 20).build_in_memory();
+        let stub = FunctionRegistry::new();
+        StripedRuntime::format(
+            control.clone(),
+            stripe.clone(),
+            RuntimeConfig::new(1).stack_capacity(8 * 1024),
+            &stub,
+        )
+        .unwrap();
+        (control, stripe)
+    }
+
+    /// Re-attaches store/tables/function to the current boot.
+    fn attach_enum_system(
+        control: &PMem,
+        stripe: &PMemStripe,
+    ) -> (ShardedKvStore, Vec<KvOpTable>, StripedRuntime) {
+        let store = ShardedKvStore::open(stripe.regions(), KvVariant::Nsrl).unwrap();
+        let tables = open_tables(stripe).unwrap();
+        let mut registry = FunctionRegistry::new();
+        registry
+            .register(
+                KV_SHARDED_FUNC_ID,
+                ShardedKvTaskFunction::new(store.clone(), tables.clone()).into_arc(),
+            )
+            .unwrap();
+        let rt = StripedRuntime::open(control.clone(), stripe.clone(), &registry).unwrap();
+        (store, tables, rt)
+    }
+
+    /// Runs the 1-worker system to quiescence with no fail-points
+    /// (recovering first, since the caller may hand over a state with
+    /// an interrupted frame) and checks the execution: verifier-clean,
+    /// every key holding its submitted value.
+    fn drain_and_check(control: &PMem, stripe: &PMemStripe, ops: &[KvTaskOp], label: &str) {
+        for _ in 0..16 {
+            let (store, tables, rt) = attach_enum_system(control, stripe);
+            rt.recover(RecoveryMode::Parallel).unwrap();
+            let func = ShardedKvTaskFunction::new(store.clone(), tables.clone());
+            let tasks = func.pending_tasks(KV_SHARDED_FUNC_ID, 4).unwrap();
+            if tasks.is_empty() {
+                let history = build_sharded_history(&store, &tables).unwrap();
+                let verdict = check_kv_sharded(&history, |key| shard_of(key, 2));
+                assert!(verdict.is_linearizable(), "{label}: {verdict:?}");
+                let contents = store.contents().unwrap();
+                for op in ops {
+                    if let KvTaskOp::Put { key, value } = op {
+                        assert_eq!(contents.get(key), Some(value), "{label}: key {key}");
+                    }
+                }
+                return;
+            }
+            let report = rt.run_tasks(tasks);
+            assert!(!report.crashed, "{label}: no fail-points are armed");
+        }
+        panic!("{label}: system failed to drain in 16 rounds");
+    }
+
+    #[test]
+    fn enumerated_shard_crash_times_recovery_step_boundaries() {
+        // The multi-region enumeration: for a 2-shard stripe, crash
+        // shard 0's region at *every* event boundary of its batch
+        // window, then crash the recovery pass at *every* event
+        // boundary of the same region — and from each (crash-moment ×
+        // recovery-step) state, recovery must converge with per-bucket
+        // all-or-nothing effects and no re-run frames.
+        let ops: Vec<KvTaskOp> = (0..8u64)
+            .map(|key| KvTaskOp::Put {
+                key,
+                value: key as i64 + 10,
+            })
+            .collect();
+        let target = 0usize;
+
+        // Clean run: count the target region's events for the whole
+        // drive (one worker, unshuffled tasks — fully deterministic).
+        let (control, stripe) = build_enum_system(&ops);
+        let e0 = stripe.region(target).events();
+        {
+            let (store, tables, rt) = attach_enum_system(&control, &stripe);
+            let func = ShardedKvTaskFunction::new(store, tables);
+            let report = rt.run_tasks(func.pending_tasks(KV_SHARDED_FUNC_ID, 4).unwrap());
+            assert!(!report.crashed);
+        }
+        let run_events = stripe.region(target).events() - e0;
+        assert!(run_events >= 3, "a window must span several events");
+
+        for k in 0..run_events {
+            // Phase 1 (attribution): crash shard 0 after k events of
+            // the run; the kill must trip the whole system and be
+            // blamed on the armed region.
+            {
+                let (control, stripe) = build_enum_system(&ops);
+                let (store, tables, rt) = attach_enum_system(&control, &stripe);
+                stripe
+                    .region(target)
+                    .arm_failpoint(FailPlan::after_events(k));
+                let func = ShardedKvTaskFunction::new(store, tables);
+                let report = rt.run_tasks(func.pending_tasks(KV_SHARDED_FUNC_ID, 4).unwrap());
+                assert!(report.crashed, "crash at event {k} must fire");
+                assert!(rt.all_crashed(), "event {k}: whole system down");
+                assert_eq!(
+                    report.crash_site.map(|s| s.region),
+                    Some(CrashRegion::Shard(target)),
+                    "event {k}: kill attributed to the armed shard"
+                );
+            }
+
+            // Phase 2: enumerate recovery-step boundaries j. Every
+            // j below recovery's event footprint crashes the pass; the
+            // first j at or past it completes cleanly — an `Ok` means
+            // the plan never fired, so the enumeration of this k is
+            // done.
+            for j in 0.. {
+                // Rebuild the identical crash-at-k state from scratch
+                // (one worker, unshuffled tasks: fully deterministic).
+                let (control, stripe) = build_enum_system(&ops);
+                {
+                    let (store, tables, rt) = attach_enum_system(&control, &stripe);
+                    stripe
+                        .region(target)
+                        .arm_failpoint(FailPlan::after_events(k));
+                    let func = ShardedKvTaskFunction::new(store, tables);
+                    let report = rt.run_tasks(func.pending_tasks(KV_SHARDED_FUNC_ID, 4).unwrap());
+                    assert!(report.crashed);
+                }
+                let control = control.reopen().unwrap();
+                let stripe = stripe.reopen_all().unwrap();
+
+                // Per-bucket all-or-nothing after the crash: every
+                // published record carries an untorn tag and value
+                // from the workload.
+                let store = ShardedKvStore::open(stripe.regions(), KvVariant::Nsrl).unwrap();
+                for chains in store.snapshot_sharded().unwrap() {
+                    for rec in chains.iter().flatten() {
+                        assert!(rec.key < 8, "crash {k}: phantom key {}", rec.key);
+                        assert_eq!(
+                            rec.value,
+                            rec.key as i64 + 10,
+                            "crash {k}: torn record value"
+                        );
+                    }
+                }
+
+                let (_, _, rt) = attach_enum_system(&control, &stripe);
+                stripe
+                    .region(target)
+                    .arm_failpoint(FailPlan::after_events(j));
+                match rt.recover(RecoveryMode::Parallel) {
+                    Ok(rep) => {
+                        stripe.disarm_all();
+                        // No re-run frames: a completed recovery pass
+                        // leaves nothing for a second one.
+                        assert!(rep.total_frames() <= 1, "one worker, one frame");
+                        assert_eq!(
+                            rt.recover(RecoveryMode::Serial).unwrap().total_frames(),
+                            0,
+                            "crash {k}, step {j}: recovered frames must not re-run"
+                        );
+                        drain_and_check(&control, &stripe, &ops, &format!("crash {k}, step {j}"));
+                        break;
+                    }
+                    Err(e) => {
+                        assert!(e.is_crash(), "crash {k}, step {j}: {e}");
+                        assert!(rt.all_crashed(), "recovery crash must trip all regions");
+                        let control = control.reopen().unwrap();
+                        let stripe = stripe.reopen_all().unwrap();
+                        drain_and_check(&control, &stripe, &ops, &format!("crash {k}, step {j}"));
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- negative controls: deliberately broken recovery --------------
+
+    /// Maps a store's chains into the verifier's witness shape.
+    fn witness_of(store: &ShardedKvStore) -> Vec<Vec<Vec<KvWitnessRecord>>> {
+        store
+            .snapshot_sharded()
+            .unwrap()
+            .into_iter()
+            .map(|chains| {
+                chains
+                    .into_iter()
+                    .map(|chain| {
+                        chain
+                            .into_iter()
+                            .map(|r| KvWitnessRecord {
+                                key: r.key,
+                                value: r.value,
+                                pid: r.pid,
+                                seq: r.seq,
+                                is_delete: r.is_delete,
+                            })
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recovery_into_the_wrong_shard_is_flagged_as_misrouted() {
+        use pstack_verify::KvViolation;
+        // Crash a put mid-flight in its home shard, then "recover" it
+        // by skipping the home shard's evidence scan and re-executing
+        // in the *other* shard's store — the striping invariant breaks
+        // and the sharded verifier must say exactly that.
+        let stripe = PMemBuilder::new()
+            .len(1 << 18)
+            .eager_flush(true)
+            .build_striped(2);
+        let kv = ShardedKvStore::format(stripe.regions(), 8, 64, KvVariant::Nsrl).unwrap();
+        let key = 0u64;
+        let home = kv.shard_of(key);
+        let wrong = 1 - home;
+        stripe.region(home).arm_failpoint(FailPlan::after_events(1));
+        assert!(kv.put(1, 1, key, 42).unwrap_err().is_crash());
+        stripe.crash_all(3, 0.0);
+        let stripe2 = stripe.reopen_all().unwrap();
+        let kv2 = ShardedKvStore::open(stripe2.regions(), KvVariant::Nsrl).unwrap();
+        // The bug: recovery re-executes in a shard the router never
+        // picked, instead of scanning the home shard.
+        assert!(kv2.shard(wrong).recover_put(1, 1, key, 42).unwrap());
+
+        let history = KvShardedHistory {
+            ops: vec![KvOp {
+                pid: 1,
+                seq: 1,
+                kind: KvOpKind::Put,
+                key,
+                value: 42,
+                expected: 0,
+                answer: KvAnswer::Stored(true),
+            }],
+            shards: witness_of(&kv2),
+        };
+        let verdict = check_kv_sharded(&history, |k| shard_of(k, 2));
+        match verdict.violation() {
+            Some(KvViolation::MisroutedKey { shard, home: h, .. }) => {
+                assert_eq!(*shard, wrong);
+                assert_eq!(*h, home);
+            }
+            other => panic!("expected MisroutedKey, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn skipping_the_recovery_scan_entirely_is_flagged_as_lost_update() {
+        use pstack_verify::KvViolation;
+        // Crash a put before anything publishes, then "recover" by
+        // declaring it done without scanning or re-executing — the
+        // answer claims success, no record exists anywhere, and the
+        // verifier must report the lost update.
+        let stripe = PMemBuilder::new()
+            .len(1 << 18)
+            .eager_flush(true)
+            .build_striped(2);
+        let kv = ShardedKvStore::format(stripe.regions(), 8, 64, KvVariant::Nsrl).unwrap();
+        let key = 3u64;
+        let home = kv.shard_of(key);
+        stripe.region(home).arm_failpoint(FailPlan::after_events(0));
+        assert!(kv.put(2, 9, key, 77).unwrap_err().is_crash());
+        stripe.crash_all(5, 0.0);
+        let stripe2 = stripe.reopen_all().unwrap();
+        let kv2 = ShardedKvStore::open(stripe2.regions(), KvVariant::Nsrl).unwrap();
+
+        let history = KvShardedHistory {
+            ops: vec![KvOp {
+                pid: 2,
+                seq: 9,
+                kind: KvOpKind::Put,
+                key,
+                value: 77,
+                expected: 0,
+                answer: KvAnswer::Stored(true), // the skipped-scan lie
+            }],
+            shards: witness_of(&kv2),
+        };
+        let verdict = check_kv_sharded(&history, |k| shard_of(k, 2));
+        match verdict.violation() {
+            Some(KvViolation::LostUpdate { tag }) => assert_eq!(*tag, (2, 9)),
+            other => panic!("expected LostUpdate, got {other:?}"),
+        }
     }
 
     #[test]

@@ -21,7 +21,12 @@
 //! * [`runtime`] — the system of §4.3: a main thread in standard or
 //!   recovery mode, N worker threads with per-thread persistent stacks
 //!   fed from a producer-consumer queue, and parallel recovery that
-//!   walks each stack top-to-bottom calling recover duals.
+//!   walks each stack top-to-bottom calling recover duals. The
+//!   [`StripedRuntime`] variant spans a control region plus a stripe of
+//!   data regions under whole-system crash semantics: a crash in any
+//!   region trips them all, runs are attributed to the tripping region
+//!   ([`CrashSite`]), and recovery fans per-shard preludes out before
+//!   replaying interrupted frames.
 //! * [`txn`] — the transactional for-loop of Appendix A.1 as a reusable
 //!   combinator: one persistent frame per item, crash ⇒ reverse-order
 //!   rollback, commit at the final unwind.
@@ -43,7 +48,8 @@ pub use frame::{FrameMeta, ParsedFrame, MARKER_FRAME_END, MARKER_STACK_END};
 pub use invoke::{recover_stack, ChildStatus, PContext, RetBytes, StackRecovery};
 pub use registry::{FnPair, FunctionRegistry, RecoverableFunction, DUMMY_FUNC_ID};
 pub use runtime::{
-    RecoveryMode, RecoveryReport, RunReport, Runtime, RuntimeConfig, Task, TaskQueue,
+    CrashRegion, CrashSite, RecoveryMode, RecoveryReport, RunReport, Runtime, RuntimeConfig,
+    StripedRuntime, Task, TaskQueue,
 };
 pub use stack::{
     FixedStack, FlushPolicy, FrameRecord, ListStack, PersistentStack, ReturnSlot, StackKind,

@@ -3,9 +3,50 @@
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
+use parking_lot::Mutex;
+
 use crate::invoke::PContext;
 use crate::runtime::queue::{Task, TaskQueue};
 use crate::runtime::Runtime;
+
+/// Which NVRAM region of a (possibly multi-region) runtime a crash was
+/// first observed in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashRegion {
+    /// The runtime's own region (superblock, worker stacks, heap).
+    Runtime,
+    /// Data region `i` of the stripe a
+    /// [`StripedRuntime`](crate::runtime::StripedRuntime) spans.
+    Shard(usize),
+}
+
+impl std::fmt::Display for CrashRegion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CrashRegion::Runtime => write!(f, "runtime region"),
+            CrashRegion::Shard(i) => write!(f, "shard region {i}"),
+        }
+    }
+}
+
+/// Attribution of a whole-system crash: the region whose failure
+/// tripped it, plus that region's persistence-event counter at the
+/// moment it died (the counter freezes at the crash, so it records
+/// exactly how far the region got — the "op counter" campaign logs
+/// attribute kills by).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashSite {
+    /// The region the crash originated in.
+    pub region: CrashRegion,
+    /// The region's persistence-event count at the crash.
+    pub events: u64,
+}
+
+impl std::fmt::Display for CrashSite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} after {} events", self.region, self.events)
+    }
+}
 
 /// Outcome of one standard-mode run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -19,6 +60,11 @@ pub struct RunReport {
     /// `true` if a crash interrupted the run: the region is now in the
     /// crashed state and must be reopened and recovered.
     pub crashed: bool,
+    /// Where the crash originated, when one interrupted the run. For a
+    /// single-region [`Runtime`] this is always the runtime's own
+    /// region; a [`StripedRuntime`](crate::runtime::StripedRuntime)
+    /// attributes the crash to whichever data region tripped it.
+    pub crash_site: Option<CrashSite>,
 }
 
 impl Runtime {
@@ -44,17 +90,45 @@ impl Runtime {
     /// (the paper's main thread does exactly this). The caller must
     /// eventually [`TaskQueue::close`] the queue.
     pub fn run_queue(&self, queue: &TaskQueue) -> RunReport {
+        self.run_queue_sited(queue, &|| CrashSite {
+            region: CrashRegion::Runtime,
+            events: self.pmem().events(),
+        })
+    }
+
+    /// The engine behind [`Runtime::run_queue`], with a pluggable crash
+    /// locator. The first worker to observe a crash invokes `locate`
+    /// exactly once — a [`StripedRuntime`](crate::runtime::StripedRuntime)
+    /// uses the hook to attribute the crash to the region that tripped
+    /// it *and* to propagate the failure to every other region, so all
+    /// workers unwind at their next NVRAM access (the whole-system
+    /// crash model of §2.2).
+    pub(crate) fn run_queue_sited(
+        &self,
+        queue: &TaskQueue,
+        locate: &(dyn Fn() -> CrashSite + Sync),
+    ) -> RunReport {
         let completed = AtomicUsize::new(0);
         let task_errors = AtomicUsize::new(0);
         let crashed = AtomicBool::new(false);
+        let crash_site: Mutex<Option<CrashSite>> = Mutex::new(None);
+        let note_crash = |crashed: &AtomicBool| {
+            if !crashed.swap(true, Ordering::SeqCst) {
+                *crash_site.lock() = Some(locate());
+            }
+        };
         let user_root = match self.user_root() {
             Ok(r) => r,
-            Err(_) => {
+            Err(e) => {
+                if e.is_crash() {
+                    note_crash(&crashed);
+                }
                 return RunReport {
                     completed: 0,
                     task_errors: 0,
                     crashed: true,
-                }
+                    crash_site: crash_site.into_inner(),
+                };
             }
         };
 
@@ -64,12 +138,13 @@ impl Runtime {
                 let completed = &completed;
                 let task_errors = &task_errors;
                 let crashed = &crashed;
+                let note_crash = &note_crash;
                 let body = move || {
                     let mut stack = match self.open_stack(pid) {
                         Ok(s) => s,
                         Err(e) => {
                             if e.is_crash() {
-                                crashed.store(true, Ordering::SeqCst);
+                                note_crash(crashed);
                             }
                             return;
                         }
@@ -88,7 +163,7 @@ impl Runtime {
                                 completed.fetch_add(1, Ordering::Relaxed);
                             }
                             Err(e) if e.is_crash() => {
-                                crashed.store(true, Ordering::SeqCst);
+                                note_crash(crashed);
                                 // The worker dies here, like a killed
                                 // process: frames stay for recovery.
                                 return;
@@ -121,6 +196,7 @@ impl Runtime {
             completed: completed.load(Ordering::Relaxed),
             task_errors: task_errors.load(Ordering::Relaxed),
             crashed: crashed.load(Ordering::SeqCst),
+            crash_site: crash_site.into_inner(),
         }
     }
 }
@@ -167,6 +243,7 @@ mod tests {
         assert_eq!(report.completed, 64);
         assert_eq!(report.task_errors, 0);
         assert!(!report.crashed);
+        assert_eq!(report.crash_site, None);
         let root = rt.user_root().unwrap();
         for i in 0..64u64 {
             assert_eq!(pmem.read_u64(root + i * 8).unwrap(), i + 1000);
@@ -224,6 +301,12 @@ mod tests {
         assert!(report.crashed);
         assert!(report.completed < 200);
         assert!(pmem.is_crashed());
+        // The crash is attributed to the runtime's own region, at the
+        // exact (frozen) event counter the fail-point fired on.
+        let site = report.crash_site.expect("crash must carry a site");
+        assert_eq!(site.region, CrashRegion::Runtime);
+        assert_eq!(site.events, pmem.events());
+        assert!(site.events > 0);
     }
 
     #[test]

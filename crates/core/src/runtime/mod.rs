@@ -21,10 +21,12 @@
 mod exec;
 mod queue;
 mod recovery;
+mod striped;
 
-pub use exec::RunReport;
+pub use exec::{CrashRegion, CrashSite, RunReport};
 pub use queue::{Task, TaskQueue};
 pub use recovery::{RecoveryMode, RecoveryReport};
+pub use striped::StripedRuntime;
 
 use pstack_heap::PHeap;
 use pstack_nvram::{PMem, POffset};

@@ -5,12 +5,12 @@
 
 use std::sync::Arc;
 
-use pstack_core::{PContext, PError, RecoverableFunction, RetBytes};
+use pstack_core::{PContext, PError, RecoverableFunction, RetBytes, Task};
 use pstack_heap::PHeap;
 use pstack_nvram::{PMem, POffset};
 
 use crate::shard::{shard_of, ShardedKvStore};
-use crate::store::PKvStore;
+use crate::store::{KvBatchOp, PKvStore};
 
 /// Function id under which [`KvTaskFunction`] is registered.
 pub const KV_TASK_FUNC_ID: u64 = 0x0FFD;
@@ -514,8 +514,12 @@ impl RecoverableFunction for KvTaskFunction {
 /// the shard's own region via [`ShardedKvStore::heap`]), so executing,
 /// answering and recovering a descriptor touches exactly one shard:
 /// workers driving different shards never contend on a region lock.
-/// Arguments name a descriptor as `(shard, index)`
-/// ([`ShardedKvTaskFunction::args_for`]); the operation tag is
+/// Arguments name either a single descriptor, `(shard, index)`
+/// ([`ShardedKvTaskFunction::args_for`]), or a **batch window**,
+/// `(shard, start, count)`
+/// ([`ShardedKvTaskFunction::batch_args_for`]) — a whole group commit
+/// executed under one persistent frame, which is how sharded batches
+/// ride the stack-driven recovery path. The operation tag is
 /// `(worker pid, (shard << 32) | (index + 1))`, globally unique across
 /// shards so the sharded verifier can match records to operations.
 #[derive(Clone)]
@@ -556,6 +560,64 @@ impl ShardedKvTaskFunction {
         b
     }
 
+    /// Encodes a **batch window** — descriptors `start..start + count`
+    /// of shard `shard`'s table — as task arguments. The window runs as
+    /// *one* persistent-stack task: gets resolve directly, mutations go
+    /// through the shard's group commit ([`PKvStore::apply_batch`] in a
+    /// normal run, its evidence-scanning dual
+    /// [`PKvStore::recover_batch`] when the frame is replayed), and all
+    /// answers persist with one coalesced
+    /// [`KvOpTable::mark_done_batch`]. Already-completed descriptors
+    /// inside the window are skipped, so replaying the frame after a
+    /// crash is idempotent.
+    #[must_use]
+    pub fn batch_args_for(shard: u32, start: u32, count: u32) -> [u8; 12] {
+        let mut b = [0u8; 12];
+        b[..4].copy_from_slice(&shard.to_le_bytes());
+        b[4..8].copy_from_slice(&start.to_le_bytes());
+        b[8..].copy_from_slice(&count.to_le_bytes());
+        b
+    }
+
+    /// Builds one [`Task`] per still-pending window of every shard's
+    /// table, registered under `func_id`: each shard's pending
+    /// descriptors are chunked into groups of at most `batch`
+    /// (consecutive in table order), and each chunk becomes a batch
+    /// window spanning it. With `batch <= 1` every pending descriptor
+    /// gets its own single-op task instead. This is the re-enqueue
+    /// step of the §5.2 loop, sharded: a driver calls it after every
+    /// restart and feeds the tasks to `run_tasks`.
+    ///
+    /// # Errors
+    ///
+    /// Propagated NVRAM errors.
+    pub fn pending_tasks(&self, func_id: u64, batch: usize) -> Result<Vec<Task>, PError> {
+        let mut tasks = Vec::new();
+        for (shard, table) in self.tables.iter().enumerate() {
+            let shard = shard as u32;
+            let pending = table.pending()?;
+            if batch <= 1 {
+                tasks.extend(
+                    pending
+                        .iter()
+                        .map(|&idx| Task::new(func_id, Self::args_for(shard, idx as u32).to_vec())),
+                );
+                continue;
+            }
+            for chunk in pending.chunks(batch) {
+                let (Some(&first), Some(&last)) = (chunk.first(), chunk.last()) else {
+                    continue;
+                };
+                let count = (last - first + 1) as u32;
+                tasks.push(Task::new(
+                    func_id,
+                    Self::batch_args_for(shard, first as u32, count).to_vec(),
+                ));
+            }
+        }
+        Ok(tasks)
+    }
+
     /// Partitions a global operation list into per-shard descriptor
     /// lists by key routing, so each shard's table only names keys the
     /// shard owns. Returns `nshards` lists (some possibly empty).
@@ -568,13 +630,33 @@ impl ShardedKvTaskFunction {
         out
     }
 
+    /// [`ShardedKvTaskFunction::partition_ops`], with every idle shard
+    /// padded by a harmless get on a key it owns — [`KvOpTable`]s must
+    /// be non-empty, and keeping the pad key home-routed keeps the
+    /// routing invariant checkable on every table.
+    #[must_use]
+    pub fn partition_ops_padded(ops: &[KvTaskOp], nshards: usize) -> Vec<Vec<KvTaskOp>> {
+        let mut per_shard = Self::partition_ops(ops, nshards);
+        for (s, shard_ops) in per_shard.iter_mut().enumerate() {
+            if shard_ops.is_empty() {
+                let key = (0..)
+                    .find(|&k| shard_of(k, nshards) == s)
+                    .expect("router is total");
+                shard_ops.push(KvTaskOp::Get { key });
+            }
+        }
+        per_shard
+    }
+
     /// The globally unique operation tag of descriptor `(shard, idx)`.
     #[must_use]
     pub fn seq_of(shard: u32, idx: usize) -> u64 {
         (u64::from(shard) << 32) | (idx as u64 + 1)
     }
 
-    fn parse_args(args: &[u8]) -> Result<(u32, usize), PError> {
+    /// Decodes `(shard, index, count)`: 8-byte args name one
+    /// descriptor (`count == 1`), 12-byte args a batch window.
+    fn parse_args(args: &[u8]) -> Result<(u32, usize, usize), PError> {
         let bytes: [u8; 8] = args
             .get(..8)
             .and_then(|s| s.try_into().ok())
@@ -583,7 +665,16 @@ impl ShardedKvTaskFunction {
             })?;
         let shard = u32::from_le_bytes(bytes[..4].try_into().expect("slice length"));
         let idx = u32::from_le_bytes(bytes[4..].try_into().expect("slice length"));
-        Ok((shard, idx as usize))
+        let count = match args.len() {
+            8 => 1,
+            12 => u32::from_le_bytes(args[8..].try_into().expect("slice length")) as usize,
+            _ => {
+                return Err(PError::Task(
+                    "sharded KV task arguments must be 8 bytes (one op) or 12 (a window)".into(),
+                ))
+            }
+        };
+        Ok((shard, idx as usize, count.max(1)))
     }
 
     fn run(
@@ -634,17 +725,110 @@ impl ShardedKvTaskFunction {
         table.mark_done(idx, ctx.pid as u32, result)?;
         Ok(KvTaskFunction::encode_answer(result))
     }
+
+    /// Executes a batch window (descriptors `start..start + count` of
+    /// one shard, clamped to the table) as one group commit: gets
+    /// resolve immediately, mutations stage into the shard's
+    /// [`PKvStore::apply_batch`] (or its [`PKvStore::recover_batch`]
+    /// dual when the frame is replayed after a crash), and every answer
+    /// persists through one coalesced [`KvOpTable::mark_done_batch`].
+    /// Completed descriptors are skipped, so replays are idempotent.
+    /// Returns the number of descriptors this execution completed.
+    fn run_window(
+        &self,
+        ctx: &mut PContext<'_>,
+        shard: u32,
+        start: usize,
+        count: usize,
+        recovery: bool,
+    ) -> Result<Option<RetBytes>, PError> {
+        let table = self.tables.get(shard as usize).ok_or_else(|| {
+            PError::Task(format!(
+                "shard {shard} out of range ({} shards)",
+                self.tables.len()
+            ))
+        })?;
+        let pstore = self.store.shard(shard as usize);
+        let pid = ctx.pid as u64;
+        let end = start.saturating_add(count).min(table.len());
+        let mut answers: Vec<(usize, u32, KvTaskResult)> = Vec::new();
+        let mut staged: Vec<(usize, KvBatchOp)> = Vec::new();
+        for idx in start..end {
+            if table.result(idx)?.is_some() {
+                continue; // answer already durable: never re-run
+            }
+            let seq = Self::seq_of(shard, idx);
+            match table.op(idx)? {
+                KvTaskOp::Get { key } => {
+                    answers.push((idx, ctx.pid as u32, KvTaskResult::Got(pstore.get(key)?)));
+                }
+                KvTaskOp::Put { key, value } => staged.push((
+                    idx,
+                    KvBatchOp::Put {
+                        pid,
+                        seq,
+                        key,
+                        value,
+                    },
+                )),
+                KvTaskOp::Delete { key } => staged.push((idx, KvBatchOp::Delete { pid, seq, key })),
+                KvTaskOp::Cas { key, expected, new } => staged.push((
+                    idx,
+                    KvBatchOp::Cas {
+                        pid,
+                        seq,
+                        key,
+                        expected,
+                        new,
+                    },
+                )),
+            }
+        }
+        if !staged.is_empty() {
+            let ops: Vec<KvBatchOp> = staged.iter().map(|&(_, op)| op).collect();
+            let outcomes = if recovery {
+                pstore.recover_batch(&ops)?
+            } else {
+                pstore.apply_batch(&ops)?
+            };
+            for (&(idx, op), outcome) in staged.iter().zip(outcomes) {
+                let result = match op {
+                    KvBatchOp::Put { .. } => KvTaskResult::Stored(outcome.took_effect()),
+                    KvBatchOp::Delete { .. } => KvTaskResult::Deleted(outcome.took_effect()),
+                    KvBatchOp::Cas { .. } => KvTaskResult::Swapped(outcome.took_effect()),
+                };
+                answers.push((idx, ctx.pid as u32, result));
+            }
+        }
+        table.mark_done_batch(&answers)?;
+        let mut b = [0u8; 8];
+        b[0] = 6; // window marker, distinct from single-op answers
+        b[1..5].copy_from_slice(&(answers.len() as u32).to_le_bytes());
+        Ok(Some(b))
+    }
+
+    fn dispatch(
+        &self,
+        ctx: &mut PContext<'_>,
+        args: &[u8],
+        recovery: bool,
+    ) -> Result<Option<RetBytes>, PError> {
+        let (shard, idx, count) = Self::parse_args(args)?;
+        if count == 1 {
+            self.run(ctx, shard, idx, recovery)
+        } else {
+            self.run_window(ctx, shard, idx, count, recovery)
+        }
+    }
 }
 
 impl RecoverableFunction for ShardedKvTaskFunction {
     fn call(&self, ctx: &mut PContext<'_>, args: &[u8]) -> Result<Option<RetBytes>, PError> {
-        let (shard, idx) = Self::parse_args(args)?;
-        self.run(ctx, shard, idx, false)
+        self.dispatch(ctx, args, false)
     }
 
     fn recover(&self, ctx: &mut PContext<'_>, args: &[u8]) -> Result<Option<RetBytes>, PError> {
-        let (shard, idx) = Self::parse_args(args)?;
-        self.run(ctx, shard, idx, true)
+        self.dispatch(ctx, args, true)
     }
 }
 
@@ -877,18 +1061,11 @@ mod tests {
             .eager_flush(true)
             .build_striped(nshards);
         let store = ShardedKvStore::format(stripe.regions(), 8, 128, KvVariant::Nsrl).unwrap();
-        let tables: Vec<KvOpTable> = ShardedKvTaskFunction::partition_ops(ops, nshards)
+        let tables: Vec<KvOpTable> = ShardedKvTaskFunction::partition_ops_padded(ops, nshards)
             .iter()
             .enumerate()
             .map(|(s, shard_ops)| {
-                // Keep every table non-empty so format succeeds; pad
-                // idle shards with a harmless get.
-                let padded = if shard_ops.is_empty() {
-                    vec![KvTaskOp::Get { key: 0 }]
-                } else {
-                    shard_ops.clone()
-                };
-                KvOpTable::format(stripe.region(s).clone(), store.heap(s), &padded).unwrap()
+                KvOpTable::format(stripe.region(s).clone(), store.heap(s), shard_ops).unwrap()
             })
             .collect();
         let main = PMemBuilder::new()
@@ -964,9 +1141,247 @@ mod tests {
         let args = ShardedKvTaskFunction::args_for(3, 7);
         assert_eq!(
             ShardedKvTaskFunction::parse_args(&args).unwrap(),
-            (3, 7usize)
+            (3, 7usize, 1)
+        );
+        let args = ShardedKvTaskFunction::batch_args_for(2, 5, 4);
+        assert_eq!(
+            ShardedKvTaskFunction::parse_args(&args).unwrap(),
+            (2, 5usize, 4)
+        );
+        // A zero count degrades to a single op; odd lengths are errors.
+        let args = ShardedKvTaskFunction::batch_args_for(2, 5, 0);
+        assert_eq!(
+            ShardedKvTaskFunction::parse_args(&args).unwrap(),
+            (2, 5usize, 1)
         );
         assert!(ShardedKvTaskFunction::parse_args(&[0; 4]).is_err());
+        assert!(ShardedKvTaskFunction::parse_args(&[0; 10]).is_err());
+    }
+
+    /// Buffered-stripe fixture for the batch-window paths.
+    fn sharded_buffered_fixture(
+        ops: &[KvTaskOp],
+        nshards: usize,
+    ) -> (
+        pstack_nvram::PMemStripe,
+        PMem,
+        PHeap,
+        ShardedKvStore,
+        Vec<KvOpTable>,
+    ) {
+        use pstack_nvram::PMemBuilder;
+        let stripe = PMemBuilder::new().len(1 << 18).build_striped(nshards);
+        let store = ShardedKvStore::format(stripe.regions(), 8, 128, KvVariant::Nsrl).unwrap();
+        let tables: Vec<KvOpTable> = ShardedKvTaskFunction::partition_ops_padded(ops, nshards)
+            .iter()
+            .enumerate()
+            .map(|(s, shard_ops)| {
+                KvOpTable::format(stripe.region(s).clone(), store.heap(s), shard_ops).unwrap()
+            })
+            .collect();
+        let main = PMemBuilder::new()
+            .len(1 << 18)
+            .eager_flush(true)
+            .build_in_memory();
+        let heap = PHeap::format(main.clone(), POffset::new(8192), (1 << 18) - 8192).unwrap();
+        (stripe, main, heap, store, tables)
+    }
+
+    #[test]
+    fn batch_window_group_commits_and_answers_in_one_pass() {
+        let nshards = 2usize;
+        let mut ops: Vec<KvTaskOp> = (0..16u64)
+            .map(|key| KvTaskOp::Put {
+                key,
+                value: key as i64 + 1,
+            })
+            .collect();
+        ops.push(KvTaskOp::Get { key: 3 });
+        let (_stripe, main, heap, store, tables) = sharded_buffered_fixture(&ops, nshards);
+        let f = ShardedKvTaskFunction::new(store.clone(), tables.clone());
+        let mut registry = FunctionRegistry::new();
+        registry
+            .register(KV_SHARDED_FUNC_ID, f.clone().into_arc())
+            .unwrap();
+        let mut stack = FixedStack::format(main.clone(), POffset::new(0), 4096).unwrap();
+        let mut ctx = PContext::new(
+            main.clone(),
+            heap,
+            &registry,
+            &mut stack,
+            0,
+            POffset::new(64),
+        );
+        // One window per shard covering the whole table.
+        for (s, table) in tables.iter().enumerate() {
+            let ret = ctx
+                .call(
+                    KV_SHARDED_FUNC_ID,
+                    &ShardedKvTaskFunction::batch_args_for(s as u32, 0, table.len() as u32),
+                )
+                .unwrap()
+                .unwrap();
+            assert_eq!(ret[0], 6, "window answers carry the window marker");
+            assert_eq!(
+                u32::from_le_bytes(ret[1..5].try_into().unwrap()) as usize,
+                table.len()
+            );
+            assert!(table.pending().unwrap().is_empty(), "shard {s} drained");
+        }
+        assert_eq!(store.contents().unwrap().len(), 16);
+        // Exactly one group commit per shard whose window staged
+        // mutations — the batch rode the persistent-stack task.
+        for (s, epoch) in store.flush_epochs().unwrap().into_iter().enumerate() {
+            assert!(epoch <= 1, "shard {s} must commit its window at most once");
+        }
+        // A replayed window is a no-op: answers are durable.
+        let before = store.log_reserved_per_shard().unwrap();
+        ctx.call(
+            KV_SHARDED_FUNC_ID,
+            &ShardedKvTaskFunction::batch_args_for(0, 0, tables[0].len() as u32),
+        )
+        .unwrap();
+        assert_eq!(store.log_reserved_per_shard().unwrap(), before);
+    }
+
+    #[test]
+    fn batch_window_crash_points_recover_exactly_once() {
+        // Enumerate every shard-region crash point inside one batch
+        // window; the recover dual (evidence scan + recover_batch) must
+        // complete each op exactly once from every intermediate state.
+        use pstack_nvram::FailPlan;
+        let nshards = 2usize;
+        let shard = 0u32;
+        let ops: Vec<KvTaskOp> = (0..12u64)
+            .map(|key| KvTaskOp::Put {
+                key,
+                value: key as i64 + 50,
+            })
+            .collect();
+
+        // Clean run: count the shard region's events for one window.
+        let (stripe, main, heap, store, tables) = sharded_buffered_fixture(&ops, nshards);
+        let window = tables[shard as usize].len() as u32;
+        let f = ShardedKvTaskFunction::new(store.clone(), tables.clone());
+        let mut registry = FunctionRegistry::new();
+        registry.register(KV_SHARDED_FUNC_ID, f.into_arc()).unwrap();
+        let mut stack = FixedStack::format(main.clone(), POffset::new(0), 4096).unwrap();
+        let e0 = stripe.region(shard as usize).events();
+        {
+            let mut ctx = PContext::new(main, heap, &registry, &mut stack, 0, POffset::new(64));
+            ctx.call(
+                KV_SHARDED_FUNC_ID,
+                &ShardedKvTaskFunction::batch_args_for(shard, 0, window),
+            )
+            .unwrap();
+        }
+        let total = stripe.region(shard as usize).events() - e0;
+        assert!(total >= 3, "stage + publish + answers in the shard region");
+
+        for k in 0..total {
+            let (stripe, main, heap, store, tables) = sharded_buffered_fixture(&ops, nshards);
+            let f = ShardedKvTaskFunction::new(store.clone(), tables.clone());
+            let mut registry = FunctionRegistry::new();
+            registry
+                .register(KV_SHARDED_FUNC_ID, f.clone().into_arc())
+                .unwrap();
+            let mut stack = FixedStack::format(main.clone(), POffset::new(0), 4096).unwrap();
+            stripe
+                .region(shard as usize)
+                .arm_failpoint(FailPlan::after_events(k));
+            {
+                let mut ctx = PContext::new(
+                    main.clone(),
+                    heap,
+                    &registry,
+                    &mut stack,
+                    0,
+                    POffset::new(64),
+                );
+                let err = ctx
+                    .call(
+                        KV_SHARDED_FUNC_ID,
+                        &ShardedKvTaskFunction::batch_args_for(shard, 0, window),
+                    )
+                    .unwrap_err();
+                assert!(err.is_crash(), "crash at shard event {k}");
+            }
+            // Whole-system failure, then the recovery boot.
+            stripe.crash_all(7, 0.0);
+            main.crash_now(7, 0.0);
+            let stripe2 = stripe.reopen_all().unwrap();
+            let main2 = main.reopen().unwrap();
+            let store2 = ShardedKvStore::open(stripe2.regions(), KvVariant::Nsrl).unwrap();
+            let tables2: Vec<KvOpTable> = tables
+                .iter()
+                .enumerate()
+                .map(|(s, t)| KvOpTable::open(stripe2.region(s).clone(), t.base()).unwrap())
+                .collect();
+            let f2 = ShardedKvTaskFunction::new(store2.clone(), tables2.clone());
+            let heap2 = PHeap::open(main2.clone(), POffset::new(8192)).unwrap();
+            let registry2 = FunctionRegistry::new();
+            let mut stack2 = FixedStack::open(main2.clone(), POffset::new(0), 4096).unwrap();
+            let mut ctx2 =
+                PContext::new(main2, heap2, &registry2, &mut stack2, 0, POffset::new(64));
+            f2.recover(
+                &mut ctx2,
+                &ShardedKvTaskFunction::batch_args_for(shard, 0, window),
+            )
+            .unwrap();
+            // Every op of the window applied exactly once.
+            let table = &tables2[shard as usize];
+            assert!(table.pending().unwrap().is_empty(), "crash at {k}");
+            let published: usize = store2.snapshot_sharded().unwrap()[shard as usize]
+                .iter()
+                .map(Vec::len)
+                .sum();
+            assert_eq!(
+                published,
+                table.len(),
+                "crash at {k}: exactly one record per put"
+            );
+        }
+    }
+
+    #[test]
+    fn pending_tasks_cover_exactly_the_pending_descriptors() {
+        let nshards = 2usize;
+        let ops: Vec<KvTaskOp> = (0..10u64)
+            .map(|key| KvTaskOp::Put { key, value: 1 })
+            .collect();
+        let (_stripe, _main, _heap, store, tables) = sharded_buffered_fixture(&ops, nshards);
+        // Complete a couple of descriptors by hand to make the pending
+        // sets sparse.
+        tables[0]
+            .mark_done(0, 0, KvTaskResult::Stored(true))
+            .unwrap();
+        let f = ShardedKvTaskFunction::new(store, tables.clone());
+
+        // batch <= 1: one single-op task per pending descriptor.
+        let singles = f.pending_tasks(KV_SHARDED_FUNC_ID, 1).unwrap();
+        let expected: usize = tables.iter().map(|t| t.pending().unwrap().len()).sum();
+        assert_eq!(singles.len(), expected);
+        assert!(singles.iter().all(|t| t.args.len() == 8));
+
+        // Windows: chunks of ≤ 3 pending descriptors, each window's
+        // range covering exactly its chunk.
+        let windows = f.pending_tasks(KV_SHARDED_FUNC_ID, 3).unwrap();
+        assert!(windows.iter().all(|t| t.args.len() == 12));
+        for (s, table) in tables.iter().enumerate() {
+            let pending = table.pending().unwrap();
+            let shard_windows: Vec<_> = windows
+                .iter()
+                .filter(|t| u32::from_le_bytes(t.args[..4].try_into().unwrap()) as usize == s)
+                .collect();
+            assert_eq!(shard_windows.len(), pending.len().div_ceil(3));
+        }
+        // A drained table contributes nothing.
+        for table in &tables {
+            for idx in table.pending().unwrap() {
+                table.mark_done(idx, 0, KvTaskResult::Stored(true)).unwrap();
+            }
+        }
+        assert!(f.pending_tasks(KV_SHARDED_FUNC_ID, 3).unwrap().is_empty());
     }
 
     #[test]

@@ -88,6 +88,56 @@ impl PMemStripe {
         self.regions.iter().any(PMem::is_crashed)
     }
 
+    /// `true` only when **every** region has crashed — the state a
+    /// whole-system failure leaves behind and the precondition of
+    /// [`PMemStripe::reopen_all`].
+    #[must_use]
+    pub fn all_crashed(&self) -> bool {
+        self.regions.iter().all(PMem::is_crashed)
+    }
+
+    /// Indexes of the regions currently in the crashed state.
+    #[must_use]
+    pub fn crashed_regions(&self) -> Vec<usize> {
+        self.regions
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.is_crashed())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Attribution of a partial failure: the lowest-indexed crashed
+    /// region together with its frozen persistence-event counter (the
+    /// counter stops advancing at the crash, so it records exactly how
+    /// far that region got). `None` while no region has crashed.
+    ///
+    /// Meaningful *before* the failure is propagated stripe-wide: after
+    /// [`PMemStripe::crash_all`] every region is crashed and the lowest
+    /// index no longer identifies the one that tripped first.
+    #[must_use]
+    pub fn crash_site(&self) -> Option<(usize, u64)> {
+        self.regions
+            .iter()
+            .enumerate()
+            .find(|(_, r)| r.is_crashed())
+            .map(|(i, r)| (i, r.events()))
+    }
+
+    /// Per-region persistence-event counters for this boot, in stripe
+    /// order — the denominators campaign logs attribute kills against.
+    #[must_use]
+    pub fn events_per_region(&self) -> Vec<u64> {
+        self.regions.iter().map(PMem::events).collect()
+    }
+
+    /// Removes any armed crash-injection plan from every region.
+    pub fn disarm_all(&self) {
+        for region in &self.regions {
+            region.disarm_failpoint();
+        }
+    }
+
     /// Injects a system failure into every not-yet-crashed region: each
     /// region `i` crashes with survivor seed `seed ^ i`, so the set of
     /// surviving dirty lines is deterministic per `(seed, prob)` across
@@ -219,5 +269,45 @@ mod tests {
     #[should_panic(expected = "at least one region")]
     fn zero_regions_rejected() {
         let _ = PMemBuilder::new().len(1024).build_striped(0);
+    }
+
+    #[test]
+    fn crash_site_attributes_the_first_crashed_region() {
+        let s = stripe(3);
+        assert_eq!(s.crash_site(), None);
+        assert!(s.crashed_regions().is_empty());
+        // Region 1 performs two events, then dies; the others stay up.
+        s.region(1).write_u64(POffset::new(0), 1).unwrap();
+        s.region(1).flush(POffset::new(0), 8).unwrap();
+        s.region(1).crash_now(0, 1.0);
+        assert_eq!(s.crash_site(), Some((1, 2)));
+        assert_eq!(s.crashed_regions(), vec![1]);
+        assert!(s.any_crashed());
+        assert!(!s.all_crashed());
+        // Propagating the failure stripe-wide reaches the all-crashed
+        // state reopen_all requires.
+        s.crash_all(0, 0.0);
+        assert!(s.all_crashed());
+        assert_eq!(s.crashed_regions(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn events_per_region_track_independent_streams() {
+        let s = stripe(2);
+        s.region(0).write_u64(POffset::new(0), 1).unwrap();
+        s.region(0).write_u64(POffset::new(8), 2).unwrap();
+        s.region(1).write_u64(POffset::new(0), 3).unwrap();
+        assert_eq!(s.events_per_region(), vec![2, 1]);
+    }
+
+    #[test]
+    fn disarm_all_clears_every_failpoint() {
+        use crate::FailPlan;
+        let s = stripe(2);
+        s.region(0).arm_failpoint(FailPlan::after_events(5));
+        s.region(1).arm_failpoint(FailPlan::after_events(5));
+        s.disarm_all();
+        assert!(!s.region(0).failpoint_armed());
+        assert!(!s.region(1).failpoint_armed());
     }
 }

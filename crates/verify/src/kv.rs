@@ -360,6 +360,39 @@ impl KvVerdict {
     pub fn is_linearizable(&self) -> bool {
         matches!(self, KvVerdict::Linearizable)
     }
+
+    /// The violation behind a non-linearizable verdict — what negative
+    /// controls assert on (a skipped recovery scan must surface as
+    /// *this particular* violation, not merely as "not linearizable").
+    #[must_use]
+    pub fn violation(&self) -> Option<&KvViolation> {
+        match self {
+            KvVerdict::Linearizable => None,
+            KvVerdict::NotLinearizable { violation } => Some(violation),
+        }
+    }
+}
+
+impl KvViolation {
+    /// The offending operation's `(pid, seq)` tag — every violation
+    /// kind carries one, so campaign logs can name the operation.
+    #[must_use]
+    pub fn tag(&self) -> (u64, u64) {
+        match *self {
+            KvViolation::DuplicateApplication { tag }
+            | KvViolation::PhantomRecord { tag }
+            | KvViolation::KeyMismatch { tag, .. }
+            | KvViolation::WrongRecordKind { tag }
+            | KvViolation::ValueMismatch { tag, .. }
+            | KvViolation::CasExpectationViolated { tag, .. }
+            | KvViolation::DeleteOfAbsentKey { tag }
+            | KvViolation::DeletedValueMismatch { tag, .. }
+            | KvViolation::LostUpdate { tag }
+            | KvViolation::RejectedButApplied { tag }
+            | KvViolation::UnexplainedGet { tag, .. }
+            | KvViolation::MisroutedKey { tag, .. } => tag,
+        }
+    }
 }
 
 fn fail(violation: KvViolation) -> KvVerdict {
@@ -1051,6 +1084,12 @@ mod tests {
         ];
         for v in violations {
             assert!(!v.to_string().is_empty());
+            assert_eq!(v.tag(), (0, 1));
+            let verdict = KvVerdict::NotLinearizable {
+                violation: v.clone(),
+            };
+            assert_eq!(verdict.violation(), Some(&v));
         }
+        assert_eq!(KvVerdict::Linearizable.violation(), None);
     }
 }

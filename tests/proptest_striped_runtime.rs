@@ -1,0 +1,296 @@
+//! Property tests for the multi-region runtime: random
+//! put/delete/cas/get mixes — as single-op tasks and as batch windows —
+//! driven through `StripedRuntime::run_tasks` over a sharded KV store,
+//! with crash injection into random regions (shard or control), checked
+//! two ways:
+//!
+//! * `check_kv_sharded` over the collected history (per-shard chains,
+//!   global tags, key routing);
+//! * a `KvSpec` replay — answer-exact against the sequential map in
+//!   the single-worker, no-crash property, and witness-derived final
+//!   contents in the crashing property.
+//!
+//! # Reproducing failures
+//!
+//! The proptest shim has no shrinking; every case is deterministic per
+//! (test, case index). Knobs:
+//!
+//! * `PROPTEST_SHIM_SEED=<u64>` — perturbs all case seeds (default 0);
+//! * `PROPTEST_CASES=<n>` — cases per property (default 256, lowered
+//!   per-property below).
+//!
+//! A failure message names the case index; re-running with the same
+//! environment replays the identical case.
+
+use proptest::prelude::*;
+
+use pstack::core::{FunctionRegistry, RecoveryMode, RuntimeConfig, StripedRuntime, Task};
+use pstack::kv::{
+    shard_of, KvOpTable, KvTaskOp, KvTaskResult, KvVariant, ShardedKvStore, ShardedKvTaskFunction,
+    KV_SHARDED_FUNC_ID,
+};
+use pstack::nvram::{FailPlan, PMem, PMemBuilder, PMemStripe, POffset};
+use pstack::verify::{
+    check_kv_sharded, KvAnswer, KvOp, KvOpKind, KvShardedHistory, KvSpec, KvWitnessRecord,
+};
+
+const KEY_SPACE: u64 = 12;
+
+fn op_strategy() -> impl Strategy<Value = KvTaskOp> {
+    let key = 0u64..KEY_SPACE;
+    let val = -50i64..50;
+    prop_oneof![
+        4 => (key.clone(), val.clone()).prop_map(|(key, value)| KvTaskOp::Put { key, value }),
+        2 => key.clone().prop_map(|key| KvTaskOp::Get { key }),
+        1 => key.clone().prop_map(|key| KvTaskOp::Delete { key }),
+        2 => (key, val.clone(), val)
+            .prop_map(|(key, expected, new)| KvTaskOp::Cas { key, expected, new }),
+    ]
+}
+
+/// `partition_ops_padded` under a shorter local name: the per-shard op
+/// lists, idle shards padded — their concatenation in shard order is
+/// exactly the order `pending_tasks` emits single-op tasks in.
+fn partition_padded(ops: &[KvTaskOp], shards: usize) -> Vec<Vec<KvTaskOp>> {
+    ShardedKvTaskFunction::partition_ops_padded(ops, shards)
+}
+
+/// Formats the whole system: buffered stripe, one store + table per
+/// shard, a one-worker runtime over a fresh control region. Returns
+/// the regions plus each shard's table base (to re-attach after a
+/// crash).
+fn build_system(per_shard: &[Vec<KvTaskOp>]) -> (PMem, PMemStripe, Vec<POffset>) {
+    let shards = per_shard.len();
+    let stripe = PMemBuilder::new().len(1 << 19).build_striped(shards);
+    let store = ShardedKvStore::format(stripe.regions(), 8, 1024, KvVariant::Nsrl).unwrap();
+    let bases: Vec<POffset> = per_shard
+        .iter()
+        .enumerate()
+        .map(|(s, shard_ops)| {
+            KvOpTable::format(stripe.region(s).clone(), store.heap(s), shard_ops)
+                .unwrap()
+                .base()
+        })
+        .collect();
+    let control = PMemBuilder::new().len(1 << 20).build_in_memory();
+    let stub = FunctionRegistry::new();
+    StripedRuntime::format(
+        control.clone(),
+        stripe.clone(),
+        RuntimeConfig::new(1).stack_capacity(8 * 1024),
+        &stub,
+    )
+    .unwrap();
+    (control, stripe, bases)
+}
+
+fn attach(
+    control: &PMem,
+    stripe: &PMemStripe,
+    bases: &[POffset],
+) -> (ShardedKvStore, Vec<KvOpTable>, StripedRuntime) {
+    let store = ShardedKvStore::open(stripe.regions(), KvVariant::Nsrl).unwrap();
+    let tables: Vec<KvOpTable> = bases
+        .iter()
+        .enumerate()
+        .map(|(s, &base)| KvOpTable::open(stripe.region(s).clone(), base).unwrap())
+        .collect();
+    let mut registry = FunctionRegistry::new();
+    registry
+        .register(
+            KV_SHARDED_FUNC_ID,
+            ShardedKvTaskFunction::new(store.clone(), tables.clone()).into_arc(),
+        )
+        .unwrap();
+    let rt = StripedRuntime::open(control.clone(), stripe.clone(), &registry).unwrap();
+    (store, tables, rt)
+}
+
+/// Tiny xorshift Fisher–Yates, so task schedules vary per case without
+/// pulling an RNG into the facade's dev-dependencies.
+fn shuffle(tasks: &mut [Task], mut seed: u64) {
+    for i in (1..tasks.len()).rev() {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        tasks.swap(i, (seed % (i as u64 + 1)) as usize);
+    }
+}
+
+/// The spec's answer for `op`, applied in place.
+fn spec_answer(spec: &mut KvSpec, op: KvTaskOp) -> KvTaskResult {
+    match op {
+        KvTaskOp::Put { key, value } => KvTaskResult::Stored(spec.put(key, value)),
+        KvTaskOp::Get { key } => KvTaskResult::Got(spec.get(key)),
+        KvTaskOp::Delete { key } => KvTaskResult::Deleted(spec.delete(key)),
+        KvTaskOp::Cas { key, expected, new } => KvTaskResult::Swapped(spec.cas(key, expected, new)),
+    }
+}
+
+/// Builds the verifier history from quiescent tables + chains.
+fn history_of(store: &ShardedKvStore, tables: &[KvOpTable]) -> KvShardedHistory {
+    let shards = store
+        .snapshot_sharded()
+        .unwrap()
+        .into_iter()
+        .map(|chains| {
+            chains
+                .into_iter()
+                .map(|chain| {
+                    chain
+                        .into_iter()
+                        .map(|r| KvWitnessRecord {
+                            key: r.key,
+                            value: r.value,
+                            pid: r.pid,
+                            seq: r.seq,
+                            is_delete: r.is_delete,
+                        })
+                        .collect()
+                })
+                .collect()
+        })
+        .collect();
+    let mut ops = Vec::new();
+    for (s, table) in tables.iter().enumerate() {
+        for idx in 0..table.len() {
+            let answer = table.result(idx).unwrap().expect("table drained");
+            let seq = ShardedKvTaskFunction::seq_of(s as u32, idx);
+            let pid = u64::from(answer.executor);
+            let (kind, key, value, expected, ans) = match (table.op(idx).unwrap(), answer.result) {
+                (KvTaskOp::Put { key, value }, KvTaskResult::Stored(ok)) => {
+                    (KvOpKind::Put, key, value, 0, KvAnswer::Stored(ok))
+                }
+                (KvTaskOp::Get { key }, KvTaskResult::Got(v)) => {
+                    (KvOpKind::Get, key, 0, 0, KvAnswer::Got(v))
+                }
+                (KvTaskOp::Delete { key }, KvTaskResult::Deleted(ok)) => {
+                    (KvOpKind::Delete, key, 0, 0, KvAnswer::Deleted(ok))
+                }
+                (KvTaskOp::Cas { key, expected, new }, KvTaskResult::Swapped(ok)) => {
+                    (KvOpKind::Cas, key, new, expected, KvAnswer::Swapped(ok))
+                }
+                (op, res) => panic!("answer {res:?} does not match op {op:?}"),
+            };
+            ops.push(KvOp {
+                pid,
+                seq,
+                kind,
+                key,
+                value,
+                expected,
+                answer: ans,
+            });
+        }
+    }
+    KvShardedHistory { ops, shards }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Crash-free single-op drive: one worker executes every descriptor
+    /// in shard-table order, so the answers must match a `KvSpec`
+    /// replay in exactly that order, op for op.
+    #[test]
+    fn single_worker_answers_match_the_sequential_spec(
+        ops in proptest::collection::vec(op_strategy(), 1..48),
+        shards in 2usize..=4,
+    ) {
+        let per_shard = partition_padded(&ops, shards);
+        let (control, stripe, bases) = build_system(&per_shard);
+        let (store, tables, rt) = attach(&control, &stripe, &bases);
+        let func = ShardedKvTaskFunction::new(store.clone(), tables.clone());
+        let tasks = func.pending_tasks(KV_SHARDED_FUNC_ID, 1).unwrap();
+        let report = rt.run_tasks(tasks);
+        prop_assert!(!report.crashed);
+        prop_assert_eq!(report.task_errors, 0);
+
+        let mut spec = KvSpec::new();
+        for (s, shard_ops) in per_shard.iter().enumerate() {
+            for (idx, &op) in shard_ops.iter().enumerate() {
+                let expected = spec_answer(&mut spec, op);
+                let got = tables[s].result(idx).unwrap().expect("descriptor done");
+                prop_assert_eq!(got.result, expected, "shard {} descriptor {}", s, idx);
+            }
+        }
+        // Final contents agree with the spec too.
+        for (key, value) in store.contents().unwrap() {
+            prop_assert_eq!(spec.get(key), Some(value));
+        }
+        let verdict = check_kv_sharded(&history_of(&store, &tables), |k| shard_of(k, shards));
+        prop_assert!(verdict.is_linearizable(), "{:?}", verdict);
+    }
+
+    /// Random batch windows + crash injection into random regions: the
+    /// campaign loop in miniature. After every schedule the history
+    /// must pass `check_kv_sharded`, and the store's reported contents
+    /// must equal a `KvSpec` replay of the published witness chains.
+    #[test]
+    fn crashing_schedules_stay_linearizable(
+        ops in proptest::collection::vec(op_strategy(), 1..60),
+        shards in 2usize..=4,
+        batch in 1usize..=6,
+        schedule_seed in 1u64..u64::MAX,
+        kills in proptest::collection::vec((0usize..8, 2u64..50), 0..4),
+    ) {
+        let per_shard = partition_padded(&ops, shards);
+        let (mut control, mut stripe, bases) = build_system(&per_shard);
+        let mut kills = kills.into_iter();
+        let mut rounds = 0usize;
+        loop {
+            rounds += 1;
+            prop_assert!(rounds <= 24, "system failed to drain");
+            let (store, tables, rt) = attach(&control, &stripe, &bases);
+            let func = ShardedKvTaskFunction::new(store.clone(), tables.clone());
+            let mut tasks = func.pending_tasks(KV_SHARDED_FUNC_ID, batch).unwrap();
+            if tasks.is_empty() {
+                let verdict =
+                    check_kv_sharded(&history_of(&store, &tables), |k| shard_of(k, shards));
+                prop_assert!(verdict.is_linearizable(), "{:?}", verdict);
+                // KvSpec replay of the witness chains reproduces the
+                // store's reported contents exactly.
+                let mut spec = KvSpec::new();
+                for chains in store.snapshot_sharded().unwrap() {
+                    for rec in chains.iter().flatten() {
+                        if rec.is_delete {
+                            spec.delete(rec.key);
+                        } else {
+                            spec.put(rec.key, rec.value);
+                        }
+                    }
+                }
+                let contents = store.contents().unwrap();
+                prop_assert_eq!(contents.len(), spec.contents().len());
+                for (key, value) in contents {
+                    prop_assert_eq!(spec.get(key), Some(value));
+                }
+                break;
+            }
+            shuffle(&mut tasks, schedule_seed ^ rounds as u64);
+
+            // Inject this round's kill, if the plan has one left:
+            // region `r % (shards + 1)`, where the extra index is the
+            // control region (the runtime's own stack discipline).
+            if let Some((r, countdown)) = kills.next() {
+                let plan = FailPlan::after_events(countdown);
+                if r % (shards + 1) == shards {
+                    control.arm_failpoint(plan);
+                } else {
+                    stripe.region(r % (shards + 1)).arm_failpoint(plan);
+                }
+            }
+            let report = rt.run_tasks(tasks);
+            stripe.disarm_all();
+            control.disarm_failpoint();
+            if report.crashed {
+                prop_assert!(rt.all_crashed(), "crash must trip every region");
+                prop_assert!(report.crash_site.is_some(), "crash must be attributed");
+                control = control.reopen().unwrap();
+                stripe = stripe.reopen_all().unwrap();
+                let (_, _, rt) = attach(&control, &stripe, &bases);
+                rt.recover(RecoveryMode::Parallel).unwrap();
+            }
+        }
+    }
+}
