@@ -119,12 +119,45 @@ impl ShardLogUsage {
         self.reserved < self.capacity
     }
 
+    /// Free log slots as a fraction of capacity, in `[0, 1]` — **the
+    /// compaction trigger signal**: `1.0` is a fresh log, `0.0` a full
+    /// (read-only) one. A driver compacts a shard when this falls
+    /// under its threshold (`run_compaction_campaign` uses it that
+    /// way; `ShardedKvStore::compact_shard` is the lever it pulls).
+    /// Over-reserved counts (possible only through corruption) clamp
+    /// to `0.0` rather than going negative.
+    #[must_use]
+    pub fn headroom_fraction(&self) -> f64 {
+        if self.capacity == 0 {
+            return 0.0;
+        }
+        self.capacity.saturating_sub(self.reserved) as f64 / self.capacity as f64
+    }
+
     /// `true` if **every** shard in `usage` keeps headroom — the
     /// per-shard check that catches one hot shard turning read-only
     /// even while aggregate usage looks healthy.
     #[must_use]
     pub fn all_have_headroom(usage: &[ShardLogUsage]) -> bool {
         usage.iter().all(ShardLogUsage::has_headroom)
+    }
+
+    /// The shard of `usage` that triggered — or should trigger —
+    /// compaction: the one with the smallest headroom fraction below
+    /// `threshold`. `None` while every shard keeps at least
+    /// `threshold` of its log free. Both campaign reports delegate
+    /// their `compaction_candidate` accessors here.
+    #[must_use]
+    pub fn compaction_candidate(usage: &[ShardLogUsage], threshold: f64) -> Option<usize> {
+        usage
+            .iter()
+            .filter(|u| u.headroom_fraction() < threshold)
+            .min_by(|a, b| {
+                a.headroom_fraction()
+                    .partial_cmp(&b.headroom_fraction())
+                    .expect("headroom fractions are finite")
+            })
+            .map(|u| u.shard)
     }
 
     /// The fullest shard of `usage` (highest reserved/capacity ratio,
@@ -238,18 +271,7 @@ pub(crate) fn build_kv_history(store: &PKvStore, table: &KvOpTable) -> Result<Kv
     let chains: Vec<Vec<KvWitnessRecord>> = store
         .snapshot()?
         .into_iter()
-        .map(|chain| {
-            chain
-                .into_iter()
-                .map(|r| KvWitnessRecord {
-                    key: r.key,
-                    value: r.value,
-                    pid: r.pid,
-                    seq: r.seq,
-                    is_delete: r.is_delete,
-                })
-                .collect()
-        })
+        .map(|chain| chain.into_iter().map(KvWitnessRecord::from).collect())
         .collect();
 
     let mut ops = Vec::with_capacity(table.len());
@@ -442,7 +464,7 @@ pub fn run_kv_campaign(cfg: &KvCampaignConfig) -> Result<KvCampaignReport, PErro
         log_usage: vec![ShardLogUsage {
             shard: 0,
             reserved: store.log_reserved()?,
-            capacity: store.log_capacity(),
+            capacity: store.log_capacity()?,
         }],
     })
 }

@@ -29,6 +29,7 @@
 //! single-operation crash harness used across the test suites.
 
 mod campaign;
+mod compaction_campaign;
 mod crashpoints;
 mod kv_campaign;
 mod sharded_kv_campaign;
@@ -41,6 +42,9 @@ mod killharness;
 mod queue_campaign;
 
 pub use campaign::{run_campaign, CampaignConfig, CampaignReport};
+pub use compaction_campaign::{
+    run_compaction_campaign, CompactionCampaignConfig, CompactionCampaignReport,
+};
 pub use crashpoints::{enumerate_crash_points, CrashScenario, EnumerationReport};
 #[cfg(all(unix, feature = "kill-harness"))]
 pub use killharness::{

@@ -27,14 +27,14 @@ use pstack_kv::{
 };
 use pstack_nvram::{FailPlan, PMem, PMemBuilder, PMemStripe, POffset, StatsSnapshot};
 use pstack_verify::{
-    check_kv_sharded, KvAnswer, KvOp, KvOpKind, KvShardedHistory, KvVerdict, KvWitnessRecord,
+    check_kv_sharded_gen, KvAnswer, KvOp, KvOpKind, KvShardedHistory, KvVerdict, KvWitnessRecord,
 };
 
 use crate::kv_campaign::ShardLogUsage;
 
 /// Where each shard region persists its descriptor-table base (inside
 /// the 64-byte shard root, past the offsets the store itself uses).
-const TABLE_ROOT_OFF: u64 = 40;
+pub(crate) const TABLE_ROOT_OFF: u64 = 40;
 
 /// Configuration of one sharded KV crash campaign.
 #[derive(Debug, Clone, PartialEq)]
@@ -223,6 +223,18 @@ impl ShardedKvCampaignReport {
         ShardLogUsage::tightest(&self.log_usage)
     }
 
+    /// The shard that triggered — or, run with compaction disabled,
+    /// *should* trigger — compaction: the shard whose log headroom
+    /// fraction is smallest and below `threshold`. `None` while every
+    /// shard keeps at least `threshold` of its log free. This is the
+    /// report-side name for the per-shard signal
+    /// ([`ShardLogUsage::headroom_fraction`]) the compaction campaign
+    /// drives `ShardedKvStore::compact_shard` with.
+    #[must_use]
+    pub fn compaction_candidate(&self, threshold: f64) -> Option<usize> {
+        ShardLogUsage::compaction_candidate(&self.log_usage, threshold)
+    }
+
     /// Persist round-trips per mutation descriptor — the group-commit
     /// headline (compare a `group_commit: Some(k)` run against
     /// `None`).
@@ -238,11 +250,22 @@ impl ShardedKvCampaignReport {
 
 /// Generates the workload exactly like the unsharded campaign.
 fn generate_ops(cfg: &ShardedKvCampaignConfig, rng: &mut SmallRng) -> Vec<KvTaskOp> {
-    let (lo, hi) = cfg.value_range;
-    let (p_put, p_get, p_del) = cfg.op_mix;
-    (0..cfg.n_ops)
+    generate_kv_ops(cfg.n_ops, cfg.key_space, cfg.value_range, cfg.op_mix, rng)
+}
+
+/// The shared workload generator (the compaction campaign reuses it).
+pub(crate) fn generate_kv_ops(
+    n_ops: usize,
+    key_space: u64,
+    value_range: (i64, i64),
+    op_mix: (f64, f64, f64),
+    rng: &mut SmallRng,
+) -> Vec<KvTaskOp> {
+    let (lo, hi) = value_range;
+    let (p_put, p_get, p_del) = op_mix;
+    (0..n_ops)
         .map(|_| {
-            let key = rng.random_range(0..cfg.key_space);
+            let key = rng.random_range(0..key_space);
             let roll: f64 = rng.random();
             if roll < p_put {
                 KvTaskOp::Put {
@@ -264,8 +287,10 @@ fn generate_ops(cfg: &ShardedKvCampaignConfig, rng: &mut SmallRng) -> Vec<KvTask
         .collect()
 }
 
-/// Runs the pending descriptors of one shard for one round. Returns
-/// `true` if the shard's region crashed mid-round.
+/// Runs the pending descriptors of one shard for one round (bounded to
+/// `limit` descriptors when given — the compaction campaign bounds
+/// rounds so headroom checks interleave with traffic). Returns `true`
+/// if the shard's region crashed mid-round.
 ///
 /// Gets resolve immediately; mutations collect into chunks that go
 /// through the shard's group commit — `apply_batch` in a normal round,
@@ -275,17 +300,21 @@ fn generate_ops(cfg: &ShardedKvCampaignConfig, rng: &mut SmallRng) -> Vec<KvTask
 /// chunk's answers persist with one coalesced `mark_done_batch`. An
 /// eager stripe degenerates to per-op durability inside the same
 /// structure.
-fn run_shard_round(
+pub(crate) fn run_shard_round(
     store: &ShardedKvStore,
     shard: usize,
     table: &KvOpTable,
     batch_size: usize,
     recovery: bool,
     rng: &mut SmallRng,
+    limit: Option<usize>,
 ) -> Result<bool, PError> {
     let crashed = |e: &PError| e.is_crash();
     let mut pending = table.pending()?;
     pending.shuffle(rng);
+    if let Some(limit) = limit {
+        pending.truncate(limit);
+    }
     let pid = shard as u64;
     let pstore = store.shard(shard);
 
@@ -362,7 +391,7 @@ fn run_shard_round(
     Ok(false)
 }
 
-fn open_tables(stripe: &PMemStripe) -> Result<Vec<KvOpTable>, PError> {
+pub(crate) fn open_tables(stripe: &PMemStripe) -> Result<Vec<KvOpTable>, PError> {
     (0..stripe.len())
         .map(|s| {
             let base = stripe.region(s).read_u64(POffset::new(TABLE_ROOT_OFF))?;
@@ -394,15 +423,22 @@ fn finalize_report(
 ) -> Result<ShardedKvCampaignReport, PError> {
     let history = build_sharded_history(store, tables)?;
     let nshards = cfg.shards;
-    let verdict = check_kv_sharded(&history, |key| shard_of(key, nshards));
+    // Shards compact independently, so the verdict checks each shard's
+    // chains against that shard's real active generation.
+    let verdict = check_kv_sharded_gen(
+        &history,
+        |key| shard_of(key, nshards),
+        &store.generations()?,
+    );
     let log_usage = store
         .log_reserved_per_shard()?
         .into_iter()
+        .zip(store.log_capacities()?)
         .enumerate()
-        .map(|(shard, reserved)| ShardLogUsage {
+        .map(|(shard, (reserved, capacity))| ShardLogUsage {
             shard,
             reserved,
-            capacity: store.log_capacity(),
+            capacity,
         })
         .collect();
     Ok(ShardedKvCampaignReport {
@@ -423,7 +459,7 @@ fn finalize_report(
 
 /// Builds the verifier history from the quiescent per-shard tables and
 /// the sharded store's chain witnesses.
-fn build_sharded_history(
+pub(crate) fn build_sharded_history(
     store: &ShardedKvStore,
     tables: &[KvOpTable],
 ) -> Result<KvShardedHistory, PError> {
@@ -433,18 +469,7 @@ fn build_sharded_history(
         .map(|chains| {
             chains
                 .into_iter()
-                .map(|chain| {
-                    chain
-                        .into_iter()
-                        .map(|r| KvWitnessRecord {
-                            key: r.key,
-                            value: r.value,
-                            pid: r.pid,
-                            seq: r.seq,
-                            is_delete: r.is_delete,
-                        })
-                        .collect()
-                })
+                .map(|chain| chain.into_iter().map(KvWitnessRecord::from).collect())
                 .collect()
         })
         .collect();
@@ -635,6 +660,7 @@ pub fn run_sharded_kv_campaign(
                                 batch,
                                 recovery,
                                 &mut shard_rng,
+                                None,
                             ) {
                                 Ok(true) => any_crash = true,
                                 Ok(false) => {}
@@ -850,6 +876,7 @@ fn drive_with_runtime(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pstack_verify::check_kv_sharded;
 
     #[test]
     fn sharded_campaign_is_linearizable_and_crashes_in_batch_windows() {
@@ -943,8 +970,22 @@ mod tests {
                 usage.shard != hot,
                 "only the hot shard fills: {usage}"
             );
+            // The trigger signal: 0.0 for the full shard, a healthy
+            // fraction for the idle ones.
+            if usage.shard == hot {
+                assert_eq!(usage.headroom_fraction(), 0.0, "{usage}");
+            } else {
+                assert!(usage.headroom_fraction() > 0.5, "{usage}");
+            }
         }
         assert_eq!(report.tightest_shard().shard, hot);
+        // The report names the shard that should trigger compaction.
+        assert_eq!(report.compaction_candidate(0.25), Some(hot));
+        assert_eq!(
+            report.compaction_candidate(0.0),
+            None,
+            "threshold 0 never fires"
+        );
     }
 
     #[test]
@@ -1341,18 +1382,7 @@ mod tests {
             .map(|chains| {
                 chains
                     .into_iter()
-                    .map(|chain| {
-                        chain
-                            .into_iter()
-                            .map(|r| KvWitnessRecord {
-                                key: r.key,
-                                value: r.value,
-                                pid: r.pid,
-                                seq: r.seq,
-                                is_delete: r.is_delete,
-                            })
-                            .collect()
-                    })
+                    .map(|chain| chain.into_iter().map(KvWitnessRecord::from).collect())
                     .collect()
             })
             .collect()

@@ -18,6 +18,9 @@ pub const KV_TASK_FUNC_ID: u64 = 0x0FFD;
 /// Function id under which [`ShardedKvTaskFunction`] is registered.
 pub const KV_SHARDED_FUNC_ID: u64 = 0x0FFE;
 
+/// Function id under which [`KvCompactFunction`] is registered.
+pub const KV_COMPACT_FUNC_ID: u64 = 0x0FFC;
+
 const TABLE_MAGIC: u64 = 0x5053_4B56_5441_4231; // "PSKVTAB1"
 const HEADER_LEN: u64 = 16;
 const ENTRY_STRIDE: u64 = 48;
@@ -832,6 +835,105 @@ impl RecoverableFunction for ShardedKvTaskFunction {
     }
 }
 
+/// Compaction as a **recoverable operation** on the persistent stack:
+/// a registered function whose frame survives the crash and whose
+/// recovery dual is an evidence scan over the shard's root cell.
+///
+/// Arguments name `(shard, from_gen)` — the shard to compact and the
+/// generation the requester observed. `call` runs
+/// [`ShardedKvStore::compact_shard`] when the shard still sits at
+/// `from_gen` (and answers without effect when another compaction
+/// already moved it — compaction requests are idempotent maintenance,
+/// not linearizable mutations). `recover` consults the evidence: if the
+/// root cell moved past `from_gen`, the interrupted compaction's swap
+/// committed, so recovery only finishes the idempotent retirement mark;
+/// otherwise the half-built generation block is an unreachable orphan
+/// and the compaction re-executes safely. Either way a crash *anywhere*
+/// inside the rewrite, at the swap, or during post-swap cleanup resumes
+/// or safely abandons — never double-commits — which the crash-point
+/// enumeration test below walks boundary by boundary.
+///
+/// The answer encodes `[9, outcome, gen as le bytes..]` where `outcome`
+/// is 1 if this execution (re-)ran the rewrite and 0 if evidence
+/// short-circuited it, and `gen` is the shard's generation afterwards.
+#[derive(Clone)]
+pub struct KvCompactFunction {
+    store: ShardedKvStore,
+}
+
+impl KvCompactFunction {
+    /// Wraps a sharded store (single stores ride as a 1-shard stripe).
+    #[must_use]
+    pub fn new(store: ShardedKvStore) -> Self {
+        KvCompactFunction { store }
+    }
+
+    /// Convenience: wraps into the `Arc<dyn RecoverableFunction>` shape
+    /// the registry wants.
+    #[must_use]
+    pub fn into_arc(self) -> Arc<dyn RecoverableFunction> {
+        Arc::new(self)
+    }
+
+    /// Encodes a compaction request for shard `shard` observed at
+    /// generation `from_gen` as task arguments.
+    #[must_use]
+    pub fn args_for(shard: u32, from_gen: u64) -> [u8; 12] {
+        let mut b = [0u8; 12];
+        b[..4].copy_from_slice(&shard.to_le_bytes());
+        b[4..].copy_from_slice(&from_gen.to_le_bytes());
+        b
+    }
+
+    fn parse_args(args: &[u8]) -> Result<(usize, u64), PError> {
+        let bytes: [u8; 12] = args.try_into().map_err(|_| {
+            PError::Task("compaction task arguments must hold (shard: u32, from_gen: u64)".into())
+        })?;
+        let shard = u32::from_le_bytes(bytes[..4].try_into().expect("slice length")) as usize;
+        let from_gen = u64::from_le_bytes(bytes[4..].try_into().expect("slice length"));
+        Ok((shard, from_gen))
+    }
+
+    fn answer(ran: bool, gen: u64) -> Option<RetBytes> {
+        let mut b = [0u8; 8];
+        b[0] = 9; // compaction marker, distinct from the op answers
+        b[1] = u8::from(ran);
+        b[2..8].copy_from_slice(&gen.to_le_bytes()[..6]);
+        Some(b)
+    }
+
+    fn dispatch(&self, args: &[u8], recovery: bool) -> Result<Option<RetBytes>, PError> {
+        let (shard, from_gen) = Self::parse_args(args)?;
+        if shard >= self.store.nshards() {
+            return Err(PError::Task(format!(
+                "compaction shard {shard} out of range ({} shards)",
+                self.store.nshards()
+            )));
+        }
+        let ran = if recovery {
+            // The evidence scan decides: resume (finish retirement) or
+            // safely abandon-and-redo.
+            !self.store.recover_compact_shard(shard, from_gen)?
+        } else if self.store.shard(shard).generation()? == from_gen {
+            self.store.compact_shard(shard)?;
+            true
+        } else {
+            false // another compaction already moved the shard
+        };
+        Ok(Self::answer(ran, self.store.shard(shard).generation()?))
+    }
+}
+
+impl RecoverableFunction for KvCompactFunction {
+    fn call(&self, _ctx: &mut PContext<'_>, args: &[u8]) -> Result<Option<RetBytes>, PError> {
+        self.dispatch(args, false)
+    }
+
+    fn recover(&self, _ctx: &mut PContext<'_>, args: &[u8]) -> Result<Option<RetBytes>, PError> {
+        self.dispatch(args, true)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1340,6 +1442,149 @@ mod tests {
                 table.len(),
                 "crash at {k}: exactly one record per put"
             );
+        }
+    }
+
+    #[test]
+    fn compaction_task_runs_and_is_idempotent() {
+        // Compaction as a persistent-stack task: the call path swaps the
+        // generation; a stale request (from_gen already superseded) is a
+        // no-op answer, not a second swap.
+        let ops: Vec<KvTaskOp> = (0..8u64)
+            .map(|key| KvTaskOp::Put { key, value: 1 })
+            .collect();
+        let (_stripe, main, heap, store, _tables) = sharded_buffered_fixture(&ops, 2);
+        for (i, key) in (0..8u64).filter(|&k| shard_of(k, 2) == 0).enumerate() {
+            store.put(0, i as u64 + 1, key, key as i64).unwrap();
+        }
+        let f = KvCompactFunction::new(store.clone());
+        let mut registry = FunctionRegistry::new();
+        registry
+            .register(KV_COMPACT_FUNC_ID, f.clone().into_arc())
+            .unwrap();
+        let mut stack = FixedStack::format(main.clone(), POffset::new(0), 4096).unwrap();
+        let mut ctx = PContext::new(
+            main.clone(),
+            heap,
+            &registry,
+            &mut stack,
+            0,
+            POffset::new(64),
+        );
+        let want = store.contents().unwrap();
+        let ret = ctx
+            .call(KV_COMPACT_FUNC_ID, &KvCompactFunction::args_for(0, 0))
+            .unwrap()
+            .unwrap();
+        assert_eq!(ret[0], 9, "compaction answers carry the marker");
+        assert_eq!(ret[1], 1, "this execution ran the rewrite");
+        assert_eq!(store.generations().unwrap(), vec![1, 0]);
+        assert_eq!(store.contents().unwrap(), want);
+        // Stale request: evidence short-circuits, no second swap.
+        let ret = ctx
+            .call(KV_COMPACT_FUNC_ID, &KvCompactFunction::args_for(0, 0))
+            .unwrap()
+            .unwrap();
+        assert_eq!(ret[1], 0, "stale compaction request must not re-run");
+        assert_eq!(store.generations().unwrap(), vec![1, 0]);
+        // Out-of-range shard is a task error, not a panic.
+        assert!(ctx
+            .call(KV_COMPACT_FUNC_ID, &KvCompactFunction::args_for(9, 0))
+            .is_err());
+    }
+
+    #[test]
+    fn compaction_task_crash_points_resume_or_safely_abandon() {
+        // Crash the compaction task at every persistence event of the
+        // shard's region (inside the rewrite, at the root swap, during
+        // retirement); the frame's recovery dual must leave the shard at
+        // exactly generation 1 — resumed or redone, never double-swapped
+        // — with contents intact.
+        use pstack_nvram::FailPlan;
+        let shard = 0u32;
+        let ops: Vec<KvTaskOp> = (0..8u64)
+            .map(|key| KvTaskOp::Put { key, value: 1 })
+            .collect();
+        let fill = |store: &ShardedKvStore| {
+            for (i, key) in (0..16u64).filter(|&k| shard_of(k, 2) == 0).enumerate() {
+                store.put(0, i as u64 + 1, key, key as i64 + 5).unwrap();
+            }
+        };
+
+        // Clean run: the shard region's event footprint of one task.
+        let (stripe, main, heap, store, _tables) = sharded_buffered_fixture(&ops, 2);
+        fill(&store);
+        let want = store.contents().unwrap();
+        let f = KvCompactFunction::new(store.clone());
+        let mut registry = FunctionRegistry::new();
+        registry.register(KV_COMPACT_FUNC_ID, f.into_arc()).unwrap();
+        let mut stack = FixedStack::format(main.clone(), POffset::new(0), 4096).unwrap();
+        let e0 = stripe.region(shard as usize).events();
+        {
+            let mut ctx = PContext::new(main, heap, &registry, &mut stack, 0, POffset::new(64));
+            ctx.call(KV_COMPACT_FUNC_ID, &KvCompactFunction::args_for(shard, 0))
+                .unwrap();
+        }
+        let total = stripe.region(shard as usize).events() - e0;
+        assert!(total >= 3, "rewrite + swap + retirement in the region");
+
+        for k in 0..total {
+            let (stripe, main, heap, store, _tables) = sharded_buffered_fixture(&ops, 2);
+            fill(&store);
+            let f = KvCompactFunction::new(store.clone());
+            let mut registry = FunctionRegistry::new();
+            registry
+                .register(KV_COMPACT_FUNC_ID, f.clone().into_arc())
+                .unwrap();
+            let mut stack = FixedStack::format(main.clone(), POffset::new(0), 4096).unwrap();
+            stripe
+                .region(shard as usize)
+                .arm_failpoint(FailPlan::after_events(k));
+            {
+                let mut ctx = PContext::new(
+                    main.clone(),
+                    heap,
+                    &registry,
+                    &mut stack,
+                    0,
+                    POffset::new(64),
+                );
+                let err = ctx
+                    .call(KV_COMPACT_FUNC_ID, &KvCompactFunction::args_for(shard, 0))
+                    .unwrap_err();
+                assert!(err.is_crash(), "crash at shard event {k}");
+            }
+            // Whole-system failure, then the recovery dual.
+            stripe.crash_all(3, 0.0);
+            main.crash_now(3, 0.0);
+            let stripe2 = stripe.reopen_all().unwrap();
+            let main2 = main.reopen().unwrap();
+            let store2 = ShardedKvStore::open(stripe2.regions(), KvVariant::Nsrl).unwrap();
+            let f2 = KvCompactFunction::new(store2.clone());
+            let heap2 = PHeap::open(main2.clone(), POffset::new(8192)).unwrap();
+            let registry2 = FunctionRegistry::new();
+            let mut stack2 = FixedStack::open(main2.clone(), POffset::new(0), 4096).unwrap();
+            let mut ctx2 =
+                PContext::new(main2, heap2, &registry2, &mut stack2, 0, POffset::new(64));
+            let ret = f2
+                .recover(&mut ctx2, &KvCompactFunction::args_for(shard, 0))
+                .unwrap()
+                .unwrap();
+            assert_eq!(ret[0], 9);
+            assert_eq!(
+                store2.shard(shard as usize).generation().unwrap(),
+                1,
+                "crash at {k}: resumed or redone, never double-swapped"
+            );
+            assert_eq!(store2.contents().unwrap(), want, "crash at {k}");
+            let gens = store2.shard(shard as usize).generations().unwrap();
+            assert!(gens[0].retired, "crash at {k}: retirement finished");
+            // A second recovery pass is a no-op.
+            let ret = f2
+                .recover(&mut ctx2, &KvCompactFunction::args_for(shard, 0))
+                .unwrap()
+                .unwrap();
+            assert_eq!(ret[1], 0, "crash at {k}: recovery is idempotent");
         }
     }
 

@@ -77,8 +77,10 @@ mod shard;
 mod store;
 
 pub use funcs::{
-    KvOpTable, KvTaskAnswer, KvTaskFunction, KvTaskOp, KvTaskResult, ShardedKvTaskFunction,
-    KV_SHARDED_FUNC_ID, KV_TASK_FUNC_ID,
+    KvCompactFunction, KvOpTable, KvTaskAnswer, KvTaskFunction, KvTaskOp, KvTaskResult,
+    ShardedKvTaskFunction, KV_COMPACT_FUNC_ID, KV_SHARDED_FUNC_ID, KV_TASK_FUNC_ID,
 };
 pub use shard::{shard_of, KvBatch, ShardedKvStore};
-pub use store::{KvApplied, KvBatchOp, KvVariant, PKvStore, VersionRecord};
+pub use store::{
+    CompactionStats, GenerationInfo, KvApplied, KvBatchOp, KvVariant, PKvStore, VersionRecord,
+};

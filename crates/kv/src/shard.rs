@@ -32,7 +32,9 @@ use pstack_core::PError;
 use pstack_heap::PHeap;
 use pstack_nvram::{PMem, POffset};
 
-use crate::store::{mix, KvApplied, KvBatchOp, KvVariant, PKvStore, VersionRecord};
+use crate::store::{
+    mix, CompactionStats, KvApplied, KvBatchOp, KvVariant, PKvStore, VersionRecord,
+};
 
 const SHARD_MAGIC: u64 = 0x5053_4B56_5348_4431; // "PSKVSHD1"
 
@@ -341,11 +343,60 @@ impl ShardedKvStore {
         self.shards.iter().map(PKvStore::log_reserved).collect()
     }
 
-    /// Per-shard lifetime version-log capacity (uniform by
-    /// construction).
-    #[must_use]
-    pub fn log_capacity(&self) -> u64 {
-        self.shards[0].log_capacity()
+    /// Per-shard **active-generation** version-log capacities. Uniform
+    /// at format time; per-shard compactions may grow them
+    /// independently.
+    ///
+    /// # Errors
+    ///
+    /// Propagated NVRAM errors.
+    pub fn log_capacities(&self) -> Result<Vec<u64>, PError> {
+        self.shards.iter().map(PKvStore::log_capacity).collect()
+    }
+
+    /// Per-shard active generation numbers (0 until a shard's first
+    /// compaction).
+    ///
+    /// # Errors
+    ///
+    /// Propagated NVRAM errors.
+    pub fn generations(&self) -> Result<Vec<u64>, PError> {
+        self.shards.iter().map(PKvStore::generation).collect()
+    }
+
+    /// Compacts shard `i` into a fresh generation — the per-shard
+    /// generational swap ([`PKvStore::compact`]) fed from the shard's
+    /// own heap, so one hot shard's log rewrite never touches (or
+    /// serializes with) the other shards' regions. Drive it off the
+    /// per-shard headroom signal
+    /// (`ShardLogUsage::headroom_fraction` in `pstack-chaos`).
+    ///
+    /// # Errors
+    ///
+    /// A propagated crash (recover with
+    /// [`ShardedKvStore::recover_compact_shard`] after restart); heap
+    /// exhaustion in the shard's region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= nshards()`.
+    pub fn compact_shard(&self, i: usize) -> Result<CompactionStats, PError> {
+        self.shards[i].compact(&self.heaps[i])
+    }
+
+    /// The evidence-scanning recovery dual of
+    /// [`ShardedKvStore::compact_shard`]; see
+    /// [`PKvStore::recover_compact`].
+    ///
+    /// # Errors
+    ///
+    /// See [`PKvStore::recover_compact`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= nshards()`.
+    pub fn recover_compact_shard(&self, i: usize, from_gen: u64) -> Result<bool, PError> {
+        self.shards[i].recover_compact(&self.heaps[i], from_gen)
     }
 
     /// Per-shard flush epochs (completed group commits).
@@ -655,11 +706,47 @@ mod tests {
         }
         assert!(!kv.put(0, 99, hot[0], 2).unwrap(), "hot shard is read-only");
         let reserved = kv.log_reserved_per_shard().unwrap();
-        assert_eq!(reserved[0], kv.log_capacity());
-        assert!(reserved[1] < kv.log_capacity(), "cold shard keeps headroom");
+        let caps = kv.log_capacities().unwrap();
+        assert_eq!(reserved[0], caps[0]);
+        assert!(reserved[1] < caps[1], "cold shard keeps headroom");
         // A key routed to shard 1 still stores fine.
         let cold = (0..).find(|&k| shard_of(k, 2) == 1).unwrap();
         assert!(kv.put(0, 100, cold, 3).unwrap());
+    }
+
+    #[test]
+    fn hot_shard_compaction_unbricks_only_that_shard() {
+        // PR 5's headline at the shard level: the hot shard fills, goes
+        // read-only, compacts into a fresh generation, and accepts
+        // strictly more than its original capacity — while the cold
+        // shard never leaves generation 0.
+        let stripe = eager_stripe(2);
+        let kv = ShardedKvStore::format(stripe.regions(), 4, 8, KvVariant::Nsrl).unwrap();
+        let hot_keys: Vec<u64> = (0..).filter(|&k| shard_of(k, 2) == 0).take(4).collect();
+        let mut seq = 0u64;
+        let mut applied = 0u64;
+        for round in 0..10u64 {
+            for &key in &hot_keys {
+                seq += 1;
+                if kv.shard(0).log_reserved().unwrap() >= kv.log_capacities().unwrap()[0] {
+                    let stats = kv.compact_shard(0).unwrap();
+                    assert!(stats.carried <= 4);
+                }
+                assert!(kv.put(0, seq, key, round as i64).unwrap(), "seq {seq}");
+                applied += 1;
+            }
+        }
+        assert_eq!(applied, 40, "5× the original 8-slot capacity");
+        assert!(kv.generations().unwrap()[0] > 0, "hot shard swapped");
+        assert_eq!(kv.generations().unwrap()[1], 0, "cold shard untouched");
+        for &key in &hot_keys {
+            assert_eq!(kv.get(key).unwrap(), Some(9));
+        }
+        // Recovery dual at the shard level: already-committed swaps are
+        // recognized by the evidence scan.
+        let gen = kv.generations().unwrap()[0];
+        assert!(kv.recover_compact_shard(0, gen - 1).unwrap());
+        assert_eq!(kv.generations().unwrap()[0], gen, "no duplicate swap");
     }
 
     #[test]

@@ -1,20 +1,28 @@
-//! The persistent hash-indexed key-value store.
+//! The persistent hash-indexed key-value store, with a **generational**
+//! version log.
 //!
 //! See the crate-level documentation for the design rationale. The
-//! persistent layout, starting at the heap allocation's base:
+//! store is rooted at a small fixed block whose generation pointer (a
+//! [`RootCell`]) names the active generation; each generation is a
+//! self-contained bucket-array + version-log block:
 //!
 //! ```text
-//! header (64 B): magic, bucket count, log capacity, log tail,
-//!                flush epoch
-//! buckets:       nbuckets × 8 B   — absolute offset of the newest
+//! root (128 B):  magic, bucket count, flush epoch,
+//!                RootCell (seq = generation number, ptr = block base)
+//!
+//! generation block (heap-allocated, 64-aligned):
+//!   header (64 B): magic, number, log capacity, log tail,
+//!                  prev-generation base, state, carried count
+//!   buckets:       nbuckets × 8 B — absolute offset of the newest
 //!                                   record of each chain (0 = empty)
-//! version log:   log_cap × 64 B   — immutable records, 64-aligned
+//!   version log:   log_cap × 64 B — immutable records, 64-aligned
 //! ```
 //!
 //! A record occupies the first 48 bytes of its 64-byte slot:
 //!
 //! ```text
-//! 0      kind   (0 = unpublished, 1 = PUT, 2 = DELETE)
+//! 0      kind   (0 = unpublished, 1 = PUT, 2 = DELETE,
+//!                3 = carried PUT — a compaction copy of a live record)
 //! 8..16  key
 //! 16..24 value  (the stored value; for DELETE, the value removed)
 //! 24..32 pid    (writer's process id)
@@ -26,6 +34,47 @@
 //! every field is durable, so no crash moment can expose a torn
 //! record. Reserved-but-unpublished slots are orphans: invisible to
 //! lookups, scans and the verifier alike.
+//!
+//! # Compaction: the generational log
+//!
+//! A generation's log is append-only and lifetime-bounded (the
+//! recoverable-queue trade: records are evidence, so they are never
+//! recycled in place). [`PKvStore::compact`] lifts the lifetime bound
+//! without touching that argument: it rewrites the **live** bucket
+//! heads — the newest non-delete record of each key, O(live keys)
+//! persists, not O(history) — into a freshly allocated generation
+//! block as `carried` records (kind 3, original `(pid, seq)` tags
+//! preserved), persists the block with one coalesced flush, and then
+//! commits with a single [`RootCell::swap`]. The selector flip is the
+//! *only* commit point: a crash anywhere before it recovers into the
+//! old generation (the half-built block is an unreachable orphan); a
+//! crash anywhere after it recovers into the new one. Old generations
+//! are retained, marked retired, and chained via their `prev` pointer:
+//!
+//! * recovery evidence scans ([`PKvStore::recover_put`] & friends)
+//!   walk the key's chain **across generations**, so an operation that
+//!   published before a compaction is never re-executed after one —
+//!   and a carried record is itself evidence (it is a copy of the
+//!   original published record, tag included);
+//! * [`PKvStore::chain`]/[`PKvStore::snapshot`] return the full
+//!   multi-generation witness (oldest generation first), which is what
+//!   `pstack-verify`'s generation-aware checkers validate: carried
+//!   records must reproduce exactly the live state at the boundary,
+//!   and no live key may be dropped by a swap.
+//!
+//! Crash-recovering an *interrupted* compaction is an evidence scan
+//! too ([`PKvStore::recover_compact`]): if the root cell already moved
+//! past the starting generation, the compaction committed (recovery
+//! just finishes the idempotent retirement mark); otherwise it is
+//! safely re-executed from the current state.
+//!
+//! Compaction serializes on the region's advisory lock, so it cannot
+//! interleave with a batched store's group commits. Eager stores run
+//! lock-free mutations; their callers must not race `compact` with
+//! in-flight mutations on the *same* store (the sharded drive's
+//! one-owner-per-shard discipline provides this for free).
+//!
+//! [`RootCell`]: pstack_nvram::RootCell
 //!
 //! # Commit modes
 //!
@@ -49,22 +98,40 @@
 
 use pstack_core::PError;
 use pstack_heap::PHeap;
-use pstack_nvram::{PMem, POffset};
+use pstack_nvram::{PMem, POffset, RootCell};
 use std::collections::BTreeMap;
 
-const KV_MAGIC: u64 = 0x5053_4B56_5354_4F31; // "PSKVSTO1"
-const HEADER_LEN: u64 = 64;
+const KV_MAGIC: u64 = 0x5053_4B56_5354_4F32; // "PSKVSTO2" (generational)
 const RECORD_STRIDE: u64 = 64;
 const RECORD_LEN: usize = 48;
 
+/// Root block: magic, bucket count, flush epoch, then the generation
+/// pointer cell at [`OFF_GEN_CELL`].
+const ROOT_LEN: u64 = 128;
 const OFF_MAGIC: u64 = 0;
 const OFF_NBUCKETS: u64 = 8;
-const OFF_LOG_CAP: u64 = 16;
-const OFF_LOG_TAIL: u64 = 24;
-const OFF_FLUSH_EPOCH: u64 = 32;
+const OFF_FLUSH_EPOCH: u64 = 16;
+const OFF_GEN_CELL: u64 = 64;
+
+/// Generation block header.
+const GEN_MAGIC: u64 = 0x5053_4B56_4745_4E31; // "PSKVGEN1"
+const GEN_HEADER_LEN: u64 = 64;
+const GEN_OFF_MAGIC: u64 = 0;
+const GEN_OFF_NUMBER: u64 = 8;
+const GEN_OFF_LOG_CAP: u64 = 16;
+const GEN_OFF_LOG_TAIL: u64 = 24;
+const GEN_OFF_PREV: u64 = 32;
+const GEN_OFF_STATE: u64 = 40;
+const GEN_OFF_CARRIED: u64 = 48;
+
+const GEN_STATE_ACTIVE: u64 = 1;
+const GEN_STATE_RETIRED: u64 = 2;
 
 const KIND_PUT: u8 = 1;
 const KIND_DEL: u8 = 2;
+/// A compaction carry-over: a copy of a live PUT (or effective CAS)
+/// record, original tag preserved.
+const KIND_CARRY: u8 = 3;
 
 /// Which recovery procedure the store runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -118,6 +185,80 @@ pub struct VersionRecord {
     pub seq: u64,
     /// `true` for a DELETE record, `false` for a PUT record.
     pub is_delete: bool,
+    /// `true` for a compaction carry-over (a copy of a live record made
+    /// by [`PKvStore::compact`], original tag preserved) — not a new
+    /// application of its operation.
+    pub compacted: bool,
+    /// The generation whose log holds this record.
+    pub gen: u64,
+}
+
+/// The canonical bridge into the verifier's witness shape — every
+/// harness that feeds `check_kv[_sharded][_gen]` maps snapshots
+/// through this one conversion, so a new record field cannot be
+/// silently dropped by one of them.
+impl From<VersionRecord> for pstack_verify::KvWitnessRecord {
+    fn from(r: VersionRecord) -> Self {
+        pstack_verify::KvWitnessRecord {
+            key: r.key,
+            value: r.value,
+            pid: r.pid,
+            seq: r.seq,
+            is_delete: r.is_delete,
+            compacted: r.compacted,
+            gen: r.gen,
+        }
+    }
+}
+
+/// One generation of the store, as reported by
+/// [`PKvStore::generations`] (oldest first).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GenerationInfo {
+    /// The generation number (0 = the generation `format` created).
+    pub number: u64,
+    /// The generation's log capacity in records.
+    pub log_cap: u64,
+    /// Log slots reserved in this generation (published plus orphans).
+    pub reserved: u64,
+    /// Carry-over records the compactor seeded this generation with.
+    pub carried: u64,
+    /// `true` once a later generation superseded this one.
+    pub retired: bool,
+}
+
+/// What one [`PKvStore::compact`] run did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactionStats {
+    /// The generation that was compacted away.
+    pub from_gen: u64,
+    /// The freshly committed generation.
+    pub to_gen: u64,
+    /// Live records carried over (the compactor's persist bill is
+    /// O(this), not O(history)).
+    pub carried: u64,
+    /// Old-generation log slots whose history the new generation does
+    /// not repeat (superseded versions, deletes, orphans).
+    pub dropped: u64,
+    /// The new generation's log capacity.
+    pub new_capacity: u64,
+}
+
+impl CompactionStats {
+    /// Headroom the swap opened up: free slots in the new generation.
+    #[must_use]
+    pub fn headroom(&self) -> u64 {
+        self.new_capacity - self.carried
+    }
+}
+
+/// A loaded generation descriptor (volatile; re-read from the root
+/// cell on every operation so handles never go stale across swaps).
+#[derive(Debug, Clone, Copy)]
+struct Gen {
+    base: u64,
+    number: u64,
+    log_cap: u64,
 }
 
 /// Outcome of the internal append loop.
@@ -283,8 +424,8 @@ impl KvBatchOp {
 pub struct PKvStore {
     pmem: PMem,
     base: POffset,
+    cell: RootCell,
     nbuckets: u64,
-    log_cap: u64,
     variant: KvVariant,
     /// Commit mode, inferred from the region: `true` = eager (§5
     /// cache-less NVRAM, lock-free per-op CAS), `false` = batched (the
@@ -306,18 +447,33 @@ pub(crate) fn mix(key: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Bytes of the fixed prefix (header + bucket array) of a generation
+/// block, rounded so the log starts 64-aligned.
+fn gen_prefix_len(nbuckets: u64) -> u64 {
+    round64(GEN_HEADER_LEN + nbuckets * 8)
+}
+
+/// Bytes of a whole generation block.
+fn gen_block_len(nbuckets: u64, log_cap: u64) -> u64 {
+    gen_prefix_len(nbuckets) + log_cap * RECORD_STRIDE
+}
+
 impl PKvStore {
-    /// Bytes of NVRAM the store needs for `nbuckets` buckets and a
-    /// `log_cap`-record version log.
+    /// Bytes of NVRAM the store needs for its root block plus one
+    /// generation of `nbuckets` buckets and a `log_cap`-record version
+    /// log. Every [`PKvStore::compact`] allocates one further
+    /// generation block from the heap.
     #[must_use]
     pub fn required_len(nbuckets: u64, log_cap: u64) -> usize {
-        (round64(HEADER_LEN + nbuckets * 8) + log_cap * RECORD_STRIDE) as usize
+        (ROOT_LEN + gen_block_len(nbuckets, log_cap)) as usize
     }
 
-    /// Allocates and persists an empty store. `log_cap` bounds the
-    /// store's *lifetime* mutation count (records are never recycled —
-    /// the same trade the recoverable queue makes to keep recovery a
-    /// scan; compaction is future work).
+    /// Allocates and persists an empty store. `log_cap` bounds one
+    /// *generation's* mutation count (records are never recycled in
+    /// place — the same trade the recoverable queue makes to keep
+    /// recovery a scan); [`PKvStore::compact`] rewrites the live heads
+    /// into a fresh generation when the log runs out of headroom, so
+    /// the store's lifetime write count is unbounded.
     ///
     /// An `eager_flush` region yields an eager store (§5's cache-less
     /// NVRAM, lock-free per-op CAS); a buffered region yields a batched
@@ -340,17 +496,42 @@ impl PKvStore {
                 "KV store needs at least one bucket and one log slot".into(),
             ));
         }
-        let len = Self::required_len(nbuckets, log_cap);
-        let base = heap.alloc_aligned(len, 64)?;
-        pmem.fill(base, 0, len)?;
+        let base = heap.alloc_aligned(ROOT_LEN as usize, 64)?;
+        pmem.fill(base, 0, ROOT_LEN as usize)?;
         pmem.write_u64(base + OFF_NBUCKETS, nbuckets)?;
-        pmem.write_u64(base + OFF_LOG_CAP, log_cap)?;
         pmem.write_u64(base + OFF_MAGIC, KV_MAGIC)?;
+        let gen0 = Self::format_generation(&pmem, heap, nbuckets, log_cap, 0, 0)?;
         if !pmem.is_eager_flush() {
-            // Batched store: nothing above was durable yet.
-            pmem.flush(base, len)?;
+            // Batched store: make root + generation 0 durable before
+            // the cell (formatted below, self-persisting) names them.
+            pmem.flush(base, ROOT_LEN as usize)?;
+            pmem.flush(POffset::new(gen0), gen_prefix_len(nbuckets) as usize)?;
         }
-        Ok(Self::assemble(pmem, base, nbuckets, log_cap, variant))
+        let cell = RootCell::format(pmem.clone(), base + OFF_GEN_CELL, 0, gen0)?;
+        Ok(Self::assemble(pmem, base, cell, nbuckets, variant))
+    }
+
+    /// Writes an empty generation block's header (state ACTIVE, tail 0)
+    /// and zeroes its bucket array. Log slots are left untouched: they
+    /// are unreachable until reserved, written in full and published.
+    /// Volatile on a buffered region — the caller persists.
+    fn format_generation(
+        pmem: &PMem,
+        heap: &PHeap,
+        nbuckets: u64,
+        log_cap: u64,
+        number: u64,
+        prev: u64,
+    ) -> Result<u64, PError> {
+        let len = gen_block_len(nbuckets, log_cap) as usize;
+        let base = heap.alloc_aligned(len, 64)?;
+        pmem.fill(base, 0, gen_prefix_len(nbuckets) as usize)?;
+        pmem.write_u64(base + GEN_OFF_NUMBER, number)?;
+        pmem.write_u64(base + GEN_OFF_LOG_CAP, log_cap)?;
+        pmem.write_u64(base + GEN_OFF_PREV, prev)?;
+        pmem.write_u64(base + GEN_OFF_STATE, GEN_STATE_ACTIVE)?;
+        pmem.write_u64(base + GEN_OFF_MAGIC, GEN_MAGIC)?;
+        Ok(base.get())
     }
 
     /// Re-attaches to a store previously created at `base` (recovery
@@ -359,7 +540,8 @@ impl PKvStore {
     ///
     /// # Errors
     ///
-    /// [`PError::CorruptStack`] on a bad magic word.
+    /// [`PError::CorruptStack`] on a bad magic word (root or active
+    /// generation).
     pub fn open(pmem: PMem, base: POffset, variant: KvVariant) -> Result<Self, PError> {
         let magic = pmem.read_u64(base + OFF_MAGIC)?;
         if magic != KV_MAGIC {
@@ -368,26 +550,53 @@ impl PKvStore {
             )));
         }
         let nbuckets = pmem.read_u64(base + OFF_NBUCKETS)?;
-        let log_cap = pmem.read_u64(base + OFF_LOG_CAP)?;
-        Ok(Self::assemble(pmem, base, nbuckets, log_cap, variant))
+        let cell = RootCell::open(pmem.clone(), base + OFF_GEN_CELL)
+            .map_err(|e| PError::CorruptStack(format!("KV store root cell at {base}: {e}")))?;
+        let store = Self::assemble(pmem, base, cell, nbuckets, variant);
+        store.active_gen()?; // validates the active generation's magic
+        Ok(store)
     }
 
     fn assemble(
         pmem: PMem,
         base: POffset,
+        cell: RootCell,
         nbuckets: u64,
-        log_cap: u64,
         variant: KvVariant,
     ) -> Self {
         let eager = pmem.is_eager_flush();
         PKvStore {
             pmem,
             base,
+            cell,
             nbuckets,
-            log_cap,
             variant,
             eager,
         }
+    }
+
+    /// Loads the active generation from the root cell. Re-read on every
+    /// operation (reads are free of persistence events), so clones and
+    /// independently opened handles observe a compaction swap
+    /// immediately.
+    fn active_gen(&self) -> Result<Gen, PError> {
+        let (number, base) = self
+            .cell
+            .current()
+            .map_err(|e| PError::CorruptStack(format!("KV store root cell: {e}")))?;
+        let off = POffset::new(base);
+        let magic = self.pmem.read_u64(off + GEN_OFF_MAGIC)?;
+        if magic != GEN_MAGIC {
+            return Err(PError::CorruptStack(format!(
+                "bad KV generation magic {magic:#x} at {off} (generation {number})"
+            )));
+        }
+        let log_cap = self.pmem.read_u64(off + GEN_OFF_LOG_CAP)?;
+        Ok(Gen {
+            base,
+            number,
+            log_cap,
+        })
     }
 
     /// The store's base offset (persist it to find the store again).
@@ -402,10 +611,24 @@ impl PKvStore {
         self.nbuckets
     }
 
-    /// Lifetime version-log capacity in records.
-    #[must_use]
-    pub fn log_capacity(&self) -> u64 {
-        self.log_cap
+    /// The **active generation's** version-log capacity in records.
+    /// Compaction may grow it; within one generation it is fixed.
+    ///
+    /// # Errors
+    ///
+    /// Propagated NVRAM errors.
+    pub fn log_capacity(&self) -> Result<u64, PError> {
+        Ok(self.active_gen()?.log_cap)
+    }
+
+    /// The active generation's number (0 until the first successful
+    /// [`PKvStore::compact`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagated NVRAM errors.
+    pub fn generation(&self) -> Result<u64, PError> {
+        Ok(self.active_gen()?.number)
     }
 
     /// The recovery variant this handle runs.
@@ -414,13 +637,17 @@ impl PKvStore {
         self.variant
     }
 
-    /// Log slots reserved so far (published plus crash orphans).
+    /// Log slots reserved so far in the **active generation**
+    /// (published records, carry-overs and crash orphans).
     ///
     /// # Errors
     ///
     /// Propagated NVRAM errors.
     pub fn log_reserved(&self) -> Result<u64, PError> {
-        Ok(self.pmem.read_u64(self.base + OFF_LOG_TAIL)?)
+        let gen = self.active_gen()?;
+        Ok(self
+            .pmem
+            .read_u64(POffset::new(gen.base + GEN_OFF_LOG_TAIL))?)
     }
 
     /// `true` for an eager store (per-op durability on a cache-less
@@ -445,20 +672,24 @@ impl PKvStore {
         Ok(self.pmem.read_u64(self.base + OFF_FLUSH_EPOCH)?)
     }
 
-    fn bucket_off(&self, key: u64) -> POffset {
+    fn bucket_off(&self, gen: &Gen, key: u64) -> POffset {
         let b = mix(key) % self.nbuckets;
-        self.base + (HEADER_LEN + b * 8)
+        self.bucket_off_at(gen, b)
     }
 
-    fn record_off(&self, idx: u64) -> u64 {
-        self.base.get() + round64(HEADER_LEN + self.nbuckets * 8) + idx * RECORD_STRIDE
+    fn bucket_off_at(&self, gen: &Gen, bucket: u64) -> POffset {
+        POffset::new(gen.base + GEN_HEADER_LEN + bucket * 8)
     }
 
-    fn read_record(&self, off: u64) -> Result<(VersionRecord, u64), PError> {
+    fn record_off(&self, gen: &Gen, idx: u64) -> u64 {
+        gen.base + gen_prefix_len(self.nbuckets) + idx * RECORD_STRIDE
+    }
+
+    fn read_record(&self, off: u64, gen_number: u64) -> Result<(VersionRecord, u64), PError> {
         let mut b = [0u8; RECORD_LEN];
         self.pmem.read(POffset::new(off), &mut b)?;
         let kind = b[0];
-        if kind != KIND_PUT && kind != KIND_DEL {
+        if kind != KIND_PUT && kind != KIND_DEL && kind != KIND_CARRY {
             return Err(PError::CorruptStack(format!(
                 "published KV record at {off:#x} has kind {kind}"
             )));
@@ -469,16 +700,19 @@ impl PKvStore {
             pid: u64::from_le_bytes(b[24..32].try_into().expect("slice length")),
             seq: u64::from_le_bytes(b[32..40].try_into().expect("slice length")),
             is_delete: kind == KIND_DEL,
+            compacted: kind == KIND_CARRY,
+            gen: gen_number,
         };
         let next = u64::from_le_bytes(b[40..48].try_into().expect("slice length"));
         Ok((rec, next))
     }
 
     /// Walks a chain from `head` for `key`: the newest record decides.
-    fn lookup_from(&self, head: u64, key: u64) -> Result<Option<i64>, PError> {
+    /// (Carry-overs are copies of live PUTs, so they decide like PUTs.)
+    fn lookup_from(&self, head: u64, key: u64, gen_number: u64) -> Result<Option<i64>, PError> {
         let mut off = head;
         while off != 0 {
-            let (rec, next) = self.read_record(off)?;
+            let (rec, next) = self.read_record(off, gen_number)?;
             if rec.key == key {
                 return Ok(if rec.is_delete { None } else { Some(rec.value) });
             }
@@ -487,19 +721,20 @@ impl PKvStore {
         Ok(None)
     }
 
-    /// Reserves one log slot; `None` when the log is exhausted.
-    fn reserve(&self) -> Result<Option<u64>, PError> {
+    /// Reserves one log slot in `gen`; `None` when its log is
+    /// exhausted.
+    fn reserve(&self, gen: &Gen) -> Result<Option<u64>, PError> {
+        let tail = POffset::new(gen.base + GEN_OFF_LOG_TAIL);
         loop {
-            let t = self.pmem.read_u64(self.base + OFF_LOG_TAIL)?;
-            if t >= self.log_cap {
+            let t = self.pmem.read_u64(tail)?;
+            if t >= gen.log_cap {
                 return Ok(None);
             }
-            if self.pmem.compare_exchange(
-                self.base + OFF_LOG_TAIL,
-                &t.to_le_bytes(),
-                &(t + 1).to_le_bytes(),
-            )? {
-                return Ok(Some(self.record_off(t)));
+            if self
+                .pmem
+                .compare_exchange(tail, &t.to_le_bytes(), &(t + 1).to_le_bytes())?
+            {
+                return Ok(Some(self.record_off(gen, t)));
             }
         }
     }
@@ -513,12 +748,13 @@ impl PKvStore {
         key: u64,
         value: i64,
         precond: &Precond,
+        gen_number: u64,
     ) -> Result<Option<i64>, PError> {
         match precond {
             Precond::None => Ok(Some(value)),
-            Precond::Exists => self.lookup_from(head, key),
+            Precond::Exists => self.lookup_from(head, key, gen_number),
             Precond::ValueIs(expected) => {
-                if self.lookup_from(head, key)? == Some(*expected) {
+                if self.lookup_from(head, key, gen_number)? == Some(*expected) {
                     Ok(Some(value))
                 } else {
                     Ok(None)
@@ -553,10 +789,12 @@ impl PKvStore {
     /// precondition against the current chain, write the full record
     /// into a reserved slot, publish it with the bucket-head CAS. A
     /// failed CAS means another mutation intervened — re-check and
-    /// retry. The slot is reserved lazily and at most once; if the
-    /// precondition fails after a slot was reserved, the slot is
-    /// abandoned as an invisible orphan (the price of never recycling
-    /// evidence).
+    /// retry. The slot is reserved lazily and at most once per
+    /// generation; if the precondition fails after a slot was reserved,
+    /// the slot is abandoned as an invisible orphan (the price of never
+    /// recycling evidence). The active generation is re-read on every
+    /// retry, so a slot reserved in a just-retired generation is
+    /// likewise abandoned rather than published.
     fn append(
         &self,
         pid: u64,
@@ -566,18 +804,20 @@ impl PKvStore {
         value: i64,
         precond: &Precond,
     ) -> Result<Append, PError> {
-        let bucket = self.bucket_off(key);
-        let mut slot: Option<u64> = None;
+        // (slot offset, generation base it belongs to)
+        let mut slot: Option<(u64, u64)> = None;
         loop {
+            let gen = self.active_gen()?;
+            let bucket = self.bucket_off(&gen, key);
             let head = self.pmem.read_u64(bucket)?;
-            let Some(value) = self.resolve_value(head, key, value, precond)? else {
+            let Some(value) = self.resolve_value(head, key, value, precond, gen.number)? else {
                 return Ok(Append::PrecondFailed);
             };
             let off = match slot {
-                Some(off) => off,
-                None => match self.reserve()? {
+                Some((off, gbase)) if gbase == gen.base => off,
+                _ => match self.reserve(&gen)? {
                     Some(off) => {
-                        slot = Some(off);
+                        slot = Some((off, gen.base));
                         off
                     }
                     None => return Ok(Append::LogFull),
@@ -657,8 +897,11 @@ impl PKvStore {
             return ops.iter().map(|&op| self.apply_one(op)).collect();
         }
         // Region-scoped (not handle-scoped): any handle opened on this
-        // region — clone or independent `open` — serializes here.
+        // region — clone or independent `open` — serializes here, and so
+        // does `compact`, so the generation loaded below cannot be
+        // swapped out from under the batch.
         let _serialize = self.pmem.advisory_lock();
+        let gen = self.active_gen()?;
         let mut outcomes = vec![KvApplied::PrecondFailed; ops.len()];
         // Per touched bucket: the durable pre-batch head and the staged
         // head the batch will publish.
@@ -670,7 +913,7 @@ impl PKvStore {
         // chain state, reserve slots, write records (volatile).
         for (i, op) in ops.iter().enumerate() {
             let (pid, seq, key, kind, value, precond) = op.parts();
-            let bucket = self.bucket_off(key).get();
+            let bucket = self.bucket_off(&gen, key).get();
             let head = match staged_heads.get(&bucket) {
                 Some(&h) => h,
                 None => {
@@ -679,10 +922,10 @@ impl PKvStore {
                     h
                 }
             };
-            let Some(value) = self.resolve_value(head, key, value, &precond)? else {
+            let Some(value) = self.resolve_value(head, key, value, &precond, gen.number)? else {
                 continue;
             };
-            let Some(off) = self.reserve()? else {
+            let Some(off) = self.reserve(&gen)? else {
                 outcomes[i] = KvApplied::LogFull;
                 continue;
             };
@@ -704,7 +947,8 @@ impl PKvStore {
         // slots consecutive, so [lo, hi] covers exactly this batch.
         self.pmem
             .flush(POffset::new(lo), (hi - lo + RECORD_STRIDE) as usize)?;
-        self.pmem.flush(self.base + OFF_LOG_TAIL, 8)?;
+        self.pmem
+            .flush(POffset::new(gen.base + GEN_OFF_LOG_TAIL), 8)?;
 
         // Phase 3 — publish: flip each touched bucket's head once, to
         // the newest staged record. Intermediate staged heads are never
@@ -744,9 +988,10 @@ impl PKvStore {
     }
 
     /// Stores `value` under `key` as process `pid` with unique tag
-    /// `seq`, inserting or overwriting. Returns `false` if the version
-    /// log's lifetime capacity is exhausted (the store is then
-    /// read-only).
+    /// `seq`, inserting or overwriting. Returns `false` if the active
+    /// generation's version log is exhausted — the store is then
+    /// read-only until [`PKvStore::compact`] swaps in a fresh
+    /// generation.
     ///
     /// # Errors
     ///
@@ -771,8 +1016,9 @@ impl PKvStore {
     ///
     /// Propagated NVRAM errors.
     pub fn get(&self, key: u64) -> Result<Option<i64>, PError> {
-        let head = self.pmem.read_u64(self.bucket_off(key))?;
-        self.lookup_from(head, key)
+        let gen = self.active_gen()?;
+        let head = self.pmem.read_u64(self.bucket_off(&gen, key))?;
+        self.lookup_from(head, key, gen.number)
     }
 
     /// Removes `key` as process `pid` with unique tag `seq`. Returns
@@ -819,16 +1065,78 @@ impl PKvStore {
 
     /// Searches `key`'s published chain for the record tagged
     /// `(pid, seq)` — the evidence scan of the NSRL recovery duals.
+    ///
+    /// The scan spans **every generation** (newest first): an operation
+    /// that published before a compaction must still be recognized
+    /// after one, whether its record survives as a live carry-over in
+    /// the new generation or only in a retired generation's log.
+    /// Without the cross-generation walk, a compact-then-recover
+    /// sequence would re-execute it — a double application the
+    /// verifier flags.
     fn find_tag(&self, key: u64, pid: u64, seq: u64) -> Result<Option<VersionRecord>, PError> {
-        let mut off = self.pmem.read_u64(self.bucket_off(key))?;
-        while off != 0 {
-            let (rec, next) = self.read_record(off)?;
-            if rec.pid == pid && rec.seq == seq {
-                return Ok(Some(rec));
+        let mut gen = self.active_gen()?;
+        loop {
+            let mut off = self.pmem.read_u64(self.bucket_off(&gen, key))?;
+            while off != 0 {
+                let (rec, next) = self.read_record(off, gen.number)?;
+                if rec.pid == pid && rec.seq == seq {
+                    return Ok(Some(rec));
+                }
+                off = next;
             }
+            let prev = self.pmem.read_u64(POffset::new(gen.base + GEN_OFF_PREV))?;
+            if prev == 0 {
+                return Ok(None);
+            }
+            gen = self.load_gen(prev)?;
+        }
+    }
+
+    /// Loads a generation descriptor from its block base, validating
+    /// the magic word.
+    fn load_gen(&self, base: u64) -> Result<Gen, PError> {
+        let off = POffset::new(base);
+        let magic = self.pmem.read_u64(off + GEN_OFF_MAGIC)?;
+        if magic != GEN_MAGIC {
+            return Err(PError::CorruptStack(format!(
+                "bad KV generation magic {magic:#x} at {off}"
+            )));
+        }
+        Ok(Gen {
+            base,
+            number: self.pmem.read_u64(off + GEN_OFF_NUMBER)?,
+            log_cap: self.pmem.read_u64(off + GEN_OFF_LOG_CAP)?,
+        })
+    }
+
+    /// Every generation of the store, oldest first (walking the active
+    /// generation's `prev` chain back to generation 0).
+    fn gens_oldest_first(&self) -> Result<Vec<Gen>, PError> {
+        let mut gens = vec![self.active_gen()?];
+        loop {
+            let last = gens.last().expect("non-empty");
+            let prev = self.pmem.read_u64(POffset::new(last.base + GEN_OFF_PREV))?;
+            if prev == 0 {
+                break;
+            }
+            gens.push(self.load_gen(prev)?);
+        }
+        gens.reverse();
+        Ok(gens)
+    }
+
+    /// One bucket's published chain within one generation, oldest
+    /// record first.
+    fn chain_in_gen(&self, gen: &Gen, bucket: u64) -> Result<Vec<VersionRecord>, PError> {
+        let mut off = self.pmem.read_u64(self.bucket_off_at(gen, bucket))?;
+        let mut out = Vec::new();
+        while off != 0 {
+            let (rec, next) = self.read_record(off, gen.number)?;
+            out.push(rec);
             off = next;
         }
-        Ok(None)
+        out.reverse();
+        Ok(out)
     }
 
     /// Completes an interrupted `put(pid, seq, key, value)`: the
@@ -921,7 +1229,10 @@ impl PKvStore {
         Ok(outcomes)
     }
 
-    /// One bucket's published chain, oldest record first.
+    /// One bucket's published chain, oldest record first, **spanning
+    /// every generation** (retired generations' history first, then the
+    /// active generation's carry-overs and new records). This is the
+    /// witness shape the generation-aware verifier replays.
     ///
     /// # Errors
     ///
@@ -936,20 +1247,16 @@ impl PKvStore {
             "bucket {bucket} out of range ({} buckets)",
             self.nbuckets
         );
-        let mut off = self.pmem.read_u64(self.base + (HEADER_LEN + bucket * 8))?;
         let mut out = Vec::new();
-        while off != 0 {
-            let (rec, next) = self.read_record(off)?;
-            out.push(rec);
-            off = next;
+        for gen in self.gens_oldest_first()? {
+            out.extend(self.chain_in_gen(&gen, bucket)?);
         }
-        out.reverse();
         Ok(out)
     }
 
-    /// Every bucket's published chain (oldest first), in bucket order —
-    /// the linearization witness the KV verifier checks answers
-    /// against.
+    /// Every bucket's published chain (oldest first, spanning every
+    /// generation), in bucket order — the linearization witness the KV
+    /// verifier checks answers against.
     ///
     /// # Errors
     ///
@@ -958,15 +1265,19 @@ impl PKvStore {
         (0..self.nbuckets).map(|b| self.chain(b)).collect()
     }
 
-    /// The store's current contents as an ordinary map.
+    /// The store's current contents as an ordinary map. Replays only
+    /// the **active** generation — its carry-overs capture the live
+    /// state at the last compaction boundary, so retired history is
+    /// redundant here (O(live + recent), not O(lifetime)).
     ///
     /// # Errors
     ///
     /// Propagated NVRAM errors.
     pub fn contents(&self) -> Result<BTreeMap<u64, i64>, PError> {
+        let gen = self.active_gen()?;
         let mut out = BTreeMap::new();
-        for chain in self.snapshot()? {
-            for rec in chain {
+        for b in 0..self.nbuckets {
+            for rec in self.chain_in_gen(&gen, b)? {
                 if rec.is_delete {
                     out.remove(&rec.key);
                 } else {
@@ -975,6 +1286,239 @@ impl PKvStore {
             }
         }
         Ok(out)
+    }
+
+    /// Every generation of the store, oldest first, with its log usage
+    /// and retirement state — campaign reports and benches read this.
+    ///
+    /// # Errors
+    ///
+    /// Propagated NVRAM errors.
+    pub fn generations(&self) -> Result<Vec<GenerationInfo>, PError> {
+        self.gens_oldest_first()?
+            .into_iter()
+            .map(|gen| {
+                let off = POffset::new(gen.base);
+                Ok(GenerationInfo {
+                    number: gen.number,
+                    log_cap: gen.log_cap,
+                    reserved: self.pmem.read_u64(off + GEN_OFF_LOG_TAIL)?,
+                    carried: self.pmem.read_u64(off + GEN_OFF_CARRIED)?,
+                    retired: self.pmem.read_u64(off + GEN_OFF_STATE)? == GEN_STATE_RETIRED,
+                })
+            })
+            .collect()
+    }
+
+    /// Compacts the store: rewrites the live bucket heads into a fresh
+    /// generation and commits it with one persisted root swap. The new
+    /// capacity is the old one, grown to twice the live count if the
+    /// live set has outgrown it. See [`PKvStore::compact_with_capacity`]
+    /// for the full contract.
+    ///
+    /// # Errors
+    ///
+    /// A propagated crash (recover with [`PKvStore::recover_compact`]
+    /// after restart), or heap exhaustion.
+    pub fn compact(&self, heap: &PHeap) -> Result<CompactionStats, PError> {
+        self.compact_with_capacity(heap, None)
+    }
+
+    /// Compacts the store into a fresh generation of `capacity` records
+    /// (`None` = keep the current capacity, grown to twice the live
+    /// count if needed).
+    ///
+    /// The protocol, in persist order:
+    ///
+    /// 1. replay the active generation's chains and collect the newest
+    ///    non-delete record of every key — the live set;
+    /// 2. allocate a fresh generation block from `heap` and write the
+    ///    live records into it as `carried` records (original tags
+    ///    preserved, one chain per bucket), then persist header,
+    ///    buckets and carries with **one coalesced flush** — O(live
+    ///    keys) persist traffic, never O(history);
+    /// 3. commit by swapping the root cell to the new block — the
+    ///    single-line selector flip is the only commit point;
+    /// 4. mark the old generation retired (advisory; recovery repairs
+    ///    it if the crash lands between 3 and 4).
+    ///
+    /// A crash before step 3 leaves the old generation active and the
+    /// half-built block an unreachable orphan; a crash after it leaves
+    /// the new generation active. Either way the store reopens
+    /// consistent, which is what the crash-point enumeration tests
+    /// check boundary by boundary.
+    ///
+    /// Old generations are retained (chained via their `prev` pointer)
+    /// as recovery evidence and verifier witness; only the *active*
+    /// generation is ever written again.
+    ///
+    /// Serializes on the region's advisory lock (so it cannot
+    /// interleave with a batched store's group commits). Callers of an
+    /// **eager** store must not race `compact` with in-flight lock-free
+    /// mutations on the same store.
+    ///
+    /// # Errors
+    ///
+    /// [`PError::InvalidConfig`] if `capacity` cannot hold the live
+    /// set; a propagated crash (recover with
+    /// [`PKvStore::recover_compact`] after restart); heap exhaustion.
+    pub fn compact_with_capacity(
+        &self,
+        heap: &PHeap,
+        capacity: Option<u64>,
+    ) -> Result<CompactionStats, PError> {
+        let _serialize = self.pmem.advisory_lock();
+        self.compact_locked(heap, capacity)
+    }
+
+    /// The compaction body; the caller holds the advisory lock.
+    fn compact_locked(
+        &self,
+        heap: &PHeap,
+        capacity: Option<u64>,
+    ) -> Result<CompactionStats, PError> {
+        let gen = self.active_gen()?;
+
+        // Step 1 — the live set, per bucket in ascending key order
+        // (deterministic carry layout).
+        let mut live: Vec<Vec<VersionRecord>> = Vec::with_capacity(self.nbuckets as usize);
+        let mut live_total = 0u64;
+        for b in 0..self.nbuckets {
+            let mut newest: BTreeMap<u64, VersionRecord> = BTreeMap::new();
+            for rec in self.chain_in_gen(&gen, b)? {
+                newest.insert(rec.key, rec);
+            }
+            let keep: Vec<VersionRecord> = newest.into_values().filter(|r| !r.is_delete).collect();
+            live_total += keep.len() as u64;
+            live.push(keep);
+        }
+        let new_cap = match capacity {
+            Some(cap) => {
+                if cap < live_total {
+                    return Err(PError::InvalidConfig(format!(
+                        "compaction capacity {cap} cannot hold {live_total} live records"
+                    )));
+                }
+                cap
+            }
+            None => gen.log_cap.max(live_total * 2),
+        };
+
+        // Step 2 — build the new generation: header + buckets zeroed,
+        // carries written slot by slot, all volatile on a buffered
+        // region until the single coalesced flush below.
+        let nb = Self::format_generation(
+            &self.pmem,
+            heap,
+            self.nbuckets,
+            new_cap,
+            gen.number + 1,
+            gen.base,
+        )?;
+        let new_gen = Gen {
+            base: nb,
+            number: gen.number + 1,
+            log_cap: new_cap,
+        };
+        let mut slot = 0u64;
+        for (b, keep) in live.iter().enumerate() {
+            let mut head = 0u64;
+            for rec in keep {
+                let off = self.record_off(&new_gen, slot);
+                self.write_record(
+                    off,
+                    KIND_CARRY,
+                    rec.key,
+                    rec.value,
+                    (rec.pid, rec.seq),
+                    head,
+                )?;
+                head = off;
+                slot += 1;
+            }
+            if head != 0 {
+                self.pmem
+                    .write_u64(self.bucket_off_at(&new_gen, b as u64), head)?;
+            }
+        }
+        self.pmem
+            .write_u64(POffset::new(nb + GEN_OFF_LOG_TAIL), live_total)?;
+        self.pmem
+            .write_u64(POffset::new(nb + GEN_OFF_CARRIED), live_total)?;
+        // One persist round-trip covers the contiguous prefix: header,
+        // buckets and every carry slot. (No-op on an eager region.)
+        self.pmem.flush(
+            POffset::new(nb),
+            (gen_prefix_len(self.nbuckets) + live_total * RECORD_STRIDE) as usize,
+        )?;
+
+        // Step 3 — the commit point.
+        self.cell.swap(new_gen.number, nb).map_err(PError::from)?;
+
+        // Step 4 — retire the old generation (advisory, repaired by
+        // recover_compact if a crash lands before it persists).
+        self.pmem
+            .write_u64(POffset::new(gen.base + GEN_OFF_STATE), GEN_STATE_RETIRED)?;
+        self.pmem.flush(POffset::new(gen.base + GEN_OFF_STATE), 8)?;
+
+        let old_reserved = self
+            .pmem
+            .read_u64(POffset::new(gen.base + GEN_OFF_LOG_TAIL))?;
+        Ok(CompactionStats {
+            from_gen: gen.number,
+            to_gen: new_gen.number,
+            carried: live_total,
+            dropped: old_reserved.saturating_sub(live_total),
+            new_capacity: new_cap,
+        })
+    }
+
+    /// The evidence-scanning recovery dual of [`PKvStore::compact`]:
+    /// completes a compaction that was interrupted after it started
+    /// from generation `from_gen`.
+    ///
+    /// * If the root cell has already moved past `from_gen`, the swap
+    ///   committed before the crash — the compaction *happened*; this
+    ///   only repairs the idempotent retirement mark and returns
+    ///   `Ok(true)`.
+    /// * If the root cell still names `from_gen`, the crash landed
+    ///   before the commit point; the half-built block (if any) is an
+    ///   unreachable orphan and the compaction is safely re-executed
+    ///   from the current state. Returns `Ok(false)`.
+    ///
+    /// Idempotent: crash it and re-run it as often as the fault
+    /// injector likes.
+    ///
+    /// # Errors
+    ///
+    /// [`PError::InvalidConfig`] if `from_gen` is *newer* than the
+    /// active generation (the caller's bookkeeping is broken); a
+    /// propagated crash (re-run after restart).
+    pub fn recover_compact(&self, heap: &PHeap, from_gen: u64) -> Result<bool, PError> {
+        let _serialize = self.pmem.advisory_lock();
+        let gen = self.active_gen()?;
+        match gen.number.cmp(&from_gen) {
+            std::cmp::Ordering::Less => Err(PError::InvalidConfig(format!(
+                "recover_compact from generation {from_gen}, but the store is at {}",
+                gen.number
+            ))),
+            std::cmp::Ordering::Greater => {
+                let prev = self.pmem.read_u64(POffset::new(gen.base + GEN_OFF_PREV))?;
+                if prev != 0 {
+                    let state = self.pmem.read_u64(POffset::new(prev + GEN_OFF_STATE))?;
+                    if state != GEN_STATE_RETIRED {
+                        self.pmem
+                            .write_u64(POffset::new(prev + GEN_OFF_STATE), GEN_STATE_RETIRED)?;
+                        self.pmem.flush(POffset::new(prev + GEN_OFF_STATE), 8)?;
+                    }
+                }
+                Ok(true)
+            }
+            std::cmp::Ordering::Equal => {
+                self.compact_locked(heap, None)?;
+                Ok(false)
+            }
+        }
     }
 }
 
@@ -1425,7 +1969,7 @@ mod tests {
         kv.put(1, 1, 42, -7).unwrap();
         let kv2 = PKvStore::open(pmem.clone(), kv.base(), KvVariant::Nsrl).unwrap();
         assert_eq!(kv2.nbuckets(), 8);
-        assert_eq!(kv2.log_capacity(), 32);
+        assert_eq!(kv2.log_capacity().unwrap(), 32);
         assert_eq!(kv2.get(42).unwrap(), Some(-7));
         let junk = heap.alloc_zeroed(128).unwrap();
         assert!(matches!(
@@ -1640,8 +2184,10 @@ mod tests {
 
     #[test]
     fn required_len_covers_layout() {
+        // Root block + generation 0: gen header + buckets (rounded so
+        // the log starts 64-aligned) + the log itself.
         let need = PKvStore::required_len(16, 8);
-        assert_eq!(need as u64, round64(64 + 16 * 8) + 8 * 64);
+        assert_eq!(need as u64, 128 + round64(64 + 16 * 8) + 8 * 64);
     }
 
     #[test]
@@ -1657,5 +2203,379 @@ mod tests {
             assert_eq!(KvVariant::from_u8(v.as_u8()).unwrap(), v);
         }
         assert!(KvVariant::from_u8(9).is_err());
+    }
+
+    // ---- compaction: the generational log ------------------------------
+
+    /// A mixed workload leaving 3 live keys out of 8 mutations.
+    fn seed_history(kv: &PKvStore) {
+        kv.put(0, 1, 1, 10).unwrap();
+        kv.put(0, 2, 2, 20).unwrap();
+        kv.put(0, 3, 1, 11).unwrap(); // supersedes seq 1
+        kv.put(0, 4, 3, 30).unwrap();
+        kv.delete(0, 5, 2).unwrap(); // kills key 2
+        kv.cas(0, 6, 3, 30, 31).unwrap();
+        kv.put(0, 7, 4, 40).unwrap();
+        kv.delete(0, 8, 4).unwrap();
+    }
+
+    fn gen_fixture(eager: bool) -> (PMem, PHeap, PKvStore) {
+        let mut builder = PMemBuilder::new().len(1 << 19);
+        if eager {
+            builder = builder.eager_flush(true);
+        }
+        let pmem = builder.build_in_memory();
+        let heap = PHeap::format(pmem.clone(), POffset::new(0), 1 << 19).unwrap();
+        let kv = PKvStore::format(pmem.clone(), &heap, 4, 16, KvVariant::Nsrl).unwrap();
+        (pmem, heap, kv)
+    }
+
+    #[test]
+    fn compaction_preserves_contents_and_frees_headroom() {
+        for eager in [true, false] {
+            let (pmem, heap, kv) = gen_fixture(eager);
+            seed_history(&kv);
+            let want = kv.contents().unwrap();
+            assert_eq!(kv.log_reserved().unwrap(), 8);
+            assert_eq!(kv.generation().unwrap(), 0);
+
+            let before = pmem.stats().snapshot();
+            let stats = kv.compact(&heap).unwrap();
+            let delta = pmem.stats().snapshot() - before;
+            assert_eq!(stats.from_gen, 0);
+            assert_eq!(stats.to_gen, 1);
+            assert_eq!(stats.carried, 2, "keys 1 and 3 are live");
+            assert_eq!(
+                stats.dropped, 6,
+                "superseded, deleted and delete records drop"
+            );
+            assert_eq!(kv.generation().unwrap(), 1);
+            assert_eq!(kv.contents().unwrap(), want, "eager={eager}");
+            assert_eq!(kv.log_reserved().unwrap(), 2, "headroom reclaimed");
+            if !eager {
+                // The FliT lens: the rewrite pays O(live) persists —
+                // one coalesced round-trip for the whole block, two for
+                // the root cell, one retirement mark, plus the heap
+                // allocator's fixed block-header persists. Crucially
+                // *not* a function of the 8-record history.
+                assert!(
+                    delta.persists <= 8,
+                    "eager={eager}: compaction cost {} persist round-trips",
+                    delta.persists
+                );
+            }
+
+            // Survives a crash + reopen into the new generation.
+            pmem.crash_now(0, 0.0);
+            let pmem2 = pmem.reopen().unwrap();
+            let kv2 = PKvStore::open(pmem2, kv.base(), KvVariant::Nsrl).unwrap();
+            assert_eq!(kv2.generation().unwrap(), 1);
+            assert_eq!(kv2.contents().unwrap(), want);
+
+            // The full chain witness still spans both generations, with
+            // the carries flagged and generation-stamped.
+            let recs: Vec<VersionRecord> = kv2.snapshot().unwrap().into_iter().flatten().collect();
+            assert_eq!(recs.iter().filter(|r| !r.compacted).count(), 8);
+            let carries: Vec<&VersionRecord> = recs.iter().filter(|r| r.compacted).collect();
+            assert_eq!(carries.len(), 2);
+            for c in carries {
+                assert_eq!(c.gen, 1);
+                assert!(!c.is_delete, "deletes are never carried");
+                assert_eq!(want.get(&c.key), Some(&c.value));
+            }
+            let gens = kv2.generations().unwrap();
+            assert_eq!(gens.len(), 2);
+            assert!(gens[0].retired && !gens[1].retired);
+            assert_eq!(gens[1].carried, 2);
+        }
+    }
+
+    #[test]
+    fn store_outlives_its_original_log_capacity() {
+        // The acceptance headline: a store formatted with log_cap 8
+        // accepts far more than 8 lifetime mutations once the driver
+        // compacts on low headroom.
+        for eager in [true, false] {
+            let mut builder = PMemBuilder::new().len(1 << 20);
+            if eager {
+                builder = builder.eager_flush(true);
+            }
+            let pmem = builder.build_in_memory();
+            let heap = PHeap::format(pmem.clone(), POffset::new(0), 1 << 20).unwrap();
+            let kv = PKvStore::format(pmem.clone(), &heap, 4, 8, KvVariant::Nsrl).unwrap();
+            let mut applied = 0u64;
+            for seq in 1..=200u64 {
+                if kv.log_reserved().unwrap() + 1 >= kv.log_capacity().unwrap() {
+                    kv.compact(&heap).unwrap();
+                }
+                let key = seq % 6;
+                assert!(
+                    kv.put(0, seq, key, seq as i64).unwrap(),
+                    "eager={eager}: put {seq} rejected — compaction failed to free headroom"
+                );
+                applied += 1;
+            }
+            assert_eq!(applied, 200);
+            assert!(applied > 8, "strictly more than the original capacity");
+            assert!(kv.generation().unwrap() > 1, "several swaps happened");
+            // Every key holds its newest value; history is intact across
+            // all generations (200 real mutations published).
+            let contents = kv.contents().unwrap();
+            for key in 0..6u64 {
+                let newest = (1..=200u64).filter(|s| s % 6 == key).max().unwrap();
+                assert_eq!(contents.get(&key), Some(&(newest as i64)), "eager={eager}");
+            }
+            let real: usize = kv
+                .snapshot()
+                .unwrap()
+                .iter()
+                .flatten()
+                .filter(|r| !r.compacted)
+                .count();
+            assert_eq!(real, 200, "eager={eager}: witness spans every generation");
+        }
+    }
+
+    #[test]
+    fn carried_records_count_as_recovery_evidence() {
+        // An operation that published before a compaction must not be
+        // re-executed by its recovery dual afterwards — whether its
+        // record survives as a carry (live) or only in the retired log.
+        let (_, heap, kv) = gen_fixture(true);
+        seed_history(&kv);
+        kv.compact(&heap).unwrap();
+        let reserved = kv.log_reserved().unwrap();
+        // seq 3 is live (carried); seq 1 is superseded (retired log
+        // only); seq 5 is a delete (retired log only).
+        assert!(kv.recover_put(0, 3, 1, 11).unwrap());
+        assert!(kv.recover_put(0, 1, 1, 10).unwrap());
+        assert!(kv.recover_delete(0, 5, 2).unwrap());
+        assert_eq!(
+            kv.log_reserved().unwrap(),
+            reserved,
+            "evidence scans must find pre-compaction records and not re-execute"
+        );
+        assert_eq!(kv.get(1).unwrap(), Some(11), "state untouched");
+    }
+
+    #[test]
+    fn compact_capacity_validation_and_growth() {
+        let (_, heap, kv) = gen_fixture(false);
+        for seq in 1..=10u64 {
+            kv.put(0, seq, seq, seq as i64).unwrap(); // 10 live keys
+        }
+        assert!(matches!(
+            kv.compact_with_capacity(&heap, Some(5)),
+            Err(PError::InvalidConfig(_))
+        ));
+        // Default growth: live × 2 when the live set outgrew cap/2.
+        let stats = kv.compact(&heap).unwrap();
+        assert_eq!(stats.carried, 10);
+        assert_eq!(stats.new_capacity, 20);
+        assert_eq!(stats.headroom(), 10);
+        assert_eq!(kv.log_capacity().unwrap(), 20);
+        // Explicit capacity is honored exactly.
+        let stats = kv.compact_with_capacity(&heap, Some(64)).unwrap();
+        assert_eq!(stats.new_capacity, 64);
+        assert_eq!(kv.generation().unwrap(), 2);
+    }
+
+    #[test]
+    fn recover_compact_resumes_or_safely_abandons() {
+        let (_, heap, kv) = gen_fixture(false);
+        seed_history(&kv);
+        let want = kv.contents().unwrap();
+        // Nothing committed: re-executes (evidence says gen unchanged).
+        assert!(!kv.recover_compact(&heap, 0).unwrap());
+        assert_eq!(kv.generation().unwrap(), 1);
+        assert_eq!(kv.contents().unwrap(), want);
+        // Already committed: evidence scan answers without a new swap.
+        assert!(kv.recover_compact(&heap, 0).unwrap());
+        assert_eq!(kv.generation().unwrap(), 1, "no duplicate swap");
+        // A future from_gen is a caller bug.
+        assert!(matches!(
+            kv.recover_compact(&heap, 7),
+            Err(PError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn group_commits_keep_working_after_a_swap() {
+        // The batched hot path across a generation boundary: group
+        // commits before and after a compaction, with the epoch
+        // (root-level) counting monotonically across the swap.
+        let (pmem, heap, kv) = buffered_fixture(4, 16);
+        let ops: Vec<KvBatchOp> = (0..8)
+            .map(|i| KvBatchOp::Put {
+                pid: 0,
+                seq: i + 1,
+                key: i % 4,
+                value: i as i64,
+            })
+            .collect();
+        assert!(kv
+            .apply_batch(&ops)
+            .unwrap()
+            .iter()
+            .all(|o| o.took_effect()));
+        assert_eq!(kv.flush_epoch().unwrap(), 1);
+        kv.compact(&heap).unwrap();
+        let ops2: Vec<KvBatchOp> = (0..8)
+            .map(|i| KvBatchOp::Put {
+                pid: 0,
+                seq: 100 + i,
+                key: i % 4,
+                value: -(i as i64),
+            })
+            .collect();
+        assert!(kv
+            .apply_batch(&ops2)
+            .unwrap()
+            .iter()
+            .all(|o| o.took_effect()));
+        assert_eq!(kv.flush_epoch().unwrap(), 2, "epoch survives the swap");
+        assert_eq!(kv.contents().unwrap().len(), 4);
+        // And the whole thing is durable.
+        pmem.crash_now(0, 0.0);
+        let kv2 = PKvStore::open(pmem.reopen().unwrap(), kv.base(), KvVariant::Nsrl).unwrap();
+        for i in 4..8u64 {
+            assert_eq!(kv2.get(i % 4).unwrap(), Some(-(i as i64)));
+        }
+    }
+
+    /// Enumerates a crash at every persistence event inside `compact`
+    /// (the rewrite, the root swap, the retirement mark), and, from
+    /// each crash state, at every persistence event inside the
+    /// recovery dual — on one commit mode.
+    fn enumerate_compaction_crashes(eager: bool) {
+        let probe = || {
+            let (pmem, heap, kv) = gen_fixture(eager);
+            seed_history(&kv);
+            (pmem, heap, kv)
+        };
+        let (pmem, heap, kv) = probe();
+        let want = kv.contents().unwrap();
+        let e0 = pmem.events();
+        kv.compact(&heap).unwrap();
+        let total = pmem.events() - e0;
+        assert!(
+            total >= 3,
+            "rewrite + swap + retirement span several events (got {total})"
+        );
+
+        for k in 0..total {
+            // Phase 1: crash the compaction after k events; the store
+            // must reopen consistent in the old or the new generation.
+            let (pmem, heap, kv) = probe();
+            pmem.arm_failpoint(FailPlan::after_events(k));
+            let err = kv.compact(&heap).unwrap_err();
+            assert!(err.is_crash(), "eager={eager}: crash at event {k}");
+            let pmem2 = pmem.reopen().unwrap();
+            let kv2 = PKvStore::open(pmem2, kv.base(), KvVariant::Nsrl).unwrap();
+            let gen = kv2.generation().unwrap();
+            assert!(
+                gen <= 1,
+                "eager={eager}: crash at {k} left generation {gen}"
+            );
+            assert_eq!(
+                kv2.contents().unwrap(),
+                want,
+                "eager={eager}: crash at {k}: contents torn"
+            );
+
+            // Phase 2: enumerate crashes inside the recovery dual. The
+            // first j at or past recovery's event footprint completes.
+            for j in 0.. {
+                let (pmem, heap, kv) = probe();
+                pmem.arm_failpoint(FailPlan::after_events(k));
+                assert!(kv.compact(&heap).unwrap_err().is_crash());
+                let pmem = pmem.reopen().unwrap();
+                let kv = PKvStore::open(pmem.clone(), kv.base(), KvVariant::Nsrl).unwrap();
+                let heap = PHeap::open(pmem.clone(), POffset::new(0)).unwrap();
+                pmem.arm_failpoint(FailPlan::after_events(j));
+                match kv.recover_compact(&heap, 0) {
+                    Ok(_committed_before) => {
+                        pmem.disarm_failpoint();
+                        assert_eq!(kv.generation().unwrap(), 1);
+                        assert_eq!(
+                            kv.contents().unwrap(),
+                            want,
+                            "eager={eager}: crash {k}, recovery step {j}"
+                        );
+                        let gens = kv.generations().unwrap();
+                        assert!(gens[0].retired, "retirement finished by recovery");
+                        // Idempotent: a second recovery changes nothing.
+                        assert!(kv.recover_compact(&heap, 0).unwrap());
+                        assert_eq!(kv.generation().unwrap(), 1);
+                        break;
+                    }
+                    Err(e) => {
+                        assert!(e.is_crash(), "eager={eager}: crash {k}, step {j}: {e}");
+                        let pmem = pmem.reopen().unwrap();
+                        let kv = PKvStore::open(pmem.clone(), kv.base(), KvVariant::Nsrl).unwrap();
+                        let heap = PHeap::open(pmem, POffset::new(0)).unwrap();
+                        // A clean pass from the doubly-crashed state
+                        // must still converge.
+                        kv.recover_compact(&heap, 0).unwrap();
+                        assert_eq!(kv.generation().unwrap(), 1);
+                        assert_eq!(
+                            kv.contents().unwrap(),
+                            want,
+                            "eager={eager}: crash {k}, step {j}: post-recovery state"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compaction_crash_points_buffered() {
+        enumerate_compaction_crashes(false);
+    }
+
+    #[test]
+    fn compaction_crash_points_eager() {
+        enumerate_compaction_crashes(true);
+    }
+
+    #[test]
+    fn repeated_compactions_chain_generations() {
+        let (_, heap, kv) = gen_fixture(true);
+        let mut seq = 0u64;
+        for round in 0..4u64 {
+            for key in 0..3u64 {
+                seq += 1;
+                kv.put(0, seq, key, (round * 10 + key) as i64).unwrap();
+            }
+            kv.compact(&heap).unwrap();
+            assert_eq!(kv.generation().unwrap(), round + 1);
+        }
+        let gens = kv.generations().unwrap();
+        assert_eq!(gens.len(), 5);
+        assert!(gens.iter().take(4).all(|g| g.retired));
+        assert!(!gens[4].retired);
+        assert_eq!(gens[4].carried, 3);
+        // All 12 real mutations still in the witness; evidence scans
+        // reach the oldest generation.
+        let real: usize = kv
+            .snapshot()
+            .unwrap()
+            .iter()
+            .flatten()
+            .filter(|r| !r.compacted)
+            .count();
+        assert_eq!(real, 12);
+        assert!(kv.recover_put(0, 1, 0, 0).unwrap());
+        assert_eq!(
+            kv.snapshot()
+                .unwrap()
+                .iter()
+                .flatten()
+                .filter(|r| !r.compacted)
+                .count(),
+            12,
+            "gen-0 evidence found, nothing re-executed"
+        );
     }
 }

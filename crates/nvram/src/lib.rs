@@ -49,6 +49,7 @@ mod error;
 mod failpoint;
 mod offset;
 mod pmem;
+mod rootswap;
 mod stats;
 mod stripe;
 
@@ -57,5 +58,6 @@ pub use error::MemError;
 pub use failpoint::FailPlan;
 pub use offset::POffset;
 pub use pmem::{PMem, PMemBuilder, DEFAULT_CACHE_LINE, DEFAULT_REGION_LEN};
+pub use rootswap::{RootCell, ROOT_CELL_LEN};
 pub use stats::{MemStats, StatsSnapshot};
 pub use stripe::PMemStripe;

@@ -1,0 +1,262 @@
+//! The persisted root-swap primitive: a double-buffered pointer cell
+//! whose update commits with a single-line selector flip.
+//!
+//! Reallocating a persistent object (compacting a log into a fresh
+//! segment, resharding a region, growing a table) always ends the same
+//! way: a new copy of the object exists somewhere else, and *one*
+//! persisted store must atomically re-root every future boot onto it.
+//! A multi-word root (sequence number + pointer) cannot be updated
+//! atomically by a single write, so [`RootCell`] uses the classic A/B
+//! scheme: two slots, each holding a `(seq, ptr)` pair, plus a one-word
+//! selector naming the live slot. [`RootCell::swap`] writes the whole
+//! next root into the *inactive* slot, persists it, and only then flips
+//! (and persists) the selector:
+//!
+//! ```text
+//!  base+0   magic
+//!  base+8   selector           (0 or 1 — the single-line commit point)
+//!  base+16  slot 0: seq, ptr
+//!  base+32  slot 1: seq, ptr
+//! ```
+//!
+//! Because the selector is one 8-byte word inside one cache line, it
+//! persists atomically under this crate's crash model: a crash at *any*
+//! moment of a swap leaves the cell naming either the complete old root
+//! or the complete new root — never a mix. That is the whole crash
+//! contract a generational store needs: everything reachable from the
+//! new root must be durable before `swap` is called, and recovery reads
+//! whichever root won.
+
+use crate::{MemError, PMem, POffset};
+
+const ROOTSWAP_MAGIC: u64 = 0x5053_524F_4F54_5357; // "PSROOTSW"
+
+const OFF_MAGIC: u64 = 0;
+const OFF_SELECTOR: u64 = 8;
+const OFF_SLOTS: u64 = 16;
+const SLOT_STRIDE: u64 = 16;
+
+/// Bytes of NVRAM a [`RootCell`] occupies (keep it line-aligned so the
+/// selector flip is single-line).
+pub const ROOT_CELL_LEN: u64 = 64;
+
+/// A crash-atomic `(seq, ptr)` root: double-buffered slots committed by
+/// a single persisted selector flip. Cheap to clone; clones share the
+/// cell. See the [module docs](self) for the layout and crash contract.
+///
+/// # Example
+///
+/// ```
+/// use pstack_nvram::{PMemBuilder, POffset, RootCell};
+///
+/// # fn main() -> Result<(), pstack_nvram::MemError> {
+/// let pmem = PMemBuilder::new().len(4096).build_in_memory();
+/// let cell = RootCell::format(pmem.clone(), POffset::new(128), 0, 0x1000)?;
+/// assert_eq!(cell.current()?, (0, 0x1000));
+/// cell.swap(1, 0x2000)?;
+/// assert_eq!(cell.current()?, (1, 0x2000));
+/// // The committed root survives a crash.
+/// pmem.crash_now(7, 0.0);
+/// let cell = RootCell::open(pmem.reopen()?, POffset::new(128))?;
+/// assert_eq!(cell.current()?, (1, 0x2000));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct RootCell {
+    pmem: PMem,
+    base: POffset,
+}
+
+impl RootCell {
+    /// Formats a cell at `base` holding the initial root `(seq, ptr)`
+    /// in slot 0, and persists it.
+    ///
+    /// # Errors
+    ///
+    /// Propagated NVRAM errors.
+    pub fn format(pmem: PMem, base: POffset, seq: u64, ptr: u64) -> Result<Self, MemError> {
+        pmem.write_u64(base + OFF_SELECTOR, 0)?;
+        pmem.write_u64(base + OFF_SLOTS, seq)?;
+        pmem.write_u64(base + (OFF_SLOTS + 8), ptr)?;
+        pmem.write_u64(base + OFF_MAGIC, ROOTSWAP_MAGIC)?;
+        pmem.flush(base, ROOT_CELL_LEN as usize)?;
+        Ok(RootCell { pmem, base })
+    }
+
+    /// Re-attaches to a cell previously formatted at `base`.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::InvalidConfig`] on a bad magic word or an
+    /// out-of-range selector.
+    pub fn open(pmem: PMem, base: POffset) -> Result<Self, MemError> {
+        let magic = pmem.read_u64(base + OFF_MAGIC)?;
+        if magic != ROOTSWAP_MAGIC {
+            return Err(MemError::InvalidConfig(format!(
+                "bad root-cell magic {magic:#x} at {base}"
+            )));
+        }
+        let cell = RootCell { pmem, base };
+        cell.selector()?;
+        Ok(cell)
+    }
+
+    /// The cell's base offset.
+    #[must_use]
+    pub fn base(&self) -> POffset {
+        self.base
+    }
+
+    fn selector(&self) -> Result<u64, MemError> {
+        let sel = self.pmem.read_u64(self.base + OFF_SELECTOR)?;
+        if sel > 1 {
+            return Err(MemError::InvalidConfig(format!(
+                "root cell at {} has selector {sel} (corrupt)",
+                self.base
+            )));
+        }
+        Ok(sel)
+    }
+
+    fn slot_off(&self, slot: u64) -> POffset {
+        self.base + (OFF_SLOTS + slot * SLOT_STRIDE)
+    }
+
+    /// The committed root `(seq, ptr)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagated NVRAM errors, or [`MemError::InvalidConfig`] on a
+    /// corrupt selector.
+    pub fn current(&self) -> Result<(u64, u64), MemError> {
+        let slot = self.slot_off(self.selector()?);
+        Ok((self.pmem.read_u64(slot)?, self.pmem.read_u64(slot + 8u64)?))
+    }
+
+    /// Commits a new root: writes `(seq, ptr)` into the inactive slot,
+    /// persists it, then flips and persists the selector. The flip is
+    /// the commit point — a crash anywhere in this method leaves the
+    /// cell naming either the old root or the new one, complete.
+    ///
+    /// The caller must have made everything reachable from `ptr`
+    /// durable *before* calling; the cell orders only its own writes.
+    ///
+    /// # Errors
+    ///
+    /// A propagated crash (re-read [`RootCell::current`] after restart
+    /// to learn which root won), or other NVRAM errors.
+    pub fn swap(&self, seq: u64, ptr: u64) -> Result<(), MemError> {
+        let next = 1 - self.selector()?;
+        let slot = self.slot_off(next);
+        self.pmem.write_u64(slot, seq)?;
+        self.pmem.write_u64(slot + 8u64, ptr)?;
+        self.pmem.flush(slot, SLOT_STRIDE as usize)?;
+        self.pmem.write_u64(self.base + OFF_SELECTOR, next)?;
+        self.pmem.flush(self.base + OFF_SELECTOR, 8)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FailPlan, PMemBuilder};
+
+    fn buffered() -> PMem {
+        PMemBuilder::new().len(4096).line_size(64).build_in_memory()
+    }
+
+    #[test]
+    fn format_open_swap_round_trip() {
+        let p = buffered();
+        let cell = RootCell::format(p.clone(), POffset::new(64), 3, 300).unwrap();
+        assert_eq!(cell.current().unwrap(), (3, 300));
+        cell.swap(4, 400).unwrap();
+        cell.swap(5, 500).unwrap();
+        assert_eq!(cell.current().unwrap(), (5, 500));
+        let cell2 = RootCell::open(p, POffset::new(64)).unwrap();
+        assert_eq!(cell2.current().unwrap(), (5, 500));
+        assert_eq!(cell2.base(), POffset::new(64));
+    }
+
+    #[test]
+    fn open_rejects_garbage() {
+        let p = buffered();
+        assert!(matches!(
+            RootCell::open(p, POffset::new(0)),
+            Err(MemError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn swap_crash_points_leave_old_or_new_root_never_a_mix() {
+        // Enumerate every persistence event inside swap(): after any
+        // crash the reopened cell must read a *complete* root — the old
+        // pair or the new pair, never old seq with new ptr.
+        let probe = || {
+            let p = buffered();
+            let cell = RootCell::format(p.clone(), POffset::new(64), 7, 700).unwrap();
+            (p, cell)
+        };
+        let (p, cell) = probe();
+        let e0 = p.events();
+        cell.swap(8, 800).unwrap();
+        let total = p.events() - e0;
+        assert!(total >= 3, "slot writes + slot persist + selector persist");
+
+        for k in 0..total {
+            let (p, cell) = probe();
+            p.arm_failpoint(FailPlan::after_events(k));
+            let err = cell.swap(8, 800).unwrap_err();
+            assert!(matches!(err, MemError::Crashed), "crash at event {k}");
+            let p2 = p.reopen().unwrap();
+            let cell2 = RootCell::open(p2, POffset::new(64)).unwrap();
+            let got = cell2.current().unwrap();
+            assert!(
+                got == (7, 700) || got == (8, 800),
+                "crash at event {k}: torn root {got:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn swap_works_on_eager_regions_too() {
+        let p = PMemBuilder::new()
+            .len(4096)
+            .eager_flush(true)
+            .build_in_memory();
+        let cell = RootCell::format(p.clone(), POffset::new(0), 0, 64).unwrap();
+        cell.swap(1, 128).unwrap();
+        p.crash_now(0, 0.0);
+        let cell = RootCell::open(p.reopen().unwrap(), POffset::new(0)).unwrap();
+        assert_eq!(cell.current().unwrap(), (1, 128));
+    }
+
+    #[test]
+    fn stripe_exposes_per_shard_cells() {
+        let stripe = PMemBuilder::new().len(4096).build_striped(3);
+        for s in 0..3u64 {
+            RootCell::format(
+                stripe.region(s as usize).clone(),
+                POffset::new(64),
+                s,
+                100 * s,
+            )
+            .unwrap();
+        }
+        for s in 0..3u64 {
+            let cell = stripe.root_cell(s as usize, POffset::new(64)).unwrap();
+            assert_eq!(cell.current().unwrap(), (s, 100 * s));
+            cell.swap(s + 1, 100 * s + 1).unwrap();
+        }
+        assert_eq!(
+            stripe
+                .root_cell(1, POffset::new(64))
+                .unwrap()
+                .current()
+                .unwrap(),
+            (2, 101)
+        );
+    }
+}

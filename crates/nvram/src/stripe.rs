@@ -12,8 +12,9 @@
 //! [`reopen_all`]: PMemStripe::reopen_all
 
 use crate::pmem::PMemBuilder;
+use crate::rootswap::RootCell;
 use crate::stats::StatsSnapshot;
-use crate::{MemError, PMem};
+use crate::{MemError, PMem, POffset};
 
 /// A fixed-size bundle of independent [`PMem`] regions, one per shard.
 ///
@@ -129,6 +130,22 @@ impl PMemStripe {
     #[must_use]
     pub fn events_per_region(&self) -> Vec<u64> {
         self.regions.iter().map(PMem::events).collect()
+    }
+
+    /// Opens shard `i`'s [`RootCell`] at `base` — the per-shard root-swap
+    /// support a generational sharded object uses: each shard keeps its
+    /// own double-buffered root in its own region, so one shard's
+    /// generation swap never touches (or serializes with) another's.
+    ///
+    /// # Errors
+    ///
+    /// Propagated from [`RootCell::open`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn root_cell(&self, i: usize, base: POffset) -> Result<RootCell, MemError> {
+        RootCell::open(self.regions[i].clone(), base)
     }
 
     /// Removes any armed crash-injection plan from every region.

@@ -28,6 +28,19 @@
 //!   per-process program order in the FIFO checker's note — their exact
 //!   linearization point is not reconstructable from the quiescent
 //!   state; value membership is the checkable projection).
+//!
+//! Chains may span **generation boundaries** (the store's log
+//! compaction rewrites live heads into a fresh generation and swaps
+//! the root): records carry a generation stamp and a `compacted` flag,
+//! and the generation-aware entry points ([`check_kv_gen`],
+//! [`check_kv_sharded_gen`]) additionally validate that every
+//! carry-over reproduces exactly the live state at its boundary, that
+//! generation stamps are monotone, and that no live key was dropped by
+//! a swap (its newest record must sit in the active generation). The
+//! plain entry points infer each scope's active generation from the
+//! records — sufficient for uncompacted stores, fooled by a
+//! drop-everything compaction, so campaigns pass the store's real
+//! generation numbers.
 
 use std::collections::{HashMap, HashSet};
 
@@ -91,6 +104,17 @@ pub struct KvWitnessRecord {
     pub seq: u64,
     /// `true` for a delete record.
     pub is_delete: bool,
+    /// `true` for a compaction carry-over — a copy (original tag
+    /// preserved) of a record that was live at a generation boundary,
+    /// **not** a new application of its operation. The checker
+    /// validates it reproduces exactly the live state at its position
+    /// in the chain.
+    pub compacted: bool,
+    /// The generation whose log holds the record. A chain that spans a
+    /// generation boundary carries non-decreasing `gen` values; the
+    /// newest record of every live key must sit in the active
+    /// generation, or compaction dropped the key.
+    pub gen: u64,
 }
 
 /// A complete KV execution: every operation with its answer, plus the
@@ -268,6 +292,60 @@ pub enum KvViolation {
         /// The shard the router maps the key to.
         home: usize,
     },
+    /// A delete record is marked as a compaction carry-over — the
+    /// compactor only ever carries live values; a carried delete means
+    /// the rewrite invented history.
+    CarriedDelete {
+        /// The offending `(pid, seq)` tag.
+        tag: (u64, u64),
+    },
+    /// A carry-over's tag was never applied earlier in the replay: the
+    /// compactor "carried" a record that no generation ever published.
+    CarriedWithoutOrigin {
+        /// The offending `(pid, seq)` tag.
+        tag: (u64, u64),
+    },
+    /// A carry-over disagrees with the live state at its generation
+    /// boundary: the key did not hold the carried value there (or was
+    /// not live at all), so the rewrite corrupted or invented state.
+    CarriedValueMismatch {
+        /// The carried record's `(pid, seq)` tag.
+        tag: (u64, u64),
+        /// The key in question.
+        key: u64,
+        /// The value the carry-over claims.
+        carried: i64,
+        /// The value the key actually held at the boundary (`None` =
+        /// absent).
+        held: Option<i64>,
+    },
+    /// A live key's newest record sits in an older generation than the
+    /// active one: a compaction swapped the root without carrying the
+    /// key — the update silently vanished from the live store even
+    /// though its history survives in a retired generation.
+    DroppedByCompaction {
+        /// The tag of the key's newest record.
+        tag: (u64, u64),
+        /// The dropped key.
+        key: u64,
+        /// The generation holding the key's newest record.
+        last_gen: u64,
+        /// The active generation the key should have been carried into.
+        active_gen: u64,
+    },
+    /// A chain's generation stamps are inconsistent: a record's
+    /// generation decreases along the chain, or exceeds the active
+    /// generation — the witness is not a valid multi-generation chain.
+    GenerationOutOfOrder {
+        /// The offending record's `(pid, seq)` tag.
+        tag: (u64, u64),
+        /// The record's generation stamp.
+        gen: u64,
+        /// The previous record's generation stamp.
+        prev_gen: u64,
+        /// The chain's active generation.
+        active_gen: u64,
+    },
 }
 
 impl std::fmt::Display for KvViolation {
@@ -338,6 +416,43 @@ impl std::fmt::Display for KvViolation {
                 "operation {tag:?} left a record for key {key} in shard {shard}, but the \
                  router homes that key in shard {home}"
             ),
+            KvViolation::CarriedDelete { tag } => {
+                write!(f, "compaction carried a delete record for {tag:?}")
+            }
+            KvViolation::CarriedWithoutOrigin { tag } => write!(
+                f,
+                "compaction carried a record for {tag:?} that no generation ever published"
+            ),
+            KvViolation::CarriedValueMismatch {
+                tag,
+                key,
+                carried,
+                held,
+            } => write!(
+                f,
+                "compaction carried {carried} for key {key} ({tag:?}) but the key held \
+                 {held:?} at the generation boundary"
+            ),
+            KvViolation::DroppedByCompaction {
+                tag,
+                key,
+                last_gen,
+                active_gen,
+            } => write!(
+                f,
+                "live key {key} (newest record {tag:?}) was left behind in generation \
+                 {last_gen} — compaction to generation {active_gen} dropped it"
+            ),
+            KvViolation::GenerationOutOfOrder {
+                tag,
+                gen,
+                prev_gen,
+                active_gen,
+            } => write!(
+                f,
+                "record {tag:?} carries generation {gen} after generation {prev_gen} in a \
+                 chain whose active generation is {active_gen}"
+            ),
         }
     }
 }
@@ -390,7 +505,12 @@ impl KvViolation {
             | KvViolation::LostUpdate { tag }
             | KvViolation::RejectedButApplied { tag }
             | KvViolation::UnexplainedGet { tag, .. }
-            | KvViolation::MisroutedKey { tag, .. } => tag,
+            | KvViolation::MisroutedKey { tag, .. }
+            | KvViolation::CarriedDelete { tag }
+            | KvViolation::CarriedWithoutOrigin { tag }
+            | KvViolation::CarriedValueMismatch { tag, .. }
+            | KvViolation::DroppedByCompaction { tag, .. }
+            | KvViolation::GenerationOutOfOrder { tag, .. } => tag,
         }
     }
 }
@@ -439,13 +559,52 @@ fn fail(violation: KvViolation) -> KvVerdict {
 ///         pid: 0,
 ///         seq: 1,
 ///         is_delete: false,
+///         compacted: false,
+///         gen: 0,
 ///     }]],
 /// };
 /// assert!(check_kv(&history).is_linearizable());
 /// ```
 #[must_use]
 pub fn check_kv(history: &KvHistory) -> KvVerdict {
-    check_ops_against_chains(&history.ops, history.chains.iter().map(Vec::as_slice))
+    check_kv_gen(history, infer_active_gen(&history.chains))
+}
+
+/// [`check_kv`] for a store whose chains span **generation
+/// boundaries**: `active_gen` is the store's active generation number
+/// (`PKvStore::generation()` in `pstack-kv`), which the plain
+/// [`check_kv`] can only infer from the records (an inference a
+/// drop-everything compaction bug could fool — always pass the real
+/// number when the store compacted).
+///
+/// On top of the chain-replay conditions, the generation-aware check
+/// validates the compaction invariants:
+///
+/// * carried records (`compacted`) are copies, not applications — each
+///   must reproduce exactly the live value of its key at its position
+///   in the replay, must originate from an earlier published record,
+///   and is never a delete;
+/// * generation stamps are non-decreasing along each chain and never
+///   exceed `active_gen`;
+/// * every key the replay ends with as *live* has its newest record in
+///   the active generation — a live key left behind in an older
+///   generation was dropped by a root swap.
+#[must_use]
+pub fn check_kv_gen(history: &KvHistory, active_gen: u64) -> KvVerdict {
+    check_ops_against_chains(
+        &history.ops,
+        history
+            .chains
+            .iter()
+            .map(|chain| (active_gen, chain.as_slice())),
+    )
+}
+
+/// The most conservative generation inference available to the
+/// non-generational entry points: the newest generation any record
+/// mentions (0 for an empty witness).
+fn infer_active_gen(chains: &[Vec<KvWitnessRecord>]) -> u64 {
+    chains.iter().flatten().map(|r| r.gen).max().unwrap_or(0)
 }
 
 /// Checks a **sharded** KV execution: validates that every record sits
@@ -483,6 +642,8 @@ pub fn check_kv(history: &KvHistory) -> KvVerdict {
 ///             pid: 0,
 ///             seq: 1,
 ///             is_delete: false,
+///             compacted: false,
+///             gen: 0,
 ///         }]],
 ///     ],
 /// };
@@ -491,6 +652,35 @@ pub fn check_kv(history: &KvHistory) -> KvVerdict {
 /// ```
 #[must_use]
 pub fn check_kv_sharded(history: &KvShardedHistory, router: impl Fn(u64) -> usize) -> KvVerdict {
+    let generations: Vec<u64> = history
+        .shards
+        .iter()
+        .map(|chains| infer_active_gen(chains))
+        .collect();
+    check_kv_sharded_gen(history, router, &generations)
+}
+
+/// [`check_kv_sharded`] for stores whose shards compact independently:
+/// `generations[s]` is shard `s`'s active generation number. See
+/// [`check_kv_gen`] for the extra invariants this validates — each
+/// shard's chains are checked against that shard's own active
+/// generation (shards swap roots independently).
+///
+/// # Panics
+///
+/// Panics if `generations.len()` differs from the history's shard
+/// count (a harness-construction bug, not an execution property).
+#[must_use]
+pub fn check_kv_sharded_gen(
+    history: &KvShardedHistory,
+    router: impl Fn(u64) -> usize,
+    generations: &[u64],
+) -> KvVerdict {
+    assert_eq!(
+        generations.len(),
+        history.shards.len(),
+        "one active generation per shard"
+    );
     for (shard, chains) in history.shards.iter().enumerate() {
         for rec in chains.iter().flatten() {
             let home = router(rec.key);
@@ -506,13 +696,17 @@ pub fn check_kv_sharded(history: &KvShardedHistory, router: impl Fn(u64) -> usiz
     }
     check_ops_against_chains(
         &history.ops,
-        history.shards.iter().flatten().map(Vec::as_slice),
+        history
+            .shards
+            .iter()
+            .zip(generations)
+            .flat_map(|(chains, &gen)| chains.iter().map(move |chain| (gen, chain.as_slice()))),
     )
 }
 
 fn check_ops_against_chains<'a>(
     ops: &[KvOp],
-    chains: impl IntoIterator<Item = &'a [KvWitnessRecord]>,
+    chains: impl IntoIterator<Item = (u64, &'a [KvWitnessRecord])>,
 ) -> KvVerdict {
     // Index operations by tag.
     let ops_by_tag: HashMap<(u64, u64), &KvOp> =
@@ -521,14 +715,59 @@ fn check_ops_against_chains<'a>(
     // Which values each key ever held (for explaining gets).
     let mut values_of_key: HashMap<u64, Vec<i64>> = HashMap::new();
 
+    // Each key's newest record: (generation, its chain's active
+    // generation, owning tag) — the input of the dropped-key check.
+    let mut newest_of_key: HashMap<u64, (u64, u64, (u64, u64))> = HashMap::new();
+
     // Replay every chain through the sequential spec. Chains of
     // different buckets hold disjoint key sets, so their relative
     // interleaving cannot matter; one spec instance replays them all.
     let mut spec = KvSpec::new();
     let mut applied_tags: HashSet<(u64, u64)> = HashSet::new();
-    for chain in chains {
+    for (active_gen, chain) in chains {
+        let mut prev_gen = 0u64;
         for rec in chain {
             let tag = (rec.pid, rec.seq);
+            if rec.gen < prev_gen || rec.gen > active_gen {
+                return fail(KvViolation::GenerationOutOfOrder {
+                    tag,
+                    gen: rec.gen,
+                    prev_gen,
+                    active_gen,
+                });
+            }
+            prev_gen = rec.gen;
+            newest_of_key.insert(rec.key, (rec.gen, active_gen, tag));
+            if rec.compacted {
+                // A carry-over is a copy, not an application: it must
+                // originate from an earlier published record and must
+                // reproduce exactly the live state at the boundary.
+                if rec.is_delete {
+                    return fail(KvViolation::CarriedDelete { tag });
+                }
+                if !applied_tags.contains(&tag) {
+                    return fail(KvViolation::CarriedWithoutOrigin { tag });
+                }
+                if let Some(op) = ops_by_tag.get(&tag) {
+                    if op.key != rec.key {
+                        return fail(KvViolation::KeyMismatch {
+                            tag,
+                            record_key: rec.key,
+                            op_key: op.key,
+                        });
+                    }
+                }
+                let held = spec.get(rec.key);
+                if held != Some(rec.value) {
+                    return fail(KvViolation::CarriedValueMismatch {
+                        tag,
+                        key: rec.key,
+                        carried: rec.value,
+                        held,
+                    });
+                }
+                continue;
+            }
             if !applied_tags.insert(tag) {
                 return fail(KvViolation::DuplicateApplication { tag });
             }
@@ -591,6 +830,21 @@ fn check_ops_against_chains<'a>(
             if !rec.is_delete {
                 values_of_key.entry(rec.key).or_default().push(rec.value);
             }
+        }
+    }
+
+    // The dropped-key check: every key the replay ends with as live
+    // must have its newest record in its chain's active generation —
+    // written there or carried there. A live key whose newest record
+    // sits in an older generation was silently dropped by a root swap.
+    for (&key, &(gen, active_gen, tag)) in &newest_of_key {
+        if gen != active_gen && spec.get(key).is_some() {
+            return fail(KvViolation::DroppedByCompaction {
+                tag,
+                key,
+                last_gen: gen,
+                active_gen,
+            });
         }
     }
 
@@ -688,6 +942,8 @@ mod tests {
             pid,
             seq,
             is_delete: false,
+            compacted: false,
+            gen: 0,
         }
     }
 
@@ -698,6 +954,29 @@ mod tests {
             pid,
             seq,
             is_delete: true,
+            compacted: false,
+            gen: 0,
+        }
+    }
+
+    /// A compaction carry-over in generation `gen`.
+    fn carry(pid: u64, seq: u64, key: u64, value: i64, gen: u64) -> KvWitnessRecord {
+        KvWitnessRecord {
+            key,
+            value,
+            pid,
+            seq,
+            is_delete: false,
+            compacted: true,
+            gen,
+        }
+    }
+
+    /// `rec` stamped into generation `gen`.
+    fn rec_gen(pid: u64, seq: u64, key: u64, value: i64, gen: u64) -> KvWitnessRecord {
+        KvWitnessRecord {
+            gen,
+            ..rec(pid, seq, key, value)
         }
     }
 
@@ -984,6 +1263,8 @@ mod tests {
                     pid: 0,
                     seq: 1,
                     is_delete: false,
+                    compacted: false,
+                    gen: 0,
                 }]],
             ],
         };
@@ -1026,6 +1307,214 @@ mod tests {
             shards: vec![vec![vec![], vec![]], vec![vec![]]],
         };
         assert!(check_kv_sharded(&h, parity).is_linearizable());
+    }
+
+    // ---- generation boundaries (compaction) ----------------------------
+
+    #[test]
+    fn chains_spanning_a_generation_boundary_are_linearizable() {
+        // Generation 0 history, a compaction carrying the one live key,
+        // then fresh generation-1 traffic — all in one bucket chain.
+        let h = KvHistory {
+            ops: vec![
+                put(0, 1, 7, 70, true),
+                cas(1, 2, 7, 70, 71, true),
+                put(0, 3, 8, 80, true),
+                del(1, 4, 8, true),
+                put(2, 5, 9, 90, true),
+            ],
+            chains: vec![vec![
+                rec(0, 1, 7, 70),
+                rec(1, 2, 7, 71),
+                rec(0, 3, 8, 80),
+                drec(1, 4, 8, 80),
+                carry(1, 2, 7, 71, 1),
+                rec_gen(2, 5, 9, 90, 1),
+            ]],
+        };
+        assert!(check_kv_gen(&h, 1).is_linearizable());
+        assert!(check_kv(&h).is_linearizable(), "inference agrees");
+    }
+
+    #[test]
+    fn carried_records_do_not_count_as_applications() {
+        // The carry repeats the original's tag; that is a copy, not a
+        // double application — and the answered op still owns exactly
+        // one real record.
+        let h = KvHistory {
+            ops: vec![put(0, 1, 7, 70, true)],
+            chains: vec![vec![rec(0, 1, 7, 70), carry(0, 1, 7, 70, 1)]],
+        };
+        assert!(check_kv_gen(&h, 1).is_linearizable());
+        // Carried twice (two consecutive compactions): still fine.
+        let h = KvHistory {
+            ops: vec![put(0, 1, 7, 70, true)],
+            chains: vec![vec![
+                rec(0, 1, 7, 70),
+                carry(0, 1, 7, 70, 1),
+                carry(0, 1, 7, 70, 2),
+            ]],
+        };
+        assert!(check_kv_gen(&h, 2).is_linearizable());
+    }
+
+    #[test]
+    fn dropped_live_key_is_flagged() {
+        // Key 7 was live at the boundary but has no record in the
+        // active generation: the swap dropped it.
+        let h = KvHistory {
+            ops: vec![put(0, 1, 7, 70, true), put(0, 2, 9, 90, true)],
+            chains: vec![vec![rec(0, 1, 7, 70), rec_gen(0, 2, 9, 90, 1)]],
+        };
+        match check_kv_gen(&h, 1).violation() {
+            Some(KvViolation::DroppedByCompaction {
+                key,
+                last_gen,
+                active_gen,
+                ..
+            }) => {
+                assert_eq!((*key, *last_gen, *active_gen), (7, 0, 1));
+            }
+            other => panic!("expected DroppedByCompaction, got {other:?}"),
+        }
+        // A key *deleted* before the boundary is legitimately absent.
+        let h = KvHistory {
+            ops: vec![
+                put(0, 1, 7, 70, true),
+                del(0, 2, 7, true),
+                put(0, 3, 9, 90, true),
+            ],
+            chains: vec![vec![
+                rec(0, 1, 7, 70),
+                drec(0, 2, 7, 70),
+                rec_gen(0, 3, 9, 90, 1),
+            ]],
+        };
+        assert!(check_kv_gen(&h, 1).is_linearizable());
+    }
+
+    #[test]
+    fn explicit_generation_catches_what_inference_cannot() {
+        // A drop-everything compaction leaves no generation-1 records
+        // at all: the inferred active generation is 0 and the plain
+        // check passes, but the store's real generation number exposes
+        // the drop — why campaigns must use the _gen entry points.
+        let h = KvHistory {
+            ops: vec![put(0, 1, 7, 70, true)],
+            chains: vec![vec![rec(0, 1, 7, 70)]],
+        };
+        assert!(check_kv(&h).is_linearizable());
+        assert!(matches!(
+            check_kv_gen(&h, 1).violation(),
+            Some(KvViolation::DroppedByCompaction { .. })
+        ));
+    }
+
+    #[test]
+    fn carried_value_mismatch_is_flagged() {
+        // Carry claims 99 but the key held 70 at the boundary.
+        let h = KvHistory {
+            ops: vec![put(0, 1, 7, 70, true)],
+            chains: vec![vec![rec(0, 1, 7, 70), carry(0, 1, 7, 99, 1)]],
+        };
+        match check_kv_gen(&h, 1).violation() {
+            Some(KvViolation::CarriedValueMismatch { carried, held, .. }) => {
+                assert_eq!((*carried, *held), (99, Some(70)));
+            }
+            other => panic!("expected CarriedValueMismatch, got {other:?}"),
+        }
+        // Carry of a key that was dead at the boundary (held = None).
+        let h = KvHistory {
+            ops: vec![put(0, 1, 7, 70, true), del(1, 2, 7, true)],
+            chains: vec![vec![
+                rec(0, 1, 7, 70),
+                drec(1, 2, 7, 70),
+                carry(0, 1, 7, 70, 1),
+            ]],
+        };
+        assert!(matches!(
+            check_kv_gen(&h, 1).violation(),
+            Some(KvViolation::CarriedValueMismatch { held: None, .. })
+        ));
+    }
+
+    #[test]
+    fn carried_delete_and_carried_without_origin_are_flagged() {
+        let bad_carry = KvWitnessRecord {
+            is_delete: true,
+            ..carry(0, 1, 7, 70, 1)
+        };
+        let h = KvHistory {
+            ops: vec![del(0, 1, 7, true)],
+            chains: vec![vec![bad_carry]],
+        };
+        assert!(matches!(
+            check_kv_gen(&h, 1).violation(),
+            Some(KvViolation::CarriedDelete { .. })
+        ));
+        // A carry whose tag no generation ever published: the compactor
+        // invented a record.
+        let h = KvHistory {
+            ops: vec![put(0, 1, 7, 70, true)],
+            chains: vec![vec![carry(0, 1, 7, 70, 1)]],
+        };
+        assert!(matches!(
+            check_kv_gen(&h, 1).violation(),
+            Some(KvViolation::CarriedWithoutOrigin { .. })
+        ));
+    }
+
+    #[test]
+    fn generation_stamps_must_be_ordered_and_in_range() {
+        // Regression along the chain.
+        let h = KvHistory {
+            ops: vec![put(0, 1, 7, 70, true), put(0, 2, 9, 90, true)],
+            chains: vec![vec![rec_gen(0, 1, 7, 70, 1), rec(0, 2, 9, 90)]],
+        };
+        assert!(matches!(
+            check_kv_gen(&h, 1).violation(),
+            Some(KvViolation::GenerationOutOfOrder { .. })
+        ));
+        // A record from the future.
+        let h = KvHistory {
+            ops: vec![put(0, 1, 7, 70, true)],
+            chains: vec![vec![rec_gen(0, 1, 7, 70, 2)]],
+        };
+        assert!(matches!(
+            check_kv_gen(&h, 1).violation(),
+            Some(KvViolation::GenerationOutOfOrder { .. })
+        ));
+    }
+
+    #[test]
+    fn sharded_generations_are_checked_per_shard() {
+        // Shard 0 compacted to generation 1 (live key carried); shard 1
+        // never compacted. Per-shard generation numbers make both pass.
+        let h = KvShardedHistory {
+            ops: vec![put(0, 1, 2, 20, true), put(1, 2, 3, 30, true)],
+            shards: vec![
+                vec![vec![rec(0, 1, 2, 20), carry(0, 1, 2, 20, 1)]],
+                vec![vec![rec(1, 2, 3, 30)]],
+            ],
+        };
+        assert!(check_kv_sharded_gen(&h, parity, &[1, 0]).is_linearizable());
+        assert!(check_kv_sharded(&h, parity).is_linearizable(), "inference");
+        // Claiming shard 1 is also at generation 1 exposes its live key
+        // as dropped.
+        assert!(matches!(
+            check_kv_sharded_gen(&h, parity, &[1, 1]).violation(),
+            Some(KvViolation::DroppedByCompaction { key: 3, .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "one active generation per shard")]
+    fn sharded_generation_count_mismatch_panics() {
+        let h = KvShardedHistory {
+            ops: vec![],
+            shards: vec![vec![vec![]], vec![vec![]]],
+        };
+        let _ = check_kv_sharded_gen(&h, parity, &[0]);
     }
 
     #[test]
@@ -1080,6 +1569,26 @@ mod tests {
                 key: 3,
                 shard: 0,
                 home: 1,
+            },
+            KvViolation::CarriedDelete { tag: (0, 1) },
+            KvViolation::CarriedWithoutOrigin { tag: (0, 1) },
+            KvViolation::CarriedValueMismatch {
+                tag: (0, 1),
+                key: 3,
+                carried: 1,
+                held: Some(2),
+            },
+            KvViolation::DroppedByCompaction {
+                tag: (0, 1),
+                key: 3,
+                last_gen: 0,
+                active_gen: 1,
+            },
+            KvViolation::GenerationOutOfOrder {
+                tag: (0, 1),
+                gen: 2,
+                prev_gen: 0,
+                active_gen: 1,
             },
         ];
         for v in violations {

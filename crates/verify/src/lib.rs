@@ -38,8 +38,8 @@ pub use fifo::{
 };
 pub use history::{CasHistory, CasOp, TimedHistory, TimedOp};
 pub use kv::{
-    check_kv, check_kv_sharded, KvAnswer, KvHistory, KvOp, KvOpKind, KvShardedHistory, KvSpec,
-    KvVerdict, KvViolation, KvWitnessRecord,
+    check_kv, check_kv_gen, check_kv_sharded, check_kv_sharded_gen, KvAnswer, KvHistory, KvOp,
+    KvOpKind, KvShardedHistory, KvSpec, KvVerdict, KvViolation, KvWitnessRecord,
 };
 pub use linearizability::{check_linearizability, LinVerdict};
 pub use sequential::{check_sequential_consistency, ProgramOrderHistory, ScVerdict};

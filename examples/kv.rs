@@ -13,7 +13,11 @@
 //!    the sequential map specification;
 //! 3. re-run with the injected recovery bug ([`KvVariant::NoScan`] —
 //!    the KV analogue of §5.2 removing the helping matrix) and watch
-//!    the verifier catch the double application.
+//!    the verifier catch the double application;
+//! 4. outlive the version log: fill a shard past its formatted
+//!    capacity — without compaction the shard bricks (puts start
+//!    answering `false`), with the headroom-triggered generational
+//!    compaction every mutation lands.
 //!
 //! ```sh
 //! cargo run --example kv
@@ -23,7 +27,7 @@
 
 use pstack::chaos::{run_kv_campaign, KvCampaignConfig};
 use pstack::heap::PHeap;
-use pstack::kv::{KvVariant, PKvStore};
+use pstack::kv::{shard_of, KvVariant, PKvStore, ShardedKvStore};
 use pstack::nvram::PMemBuilder;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -98,6 +102,77 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.total_crashes(),
         report.verdict,
     );
+
+    // Act 4: outliving the log — the generational compactor. A sharded
+    // store with a deliberately tiny 12-slot log per shard takes 50
+    // mutations on one hot shard's keys.
+    println!("\ncompaction: 50 mutations into a 12-slot shard log");
+    let nshards = 2;
+    let log_cap = 12u64;
+    let hot_keys: Vec<u64> = (0..)
+        .filter(|&k| shard_of(k, nshards) == 0)
+        .take(5)
+        .collect();
+    let build = || -> Result<ShardedKvStore, Box<dyn std::error::Error>> {
+        let stripe = PMemBuilder::new()
+            .len(1 << 20)
+            .eager_flush(true)
+            .build_striped(nshards);
+        Ok(ShardedKvStore::format(
+            stripe.regions(),
+            8,
+            log_cap,
+            KvVariant::Nsrl,
+        )?)
+    };
+
+    // Without compaction the shard bricks — loudly.
+    let kv = build()?;
+    let mut bricked_at = None;
+    for seq in 1..=50u64 {
+        let key = hot_keys[(seq % 5) as usize];
+        if !kv.put(0, seq, key, seq as i64)? {
+            bricked_at = Some(seq);
+            break;
+        }
+    }
+    let bricked_at = bricked_at.expect("a 12-slot log cannot absorb 50 mutations");
+    println!(
+        "  WITHOUT compaction: shard 0 went READ-ONLY at mutation {bricked_at} \
+         ({}/{} slots burned) — every further put on its keys fails",
+        kv.shard(0).log_reserved()?,
+        log_cap,
+    );
+
+    // With the headroom signal driving compact_shard, all 50 land.
+    let kv = build()?;
+    let mut compactions = 0;
+    for seq in 1..=50u64 {
+        let key = hot_keys[(seq % 5) as usize];
+        let shard = kv.shard_of(key);
+        if kv.shard(shard).log_reserved()? + 1 >= kv.shard(shard).log_capacity()? {
+            let stats = kv.compact_shard(shard)?;
+            compactions += 1;
+            println!(
+                "  compact shard {shard}: generation {} → {}, {} live carried, \
+                 {} history slots dropped",
+                stats.from_gen, stats.to_gen, stats.carried, stats.dropped,
+            );
+        }
+        assert!(
+            kv.put(0, seq, key, seq as i64)?,
+            "with compaction no mutation is ever rejected"
+        );
+    }
+    assert!(compactions > 0);
+    println!(
+        "  WITH compaction: all 50 mutations applied across {} generations; \
+         key {} = {:?}",
+        kv.generations()?[0] + 1,
+        hot_keys[0],
+        kv.get(hot_keys[0])?,
+    );
+
     println!("\nkv example finished");
     Ok(())
 }

@@ -12,15 +12,19 @@
 //! Each benchmark reports one line:
 //!
 //! ```text
-//! <group>/<id>   time: [<min> <mean> <max>]  n=<samples>×<iters>  thrpt: <rate>
+//! <group>/<id>   time: [<min> <mean> <max>]  σ=<stddev> ±<ci95>(95%)  n=<samples>×<iters>  thrpt: <rate>
 //! ```
 //!
 //! where `min`/`mean`/`max` are per-iteration times over the samples
 //! (min ≈ the low-noise floor, mean the central estimate the optional
-//! throughput rate is derived from, max the tail) and `n` is the
+//! throughput rate is derived from, max the tail), `σ` the sample
+//! standard deviation, `±…(95%)` the 95% confidence half-width of the
+//! mean (`1.96σ/√samples` — the mean is `mean ± ci95`), and `n` the
 //! sample count times the calibrated iterations per sample — enough
-//! spread information to make before/after comparisons defensible.
-//! There is no HTML report and no statistical regression analysis.
+//! spread information to make before/after comparisons defensible
+//! ([`Measurement::distinguishable_from`] checks that two results'
+//! intervals do not overlap). There is no HTML report and no further
+//! regression analysis.
 //!
 //! Beyond the upstream API, the shim adds a small comparison facility
 //! for scaling sweeps: [`BenchmarkGroup::bench_measured`] runs a
@@ -114,12 +118,34 @@ pub struct Measurement {
     pub mean: Duration,
     /// Maximum per-iteration time over the samples.
     pub max: Duration,
+    /// Sample standard deviation (Bessel-corrected) of the
+    /// per-iteration times over the samples; zero with fewer than two
+    /// samples.
+    pub stddev: Duration,
+    /// Half-width of the 95% confidence interval of the mean
+    /// (`1.96 · stddev / √samples`): the mean is `mean ± ci95`. Zero
+    /// with fewer than two samples.
+    pub ci95: Duration,
     /// Mean throughput in units (elements or bytes) per second, when
     /// the group carried a [`Throughput`] annotation.
     pub rate: Option<f64>,
 }
 
 impl Measurement {
+    /// `true` when the two measurements' 95% confidence intervals do
+    /// **not** overlap — the difference in means is unlikely to be
+    /// noise. This is what makes a before/after ratio (a compaction
+    /// pause, a batching win) defensible rather than anecdotal.
+    #[must_use]
+    pub fn distinguishable_from(&self, other: &Measurement) -> bool {
+        let (lo, hi) = if self.mean <= other.mean {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        lo.mean + lo.ci95 < hi.mean.saturating_sub(hi.ci95)
+    }
+
     /// Candidate-vs-baseline speedup: throughput ratio when both sides
     /// carry rates, inverse mean-time ratio otherwise. Greater than 1
     /// means `self` (the candidate) is faster.
@@ -151,6 +177,8 @@ impl Measurement {
 ///     min: Duration::from_micros(9),
 ///     mean: Duration::from_micros(10),
 ///     max: Duration::from_micros(12),
+///     stddev: Duration::from_micros(1),
+///     ci95: Duration::from_nanos(620),
 ///     rate: Some(1.0e6),
 /// };
 /// let cand = Measurement { rate: Some(2.5e6), ..base };
@@ -393,6 +421,23 @@ impl BenchmarkGroup<'_> {
             .sum::<Duration>()
             .checked_div(samples.len() as u32)
             .unwrap_or_default();
+        // Sample standard deviation (Bessel-corrected) and the 95%
+        // confidence half-width of the mean.
+        let (stddev, ci95) = if samples.len() > 1 {
+            let mean_s = mean.as_secs_f64();
+            let var = samples
+                .iter()
+                .map(|s| (s.as_secs_f64() - mean_s).powi(2))
+                .sum::<f64>()
+                / (samples.len() - 1) as f64;
+            let sd = var.sqrt();
+            (
+                Duration::from_secs_f64(sd),
+                Duration::from_secs_f64(1.96 * sd / (samples.len() as f64).sqrt()),
+            )
+        } else {
+            (Duration::ZERO, Duration::ZERO)
+        };
 
         let (rate, rate_note) = match self.throughput {
             Some(Throughput::Elements(n)) if !mean.is_zero() => {
@@ -406,13 +451,16 @@ impl BenchmarkGroup<'_> {
             _ => (None, String::new()),
         };
         println!(
-            "{full:<55} time: [{min:>10.3?} {mean:>10.3?} {max:>10.3?}]  n={}×{iters}{rate_note}",
+            "{full:<55} time: [{min:>10.3?} {mean:>10.3?} {max:>10.3?}]  σ={stddev:.3?} \
+             ±{ci95:.3?}(95%)  n={}×{iters}{rate_note}",
             samples.len()
         );
         Measurement {
             min,
             mean,
             max,
+            stddev,
+            ci95,
             rate,
         }
     }
@@ -478,6 +526,38 @@ mod tests {
         g.finish();
         assert!(m.min <= m.mean && m.mean <= m.max);
         assert!(m.rate.unwrap_or(0.0) > 0.0);
+        // 3 samples: the spread statistics are populated and the CI is
+        // narrower than the spread itself (1.96/√3 < 1.96).
+        assert!(m.ci95 <= m.stddev * 2);
+        assert!(
+            m.stddev <= m.max - m.min + Duration::from_nanos(1),
+            "stddev {:?} cannot exceed the full spread",
+            m.stddev
+        );
+    }
+
+    #[test]
+    fn confidence_intervals_decide_distinguishability() {
+        let base = Measurement {
+            min: Duration::from_micros(8),
+            mean: Duration::from_micros(10),
+            max: Duration::from_micros(14),
+            stddev: Duration::from_micros(2),
+            ci95: Duration::from_micros(1),
+            rate: None,
+        };
+        let clearly_slower = Measurement {
+            mean: Duration::from_micros(20),
+            ..base
+        };
+        let within_noise = Measurement {
+            mean: Duration::from_micros(11),
+            ..base
+        };
+        assert!(base.distinguishable_from(&clearly_slower));
+        assert!(clearly_slower.distinguishable_from(&base), "symmetric");
+        assert!(!base.distinguishable_from(&within_noise));
+        assert!(!base.distinguishable_from(&base));
     }
 
     #[test]
@@ -486,6 +566,8 @@ mod tests {
             min: Duration::from_micros(8),
             mean: Duration::from_micros(10),
             max: Duration::from_micros(14),
+            stddev: Duration::from_micros(2),
+            ci95: Duration::from_micros(1),
             rate: Some(1.0e6),
         };
         let cand = Measurement {

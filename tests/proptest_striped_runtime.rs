@@ -136,18 +136,7 @@ fn history_of(store: &ShardedKvStore, tables: &[KvOpTable]) -> KvShardedHistory 
         .map(|chains| {
             chains
                 .into_iter()
-                .map(|chain| {
-                    chain
-                        .into_iter()
-                        .map(|r| KvWitnessRecord {
-                            key: r.key,
-                            value: r.value,
-                            pid: r.pid,
-                            seq: r.seq,
-                            is_delete: r.is_delete,
-                        })
-                        .collect()
-                })
+                .map(|chain| chain.into_iter().map(KvWitnessRecord::from).collect())
                 .collect()
         })
         .collect();
