@@ -32,10 +32,12 @@ pub fn region(len: usize) -> PMem {
 /// sweep), so the lines stay comparable.
 pub fn report_persist_economy(label: &str, line_size: usize, delta: StatsSnapshot, ops: f64) {
     println!(
-        "{label:<55} stats: persists/op={:.3} lines/op={:.3} coalesced_bytes/op={:.1}",
+        "{label:<55} stats: persists/op={:.3} lines/op={:.3} coalesced_bytes/op={:.1} \
+         redundant_persists/op={:.3}",
         delta.persists as f64 / ops,
         delta.lines_persisted as f64 / ops,
         delta.coalesced_lines as f64 * line_size as f64 / ops,
+        delta.redundant_persists as f64 / ops,
     );
 }
 

@@ -7,7 +7,7 @@ use rand::{Rng, SeedableRng};
 use pstack_core::{
     FunctionRegistry, PError, RecoveryMode, Runtime, RuntimeConfig, StackKind, Task,
 };
-use pstack_nvram::{FailPlan, PMem, PMemBuilder, POffset};
+use pstack_nvram::{FailPlan, PMem, PMemBuilder, POffset, PsanViolation};
 use pstack_recoverable::{
     CasTaskFunction, CasVariant, RecoverableCas, TaskTable, CAS_TASK_FUNC_ID,
 };
@@ -48,6 +48,10 @@ pub struct CampaignConfig {
     /// actual deployment (HDD-backed `mmap`). The file is created (or
     /// truncated logically by reformatting) at campaign start.
     pub backing_file: Option<std::path::PathBuf>,
+    /// Shadow every NVRAM access with the persist-order sanitizer and
+    /// collect its findings in the report. Defaults to the `psan`
+    /// crate feature (on unless built with `--no-default-features`).
+    pub psan: bool,
 }
 
 impl CampaignConfig {
@@ -68,6 +72,7 @@ impl CampaignConfig {
             region_len: 1 << 21,
             access_jitter: None,
             backing_file: None,
+            psan: cfg!(feature = "psan"),
         }
     }
 
@@ -111,6 +116,10 @@ pub struct CampaignReport {
     pub history: CasHistory,
     /// The §5.1 verdict on the execution.
     pub verdict: SerialVerdict,
+    /// Persist-order sanitizer findings across every boot (empty when
+    /// PSan is off; expected empty when it is on — the campaign's
+    /// persist discipline is supposed to be violation-free).
+    pub psan_violations: Vec<PsanViolation>,
 }
 
 impl CampaignReport {
@@ -188,7 +197,10 @@ pub fn run_campaign(cfg: &CampaignConfig) -> Result<CampaignReport, PError> {
         .collect();
 
     // Standard-mode boot: format the system and the application state.
-    let mut builder = PMemBuilder::new().len(cfg.region_len).eager_flush(true);
+    let mut builder = PMemBuilder::new()
+        .len(cfg.region_len)
+        .eager_flush(true)
+        .psan(cfg.psan);
     if let Some((prob, pause_events)) = cfg.access_jitter {
         builder = builder.access_jitter(prob, pause_events);
     }
@@ -309,6 +321,7 @@ pub fn run_campaign(cfg: &CampaignConfig) -> Result<CampaignReport, PError> {
         recovered_frames,
         history,
         verdict,
+        psan_violations: pmem.psan_violations(),
     })
 }
 
@@ -323,6 +336,11 @@ mod tests {
         assert!(report.crashes > 0, "campaign should experience crashes");
         assert_eq!(report.history.ops.len(), 60);
         assert!(report.rounds > 1);
+        assert!(
+            report.psan_violations.is_empty(),
+            "sanitizer findings: {:?}",
+            report.psan_violations
+        );
     }
 
     #[test]

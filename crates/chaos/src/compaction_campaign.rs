@@ -38,7 +38,7 @@ use rand::{Rng, SeedableRng};
 
 use pstack_core::PError;
 use pstack_kv::{shard_of, KvOpTable, KvVariant, ShardedKvStore, ShardedKvTaskFunction};
-use pstack_nvram::{FailPlan, PMemBuilder, PMemStripe, POffset};
+use pstack_nvram::{FailPlan, PMemBuilder, PMemStripe, POffset, PsanViolation};
 use pstack_verify::{check_kv_sharded_gen, KvShardedHistory, KvVerdict};
 
 use crate::kv_campaign::ShardLogUsage;
@@ -97,6 +97,9 @@ pub struct CompactionCampaignConfig {
     /// NVRAM region length *per shard* (also bounds how many retired
     /// generations the shard's heap can retain).
     pub region_len: usize,
+    /// Runs the campaign under the persist-order sanitizer; defaults to
+    /// the `psan` crate feature.
+    pub psan: bool,
 }
 
 impl CompactionCampaignConfig {
@@ -123,6 +126,7 @@ impl CompactionCampaignConfig {
             recovery_crash_prob: 0.4,
             ops_per_round: 8,
             region_len: 1 << 20,
+            psan: cfg!(feature = "psan"),
         }
     }
 
@@ -171,6 +175,9 @@ pub struct CompactionCampaignReport {
     /// Per shard: real (non-carried) records published across all
     /// generations — lifetime mutations the shard absorbed.
     pub published_per_shard: Vec<usize>,
+    /// Persist-order sanitizer findings (empty when PSan is off, and —
+    /// for the correct variant — when it is on).
+    pub psan_violations: Vec<PsanViolation>,
 }
 
 impl CompactionCampaignReport {
@@ -246,7 +253,7 @@ pub fn run_compaction_campaign(
     let nbuckets = cfg.key_space.max(4);
     let batch = cfg.group_commit.unwrap_or(1).max(1);
 
-    let mut builder = PMemBuilder::new().len(cfg.region_len);
+    let mut builder = PMemBuilder::new().len(cfg.region_len).psan(cfg.psan);
     if cfg.group_commit.is_none() {
         builder = builder.eager_flush(true);
     }
@@ -394,6 +401,7 @@ pub fn run_compaction_campaign(
                 log_usage,
                 original_log_cap: cfg.log_cap_per_shard,
                 published_per_shard,
+                psan_violations: stripe.psan_violations(),
             });
         }
 
@@ -465,6 +473,11 @@ mod tests {
             report.total_crashes() > 0,
             "the campaign should experience kills"
         );
+        assert!(
+            report.psan_violations.is_empty(),
+            "sanitizer findings: {:?}",
+            report.psan_violations
+        );
         // Every compaction names its shard, and the committed
         // generations per shard are strictly increasing.
         for s in 0..2 {
@@ -528,6 +541,46 @@ mod tests {
     }
 
     #[test]
+    fn psan_flags_the_no_persist_before_swap_variant() {
+        use pstack_nvram::PsanViolationKind;
+        // The seeded bug skips the generation's persist barrier before
+        // the root swap. Recovery still converges (the verifier stays
+        // green without crashes), but the sanitizer sees the swap
+        // publish over dirty lines — the bug the verifier cannot catch.
+        let mut cfg =
+            CompactionCampaignConfig::new(300, 21).variant(KvVariant::NoPersistBeforeSwap);
+        cfg.max_crashes = 0; // deterministic: violations fire at swap time
+        cfg.psan = true;
+        let report = run_compaction_campaign(&cfg).unwrap();
+        assert!(
+            report.is_linearizable(),
+            "without crashes the buggy variant still verifies: {:?}",
+            report.verdict
+        );
+        assert!(!report.compactions.is_empty(), "compactions must trigger");
+        let unordered: Vec<_> = report
+            .psan_violations
+            .iter()
+            .filter(|v| matches!(v.kind, PsanViolationKind::UnorderedCommit))
+            .collect();
+        assert!(
+            !unordered.is_empty(),
+            "the skipped persist barrier must surface as unordered commits: {:?}",
+            report.psan_violations
+        );
+        for v in &unordered {
+            assert!(
+                v.region.starts_with("shard-"),
+                "attribution names the shard region: {v:?}"
+            );
+            assert_eq!(
+                v.op_label, "kv.compact",
+                "attribution names the compaction op: {v:?}"
+            );
+        }
+    }
+
+    #[test]
     fn two_hundred_compaction_crash_cycles_lose_nothing() {
         // The PR 5 acceptance gate: ≥ 200 crash/recover cycles across
         // seeds, with kills inside compaction rewrites, at the root
@@ -551,6 +604,11 @@ mod tests {
                 report.total_crashes(),
                 report.compaction_crashes,
                 report.verdict
+            );
+            assert!(
+                report.psan_violations.is_empty(),
+                "seed {seed}: sanitizer findings: {:?}",
+                report.psan_violations
             );
             cycles += report.total_crashes();
             compaction_kills += report.compaction_crashes;

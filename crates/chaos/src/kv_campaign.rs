@@ -19,7 +19,7 @@ use pstack_core::{
 use pstack_kv::{
     KvOpTable, KvTaskFunction, KvTaskOp, KvTaskResult, KvVariant, PKvStore, KV_TASK_FUNC_ID,
 };
-use pstack_nvram::{FailPlan, PMem, PMemBuilder, POffset};
+use pstack_nvram::{FailPlan, PMem, PMemBuilder, POffset, PsanViolation};
 use pstack_verify::{check_kv, KvAnswer, KvHistory, KvOp, KvOpKind, KvVerdict, KvWitnessRecord};
 
 /// Configuration of one KV crash campaign.
@@ -55,6 +55,10 @@ pub struct KvCampaignConfig {
     /// Scheduling noise `(probability, pause-events)`; see
     /// [`crate::CampaignConfig::access_jitter`].
     pub access_jitter: Option<(f64, u64)>,
+    /// Shadow every NVRAM access with the persist-order sanitizer and
+    /// collect its findings in the report. Defaults to the `psan`
+    /// crate feature.
+    pub psan: bool,
 }
 
 impl KvCampaignConfig {
@@ -77,6 +81,7 @@ impl KvCampaignConfig {
             recovery_crash_prob: 0.3,
             region_len: 1 << 21,
             access_jitter: None,
+            psan: cfg!(feature = "psan"),
         }
     }
 
@@ -208,6 +213,9 @@ pub struct KvCampaignReport {
     /// entry for this single-store campaign; the sharded campaign
     /// reports one per shard).
     pub log_usage: Vec<ShardLogUsage>,
+    /// Persist-order sanitizer findings across every boot (empty when
+    /// PSan is off; expected empty when it is on).
+    pub psan_violations: Vec<PsanViolation>,
 }
 
 impl KvCampaignReport {
@@ -372,7 +380,10 @@ pub fn run_kv_campaign(cfg: &KvCampaignConfig) -> Result<KvCampaignReport, PErro
         cfg.n_ops as u64 * 2 + (cfg.max_crashes as u64 * 2 + 1) * (cfg.workers as u64 + 1) + 64;
     let nbuckets = cfg.key_space.max(4);
 
-    let mut builder = PMemBuilder::new().len(cfg.region_len).eager_flush(true);
+    let mut builder = PMemBuilder::new()
+        .len(cfg.region_len)
+        .eager_flush(true)
+        .psan(cfg.psan);
     if let Some((prob, pause_events)) = cfg.access_jitter {
         builder = builder.access_jitter(prob, pause_events);
     }
@@ -466,6 +477,7 @@ pub fn run_kv_campaign(cfg: &KvCampaignConfig) -> Result<KvCampaignReport, PErro
             reserved: store.log_reserved()?,
             capacity: store.log_capacity()?,
         }],
+        psan_violations: pmem.psan_violations(),
     })
 }
 
@@ -484,6 +496,11 @@ mod tests {
             report.log_had_headroom(),
             "log filled ({}) — the campaign degenerated to a read-only store",
             report.tightest_shard()
+        );
+        assert!(
+            report.psan_violations.is_empty(),
+            "sanitizer findings: {:?}",
+            report.psan_violations
         );
     }
 
@@ -538,6 +555,11 @@ mod tests {
                 report.log_had_headroom(),
                 "seed {seed}: log filled ({}) — cycles stopped exercising recovery",
                 report.tightest_shard()
+            );
+            assert!(
+                report.psan_violations.is_empty(),
+                "seed {seed}: sanitizer findings: {:?}",
+                report.psan_violations
             );
             cycles += report.total_crashes();
             campaigns += 1;

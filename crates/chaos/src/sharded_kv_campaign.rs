@@ -25,7 +25,9 @@ use pstack_kv::{
     shard_of, KvBatchOp, KvOpTable, KvTaskOp, KvTaskResult, KvVariant, ShardedKvStore,
     ShardedKvTaskFunction, KV_SHARDED_FUNC_ID,
 };
-use pstack_nvram::{FailPlan, PMem, PMemBuilder, PMemStripe, POffset, StatsSnapshot};
+use pstack_nvram::{
+    FailPlan, PMem, PMemBuilder, PMemStripe, POffset, PsanViolation, StatsSnapshot,
+};
 use pstack_verify::{
     check_kv_sharded_gen, KvAnswer, KvOp, KvOpKind, KvShardedHistory, KvVerdict, KvWitnessRecord,
 };
@@ -88,6 +90,11 @@ pub struct ShardedKvCampaignConfig {
     /// Probability of arming a kill *inside* each recovery pass
     /// (runtime-driven mode only; bounded by twice the crash budget).
     pub recovery_crash_prob: f64,
+    /// Shadow every region (shards and, in the runtime-driven mode,
+    /// the control region) with the persist-order sanitizer and
+    /// collect its findings in the report. Defaults to the `psan`
+    /// crate feature.
+    pub psan: bool,
 }
 
 impl ShardedKvCampaignConfig {
@@ -115,6 +122,7 @@ impl ShardedKvCampaignConfig {
             runtime_driven: false,
             control_region_len: 1 << 20,
             recovery_crash_prob: 0.35,
+            psan: cfg!(feature = "psan"),
         }
     }
 
@@ -190,6 +198,11 @@ pub struct ShardedKvCampaignReport {
     /// Mutation descriptors in the workload (put/delete/cas — the
     /// denominator of the persists-per-mutation metric).
     pub mutations: usize,
+    /// Persist-order sanitizer findings across every region and boot,
+    /// attributed to their home shard (empty when PSan is off;
+    /// expected empty when it is on — unless the campaign runs a
+    /// seeded persist-order bug variant).
+    pub psan_violations: Vec<PsanViolation>,
 }
 
 impl ShardedKvCampaignReport {
@@ -410,6 +423,7 @@ struct CampaignTally {
     shard_kills: usize,
     crash_sites: Vec<CrashSite>,
     stats: StatsSnapshot,
+    psan_violations: Vec<PsanViolation>,
 }
 
 /// Builds the final report from a quiescent store (every descriptor
@@ -454,6 +468,7 @@ fn finalize_report(
         flush_epochs: store.flush_epochs()?,
         stats: tally.stats,
         mutations,
+        psan_violations: tally.psan_violations,
     })
 }
 
@@ -584,7 +599,7 @@ pub fn run_sharded_kv_campaign(
     );
     let nbuckets = cfg.key_space.max(4);
 
-    let mut builder = PMemBuilder::new().len(cfg.region_len);
+    let mut builder = PMemBuilder::new().len(cfg.region_len).psan(cfg.psan);
     if cfg.group_commit.is_none() {
         builder = builder.eager_flush(true);
     }
@@ -617,8 +632,11 @@ pub fn run_sharded_kv_campaign(
             .iter()
             .all(Vec::is_empty)
         {
-            // Quiescent: fold in this boot's counters and stop.
+            // Quiescent: fold in this boot's counters and stop. The
+            // sanitizer's findings survive every reopen (the shadow
+            // state rides the region), so one sweep here sees them all.
             tally.stats = tally.stats + stripe.aggregate_stats();
+            tally.psan_violations = stripe.psan_violations();
             return finalize_report(cfg, &store, &tables, tally, mutations);
         }
 
@@ -717,6 +735,7 @@ fn drive_with_runtime(
     // boot is an open.
     let mut control = PMemBuilder::new()
         .len(cfg.control_region_len)
+        .psan(cfg.psan)
         .build_in_memory();
     {
         let stub = FunctionRegistry::new();
@@ -783,6 +802,8 @@ fn drive_with_runtime(
         let mut tasks = func.pending_tasks(KV_SHARDED_FUNC_ID, window)?;
         if tasks.is_empty() {
             tally.stats = tally.stats + stripe.aggregate_stats();
+            tally.psan_violations = stripe.psan_violations();
+            tally.psan_violations.extend(control.psan_violations());
             return finalize_report(cfg, &store, &tables, tally, mutations);
         }
         tasks.shuffle(&mut rng);
@@ -896,6 +917,11 @@ mod tests {
             report.stats.coalesced_lines > 0,
             "group commits should coalesce persists: {:?}",
             report.stats
+        );
+        assert!(
+            report.psan_violations.is_empty(),
+            "sanitizer findings: {:?}",
+            report.psan_violations
         );
     }
 
@@ -1012,6 +1038,11 @@ mod tests {
                 "seed {seed}: {} filled — cycles stopped exercising recovery",
                 report.tightest_shard()
             );
+            assert!(
+                report.psan_violations.is_empty(),
+                "seed {seed}: sanitizer findings: {:?}",
+                report.psan_violations
+            );
             cycles += report.total_crashes();
             campaigns += 1;
             if cycles >= 200 {
@@ -1022,6 +1053,46 @@ mod tests {
             cycles >= 200,
             "only {cycles} crash/recover cycles across {campaigns} campaigns"
         );
+    }
+
+    #[test]
+    fn psan_flags_the_early_publish_variant_and_names_the_shard() {
+        // The seeded persist-order bug as a campaign-level negative
+        // control: group commits publish their bucket heads without
+        // persisting the staged records first. Without a crash the
+        // execution is semantically flawless — the verifier passes —
+        // but the sanitizer must flag every buggy publish and attribute
+        // it to the home shard and the group-commit op.
+        use pstack_nvram::PsanViolationKind;
+        let mut cfg = ShardedKvCampaignConfig::new(60, 13).variant(KvVariant::EarlyPublish);
+        cfg.max_crashes = 0; // deterministic: violations fire at publish time
+        cfg.psan = true;
+        let report = run_sharded_kv_campaign(&cfg).unwrap();
+        assert!(
+            report.is_linearizable(),
+            "without crashes the bug is invisible to the verifier: {:?}",
+            report.verdict
+        );
+        let early: Vec<_> = report
+            .psan_violations
+            .iter()
+            .filter(|v| matches!(v.kind, PsanViolationKind::EarlyPublish { .. }))
+            .collect();
+        assert!(
+            !early.is_empty(),
+            "the sanitizer must catch what the verifier cannot: {:?}",
+            report.psan_violations
+        );
+        for v in &early {
+            assert!(
+                v.region.starts_with("shard-"),
+                "violation names its home shard: {v:?}"
+            );
+            assert_eq!(
+                v.op_label, "kv.apply_batch",
+                "violation names the group-commit op: {v:?}"
+            );
+        }
     }
 
     // ---- runtime-driven mode ------------------------------------------
@@ -1045,6 +1116,11 @@ mod tests {
         assert!(
             report.recovered_frames > 0,
             "stack-driven recovery should replay interrupted frames"
+        );
+        assert!(
+            report.psan_violations.is_empty(),
+            "sanitizer findings: {:?}",
+            report.psan_violations
         );
         // Every cycle is attributed to the region that tripped it.
         assert!(!report.crash_sites.is_empty());
@@ -1118,6 +1194,11 @@ mod tests {
                 "seed {seed}: {} filled — cycles stopped exercising recovery",
                 report.tightest_shard()
             );
+            assert!(
+                report.psan_violations.is_empty(),
+                "seed {seed}: sanitizer findings: {:?}",
+                report.psan_violations
+            );
             cycles += report.total_crashes();
             recovery_kills += report.recovery_crashes;
             batch_window_kills += report.shard_kills;
@@ -1182,7 +1263,7 @@ mod tests {
     /// `TABLE_ROOT_OFF`), and a 1-worker runtime over a fresh control
     /// region.
     fn build_enum_system(ops: &[KvTaskOp]) -> (PMem, PMemStripe) {
-        let stripe = PMemBuilder::new().len(1 << 19).build_striped(2);
+        let stripe = PMemBuilder::new().len(1 << 19).psan(true).build_striped(2);
         let store = ShardedKvStore::format(stripe.regions(), 8, 128, KvVariant::Nsrl).unwrap();
         let per_shard = ShardedKvTaskFunction::partition_ops_padded(ops, 2);
         for (s, shard_ops) in per_shard.iter().enumerate() {
@@ -1247,6 +1328,8 @@ mod tests {
                         assert_eq!(contents.get(key), Some(value), "{label}: key {key}");
                     }
                 }
+                let violations = stripe.psan_violations();
+                assert!(violations.is_empty(), "{label}: sanitizer: {violations:?}");
                 return;
             }
             let report = rt.run_tasks(tasks);

@@ -27,7 +27,7 @@
 //!   phase trips the remaining regions and leaves a state from which
 //!   the next `reopen_all` + `recover` continues idempotently.
 
-use pstack_nvram::{PMem, PMemStripe};
+use pstack_nvram::{op_label, PMem, PMemStripe};
 
 use crate::registry::FunctionRegistry;
 use crate::runtime::exec::{CrashRegion, CrashSite, RunReport};
@@ -354,6 +354,7 @@ impl StripedRuntime {
         match mode {
             RecoveryMode::Serial => {
                 for (shard, region) in self.stripe.regions().iter().enumerate() {
+                    let _label = op_label("runtime.recover");
                     prelude(shard, region)?;
                 }
                 Ok(())
@@ -365,7 +366,12 @@ impl StripedRuntime {
                         .regions()
                         .iter()
                         .enumerate()
-                        .map(|(shard, region)| scope.spawn(move || prelude(shard, region)))
+                        .map(|(shard, region)| {
+                            scope.spawn(move || {
+                                let _label = op_label("runtime.recover");
+                                prelude(shard, region)
+                            })
+                        })
                         .collect();
                     handles
                         .into_iter()

@@ -21,6 +21,17 @@ const HEAP_MAGIC: u64 = 0x5053_5441_434B_4850; // "PSTACKHP"
 const BLOCK_CANARY: u64 = 0xB10C_B10C_B10C_B10C;
 const USED_BIT: u64 = 1;
 
+/// Persists `[off, off + len)` — unless the region is eager, where
+/// every write is already durable and the flush would only burn a
+/// redundant persist round-trip (PSan's redundant-persist diagnostic
+/// flagged the unconditional version).
+fn persist(pmem: &PMem, off: POffset, len: usize) -> Result<(), HeapError> {
+    if !pmem.is_eager_flush() {
+        pmem.flush(off, len)?;
+    }
+    Ok(())
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Block {
     size: u64,
@@ -80,7 +91,7 @@ impl PHeap {
         pmem.write_u64(base + 8u64, end)?;
         pmem.write_u64(base + 16u64, first_block)?;
         pmem.write_u64(base + 24u64, 0)?;
-        pmem.flush(base, HEAP_HEADER_LEN as usize)?;
+        persist(&pmem, base, HEAP_HEADER_LEN as usize)?;
 
         let total = end - first_block;
         write_header(&pmem, first_block, total, false)?;
@@ -285,7 +296,7 @@ impl PHeap {
     pub fn alloc_zeroed(&self, size: usize) -> Result<POffset, HeapError> {
         let off = self.alloc(size)?;
         self.pmem.fill(off, 0, size)?;
-        self.pmem.flush(off, size)?;
+        persist(&self.pmem, off, size)?;
         Ok(off)
     }
 
@@ -455,14 +466,14 @@ fn write_header(pmem: &PMem, start: u64, size: u64, used: bool) -> Result<(), He
     hdr[..8].copy_from_slice(&word0.to_le_bytes());
     hdr[8..].copy_from_slice(&BLOCK_CANARY.to_le_bytes());
     pmem.write(POffset::new(start), &hdr)?;
-    pmem.flush(POffset::new(start), 16)?;
+    persist(pmem, POffset::new(start), 16)?;
     Ok(())
 }
 
 fn write_header_word(pmem: &PMem, start: u64, size: u64, used: bool) -> Result<(), HeapError> {
     let word0 = size | (u64::from(used) * USED_BIT);
     pmem.write_u64(POffset::new(start), word0)?;
-    pmem.flush(POffset::new(start), 8)?;
+    persist(pmem, POffset::new(start), 8)?;
     Ok(())
 }
 

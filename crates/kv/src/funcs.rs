@@ -7,7 +7,7 @@ use std::sync::Arc;
 
 use pstack_core::{PContext, PError, RecoverableFunction, RetBytes, Task};
 use pstack_heap::PHeap;
-use pstack_nvram::{PMem, POffset};
+use pstack_nvram::{op_label, PMem, POffset};
 
 use crate::shard::{shard_of, ShardedKvStore};
 use crate::store::{KvBatchOp, PKvStore};
@@ -461,6 +461,11 @@ impl KvTaskFunction {
         idx: usize,
         recovery: bool,
     ) -> Result<Option<RetBytes>, PError> {
+        let _label = op_label(if recovery {
+            "kv_task.recover"
+        } else {
+            "kv_task.call"
+        });
         if let Some(answer) = self.table.result(idx)? {
             return Ok(Self::encode_answer(answer.result));
         }
@@ -687,6 +692,11 @@ impl ShardedKvTaskFunction {
         idx: usize,
         recovery: bool,
     ) -> Result<Option<RetBytes>, PError> {
+        let _label = op_label(if recovery {
+            "kv_task.recover"
+        } else {
+            "kv_task.call"
+        });
         let table = self.tables.get(shard as usize).ok_or_else(|| {
             PError::Task(format!(
                 "shard {shard} out of range ({} shards)",
@@ -745,6 +755,7 @@ impl ShardedKvTaskFunction {
         count: usize,
         recovery: bool,
     ) -> Result<Option<RetBytes>, PError> {
+        let _label = op_label("kv_task.window");
         let table = self.tables.get(shard as usize).ok_or_else(|| {
             PError::Task(format!(
                 "shard {shard} out of range ({} shards)",
@@ -903,6 +914,7 @@ impl KvCompactFunction {
     }
 
     fn dispatch(&self, args: &[u8], recovery: bool) -> Result<Option<RetBytes>, PError> {
+        let _label = op_label("kv_task.compact");
         let (shard, from_gen) = Self::parse_args(args)?;
         if shard >= self.store.nshards() {
             return Err(PError::Task(format!(

@@ -120,7 +120,12 @@ impl ShardedKvStore {
             pmem.write_u64(POffset::new(ROOT_OFF_NSHARDS), regions.len() as u64)?;
             pmem.write_u64(POffset::new(ROOT_OFF_STORE), store.base().get())?;
             pmem.write_u64(POffset::new(ROOT_OFF_MAGIC), SHARD_MAGIC)?;
-            pmem.flush(POffset::new(0), SHARD_ROOT_LEN as usize)?;
+            if !pmem.is_eager_flush() {
+                // Eager regions persisted every root word already; a
+                // second flush is the redundant-persist pattern PSan's
+                // diagnostic counter flags.
+                pmem.flush(POffset::new(0), SHARD_ROOT_LEN as usize)?;
+            }
             shards.push(store);
             heaps.push(heap);
         }
@@ -797,5 +802,66 @@ mod tests {
         assert_eq!(kv.contents().unwrap().len(), 1024);
         let agg: u64 = kv.flush_epochs().unwrap().iter().sum();
         assert!(agg > 0);
+    }
+
+    #[test]
+    fn sharded_lifecycle_is_psan_clean_and_format_wastes_no_persists() {
+        for eager in [true, false] {
+            let mut builder = PMemBuilder::new().len(1 << 18).psan(true);
+            if eager {
+                builder = builder.eager_flush(true);
+            }
+            let stripe = builder.build_striped(2);
+            let kv = ShardedKvStore::format(stripe.regions(), 4, 16, KvVariant::Nsrl).unwrap();
+            assert_eq!(
+                stripe.aggregate_stats().redundant_persists,
+                0,
+                "eager={eager}: format burned a redundant persist round-trip"
+            );
+            let mut batch = kv.batch();
+            for key in 0..12u64 {
+                batch.put(0, key + 1, key, key as i64);
+            }
+            assert!(batch.commit().unwrap().iter().all(|o| o.took_effect()));
+            kv.compact_shard(0).unwrap();
+            stripe.crash_all(5, 0.0);
+            let stripe2 = stripe.reopen_all().unwrap();
+            let kv2 = ShardedKvStore::open(stripe2.regions(), KvVariant::Nsrl).unwrap();
+            assert_eq!(kv2.contents().unwrap().len(), 12);
+            let violations = stripe2.psan_violations();
+            assert!(
+                violations.is_empty(),
+                "eager={eager}: PSan flagged the correct protocol: {violations:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn psan_attributes_sharded_violations_to_the_home_shard() {
+        use pstack_nvram::PsanViolationKind;
+        // The buggy variant publishes volatile records in whichever
+        // shard the batch touches; the violation's region label must
+        // name that shard.
+        let stripe = PMemBuilder::new().len(1 << 18).psan(true).build_striped(2);
+        let kv = ShardedKvStore::format(stripe.regions(), 4, 16, KvVariant::EarlyPublish).unwrap();
+        let key = 3u64;
+        let home = kv.shard_of(key);
+        kv.shard(home)
+            .apply_batch(&[KvBatchOp::Put {
+                pid: 0,
+                seq: 1,
+                key,
+                value: 30,
+            }])
+            .unwrap();
+        let violations = stripe.psan_violations();
+        let hit = violations
+            .iter()
+            .find(|v| matches!(v.kind, PsanViolationKind::EarlyPublish { .. }))
+            .unwrap_or_else(|| panic!("expected an early-publish violation: {violations:?}"));
+        assert_eq!(hit.region, format!("shard-{home}"));
+        assert_eq!(hit.op_label, "kv.apply_batch");
+        // The other shard stayed clean.
+        assert!(stripe.region(1 - home).psan_violations().is_empty());
     }
 }

@@ -98,7 +98,7 @@
 
 use pstack_core::PError;
 use pstack_heap::PHeap;
-use pstack_nvram::{PMem, POffset, RootCell};
+use pstack_nvram::{op_label, PMem, POffset, RootCell};
 use std::collections::BTreeMap;
 
 const KV_MAGIC: u64 = 0x5053_4B56_5354_4F32; // "PSKVSTO2" (generational)
@@ -144,6 +144,16 @@ pub enum KvVariant {
     /// evidence scan and always re-executes — operations that already
     /// linearized are applied twice, which the KV verifier flags.
     NoScan,
+    /// Injected persist-order bug: a group commit publishes its bucket
+    /// heads *without* first persisting the staged records — the
+    /// early-publish class PSan's shadow tracking flags at the head
+    /// CAS. Recovery itself is correct (the scan still runs).
+    EarlyPublish,
+    /// Injected persist-order bug: compaction commits the root swap
+    /// without the coalesced flush of the new generation block — the
+    /// unordered-commit class PSan flags at the selector flip.
+    /// Recovery itself is correct (the scan still runs).
+    NoPersistBeforeSwap,
 }
 
 impl KvVariant {
@@ -153,6 +163,8 @@ impl KvVariant {
         match self {
             KvVariant::Nsrl => 0,
             KvVariant::NoScan => 1,
+            KvVariant::EarlyPublish => 2,
+            KvVariant::NoPersistBeforeSwap => 3,
         }
     }
 
@@ -165,10 +177,20 @@ impl KvVariant {
         match v {
             0 => Ok(KvVariant::Nsrl),
             1 => Ok(KvVariant::NoScan),
+            2 => Ok(KvVariant::EarlyPublish),
+            3 => Ok(KvVariant::NoPersistBeforeSwap),
             other => Err(PError::InvalidConfig(format!(
                 "unknown KV variant encoding {other}"
             ))),
         }
+    }
+
+    /// `true` when recovery runs the evidence scan before re-executing.
+    /// Only [`KvVariant::NoScan`] skips it; the persist-order bug
+    /// variants break durability ordering, not recovery.
+    #[must_use]
+    pub fn scans_evidence(self) -> bool {
+        self != KvVariant::NoScan
     }
 }
 
@@ -508,7 +530,19 @@ impl PKvStore {
             pmem.flush(POffset::new(gen0), gen_prefix_len(nbuckets) as usize)?;
         }
         let cell = RootCell::format(pmem.clone(), base + OFF_GEN_CELL, 0, gen0)?;
+        Self::register_publish_range(&pmem, gen0, nbuckets);
         Ok(Self::assemble(pmem, base, cell, nbuckets, variant))
+    }
+
+    /// Tells PSan (no-op when disabled) that the generation's bucket
+    /// array publishes record offsets: every head CAS in it must point
+    /// at a durable record slot.
+    fn register_publish_range(pmem: &PMem, gen_base: u64, nbuckets: u64) {
+        pmem.psan_register_publish_range(
+            POffset::new(gen_base + GEN_HEADER_LEN),
+            (nbuckets * 8) as usize,
+            RECORD_STRIDE as usize,
+        );
     }
 
     /// Writes an empty generation block's header (state ACTIVE, tail 0)
@@ -553,7 +587,8 @@ impl PKvStore {
         let cell = RootCell::open(pmem.clone(), base + OFF_GEN_CELL)
             .map_err(|e| PError::CorruptStack(format!("KV store root cell at {base}: {e}")))?;
         let store = Self::assemble(pmem, base, cell, nbuckets, variant);
-        store.active_gen()?; // validates the active generation's magic
+        let gen = store.active_gen()?; // validates the active generation's magic
+        Self::register_publish_range(&store.pmem, gen.base, nbuckets);
         Ok(store)
     }
 
@@ -842,7 +877,7 @@ impl PKvStore {
                 self.append(pid, seq, key, kind, value, &precond)?,
             ))
         } else {
-            Ok(self.apply_batch(&[op])?[0])
+            Ok(self.apply_batch_inner(&[op])?[0])
         }
     }
 
@@ -893,6 +928,14 @@ impl PKvStore {
     /// # use pstack_kv::KvApplied::Applied;
     /// ```
     pub fn apply_batch(&self, ops: &[KvBatchOp]) -> Result<Vec<KvApplied>, PError> {
+        let _label = op_label("kv.apply_batch");
+        self.apply_batch_inner(ops)
+    }
+
+    /// [`PKvStore::apply_batch`] without the attribution label, so the
+    /// per-op entry points ([`PKvStore::put`] & friends) keep their own
+    /// label when they degenerate to a singleton commit.
+    fn apply_batch_inner(&self, ops: &[KvBatchOp]) -> Result<Vec<KvApplied>, PError> {
         if self.eager {
             return ops.iter().map(|&op| self.apply_one(op)).collect();
         }
@@ -945,8 +988,13 @@ impl PKvStore {
         // Phase 2 — persist the records and the log tail with one
         // coalesced flush each. The batch lock makes the reserved
         // slots consecutive, so [lo, hi] covers exactly this batch.
-        self.pmem
-            .flush(POffset::new(lo), (hi - lo + RECORD_STRIDE) as usize)?;
+        // KvVariant::EarlyPublish omits the record flush — PSan's
+        // negative control: the phase-3 head CAS then publishes
+        // still-volatile records, which the sanitizer flags.
+        if self.variant != KvVariant::EarlyPublish {
+            self.pmem
+                .flush(POffset::new(lo), (hi - lo + RECORD_STRIDE) as usize)?;
+        }
         self.pmem
             .flush(POffset::new(gen.base + GEN_OFF_LOG_TAIL), 8)?;
 
@@ -979,7 +1027,13 @@ impl PKvStore {
         self.pmem
             .flush(POffset::new(first), (last - first + 8) as usize)?;
 
-        // Phase 5 — bump and persist the flush epoch.
+        // Phase 5 — bump and persist the flush epoch. The bump
+        // advertises the whole batch as durable, so under PSan both the
+        // record span and the published heads must be durable *now*.
+        self.pmem
+            .psan_check_durable(POffset::new(lo), (hi - lo + RECORD_STRIDE) as usize);
+        self.pmem
+            .psan_check_durable(POffset::new(first), (last - first + 8) as usize);
         let epoch = self.pmem.read_u64(self.base + OFF_FLUSH_EPOCH)?;
         self.pmem
             .write_u64(self.base + OFF_FLUSH_EPOCH, epoch + 1)?;
@@ -998,6 +1052,7 @@ impl PKvStore {
     /// A propagated crash (complete with [`PKvStore::recover_put`]
     /// after restart).
     pub fn put(&self, pid: u64, seq: u64, key: u64, value: i64) -> Result<bool, PError> {
+        let _label = op_label("kv.put");
         match self.apply_one(KvBatchOp::Put {
             pid,
             seq,
@@ -1030,6 +1085,7 @@ impl PKvStore {
     /// A propagated crash (complete with [`PKvStore::recover_delete`]
     /// after restart).
     pub fn delete(&self, pid: u64, seq: u64, key: u64) -> Result<bool, PError> {
+        let _label = op_label("kv.delete");
         Ok(self
             .apply_one(KvBatchOp::Delete { pid, seq, key })?
             .took_effect())
@@ -1052,6 +1108,7 @@ impl PKvStore {
         expected: i64,
         new: i64,
     ) -> Result<bool, PError> {
+        let _label = op_label("kv.cas");
         Ok(self
             .apply_one(KvBatchOp::Cas {
                 pid,
@@ -1147,7 +1204,8 @@ impl PKvStore {
     ///
     /// A propagated crash; recovery is then re-run after restart.
     pub fn recover_put(&self, pid: u64, seq: u64, key: u64, value: i64) -> Result<bool, PError> {
-        if self.variant == KvVariant::Nsrl && self.find_tag(key, pid, seq)?.is_some() {
+        let _label = op_label("kv.recover_put");
+        if self.variant.scans_evidence() && self.find_tag(key, pid, seq)?.is_some() {
             return Ok(true);
         }
         self.put(pid, seq, key, value)
@@ -1165,7 +1223,8 @@ impl PKvStore {
     ///
     /// A propagated crash; recovery is then re-run after restart.
     pub fn recover_delete(&self, pid: u64, seq: u64, key: u64) -> Result<bool, PError> {
-        if self.variant == KvVariant::Nsrl && self.find_tag(key, pid, seq)?.is_some() {
+        let _label = op_label("kv.recover_delete");
+        if self.variant.scans_evidence() && self.find_tag(key, pid, seq)?.is_some() {
             return Ok(true);
         }
         self.delete(pid, seq, key)
@@ -1186,7 +1245,8 @@ impl PKvStore {
         expected: i64,
         new: i64,
     ) -> Result<bool, PError> {
-        if self.variant == KvVariant::Nsrl && self.find_tag(key, pid, seq)?.is_some() {
+        let _label = op_label("kv.recover_cas");
+        if self.variant.scans_evidence() && self.find_tag(key, pid, seq)?.is_some() {
             return Ok(true);
         }
         self.cas(pid, seq, key, expected, new)
@@ -1211,12 +1271,13 @@ impl PKvStore {
     ///
     /// A propagated crash; re-run after restart.
     pub fn recover_batch(&self, ops: &[KvBatchOp]) -> Result<Vec<KvApplied>, PError> {
+        let _label = op_label("kv.recover_batch");
         let mut outcomes = vec![KvApplied::PrecondFailed; ops.len()];
         let mut rest = Vec::new();
         let mut rest_idx = Vec::new();
         for (i, &op) in ops.iter().enumerate() {
             let (pid, seq) = op.tag();
-            if self.variant == KvVariant::Nsrl && self.find_tag(op.key(), pid, seq)?.is_some() {
+            if self.variant.scans_evidence() && self.find_tag(op.key(), pid, seq)?.is_some() {
                 outcomes[i] = KvApplied::Applied;
             } else {
                 rest.push(op);
@@ -1367,6 +1428,7 @@ impl PKvStore {
         heap: &PHeap,
         capacity: Option<u64>,
     ) -> Result<CompactionStats, PError> {
+        let _label = op_label("kv.compact");
         let _serialize = self.pmem.advisory_lock();
         self.compact_locked(heap, capacity)
     }
@@ -1437,6 +1499,7 @@ impl PKvStore {
                 slot += 1;
             }
             if head != 0 {
+                // persist-lint: allow(publish-no-persist) the step-2 flush below covers header+buckets+carries in one round-trip
                 self.pmem
                     .write_u64(self.bucket_off_at(&new_gen, b as u64), head)?;
             }
@@ -1447,12 +1510,20 @@ impl PKvStore {
             .write_u64(POffset::new(nb + GEN_OFF_CARRIED), live_total)?;
         // One persist round-trip covers the contiguous prefix: header,
         // buckets and every carry slot. (No-op on an eager region.)
-        self.pmem.flush(
-            POffset::new(nb),
-            (gen_prefix_len(self.nbuckets) + live_total * RECORD_STRIDE) as usize,
-        )?;
+        // KvVariant::NoPersistBeforeSwap omits it — PSan's negative
+        // control: the root swap below then commits a still-volatile
+        // generation, which the sanitizer flags at the selector flip.
+        let new_block_len = gen_prefix_len(self.nbuckets) + live_total * RECORD_STRIDE;
+        if self.variant != KvVariant::NoPersistBeforeSwap {
+            self.pmem.flush(POffset::new(nb), new_block_len as usize)?;
+        }
 
-        // Step 3 — the commit point.
+        // Step 3 — the commit point. Declare the new block as the
+        // swap's commit extent so PSan checks every reachable line (not
+        // just the line at `nb`) for durability at the selector flip.
+        Self::register_publish_range(&self.pmem, nb, self.nbuckets);
+        self.pmem
+            .psan_declare_commit(POffset::new(nb), new_block_len as usize);
         self.cell.swap(new_gen.number, nb).map_err(PError::from)?;
 
         // Step 4 — retire the old generation (advisory, repaired by
@@ -1495,6 +1566,7 @@ impl PKvStore {
     /// active generation (the caller's bookkeeping is broken); a
     /// propagated crash (re-run after restart).
     pub fn recover_compact(&self, heap: &PHeap, from_gen: u64) -> Result<bool, PError> {
+        let _label = op_label("kv.recover_compact");
         let _serialize = self.pmem.advisory_lock();
         let gen = self.active_gen()?;
         match gen.number.cmp(&from_gen) {
@@ -1528,9 +1600,12 @@ mod tests {
     use pstack_nvram::{FailPlan, PMemBuilder};
 
     fn fixture(nbuckets: u64, log_cap: u64) -> (PMem, PHeap, PKvStore) {
+        // PSan shadows every store test: the protocols must never trip
+        // the sanitizer (checked per-test where state is inspected).
         let pmem = PMemBuilder::new()
             .len(1 << 19)
             .eager_flush(true)
+            .psan(true)
             .build_in_memory();
         let heap = PHeap::format(pmem.clone(), POffset::new(0), 1 << 19).unwrap();
         let kv = PKvStore::format(pmem.clone(), &heap, nbuckets, log_cap, KvVariant::Nsrl).unwrap();
@@ -1582,7 +1657,7 @@ mod tests {
     }
 
     fn buffered_fixture(nbuckets: u64, log_cap: u64) -> (PMem, PHeap, PKvStore) {
-        let pmem = PMemBuilder::new().len(1 << 19).build_in_memory();
+        let pmem = PMemBuilder::new().len(1 << 19).psan(true).build_in_memory();
         let heap = PHeap::format(pmem.clone(), POffset::new(0), 1 << 19).unwrap();
         let kv = PKvStore::format(pmem.clone(), &heap, nbuckets, log_cap, KvVariant::Nsrl).unwrap();
         (pmem, heap, kv)
@@ -1791,7 +1866,7 @@ mod tests {
             },
         ];
         let probe = || {
-            let pmem = PMemBuilder::new().len(1 << 16).build_in_memory();
+            let pmem = PMemBuilder::new().len(1 << 16).psan(true).build_in_memory();
             let heap = PHeap::format(pmem.clone(), POffset::new(0), 1 << 16).unwrap();
             let kv = PKvStore::format(pmem.clone(), &heap, 2, 16, KvVariant::Nsrl).unwrap();
             (pmem, kv)
@@ -1810,7 +1885,7 @@ mod tests {
             let err = kv.apply_batch(&ops).unwrap_err();
             assert!(err.is_crash(), "crash at event {k}");
             let pmem2 = pmem.reopen().unwrap();
-            let kv2 = PKvStore::open(pmem2, kv.base(), KvVariant::Nsrl).unwrap();
+            let kv2 = PKvStore::open(pmem2.clone(), kv.base(), KvVariant::Nsrl).unwrap();
 
             // No torn state: every published record decodes, every
             // chain walks, and published tags are unique.
@@ -1845,6 +1920,11 @@ mod tests {
             assert_eq!(kv2.contents().unwrap(), want, "crash at event {k}");
             let published: usize = kv2.snapshot().unwrap().iter().map(Vec::len).sum();
             assert_eq!(published, ops.len(), "crash at {k}: duplicate application");
+            let violations = pmem2.psan_violations();
+            assert!(
+                violations.is_empty(),
+                "crash at {k}: PSan flagged the correct protocol: {violations:?}"
+            );
         }
     }
 
@@ -2199,10 +2279,19 @@ mod tests {
 
     #[test]
     fn variant_codec_round_trips() {
-        for v in [KvVariant::Nsrl, KvVariant::NoScan] {
+        for v in [
+            KvVariant::Nsrl,
+            KvVariant::NoScan,
+            KvVariant::EarlyPublish,
+            KvVariant::NoPersistBeforeSwap,
+        ] {
             assert_eq!(KvVariant::from_u8(v.as_u8()).unwrap(), v);
         }
         assert!(KvVariant::from_u8(9).is_err());
+        assert!(KvVariant::Nsrl.scans_evidence());
+        assert!(!KvVariant::NoScan.scans_evidence());
+        assert!(KvVariant::EarlyPublish.scans_evidence());
+        assert!(KvVariant::NoPersistBeforeSwap.scans_evidence());
     }
 
     // ---- compaction: the generational log ------------------------------
@@ -2220,7 +2309,7 @@ mod tests {
     }
 
     fn gen_fixture(eager: bool) -> (PMem, PHeap, PKvStore) {
-        let mut builder = PMemBuilder::new().len(1 << 19);
+        let mut builder = PMemBuilder::new().len(1 << 19).psan(true);
         if eager {
             builder = builder.eager_flush(true);
         }
@@ -2471,7 +2560,7 @@ mod tests {
             let err = kv.compact(&heap).unwrap_err();
             assert!(err.is_crash(), "eager={eager}: crash at event {k}");
             let pmem2 = pmem.reopen().unwrap();
-            let kv2 = PKvStore::open(pmem2, kv.base(), KvVariant::Nsrl).unwrap();
+            let kv2 = PKvStore::open(pmem2.clone(), kv.base(), KvVariant::Nsrl).unwrap();
             let gen = kv2.generation().unwrap();
             assert!(
                 gen <= 1,
@@ -2481,6 +2570,10 @@ mod tests {
                 kv2.contents().unwrap(),
                 want,
                 "eager={eager}: crash at {k}: contents torn"
+            );
+            assert!(
+                pmem2.psan_violations().is_empty(),
+                "eager={eager}: crash at {k}: PSan flagged the correct protocol"
             );
 
             // Phase 2: enumerate crashes inside the recovery dual. The
@@ -2507,6 +2600,10 @@ mod tests {
                         // Idempotent: a second recovery changes nothing.
                         assert!(kv.recover_compact(&heap, 0).unwrap());
                         assert_eq!(kv.generation().unwrap(), 1);
+                        assert!(
+                            pmem.psan_violations().is_empty(),
+                            "eager={eager}: crash {k}, step {j}: PSan flagged recovery"
+                        );
                         break;
                     }
                     Err(e) => {
@@ -2576,6 +2673,111 @@ mod tests {
                 .count(),
             12,
             "gen-0 evidence found, nothing re-executed"
+        );
+    }
+
+    // ---- PSan: the persist-order sanitizer ------------------------------
+
+    #[test]
+    fn full_lifecycle_is_psan_clean_on_both_commit_modes() {
+        // The unit-scope zero-violation gate: mutations, batches, a
+        // compaction and a crash/recover cycle must leave the
+        // sanitizer silent on both commit modes.
+        for eager in [true, false] {
+            let (pmem, heap, kv) = gen_fixture(eager);
+            seed_history(&kv);
+            kv.apply_batch(&[
+                KvBatchOp::Put {
+                    pid: 2,
+                    seq: 1,
+                    key: 5,
+                    value: 50,
+                },
+                KvBatchOp::Cas {
+                    pid: 2,
+                    seq: 2,
+                    key: 5,
+                    expected: 50,
+                    new: 51,
+                },
+            ])
+            .unwrap();
+            kv.compact(&heap).unwrap();
+            kv.put(2, 3, 6, 60).unwrap();
+            assert!(pmem.psan_violations().is_empty(), "eager={eager}");
+            pmem.crash_now(0, 0.0);
+            let pmem2 = pmem.reopen().unwrap();
+            let kv2 = PKvStore::open(pmem2.clone(), kv.base(), KvVariant::Nsrl).unwrap();
+            assert!(kv2.recover_put(2, 3, 6, 60).unwrap());
+            assert_eq!(kv2.get(5).unwrap(), Some(51));
+            let violations = pmem2.psan_violations();
+            assert!(
+                violations.is_empty(),
+                "eager={eager}: PSan flagged the correct protocol: {violations:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn psan_flags_the_early_publish_variant_at_the_head_cas() {
+        use pstack_nvram::PsanViolationKind;
+        let pmem = PMemBuilder::new().len(1 << 19).psan(true).build_in_memory();
+        let heap = PHeap::format(pmem.clone(), POffset::new(0), 1 << 19).unwrap();
+        let kv = PKvStore::format(pmem.clone(), &heap, 4, 32, KvVariant::EarlyPublish).unwrap();
+        assert!(pmem.psan_violations().is_empty(), "format itself is clean");
+        kv.apply_batch(&[KvBatchOp::Put {
+            pid: 0,
+            seq: 1,
+            key: 7,
+            value: 70,
+        }])
+        .unwrap();
+        let v = pmem.psan_violations();
+        let hit = v
+            .iter()
+            .find(|x| matches!(x.kind, PsanViolationKind::EarlyPublish { .. }))
+            .unwrap_or_else(|| panic!("expected an early-publish violation: {v:?}"));
+        // Attribution: the op label names the publishing call site, and
+        // the flagged span covers the published (still-volatile) record.
+        assert_eq!(hit.op_label, "kv.apply_batch");
+        let PsanViolationKind::EarlyPublish { published } = hit.kind else {
+            unreachable!()
+        };
+        assert!(
+            hit.offset <= published && published < hit.offset + hit.len as u64 + RECORD_STRIDE,
+            "violation span {:#x}+{} should cover the published record {published:#x}",
+            hit.offset,
+            hit.len,
+        );
+    }
+
+    #[test]
+    fn psan_flags_the_no_persist_before_swap_variant_at_the_root_swap() {
+        use pstack_nvram::PsanViolationKind;
+        let pmem = PMemBuilder::new().len(1 << 19).psan(true).build_in_memory();
+        let heap = PHeap::format(pmem.clone(), POffset::new(0), 1 << 19).unwrap();
+        let kv =
+            PKvStore::format(pmem.clone(), &heap, 4, 16, KvVariant::NoPersistBeforeSwap).unwrap();
+        for seq in 1..=4u64 {
+            kv.put(0, seq, seq, seq as i64).unwrap();
+        }
+        assert!(
+            pmem.psan_violations().is_empty(),
+            "ordinary mutations are clean under this variant"
+        );
+        kv.compact(&heap).unwrap();
+        let v = pmem.psan_violations();
+        let hit = v
+            .iter()
+            .find(|x| matches!(x.kind, PsanViolationKind::UnorderedCommit))
+            .unwrap_or_else(|| panic!("expected an unordered-commit violation: {v:?}"));
+        assert_eq!(hit.op_label, "kv.compact");
+        // The flagged line lies inside the committed-but-volatile new
+        // generation block, past the heap's gen-0 allocations.
+        assert!(
+            hit.offset >= PKvStore::required_len(4, 16) as u64,
+            "violation at {:#x} should fall in the new generation block",
+            hit.offset
         );
     }
 }

@@ -49,6 +49,7 @@ mod error;
 mod failpoint;
 mod offset;
 mod pmem;
+pub mod psan;
 mod rootswap;
 mod stats;
 mod stripe;
@@ -58,6 +59,7 @@ pub use error::MemError;
 pub use failpoint::FailPlan;
 pub use offset::POffset;
 pub use pmem::{PMem, PMemBuilder, DEFAULT_CACHE_LINE, DEFAULT_REGION_LEN};
+pub use psan::{op_label, OpLabelGuard, PsanViolation, PsanViolationKind, ShadowState};
 pub use rootswap::{RootCell, ROOT_CELL_LEN};
 pub use stats::{MemStats, StatsSnapshot};
 pub use stripe::PMemStripe;

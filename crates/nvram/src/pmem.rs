@@ -30,6 +30,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::backend::{Backend, BackendKind, FileBackend, MemBackend};
 use crate::failpoint::{FailPlan, FailState};
+use crate::psan::{PsanCell, PsanViolation};
 use crate::stats::MemStats;
 use crate::{MemError, POffset};
 
@@ -61,6 +62,7 @@ pub struct PMemBuilder {
     jitter: Option<Jitter>,
     persist_delay: Option<std::time::Duration>,
     flush_latency: Option<std::time::Duration>,
+    psan: bool,
 }
 
 /// Scheduling-noise configuration: after a mutating access, the calling
@@ -91,7 +93,20 @@ impl PMemBuilder {
             jitter: None,
             persist_delay: None,
             flush_latency: None,
+            psan: false,
         }
+    }
+
+    /// Enables PSan, the persist-order sanitizer, on the region: every
+    /// line gets a shadow state machine (`Clean → Dirty → Flushed →
+    /// Durable`) and publish/commit/ghost-read ordering checks record
+    /// attributable violations (see the [`psan`](crate::psan) module).
+    /// The shadow survives crash/reopen cycles. Off by default; when
+    /// off, every hook is a single pointer-is-null check.
+    #[must_use]
+    pub fn psan(mut self, enabled: bool) -> Self {
+        self.psan = enabled;
+        self
     }
 
     /// Adds a fixed latency to every persist **round-trip** (a flush
@@ -242,6 +257,7 @@ impl PMemBuilder {
                 jitter: self.jitter,
                 persist_delay: self.persist_delay,
                 flush_latency: self.flush_latency,
+                psan: self.psan.then(|| Arc::new(PsanCell::new(self.line_size))),
                 crashed: AtomicBool::new(false),
                 stats: MemStats::default(),
                 state: FairMutex::new(State {
@@ -271,6 +287,9 @@ struct Inner {
     jitter: Option<Jitter>,
     persist_delay: Option<std::time::Duration>,
     flush_latency: Option<std::time::Duration>,
+    /// PSan shadow memory; shared (`Arc`) across reopen boots so ghosts
+    /// and violations outlive crashes. `None` unless enabled.
+    psan: Option<Arc<PsanCell>>,
     crashed: AtomicBool,
     stats: MemStats,
     state: FairMutex<State>,
@@ -429,6 +448,9 @@ impl PMem {
         let st = self.inner.state.lock();
         self.compose_read(&st, off.as_usize(), buf);
         MemStats::bump(&self.inner.stats.reads);
+        if let Some(psan) = &self.inner.psan {
+            psan.note_read(off.get(), buf.len(), st.fail.events);
+        }
         Ok(())
     }
 
@@ -471,6 +493,9 @@ impl PMem {
             self.write_locked(&mut st, off.as_usize(), data);
             MemStats::bump(&self.inner.stats.writes);
             MemStats::add(&self.inner.stats.bytes_written, data.len() as u64);
+            if let Some(psan) = &self.inner.psan {
+                psan.note_write(off.get(), data.len(), st.fail.events);
+            }
             if self.inner.eager_flush {
                 self.persist_range_locked(&mut st, off.as_usize(), data.len())?;
             }
@@ -574,6 +599,9 @@ impl PMem {
                         Self::note_persist(&self.inner.stats, persisted);
                     })?;
                 MemStats::bump(&self.inner.stats.lines_persisted);
+                if let Some(psan) = &self.inner.psan {
+                    psan.note_persist_line(li, st.fail.events);
+                }
                 persisted += 1;
                 if let Some(delay) = self.inner.persist_delay {
                     // Slow device: the delay is paid with the region
@@ -583,6 +611,16 @@ impl PMem {
             }
         }
         Self::note_persist(&self.inner.stats, persisted);
+        if persisted == 0 {
+            // A non-empty flush that persisted nothing: every covered
+            // line was already durable. Diagnostic, not a violation.
+            MemStats::bump(&self.inner.stats.redundant_persists);
+        }
+        if let Some(psan) = &self.inner.psan {
+            // The round-trip completed: everything it copied out is
+            // now ordered, i.e. durable.
+            psan.note_flush_complete(st.fail.events);
+        }
         if persisted > 0 {
             if let Some(latency) = self.inner.flush_latency {
                 // The per-round-trip command cost, paid with the
@@ -615,9 +653,14 @@ impl PMem {
     }
 
     /// Persistence fence. Our flushes are synchronous, so this is a
-    /// statistics-only marker corresponding to `sfence` on real hardware.
+    /// statistics-only marker corresponding to `sfence` on real hardware
+    /// (under PSan it additionally orders any lines still in the
+    /// `Flushed` shadow state).
     pub fn fence(&self) {
         MemStats::bump(&self.inner.stats.fences);
+        if let Some(psan) = &self.inner.psan {
+            psan.note_fence(self.events());
+        }
     }
 
     /// Atomic compare-exchange on `expected.len()` bytes at `off`,
@@ -658,6 +701,12 @@ impl PMem {
         self.write_locked(&mut st, off.as_usize(), new);
         MemStats::bump(&self.inner.stats.writes);
         MemStats::add(&self.inner.stats.bytes_written, new.len() as u64);
+        if let Some(psan) = &self.inner.psan {
+            psan.note_write(off.get(), new.len(), st.fail.events);
+            // A successful CAS in a registered publish range makes its
+            // new value reachable: early-publish check on the target.
+            psan.note_cas_publish(off.get(), new, st.fail.events);
+        }
         if self.inner.eager_flush {
             self.persist_range_locked(&mut st, off.as_usize(), new.len())?;
         }
@@ -687,6 +736,7 @@ impl PMem {
         let line = self.inner.line_size;
         let mut lines: Vec<usize> = st.dirty.keys().copied().collect();
         lines.sort_unstable();
+        let mut outcomes = Vec::with_capacity(lines.len());
         for li in lines {
             let survives = if survival_prob <= 0.0 {
                 false
@@ -707,8 +757,14 @@ impl PMem {
                 let _ = st.backend.persist_line(line_start, &content);
                 MemStats::bump(&self.inner.stats.lines_persisted);
             }
+            outcomes.push((li, survives));
         }
         st.dirty.clear();
+        if let Some(psan) = &self.inner.psan {
+            // Dropped lines revert to their durable content (shadow
+            // forgets them); lucky survivors' bytes become ghosts.
+            psan.note_crash(&outcomes, st.fail.events);
+        }
     }
 
     /// Reopens a crashed region, as the recovery boot of the system
@@ -743,6 +799,7 @@ impl PMem {
                 jitter: self.inner.jitter,
                 persist_delay: self.inner.persist_delay,
                 flush_latency: self.inner.flush_latency,
+                psan: self.inner.psan.clone(),
                 advisory: Mutex::new(()),
                 crashed: AtomicBool::new(false),
                 stats: MemStats::default(),
@@ -856,6 +913,114 @@ impl PMem {
     /// Same as [`PMem::write`].
     pub fn fill(&self, off: POffset, byte: u8, len: usize) -> Result<(), MemError> {
         self.write(off, &vec![byte; len])
+    }
+
+    // ---- PSan (persist-order sanitizer) -------------------------------
+    //
+    // All of these are no-ops unless the region was built with
+    // [`PMemBuilder::psan`]; application layers call them
+    // unconditionally.
+
+    /// `true` if PSan shadows this region.
+    #[must_use]
+    pub fn psan_enabled(&self) -> bool {
+        self.inner.psan.is_some()
+    }
+
+    /// Names the region in PSan violation reports (e.g. `"shard-3"`).
+    pub fn psan_set_label(&self, label: &str) {
+        if let Some(psan) = &self.inner.psan {
+            psan.set_label(label);
+        }
+    }
+
+    /// The region's PSan report label, if PSan is enabled.
+    #[must_use]
+    pub fn psan_label(&self) -> Option<String> {
+        self.inner.psan.as_ref().map(|p| p.label())
+    }
+
+    /// Registers `[start, start+len)` as a **publish range**: any
+    /// successful 8-byte CAS inside it is treated as publishing a
+    /// pointer into this region, and the `extent` bytes at the pointer
+    /// must already be durable (else an *early-publish* violation).
+    /// Typical use: a store registers its bucket-head array so head
+    /// CASes are checked against the records they link in.
+    pub fn psan_register_publish_range(&self, start: POffset, len: usize, extent: usize) {
+        if let Some(psan) = &self.inner.psan {
+            psan.register_publish_range(start.get(), len as u64, extent as u64);
+        }
+    }
+
+    /// Declares that `[start, start+len)` must be durable by the next
+    /// root swap on this region ([`RootCell::swap`](crate::RootCell)
+    /// consumes the declaration and checks it at its commit point).
+    pub fn psan_declare_commit(&self, start: POffset, len: usize) {
+        if let Some(psan) = &self.inner.psan {
+            psan.declare_commit(start.get(), len as u64);
+        }
+    }
+
+    /// Immediate commit-ordering check: records an *unordered-commit*
+    /// violation for every still-dirty line in `[start, start+len)`.
+    /// Used at commit points that are not root swaps (e.g. a
+    /// flush-epoch bump after a group commit).
+    pub fn psan_check_durable(&self, start: POffset, len: usize) {
+        if let Some(psan) = &self.inner.psan {
+            psan.check_durable(start.get(), len as u64, self.events());
+        }
+    }
+
+    /// Internal hook for [`RootCell::swap`](crate::RootCell): the
+    /// commit point publishing `ptr`. Checks (and consumes) declared
+    /// commit extents — or, with none declared, the line holding `ptr`.
+    #[doc(hidden)]
+    pub fn psan_note_root_swap(&self, ptr: u64) {
+        if let Some(psan) = &self.inner.psan {
+            psan.note_root_swap(ptr, self.inner.len as u64, self.events());
+        }
+    }
+
+    /// Waives ghost-read reports for `[start, start+len)` — for fields
+    /// recovery deliberately reads optimistically.
+    pub fn psan_waive(&self, start: POffset, len: usize, _reason: &str) {
+        if let Some(psan) = &self.inner.psan {
+            psan.waive(start.get(), len as u64);
+        }
+    }
+
+    /// All violations recorded so far (across reopen boots).
+    #[must_use]
+    pub fn psan_violations(&self) -> Vec<PsanViolation> {
+        self.inner
+            .psan
+            .as_ref()
+            .map(|p| p.violations())
+            .unwrap_or_default()
+    }
+
+    /// Drains recorded violations (and resets per-line deduplication).
+    #[must_use]
+    pub fn psan_take_violations(&self) -> Vec<PsanViolation> {
+        self.inner
+            .psan
+            .as_ref()
+            .map(|p| p.take_violations())
+            .unwrap_or_default()
+    }
+
+    /// Number of violations recorded so far.
+    #[must_use]
+    pub fn psan_violation_count(&self) -> usize {
+        self.inner.psan.as_ref().map_or(0, |p| p.violation_count())
+    }
+
+    /// Shadow state of the line containing `addr` (`None` when PSan is
+    /// off). Test/debug accessor.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn psan_line_state(&self, addr: POffset) -> Option<crate::psan::ShadowState> {
+        self.inner.psan.as_ref().map(|p| p.state_of(addr.get()))
     }
 }
 
@@ -1256,6 +1421,165 @@ mod tests {
         p.write_u8(POffset::new(0), 1).unwrap();
         p.flush(POffset::new(0), 1).unwrap();
         assert_eq!(p.read_u8(POffset::new(0)).unwrap(), 1);
+    }
+
+    #[test]
+    fn redundant_flushes_are_counted() {
+        let p = small();
+        p.write_u8(POffset::new(0), 1).unwrap();
+        p.flush(POffset::new(0), 1).unwrap();
+        let before = p.stats().snapshot();
+        p.flush(POffset::new(0), 1).unwrap(); // clean line: redundant
+        p.flush(POffset::new(0), 0).unwrap(); // empty range: not counted
+        let d = p.stats().snapshot() - before;
+        assert_eq!(d.redundant_persists, 1);
+        // Eager regions: the write persists itself, explicit flushes
+        // on top are pure redundancy.
+        let e = PMemBuilder::new()
+            .len(1024)
+            .eager_flush(true)
+            .build_in_memory();
+        e.write_u8(POffset::new(0), 1).unwrap();
+        e.flush(POffset::new(0), 1).unwrap();
+        assert_eq!(e.stats().snapshot().redundant_persists, 1);
+    }
+
+    fn psan_region() -> PMem {
+        PMemBuilder::new()
+            .len(1024)
+            .line_size(64)
+            .psan(true)
+            .build_in_memory()
+    }
+
+    #[test]
+    fn psan_shadow_tracks_write_flush_fence_at_the_pmem_level() {
+        use crate::psan::ShadowState;
+        let p = psan_region();
+        assert!(p.psan_enabled());
+        let off = POffset::new(64);
+        assert_eq!(p.psan_line_state(off), Some(ShadowState::Clean));
+        p.write_u64(off, 7).unwrap();
+        assert_eq!(p.psan_line_state(off), Some(ShadowState::Dirty));
+        p.flush(off, 8).unwrap();
+        // The synchronous flush completes the round-trip in one call:
+        // Dirty → Flushed → Durable.
+        assert_eq!(p.psan_line_state(off), Some(ShadowState::Durable));
+        // Off by default.
+        let plain = small();
+        assert!(!plain.psan_enabled());
+        assert_eq!(plain.psan_line_state(off), None);
+        assert_eq!(plain.psan_label(), None);
+    }
+
+    #[test]
+    fn psan_eager_writes_reach_durable_immediately() {
+        use crate::psan::ShadowState;
+        let p = PMemBuilder::new()
+            .len(1024)
+            .eager_flush(true)
+            .psan(true)
+            .build_in_memory();
+        p.write_u64(POffset::new(0), 7).unwrap();
+        assert_eq!(
+            p.psan_line_state(POffset::new(0)),
+            Some(ShadowState::Durable)
+        );
+        p.compare_exchange(POffset::new(0), &7u64.to_le_bytes(), &8u64.to_le_bytes())
+            .unwrap();
+        assert_eq!(
+            p.psan_line_state(POffset::new(0)),
+            Some(ShadowState::Durable)
+        );
+    }
+
+    #[test]
+    fn psan_crash_reverts_non_durable_lines() {
+        use crate::psan::ShadowState;
+        let p = psan_region();
+        p.write_u64(POffset::new(0), 1).unwrap();
+        p.flush(POffset::new(0), 8).unwrap();
+        p.write_u64(POffset::new(64), 2).unwrap(); // never flushed
+        p.crash_now(0, 0.0);
+        let p = p.reopen().unwrap();
+        // The dropped line reverted: recovery reads durable content,
+        // no ghosts, no violations.
+        assert_eq!(p.read_u64(POffset::new(0)).unwrap(), 1);
+        assert_eq!(p.read_u64(POffset::new(64)).unwrap(), 0);
+        assert_eq!(
+            p.psan_line_state(POffset::new(64)),
+            Some(ShadowState::Clean)
+        );
+        assert!(p.psan_violations().is_empty());
+    }
+
+    #[test]
+    fn psan_flags_post_crash_ghost_reads_end_to_end() {
+        let p = psan_region();
+        p.psan_set_label("ghost-demo");
+        p.write_u64(POffset::new(128), 42).unwrap();
+        // Survival probability 1.0: the dirty line survives "by luck"
+        // without ever having been persisted — a ghost.
+        p.crash_now(0, 1.0);
+        let p = p.reopen().unwrap();
+        // The emulator happily serves the value...
+        assert_eq!(p.read_u64(POffset::new(128)).unwrap(), 42);
+        // ...and PSan flags the read.
+        let v = p.psan_violations();
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].kind, crate::psan::PsanViolationKind::GhostRead);
+        assert_eq!(v[0].region, "ghost-demo");
+        assert_eq!(v[0].offset, 128);
+        // A waived range is not flagged again (fresh region).
+        let p = psan_region();
+        p.write_u64(POffset::new(128), 42).unwrap();
+        p.crash_now(0, 1.0);
+        let p = p.reopen().unwrap();
+        p.psan_waive(POffset::new(128), 8, "test: optimistic field");
+        assert_eq!(p.read_u64(POffset::new(128)).unwrap(), 42);
+        assert!(p.psan_violations().is_empty());
+    }
+
+    #[test]
+    fn psan_violations_survive_reopen_and_drain() {
+        let p = psan_region();
+        p.write_u64(POffset::new(0), 1).unwrap();
+        p.psan_check_durable(POffset::new(0), 8);
+        assert_eq!(p.psan_violation_count(), 1);
+        p.crash_now(0, 0.0);
+        let p = p.reopen().unwrap();
+        assert_eq!(p.psan_violation_count(), 1, "shadow outlives the crash");
+        assert_eq!(p.psan_take_violations().len(), 1);
+        assert_eq!(p.psan_violation_count(), 0);
+    }
+
+    #[test]
+    fn psan_early_publish_detected_through_compare_exchange() {
+        let p = psan_region();
+        p.psan_register_publish_range(POffset::new(0), 64, 64);
+        // A record staged at 256, not yet durable; publish its offset
+        // into the registered head array via CAS.
+        p.write(POffset::new(256), &[9u8; 48]).unwrap();
+        let _g = crate::psan::op_label("test.publish");
+        assert!(p
+            .compare_exchange(POffset::new(8), &0u64.to_le_bytes(), &256u64.to_le_bytes())
+            .unwrap());
+        let v = p.psan_violations();
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(matches!(
+            v[0].kind,
+            crate::psan::PsanViolationKind::EarlyPublish { published: 256 }
+        ));
+        assert_eq!(v[0].op_label, "test.publish");
+        // Same protocol with the record flushed first: clean.
+        let p = psan_region();
+        p.psan_register_publish_range(POffset::new(0), 64, 64);
+        p.write(POffset::new(256), &[9u8; 48]).unwrap();
+        p.flush(POffset::new(256), 48).unwrap();
+        assert!(p
+            .compare_exchange(POffset::new(8), &0u64.to_le_bytes(), &256u64.to_le_bytes())
+            .unwrap());
+        assert!(p.psan_violations().is_empty());
     }
 
     #[test]

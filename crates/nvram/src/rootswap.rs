@@ -80,7 +80,12 @@ impl RootCell {
         pmem.write_u64(base + OFF_SLOTS, seq)?;
         pmem.write_u64(base + (OFF_SLOTS + 8), ptr)?;
         pmem.write_u64(base + OFF_MAGIC, ROOTSWAP_MAGIC)?;
-        pmem.flush(base, ROOT_CELL_LEN as usize)?;
+        if !pmem.is_eager_flush() {
+            // On an eager region every write above is already durable;
+            // flushing again would only burn a redundant round-trip
+            // (PSan's redundant-persist diagnostic flagged this).
+            pmem.flush(base, ROOT_CELL_LEN as usize)?;
+        }
         Ok(RootCell { pmem, base })
     }
 
@@ -151,9 +156,18 @@ impl RootCell {
         let slot = self.slot_off(next);
         self.pmem.write_u64(slot, seq)?;
         self.pmem.write_u64(slot + 8u64, ptr)?;
-        self.pmem.flush(slot, SLOT_STRIDE as usize)?;
+        let eager = self.pmem.is_eager_flush();
+        if !eager {
+            self.pmem.flush(slot, SLOT_STRIDE as usize)?;
+        }
+        // The selector flip below is the commit point: under PSan,
+        // everything the caller declared reachable from the new root
+        // (or, undeclared, the line at `ptr`) must be durable *now*.
+        self.pmem.psan_note_root_swap(ptr);
         self.pmem.write_u64(self.base + OFF_SELECTOR, next)?;
-        self.pmem.flush(self.base + OFF_SELECTOR, 8)?;
+        if !eager {
+            self.pmem.flush(self.base + OFF_SELECTOR, 8)?;
+        }
         Ok(())
     }
 }
@@ -164,7 +178,13 @@ mod tests {
     use crate::{FailPlan, PMemBuilder};
 
     fn buffered() -> PMem {
-        PMemBuilder::new().len(4096).line_size(64).build_in_memory()
+        // PSan shadows every rootswap test: the cell's own protocol
+        // must never trip the sanitizer.
+        PMemBuilder::new()
+            .len(4096)
+            .line_size(64)
+            .psan(true)
+            .build_in_memory()
     }
 
     #[test]
@@ -211,13 +231,44 @@ mod tests {
             let err = cell.swap(8, 800).unwrap_err();
             assert!(matches!(err, MemError::Crashed), "crash at event {k}");
             let p2 = p.reopen().unwrap();
-            let cell2 = RootCell::open(p2, POffset::new(64)).unwrap();
+            let cell2 = RootCell::open(p2.clone(), POffset::new(64)).unwrap();
             let got = cell2.current().unwrap();
             assert!(
                 got == (7, 700) || got == (8, 800),
                 "crash at event {k}: torn root {got:?}"
             );
+            assert!(
+                p2.psan_violations().is_empty(),
+                "crash at event {k}: PSan flagged the correct protocol"
+            );
         }
+    }
+
+    #[test]
+    fn psan_catches_a_swap_over_a_dirty_commit_extent() {
+        let p = buffered();
+        let cell = RootCell::format(p.clone(), POffset::new(64), 0, 0).unwrap();
+        // New-generation block written but never flushed...
+        p.write(POffset::new(1024), &[7u8; 128]).unwrap();
+        p.psan_declare_commit(POffset::new(1024), 128);
+        // ...and committed anyway: the sanitizer must object.
+        cell.swap(1, 1024).unwrap();
+        let v = p.psan_violations();
+        assert!(
+            v.iter().any(
+                |x| matches!(x.kind, crate::psan::PsanViolationKind::UnorderedCommit)
+                    && x.offset == 1024
+            ),
+            "expected an unordered-commit violation at 1024: {v:?}"
+        );
+        // The same swap with the extent flushed first is clean.
+        let p = buffered();
+        let cell = RootCell::format(p.clone(), POffset::new(64), 0, 0).unwrap();
+        p.write(POffset::new(1024), &[7u8; 128]).unwrap();
+        p.flush(POffset::new(1024), 128).unwrap();
+        p.psan_declare_commit(POffset::new(1024), 128);
+        cell.swap(1, 1024).unwrap();
+        assert!(p.psan_violations().is_empty());
     }
 
     #[test]

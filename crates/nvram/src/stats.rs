@@ -19,6 +19,7 @@ pub struct MemStats {
     pub(crate) lines_persisted: AtomicU64,
     pub(crate) persists: AtomicU64,
     pub(crate) coalesced_lines: AtomicU64,
+    pub(crate) redundant_persists: AtomicU64,
     pub(crate) fences: AtomicU64,
     pub(crate) cas_ops: AtomicU64,
     pub(crate) crashes: AtomicU64,
@@ -36,6 +37,7 @@ impl MemStats {
             lines_persisted: self.lines_persisted.load(Ordering::Relaxed),
             persists: self.persists.load(Ordering::Relaxed),
             coalesced_lines: self.coalesced_lines.load(Ordering::Relaxed),
+            redundant_persists: self.redundant_persists.load(Ordering::Relaxed),
             fences: self.fences.load(Ordering::Relaxed),
             cas_ops: self.cas_ops.load(Ordering::Relaxed),
             crashes: self.crashes.load(Ordering::Relaxed),
@@ -92,6 +94,12 @@ pub struct StatsSnapshot {
     /// (`lines_persisted - persists` when every persist lands ≥ 1
     /// line). Multiply by the line size for coalesced bytes.
     pub coalesced_lines: u64,
+    /// Flush calls over a non-empty range that persisted **zero**
+    /// lines: every covered line was already durable. PSan's
+    /// *redundant persist* diagnostic class — wasted round-trips a
+    /// protocol could elide (e.g. unconditional flushes on an
+    /// eager-flush region).
+    pub redundant_persists: u64,
     /// Number of persistence fences.
     pub fences: u64,
     /// Number of compare-exchange operations.
@@ -112,6 +120,7 @@ impl std::ops::Sub for StatsSnapshot {
             lines_persisted: self.lines_persisted - rhs.lines_persisted,
             persists: self.persists - rhs.persists,
             coalesced_lines: self.coalesced_lines - rhs.coalesced_lines,
+            redundant_persists: self.redundant_persists - rhs.redundant_persists,
             fences: self.fences - rhs.fences,
             cas_ops: self.cas_ops - rhs.cas_ops,
             crashes: self.crashes - rhs.crashes,
@@ -133,6 +142,7 @@ impl std::ops::Add for StatsSnapshot {
             lines_persisted: self.lines_persisted + rhs.lines_persisted,
             persists: self.persists + rhs.persists,
             coalesced_lines: self.coalesced_lines + rhs.coalesced_lines,
+            redundant_persists: self.redundant_persists + rhs.redundant_persists,
             fences: self.fences + rhs.fences,
             cas_ops: self.cas_ops + rhs.cas_ops,
             crashes: self.crashes + rhs.crashes,
@@ -145,7 +155,8 @@ impl fmt::Display for StatsSnapshot {
         write!(
             f,
             "reads={} writes={} bytes_written={} flush_calls={} lines_persisted={} \
-             persists={} coalesced_lines={} fences={} cas_ops={} crashes={}",
+             persists={} coalesced_lines={} redundant_persists={} fences={} cas_ops={} \
+             crashes={}",
             self.reads,
             self.writes,
             self.bytes_written,
@@ -153,6 +164,7 @@ impl fmt::Display for StatsSnapshot {
             self.lines_persisted,
             self.persists,
             self.coalesced_lines,
+            self.redundant_persists,
             self.fences,
             self.cas_ops,
             self.crashes
@@ -189,6 +201,7 @@ mod tests {
             "lines_persisted=",
             "persists=",
             "coalesced_lines=",
+            "redundant_persists=",
             "fences=",
             "cas_ops=",
             "crashes=",

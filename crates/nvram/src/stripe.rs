@@ -12,6 +12,7 @@
 //! [`reopen_all`]: PMemStripe::reopen_all
 
 use crate::pmem::PMemBuilder;
+use crate::psan::PsanViolation;
 use crate::rootswap::RootCell;
 use crate::stats::StatsSnapshot;
 use crate::{MemError, PMem, POffset};
@@ -148,6 +149,17 @@ impl PMemStripe {
         RootCell::open(self.regions[i].clone(), base)
     }
 
+    /// All PSan violations recorded by any region, in stripe order —
+    /// empty when PSan is disabled (or when every region is clean).
+    /// Region labels (`shard-0`, `shard-1`, …) attribute each one.
+    #[must_use]
+    pub fn psan_violations(&self) -> Vec<PsanViolation> {
+        self.regions
+            .iter()
+            .flat_map(PMem::psan_violations)
+            .collect()
+    }
+
     /// Removes any armed crash-injection plan from every region.
     pub fn disarm_all(&self) {
         for region in &self.regions {
@@ -195,7 +207,17 @@ impl PMemBuilder {
     #[must_use]
     pub fn build_striped(self, n: usize) -> PMemStripe {
         assert!(n > 0, "a stripe needs at least one region");
-        PMemStripe::from_regions((0..n).map(|_| self.clone().build_in_memory()).collect())
+        PMemStripe::from_regions(
+            (0..n)
+                .map(|i| {
+                    let region = self.clone().build_in_memory();
+                    // No-op unless PSan is enabled: name the region so
+                    // violation reports attribute to the right shard.
+                    region.psan_set_label(&format!("shard-{i}"));
+                    region
+                })
+                .collect(),
+        )
     }
 }
 

@@ -28,13 +28,16 @@
 use pstack::chaos::{run_kv_campaign, KvCampaignConfig};
 use pstack::heap::PHeap;
 use pstack::kv::{shard_of, KvVariant, PKvStore, ShardedKvStore};
-use pstack::nvram::PMemBuilder;
+use pstack::nvram::{PMemBuilder, PMemStripe};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Act 1: the store API over emulated NVRAM, surviving a power cut.
+    // The persist-order sanitizer rides along (`.psan(true)`): every
+    // act below also proves the demo publishes nothing non-durable.
     let pmem = PMemBuilder::new()
         .len(1 << 18)
         .eager_flush(true)
+        .psan(true)
         .build_in_memory();
     let heap = PHeap::format(pmem.clone(), 0u64.into(), 1 << 18)?;
     let kv = PKvStore::format(pmem.clone(), &heap, 16, 128, KvVariant::Nsrl)?;
@@ -44,7 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     kv.delete(0, 4, 1002)?;
     pmem.crash_now(0, 0.0); // power cut: eager region, nothing to lose
     let pmem = pmem.reopen()?;
-    let kv = PKvStore::open(pmem, kv.base(), KvVariant::Nsrl)?;
+    let kv = PKvStore::open(pmem.clone(), kv.base(), KvVariant::Nsrl)?;
     println!(
         "after power cut: key 1001 = {:?}, key 1002 = {:?}",
         kv.get(1001)?,
@@ -52,6 +55,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     assert_eq!(kv.get(1001)?, Some(43));
     assert_eq!(kv.get(1002)?, None);
+    assert!(
+        pmem.psan_violations().is_empty(),
+        "sanitizer: {:?}",
+        pmem.psan_violations()
+    );
 
     // Act 2: the full §5.2-style loop — the correct store must verify
     // as linearizable no matter where the crashes land.
@@ -67,9 +75,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let records: usize = report.history.chains.iter().map(Vec::len).sum();
     println!("  chain witness: {records} mutations published");
     println!("  KV verdict: {:?}", report.verdict);
+    println!(
+        "  sanitizer: {} persist-order violations",
+        report.psan_violations.len()
+    );
     assert!(
         report.is_linearizable(),
         "the correct store must verify as linearizable"
+    );
+    assert!(
+        report.psan_violations.is_empty(),
+        "sanitizer: {:?}",
+        report.psan_violations
     );
 
     // Act 3: the injected bug — recovery without the evidence scan
@@ -113,21 +130,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .filter(|&k| shard_of(k, nshards) == 0)
         .take(5)
         .collect();
-    let build = || -> Result<ShardedKvStore, Box<dyn std::error::Error>> {
+    let build = || -> Result<(PMemStripe, ShardedKvStore), Box<dyn std::error::Error>> {
         let stripe = PMemBuilder::new()
             .len(1 << 20)
             .eager_flush(true)
+            .psan(true)
             .build_striped(nshards);
-        Ok(ShardedKvStore::format(
-            stripe.regions(),
-            8,
-            log_cap,
-            KvVariant::Nsrl,
-        )?)
+        let kv = ShardedKvStore::format(stripe.regions(), 8, log_cap, KvVariant::Nsrl)?;
+        Ok((stripe, kv))
     };
 
     // Without compaction the shard bricks — loudly.
-    let kv = build()?;
+    let (_, kv) = build()?;
     let mut bricked_at = None;
     for seq in 1..=50u64 {
         let key = hot_keys[(seq % 5) as usize];
@@ -145,7 +159,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // With the headroom signal driving compact_shard, all 50 land.
-    let kv = build()?;
+    let (stripe, kv) = build()?;
     let mut compactions = 0;
     for seq in 1..=50u64 {
         let key = hot_keys[(seq % 5) as usize];
@@ -172,6 +186,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         hot_keys[0],
         kv.get(hot_keys[0])?,
     );
+    assert!(
+        stripe.psan_violations().is_empty(),
+        "sanitizer: {:?}",
+        stripe.psan_violations()
+    );
+    println!("  sanitizer: 0 persist-order violations across every act");
 
     println!("\nkv example finished");
     Ok(())

@@ -1,0 +1,178 @@
+//! `persist-lint` — a text-based persist-discipline lint.
+//!
+//! Two rules, both heuristics over the source text (this is a lint,
+//! not a verifier — PSan checks the semantics at runtime; this catches
+//! the layering and "wrote a commit point, forgot the flush" mistakes
+//! at review time, next to fmt and clippy in CI):
+//!
+//! * `raw-backend` — code outside `crates/nvram` naming the storage
+//!   backend (`Backend::`, `.backend`, `.image[`). Every persistent
+//!   byte must go through the `PMem` interposition layer or it is
+//!   invisible to the stats counters, the fail-point engine and PSan.
+//! * `publish-no-persist` — a store whose destination looks like a
+//!   commit point (`root`, `head`, `epoch`, `selector` in the line)
+//!   with no `flush`/`persist`/`fence` in the following ten lines.
+//!   Publishing before persisting is the early-publish bug class.
+//!
+//! A finding is waived by `// persist-lint: allow(<rule>) <reason>` on
+//! the flagged line or the line above it. Waivers are printed so they
+//! stay auditable.
+//!
+//! Exit status: 0 clean (waivers allowed), 1 findings, 2 usage error.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Directories scanned, relative to the repo root. `crates/nvram` is
+/// the interposition layer itself and `shims/` emulate volatile crates
+/// — neither is subject to the rules.
+const ROOTS: &[&str] = &["crates", "src", "examples", "tests"];
+const SKIP: &[&str] = &["crates/nvram", "shims", "target"];
+
+const WINDOW: usize = 10;
+const STORE_PATTERNS: &[&str] = &[
+    ".write_u64(",
+    ".write_u32(",
+    ".write_i64(",
+    ".write_u8(",
+    ".write(",
+    ".fill(",
+];
+const PUBLISH_NAMES: &[&str] = &["root", "head", "epoch", "selector"];
+const PERSIST_PATTERNS: &[&str] = &["flush(", "persist(", "fence("];
+// persist-lint: allow(raw-backend) the pattern table itself, not a backend access
+const BACKEND_PATTERNS: &[&str] = &["Backend::", ".backend", ".image["];
+
+struct Finding {
+    file: PathBuf,
+    line: usize,
+    rule: &'static str,
+    text: String,
+    waived: bool,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.rule,
+            self.text.trim()
+        )
+    }
+}
+
+/// The code part of a line: everything before a `//` comment.
+fn code_of(line: &str) -> &str {
+    match line.find("//") {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+fn contains_any(haystack: &str, needles: &[&str]) -> bool {
+    needles.iter().any(|n| haystack.contains(n))
+}
+
+/// `true` if the flagged line carries a waiver for `rule` — on the
+/// line itself or up to two lines above it (method chains split the
+/// receiver and the call across lines).
+fn waived(lines: &[&str], idx: usize, rule: &str) -> bool {
+    let marker = format!("persist-lint: allow({rule})");
+    lines[idx.saturating_sub(2)..=idx]
+        .iter()
+        .any(|l| l.contains(&marker))
+}
+
+fn lint_file(path: &Path, src: &str, out: &mut Vec<Finding>) {
+    let lines: Vec<&str> = src.lines().collect();
+    for (i, raw) in lines.iter().enumerate() {
+        let code = code_of(raw);
+        if contains_any(code, BACKEND_PATTERNS) {
+            out.push(Finding {
+                file: path.to_path_buf(),
+                line: i + 1,
+                rule: "raw-backend",
+                text: (*raw).to_string(),
+                waived: waived(&lines, i, "raw-backend"),
+            });
+        }
+        let lower = code.to_ascii_lowercase();
+        if contains_any(code, STORE_PATTERNS) && contains_any(&lower, PUBLISH_NAMES) {
+            let persisted = lines[i..(i + 1 + WINDOW).min(lines.len())]
+                .iter()
+                .any(|l| contains_any(code_of(l), PERSIST_PATTERNS));
+            if !persisted {
+                out.push(Finding {
+                    file: path.to_path_buf(),
+                    line: i + 1,
+                    rule: "publish-no-persist",
+                    text: (*raw).to_string(),
+                    waived: waived(&lines, i, "publish-no-persist"),
+                });
+            }
+        }
+    }
+}
+
+fn walk(dir: &Path, repo: &Path, out: &mut Vec<Finding>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        let rel = path.strip_prefix(repo).unwrap_or(&path);
+        if SKIP.iter().any(|s| rel == Path::new(s)) {
+            continue;
+        }
+        if path.is_dir() {
+            walk(&path, repo, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let src = std::fs::read_to_string(&path)?;
+            lint_file(rel, &src, out);
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let repo = PathBuf::from(args.next().unwrap_or_else(|| ".".to_string()));
+    if args.next().is_some() {
+        eprintln!("usage: persist-lint [repo-root]");
+        return ExitCode::from(2);
+    }
+
+    let mut findings = Vec::new();
+    for root in ROOTS {
+        let dir = repo.join(root);
+        if !dir.is_dir() {
+            continue;
+        }
+        if let Err(e) = walk(&dir, &repo, &mut findings) {
+            eprintln!("persist-lint: {}: {e}", dir.display());
+            return ExitCode::from(2);
+        }
+    }
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+
+    let mut hard = 0usize;
+    for f in &findings {
+        if f.waived {
+            println!("waived  {f}");
+        } else {
+            println!("FINDING {f}");
+            hard += 1;
+        }
+    }
+    println!(
+        "persist-lint: {} finding(s), {} waived",
+        hard,
+        findings.len() - hard
+    );
+    if hard > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
