@@ -11,6 +11,7 @@ use pstack_nvram::{FailPlan, PMem, PMemBuilder, POffset, PsanViolation};
 use pstack_recoverable::{
     CasTaskFunction, CasVariant, RecoverableCas, TaskTable, CAS_TASK_FUNC_ID,
 };
+use pstack_telemetry::{TelemetrySummary, TraceSession};
 use pstack_verify::{check_serializability, replay_witness, CasHistory, CasOp, SerialVerdict};
 
 /// Configuration of one §5.2 campaign.
@@ -52,6 +53,10 @@ pub struct CampaignConfig {
     /// collect its findings in the report. Defaults to the `psan`
     /// crate feature (on unless built with `--no-default-features`).
     pub psan: bool,
+    /// Record the campaign with the flight recorder and attach a
+    /// [`TelemetrySummary`] to the report. Defaults to the `telemetry`
+    /// crate feature (on unless built with `--no-default-features`).
+    pub telemetry: bool,
 }
 
 impl CampaignConfig {
@@ -73,6 +78,7 @@ impl CampaignConfig {
             access_jitter: None,
             backing_file: None,
             psan: cfg!(feature = "psan"),
+            telemetry: cfg!(feature = "telemetry"),
         }
     }
 
@@ -120,6 +126,10 @@ pub struct CampaignReport {
     /// PSan is off; expected empty when it is on — the campaign's
     /// persist discipline is supposed to be violation-free).
     pub psan_violations: Vec<PsanViolation>,
+    /// Flight-recorder summary (per-op latency percentiles, persist
+    /// economy, crash→recovery timeline); `None` when recording was
+    /// off for the run.
+    pub telemetry: Option<TelemetrySummary>,
 }
 
 impl CampaignReport {
@@ -188,6 +198,13 @@ fn build_registry(
 /// # }
 /// ```
 pub fn run_campaign(cfg: &CampaignConfig) -> Result<CampaignReport, PError> {
+    let session = cfg.telemetry.then(TraceSession::start);
+    let mut report = run_campaign_inner(cfg)?;
+    report.telemetry = session.map(|s| s.finish().summary());
+    Ok(report)
+}
+
+fn run_campaign_inner(cfg: &CampaignConfig) -> Result<CampaignReport, PError> {
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
     let (lo, hi) = cfg.value_range;
     assert!(lo <= hi, "empty value range");
@@ -322,6 +339,7 @@ pub fn run_campaign(cfg: &CampaignConfig) -> Result<CampaignReport, PError> {
         history,
         verdict,
         psan_violations: pmem.psan_violations(),
+        telemetry: None,
     })
 }
 

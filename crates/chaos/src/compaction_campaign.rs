@@ -41,6 +41,9 @@ use pstack_kv::{shard_of, KvOpTable, KvVariant, ShardedKvStore, ShardedKvTaskFun
 use pstack_nvram::{FailPlan, PMemBuilder, PMemStripe, POffset, PsanViolation};
 use pstack_verify::{check_kv_sharded_gen, KvShardedHistory, KvVerdict};
 
+use pstack_telemetry::{TelemetrySummary, TraceSession};
+use std::time::{Duration, Instant};
+
 use crate::kv_campaign::ShardLogUsage;
 use crate::sharded_kv_campaign::{
     build_sharded_history, generate_kv_ops, open_tables, run_shard_round, TABLE_ROOT_OFF,
@@ -100,6 +103,10 @@ pub struct CompactionCampaignConfig {
     /// Runs the campaign under the persist-order sanitizer; defaults to
     /// the `psan` crate feature.
     pub psan: bool,
+    /// Record the campaign with the flight recorder and attach the
+    /// collected summary to the report. Defaults to the `telemetry`
+    /// crate feature.
+    pub telemetry: bool,
 }
 
 impl CompactionCampaignConfig {
@@ -127,6 +134,7 @@ impl CompactionCampaignConfig {
             ops_per_round: 8,
             region_len: 1 << 20,
             psan: cfg!(feature = "psan"),
+            telemetry: cfg!(feature = "telemetry"),
         }
     }
 
@@ -178,6 +186,16 @@ pub struct CompactionCampaignReport {
     /// Persist-order sanitizer findings (empty when PSan is off, and —
     /// for the correct variant — when it is on).
     pub psan_violations: Vec<PsanViolation>,
+    /// Attribution of every kill, in reboot order: the region index
+    /// that tripped first and its frozen persistence-event counter.
+    pub crash_sites: Vec<(usize, u64)>,
+    /// Wall-clock duration of each crash→recovery cycle — from the
+    /// whole-system reboot to the pass (compaction-recovery dual or
+    /// workload recovery round) that completed. Kills *inside*
+    /// recovery extend the cycle they interrupted.
+    pub recovery_durations: Vec<Duration>,
+    /// Flight-recorder summary; `None` when recording was off.
+    pub telemetry: Option<TelemetrySummary>,
 }
 
 impl CompactionCampaignReport {
@@ -235,6 +253,15 @@ impl CompactionCampaignReport {
 pub fn run_compaction_campaign(
     cfg: &CompactionCampaignConfig,
 ) -> Result<CompactionCampaignReport, PError> {
+    let session = cfg.telemetry.then(TraceSession::start);
+    let mut report = run_compaction_campaign_inner(cfg)?;
+    report.telemetry = session.map(|s| s.finish().summary());
+    Ok(report)
+}
+
+fn run_compaction_campaign_inner(
+    cfg: &CompactionCampaignConfig,
+) -> Result<CompactionCampaignReport, PError> {
     assert!(cfg.shards > 0, "at least one shard");
     assert!(cfg.key_space > 0, "empty key space");
     assert!(cfg.log_cap_per_shard > 0, "empty log");
@@ -279,15 +306,27 @@ pub fn run_compaction_campaign(
     let mut compaction_crashes = 0usize;
     let mut recovery_crashes = 0usize;
     let mut compactions: Vec<(usize, u64)> = Vec::new();
+    let mut crash_sites: Vec<(usize, u64)> = Vec::new();
+    let mut recovery_durations: Vec<Duration> = Vec::new();
+    // Set when a workload kill rebooted the stripe: the next workload
+    // round drives the recovery duals, and its crash-free completion
+    // closes the cycle.
+    let mut recovery_started: Option<Instant> = None;
     let mut had_crash = false;
 
     // Reboots the whole stripe after a kill (whole-system failure,
-    // survival probability 0 for determinism).
-    let reboot = |stripe: &mut PMemStripe, salt: u64, seed: u64| -> Result<(), PError> {
-        stripe.crash_all(seed ^ salt, 0.0);
-        *stripe = stripe.reopen_all()?;
-        Ok(())
-    };
+    // survival probability 0 for determinism) and returns the site of
+    // the kill that forced it — read before the failure propagates
+    // stripe-wide, while the lowest crashed index still names the
+    // region that tripped first.
+    let reboot =
+        |stripe: &mut PMemStripe, salt: u64, seed: u64| -> Result<Option<(usize, u64)>, PError> {
+            let site = stripe.crash_site();
+            stripe.crash_all(seed ^ salt, 0.0);
+            let _phase = pstack_telemetry::phase("recovery.reopen");
+            *stripe = stripe.reopen_all()?;
+            Ok(site)
+        };
 
     'campaign: loop {
         rounds += 1;
@@ -327,7 +366,12 @@ pub fn run_compaction_campaign(
                 Err(e) if e.is_crash() => {
                     compaction_crashes += 1;
                     had_crash = true;
-                    reboot(&mut stripe, 0x5153 ^ compaction_crashes as u64, cfg.seed)?;
+                    let recovery_t0 = Instant::now();
+                    crash_sites.extend(reboot(
+                        &mut stripe,
+                        0x5153 ^ compaction_crashes as u64,
+                        cfg.seed,
+                    )?);
                     // The recovery dual, itself under fire: re-run until
                     // a pass completes. Evidence (the root cell) decides
                     // whether the interrupted swap committed.
@@ -345,11 +389,16 @@ pub fn run_compaction_campaign(
                             Ok(_committed_before) => {
                                 stripe.region(s).disarm_failpoint();
                                 compactions.push((s, store.shard(s).generation()?));
+                                recovery_durations.push(recovery_t0.elapsed());
                                 break;
                             }
                             Err(e) if e.is_crash() => {
                                 recovery_crashes += 1;
-                                reboot(&mut stripe, 0x5245 ^ recovery_crashes as u64, cfg.seed)?;
+                                crash_sites.extend(reboot(
+                                    &mut stripe,
+                                    0x5245 ^ recovery_crashes as u64,
+                                    cfg.seed,
+                                )?);
                             }
                             Err(e) => return Err(e),
                         }
@@ -389,6 +438,9 @@ pub fn run_compaction_campaign(
                 .iter()
                 .map(|chains| chains.iter().flatten().filter(|r| !r.compacted).count())
                 .collect();
+            if let Some(started) = recovery_started.take() {
+                recovery_durations.push(started.elapsed());
+            }
             return Ok(CompactionCampaignReport {
                 rounds,
                 crashes,
@@ -402,6 +454,9 @@ pub fn run_compaction_campaign(
                 original_log_cap: cfg.log_cap_per_shard,
                 published_per_shard,
                 psan_violations: stripe.psan_violations(),
+                crash_sites,
+                recovery_durations,
+                telemetry: None,
             });
         }
 
@@ -442,8 +497,12 @@ pub fn run_compaction_campaign(
         if any_crash {
             crashes += 1;
             had_crash = true;
-            reboot(&mut stripe, 0x574B ^ crashes as u64, cfg.seed)?;
+            recovery_started.get_or_insert_with(Instant::now);
+            crash_sites.extend(reboot(&mut stripe, 0x574B ^ crashes as u64, cfg.seed)?);
         } else {
+            if let Some(started) = recovery_started.take() {
+                recovery_durations.push(started.elapsed());
+            }
             stripe.disarm_all();
         }
     }

@@ -20,6 +20,7 @@ use pstack_kv::{
     KvOpTable, KvTaskFunction, KvTaskOp, KvTaskResult, KvVariant, PKvStore, KV_TASK_FUNC_ID,
 };
 use pstack_nvram::{FailPlan, PMem, PMemBuilder, POffset, PsanViolation};
+use pstack_telemetry::{TelemetrySummary, TraceSession};
 use pstack_verify::{check_kv, KvAnswer, KvHistory, KvOp, KvOpKind, KvVerdict, KvWitnessRecord};
 
 /// Configuration of one KV crash campaign.
@@ -59,6 +60,9 @@ pub struct KvCampaignConfig {
     /// collect its findings in the report. Defaults to the `psan`
     /// crate feature.
     pub psan: bool,
+    /// Record the campaign with the flight recorder; defaults to the
+    /// `telemetry` crate feature.
+    pub telemetry: bool,
 }
 
 impl KvCampaignConfig {
@@ -82,6 +86,7 @@ impl KvCampaignConfig {
             region_len: 1 << 21,
             access_jitter: None,
             psan: cfg!(feature = "psan"),
+            telemetry: cfg!(feature = "telemetry"),
         }
     }
 
@@ -216,6 +221,8 @@ pub struct KvCampaignReport {
     /// Persist-order sanitizer findings across every boot (empty when
     /// PSan is off; expected empty when it is on).
     pub psan_violations: Vec<PsanViolation>,
+    /// Flight-recorder summary; `None` when recording was off.
+    pub telemetry: Option<TelemetrySummary>,
 }
 
 impl KvCampaignReport {
@@ -344,6 +351,13 @@ pub(crate) fn build_kv_history(store: &PKvStore, table: &KvOpTable) -> Result<Kv
 /// # }
 /// ```
 pub fn run_kv_campaign(cfg: &KvCampaignConfig) -> Result<KvCampaignReport, PError> {
+    let session = cfg.telemetry.then(TraceSession::start);
+    let mut report = run_kv_campaign_inner(cfg)?;
+    report.telemetry = session.map(|s| s.finish().summary());
+    Ok(report)
+}
+
+fn run_kv_campaign_inner(cfg: &KvCampaignConfig) -> Result<KvCampaignReport, PError> {
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
     let (lo, hi) = cfg.value_range;
     assert!(lo <= hi, "empty value range");
@@ -436,7 +450,10 @@ pub fn run_kv_campaign(cfg: &KvCampaignConfig) -> Result<KvCampaignReport, PErro
 
         // Step 6: restart in recovery mode; repeated failures may hit
         // the recovery itself.
-        pmem = pmem.reopen()?;
+        pmem = {
+            let _phase = pstack_telemetry::phase("recovery.reopen");
+            pmem.reopen()?
+        };
         loop {
             let (registry, _, _) = build_registry(&pmem, cfg.variant)?;
             let rt = Runtime::open(pmem.clone(), &registry)?;
@@ -454,7 +471,10 @@ pub fn run_kv_campaign(cfg: &KvCampaignConfig) -> Result<KvCampaignReport, PErro
                 }
                 Err(e) if e.is_crash() => {
                     recovery_crashes += 1;
-                    pmem = pmem.reopen()?;
+                    pmem = {
+                        let _phase = pstack_telemetry::phase("recovery.reopen");
+                        pmem.reopen()?
+                    };
                 }
                 Err(e) => return Err(e),
             }
@@ -478,6 +498,7 @@ pub fn run_kv_campaign(cfg: &KvCampaignConfig) -> Result<KvCampaignReport, PErro
             capacity: store.log_capacity()?,
         }],
         psan_violations: pmem.psan_violations(),
+        telemetry: None,
     })
 }
 

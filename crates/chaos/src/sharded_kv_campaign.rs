@@ -32,6 +32,9 @@ use pstack_verify::{
     check_kv_sharded_gen, KvAnswer, KvOp, KvOpKind, KvShardedHistory, KvVerdict, KvWitnessRecord,
 };
 
+use pstack_telemetry::{TelemetrySummary, TraceSession};
+use std::time::{Duration, Instant};
+
 use crate::kv_campaign::ShardLogUsage;
 
 /// Where each shard region persists its descriptor-table base (inside
@@ -95,6 +98,10 @@ pub struct ShardedKvCampaignConfig {
     /// collect its findings in the report. Defaults to the `psan`
     /// crate feature.
     pub psan: bool,
+    /// Record the campaign with the flight recorder and attach the
+    /// collected summary to the report. Defaults to the `telemetry`
+    /// crate feature.
+    pub telemetry: bool,
 }
 
 impl ShardedKvCampaignConfig {
@@ -123,6 +130,7 @@ impl ShardedKvCampaignConfig {
             control_region_len: 1 << 20,
             recovery_crash_prob: 0.35,
             psan: cfg!(feature = "psan"),
+            telemetry: cfg!(feature = "telemetry"),
         }
     }
 
@@ -203,6 +211,15 @@ pub struct ShardedKvCampaignReport {
     /// expected empty when it is on — unless the campaign runs a
     /// seeded persist-order bug variant).
     pub psan_violations: Vec<PsanViolation>,
+    /// Wall-clock duration of each crash→recovery cycle — from the
+    /// whole-system reboot to the recovery pass that succeeded. A kill
+    /// *inside* recovery extends the cycle it interrupted rather than
+    /// starting a new one.
+    pub recovery_durations: Vec<Duration>,
+    /// Flight-recorder summary of the whole campaign (spans, persist
+    /// economy, crash→recovery timeline); `None` when recording was
+    /// off.
+    pub telemetry: Option<TelemetrySummary>,
 }
 
 impl ShardedKvCampaignReport {
@@ -422,6 +439,7 @@ struct CampaignTally {
     recovered_frames: usize,
     shard_kills: usize,
     crash_sites: Vec<CrashSite>,
+    recovery_durations: Vec<Duration>,
     stats: StatsSnapshot,
     psan_violations: Vec<PsanViolation>,
 }
@@ -469,6 +487,8 @@ fn finalize_report(
         stats: tally.stats,
         mutations,
         psan_violations: tally.psan_violations,
+        recovery_durations: tally.recovery_durations,
+        telemetry: None,
     })
 }
 
@@ -564,6 +584,15 @@ pub(crate) fn build_sharded_history(
 pub fn run_sharded_kv_campaign(
     cfg: &ShardedKvCampaignConfig,
 ) -> Result<ShardedKvCampaignReport, PError> {
+    let session = cfg.telemetry.then(TraceSession::start);
+    let mut report = run_sharded_kv_campaign_inner(cfg)?;
+    report.telemetry = session.map(|s| s.finish().summary());
+    Ok(report)
+}
+
+fn run_sharded_kv_campaign_inner(
+    cfg: &ShardedKvCampaignConfig,
+) -> Result<ShardedKvCampaignReport, PError> {
     assert!(cfg.shards > 0, "at least one shard");
     assert!(cfg.workers > 0, "at least one worker");
     assert!(cfg.key_space > 0, "empty key space");
@@ -620,6 +649,10 @@ pub fn run_sharded_kv_campaign(
     }
 
     let mut tally = CampaignTally::default();
+    // Set when a crash rebooted the stripe: the next round (which
+    // drives every pending descriptor through its recovery dual) is
+    // the recovery pass, and its completion closes the cycle.
+    let mut recovery_started: Option<Instant> = None;
 
     loop {
         tally.rounds += 1;
@@ -635,6 +668,9 @@ pub fn run_sharded_kv_campaign(
             // Quiescent: fold in this boot's counters and stop. The
             // sanitizer's findings survive every reopen (the shadow
             // state rides the region), so one sweep here sees them all.
+            if let Some(started) = recovery_started.take() {
+                tally.recovery_durations.push(started.elapsed());
+            }
             tally.stats = tally.stats + stripe.aggregate_stats();
             tally.psan_violations = stripe.psan_violations();
             return finalize_report(cfg, &store, &tables, tally, mutations);
@@ -698,15 +734,31 @@ pub fn run_sharded_kv_campaign(
         for flag in crashed_flags {
             any_crash |= flag?;
         }
+        // The round after a reboot drove recovery duals over every
+        // pending descriptor; it just finished, closing the cycle. A
+        // crash *during* that round keeps the cycle open instead.
+        if !any_crash {
+            if let Some(started) = recovery_started.take() {
+                tally.recovery_durations.push(started.elapsed());
+            }
+        }
 
         if any_crash {
             tally.crashes += 1;
             tally.shard_kills += stripe.regions().iter().filter(|r| r.is_crashed()).count();
+            tally
+                .crash_sites
+                .extend(stripe.crash_site().map(|(shard, events)| CrashSite {
+                    region: CrashRegion::Shard(shard),
+                    events,
+                }));
             // System failure: every region dies with the killed ones
             // (unflushed lines of buffered regions are lost — survival
             // probability 0 keeps the campaign deterministic).
             tally.stats = tally.stats + stripe.aggregate_stats();
             stripe.crash_all(cfg.seed ^ tally.crashes as u64, 0.0);
+            recovery_started.get_or_insert_with(Instant::now);
+            let _phase = pstack_telemetry::phase("recovery.reopen");
             stripe = stripe.reopen_all()?;
         } else {
             stripe.disarm_all();
@@ -841,6 +893,7 @@ fn drive_with_runtime(
             tally.crash_sites.push(site);
         }
         tally.stats = tally.stats + stripe.aggregate_stats();
+        let recovery_started = Instant::now();
         (control, stripe) = reboot(&rt)?;
 
         // Stack-driven recovery, possibly killed mid-pass: reopen and
@@ -878,6 +931,7 @@ fn drive_with_runtime(
                     stripe.disarm_all();
                     control.disarm_failpoint();
                     tally.recovered_frames += rep.total_frames();
+                    tally.recovery_durations.push(recovery_started.elapsed());
                     break;
                 }
                 Err(e) if e.is_crash() => {
@@ -1134,6 +1188,29 @@ mod tests {
                 site.events > 0,
                 "the op counter freezes at the kill: {site}"
             );
+        }
+        // Every crash→recovery cycle that completed was timed.
+        assert_eq!(report.recovery_durations.len(), report.crashes);
+        assert!(report.recovery_durations.iter().all(|d| d.as_nanos() > 0));
+        #[cfg(feature = "telemetry")]
+        {
+            let telemetry = report.telemetry.as_ref().expect("recording was on");
+            // The stack-driven recovery path exercises the reopen, the
+            // per-shard evidence scan, the frame replay, and the
+            // recover duals — the timeline must attribute at least
+            // three distinct phases with durations.
+            assert!(
+                telemetry.distinct_recovery_phases() >= 3,
+                "timeline:\n{}",
+                telemetry.render()
+            );
+            assert!(!telemetry.timeline.is_empty());
+            assert!(
+                telemetry.ops.iter().any(|op| op.count > 0),
+                "spans should have latencies: {:?}",
+                telemetry.ops
+            );
+            println!("{}", telemetry.render());
         }
     }
 

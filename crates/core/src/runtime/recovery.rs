@@ -86,6 +86,7 @@ impl Runtime {
     /// unregistered function id, or an application error from a recover
     /// dual.
     pub fn recover(&self, mode: RecoveryMode) -> Result<RecoveryReport, PError> {
+        let _phase = pstack_telemetry::phase("recovery.frame-replay");
         let start = Instant::now();
         let timed: Vec<(usize, Duration)> = match mode {
             RecoveryMode::Serial => {

@@ -91,6 +91,10 @@ impl StripedRuntime {
     /// with the data stripe its tasks operate on.
     #[must_use]
     pub fn from_parts(runtime: Runtime, stripe: PMemStripe) -> Self {
+        // Name the control region in telemetry traces; shard regions
+        // were already labeled by `build_striped`. No-op when the
+        // recorder is compiled out.
+        runtime.pmem().telemetry_set_label("control");
         StripedRuntime {
             runtime,
             stripe,
@@ -196,6 +200,15 @@ impl StripedRuntime {
     /// any region's death kills the rest before unwinding.
     fn trip_system_crash(&self) -> CrashSite {
         let site = self.locate_crash();
+        // Recorded before the propagation below, so the attribution
+        // event anchors the crash burst in the telemetry timeline.
+        pstack_telemetry::crash_site(
+            match site.region {
+                CrashRegion::Shard(shard) => shard as u64,
+                CrashRegion::Runtime => pstack_telemetry::CONTROL_REGION,
+            },
+            site.events,
+        );
         *self.last_site.lock().expect("site lock never poisoned") = Some(site);
         self.control()
             .crash_now(self.crash_seed ^ CONTROL_SEED_SALT, self.crash_survival);
@@ -266,6 +279,7 @@ impl StripedRuntime {
                 "reopen_all requires a whole-system crash; some region is still live".into(),
             ));
         }
+        let _phase = pstack_telemetry::phase("recovery.reopen");
         let control = self.control().reopen()?;
         let stripe = self.stripe.reopen_all()?;
         let registry = make_registry(&control, &stripe)?;
@@ -336,9 +350,11 @@ impl StripedRuntime {
     where
         F: Fn(usize, &PMem) -> Result<(), PError> + Sync,
     {
-        let result = self
-            .shard_prelude_pass(mode, &prelude)
-            .and_then(|()| self.runtime.recover(mode));
+        let result = {
+            let _phase = pstack_telemetry::phase("recovery.evidence-scan");
+            self.shard_prelude_pass(mode, &prelude)
+        }
+        .and_then(|()| self.runtime.recover(mode));
         if let Err(e) = &result {
             if e.is_crash() {
                 self.trip_system_crash();

@@ -1038,6 +1038,7 @@ impl PKvStore {
         self.pmem
             .write_u64(self.base + OFF_FLUSH_EPOCH, epoch + 1)?;
         self.pmem.flush(self.base + OFF_FLUSH_EPOCH, 8)?;
+        pstack_telemetry::flush_epoch(self.pmem.telemetry_label_id(), epoch + 1);
         Ok(outcomes)
     }
 
@@ -1272,6 +1273,7 @@ impl PKvStore {
     /// A propagated crash; re-run after restart.
     pub fn recover_batch(&self, ops: &[KvBatchOp]) -> Result<Vec<KvApplied>, PError> {
         let _label = op_label("kv.recover_batch");
+        let _phase = pstack_telemetry::phase("recovery.batch-replay");
         let mut outcomes = vec![KvApplied::PrecondFailed; ops.len()];
         let mut rest = Vec::new();
         let mut rest_idx = Vec::new();
@@ -1567,6 +1569,7 @@ impl PKvStore {
     /// propagated crash (re-run after restart).
     pub fn recover_compact(&self, heap: &PHeap, from_gen: u64) -> Result<bool, PError> {
         let _label = op_label("kv.recover_compact");
+        let _phase = pstack_telemetry::phase("recovery.compact-dual");
         let _serialize = self.pmem.advisory_lock();
         let gen = self.active_gen()?;
         match gen.number.cmp(&from_gen) {

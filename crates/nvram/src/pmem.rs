@@ -21,7 +21,7 @@
 
 use std::collections::HashMap;
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{FairMutex, Mutex, MutexGuard};
@@ -258,6 +258,7 @@ impl PMemBuilder {
                 persist_delay: self.persist_delay,
                 flush_latency: self.flush_latency,
                 psan: self.psan.then(|| Arc::new(PsanCell::new(self.line_size))),
+                tlabel: AtomicU32::new(pstack_telemetry::intern("region")),
                 crashed: AtomicBool::new(false),
                 stats: MemStats::default(),
                 state: FairMutex::new(State {
@@ -290,6 +291,9 @@ struct Inner {
     /// PSan shadow memory; shared (`Arc`) across reopen boots so ghosts
     /// and violations outlive crashes. `None` unless enabled.
     psan: Option<Arc<PsanCell>>,
+    /// Interned telemetry label naming this region in recorded persist
+    /// and crash events (0 = the generic "region" label).
+    tlabel: AtomicU32,
     crashed: AtomicBool,
     stats: MemStats,
     state: FairMutex<State>,
@@ -574,6 +578,9 @@ impl PMem {
         if len == 0 {
             return Ok(());
         }
+        // Telemetry round-trip timer: a no-op unless recording (and
+        // compiled away entirely without the `telemetry` feature).
+        let probe = pstack_telemetry::persist_probe();
         let line = self.inner.line_size;
         let first = start / line;
         let last = (start + len - 1) / line;
@@ -628,6 +635,12 @@ impl PMem {
                 std::thread::sleep(latency);
             }
         }
+        // Recorded after the emulated device latency so span/persist
+        // durations reflect the cost the caller actually paid.
+        probe.record(
+            self.inner.tlabel.load(Ordering::Relaxed),
+            persisted as usize,
+        );
         Ok(())
     }
 
@@ -658,6 +671,7 @@ impl PMem {
     /// `Flushed` shadow state).
     pub fn fence(&self) {
         MemStats::bump(&self.inner.stats.fences);
+        pstack_telemetry::fence_event(self.inner.tlabel.load(Ordering::Relaxed));
         if let Some(psan) = &self.inner.psan {
             psan.note_fence(self.events());
         }
@@ -760,6 +774,7 @@ impl PMem {
             outcomes.push((li, survives));
         }
         st.dirty.clear();
+        pstack_telemetry::crash(self.inner.tlabel.load(Ordering::Relaxed), st.fail.events);
         if let Some(psan) = &self.inner.psan {
             // Dropped lines revert to their durable content (shadow
             // forgets them); lucky survivors' bytes become ghosts.
@@ -800,6 +815,7 @@ impl PMem {
                 persist_delay: self.inner.persist_delay,
                 flush_latency: self.inner.flush_latency,
                 psan: self.inner.psan.clone(),
+                tlabel: AtomicU32::new(self.inner.tlabel.load(Ordering::Relaxed)),
                 advisory: Mutex::new(()),
                 crashed: AtomicBool::new(false),
                 stats: MemStats::default(),
@@ -932,6 +948,23 @@ impl PMem {
         if let Some(psan) = &self.inner.psan {
             psan.set_label(label);
         }
+    }
+
+    /// Names the region in telemetry traces (persist round-trips,
+    /// crash events). Survives [`PMem::reopen`] like the PSan label;
+    /// a no-op when the flight recorder is compiled out.
+    pub fn telemetry_set_label(&self, label: &str) {
+        self.inner
+            .tlabel
+            .store(pstack_telemetry::intern(label), Ordering::Relaxed);
+    }
+
+    /// The interned telemetry label id for this region (for layers
+    /// that record region-scoped events themselves, e.g. flush-epoch
+    /// bumps).
+    #[must_use]
+    pub fn telemetry_label_id(&self) -> u32 {
+        self.inner.tlabel.load(Ordering::Relaxed)
     }
 
     /// The region's PSan report label, if PSan is enabled.

@@ -59,10 +59,18 @@ thread_local! {
 /// a bare offset. Guards nest; the innermost (most specific) label
 /// wins. Cheap enough to call unconditionally — a thread-local `Vec`
 /// push/pop, no locking, no allocation.
+///
+/// When the flight recorder is compiled in and recording, the guard
+/// doubles as a telemetry span: enter/exit events land in the calling
+/// thread's ring, and the collector turns them into per-op latency
+/// histograms and persist attribution.
 #[must_use = "the label is popped when the guard drops"]
 pub fn op_label(label: &'static str) -> OpLabelGuard {
     OP_LABELS.with(|l| l.borrow_mut().push(label));
-    OpLabelGuard { _priv: () }
+    OpLabelGuard {
+        label,
+        span: pstack_telemetry::span_enter(label),
+    }
 }
 
 /// The label of the innermost live [`op_label`] guard on this thread,
@@ -75,11 +83,18 @@ pub fn current_op_label() -> &'static str {
 /// RAII guard returned by [`op_label`]; pops the label on drop.
 #[derive(Debug)]
 pub struct OpLabelGuard {
-    _priv: (),
+    label: &'static str,
+    /// True when the enter event was recorded — the exit is emitted
+    /// only then, so toggling recording mid-span never unbalances a
+    /// trace.
+    span: bool,
 }
 
 impl Drop for OpLabelGuard {
     fn drop(&mut self) {
+        if self.span {
+            pstack_telemetry::span_exit(self.label);
+        }
         OP_LABELS.with(|l| {
             l.borrow_mut().pop();
         });

@@ -211,9 +211,11 @@ impl PMemBuilder {
             (0..n)
                 .map(|i| {
                     let region = self.clone().build_in_memory();
-                    // No-op unless PSan is enabled: name the region so
-                    // violation reports attribute to the right shard.
+                    // No-ops unless PSan / the recorder are enabled:
+                    // name the region so violation reports and
+                    // telemetry events attribute to the right shard.
                     region.psan_set_label(&format!("shard-{i}"));
+                    region.telemetry_set_label(&format!("shard-{i}"));
                     region
                 })
                 .collect(),

@@ -1,0 +1,227 @@
+//! Log-scale latency histogram (HDR-style).
+//!
+//! Values are bucketed with a fixed number of linear sub-buckets per
+//! power of two, so the relative quantile error is bounded by
+//! `2^-SUB_BITS` (≈3.1% at 5 sub-bucket bits) across the full `u64`
+//! range while the table stays a flat ~2k-counter array. This is the
+//! same layout trick as HdrHistogram at lowest precision, hand-rolled
+//! because the build environment vendors no registry crates.
+
+/// Linear sub-bucket bits per power-of-two band.
+const SUB_BITS: u32 = 5;
+/// Sub-buckets per band (also the size of the initial linear region).
+const SUB: u64 = 1 << SUB_BITS;
+/// Bucket count: one linear region plus `(64 - SUB_BITS)` bands.
+const BUCKETS: usize = ((64 - SUB_BITS + 1) << SUB_BITS) as usize;
+
+/// Fixed-footprint log-scale histogram of `u64` samples (nanoseconds
+/// by convention, but unit-agnostic).
+#[derive(Clone)]
+pub struct LatencyHistogram {
+    counts: Box<[u64; BUCKETS]>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LatencyHistogram")
+            .field("count", &self.count)
+            .field("min", &self.min)
+            .field("max", &self.max)
+            .field("p50", &self.quantile(0.5))
+            .field("p99", &self.quantile(0.99))
+            .finish()
+    }
+}
+
+/// Index of the bucket holding `v`.
+fn bucket_of(v: u64) -> usize {
+    if v < SUB {
+        v as usize
+    } else {
+        let exp = 63 - v.leading_zeros(); // >= SUB_BITS
+        let shift = exp - SUB_BITS;
+        let band = (exp - SUB_BITS + 1) as u64;
+        ((band << SUB_BITS) + ((v >> shift) - SUB)) as usize
+    }
+}
+
+/// Highest value mapping to bucket `idx` (the reported quantile bound).
+fn bucket_high(idx: usize) -> u64 {
+    let idx = idx as u64;
+    if idx < SUB {
+        idx
+    } else {
+        let band = idx >> SUB_BITS;
+        let off = idx & (SUB - 1);
+        let shift = (band - 1) as u32;
+        let low = (SUB + off) << shift;
+        low + ((1u64 << shift) - 1)
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            counts: vec![0u64; BUCKETS].into_boxed_slice().try_into().unwrap(),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum += u128::from(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    #[must_use]
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample.
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean of recorded samples (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            (self.sum / u128::from(self.count)) as u64
+        }
+    }
+
+    /// Value at quantile `q` in `[0, 1]`: an upper bound on the true
+    /// quantile with relative error at most `2^-5` (one sub-bucket).
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the sample we want, 1-based: ceil(q * count).
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return bucket_high(idx).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &Self) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_tile_the_u64_range() {
+        // Every value maps to exactly one bucket whose bounds contain it.
+        for v in (0..4096u64).chain([u64::MAX, u64::MAX / 3, 1 << 40, (1 << 40) + 12345]) {
+            let idx = bucket_of(v);
+            assert!(v <= bucket_high(idx), "v={v} idx={idx}");
+            if idx > 0 {
+                assert!(bucket_high(idx - 1) < v, "v={v} idx={idx}");
+            }
+        }
+        // Bucket highs are strictly increasing.
+        for idx in 1..BUCKETS {
+            assert!(bucket_high(idx) > bucket_high(idx - 1));
+        }
+    }
+
+    #[test]
+    fn exact_below_linear_region() {
+        let mut h = LatencyHistogram::new();
+        for v in 0..SUB {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(1.0), SUB - 1);
+        assert_eq!(h.quantile(0.5), SUB / 2 - 1);
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        // Uniform 1..=100_000: every quantile estimate must be within
+        // one sub-bucket (3.125%) of the true order statistic.
+        let mut h = LatencyHistogram::new();
+        for v in 1..=100_000u64 {
+            h.record(v);
+        }
+        for q in [0.5, 0.9, 0.99, 0.999, 1.0] {
+            let exact = ((q * 100_000f64).ceil() as u64).clamp(1, 100_000);
+            let est = h.quantile(q);
+            assert!(est >= exact, "q={q} est={est} exact={exact}");
+            let err = (est - exact) as f64 / exact as f64;
+            assert!(err <= 1.0 / 32.0 + 1e-9, "q={q} err={err}");
+        }
+    }
+
+    #[test]
+    fn merge_matches_combined_recording() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut all = LatencyHistogram::new();
+        for v in 0..1000u64 {
+            let v = v * v % 7919 + 1;
+            if v % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        for q in [0.1, 0.5, 0.99] {
+            assert_eq!(a.quantile(q), all.quantile(q));
+        }
+        assert_eq!(a.mean(), all.mean());
+    }
+}

@@ -19,8 +19,15 @@
 //!    answering `false`), with the headroom-triggered generational
 //!    compaction every mutation lands.
 //!
+//! The whole demo runs under a flight-recorder session: the summary
+//! (per-op latency percentiles, persist economy, the crash→recovery
+//! timeline) prints at the end, and setting `PSTACK_TRACE=<path>`
+//! writes the raw trace for `trace-dump` to render or validate.
+//!
 //! ```sh
 //! cargo run --example kv
+//! PSTACK_TRACE=/tmp/kv.trace cargo run --example kv
+//! cargo run --bin trace-dump -- /tmp/kv.trace --validate
 //! ```
 //!
 //! [`KvVariant::NoScan`]: pstack::kv::KvVariant
@@ -29,8 +36,13 @@ use pstack::chaos::{run_kv_campaign, KvCampaignConfig};
 use pstack::heap::PHeap;
 use pstack::kv::{shard_of, KvVariant, PKvStore, ShardedKvStore};
 use pstack::nvram::{PMemBuilder, PMemStripe};
+use pstack::telemetry::TraceSession;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Record the whole demo. With `--no-default-features` the recorder
+    // is compiled out and this session collects nothing (for free).
+    let session = TraceSession::start();
+
     // Act 1: the store API over emulated NVRAM, surviving a power cut.
     // The persist-order sanitizer rides along (`.psan(true)`): every
     // act below also proves the demo publishes nothing non-durable.
@@ -192,6 +204,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stripe.psan_violations()
     );
     println!("  sanitizer: 0 persist-order violations across every act");
+
+    // The flight recorder saw every act: spans from the op labels,
+    // persist round-trips, the crashes and the recovery phases.
+    let snapshot = session.finish();
+    let summary = snapshot.summary();
+    println!("\n{}", summary.render());
+    if let Ok(path) = std::env::var("PSTACK_TRACE") {
+        snapshot.write_file(&path)?;
+        println!("trace written to {path}");
+    }
 
     println!("\nkv example finished");
     Ok(())

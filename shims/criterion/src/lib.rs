@@ -12,7 +12,7 @@
 //! Each benchmark reports one line:
 //!
 //! ```text
-//! <group>/<id>   time: [<min> <mean> <max>]  σ=<stddev> ±<ci95>(95%)  n=<samples>×<iters>  thrpt: <rate>
+//! <group>/<id>   time: [<min> <mean> <max>]  σ=<stddev> ±<ci95>(95%)  n=<samples>×<iters>  p50/p99/p999: <p50>/<p99>/<p999>  thrpt: <rate>
 //! ```
 //!
 //! where `min`/`mean`/`max` are per-iteration times over the samples
@@ -23,8 +23,11 @@
 //! sample count times the calibrated iterations per sample — enough
 //! spread information to make before/after comparisons defensible
 //! ([`Measurement::distinguishable_from`] checks that two results'
-//! intervals do not overlap). There is no HTML report and no further
-//! regression analysis.
+//! intervals do not overlap). The `p50/p99/p999` block reports exact
+//! tail percentiles from a dedicated pass that times *individual*
+//! iterations (the sampled loop above amortizes per-iteration jitter
+//! away, which is right for the mean but hides the tail). There is no
+//! HTML report and no further regression analysis.
 //!
 //! Beyond the upstream API, the shim adds a small comparison facility
 //! for scaling sweeps: [`BenchmarkGroup::bench_measured`] runs a
@@ -126,6 +129,14 @@ pub struct Measurement {
     /// (`1.96 · stddev / √samples`): the mean is `mean ± ci95`. Zero
     /// with fewer than two samples.
     pub ci95: Duration,
+    /// Median single-iteration time from the dedicated latency pass.
+    pub p50: Duration,
+    /// 99th-percentile single-iteration time from the latency pass.
+    pub p99: Duration,
+    /// 99.9th-percentile single-iteration time from the latency pass
+    /// (equals the observed maximum when fewer than 1000 iterations
+    /// fit the budget).
+    pub p999: Duration,
     /// Mean throughput in units (elements or bytes) per second, when
     /// the group carried a [`Throughput`] annotation.
     pub rate: Option<f64>,
@@ -179,6 +190,9 @@ impl Measurement {
 ///     max: Duration::from_micros(12),
 ///     stddev: Duration::from_micros(1),
 ///     ci95: Duration::from_nanos(620),
+///     p50: Duration::from_micros(10),
+///     p99: Duration::from_micros(12),
+///     p999: Duration::from_micros(12),
 ///     rate: Some(1.0e6),
 /// };
 /// let cand = Measurement { rate: Some(2.5e6), ..base };
@@ -439,6 +453,33 @@ impl BenchmarkGroup<'_> {
             (Duration::ZERO, Duration::ZERO)
         };
 
+        // Dedicated latency pass: time individual iterations so the
+        // tail is visible. The sampled loop above divides a block time
+        // by the iteration count, which averages the p99/p999 outliers
+        // (a compaction pause, a flush-epoch stall) into the mean; here
+        // every iteration gets its own clock read and the percentiles
+        // are exact order statistics of the observed set.
+        let lat_iters = if per_iter.is_zero() {
+            1000
+        } else {
+            (self.measurement_time.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 5000) as usize
+        };
+        let mut lats: Vec<Duration> = Vec::with_capacity(lat_iters);
+        for _ in 0..lat_iters {
+            let mut b = Bencher {
+                iters: 1,
+                elapsed: Duration::ZERO,
+            };
+            routine(&mut b);
+            lats.push(b.elapsed);
+        }
+        lats.sort_unstable();
+        let percentile = |q: f64| -> Duration {
+            let idx = ((q * lats.len() as f64).ceil() as usize).max(1) - 1;
+            lats[idx.min(lats.len() - 1)]
+        };
+        let (p50, p99, p999) = (percentile(0.50), percentile(0.99), percentile(0.999));
+
         let (rate, rate_note) = match self.throughput {
             Some(Throughput::Elements(n)) if !mean.is_zero() => {
                 let r = n as f64 / mean.as_secs_f64();
@@ -452,7 +493,8 @@ impl BenchmarkGroup<'_> {
         };
         println!(
             "{full:<55} time: [{min:>10.3?} {mean:>10.3?} {max:>10.3?}]  σ={stddev:.3?} \
-             ±{ci95:.3?}(95%)  n={}×{iters}{rate_note}",
+             ±{ci95:.3?}(95%)  n={}×{iters}  p50/p99/p999: {p50:.3?}/{p99:.3?}/{p999:.3?}\
+             {rate_note}",
             samples.len()
         );
         Measurement {
@@ -461,6 +503,9 @@ impl BenchmarkGroup<'_> {
             max,
             stddev,
             ci95,
+            p50,
+            p99,
+            p999,
             rate,
         }
     }
@@ -526,6 +571,10 @@ mod tests {
         g.finish();
         assert!(m.min <= m.mean && m.mean <= m.max);
         assert!(m.rate.unwrap_or(0.0) > 0.0);
+        // Percentiles come from the single-iteration pass: ordered and
+        // populated.
+        assert!(m.p50 > Duration::ZERO);
+        assert!(m.p50 <= m.p99 && m.p99 <= m.p999);
         // 3 samples: the spread statistics are populated and the CI is
         // narrower than the spread itself (1.96/√3 < 1.96).
         assert!(m.ci95 <= m.stddev * 2);
@@ -544,6 +593,9 @@ mod tests {
             max: Duration::from_micros(14),
             stddev: Duration::from_micros(2),
             ci95: Duration::from_micros(1),
+            p50: Duration::from_micros(10),
+            p99: Duration::from_micros(13),
+            p999: Duration::from_micros(14),
             rate: None,
         };
         let clearly_slower = Measurement {
@@ -568,6 +620,9 @@ mod tests {
             max: Duration::from_micros(14),
             stddev: Duration::from_micros(2),
             ci95: Duration::from_micros(1),
+            p50: Duration::from_micros(10),
+            p99: Duration::from_micros(13),
+            p999: Duration::from_micros(14),
             rate: Some(1.0e6),
         };
         let cand = Measurement {

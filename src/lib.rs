@@ -73,4 +73,5 @@ pub use pstack_heap as heap;
 pub use pstack_kv as kv;
 pub use pstack_nvram as nvram;
 pub use pstack_recoverable as recoverable;
+pub use pstack_telemetry as telemetry;
 pub use pstack_verify as verify;
