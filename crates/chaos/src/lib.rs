@@ -40,6 +40,7 @@ mod sharded_kv_campaign;
 #[cfg(all(unix, feature = "kill-harness"))]
 mod killharness;
 mod queue_campaign;
+mod server_campaign;
 
 pub use campaign::{run_campaign, CampaignConfig, CampaignReport};
 pub use compaction_campaign::{
@@ -53,6 +54,9 @@ pub use killharness::{
 };
 pub use kv_campaign::{run_kv_campaign, KvCampaignConfig, KvCampaignReport, ShardLogUsage};
 pub use queue_campaign::{run_queue_campaign, QueueCampaignConfig, QueueCampaignReport};
+pub use server_campaign::{
+    run_server_campaign, CycleSlo, ServerCampaignConfig, ServerCampaignReport, SloStat,
+};
 pub use sharded_kv_campaign::{
     run_sharded_kv_campaign, ShardedKvCampaignConfig, ShardedKvCampaignReport,
 };

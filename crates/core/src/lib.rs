@@ -33,6 +33,7 @@
 //!
 //! See the `pstack` facade crate for a complete quickstart.
 
+pub mod admission;
 pub mod frame;
 pub mod invoke;
 pub mod registry;
@@ -43,6 +44,7 @@ pub mod txn;
 mod error;
 mod macros;
 
+pub use admission::{Admission, AdmissionQueue};
 pub use error::PError;
 pub use frame::{FrameMeta, ParsedFrame, MARKER_FRAME_END, MARKER_STACK_END};
 pub use invoke::{recover_stack, ChildStatus, PContext, RetBytes, StackRecovery};

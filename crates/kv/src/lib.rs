@@ -73,6 +73,7 @@
 //! is durable the moment it completes.
 
 mod funcs;
+mod reqtable;
 mod shard;
 mod store;
 
@@ -80,6 +81,7 @@ pub use funcs::{
     KvCompactFunction, KvOpTable, KvTaskAnswer, KvTaskFunction, KvTaskOp, KvTaskResult,
     ShardedKvTaskFunction, KV_COMPACT_FUNC_ID, KV_SHARDED_FUNC_ID, KV_TASK_FUNC_ID,
 };
+pub use reqtable::{KvRequestTable, ReqSubmit};
 pub use shard::{shard_of, KvBatch, ShardedKvStore};
 pub use store::{
     CompactionStats, GenerationInfo, KvApplied, KvBatchOp, KvVariant, PKvStore, VersionRecord,

@@ -1,0 +1,121 @@
+//! Time as a capability: the retry/timeout state machine never reads
+//! the wall clock directly.
+//!
+//! Backoff schedules and timeout firings decide *when clients
+//! retransmit*, and retransmissions decide which dedup paths the server
+//! exercises — so a campaign that wants to reproduce a failure by seed
+//! must control time. [`Clock`] is the one seam: the binary and the
+//! socket transports run on [`SystemClock`]; every test and campaign
+//! runs on [`VirtualClock`], advanced explicitly by the simulation
+//! loop, which makes an entire serving schedule (sends, timeouts,
+//! backoff expiries, SLO latencies) a pure function of the seed.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A monotonic nanosecond clock.
+pub trait Clock {
+    /// Nanoseconds since an arbitrary (per-clock) epoch.
+    fn now_ns(&self) -> u64;
+}
+
+/// The real monotonic clock (epoch = construction time).
+#[derive(Debug, Clone)]
+pub struct SystemClock {
+    start: Instant,
+}
+
+impl SystemClock {
+    /// A clock whose epoch is now.
+    #[must_use]
+    pub fn new() -> Self {
+        SystemClock {
+            start: Instant::now(),
+        }
+    }
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for SystemClock {
+    fn now_ns(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+/// A manually advanced clock — deterministic time for simulations.
+///
+/// Clones share the same instant, so a server, its clients, and the
+/// simulation loop all observe one timeline.
+///
+/// # Example
+///
+/// ```
+/// use pstack_server::{Clock, VirtualClock};
+///
+/// let clock = VirtualClock::new();
+/// let observer = clock.clone();
+/// clock.advance(250);
+/// assert_eq!(observer.now_ns(), 250);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct VirtualClock {
+    now: Arc<AtomicU64>,
+}
+
+impl VirtualClock {
+    /// A clock at t = 0.
+    #[must_use]
+    pub fn new() -> Self {
+        VirtualClock::default()
+    }
+
+    /// Moves time forward by `ns` nanoseconds.
+    pub fn advance(&self, ns: u64) {
+        self.now.fetch_add(ns, Ordering::SeqCst);
+    }
+
+    /// Jumps time to `ns` if that is later than now (time never runs
+    /// backwards, even under a confused driver).
+    pub fn advance_to(&self, ns: u64) {
+        self.now.fetch_max(ns, Ordering::SeqCst);
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now_ns(&self) -> u64 {
+        self.now.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_clock_is_shared_and_monotonic() {
+        let c = VirtualClock::new();
+        let c2 = c.clone();
+        assert_eq!(c.now_ns(), 0);
+        c.advance(100);
+        c2.advance(50);
+        assert_eq!(c.now_ns(), 150);
+        c.advance_to(120); // earlier than now: no-op
+        assert_eq!(c.now_ns(), 150);
+        c.advance_to(400);
+        assert_eq!(c2.now_ns(), 400);
+    }
+
+    #[test]
+    fn system_clock_moves_forward() {
+        let c = SystemClock::new();
+        let a = c.now_ns();
+        let b = c.now_ns();
+        assert!(b >= a);
+    }
+}

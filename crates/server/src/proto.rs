@@ -1,0 +1,411 @@
+//! The wire protocol: length-prefixed binary frames.
+//!
+//! Every message is a `u32` little-endian byte length followed by a
+//! fixed-layout body. Requests (client → server):
+//!
+//! ```text
+//! [req_id u64][kind u8][key u64][value i64][expected i64]   (33 bytes)
+//!   kind: 0 Put(key,value) · 1 Get(key) · 2 Delete(key)
+//!         3 Cas(key,expected,new=value) · 4 Ack
+//! ```
+//!
+//! Responses (server → client):
+//!
+//! ```text
+//! [req_id u64][code u8][kind u8][executor u32][flag u8][got i64]   (23 bytes)
+//!   code: 0 Done · 1 Overloaded · 2 Retry · 3 AckOk
+//! ```
+//!
+//! `req_id` is chosen by the client as `(client_id << 32) | seq` with
+//! `seq` starting at **1** (`req_id == 0` is reserved) and is the
+//! exactly-once identity: the server dedupes on it, the store tags
+//! version records with `(pid = client_id, seq = req_id)`, and clients
+//! drop responses whose `req_id` is not the one in flight. The `kind`
+//! echo in responses lets a `Done` decode to a [`KvTaskAnswer`] without
+//! consulting client state.
+//!
+//! The same codec runs over every transport — the in-process channel
+//! hub and the `cfg(unix)` socket listener — so a portable CI test
+//! exercises exactly the bytes the socket path ships.
+
+use std::io::{self, Read, Write};
+
+use pstack_kv::{KvTaskAnswer, KvTaskOp, KvTaskResult};
+
+/// Body length of an encoded request.
+pub const REQUEST_LEN: usize = 33;
+/// Body length of an encoded response.
+pub const RESPONSE_LEN: usize = 23;
+/// Frames larger than this are rejected as corrupt, not allocated.
+pub const MAX_FRAME_LEN: usize = 4096;
+
+const KIND_PUT: u8 = 0;
+const KIND_GET: u8 = 1;
+const KIND_DEL: u8 = 2;
+const KIND_CAS: u8 = 3;
+const KIND_ACK: u8 = 4;
+
+const CODE_DONE: u8 = 0;
+const CODE_OVERLOADED: u8 = 1;
+const CODE_RETRY: u8 = 2;
+const CODE_ACK_OK: u8 = 3;
+
+/// Builds the request id of client `client_id`'s `seq`-th request
+/// (`seq` starts at 1; id 0 is reserved for free table slots).
+#[must_use]
+pub fn req_id_for(client_id: u32, seq: u32) -> u64 {
+    (u64::from(client_id) << 32) | u64::from(seq)
+}
+
+/// The client that issued `req_id`.
+#[must_use]
+pub fn client_of(req_id: u64) -> u32 {
+    (req_id >> 32) as u32
+}
+
+/// A client → server message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// The request's exactly-once identity.
+    pub req_id: u64,
+    /// What the client asks for.
+    pub body: RequestBody,
+}
+
+/// The payload of a [`Request`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestBody {
+    /// Execute a KV operation (dedup by `req_id` on retries).
+    Op(KvTaskOp),
+    /// Acknowledge receipt of `req_id`'s answer — the client promises
+    /// never to retransmit this request, freeing its table slot.
+    Ack,
+}
+
+/// A server → client message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Response {
+    /// The durable answer to `req_id`.
+    Done {
+        /// The request answered.
+        req_id: u64,
+        /// The operation's kind (echo of the request).
+        kind: u8,
+        /// The durable answer.
+        answer: KvTaskAnswer,
+    },
+    /// The server shed `req_id` under load — retry after backoff.
+    Overloaded {
+        /// The request shed.
+        req_id: u64,
+    },
+    /// The server cannot answer now (e.g. it rebooted out from under
+    /// the connection) — retry after backoff.
+    Retry {
+        /// The request to retry.
+        req_id: u64,
+    },
+    /// The ack for `req_id` was recorded (idempotent; also sent for
+    /// ids already recycled).
+    AckOk {
+        /// The request acknowledged.
+        req_id: u64,
+    },
+}
+
+impl Response {
+    /// The request this response addresses.
+    #[must_use]
+    pub fn req_id(&self) -> u64 {
+        match *self {
+            Response::Done { req_id, .. }
+            | Response::Overloaded { req_id }
+            | Response::Retry { req_id }
+            | Response::AckOk { req_id } => req_id,
+        }
+    }
+}
+
+/// The kind byte an operation encodes to (echoed in `Done` responses).
+#[must_use]
+pub fn kind_of(op: KvTaskOp) -> u8 {
+    match op {
+        KvTaskOp::Put { .. } => KIND_PUT,
+        KvTaskOp::Get { .. } => KIND_GET,
+        KvTaskOp::Delete { .. } => KIND_DEL,
+        KvTaskOp::Cas { .. } => KIND_CAS,
+    }
+}
+
+/// Encodes a request body (no length prefix).
+#[must_use]
+pub fn encode_request(req: &Request) -> [u8; REQUEST_LEN] {
+    let mut b = [0u8; REQUEST_LEN];
+    b[..8].copy_from_slice(&req.req_id.to_le_bytes());
+    match req.body {
+        RequestBody::Ack => b[8] = KIND_ACK,
+        RequestBody::Op(op) => {
+            b[8] = kind_of(op);
+            match op {
+                KvTaskOp::Put { key, value } => {
+                    b[9..17].copy_from_slice(&key.to_le_bytes());
+                    b[17..25].copy_from_slice(&value.to_le_bytes());
+                }
+                KvTaskOp::Get { key } | KvTaskOp::Delete { key } => {
+                    b[9..17].copy_from_slice(&key.to_le_bytes());
+                }
+                KvTaskOp::Cas { key, expected, new } => {
+                    b[9..17].copy_from_slice(&key.to_le_bytes());
+                    b[17..25].copy_from_slice(&new.to_le_bytes());
+                    b[25..33].copy_from_slice(&expected.to_le_bytes());
+                }
+            }
+        }
+    }
+    b
+}
+
+/// Decodes a request body.
+///
+/// # Errors
+///
+/// `InvalidData` on a wrong length or unknown kind byte.
+pub fn decode_request(b: &[u8]) -> io::Result<Request> {
+    if b.len() != REQUEST_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("request frame must be {REQUEST_LEN} bytes, got {}", b.len()),
+        ));
+    }
+    let req_id = u64::from_le_bytes(b[..8].try_into().expect("slice length"));
+    let key = u64::from_le_bytes(b[9..17].try_into().expect("slice length"));
+    let value = i64::from_le_bytes(b[17..25].try_into().expect("slice length"));
+    let expected = i64::from_le_bytes(b[25..33].try_into().expect("slice length"));
+    let body = match b[8] {
+        KIND_PUT => RequestBody::Op(KvTaskOp::Put { key, value }),
+        KIND_GET => RequestBody::Op(KvTaskOp::Get { key }),
+        KIND_DEL => RequestBody::Op(KvTaskOp::Delete { key }),
+        KIND_CAS => RequestBody::Op(KvTaskOp::Cas {
+            key,
+            expected,
+            new: value,
+        }),
+        KIND_ACK => RequestBody::Ack,
+        other => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unknown request kind {other}"),
+            ))
+        }
+    };
+    Ok(Request { req_id, body })
+}
+
+/// Encodes a response body (no length prefix).
+#[must_use]
+pub fn encode_response(resp: &Response) -> [u8; RESPONSE_LEN] {
+    let mut b = [0u8; RESPONSE_LEN];
+    b[..8].copy_from_slice(&resp.req_id().to_le_bytes());
+    match *resp {
+        Response::Done { kind, answer, .. } => {
+            b[8] = CODE_DONE;
+            b[9] = kind;
+            b[10..14].copy_from_slice(&answer.executor.to_le_bytes());
+            let (flag, got) = match answer.result {
+                KvTaskResult::Stored(ok)
+                | KvTaskResult::Deleted(ok)
+                | KvTaskResult::Swapped(ok) => (u8::from(ok), 0),
+                KvTaskResult::Got(None) => (0, 0),
+                KvTaskResult::Got(Some(v)) => (1, v),
+            };
+            b[14] = flag;
+            b[15..23].copy_from_slice(&got.to_le_bytes());
+        }
+        Response::Overloaded { .. } => b[8] = CODE_OVERLOADED,
+        Response::Retry { .. } => b[8] = CODE_RETRY,
+        Response::AckOk { .. } => b[8] = CODE_ACK_OK,
+    }
+    b
+}
+
+/// Decodes a response body.
+///
+/// # Errors
+///
+/// `InvalidData` on a wrong length or unknown code/kind byte.
+pub fn decode_response(b: &[u8]) -> io::Result<Response> {
+    if b.len() != RESPONSE_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "response frame must be {RESPONSE_LEN} bytes, got {}",
+                b.len()
+            ),
+        ));
+    }
+    let req_id = u64::from_le_bytes(b[..8].try_into().expect("slice length"));
+    match b[8] {
+        CODE_DONE => {
+            let kind = b[9];
+            let executor = u32::from_le_bytes(b[10..14].try_into().expect("slice length"));
+            let flag = b[14] != 0;
+            let got = i64::from_le_bytes(b[15..23].try_into().expect("slice length"));
+            let result = match kind {
+                KIND_PUT => KvTaskResult::Stored(flag),
+                KIND_GET => KvTaskResult::Got(flag.then_some(got)),
+                KIND_DEL => KvTaskResult::Deleted(flag),
+                KIND_CAS => KvTaskResult::Swapped(flag),
+                other => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("unknown answer kind {other}"),
+                    ))
+                }
+            };
+            Ok(Response::Done {
+                req_id,
+                kind,
+                answer: KvTaskAnswer { executor, result },
+            })
+        }
+        CODE_OVERLOADED => Ok(Response::Overloaded { req_id }),
+        CODE_RETRY => Ok(Response::Retry { req_id }),
+        CODE_ACK_OK => Ok(Response::AckOk { req_id }),
+        other => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unknown response code {other}"),
+        )),
+    }
+}
+
+/// Writes one length-prefixed frame.
+///
+/// # Errors
+///
+/// Propagated I/O errors.
+pub fn write_frame(w: &mut impl Write, body: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(body.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame, bounding allocation at
+/// [`MAX_FRAME_LEN`].
+///
+/// # Errors
+///
+/// Propagated I/O errors (including clean EOF as `UnexpectedEof`), or
+/// `InvalidData` for an over-long frame.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Vec<u8>> {
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len)?;
+    let len = u32::from_le_bytes(len) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME_LEN}-byte bound"),
+        ));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    Ok(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trip_all_kinds() {
+        let ops = [
+            RequestBody::Op(KvTaskOp::Put { key: 7, value: -3 }),
+            RequestBody::Op(KvTaskOp::Get { key: u64::MAX }),
+            RequestBody::Op(KvTaskOp::Delete { key: 0 }),
+            RequestBody::Op(KvTaskOp::Cas {
+                key: 9,
+                expected: i64::MIN,
+                new: i64::MAX,
+            }),
+            RequestBody::Ack,
+        ];
+        for (i, body) in ops.into_iter().enumerate() {
+            let req = Request {
+                req_id: req_id_for(3, i as u32 + 1),
+                body,
+            };
+            let decoded = decode_request(&encode_request(&req)).unwrap();
+            assert_eq!(decoded, req);
+            assert_eq!(client_of(decoded.req_id), 3);
+        }
+    }
+
+    #[test]
+    fn response_round_trip_all_codes() {
+        let answers = [
+            (KIND_PUT, KvTaskResult::Stored(true)),
+            (KIND_GET, KvTaskResult::Got(Some(-9))),
+            (KIND_GET, KvTaskResult::Got(None)),
+            (KIND_DEL, KvTaskResult::Deleted(false)),
+            (KIND_CAS, KvTaskResult::Swapped(true)),
+        ];
+        for (kind, result) in answers {
+            let resp = Response::Done {
+                req_id: 42,
+                kind,
+                answer: KvTaskAnswer {
+                    executor: 5,
+                    result,
+                },
+            };
+            assert_eq!(decode_response(&encode_response(&resp)).unwrap(), resp);
+        }
+        for resp in [
+            Response::Overloaded { req_id: 1 },
+            Response::Retry { req_id: 2 },
+            Response::AckOk { req_id: 3 },
+        ] {
+            assert_eq!(decode_response(&encode_response(&resp)).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn framing_round_trip_and_bounds() {
+        let mut buf = Vec::new();
+        let req = Request {
+            req_id: req_id_for(1, 1),
+            body: RequestBody::Op(KvTaskOp::Get { key: 5 }),
+        };
+        write_frame(&mut buf, &encode_request(&req)).unwrap();
+        write_frame(&mut buf, &encode_request(&req)).unwrap();
+        let mut r = buf.as_slice();
+        for _ in 0..2 {
+            let body = read_frame(&mut r).unwrap();
+            assert_eq!(decode_request(&body).unwrap(), req);
+        }
+        assert!(
+            read_frame(&mut r).is_err(),
+            "clean EOF surfaces as an error"
+        );
+
+        let mut huge = Vec::new();
+        huge.extend_from_slice(&(MAX_FRAME_LEN as u32 + 1).to_le_bytes());
+        assert!(read_frame(&mut huge.as_slice()).is_err());
+    }
+
+    #[test]
+    fn malformed_bodies_are_rejected() {
+        assert!(decode_request(&[0u8; 5]).is_err());
+        assert!(decode_response(&[0u8; 5]).is_err());
+        let mut bad = encode_request(&Request {
+            req_id: 1,
+            body: RequestBody::Ack,
+        });
+        bad[8] = 200;
+        assert!(decode_request(&bad).is_err());
+        let mut bad = encode_response(&Response::Retry { req_id: 1 });
+        bad[8] = 200;
+        assert!(decode_response(&bad).is_err());
+    }
+}

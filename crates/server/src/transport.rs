@@ -1,0 +1,300 @@
+//! Transports: the in-process channel hub (portable — what tests, CI
+//! and the campaign drive) and the `cfg(unix)` unix-socket listener.
+//!
+//! Both move exactly the frames [`crate::proto`] defines — the channel
+//! hub ships *encoded* bytes through its queues on purpose, so every
+//! portable test also exercises the codec the socket path uses. The
+//! hub additionally models the wire's failure mode: [`ChannelHub::reset`]
+//! drops all in-flight frames, which is what a power failure does to a
+//! socket, and is how the campaign makes clients experience a crash.
+
+use std::collections::{HashMap, VecDeque};
+use std::io;
+use std::sync::{Arc, Mutex};
+
+use crate::proto::{
+    client_of, decode_request, decode_response, encode_request, encode_response, Request, Response,
+};
+
+#[derive(Debug, Default)]
+struct HubInner {
+    /// Client → server frames, in arrival order.
+    requests: Mutex<VecDeque<Vec<u8>>>,
+    /// Server → client frames, routed by client id.
+    outboxes: Mutex<HashMap<u32, VecDeque<Vec<u8>>>>,
+}
+
+/// An in-process "network": clients enqueue encoded requests, the
+/// server drains them and posts encoded responses to per-client
+/// outboxes.
+#[derive(Debug, Clone, Default)]
+pub struct ChannelHub {
+    inner: Arc<HubInner>,
+}
+
+impl ChannelHub {
+    /// An empty hub.
+    #[must_use]
+    pub fn new() -> Self {
+        ChannelHub::default()
+    }
+
+    /// A client endpoint for `client_id`.
+    #[must_use]
+    pub fn connect(&self, client_id: u32) -> ChannelConn {
+        ChannelConn {
+            client_id,
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Server side: takes the oldest pending request, if any.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` if a frame fails to decode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a hub lock is poisoned.
+    pub fn poll_request(&self) -> io::Result<Option<Request>> {
+        let frame = self
+            .inner
+            .requests
+            .lock()
+            .expect("hub poisoned")
+            .pop_front();
+        frame.map(|f| decode_request(&f)).transpose()
+    }
+
+    /// Server side: routes a response to its client's outbox.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a hub lock is poisoned.
+    pub fn respond(&self, resp: &Response) {
+        let client = client_of(resp.req_id());
+        self.inner
+            .outboxes
+            .lock()
+            .expect("hub poisoned")
+            .entry(client)
+            .or_default()
+            .push_back(encode_response(resp).to_vec());
+    }
+
+    /// Drops every in-flight frame in both directions — what a power
+    /// failure does to the wire. Client and server state are untouched;
+    /// clients recover via their timeout/retry loops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a hub lock is poisoned.
+    pub fn reset(&self) {
+        self.inner.requests.lock().expect("hub poisoned").clear();
+        self.inner.outboxes.lock().expect("hub poisoned").clear();
+    }
+
+    /// Pending unserved requests (diagnostics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a hub lock is poisoned.
+    #[must_use]
+    pub fn pending_requests(&self) -> usize {
+        self.inner.requests.lock().expect("hub poisoned").len()
+    }
+}
+
+/// One client's endpoint on a [`ChannelHub`].
+#[derive(Debug, Clone)]
+pub struct ChannelConn {
+    client_id: u32,
+    inner: Arc<HubInner>,
+}
+
+impl ChannelConn {
+    /// Sends one request frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a hub lock is poisoned.
+    pub fn send(&self, req: &Request) {
+        self.inner
+            .requests
+            .lock()
+            .expect("hub poisoned")
+            .push_back(encode_request(req).to_vec());
+    }
+
+    /// Receives the next response addressed to this client, if any.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` if a frame fails to decode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a hub lock is poisoned.
+    pub fn try_recv(&self) -> io::Result<Option<Response>> {
+        let frame = self
+            .inner
+            .outboxes
+            .lock()
+            .expect("hub poisoned")
+            .get_mut(&self.client_id)
+            .and_then(VecDeque::pop_front);
+        frame.map(|f| decode_response(&f)).transpose()
+    }
+}
+
+/// The unix-socket listener: real frames over `SOCK_STREAM`, one
+/// handler thread per connection, every request served synchronously
+/// through [`ServerCore::handle_sync`](crate::ServerCore::handle_sync).
+#[cfg(unix)]
+pub mod unix {
+    use std::io;
+    use std::os::unix::net::{UnixListener, UnixStream};
+    use std::path::{Path, PathBuf};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::thread::JoinHandle;
+
+    use crate::proto::{decode_request, encode_response, read_frame, write_frame, Response};
+    use crate::server::ServerCore;
+
+    /// A listening server; drop or [`UnixServerHandle::stop`] to shut
+    /// down.
+    pub struct UnixServerHandle {
+        path: PathBuf,
+        stop: Arc<AtomicBool>,
+        accept_thread: Option<JoinHandle<()>>,
+    }
+
+    impl UnixServerHandle {
+        /// The socket path clients connect to.
+        #[must_use]
+        pub fn path(&self) -> &Path {
+            &self.path
+        }
+
+        /// Stops accepting, unblocks the listener, and joins it.
+        pub fn stop(&mut self) {
+            if self.stop.swap(true, Ordering::SeqCst) {
+                return;
+            }
+            // Unblock accept() with a throwaway connection.
+            let _ = UnixStream::connect(&self.path);
+            if let Some(t) = self.accept_thread.take() {
+                let _ = t.join();
+            }
+            let _ = std::fs::remove_file(&self.path);
+        }
+    }
+
+    impl Drop for UnixServerHandle {
+        fn drop(&mut self) {
+            self.stop();
+        }
+    }
+
+    fn handle_conn(core: &ServerCore, mut stream: UnixStream) {
+        loop {
+            let frame = match read_frame(&mut stream) {
+                Ok(f) => f,
+                Err(_) => return, // EOF or torn connection: done
+            };
+            let Ok(req) = decode_request(&frame) else {
+                return; // corrupt peer: drop the connection
+            };
+            // A serving error is a Retry from the client's view — the
+            // request stays deduplicated for the retransmission.
+            let resp = core
+                .handle_sync(&req, 0)
+                .unwrap_or(Response::Retry { req_id: req.req_id });
+            if write_frame(&mut stream, &encode_response(&resp)).is_err() {
+                return;
+            }
+        }
+    }
+
+    /// Binds `path` and serves `core` until the handle stops. Each
+    /// connection gets its own handler thread; requests on one
+    /// connection are served in order.
+    ///
+    /// # Errors
+    ///
+    /// Propagated bind errors.
+    pub fn serve(path: impl AsRef<Path>, core: ServerCore) -> io::Result<UnixServerHandle> {
+        let path = path.as_ref().to_path_buf();
+        let _ = std::fs::remove_file(&path);
+        let listener = UnixListener::bind(&path)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = Arc::clone(&stop);
+        let accept_thread = std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                if accept_stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = conn else { break };
+                let conn_core = core.clone();
+                // Detached: a handler lives exactly as long as its
+                // connection (EOF ends it) — joining here would block
+                // shutdown on clients that never hang up.
+                std::thread::spawn(move || handle_conn(&conn_core, stream));
+            }
+        });
+        Ok(UnixServerHandle {
+            path,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::{req_id_for, RequestBody};
+    use pstack_kv::KvTaskOp;
+
+    #[test]
+    fn hub_routes_by_client_and_resets() {
+        let hub = ChannelHub::new();
+        let a = hub.connect(1);
+        let b = hub.connect(2);
+        a.send(&Request {
+            req_id: req_id_for(1, 1),
+            body: RequestBody::Op(KvTaskOp::Get { key: 4 }),
+        });
+        b.send(&Request {
+            req_id: req_id_for(2, 1),
+            body: RequestBody::Ack,
+        });
+        let r1 = hub.poll_request().unwrap().unwrap();
+        assert_eq!(r1.req_id, req_id_for(1, 1));
+        hub.respond(&Response::Retry { req_id: r1.req_id });
+        hub.respond(&Response::AckOk {
+            req_id: req_id_for(2, 1),
+        });
+        // Routing: each client only sees its own responses.
+        assert_eq!(
+            a.try_recv().unwrap(),
+            Some(Response::Retry {
+                req_id: req_id_for(1, 1)
+            })
+        );
+        assert_eq!(a.try_recv().unwrap(), None);
+        assert_eq!(
+            b.try_recv().unwrap(),
+            Some(Response::AckOk {
+                req_id: req_id_for(2, 1)
+            })
+        );
+        // reset drops the in-flight request from client 2.
+        assert_eq!(hub.pending_requests(), 1);
+        hub.reset();
+        assert_eq!(hub.pending_requests(), 0);
+        assert!(hub.poll_request().unwrap().is_none());
+    }
+}

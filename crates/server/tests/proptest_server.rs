@@ -1,0 +1,416 @@
+//! Property tests for the serving layer: random retry schedules ×
+//! random crash placements × random batch sizes, asserting the serving
+//! contract — **at-most-once effects** (answers match the sequential
+//! spec, published records carry no duplicate tags) with
+//! **at-least-once acks** (every client finishes its full quota), and
+//! overload strictly shedding as explicit `Overloaded` responses,
+//! never a queue-full panic or a silent drop.
+//!
+//! The crash model here is the volatile one: the server process dies
+//! (admission queues, in-flight map and front end are lost; the wire
+//! drops every frame) while NVRAM survives. Re-admissions of pending
+//! requests after the restart flow through the recovery path —
+//! `recover_batch`'s evidence scan is what makes the retries
+//! effect-free. The full power-failure model (regions crashing
+//! mid-persist) is the chaos campaign's job.
+//!
+//! # Reproducing failures
+//!
+//! The proptest shim has no shrinking; every case is deterministic per
+//! (test, case index). `PROPTEST_SHIM_SEED=<u64>` perturbs all case
+//! seeds, `PROPTEST_CASES=<n>` sets cases per property.
+
+use std::collections::{HashMap, HashSet};
+
+use proptest::prelude::*;
+
+use pstack_kv::{shard_of, KvRequestTable, KvTaskOp, KvVariant, ShardedKvStore};
+use pstack_nvram::{PMem, PMemBuilder};
+use pstack_server::proto::{kind_of, req_id_for, RequestBody, Response};
+use pstack_server::{
+    ChannelConn, ChannelHub, ClientConfig, ClientSim, Clock, KvServeFunction, ServerCore,
+    Submission, VirtualClock,
+};
+use pstack_verify::{
+    check_kv_sharded_gen, KvAnswer, KvOpKind, KvShardedHistory, KvSpec, KvWitnessRecord,
+};
+
+const REGION: usize = 1 << 21;
+const LOG_CAP: u64 = 4096;
+const SERVICE_TICK_NS: u64 = 100_000;
+const REBOOT_PENALTY_NS: u64 = 2_000_000;
+
+/// The serving fixture: durable state (store + per-shard request
+/// tables) that survives the property's crash placements, while the
+/// `ServerCore` front end is rebuilt per boot.
+struct Fixture {
+    store: ShardedKvStore,
+    tables: Vec<KvRequestTable>,
+}
+
+impl Fixture {
+    fn new(nshards: usize) -> Self {
+        let regions: Vec<PMem> = (0..nshards)
+            .map(|_| {
+                PMemBuilder::new()
+                    .len(REGION)
+                    .eager_flush(true)
+                    .build_in_memory()
+            })
+            .collect();
+        let store = ShardedKvStore::format(&regions, 16, LOG_CAP, KvVariant::Nsrl).unwrap();
+        let tables: Vec<KvRequestTable> = (0..nshards)
+            .map(|s| KvRequestTable::format(regions[s].clone(), store.heap(s), 64).unwrap())
+            .collect();
+        Fixture { store, tables }
+    }
+
+    fn core(&self, queue_capacity: usize, batch: usize) -> ServerCore {
+        ServerCore::new(
+            KvServeFunction::new(self.store.clone(), self.tables.clone()),
+            queue_capacity,
+            batch,
+        )
+    }
+}
+
+/// Totals the driver accumulates across all boots of one case.
+#[derive(Default)]
+struct DriveTotals {
+    admitted: u64,
+    shed: u64,
+    crashes: usize,
+}
+
+/// Drives the client population to completion against a fresh front
+/// end per boot, crashing the server (volatile state + wire) at the
+/// given iteration indices. Windows execute via `pump_direct`, so the
+/// batch grouping is exactly the admission queues' doing.
+#[allow(clippy::too_many_arguments)]
+fn drive(
+    fixture: &Fixture,
+    clients: &mut [ClientSim],
+    conns: &[ChannelConn],
+    hub: &ChannelHub,
+    clock: &VirtualClock,
+    queue_capacity: usize,
+    batch: usize,
+    crash_at: &[usize],
+) -> Result<DriveTotals, TestCaseError> {
+    let mut crash_at: Vec<usize> = crash_at.to_vec();
+    crash_at.sort_unstable();
+    crash_at.dedup();
+    let mut crash_next = 0usize;
+
+    let mut core = fixture.core(queue_capacity, batch);
+    let mut in_flight: HashMap<u64, KvTaskOp> = HashMap::new();
+    let mut totals = DriveTotals::default();
+    let mut iters = 0usize;
+
+    loop {
+        prop_assert!(iters < 10_000, "serving loop did not quiesce");
+        let Some(wake) = clients.iter().filter_map(ClientSim::next_wake).min() else {
+            break;
+        };
+        clock.advance_to(wake);
+
+        // A crash placement: the process dies — queues, dedup map and
+        // every in-flight frame are gone; the durable store and tables
+        // survive; the clients see a reset and retry.
+        if crash_next < crash_at.len() && iters >= crash_at[crash_next] {
+            crash_next += 1;
+            totals.crashes += 1;
+            totals.admitted += core.admitted();
+            totals.shed += core.shed();
+            core = fixture.core(queue_capacity, batch);
+            in_flight.clear();
+            hub.reset();
+            clock.advance(REBOOT_PENALTY_NS);
+            let now = clock.now_ns();
+            for c in clients.iter_mut() {
+                c.on_crash(now);
+            }
+        }
+
+        let now = clock.now_ns();
+        for (c, conn) in clients.iter_mut().zip(conns) {
+            if let Some(req) = c.poll(now) {
+                if let RequestBody::Op(op) = req.body {
+                    in_flight.insert(req.req_id, op);
+                }
+                conn.send(&req);
+            }
+        }
+
+        while let Some(req) = hub.poll_request().unwrap() {
+            let resp = match req.body {
+                RequestBody::Ack => {
+                    core.ack(req.req_id).unwrap();
+                    Some(Response::AckOk { req_id: req.req_id })
+                }
+                RequestBody::Op(op) => match core.submit(req.req_id, op).unwrap() {
+                    Submission::Answered(answer) => Some(Response::Done {
+                        req_id: req.req_id,
+                        kind: kind_of(op),
+                        answer,
+                    }),
+                    Submission::Overloaded => Some(Response::Overloaded { req_id: req.req_id }),
+                    Submission::Queued => None,
+                },
+            };
+            if let Some(resp) = resp {
+                hub.respond(&resp);
+            }
+        }
+
+        for (req_id, answer) in core.pump_direct(0).unwrap() {
+            hub.respond(&Response::Done {
+                req_id,
+                kind: in_flight.get(&req_id).map_or(0, |&op| kind_of(op)),
+                answer,
+            });
+        }
+
+        clock.advance(SERVICE_TICK_NS);
+        let now = clock.now_ns();
+        for (c, conn) in clients.iter_mut().zip(conns) {
+            while let Some(resp) = conn.try_recv().unwrap() {
+                c.deliver(now, &resp);
+            }
+        }
+        iters += 1;
+    }
+
+    totals.admitted += core.admitted();
+    totals.shed += core.shed();
+    Ok(totals)
+}
+
+/// `true` if the recorded answer says the operation mutated the store
+/// (and therefore published exactly one version record).
+fn is_effectful(answer: KvAnswer) -> bool {
+    matches!(
+        answer,
+        KvAnswer::Stored(true) | KvAnswer::Deleted(true) | KvAnswer::Swapped(true)
+    )
+}
+
+/// The published, non-compacted record tags of the quiescent store —
+/// duplicate-free by assertion (a duplicate is a double-applied op).
+fn published_tags(store: &ShardedKvStore) -> Result<HashSet<(u64, u64)>, TestCaseError> {
+    let mut tags = HashSet::new();
+    for shard in store.snapshot_sharded().unwrap() {
+        for chain in shard {
+            for rec in chain {
+                let w = KvWitnessRecord::from(rec);
+                if w.compacted {
+                    continue;
+                }
+                prop_assert!(
+                    tags.insert((w.pid, w.seq)),
+                    "duplicate effect: tag ({}, {}) published twice",
+                    w.pid,
+                    w.seq
+                );
+            }
+        }
+    }
+    Ok(tags)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// One client, random retry schedule (timeout/backoff), random
+    /// batch size, random crash placements: the completed run must
+    /// answer exactly as the sequential spec, and the store must hold
+    /// exactly one record per effectful op — at-most-once effects,
+    /// at-least-once acks.
+    #[test]
+    fn single_client_exactly_once_across_crashes(
+        n_ops in 4usize..24,
+        batch in 1usize..6,
+        timeout_ns in 300_000u64..3_000_000,
+        backoff_base_ns in 100_000u64..1_000_000,
+        seed in 0u64..1_000_000,
+        crash_at in proptest::collection::vec(0usize..60, 0..4),
+    ) {
+        let fixture = Fixture::new(2);
+        let clock = VirtualClock::new();
+        let hub = ChannelHub::new();
+        let mut clients = vec![ClientSim::new(ClientConfig {
+            client_id: 1,
+            n_ops,
+            key_space: 8,
+            timeout_ns,
+            backoff_base_ns,
+            seed,
+            ..ClientConfig::default()
+        })];
+        let conns = vec![hub.connect(1)];
+
+        drive(&fixture, &mut clients, &conns, &hub, &clock, 32, batch, &crash_at)?;
+
+        // At-least-once acks: the loop only quiesces with every op done
+        // *and* acked, and the quota is exactly n_ops.
+        let stats = clients[0].stats();
+        prop_assert_eq!(stats.completed, n_ops as u64);
+        prop_assert!(stats.acks_sent >= stats.completed);
+
+        // Answer exactness: a single client's completions are totally
+        // ordered, so the observations must replay against the spec.
+        let mut spec = KvSpec::new();
+        let mut effectful = HashSet::new();
+        for op in clients[0].observations() {
+            let expected = match op.kind {
+                KvOpKind::Put => KvAnswer::Stored(spec.put(op.key, op.value)),
+                KvOpKind::Get => KvAnswer::Got(spec.get(op.key)),
+                KvOpKind::Delete => KvAnswer::Deleted(spec.delete(op.key)),
+                KvOpKind::Cas => KvAnswer::Swapped(spec.cas(op.key, op.expected, op.value)),
+            };
+            prop_assert_eq!(op.answer, expected, "tag ({}, {})", op.pid, op.seq);
+            if is_effectful(op.answer) {
+                effectful.insert((op.pid, op.seq));
+            }
+        }
+
+        // At-most-once effects: the published tags are exactly the
+        // effectful observations — no duplicates, nothing phantom,
+        // nothing lost, however the retries and crashes interleaved.
+        let tags = published_tags(&fixture.store)?;
+        prop_assert_eq!(tags, effectful);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Several clients over several shards, random batch sizes and
+    /// queue capacities (down to 1, forcing overload sheds into the
+    /// retry schedules), random crash placements: the client-observed
+    /// history must pass the sharded exactly-once checker.
+    #[test]
+    fn concurrent_clients_linearize_across_crashes(
+        clients_n in 2usize..5,
+        n_ops in 4usize..12,
+        batch in 1usize..6,
+        queue_capacity in 1usize..16,
+        seed in 0u64..1_000_000,
+        crash_at in proptest::collection::vec(0usize..80, 0..4),
+    ) {
+        let nshards = 2;
+        let fixture = Fixture::new(nshards);
+        let clock = VirtualClock::new();
+        let hub = ChannelHub::new();
+        let mut clients: Vec<ClientSim> = (0..clients_n)
+            .map(|i| ClientSim::new(ClientConfig {
+                client_id: i as u32 + 1,
+                n_ops,
+                key_space: 8,
+                seed: seed ^ (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                ..ClientConfig::default()
+            }))
+            .collect();
+        let conns: Vec<ChannelConn> =
+            (1..=clients_n as u32).map(|id| hub.connect(id)).collect();
+
+        let totals = drive(
+            &fixture, &mut clients, &conns, &hub, &clock, queue_capacity, batch, &crash_at,
+        )?;
+
+        for c in &clients {
+            prop_assert_eq!(c.stats().completed, n_ops as u64);
+        }
+        // Sheds are explicit: every admission either queued or shed,
+        // and the sheds surfaced to clients as Overloaded responses.
+        if totals.shed > 0 {
+            let overloads: u64 = clients.iter().map(|c| c.stats().overloads).sum();
+            prop_assert!(overloads > 0, "{} sheds never surfaced", totals.shed);
+        }
+
+        let history = KvShardedHistory {
+            ops: clients
+                .iter()
+                .flat_map(|c| c.observations().iter().cloned())
+                .collect(),
+            shards: fixture
+                .store
+                .snapshot_sharded()
+                .unwrap()
+                .into_iter()
+                .map(|chains| {
+                    chains
+                        .into_iter()
+                        .map(|chain| chain.into_iter().map(KvWitnessRecord::from).collect())
+                        .collect()
+                })
+                .collect(),
+        };
+        let verdict = check_kv_sharded_gen(
+            &history,
+            |key| shard_of(key, nshards),
+            &fixture.store.generations().unwrap(),
+        );
+        prop_assert!(verdict.is_linearizable(), "{:?}", verdict.violation());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Overload discipline: flooding one shard with more fresh requests
+    /// than the queue holds must produce exactly `capacity` admissions
+    /// and `flood - capacity` explicit `Overloaded` answers — every
+    /// submission accounted for, no panic, no silent drop — and the
+    /// shed requests must still serve exactly once when re-driven.
+    #[test]
+    fn overload_sheds_explicitly_before_any_drop(
+        queue_capacity in 1usize..4,
+        flood in 8u32..40,
+        batch in 1usize..6,
+    ) {
+        let fixture = Fixture::new(1);
+        let core = fixture.core(queue_capacity, batch);
+
+        let mut queued = Vec::new();
+        let mut shed = Vec::new();
+        for i in 1..=flood {
+            let req_id = req_id_for(1, i);
+            match core.submit(req_id, KvTaskOp::Put { key: u64::from(i), value: 1 }).unwrap() {
+                Submission::Queued => queued.push(req_id),
+                Submission::Overloaded => shed.push(req_id),
+                Submission::Answered(_) => prop_assert!(false, "nothing pumped yet"),
+            }
+        }
+        prop_assert_eq!(queued.len(), queue_capacity.min(flood as usize));
+        prop_assert_eq!(queued.len() + shed.len(), flood as usize);
+        prop_assert_eq!(core.shed(), shed.len() as u64);
+
+        // Re-driving everything (shed first) to completion: each op
+        // lands exactly once despite the duplicate submissions.
+        let mut done = HashSet::new();
+        for round in 0..200usize {
+            let _ = round;
+            for &req_id in shed.iter().chain(&queued) {
+                if done.contains(&req_id) {
+                    continue;
+                }
+                let op = KvTaskOp::Put { key: u64::from(req_id as u32), value: 1 };
+                match core.submit(req_id, op).unwrap() {
+                    Submission::Answered(_) => {
+                        done.insert(req_id);
+                    }
+                    Submission::Queued | Submission::Overloaded => {}
+                }
+            }
+            if done.len() == flood as usize {
+                break;
+            }
+            core.pump_direct(0).unwrap();
+        }
+        prop_assert_eq!(done.len(), flood as usize, "shed requests must eventually serve");
+
+        let tags = published_tags(&fixture.store)?;
+        prop_assert_eq!(tags.len(), flood as usize);
+    }
+}

@@ -1,0 +1,99 @@
+//! Round-trip over a real unix socket: the `cfg(unix)` transport
+//! serves the same frames the portable channel hub does, end to end —
+//! connect, mutate, dedup a retransmission, ack, read back.
+
+#![cfg(unix)]
+
+use std::io::{Read, Write};
+use std::os::unix::net::UnixStream;
+
+use pstack_kv::{KvRequestTable, KvTaskOp, KvTaskResult, KvVariant, ShardedKvStore};
+use pstack_nvram::{PMem, PMemBuilder};
+use pstack_server::proto::{
+    decode_response, encode_request, read_frame, req_id_for, write_frame, Request, RequestBody,
+    Response,
+};
+use pstack_server::{transport, KvServeFunction, ServerCore};
+
+fn build_core(nshards: usize) -> ServerCore {
+    let regions: Vec<PMem> = (0..nshards)
+        .map(|_| {
+            PMemBuilder::new()
+                .len(1 << 21)
+                .eager_flush(true)
+                .build_in_memory()
+        })
+        .collect();
+    let store = ShardedKvStore::format(&regions, 64, 4096, KvVariant::Nsrl).unwrap();
+    let tables: Vec<KvRequestTable> = (0..nshards)
+        .map(|s| KvRequestTable::format(regions[s].clone(), store.heap(s), 64).unwrap())
+        .collect();
+    ServerCore::new(KvServeFunction::new(store, tables), 128, 8)
+}
+
+fn round_trip(stream: &mut (impl Read + Write), req: &Request) -> Response {
+    write_frame(stream, &encode_request(req)).unwrap();
+    let frame = read_frame(stream).unwrap();
+    decode_response(&frame).unwrap()
+}
+
+#[test]
+fn unix_socket_round_trip_exactly_once() {
+    let core = build_core(2);
+    let sock = std::env::temp_dir().join(format!("pstack-serve-{}.sock", std::process::id()));
+    let mut handle = transport::unix::serve(&sock, core.clone()).unwrap();
+
+    let mut stream = UnixStream::connect(handle.path()).unwrap();
+    let put = Request {
+        req_id: req_id_for(1, 1),
+        body: RequestBody::Op(KvTaskOp::Put { key: 11, value: 7 }),
+    };
+    let Response::Done { answer, .. } = round_trip(&mut stream, &put) else {
+        panic!("put must serve Done")
+    };
+    assert_eq!(answer.result, KvTaskResult::Stored(true));
+
+    // A retransmission of the same request id returns the durable
+    // answer without a second effect.
+    let Response::Done { answer, .. } = round_trip(&mut stream, &put) else {
+        panic!("retry must serve the recorded Done")
+    };
+    assert_eq!(answer.result, KvTaskResult::Stored(true));
+
+    // A second client on its own connection reads the committed value.
+    let mut stream2 = UnixStream::connect(handle.path()).unwrap();
+    let get = Request {
+        req_id: req_id_for(2, 1),
+        body: RequestBody::Op(KvTaskOp::Get { key: 11 }),
+    };
+    let Response::Done { answer, .. } = round_trip(&mut stream2, &get) else {
+        panic!("get must serve Done")
+    };
+    assert_eq!(answer.result, KvTaskResult::Got(Some(7)));
+
+    // Acks flow over the same wire and are idempotent.
+    let ack = Request {
+        req_id: put.req_id,
+        body: RequestBody::Ack,
+    };
+    assert_eq!(
+        round_trip(&mut stream, &ack),
+        Response::AckOk { req_id: put.req_id }
+    );
+    assert_eq!(
+        round_trip(&mut stream, &ack),
+        Response::AckOk { req_id: put.req_id }
+    );
+
+    // Exactly one version record for the key despite the retry.
+    let snapshot = core.exec().store().snapshot_sharded().unwrap();
+    let records: usize = snapshot
+        .iter()
+        .flat_map(|b| b.iter())
+        .flat_map(|c| c.iter())
+        .filter(|r| r.key == 11)
+        .count();
+    assert_eq!(records, 1, "retransmission must not re-apply");
+
+    handle.stop();
+}

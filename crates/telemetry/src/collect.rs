@@ -488,6 +488,18 @@ impl TelemetrySummary {
         out
     }
 
+    /// The op stats whose label starts with `prefix` — a dotted label
+    /// family, e.g. `op_family("server.")` pulls the serving-layer ops
+    /// (`server.submit`, `server.window`, …) out of a mixed recording.
+    /// Returned in the summary's label order.
+    #[must_use]
+    pub fn op_family(&self, prefix: &str) -> Vec<&OpStat> {
+        self.ops
+            .iter()
+            .filter(|o| o.label.starts_with(prefix))
+            .collect()
+    }
+
     /// Distinct recovery-phase labels across the whole timeline.
     #[must_use]
     pub fn distinct_recovery_phases(&self) -> usize {
@@ -562,6 +574,38 @@ mod tests {
             (pe.persists, pe.lines, pe.coalesced, pe.redundant),
             (2, 4, 3, 1)
         );
+    }
+
+    #[test]
+    fn op_family_selects_by_label_prefix() {
+        let snap = TraceSnapshot {
+            labels: vec![
+                "unlabeled".into(),
+                "server.submit".into(),
+                "server.window".into(),
+                "kv.batch".into(),
+            ],
+            threads: vec![ThreadTrace {
+                ring: 0,
+                events: vec![
+                    ev(0, 10, EventKind::SpanEnter { label: 1 }),
+                    ev(1, 20, EventKind::SpanExit { label: 1 }),
+                    ev(2, 30, EventKind::SpanEnter { label: 2 }),
+                    ev(3, 40, EventKind::SpanExit { label: 2 }),
+                    ev(4, 50, EventKind::SpanEnter { label: 3 }),
+                    ev(5, 60, EventKind::SpanExit { label: 3 }),
+                ],
+                dropped: 0,
+            }],
+        };
+        let sum = snap.summary();
+        assert_eq!(sum.ops.len(), 3);
+        let served = sum.op_family("server.");
+        assert_eq!(
+            served.iter().map(|o| o.label.as_str()).collect::<Vec<_>>(),
+            ["server.submit", "server.window"]
+        );
+        assert!(sum.op_family("queue.").is_empty());
     }
 
     #[test]

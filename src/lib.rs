@@ -26,6 +26,12 @@
 //! * [`verify`] — the polynomial serializability verifier (Eulerian
 //!   paths), FIFO and KV witness verifiers, and linearizability /
 //!   sequential-consistency checkers for small histories.
+//! * [`server`] — the serving front end: a length-prefixed wire
+//!   protocol (in-process channel + unix sockets), request-id dedup
+//!   against per-shard durable answer tables, admission control with
+//!   explicit overload shedding, and closed-loop retry/backoff clients
+//!   — exactly-once effects with at-least-once acks under power
+//!   failures.
 //! * [`chaos`] — crash campaigns (CAS, queue and KV), exhaustive
 //!   crash-point enumeration, and the real-`kill(1)` multi-process
 //!   harness over file-backed images.
@@ -73,5 +79,6 @@ pub use pstack_heap as heap;
 pub use pstack_kv as kv;
 pub use pstack_nvram as nvram;
 pub use pstack_recoverable as recoverable;
+pub use pstack_server as server;
 pub use pstack_telemetry as telemetry;
 pub use pstack_verify as verify;
