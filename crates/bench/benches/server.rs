@@ -185,6 +185,7 @@ fn serve_to_completion(s: &mut Served) {
                         answer,
                     }),
                     Submission::Overloaded => Some(Response::Overloaded { req_id: req.req_id }),
+                    Submission::Stale => Some(Response::Stale { req_id: req.req_id }),
                     Submission::Queued => None,
                 },
             };

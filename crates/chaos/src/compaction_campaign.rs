@@ -488,6 +488,7 @@ fn run_compaction_campaign_inner(
                 had_crash,
                 &mut shard_rng,
                 Some(cfg.ops_per_round),
+                1,
             ) {
                 Ok(true) => any_crash = true,
                 Ok(false) => {}

@@ -412,6 +412,7 @@ fn serve_boot(
                         answer,
                     }),
                     Ok(Submission::Overloaded) => Some(Response::Overloaded { req_id: req.req_id }),
+                    Ok(Submission::Stale) => Some(Response::Stale { req_id: req.req_id }),
                     Ok(Submission::Queued) => None,
                     Err(e) if e.is_crash() => return Ok(trip_direct()),
                     Err(e) => return Err(e),
@@ -685,6 +686,7 @@ fn run_server_campaign_inner(cfg: &ServerCampaignConfig) -> Result<ServerCampaig
                     client_stats.overloads += s.overloads;
                     client_stats.retry_signals += s.retry_signals;
                     client_stats.acks_sent += s.acks_sent;
+                    client_stats.stale_signals += s.stale_signals;
                 }
                 return Ok(ServerCampaignReport {
                     boots,

@@ -22,7 +22,7 @@ use pstack_core::{
     CrashRegion, CrashSite, FunctionRegistry, PError, RecoveryMode, RuntimeConfig, StripedRuntime,
 };
 use pstack_kv::{
-    shard_of, KvBatchOp, KvOpTable, KvTaskOp, KvTaskResult, KvVariant, ShardedKvStore,
+    shard_of, KvBatchOp, KvOpTable, KvTaskOp, KvTaskResult, KvVariant, PKvStore, ShardedKvStore,
     ShardedKvTaskFunction, KV_SHARDED_FUNC_ID,
 };
 use pstack_nvram::{
@@ -65,6 +65,17 @@ pub struct ShardedKvCampaignConfig {
     /// `Some(k)`: buffered regions, mutations group-committed in
     /// batches of up to `k`. `None`: eager regions, per-op durability.
     pub group_commit: Option<usize>,
+    /// Concurrent mutator threads per shard (default 1). With more,
+    /// live rounds drive each chunk's mutations through the lock-free
+    /// detectable-publication path instead of a group commit: every
+    /// thread reserves, persists and publishes independently, and the
+    /// armed fail-point countdowns land *between* those steps.
+    /// Recovery rounds always stay on the quiesced evidence-scanning
+    /// duals. Per-shard op schedules and kill draws stay seeded, but
+    /// the racing threads make each region's exact event interleaving
+    /// schedule-dependent — crash placement is windowed, not replayed
+    /// bit-for-bit.
+    pub mutators_per_shard: usize,
     /// Crashes stop after this many, so the campaign terminates.
     pub max_crashes: usize,
     /// Per-shard fail-point countdown drawn uniformly from this event
@@ -121,6 +132,7 @@ impl ShardedKvCampaignConfig {
             seed,
             variant: KvVariant::Nsrl,
             group_commit: Some(8),
+            mutators_per_shard: 1,
             max_crashes: 8,
             crash_window: (8, 80),
             crash_prob: 0.6,
@@ -161,6 +173,14 @@ impl ShardedKvCampaignConfig {
     #[must_use]
     pub fn group_commit(mut self, batch: Option<usize>) -> Self {
         self.group_commit = batch;
+        self
+    }
+
+    /// Selects how many concurrent mutator threads drive each shard
+    /// (see [`ShardedKvCampaignConfig::mutators_per_shard`]).
+    #[must_use]
+    pub fn mutators_per_shard(mut self, mutators: usize) -> Self {
+        self.mutators_per_shard = mutators.max(1);
         self
     }
 }
@@ -330,6 +350,7 @@ pub(crate) fn generate_kv_ops(
 /// chunk's answers persist with one coalesced `mark_done_batch`. An
 /// eager stripe degenerates to per-op durability inside the same
 /// structure.
+#[allow(clippy::too_many_arguments)] // an internal drive helper, not an API
 pub(crate) fn run_shard_round(
     store: &ShardedKvStore,
     shard: usize,
@@ -338,6 +359,7 @@ pub(crate) fn run_shard_round(
     recovery: bool,
     rng: &mut SmallRng,
     limit: Option<usize>,
+    mutators: usize,
 ) -> Result<bool, PError> {
     let crashed = |e: &PError| e.is_crash();
     let mut pending = table.pending()?;
@@ -390,24 +412,34 @@ pub(crate) fn run_shard_round(
                 Err(e) => return Err(e),
             }
         }
-        // The batch window: one group commit for the chunk's mutations.
+        // The batch window. Recovery passes always run the quiesced
+        // evidence-scanning duals; live passes either group-commit the
+        // chunk or fan it out over `mutators` lock-free threads, whose
+        // reserve → persist → publish steps the armed fail-point
+        // countdowns land between.
         if !batch.is_empty() {
             let ops: Vec<KvBatchOp> = batch.iter().map(|&(_, op)| op).collect();
-            let result = if recovery {
-                pstore.recover_batch(&ops)
+            let result: Result<Vec<bool>, PError> = if recovery {
+                pstore
+                    .recover_batch(&ops)
+                    .map(|o| o.iter().map(|a| a.took_effect()).collect())
+            } else if mutators > 1 {
+                apply_lock_free(pstore, &ops, mutators)
             } else {
-                pstore.apply_batch(&ops)
+                pstore
+                    .apply_batch(&ops)
+                    .map(|o| o.iter().map(|a| a.took_effect()).collect())
             };
-            let outcomes = match result {
-                Ok(outcomes) => outcomes,
+            let effects = match result {
+                Ok(effects) => effects,
                 Err(e) if crashed(&e) => return Ok(true),
                 Err(e) => return Err(e),
             };
-            for (&(idx, op), outcome) in batch.iter().zip(outcomes) {
+            for (&(idx, op), effect) in batch.iter().zip(effects) {
                 let result = match op {
-                    KvBatchOp::Put { .. } => KvTaskResult::Stored(outcome.took_effect()),
-                    KvBatchOp::Delete { .. } => KvTaskResult::Deleted(outcome.took_effect()),
-                    KvBatchOp::Cas { .. } => KvTaskResult::Swapped(outcome.took_effect()),
+                    KvBatchOp::Put { .. } => KvTaskResult::Stored(effect),
+                    KvBatchOp::Delete { .. } => KvTaskResult::Deleted(effect),
+                    KvBatchOp::Cas { .. } => KvTaskResult::Swapped(effect),
                 };
                 answers.push((idx, pid as u32, result));
             }
@@ -419,6 +451,59 @@ pub(crate) fn run_shard_round(
         }
     }
     Ok(false)
+}
+
+/// Applies one chunk's mutations with `mutators` concurrent threads,
+/// each through the shard's lock-free detectable-publication path. A
+/// crash in any thread surfaces as the first error; outcomes come back
+/// in op order.
+fn apply_lock_free(
+    store: &PKvStore,
+    ops: &[KvBatchOp],
+    mutators: usize,
+) -> Result<Vec<bool>, PError> {
+    let mut effects = vec![false; ops.len()];
+    let results: Vec<Result<Vec<(usize, bool)>, PError>> = std::thread::scope(|sc| {
+        let handles: Vec<_> = (0..mutators.min(ops.len()))
+            .map(|m| {
+                let st = store.clone();
+                sc.spawn(move || -> Result<Vec<(usize, bool)>, PError> {
+                    (m..ops.len())
+                        .step_by(mutators)
+                        .map(|i| {
+                            let ok = match ops[i] {
+                                KvBatchOp::Put {
+                                    pid,
+                                    seq,
+                                    key,
+                                    value,
+                                } => st.put(pid, seq, key, value)?,
+                                KvBatchOp::Delete { pid, seq, key } => st.delete(pid, seq, key)?,
+                                KvBatchOp::Cas {
+                                    pid,
+                                    seq,
+                                    key,
+                                    expected,
+                                    new,
+                                } => st.cas(pid, seq, key, expected, new)?,
+                            };
+                            Ok((i, ok))
+                        })
+                        .collect()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard mutator panicked"))
+            .collect()
+    });
+    for r in results {
+        for (i, ok) in r? {
+            effects[i] = ok;
+        }
+    }
+    Ok(effects)
 }
 
 pub(crate) fn open_tables(stripe: &PMemStripe) -> Result<Vec<KvOpTable>, PError> {
@@ -715,6 +800,7 @@ fn run_sharded_kv_campaign_inner(
                                 recovery,
                                 &mut shard_rng,
                                 None,
+                                cfg.mutators_per_shard,
                             ) {
                                 Ok(true) => any_crash = true,
                                 Ok(false) => {}
@@ -807,7 +893,9 @@ fn drive_with_runtime(
             let mut registry = FunctionRegistry::new();
             registry.register(
                 KV_SHARDED_FUNC_ID,
-                ShardedKvTaskFunction::new(store.clone(), tables.to_vec()).into_arc(),
+                ShardedKvTaskFunction::new(store.clone(), tables.to_vec())
+                    .with_mutators(cfg.mutators_per_shard)
+                    .into_arc(),
             )?;
             Ok(registry)
         };
@@ -1078,6 +1166,48 @@ mod tests {
         let mut campaigns = 0usize;
         for seed in 0.. {
             let mut cfg = ShardedKvCampaignConfig::new(60, 4000 + seed);
+            cfg.max_crashes = 14;
+            cfg.crash_prob = 0.8;
+            let report = run_sharded_kv_campaign(&cfg).unwrap();
+            assert!(
+                report.is_linearizable(),
+                "seed {seed}: lost or torn update after {} crashes: {:?}",
+                report.total_crashes(),
+                report.verdict
+            );
+            assert!(
+                report.log_had_headroom(),
+                "seed {seed}: {} filled — cycles stopped exercising recovery",
+                report.tightest_shard()
+            );
+            assert!(
+                report.psan_violations.is_empty(),
+                "seed {seed}: sanitizer findings: {:?}",
+                report.psan_violations
+            );
+            cycles += report.total_crashes();
+            campaigns += 1;
+            if cycles >= 200 {
+                break;
+            }
+        }
+        assert!(
+            cycles >= 200,
+            "only {cycles} crash/recover cycles across {campaigns} campaigns"
+        );
+    }
+
+    #[test]
+    fn two_hundred_multi_mutator_cycles_lose_nothing() {
+        // The lock-free acceptance gate: ≥ 200 crash/recover cycles
+        // with three concurrent mutators per shard racing through
+        // reserve → persist → publish, kills landing between those
+        // steps, recovery always on the quiesced evidence-scanning
+        // duals — zero lost or torn updates and a clean sanitizer.
+        let mut cycles = 0usize;
+        let mut campaigns = 0usize;
+        for seed in 0.. {
+            let mut cfg = ShardedKvCampaignConfig::new(60, 7000 + seed).mutators_per_shard(3);
             cfg.max_crashes = 14;
             cfg.crash_prob = 0.8;
             let report = run_sharded_kv_campaign(&cfg).unwrap();

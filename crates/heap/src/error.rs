@@ -22,6 +22,17 @@ pub enum HeapError {
         /// Human-readable diagnosis.
         reason: &'static str,
     },
+    /// `free` was called on an extent inside a retired generation —
+    /// retained recovery evidence that must never be reclaimed (see
+    /// [`PHeap::register_retired_extent`](crate::PHeap::register_retired_extent)).
+    RetiredExtent {
+        /// The offending payload offset.
+        offset: u64,
+        /// Start of the registered retired extent containing it.
+        extent_start: u64,
+        /// Length of that retired extent in bytes.
+        extent_len: u64,
+    },
     /// The persistent metadata failed validation.
     Corrupt(String),
     /// Bad construction parameters.
@@ -37,6 +48,19 @@ impl fmt::Display for HeapError {
             }
             HeapError::InvalidFree { offset, reason } => {
                 write!(f, "invalid free of offset {offset:#x}: {reason}")
+            }
+            HeapError::RetiredExtent {
+                offset,
+                extent_start,
+                extent_len,
+            } => {
+                write!(
+                    f,
+                    "free of offset {offset:#x} inside retired extent \
+                     [{extent_start:#x}, {:#x}): retired generations are recovery \
+                     evidence and must not be reclaimed",
+                    extent_start + extent_len
+                )
             }
             HeapError::Corrupt(msg) => write!(f, "heap metadata is corrupt: {msg}"),
             HeapError::InvalidConfig(msg) => write!(f, "invalid heap configuration: {msg}"),
@@ -80,6 +104,11 @@ mod tests {
             HeapError::InvalidFree {
                 offset: 16,
                 reason: "double free",
+            },
+            HeapError::RetiredExtent {
+                offset: 64,
+                extent_start: 32,
+                extent_len: 128,
             },
             HeapError::Corrupt("bad canary".into()),
             HeapError::InvalidConfig("too small".into()),

@@ -43,6 +43,12 @@ struct HeapInner {
     /// Volatile mirror of the block headers, keyed by block start offset.
     /// Rebuilt from NVRAM on every open; never persisted itself.
     blocks: BTreeMap<u64, Block>,
+    /// Retired extents (`start → len`): ranges a client declared to be
+    /// retained recovery evidence ([`PHeap::register_retired_extent`]).
+    /// [`PHeap::free`] rejects any payload inside one. Volatile like
+    /// `blocks` — the owning store re-registers on every open, walking
+    /// its retired-generation chain.
+    retired: BTreeMap<u64, u64>,
 }
 
 /// A persistent heap carved out of a range of emulated NVRAM.
@@ -108,7 +114,10 @@ impl PHeap {
             pmem,
             first_block,
             end,
-            inner: Arc::new(Mutex::new(HeapInner { blocks })),
+            inner: Arc::new(Mutex::new(HeapInner {
+                blocks,
+                retired: BTreeMap::new(),
+            })),
         })
     }
 
@@ -165,7 +174,10 @@ impl PHeap {
             pmem,
             first_block,
             end,
-            inner: Arc::new(Mutex::new(HeapInner { blocks })),
+            inner: Arc::new(Mutex::new(HeapInner {
+                blocks,
+                retired: BTreeMap::new(),
+            })),
         })
     }
 
@@ -300,13 +312,43 @@ impl PHeap {
         Ok(off)
     }
 
+    /// Declares `[start, start + len)` a **retired extent**: retained
+    /// recovery evidence (e.g. a retired KV generation block, chained
+    /// via `prev`) that must never be reclaimed. [`PHeap::free`] of any
+    /// payload inside the range fails with [`HeapError::RetiredExtent`]
+    /// instead of silently handing evidence back to the allocator.
+    ///
+    /// The registry is volatile, like the free list itself: the owning
+    /// store re-registers its retired ranges on every open/recovery.
+    /// Registering the same extent twice is a no-op; overlapping
+    /// registrations keep the widest coverage per start offset.
+    pub fn register_retired_extent(&self, start: POffset, len: u64) {
+        let mut inner = self.inner.lock();
+        let entry = inner.retired.entry(start.get()).or_insert(0);
+        *entry = (*entry).max(len);
+    }
+
+    /// Retired extents registered on this heap, as `(start, len)` pairs
+    /// in address order.
+    #[must_use]
+    pub fn retired_extents(&self) -> Vec<(u64, u64)> {
+        self.inner
+            .lock()
+            .retired
+            .iter()
+            .map(|(&s, &l)| (s, l))
+            .collect()
+    }
+
     /// Releases an allocation made by this heap, coalescing with free
     /// neighbours.
     ///
     /// # Errors
     ///
     /// [`HeapError::InvalidFree`] if `payload` is not a live allocation
-    /// (including double frees), or a propagated NVRAM error.
+    /// (including double frees), [`HeapError::RetiredExtent`] if it
+    /// lies inside a registered retired extent, or a propagated NVRAM
+    /// error.
     pub fn free(&self, payload: POffset) -> Result<(), HeapError> {
         let start = payload
             .get()
@@ -316,6 +358,19 @@ impl PHeap {
                 reason: "offset precedes any possible block",
             })?;
         let mut inner = self.inner.lock();
+        // Retired-generation guard: freeing retained recovery evidence
+        // is a correctness bug, not an optimization — fail it loudly
+        // here rather than silently and only catch it later in the
+        // witness walk.
+        if let Some((&ext_start, &ext_len)) = inner.retired.range(..=payload.get()).next_back() {
+            if payload.get() < ext_start + ext_len {
+                return Err(HeapError::RetiredExtent {
+                    offset: payload.get(),
+                    extent_start: ext_start,
+                    extent_len: ext_len,
+                });
+            }
+        }
         let blk = match inner.blocks.get(&start).copied() {
             Some(b) => b,
             None => {
@@ -636,6 +691,38 @@ mod tests {
             h.free(POffset::new(4)),
             Err(HeapError::InvalidFree { .. })
         ));
+    }
+
+    #[test]
+    fn free_inside_a_retired_extent_is_rejected() {
+        // Negative control for the retired-generation guard: a block
+        // registered as retained recovery evidence must refuse `free` —
+        // at its start, in its middle, and after re-registration —
+        // while unrelated blocks stay freeable.
+        let (_, h) = heap(8192);
+        let retired = h.alloc(256).unwrap();
+        let live = h.alloc(64).unwrap();
+        h.register_retired_extent(retired, 256);
+        assert!(matches!(
+            h.free(retired),
+            Err(HeapError::RetiredExtent {
+                offset,
+                extent_start,
+                extent_len: 256,
+            }) if offset == retired.get() && extent_start == retired.get()
+        ));
+        // An extent *inside* the retired range (e.g. a bogus pointer
+        // into the block) is shed by the same guard, before the
+        // block-table lookup can misread it.
+        assert!(matches!(
+            h.free(retired + 128u64),
+            Err(HeapError::RetiredExtent { .. })
+        ));
+        // Double registration is idempotent; unrelated frees still work.
+        h.register_retired_extent(retired, 256);
+        assert_eq!(h.retired_extents(), vec![(retired.get(), 256)]);
+        h.free(live).unwrap();
+        h.check_consistency().unwrap();
     }
 
     #[test]

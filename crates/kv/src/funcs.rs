@@ -534,6 +534,7 @@ impl RecoverableFunction for KvTaskFunction {
 pub struct ShardedKvTaskFunction {
     store: ShardedKvStore,
     tables: Vec<KvOpTable>,
+    mutators: usize,
 }
 
 impl ShardedKvTaskFunction {
@@ -549,7 +550,28 @@ impl ShardedKvTaskFunction {
             tables.len(),
             "one descriptor table per shard"
         );
-        ShardedKvTaskFunction { store, tables }
+        ShardedKvTaskFunction {
+            store,
+            tables,
+            mutators: 1,
+        }
+    }
+
+    /// Sets how many concurrent mutator threads a batch window drives
+    /// per shard (default 1, the quiesced group commit). With more,
+    /// the window's mutations run through the lock-free detectable
+    /// publication path instead: each thread reserves, persists and
+    /// publishes its records independently, overlapping their persist
+    /// round-trips. Recovery windows are unaffected — replays stay on
+    /// the evidence-scanning [`PKvStore::recover_batch`] dual.
+    ///
+    /// Answers still linearize (each op takes effect exactly once at
+    /// its head-CAS), but ops on the *same key* in one window may
+    /// interleave in any real-time order rather than table order.
+    #[must_use]
+    pub fn with_mutators(mut self, mutators: usize) -> Self {
+        self.mutators = mutators.max(1);
+        self
     }
 
     /// Convenience: wraps into the `Arc<dyn RecoverableFunction>` shape
@@ -800,16 +822,26 @@ impl ShardedKvTaskFunction {
         }
         if !staged.is_empty() {
             let ops: Vec<KvBatchOp> = staged.iter().map(|&(_, op)| op).collect();
-            let outcomes = if recovery {
-                pstore.recover_batch(&ops)?
+            let effects: Vec<bool> = if recovery {
+                pstore
+                    .recover_batch(&ops)?
+                    .iter()
+                    .map(|o| o.took_effect())
+                    .collect()
+            } else if self.mutators > 1 {
+                Self::apply_concurrent(pstore, &ops, self.mutators)?
             } else {
-                pstore.apply_batch(&ops)?
+                pstore
+                    .apply_batch(&ops)?
+                    .iter()
+                    .map(|o| o.took_effect())
+                    .collect()
             };
-            for (&(idx, op), outcome) in staged.iter().zip(outcomes) {
+            for (&(idx, op), effect) in staged.iter().zip(effects) {
                 let result = match op {
-                    KvBatchOp::Put { .. } => KvTaskResult::Stored(outcome.took_effect()),
-                    KvBatchOp::Delete { .. } => KvTaskResult::Deleted(outcome.took_effect()),
-                    KvBatchOp::Cas { .. } => KvTaskResult::Swapped(outcome.took_effect()),
+                    KvBatchOp::Put { .. } => KvTaskResult::Stored(effect),
+                    KvBatchOp::Delete { .. } => KvTaskResult::Deleted(effect),
+                    KvBatchOp::Cas { .. } => KvTaskResult::Swapped(effect),
                 };
                 answers.push((idx, ctx.pid as u32, result));
             }
@@ -819,6 +851,60 @@ impl ShardedKvTaskFunction {
         b[0] = 6; // window marker, distinct from single-op answers
         b[1..5].copy_from_slice(&(answers.len() as u32).to_le_bytes());
         Ok(Some(b))
+    }
+
+    /// Applies a window's mutations with `mutators` concurrent
+    /// threads, each publishing its share lock-free. Outcomes come
+    /// back in op order; a crash in any thread surfaces as the first
+    /// error (the whole window then replays through recovery).
+    fn apply_concurrent(
+        store: &PKvStore,
+        ops: &[KvBatchOp],
+        mutators: usize,
+    ) -> Result<Vec<bool>, PError> {
+        let mut effects = vec![false; ops.len()];
+        let mut collected: Vec<(usize, bool)> = Vec::with_capacity(ops.len());
+        std::thread::scope(|sc| {
+            let handles: Vec<_> = (0..mutators.min(ops.len()))
+                .map(|m| {
+                    let st = store.clone();
+                    sc.spawn(move || -> Result<Vec<(usize, bool)>, PError> {
+                        (m..ops.len())
+                            .step_by(mutators)
+                            .map(|i| {
+                                let ok = match ops[i] {
+                                    KvBatchOp::Put {
+                                        pid,
+                                        seq,
+                                        key,
+                                        value,
+                                    } => st.put(pid, seq, key, value)?,
+                                    KvBatchOp::Delete { pid, seq, key } => {
+                                        st.delete(pid, seq, key)?
+                                    }
+                                    KvBatchOp::Cas {
+                                        pid,
+                                        seq,
+                                        key,
+                                        expected,
+                                        new,
+                                    } => st.cas(pid, seq, key, expected, new)?,
+                                };
+                                Ok((i, ok))
+                            })
+                            .collect()
+                    })
+                })
+                .collect();
+            for h in handles {
+                collected.extend(h.join().expect("window mutator panicked")?);
+            }
+            Ok::<(), PError>(())
+        })?;
+        for (i, ok) in collected {
+            effects[i] = ok;
+        }
+        Ok(effects)
     }
 
     fn dispatch(
@@ -1349,6 +1435,59 @@ mod tests {
             assert!(epoch <= 1, "shard {s} must commit its window at most once");
         }
         // A replayed window is a no-op: answers are durable.
+        let before = store.log_reserved_per_shard().unwrap();
+        ctx.call(
+            KV_SHARDED_FUNC_ID,
+            &ShardedKvTaskFunction::batch_args_for(0, 0, tables[0].len() as u32),
+        )
+        .unwrap();
+        assert_eq!(store.log_reserved_per_shard().unwrap(), before);
+    }
+
+    #[test]
+    fn multi_mutator_window_publishes_lock_free() {
+        // The same window contract as the group commit — every
+        // descriptor answered, every put landed exactly once — but
+        // driven by four concurrent mutators per shard through the
+        // lock-free publication path (no group-commit epoch at all).
+        let nshards = 2usize;
+        let ops: Vec<KvTaskOp> = (0..24u64)
+            .map(|key| KvTaskOp::Put {
+                key,
+                value: key as i64 + 1,
+            })
+            .collect();
+        let (_stripe, main, heap, store, tables) = sharded_buffered_fixture(&ops, nshards);
+        let f = ShardedKvTaskFunction::new(store.clone(), tables.clone()).with_mutators(4);
+        let mut registry = FunctionRegistry::new();
+        registry
+            .register(KV_SHARDED_FUNC_ID, f.clone().into_arc())
+            .unwrap();
+        let mut stack = FixedStack::format(main.clone(), POffset::new(0), 4096).unwrap();
+        let mut ctx = PContext::new(
+            main.clone(),
+            heap,
+            &registry,
+            &mut stack,
+            0,
+            POffset::new(64),
+        );
+        for (s, table) in tables.iter().enumerate() {
+            let ret = ctx
+                .call(
+                    KV_SHARDED_FUNC_ID,
+                    &ShardedKvTaskFunction::batch_args_for(s as u32, 0, table.len() as u32),
+                )
+                .unwrap()
+                .unwrap();
+            assert_eq!(ret[0], 6);
+            assert!(table.pending().unwrap().is_empty(), "shard {s} drained");
+        }
+        assert_eq!(store.contents().unwrap().len(), 24);
+        for (s, epoch) in store.flush_epochs().unwrap().into_iter().enumerate() {
+            assert_eq!(epoch, 0, "shard {s} published per-op, not by group commit");
+        }
+        // Replays stay idempotent: answers are durable.
         let before = store.log_reserved_per_shard().unwrap();
         ctx.call(
             KV_SHARDED_FUNC_ID,

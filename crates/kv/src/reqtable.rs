@@ -32,13 +32,16 @@
 //!
 //! # The retry contract
 //!
-//! Recycling is safe only under the client contract: *a client never
-//! retransmits a request after acknowledging its answer*. A retry of a
-//! live request dedupes against the slot (pending → the caller routes
-//! it through the recovery duals; done → the durable answer is
-//! replayed). A retry after the ack could miss the recycled slot and
-//! re-execute — which is why acks must be sent exactly by the party
-//! that will never ask again.
+//! Recycling leans on the client contract: *a client never retransmits
+//! a request after acknowledging its answer*. A retry of a live
+//! request dedupes against the slot (pending → the caller routes it
+//! through the recovery duals; done → the durable answer is replayed).
+//! The contract is **not trusted blindly**: the table keeps a
+//! per-client high-water line of acked sequence numbers, and a
+//! retransmission at or below it whose slot has already been recycled
+//! is shed as [`ReqSubmit::Stale`] instead of being admitted as a
+//! fresh request — a buggy client gets a typed refusal, never a
+//! second effect.
 //!
 //! # Crash safety of recycling
 //!
@@ -104,6 +107,20 @@ pub enum ReqSubmit {
     /// and acked — the admission-control signal (shed the request with
     /// an explicit overload response; never drop it silently).
     Full,
+    /// The request id is at or below its client's acknowledged
+    /// high-water `seq` but no longer in the table — a retransmission
+    /// of an answered-and-acked (possibly recycled) request, which the
+    /// retry contract forbids. Shed it with an explicit stale response;
+    /// admitting it would hand a buggy client a **second effect** for
+    /// an id that already executed.
+    Stale,
+}
+
+/// Splits a `(client_id << 32) | seq` request id into its halves — the
+/// identity convention of the serving layer, which is what makes a
+/// per-client high-water line possible.
+fn split_id(req_id: u64) -> (u32, u32) {
+    ((req_id >> 32) as u32, req_id as u32)
 }
 
 /// Volatile bookkeeping rebuilt by [`KvRequestTable::open`]: the
@@ -121,6 +138,15 @@ struct ReqIndex {
     recycled: u64,
     /// High-water mark of live (non-recyclable) slots.
     live_high_water: u64,
+    /// Per-client high-water of **acked** sequence numbers — the
+    /// server-side guard behind the client's never-retransmit-after-ack
+    /// promise. A submit whose `(client, seq)` is at or below this line
+    /// and absent from `by_id` is a stale retransmission
+    /// ([`ReqSubmit::Stale`]), not a fresh admission. Rebuilt
+    /// best-effort by [`KvRequestTable::open`] from the done+acked
+    /// slots still present (evidence in recycled slots is gone — the
+    /// line re-grows as the client acks again).
+    acked_high: HashMap<u32, u32>,
 }
 
 /// A persistent, bounded, request-id-keyed descriptor/answer table.
@@ -227,6 +253,13 @@ impl KvRequestTable {
             let acked = pmem.read_u8(e + F_ACKED)? != 0;
             if done && acked {
                 idx.free.push(slot);
+                // Best-effort rebuild of the per-client acked
+                // high-water line from the evidence still in the table
+                // (recycled slots' evidence is gone; the line re-grows
+                // as the client acks again).
+                let (client, seq) = split_id(req_id);
+                let hw = idx.acked_high.entry(client).or_insert(0);
+                *hw = (*hw).max(seq);
             }
             // Done+acked slots stay in the index until recycled: a
             // duplicate retry that races the ack still dedupes.
@@ -308,10 +341,12 @@ impl KvRequestTable {
     }
 
     /// Admits request `req_id` into the table: dedups against live and
-    /// answered slots, claims (possibly recycling) a slot for a fresh
-    /// id, and reports [`ReqSubmit::Full`] when nothing is recyclable.
-    /// A fresh descriptor is durable when this returns — effects can
-    /// only execute after their descriptor.
+    /// answered slots, sheds stale retransmissions of already-acked
+    /// sequence numbers ([`ReqSubmit::Stale`]), claims (possibly
+    /// recycling) a slot for a fresh id, and reports
+    /// [`ReqSubmit::Full`] when nothing is recyclable. A fresh
+    /// descriptor is durable when this returns — effects can only
+    /// execute after their descriptor.
     ///
     /// # Errors
     ///
@@ -332,6 +367,13 @@ impl KvRequestTable {
                 slot,
                 answer: self.result(slot)?,
             });
+        }
+        // Stale-retransmission guard: the id is gone from the table but
+        // its client already acked this seq (or a later one) — the slot
+        // was legitimately recycled and re-admitting would re-execute.
+        let (client, seq) = split_id(req_id);
+        if idx.acked_high.get(&client).is_some_and(|&hw| seq <= hw) {
+            return Ok(ReqSubmit::Stale);
         }
         let Some(slot) = idx.free.pop() else {
             return Ok(ReqSubmit::Full);
@@ -570,6 +612,12 @@ impl KvRequestTable {
             self.pmem.flush(e + F_ACKED, 1)?;
             idx.free.push(slot);
         }
+        // Advance the client's acked high-water line: from here on a
+        // retransmission of this seq (or below) is shed as Stale once
+        // its slot recycles.
+        let (client, seq) = split_id(req_id);
+        let hw = idx.acked_high.entry(client).or_insert(0);
+        *hw = (*hw).max(seq);
         Ok(true)
     }
 
@@ -707,6 +755,61 @@ mod tests {
         assert!(table.ack(100).unwrap());
         assert!(matches!(
             table.submit(999, KvTaskOp::Get { key: 1 }).unwrap(),
+            ReqSubmit::Fresh(_)
+        ));
+    }
+
+    #[test]
+    fn recycled_req_id_retransmission_is_shed_as_stale() {
+        // Regression: a buggy client that retransmits an id whose slot
+        // has been recycled must not be re-admitted as Fresh — the
+        // effect already executed and the evidence is gone. The
+        // per-client acked high-water line sheds it as `Stale`.
+        let id = |client: u32, seq: u32| (u64::from(client) << 32) | u64::from(seq);
+        let (pmem, table) = fixture(2);
+
+        // Client 1 runs seq 1 to completion and acks it.
+        let ReqSubmit::Fresh(slot) = table.submit(id(1, 1), KvTaskOp::Get { key: 9 }).unwrap()
+        else {
+            panic!("fresh")
+        };
+        table.mark_done(slot, 0, KvTaskResult::Got(None)).unwrap();
+        assert!(table.ack(id(1, 1)).unwrap());
+
+        // Another client recycles the table until client 1's evidence
+        // is overwritten.
+        for seq in 1..=4u32 {
+            let ReqSubmit::Fresh(s) = table.submit(id(2, seq), KvTaskOp::Get { key: 1 }).unwrap()
+            else {
+                panic!("recyclable")
+            };
+            table.mark_done(s, 0, KvTaskResult::Got(None)).unwrap();
+            assert!(table.ack(id(2, seq)).unwrap());
+        }
+        assert!(table.lookup(id(1, 1)).unwrap().is_none(), "evidence gone");
+
+        // The buggy retransmission is shed, not re-executed and not
+        // treated as overload.
+        assert_eq!(
+            table.submit(id(1, 1), KvTaskOp::Get { key: 9 }).unwrap(),
+            ReqSubmit::Stale
+        );
+        // Reopen rebuilds the line from surviving done+acked slots:
+        // client 2's latest acked seq still sits in a slot, so its
+        // earlier seqs stay shed across a restart. (Shedding writes
+        // nothing, so the probe leaves the table untouched.)
+        let t2 = KvRequestTable::open(pmem, table.base()).unwrap();
+        assert_eq!(
+            t2.submit(id(2, 3), KvTaskOp::Get { key: 1 }).unwrap(),
+            ReqSubmit::Stale,
+            "acked high-water rebuilt from slot evidence"
+        );
+
+        // A genuinely new seq from the same client is still admitted.
+        assert!(matches!(
+            table
+                .submit(id(1, 2), KvTaskOp::Put { key: 9, value: 1 })
+                .unwrap(),
             ReqSubmit::Fresh(_)
         ));
     }

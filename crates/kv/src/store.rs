@@ -68,11 +68,12 @@
 //! just finishes the idempotent retirement mark); otherwise it is
 //! safely re-executed from the current state.
 //!
-//! Compaction serializes on the region's advisory lock, so it cannot
-//! interleave with a batched store's group commits. Eager stores run
-//! lock-free mutations; their callers must not race `compact` with
-//! in-flight mutations on the *same* store (the sharded drive's
-//! one-owner-per-shard discipline provides this for free).
+//! Compaction quiesces the region ([`PMem::quiesce`]): it waits out
+//! every in-flight lock-free mutator and excludes group commits for
+//! its duration, so the generation it rewrites cannot move under it.
+//! The discipline is machine-checked — every mutation path registers
+//! in the region's mutator gate, so a racing `compact` *blocks*
+//! instead of corrupting, on eager and batched stores alike.
 //!
 //! [`RootCell`]: pstack_nvram::RootCell
 //!
@@ -83,22 +84,33 @@
 //! * **Eager** (`eager_flush` region, §5's cache-less NVRAM): every
 //!   write is durable the moment it completes, so mutations are
 //!   lock-free CAS-retry loops and nothing is ever explicitly flushed.
-//! * **Batched** (buffered region): the store orders persists itself.
-//!   [`PKvStore::apply_batch`] stages the records of a whole batch,
-//!   makes them (and the log tail) durable with one coalesced
-//!   persist, publishes each touched bucket's head once, persists the
-//!   heads, and finally bumps the persistent **flush epoch** in the
-//!   header. Records are durable strictly before any head that can
-//!   reach them, so a crash at *any* flush boundary leaves each bucket
-//!   either entirely pre-batch or entirely post-batch — never a torn
-//!   head — and the evidence-scan recovery argument carries over
-//!   unchanged. Batched mutations serialize on the region's advisory lock
-//!   (shard-level parallelism comes from striping stores across
-//!   regions, see [`ShardedKvStore`](crate::ShardedKvStore)).
+//! * **Batched** (buffered region): the store orders persists itself,
+//!   through two concurrent-safe paths.
+//!   Per-op mutations ([`PKvStore::put`] & friends) run **lock-free
+//!   detectable publication**: reserve a log slot with a fetch-add
+//!   style tail CAS, build the version record, persist it (and the
+//!   tail), then publish by CASing it onto the bucket head directly —
+//!   any number of mutators can run concurrently on one shard, and
+//!   recovery detects a completed-but-unacked operation purely from
+//!   the `(pid, seq)` evidence already in the log.
+//!   [`PKvStore::apply_batch`] is the group-commit path: it quiesces
+//!   the region, stages the records of a whole batch, makes them (and
+//!   the log tail) durable with one coalesced persist, publishes each
+//!   touched bucket's head once, persists the heads, and finally bumps
+//!   the persistent **flush epoch** in the header.
+//!   On both paths records are durable strictly before any head that
+//!   can reach them, so a crash at *any* flush boundary leaves each
+//!   bucket either entirely pre-batch or entirely post-batch — never a
+//!   torn head — and the evidence-scan recovery argument carries over
+//!   unchanged. (Shard-level parallelism additionally comes from
+//!   striping stores across regions, see
+//!   [`ShardedKvStore`](crate::ShardedKvStore).)
+//!
+//! [`PMem::quiesce`]: pstack_nvram::PMem::quiesce
 
 use pstack_core::PError;
 use pstack_heap::PHeap;
-use pstack_nvram::{op_label, PMem, POffset, RootCell};
+use pstack_nvram::{op_label, MemError, PMem, POffset, RootCell};
 use std::collections::BTreeMap;
 
 const KV_MAGIC: u64 = 0x5053_4B56_5354_4F32; // "PSKVSTO2" (generational)
@@ -451,8 +463,9 @@ pub struct PKvStore {
     variant: KvVariant,
     /// Commit mode, inferred from the region: `true` = eager (§5
     /// cache-less NVRAM, lock-free per-op CAS), `false` = batched (the
-    /// store orders its own persists; mutations serialize on the
-    /// region's advisory lock, shared by every handle on the region).
+    /// store orders its own persists; per-op mutations run lock-free
+    /// detectable publication, group commits quiesce the region —
+    /// through the mutator gate shared by every handle on the region).
     eager: bool,
 }
 
@@ -584,8 +597,10 @@ impl PKvStore {
             )));
         }
         let nbuckets = pmem.read_u64(base + OFF_NBUCKETS)?;
-        let cell = RootCell::open(pmem.clone(), base + OFF_GEN_CELL)
-            .map_err(|e| PError::CorruptStack(format!("KV store root cell at {base}: {e}")))?;
+        let cell = RootCell::open(pmem.clone(), base + OFF_GEN_CELL).map_err(|e| match e {
+            MemError::Crashed => PError::Mem(e),
+            e => PError::CorruptStack(format!("KV store root cell at {base}: {e}")),
+        })?;
         let store = Self::assemble(pmem, base, cell, nbuckets, variant);
         let gen = store.active_gen()?; // validates the active generation's magic
         Self::register_publish_range(&store.pmem, gen.base, nbuckets);
@@ -615,10 +630,13 @@ impl PKvStore {
     /// independently opened handles observe a compaction swap
     /// immediately.
     fn active_gen(&self) -> Result<Gen, PError> {
-        let (number, base) = self
-            .cell
-            .current()
-            .map_err(|e| PError::CorruptStack(format!("KV store root cell: {e}")))?;
+        // A mid-read power failure is a crash, not corruption — it
+        // must keep its classification so callers route it to
+        // recovery instead of aborting on a phantom corruption.
+        let (number, base) = self.cell.current().map_err(|e| match e {
+            MemError::Crashed => PError::Mem(e),
+            e => PError::CorruptStack(format!("KV store root cell: {e}")),
+        })?;
         let off = POffset::new(base);
         let magic = self.pmem.read_u64(off + GEN_OFF_MAGIC)?;
         if magic != GEN_MAGIC {
@@ -694,11 +712,13 @@ impl PKvStore {
 
     /// Completed group commits since format — the persistent flush
     /// epoch a batched store bumps (and persists) at the end of every
-    /// batch. After a crash it counts exactly the batches whose epoch
-    /// bump reached durability; the batch *publishes* (head flips) are
-    /// durable strictly before its epoch bump, so `flush_epoch() == n`
-    /// implies the first `n` batches are fully visible. Always `0` on
-    /// an eager store.
+    /// [`PKvStore::apply_batch`]. After a crash it counts exactly the
+    /// batches whose epoch bump reached durability; the batch
+    /// *publishes* (head flips) are durable strictly before its epoch
+    /// bump, so `flush_epoch() == n` implies the first `n` batches are
+    /// fully visible. Always `0` on an eager store, and per-op
+    /// lock-free mutations don't bump it either — their durability is
+    /// per-record (detectable from the log evidence), not epoch-based.
     ///
     /// # Errors
     ///
@@ -839,6 +859,10 @@ impl PKvStore {
         value: i64,
         precond: &Precond,
     ) -> Result<Append, PError> {
+        // Register with the region's mutator gate so a concurrent
+        // `compact` quiesces us out instead of racing the generation
+        // swap — machine-checked, not caller-promised.
+        let _mutator = self.pmem.mutator_enter();
         // (slot offset, generation base it belongs to)
         let mut slot: Option<(u64, u64)> = None;
         loop {
@@ -860,6 +884,7 @@ impl PKvStore {
             };
             self.write_record(off, kind, key, value, (pid, seq), head)?;
             if self
+                // persist-lint: allow(publish-before-persist) eager region — write_record persisted at the store
                 .pmem
                 .compare_exchange(bucket, &head.to_le_bytes(), &off.to_le_bytes())?
             {
@@ -868,8 +893,78 @@ impl PKvStore {
         }
     }
 
+    /// Lock-free detectable publication on a **buffered** region — the
+    /// per-op hot path of a batched store. The shape is the eager CAS
+    /// loop with the persists the buffered region doesn't do for us
+    /// spelled out, in the order the recovery argument needs:
+    ///
+    /// 1. reserve a log slot (fetch-add style tail CAS, lazily, at
+    ///    most once per generation — an abandoned slot is an invisible
+    ///    orphan, the usual price of never recycling evidence);
+    /// 2. build the version record in the slot (volatile) and
+    ///    **persist it** — a head must never be able to reach a
+    ///    volatile record;
+    /// 3. **persist the log tail** — were the tail to crash back
+    ///    behind a published slot, recovery would hand the slot out
+    ///    again and overwrite published evidence;
+    /// 4. publish with the bucket-head CAS; a failed CAS means a
+    ///    concurrent mutation intervened — re-read, rebuild, re-persist
+    ///    and retry (NVTraverse's insight: only this destination needs
+    ///    ordering, everything before it is private);
+    /// 5. persist the head, making the op immediately detectable.
+    ///
+    /// Should the head persist (5) be lost to a crash, the record is an
+    /// unreachable orphan and the evidence scan correctly reports the
+    /// op as never-executed — its recovery dual re-executes it, same as
+    /// a crash before the CAS. PSan machine-checks (2) at every head
+    /// CAS (the bucket arrays are registered publish ranges), and
+    /// [`KvVariant::EarlyPublish`] skips the record persist as the
+    /// negative control proving that check fires on this path too.
+    ///
+    /// Any number of mutators may run this concurrently on one shard;
+    /// each registers in the region's mutator gate so `compact` (and
+    /// group commits) quiesce them out instead of racing.
+    fn publish_one(&self, op: KvBatchOp) -> Result<KvApplied, PError> {
+        let _mutator = self.pmem.mutator_enter();
+        let (pid, seq, key, kind, value, precond) = op.parts();
+        // (slot offset, generation base it belongs to)
+        let mut slot: Option<(u64, u64)> = None;
+        loop {
+            let gen = self.active_gen()?;
+            let bucket = self.bucket_off(&gen, key);
+            let head = self.pmem.read_u64(bucket)?;
+            let Some(value) = self.resolve_value(head, key, value, &precond, gen.number)? else {
+                return Ok(KvApplied::PrecondFailed);
+            };
+            let off = match slot {
+                Some((off, gbase)) if gbase == gen.base => off,
+                _ => match self.reserve(&gen)? {
+                    Some(off) => {
+                        slot = Some((off, gen.base));
+                        off
+                    }
+                    None => return Ok(KvApplied::LogFull),
+                },
+            };
+            self.write_record(off, kind, key, value, (pid, seq), head)?;
+            if self.variant != KvVariant::EarlyPublish {
+                self.pmem.flush(POffset::new(off), RECORD_LEN)?;
+            }
+            self.pmem
+                .flush(POffset::new(gen.base + GEN_OFF_LOG_TAIL), 8)?;
+            if self
+                .pmem
+                .compare_exchange(bucket, &head.to_le_bytes(), &off.to_le_bytes())?
+            {
+                self.pmem.flush(bucket, 8)?;
+                return Ok(KvApplied::Applied);
+            }
+        }
+    }
+
     /// Applies one mutation through the commit mode's native path: the
-    /// eager CAS loop, or a singleton group commit on a batched store.
+    /// eager CAS loop, or lock-free detectable publication on a
+    /// batched store.
     fn apply_one(&self, op: KvBatchOp) -> Result<KvApplied, PError> {
         if self.eager {
             let (pid, seq, key, kind, value, precond) = op.parts();
@@ -877,7 +972,7 @@ impl PKvStore {
                 self.append(pid, seq, key, kind, value, &precond)?,
             ))
         } else {
-            Ok(self.apply_batch_inner(&[op])?[0])
+            self.publish_one(op)
         }
     }
 
@@ -940,10 +1035,11 @@ impl PKvStore {
             return ops.iter().map(|&op| self.apply_one(op)).collect();
         }
         // Region-scoped (not handle-scoped): any handle opened on this
-        // region — clone or independent `open` — serializes here, and so
-        // does `compact`, so the generation loaded below cannot be
-        // swapped out from under the batch.
-        let _serialize = self.pmem.advisory_lock();
+        // region — clone or independent `open` — quiesces here, and so
+        // does `compact`; in-flight lock-free mutators are waited out,
+        // so the generation loaded below cannot be swapped and no
+        // bucket head can move under the batch.
+        let _serialize = self.pmem.quiesce();
         let gen = self.active_gen()?;
         let mut outcomes = vec![KvApplied::PrecondFailed; ops.len()];
         // Per touched bucket: the durable pre-batch head and the staged
@@ -986,8 +1082,8 @@ impl PKvStore {
         };
 
         // Phase 2 — persist the records and the log tail with one
-        // coalesced flush each. The batch lock makes the reserved
-        // slots consecutive, so [lo, hi] covers exactly this batch.
+        // coalesced flush each. The quiesce makes the reserved slots
+        // consecutive, so [lo, hi] covers exactly this batch.
         // KvVariant::EarlyPublish omits the record flush — PSan's
         // negative control: the phase-3 head CAS then publishes
         // still-volatile records, which the sanitizer flags.
@@ -1009,8 +1105,8 @@ impl PKvStore {
                 &new_head.to_le_bytes(),
             )? {
                 return Err(PError::CorruptStack(
-                    "bucket head moved under a group commit — batched-store mutations must \
-                     all go through the batch lock"
+                    "bucket head moved under a group commit — every batched-store mutation \
+                     must register with the region's mutator gate"
                         .into(),
                 ));
             }
@@ -1415,10 +1511,11 @@ impl PKvStore {
     /// as recovery evidence and verifier witness; only the *active*
     /// generation is ever written again.
     ///
-    /// Serializes on the region's advisory lock (so it cannot
-    /// interleave with a batched store's group commits). Callers of an
-    /// **eager** store must not race `compact` with in-flight lock-free
-    /// mutations on the same store.
+    /// Quiesces the region ([`pstack_nvram::PMem::quiesce`]): waits
+    /// out every in-flight lock-free mutator and excludes group
+    /// commits for its duration, on eager and batched stores alike.
+    /// The discipline is machine-checked through the region's mutator
+    /// gate — a racing mutation blocks, it does not corrupt.
     ///
     /// # Errors
     ///
@@ -1431,11 +1528,11 @@ impl PKvStore {
         capacity: Option<u64>,
     ) -> Result<CompactionStats, PError> {
         let _label = op_label("kv.compact");
-        let _serialize = self.pmem.advisory_lock();
+        let _serialize = self.pmem.quiesce();
         self.compact_locked(heap, capacity)
     }
 
-    /// The compaction body; the caller holds the advisory lock.
+    /// The compaction body; the caller holds the region quiesced.
     fn compact_locked(
         &self,
         heap: &PHeap,
@@ -1529,10 +1626,16 @@ impl PKvStore {
         self.cell.swap(new_gen.number, nb).map_err(PError::from)?;
 
         // Step 4 — retire the old generation (advisory, repaired by
-        // recover_compact if a crash lands before it persists).
+        // recover_compact if a crash lands before it persists), and
+        // register its extent with the heap: a `free` on retained
+        // recovery evidence must fail typed, not corrupt silently.
         self.pmem
             .write_u64(POffset::new(gen.base + GEN_OFF_STATE), GEN_STATE_RETIRED)?;
         self.pmem.flush(POffset::new(gen.base + GEN_OFF_STATE), 8)?;
+        heap.register_retired_extent(
+            POffset::new(gen.base),
+            gen_block_len(self.nbuckets, gen.log_cap),
+        );
 
         let old_reserved = self
             .pmem
@@ -1544,6 +1647,28 @@ impl PKvStore {
             dropped: old_reserved.saturating_sub(live_total),
             new_capacity: new_cap,
         })
+    }
+
+    /// Registers every non-active generation's extent as retired with
+    /// `heap` ([`PHeap::register_retired_extent`]): the heap's registry
+    /// is volatile, so a recovery boot re-walks the `prev` chain and
+    /// re-arms the guard before any client could `free` retained
+    /// evidence. Called by [`PKvStore::recover_compact`]; call it
+    /// directly after a plain reopen when the heap outlives the boot.
+    ///
+    /// # Errors
+    ///
+    /// Propagated NVRAM errors.
+    pub fn register_retired_generations(&self, heap: &PHeap) -> Result<(), PError> {
+        for gen in self.gens_oldest_first()? {
+            if gen.number != self.active_gen()?.number {
+                heap.register_retired_extent(
+                    POffset::new(gen.base),
+                    gen_block_len(self.nbuckets, gen.log_cap),
+                );
+            }
+        }
+        Ok(())
     }
 
     /// The evidence-scanning recovery dual of [`PKvStore::compact`]:
@@ -1570,7 +1695,7 @@ impl PKvStore {
     pub fn recover_compact(&self, heap: &PHeap, from_gen: u64) -> Result<bool, PError> {
         let _label = op_label("kv.recover_compact");
         let _phase = pstack_telemetry::phase("recovery.compact-dual");
-        let _serialize = self.pmem.advisory_lock();
+        let _serialize = self.pmem.quiesce();
         let gen = self.active_gen()?;
         match gen.number.cmp(&from_gen) {
             std::cmp::Ordering::Less => Err(PError::InvalidConfig(format!(
@@ -1587,6 +1712,7 @@ impl PKvStore {
                         self.pmem.flush(POffset::new(prev + GEN_OFF_STATE), 8)?;
                     }
                 }
+                self.register_retired_generations(heap)?;
                 Ok(true)
             }
             std::cmp::Ordering::Equal => {
@@ -1673,14 +1799,18 @@ mod tests {
         assert!(kv.put(0, 1, 7, 70).unwrap());
         assert!(kv.cas(0, 2, 7, 70, 71).unwrap());
         assert_eq!(kv.get(7).unwrap(), Some(71));
-        // Every per-op mutation is a singleton group commit: all of its
-        // effects are durable before it returns.
+        // Every per-op mutation runs lock-free detectable publication:
+        // record, tail and head are all durable before it returns.
         pmem.crash_now(0, 0.0);
         let pmem2 = pmem.reopen().unwrap();
         let kv2 = PKvStore::open(pmem2, kv.base(), KvVariant::Nsrl).unwrap();
         assert_eq!(kv2.get(7).unwrap(), Some(71));
         assert_eq!(kv2.log_reserved().unwrap(), 2);
-        assert_eq!(kv2.flush_epoch().unwrap(), 2, "one epoch per commit");
+        // The flush epoch counts *group commits*; lock-free per-op
+        // publication is epoch-free — its durability is detectable
+        // per record from the log evidence.
+        assert_eq!(kv2.flush_epoch().unwrap(), 0, "no epochs without batches");
+        assert!(pmem.psan_violations().is_empty());
     }
 
     #[test]
@@ -1758,7 +1888,7 @@ mod tests {
         assert_eq!(out, vec![KvApplied::PrecondFailed]);
         let delta = pmem.stats().snapshot() - before;
         assert_eq!(delta.persists, 0, "nothing staged, nothing persisted");
-        assert_eq!(kv.flush_epoch().unwrap(), 1, "no epoch for empty commits");
+        assert_eq!(kv.flush_epoch().unwrap(), 0, "no epoch for empty commits");
     }
 
     #[test]
@@ -2263,6 +2393,192 @@ mod tests {
             }
         });
         assert_eq!(kv.get(0).unwrap(), Some(4 * per));
+    }
+
+    #[test]
+    fn buffered_crash_point_enumeration_put_recovers_exactly_once() {
+        // The lock-free detectable path, cut at every persistence
+        // event: reserve CAS, record write, record flush, tail flush,
+        // head CAS, head flush. Wherever the crash lands, the evidence
+        // scan answers exactly-once.
+        let probe = || buffered_fixture(4, 16);
+        let (pmem, _, kv) = probe();
+        let e0 = pmem.events();
+        assert!(kv.put(0, 1, 7, 77).unwrap());
+        let total = pmem.events() - e0;
+        assert!(total >= 5, "reserve + record + 3 flushes + head CAS");
+
+        for k in 0..total {
+            let (pmem, _, kv) = probe();
+            pmem.arm_failpoint(FailPlan::after_events(k));
+            let err = kv.put(0, 1, 7, 77).unwrap_err();
+            assert!(err.is_crash());
+            let pmem2 = pmem.reopen().unwrap();
+            let kv2 = PKvStore::open(pmem2.clone(), kv.base(), KvVariant::Nsrl).unwrap();
+            assert!(kv2.recover_put(0, 1, 7, 77).unwrap(), "crash at event {k}");
+            assert_eq!(kv2.get(7).unwrap(), Some(77), "crash at event {k}");
+            let published: usize = kv2.snapshot().unwrap().iter().map(Vec::len).sum();
+            assert_eq!(published, 1, "crash at event {k}: exactly one record");
+            assert!(pmem2.psan_violations().is_empty(), "crash at event {k}");
+        }
+    }
+
+    #[test]
+    fn concurrent_buffered_mutators_lose_nothing() {
+        // The tentpole's point: several mutators inside ONE buffered
+        // shard, no lock, nothing lost, PSan clean.
+        let (pmem, _, kv) = buffered_fixture(16, 1024);
+        let writers = 4u64;
+        let per = 64u64;
+        std::thread::scope(|s| {
+            for w in 0..writers {
+                let kv = kv.clone();
+                s.spawn(move || {
+                    for i in 0..per {
+                        let key = w * per + i;
+                        assert!(kv.put(w, i + 1, key, key as i64).unwrap());
+                    }
+                });
+            }
+        });
+        let contents = kv.contents().unwrap();
+        assert_eq!(contents.len(), (writers * per) as usize);
+        for (k, v) in contents {
+            assert_eq!(k as i64, v);
+        }
+        assert!(pmem.psan_violations().is_empty());
+        // Everything published is already durable: a crash now loses
+        // nothing.
+        pmem.crash_now(0, 0.0);
+        let pmem2 = pmem.reopen().unwrap();
+        let kv2 = PKvStore::open(pmem2, kv.base(), KvVariant::Nsrl).unwrap();
+        assert_eq!(kv2.contents().unwrap().len(), (writers * per) as usize);
+    }
+
+    #[test]
+    fn concurrent_buffered_cas_applies_each_transition_once() {
+        let (pmem, _, kv) = buffered_fixture(4, 4096);
+        kv.put(0, 1, 0, 0).unwrap();
+        let per = 50i64;
+        std::thread::scope(|s| {
+            for w in 0..4u64 {
+                let kv = kv.clone();
+                s.spawn(move || {
+                    let mut seq = 1_000 * (w + 1);
+                    for _ in 0..per {
+                        loop {
+                            seq += 1;
+                            let cur = kv.get(0).unwrap().unwrap();
+                            if kv.cas(w, seq, 0, cur, cur + 1).unwrap() {
+                                break;
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(kv.get(0).unwrap(), Some(4 * per));
+        assert!(pmem.psan_violations().is_empty());
+    }
+
+    #[test]
+    fn compaction_quiesces_lock_free_mutators() {
+        // The machine-checked quiesce: compactions race four lock-free
+        // mutator threads on one buffered shard. Each compact() waits
+        // the in-flight mutators out through the region's gate, so the
+        // generation never moves under a publish and nothing is lost.
+        let pmem = PMemBuilder::new().len(1 << 20).psan(true).build_in_memory();
+        let heap = PHeap::format(pmem.clone(), POffset::new(0), 1 << 20).unwrap();
+        let kv = PKvStore::format(pmem.clone(), &heap, 8, 512, KvVariant::Nsrl).unwrap();
+        let writers = 4u64;
+        let per = 40u64;
+        std::thread::scope(|s| {
+            for w in 0..writers {
+                let kv = kv.clone();
+                s.spawn(move || {
+                    for i in 0..per {
+                        let key = w * per + i;
+                        assert!(kv.put(w, i + 1, key, key as i64).unwrap());
+                    }
+                });
+            }
+            let kv = kv.clone();
+            let heap = heap.clone();
+            s.spawn(move || {
+                for _ in 0..5 {
+                    kv.compact(&heap).unwrap();
+                    std::thread::yield_now();
+                }
+            });
+        });
+        let contents = kv.contents().unwrap();
+        assert_eq!(contents.len(), (writers * per) as usize);
+        for (k, v) in contents {
+            assert_eq!(k as i64, v);
+        }
+        assert!(kv.generation().unwrap() >= 5);
+        assert!(pmem.psan_violations().is_empty());
+    }
+
+    #[test]
+    fn early_publish_variant_flags_on_the_lock_free_path() {
+        // Negative control: skip the record persist before the head
+        // CAS and PSan must flag the publication — proof the
+        // durable-before-publish check covers the per-op path.
+        let pmem = PMemBuilder::new().len(1 << 19).psan(true).build_in_memory();
+        let heap = PHeap::format(pmem.clone(), POffset::new(0), 1 << 19).unwrap();
+        let kv = PKvStore::format(pmem.clone(), &heap, 4, 32, KvVariant::EarlyPublish).unwrap();
+        assert!(kv.put(0, 1, 7, 77).unwrap());
+        let violations = pmem.psan_violations();
+        assert!(
+            violations
+                .iter()
+                .any(|v| matches!(v.kind, pstack_nvram::PsanViolationKind::EarlyPublish { .. })),
+            "expected an EarlyPublish violation, got {violations:?}"
+        );
+        assert_eq!(violations[0].op_label, "kv.put");
+    }
+
+    #[test]
+    fn retired_generations_are_guarded_against_free() {
+        // Regression: `heap.free` on a retired generation block used to
+        // be a silent correctness bug only caught later by the witness
+        // walk. Compaction now registers the retired extent; the free
+        // fails typed, immediately.
+        let (pmem, heap, kv) = fixture(4, 32);
+        kv.put(0, 1, 7, 77).unwrap();
+        assert!(heap.retired_extents().is_empty());
+        kv.compact(&heap).unwrap();
+        let retired = heap.retired_extents();
+        assert_eq!(retired.len(), 1, "compact registers the old generation");
+        let (start, _) = retired[0];
+        assert!(matches!(
+            heap.free(POffset::new(start)),
+            Err(pstack_heap::HeapError::RetiredExtent { .. })
+        ));
+
+        // The registry is volatile: after a crash, recover_compact (or
+        // register_retired_generations) re-arms it over the reopened
+        // heap before any client could free retained evidence.
+        pmem.crash_now(0, 0.0);
+        let pmem2 = pmem.reopen().unwrap();
+        let heap2 = PHeap::open(pmem2.clone(), POffset::new(0)).unwrap();
+        assert!(
+            heap2.retired_extents().is_empty(),
+            "volatile, like the free list"
+        );
+        let kv2 = PKvStore::open(pmem2, kv.base(), KvVariant::Nsrl).unwrap();
+        assert!(kv2.recover_compact(&heap2, 0).unwrap());
+        assert_eq!(heap2.retired_extents(), retired);
+        assert!(matches!(
+            heap2.free(POffset::new(start)),
+            Err(pstack_heap::HeapError::RetiredExtent { .. })
+        ));
+        // And the explicit helper covers plain reopens too (idempotent
+        // over the recover_compact registration above).
+        assert_eq!(kv2.generations().unwrap().len(), 2);
+        kv2.register_retired_generations(&heap2).unwrap();
+        assert_eq!(heap2.retired_extents(), retired);
     }
 
     #[test]

@@ -21,10 +21,10 @@
 
 use std::collections::HashMap;
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
 
-use parking_lot::{FairMutex, Mutex, MutexGuard};
+use parking_lot::FairMutex;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -260,6 +260,7 @@ impl PMemBuilder {
                 psan: self.psan.then(|| Arc::new(PsanCell::new(self.line_size))),
                 tlabel: AtomicU32::new(pstack_telemetry::intern("region")),
                 crashed: AtomicBool::new(false),
+                crash_stamp: AtomicU64::new(0),
                 stats: MemStats::default(),
                 state: FairMutex::new(State {
                     image,
@@ -267,7 +268,7 @@ impl PMemBuilder {
                     backend,
                     fail: FailState::default(),
                 }),
-                advisory: Mutex::new(()),
+                gate: MutatorGate::new(),
             }),
         }
     }
@@ -295,11 +296,86 @@ struct Inner {
     /// and crash events (0 = the generic "region" label).
     tlabel: AtomicU32,
     crashed: AtomicBool,
+    /// Position of this region's death on the process-wide crash clock
+    /// (0 = never crashed this boot). See [`PMem::crash_stamp`].
+    crash_stamp: AtomicU64,
     stats: MemStats,
     state: FairMutex<State>,
-    /// Advisory region-scoped lock for cooperating writers (see
-    /// [`PMem::advisory_lock`]); never taken by `PMem` itself.
-    advisory: Mutex<()>,
+    /// Region-scoped mutator/quiesce gate (see [`PMem::mutator_enter`]
+    /// and [`PMem::quiesce`]); never taken by `PMem` itself.
+    gate: MutatorGate,
+}
+
+/// Process-wide monotonic clock of crash observations: every region
+/// death draws the next tick, so near-simultaneous multi-region
+/// failures stay totally ordered by who observed its crash first.
+static CRASH_CLOCK: AtomicU64 = AtomicU64::new(0);
+
+/// The region's volatile mutator/quiesce gate: lock-free mutators
+/// register while they run the reserve → persist → publish hot path;
+/// exclusive sections (group commits, compaction) close the gate and
+/// wait the registered epoch out. Shared by every handle on the region
+/// (clones and independent opens); purely volatile, reset on reopen.
+struct MutatorGate {
+    state: StdMutex<GateState>,
+    cv: Condvar,
+}
+
+#[derive(Default)]
+struct GateState {
+    /// Lock-free mutators currently inside the hot path.
+    active: u64,
+    /// `true` while an exclusive section holds the gate closed.
+    exclusive: bool,
+    /// Bumped on every mutator registration — the per-region epoch
+    /// counter exclusive sections wait out.
+    epoch: u64,
+}
+
+impl MutatorGate {
+    fn new() -> Self {
+        MutatorGate {
+            state: StdMutex::new(GateState::default()),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, GateState> {
+        self.state.lock().expect("mutator gate poisoned")
+    }
+}
+
+/// RAII registration of one lock-free mutator (see
+/// [`PMem::mutator_enter`]). Dropping it deregisters the mutator and
+/// wakes any exclusive section waiting for the region to quiesce.
+pub struct MutatorGuard<'a> {
+    gate: &'a MutatorGate,
+}
+
+impl Drop for MutatorGuard<'_> {
+    fn drop(&mut self) {
+        let mut st = self.gate.lock();
+        st.active -= 1;
+        if st.active == 0 {
+            self.gate.cv.notify_all();
+        }
+    }
+}
+
+/// RAII exclusive section (see [`PMem::quiesce`]): while it lives, no
+/// lock-free mutator is registered on the region and none can enter.
+/// Dropping it reopens the gate.
+pub struct QuiesceGuard<'a> {
+    gate: &'a MutatorGate,
+}
+
+impl Drop for QuiesceGuard<'_> {
+    fn drop(&mut self) {
+        let mut st = self.gate.lock();
+        st.exclusive = false;
+        drop(st);
+        self.gate.cv.notify_all();
+    }
 }
 
 /// Handle to an emulated NVRAM region. Cheap to clone; all clones refer
@@ -355,21 +431,80 @@ impl PMem {
         &self.inner.stats
     }
 
-    /// Acquires the region's **advisory** lock. `PMem` never takes it
-    /// itself; it exists so cooperating writers that need atomicity
-    /// across *multiple* accesses (e.g. the KV store's group commit,
-    /// which must not interleave with another commit's stage/publish
-    /// phases) can serialize per region rather than per handle — any
-    /// number of handles opened from the same region share it. Purely
-    /// volatile: not part of the persistent image, reset on reopen.
-    pub fn advisory_lock(&self) -> MutexGuard<'_, ()> {
-        self.inner.advisory.lock()
+    /// Registers the calling thread as a **lock-free mutator** on this
+    /// region for the lifetime of the returned guard. `PMem` never
+    /// registers itself; the gate exists so cooperating writers running
+    /// a multi-access lock-free protocol (e.g. the KV store's
+    /// reserve → persist → publish hot path) can be *machine-checked*
+    /// against exclusive sections: while any mutator is registered,
+    /// [`PMem::quiesce`] blocks, and while an exclusive section holds
+    /// the gate, this call blocks. Any number of handles opened from
+    /// the same region share the gate — clones and independent opens.
+    /// Purely volatile: not part of the persistent image, reset on
+    /// reopen. Re-registering from the same thread while it already
+    /// holds a guard is fine; holding a guard across a call to
+    /// [`PMem::quiesce`] on the same thread deadlocks.
+    pub fn mutator_enter(&self) -> MutatorGuard<'_> {
+        let gate = &self.inner.gate;
+        let mut st = gate.lock();
+        while st.exclusive {
+            st = gate.cv.wait(st).expect("mutator gate poisoned");
+        }
+        st.active += 1;
+        st.epoch += 1;
+        MutatorGuard { gate }
+    }
+
+    /// Closes the region's mutator gate and waits the current epoch
+    /// out: when this returns, **no** lock-free mutator is registered
+    /// and none can register until the guard drops. Exclusive sections
+    /// (group commits, compaction) serialize with each other through
+    /// the same gate. This is the machine-checked replacement for the
+    /// old caller-promised advisory-lock quiescence discipline.
+    pub fn quiesce(&self) -> QuiesceGuard<'_> {
+        let gate = &self.inner.gate;
+        let mut st = gate.lock();
+        while st.exclusive {
+            st = gate.cv.wait(st).expect("mutator gate poisoned");
+        }
+        st.exclusive = true;
+        while st.active > 0 {
+            st = gate.cv.wait(st).expect("mutator gate poisoned");
+        }
+        QuiesceGuard { gate }
+    }
+
+    /// Number of lock-free mutators currently registered on the region.
+    #[must_use]
+    pub fn active_mutators(&self) -> u64 {
+        self.inner.gate.lock().active
+    }
+
+    /// The region's mutator epoch: bumped on every
+    /// [`PMem::mutator_enter`]. An unchanged epoch across an interval
+    /// proves no mutator entered in between.
+    #[must_use]
+    pub fn mutator_epoch(&self) -> u64 {
+        self.inner.gate.lock().epoch
     }
 
     /// `true` once a crash has been injected and until [`PMem::reopen`].
     #[must_use]
     pub fn is_crashed(&self) -> bool {
         self.inner.crashed.load(Ordering::SeqCst)
+    }
+
+    /// This region's position on the process-wide crash clock: every
+    /// region death draws the next monotonic tick, so when several
+    /// regions die in one window the *first observer* carries the
+    /// smallest stamp. `None` until the region crashes; reset by
+    /// [`PMem::reopen`].
+    #[must_use]
+    pub fn crash_stamp(&self) -> Option<u64> {
+        match self.inner.crash_stamp.load(Ordering::SeqCst) {
+            0 => None,
+            stamp => Some(stamp),
+        }
     }
 
     /// Which durable backend the region uses.
@@ -491,6 +626,7 @@ impl PMem {
     pub fn write(&self, off: POffset, data: &[u8]) -> Result<(), MemError> {
         self.check_alive()?;
         self.check_bounds(off, data.len())?;
+        let mut round_trip = None;
         {
             let mut st = self.inner.state.lock();
             self.on_event(&mut st)?;
@@ -501,8 +637,13 @@ impl PMem {
                 psan.note_write(off.get(), data.len(), st.fail.events);
             }
             if self.inner.eager_flush {
-                self.persist_range_locked(&mut st, off.as_usize(), data.len())?;
+                let probe = pstack_telemetry::persist_probe();
+                let persisted = self.persist_range_locked(&mut st, off.as_usize(), data.len())?;
+                round_trip = Some((probe, persisted));
             }
+        }
+        if let Some((probe, persisted)) = round_trip {
+            self.settle_round_trip(probe, persisted);
         }
         self.maybe_jitter();
         Ok(())
@@ -560,27 +701,35 @@ impl PMem {
     pub fn flush(&self, off: POffset, len: usize) -> Result<(), MemError> {
         self.check_alive()?;
         self.check_bounds(off, len)?;
-        {
+        // Telemetry round-trip timer: a no-op unless recording (and
+        // compiled away entirely without the `telemetry` feature).
+        let probe = pstack_telemetry::persist_probe();
+        let persisted = {
             let mut st = self.inner.state.lock();
             MemStats::bump(&self.inner.stats.flush_calls);
-            self.persist_range_locked(&mut st, off.as_usize(), len)?;
-        }
+            self.persist_range_locked(&mut st, off.as_usize(), len)?
+        };
+        self.settle_round_trip(probe, persisted);
         self.maybe_jitter();
         Ok(())
     }
 
+    /// The locked half of a persist round-trip: drains the dirty lines
+    /// covering the range into the backend and returns how many lines
+    /// persisted. The per-round-trip device latency is paid by
+    /// [`PMem::settle_round_trip`] **after** the region lock is
+    /// released, so concurrent mutators' round-trips on one region
+    /// overlap (a queued-command device: the data is durable when the
+    /// command is accepted here; the latency is the completion wait).
     fn persist_range_locked(
         &self,
         st: &mut State,
         start: usize,
         len: usize,
-    ) -> Result<(), MemError> {
+    ) -> Result<u64, MemError> {
         if len == 0 {
-            return Ok(());
+            return Ok(0);
         }
-        // Telemetry round-trip timer: a no-op unless recording (and
-        // compiled away entirely without the `telemetry` feature).
-        let probe = pstack_telemetry::persist_probe();
         let line = self.inner.line_size;
         let first = start / line;
         let last = (start + len - 1) / line;
@@ -628,10 +777,18 @@ impl PMem {
             // now ordered, i.e. durable.
             psan.note_flush_complete(st.fail.events);
         }
+        Ok(persisted)
+    }
+
+    /// The unlocked half of a persist round-trip: pays the emulated
+    /// per-round-trip device latency and records the telemetry probe.
+    /// Called with the region lock released — round-trips issued by
+    /// concurrent threads on the same region wait out their latency in
+    /// parallel, which is what lets a single hot shard scale with
+    /// mutator threads.
+    fn settle_round_trip(&self, probe: pstack_telemetry::PersistProbe, persisted: u64) {
         if persisted > 0 {
             if let Some(latency) = self.inner.flush_latency {
-                // The per-round-trip command cost, paid with the
-                // region locked: the device is busy for the duration.
                 std::thread::sleep(latency);
             }
         }
@@ -641,7 +798,6 @@ impl PMem {
             self.inner.tlabel.load(Ordering::Relaxed),
             persisted as usize,
         );
-        Ok(())
     }
 
     /// Accounts one persist round-trip that made `lines` lines durable:
@@ -722,11 +878,43 @@ impl PMem {
             psan.note_cas_publish(off.get(), new, st.fail.events);
         }
         if self.inner.eager_flush {
-            self.persist_range_locked(&mut st, off.as_usize(), new.len())?;
+            let probe = pstack_telemetry::persist_probe();
+            let persisted = self.persist_range_locked(&mut st, off.as_usize(), new.len())?;
+            drop(st);
+            self.settle_round_trip(probe, persisted);
+        } else {
+            drop(st);
         }
-        drop(st);
         self.maybe_jitter();
         Ok(true)
+    }
+
+    /// Atomic read-modify-write of the `u64` at `off` via a CAS-retry
+    /// loop — the fetch-add-style primitive lock-free reservation
+    /// protocols build on. `f` maps the current value to the desired
+    /// new one; returning `None` aborts. Returns `Ok(previous)` when an
+    /// update was installed and `Err(current)` when `f` declined.
+    ///
+    /// The update is volatile like any CAS: its durability still takes
+    /// a flush of the covering line.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::Crashed`] or [`MemError::OutOfBounds`].
+    #[allow(clippy::missing_panics_doc)] // read_u64's slice conversion cannot fail
+    pub fn fetch_update<F>(&self, off: POffset, mut f: F) -> Result<Result<u64, u64>, MemError>
+    where
+        F: FnMut(u64) -> Option<u64>,
+    {
+        loop {
+            let current = self.read_u64(off)?;
+            let Some(new) = f(current) else {
+                return Ok(Err(current));
+            };
+            if self.compare_exchange(off, &current.to_le_bytes(), &new.to_le_bytes())? {
+                return Ok(Ok(current));
+            }
+        }
     }
 
     /// Injects a crash: each dirty line independently survives (is
@@ -745,6 +933,14 @@ impl PMem {
 
     fn crash_locked(&self, st: &mut State, seed: u64, survival_prob: f64) {
         self.inner.crashed.store(true, Ordering::SeqCst);
+        // First observation wins the stamp: a region that somehow dies
+        // twice in one boot keeps its original position on the clock.
+        let _ = self.inner.crash_stamp.compare_exchange(
+            0,
+            CRASH_CLOCK.fetch_add(1, Ordering::SeqCst) + 1,
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        );
         st.fail.disarm();
         MemStats::bump(&self.inner.stats.crashes);
         let line = self.inner.line_size;
@@ -816,8 +1012,9 @@ impl PMem {
                 flush_latency: self.inner.flush_latency,
                 psan: self.inner.psan.clone(),
                 tlabel: AtomicU32::new(self.inner.tlabel.load(Ordering::Relaxed)),
-                advisory: Mutex::new(()),
+                gate: MutatorGate::new(),
                 crashed: AtomicBool::new(false),
+                crash_stamp: AtomicU64::new(0),
                 stats: MemStats::default(),
                 state: FairMutex::new(State {
                     image,
@@ -1644,5 +1841,117 @@ mod tests {
                 i as u64 + 1
             );
         }
+    }
+
+    #[test]
+    fn fetch_update_installs_and_declines() {
+        let p = small();
+        p.write_u64(POffset::new(0), 5).unwrap();
+        // Install: bump by one, observing the previous value.
+        assert_eq!(
+            p.fetch_update(POffset::new(0), |v| Some(v + 1)).unwrap(),
+            Ok(5)
+        );
+        assert_eq!(p.read_u64(POffset::new(0)).unwrap(), 6);
+        // Decline: `None` aborts and reports what was seen.
+        assert_eq!(
+            p.fetch_update(POffset::new(0), |v| if v >= 6 { None } else { Some(v) })
+                .unwrap(),
+            Err(6)
+        );
+        assert_eq!(p.read_u64(POffset::new(0)).unwrap(), 6);
+    }
+
+    #[test]
+    fn fetch_update_is_atomic_under_contention() {
+        let p = small();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let p = p.clone();
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        let _ = p.fetch_update(POffset::new(0), |v| Some(v + 1)).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(p.read_u64(POffset::new(0)).unwrap(), 400);
+    }
+
+    #[test]
+    fn quiesce_waits_out_active_mutators() {
+        let p = small();
+        let entered = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let release = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        std::thread::scope(|s| {
+            {
+                let p = p.clone();
+                let entered = entered.clone();
+                let release = release.clone();
+                s.spawn(move || {
+                    let _m = p.mutator_enter();
+                    entered.store(true, Ordering::SeqCst);
+                    while !release.load(Ordering::SeqCst) {
+                        std::thread::yield_now();
+                    }
+                });
+            }
+            while !entered.load(Ordering::SeqCst) {
+                std::thread::yield_now();
+            }
+            assert_eq!(p.active_mutators(), 1);
+            // Quiesce must not return while the mutator is inside; let
+            // it out from a third thread after a short delay.
+            {
+                let release = release.clone();
+                s.spawn(move || {
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                    release.store(true, Ordering::SeqCst);
+                });
+            }
+            let g = p.quiesce();
+            assert_eq!(p.active_mutators(), 0);
+            assert!(release.load(Ordering::SeqCst), "quiesce returned early");
+            drop(g);
+        });
+        // Epoch advanced once per mutator entry.
+        assert_eq!(p.mutator_epoch(), 1);
+    }
+
+    #[test]
+    fn mutators_block_while_quiesced() {
+        let p = small();
+        let g = p.quiesce();
+        let progressed = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        std::thread::scope(|s| {
+            {
+                let p = p.clone();
+                let progressed = progressed.clone();
+                s.spawn(move || {
+                    let _m = p.mutator_enter();
+                    progressed.store(true, Ordering::SeqCst);
+                });
+            }
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            assert!(
+                !progressed.load(Ordering::SeqCst),
+                "mutator entered during quiesce"
+            );
+            drop(g);
+        });
+        assert!(progressed.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn crash_stamps_order_observations_globally() {
+        let a = small();
+        let b = small();
+        assert_eq!(a.crash_stamp(), None);
+        b.crash_now(0, 0.0);
+        a.crash_now(0, 0.0);
+        let (sa, sb) = (a.crash_stamp().unwrap(), b.crash_stamp().unwrap());
+        assert!(sb < sa, "b crashed first, must carry the earlier stamp");
+        // Reopen clears the stamp with the crashed flag.
+        assert_eq!(a.reopen().unwrap().crash_stamp(), None);
     }
 }

@@ -109,20 +109,26 @@ impl PMemStripe {
             .collect()
     }
 
-    /// Attribution of a partial failure: the lowest-indexed crashed
+    /// Attribution of a partial failure: the **first-observed** crashed
     /// region together with its frozen persistence-event counter (the
     /// counter stops advancing at the crash, so it records exactly how
     /// far that region got). `None` while no region has crashed.
     ///
-    /// Meaningful *before* the failure is propagated stripe-wide: after
-    /// [`PMemStripe::crash_all`] every region is crashed and the lowest
-    /// index no longer identifies the one that tripped first.
+    /// Each region records a monotonic observation stamp at the instant
+    /// its crash is first observed ([`PMem::crash_stamp`]); attribution
+    /// picks the earliest stamp, so with several near-simultaneous
+    /// region deaths the true first faller is named — not merely the
+    /// lowest-indexed casualty. Still most meaningful *before* the
+    /// failure is propagated stripe-wide: after
+    /// [`PMemStripe::crash_all`] every region is crashed, though the
+    /// original faller keeps the earliest stamp and stays attributed.
     #[must_use]
     pub fn crash_site(&self) -> Option<(usize, u64)> {
         self.regions
             .iter()
             .enumerate()
-            .find(|(_, r)| r.is_crashed())
+            .filter(|(_, r)| r.is_crashed())
+            .min_by_key(|(_, r)| r.crash_stamp().unwrap_or(u64::MAX))
             .map(|(i, r)| (i, r.events()))
     }
 
@@ -330,6 +336,30 @@ mod tests {
         s.crash_all(0, 0.0);
         assert!(s.all_crashed());
         assert_eq!(s.crashed_regions(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn crash_site_names_the_first_faller_not_the_lowest_index() {
+        // Two regions die in one window: region 2 trips first, region 0
+        // follows. Index order would blame region 0; the observation
+        // stamps name region 2.
+        let s = stripe(3);
+        s.region(2).write_u64(POffset::new(0), 1).unwrap();
+        s.region(2).crash_now(0, 1.0);
+        s.region(0).write_u64(POffset::new(0), 1).unwrap();
+        s.region(0).write_u64(POffset::new(8), 2).unwrap();
+        s.region(0).crash_now(0, 1.0);
+        assert_eq!(s.crashed_regions(), vec![0, 2]);
+        assert_eq!(
+            s.crash_site(),
+            Some((2, 1)),
+            "attribution must follow observation order, not index order"
+        );
+        // Propagating the failure stripe-wide keeps the original
+        // faller attributed: later stamps never displace the earliest.
+        s.crash_all(0, 0.0);
+        assert!(s.all_crashed());
+        assert_eq!(s.crash_site().map(|(i, _)| i), Some(2));
     }
 
     #[test]

@@ -134,6 +134,10 @@ pub struct ClientStats {
     pub retry_signals: u64,
     /// Ack frames sent (≥ `completed`; resends are idempotent).
     pub acks_sent: u64,
+    /// `Stale` responses observed — the server refused a
+    /// retransmission of an already-acked id. Zero for a client that
+    /// honours the retry contract.
+    pub stale_signals: u64,
 }
 
 #[derive(Debug)]
@@ -447,6 +451,13 @@ impl ClientSim {
                     resend_at: now + delay,
                     attempt,
                 };
+            }
+            (&Phase::AwaitOp { .. }, Response::Stale { .. }) => {
+                // The server says this id already executed and was
+                // acked — retransmitting it again can never succeed.
+                // Stop retrying; the counter flags the contract breach.
+                self.stats.stale_signals += 1;
+                self.phase = Phase::Idle;
             }
             (&Phase::AwaitAck { .. }, Response::AckOk { .. }) => {
                 self.stats.completed += 1;

@@ -13,7 +13,7 @@
 //!
 //! ```text
 //! [req_id u64][code u8][kind u8][executor u32][flag u8][got i64]   (23 bytes)
-//!   code: 0 Done · 1 Overloaded · 2 Retry · 3 AckOk
+//!   code: 0 Done · 1 Overloaded · 2 Retry · 3 AckOk · 4 Stale
 //! ```
 //!
 //! `req_id` is chosen by the client as `(client_id << 32) | seq` with
@@ -49,6 +49,7 @@ const CODE_DONE: u8 = 0;
 const CODE_OVERLOADED: u8 = 1;
 const CODE_RETRY: u8 = 2;
 const CODE_ACK_OK: u8 = 3;
+const CODE_STALE: u8 = 4;
 
 /// Builds the request id of client `client_id`'s `seq`-th request
 /// (`seq` starts at 1; id 0 is reserved for free table slots).
@@ -111,6 +112,13 @@ pub enum Response {
         /// The request acknowledged.
         req_id: u64,
     },
+    /// `req_id` was already acked and its slot recycled — the client
+    /// violated the retry contract by retransmitting it. The effect
+    /// executed exactly once long ago; there is nothing to retry.
+    Stale {
+        /// The stale request.
+        req_id: u64,
+    },
 }
 
 impl Response {
@@ -121,7 +129,8 @@ impl Response {
             Response::Done { req_id, .. }
             | Response::Overloaded { req_id }
             | Response::Retry { req_id }
-            | Response::AckOk { req_id } => req_id,
+            | Response::AckOk { req_id }
+            | Response::Stale { req_id } => req_id,
         }
     }
 }
@@ -224,6 +233,7 @@ pub fn encode_response(resp: &Response) -> [u8; RESPONSE_LEN] {
         Response::Overloaded { .. } => b[8] = CODE_OVERLOADED,
         Response::Retry { .. } => b[8] = CODE_RETRY,
         Response::AckOk { .. } => b[8] = CODE_ACK_OK,
+        Response::Stale { .. } => b[8] = CODE_STALE,
     }
     b
 }
@@ -271,6 +281,7 @@ pub fn decode_response(b: &[u8]) -> io::Result<Response> {
         CODE_OVERLOADED => Ok(Response::Overloaded { req_id }),
         CODE_RETRY => Ok(Response::Retry { req_id }),
         CODE_ACK_OK => Ok(Response::AckOk { req_id }),
+        CODE_STALE => Ok(Response::Stale { req_id }),
         other => Err(io::Error::new(
             io::ErrorKind::InvalidData,
             format!("unknown response code {other}"),
@@ -365,6 +376,7 @@ mod tests {
             Response::Overloaded { req_id: 1 },
             Response::Retry { req_id: 2 },
             Response::AckOk { req_id: 3 },
+            Response::Stale { req_id: 4 },
         ] {
             assert_eq!(decode_response(&encode_response(&resp)).unwrap(), resp);
         }

@@ -69,6 +69,10 @@ pub enum Submission {
     /// Shed: the shard's queue or request table is full. Respond
     /// `Overloaded`; the client backs off and retries.
     Overloaded,
+    /// Shed: the id was already acked and its slot recycled — a buggy
+    /// client broke the retry contract. Respond `Stale`; re-admitting
+    /// would re-execute an effect that already ran exactly once.
+    Stale,
 }
 
 /// One queued request, with the execution mode it must use.
@@ -372,6 +376,7 @@ impl ServerCore {
             ReqSubmit::Known { slot, answer: None } => (slot, true),
             ReqSubmit::Fresh(slot) => (slot, false),
             ReqSubmit::Full => return Ok(Submission::Overloaded),
+            ReqSubmit::Stale => return Ok(Submission::Stale),
         };
         let mut queued = sq.queued.lock().expect("queued set poisoned");
         if queued.contains(&req_id) {
@@ -510,6 +515,7 @@ impl ServerCore {
             }
             RequestBody::Op(op) => match self.submit(req_id, op)? {
                 Submission::Overloaded => Ok(Response::Overloaded { req_id }),
+                Submission::Stale => Ok(Response::Stale { req_id }),
                 Submission::Answered(answer) => Ok(Response::Done {
                     req_id,
                     kind: kind_of(op),
@@ -685,7 +691,7 @@ mod tests {
             {
                 Submission::Queued => queued += 1,
                 Submission::Overloaded => shed += 1,
-                Submission::Answered(_) => unreachable!("fresh ids"),
+                Submission::Answered(_) | Submission::Stale => unreachable!("fresh ids"),
             }
         }
         assert_eq!(queued, 4, "queue admits exactly its capacity");

@@ -24,7 +24,9 @@ use std::collections::{HashMap, HashSet};
 
 use proptest::prelude::*;
 
-use pstack_kv::{shard_of, KvRequestTable, KvTaskOp, KvVariant, ShardedKvStore};
+use pstack_kv::{
+    shard_of, KvRequestTable, KvTaskOp, KvTaskResult, KvVariant, ReqSubmit, ShardedKvStore,
+};
 use pstack_nvram::{PMem, PMemBuilder};
 use pstack_server::proto::{kind_of, req_id_for, RequestBody, Response};
 use pstack_server::{
@@ -155,6 +157,7 @@ fn drive(
                         answer,
                     }),
                     Submission::Overloaded => Some(Response::Overloaded { req_id: req.req_id }),
+                    Submission::Stale => Some(Response::Stale { req_id: req.req_id }),
                     Submission::Queued => None,
                 },
             };
@@ -380,6 +383,7 @@ proptest! {
                 Submission::Queued => queued.push(req_id),
                 Submission::Overloaded => shed.push(req_id),
                 Submission::Answered(_) => prop_assert!(false, "nothing pumped yet"),
+                Submission::Stale => prop_assert!(false, "nothing acked yet"),
             }
         }
         prop_assert_eq!(queued.len(), queue_capacity.min(flood as usize));
@@ -401,6 +405,9 @@ proptest! {
                         done.insert(req_id);
                     }
                     Submission::Queued | Submission::Overloaded => {}
+                    Submission::Stale => {
+                        prop_assert!(false, "no acks in this property");
+                    }
                 }
             }
             if done.len() == flood as usize {
@@ -412,5 +419,93 @@ proptest! {
 
         let tags = published_tags(&fixture.store)?;
         prop_assert_eq!(tags.len(), flood as usize);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Recycling × retransmission: three clients interleave advancing
+    /// their sequence numbers (submit → execute → ack, recycling
+    /// slots under churn) with buggy retransmissions of already-acked
+    /// ids. The table must never re-admit an acked id as `Fresh` —
+    /// every such retransmission is answered from surviving evidence
+    /// (`Known`) or shed as `Stale` — and each admitted request
+    /// executes exactly once, however small the table.
+    #[test]
+    fn recycled_retransmissions_are_never_readmitted(
+        capacity in 1u32..6,
+        steps in proptest::collection::vec(0u32..1_000_000, 20..120),
+    ) {
+        use std::collections::VecDeque;
+
+        use pstack_heap::PHeap;
+        use pstack_nvram::POffset;
+
+        let pmem = PMemBuilder::new()
+            .len(1 << 16)
+            .eager_flush(true)
+            .build_in_memory();
+        let heap = PHeap::format(pmem.clone(), POffset::new(0), 1 << 16).unwrap();
+        let table = KvRequestTable::format(pmem.clone(), &heap, capacity).unwrap();
+
+        // Per-client model. Acks pop in submission order, so a
+        // client's acked seqs are exactly the contiguous range
+        // `1..=acked_max`.
+        let mut next_seq = [1u32; 3];
+        let mut unacked: [VecDeque<u32>; 3] = Default::default();
+        let mut acked_max = [0u32; 3];
+        let mut executed = HashSet::new();
+
+        for v in steps {
+            let c = (v % 3) as usize;
+            let client = c as u32 + 1;
+            let kind = (v / 3) % 8;
+            if kind >= 6 && acked_max[c] > 0 {
+                // Buggy retransmission of an acked (possibly recycled)
+                // seq: shed or answered from evidence, never re-run.
+                let seq = (v / 24) % acked_max[c] + 1;
+                match table
+                    .submit(req_id_for(client, seq), KvTaskOp::Get { key: u64::from(seq) })
+                    .unwrap()
+                {
+                    ReqSubmit::Known { answer, .. } => {
+                        prop_assert!(answer.is_some(), "acked slots hold durable answers");
+                    }
+                    ReqSubmit::Stale => {}
+                    other => prop_assert!(false, "acked id re-admitted as {other:?}"),
+                }
+            } else if kind >= 4 && !unacked[c].is_empty() {
+                let seq = unacked[c].pop_front().unwrap();
+                prop_assert!(table.ack(req_id_for(client, seq)).unwrap());
+                acked_max[c] = acked_max[c].max(seq);
+            } else {
+                let seq = next_seq[c];
+                match table
+                    .submit(req_id_for(client, seq), KvTaskOp::Get { key: u64::from(seq) })
+                    .unwrap()
+                {
+                    ReqSubmit::Fresh(slot) => {
+                        prop_assert!(
+                            executed.insert((client, seq)),
+                            "({client}, {seq}) executed twice"
+                        );
+                        table.mark_done(slot, 0, KvTaskResult::Got(None)).unwrap();
+                        unacked[c].push_back(seq);
+                        next_seq[c] += 1;
+                    }
+                    // Unacked answers pin their slots until the
+                    // clients drain their ack queues.
+                    ReqSubmit::Full => prop_assert_eq!(table.live(), u64::from(capacity)),
+                    other => prop_assert!(false, "fresh id answered as {other:?}"),
+                }
+            }
+        }
+
+        // Exactly-once: every admitted id executed once, through
+        // however many recycles the churn forced.
+        let admitted: u32 = next_seq.iter().map(|&n| n - 1).sum();
+        prop_assert_eq!(executed.len() as u32, admitted);
+        prop_assert!(table.live_high_water() <= u64::from(capacity));
     }
 }

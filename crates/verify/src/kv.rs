@@ -1532,6 +1532,49 @@ mod tests {
     }
 
     #[test]
+    fn interleaved_multi_mutator_shard_histories_pass() {
+        // Lock-free shards publish records from several mutators
+        // directly onto the bucket chains, so one chain freely
+        // interleaves pids and their seqs arrive in publication order,
+        // not per-pid program order. The checker must accept any such
+        // interleaving — it keys everything on the (pid, seq) tags,
+        // never on per-pid ordering within a chain.
+        let history = KvShardedHistory {
+            ops: vec![
+                put(1, 1, 0, 10, true),
+                put(2, 1, 0, 20, true),
+                put(1, 2, 0, 30, true),
+                put(3, 1, 2, 5, true),
+                put(2, 2, 2, 6, true),
+                put(2, 3, 1, 7, true),
+                put(1, 3, 1, 8, true),
+                get(4, 1, 0, Some(30)),
+            ],
+            shards: vec![
+                vec![
+                    // Two mutators alternating on one key, a third
+                    // racing them on another key of the same shard.
+                    vec![rec(1, 1, 0, 10), rec(2, 1, 0, 20), rec(1, 2, 0, 30)],
+                    vec![rec(3, 1, 2, 5), rec(2, 2, 2, 6)],
+                ],
+                vec![vec![rec(2, 3, 1, 7), rec(1, 3, 1, 8)]],
+            ],
+        };
+        assert!(check_kv_sharded(&history, |key| (key % 2) as usize).is_linearizable());
+
+        // The tag bookkeeping stays global across the interleaving: a
+        // record double-published by two racing mutators is caught.
+        let mut dup = history;
+        dup.shards[0][1].push(rec(1, 1, 2, 10));
+        let verdict = check_kv_sharded(&dup, |key| (key % 2) as usize);
+        assert_eq!(
+            verdict.violation().unwrap().tag(),
+            (1, 1),
+            "duplicate application across chains must be named: {verdict:?}"
+        );
+    }
+
+    #[test]
     fn violations_display_nonempty() {
         let violations = [
             KvViolation::DuplicateApplication { tag: (0, 1) },

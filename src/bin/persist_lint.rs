@@ -1,6 +1,6 @@
 //! `persist-lint` — a text-based persist-discipline lint.
 //!
-//! Two rules, both heuristics over the source text (this is a lint,
+//! Three rules, all heuristics over the source text (this is a lint,
 //! not a verifier — PSan checks the semantics at runtime; this catches
 //! the layering and "wrote a commit point, forgot the flush" mistakes
 //! at review time, next to fmt and clippy in CI):
@@ -13,6 +13,13 @@
 //!   commit point (`root`, `head`, `epoch`, `selector` in the line)
 //!   with no `flush`/`persist`/`fence` in the following ten lines.
 //!   Publishing before persisting is the early-publish bug class.
+//! * `publish-before-persist` — a CAS (`compare_exchange` /
+//!   `fetch_update`) whose call names a commit point with no
+//!   `flush`/`persist`/`fence` in the *preceding* ten lines. A
+//!   lock-free publish makes its record reachable the instant the CAS
+//!   lands, so the evidence (record bytes, log tail) must already be
+//!   persistent — flushing after the CAS is too late on a buffered
+//!   region.
 //!
 //! A finding is waived by `// persist-lint: allow(<rule>) <reason>` on
 //! the flagged line or the line above it. Waivers are printed so they
@@ -41,6 +48,11 @@ const STORE_PATTERNS: &[&str] = &[
 ];
 const PUBLISH_NAMES: &[&str] = &["root", "head", "epoch", "selector"];
 const PERSIST_PATTERNS: &[&str] = &["flush(", "persist(", "fence("];
+// persist-lint: allow(publish-before-persist) the pattern table itself
+const CAS_PATTERNS: &[&str] = &[".compare_exchange(", ".fetch_update("];
+/// Lines after a CAS call scanned for publish names — rustfmt splits a
+/// call's operands across up to this many continuation lines.
+const CAS_SPAN: usize = 3;
 // persist-lint: allow(raw-backend) the pattern table itself, not a backend access
 const BACKEND_PATTERNS: &[&str] = &["Backend::", ".backend", ".image["];
 
@@ -113,6 +125,27 @@ fn lint_file(path: &Path, src: &str, out: &mut Vec<Finding>) {
                     text: (*raw).to_string(),
                     waived: waived(&lines, i, "publish-no-persist"),
                 });
+            }
+        }
+        if contains_any(code, CAS_PATTERNS) {
+            let span: String = lines[i..(i + 1 + CAS_SPAN).min(lines.len())]
+                .iter()
+                .map(|l| code_of(l).to_ascii_lowercase())
+                .collect::<Vec<_>>()
+                .join("\n");
+            if contains_any(&span, PUBLISH_NAMES) {
+                let persisted_before = lines[i.saturating_sub(WINDOW)..i]
+                    .iter()
+                    .any(|l| contains_any(code_of(l), PERSIST_PATTERNS));
+                if !persisted_before {
+                    out.push(Finding {
+                        file: path.to_path_buf(),
+                        line: i + 1,
+                        rule: "publish-before-persist",
+                        text: (*raw).to_string(),
+                        waived: waived(&lines, i, "publish-before-persist"),
+                    });
+                }
             }
         }
     }
