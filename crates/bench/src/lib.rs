@@ -39,6 +39,26 @@ pub fn report_persist_economy(label: &str, line_size: usize, delta: StatsSnapsho
         delta.coalesced_lines as f64 * line_size as f64 / ops,
         delta.redundant_persists as f64 / ops,
     );
+    // Pipeline economy: of the device latency charged to async
+    // flights, how much was hidden behind record building rather than
+    // waited out at the ticket. 1.0 = fully overlapped, 0.0 = the
+    // awaits absorbed every charged nanosecond (a synchronous pipeline
+    // in disguise). Only printed when flights were actually issued.
+    if delta.async_flushes > 0 {
+        let charged = delta.async_latency_charged_ns as f64;
+        let waited = delta.async_latency_waited_ns as f64;
+        let overlap = if charged > 0.0 {
+            (1.0 - waited / charged).max(0.0)
+        } else {
+            0.0
+        };
+        println!(
+            "{label:<55} pipeline: async_flushes/op={:.3} elided_lines/op={:.3} \
+             overlap_fraction={overlap:.3}",
+            delta.async_flushes as f64 / ops,
+            delta.elided_lines as f64 / ops,
+        );
+    }
 }
 
 /// Builds a region plus a heap occupying its upper half.

@@ -89,6 +89,11 @@ pub struct ServerCampaignConfig {
     pub queue_capacity: usize,
     /// Batch-window size: requests per group commit.
     pub batch: usize,
+    /// Route batch windows through the asynchronous flush pipeline
+    /// ([`ShardedKvStore::set_pipeline`]): record and log-tail
+    /// persists of concurrent windows ride overlapping `flush_async`
+    /// flights, and kills land while flights are still queued.
+    pub pipeline: bool,
     /// Per-shard request-table slots — the bound on outstanding or
     /// unacked requests per shard.
     pub table_cap: u32,
@@ -143,6 +148,7 @@ impl ServerCampaignConfig {
             variant: KvVariant::Nsrl,
             queue_capacity: 64,
             batch: 4,
+            pipeline: false,
             table_cap: 64,
             max_crashes: 8,
             crash_window: (8, 60),
@@ -169,6 +175,14 @@ impl ServerCampaignConfig {
     #[must_use]
     pub fn queue_capacity(mut self, queue_capacity: usize) -> Self {
         self.queue_capacity = queue_capacity;
+        self
+    }
+
+    /// Enables the asynchronous flush pipeline (see
+    /// [`ServerCampaignConfig::pipeline`]).
+    #[must_use]
+    pub fn pipeline(mut self, pipeline: bool) -> Self {
+        self.pipeline = pipeline;
         self
     }
 }
@@ -560,7 +574,8 @@ fn run_server_campaign_inner(cfg: &ServerCampaignConfig) -> Result<ServerCampaig
     let attach = |control: &PMem,
                   stripe: &PMemStripe|
      -> Result<(ShardedKvStore, KvServeFunction, StripedRuntime), PError> {
-        let store = ShardedKvStore::open(stripe.regions(), cfg.variant)?;
+        let mut store = ShardedKvStore::open(stripe.regions(), cfg.variant)?;
+        store.set_pipeline(cfg.pipeline);
         let tables = open_req_tables(stripe)?;
         let registry = make_registry(&store, &tables)?;
         let rt = StripedRuntime::open(control.clone(), stripe.clone(), &registry)?;
@@ -569,7 +584,8 @@ fn run_server_campaign_inner(cfg: &ServerCampaignConfig) -> Result<ServerCampaig
     };
     let reboot = |rt: &StripedRuntime| -> Result<(PMem, PMemStripe), PError> {
         let next = rt.reopen_all_with(|_, stripe| {
-            let store = ShardedKvStore::open(stripe.regions(), cfg.variant)?;
+            let mut store = ShardedKvStore::open(stripe.regions(), cfg.variant)?;
+            store.set_pipeline(cfg.pipeline);
             let tables = open_req_tables(stripe)?;
             make_registry(&store, &tables)
         })?;
@@ -846,6 +862,28 @@ mod tests {
             "kills must land inside recovery passes too"
         );
         println!("server campaign gate: {cycles} cycles across {campaigns} campaigns");
+    }
+
+    #[test]
+    fn pipelined_server_campaign_exactly_once_under_live_load() {
+        // The same exactly-once contract with batch windows riding the
+        // async flush pipeline: windows of all shards are staged and
+        // begun before any commits, so kills land while several shards
+        // hold un-awaited flights.
+        let cfg = ServerCampaignConfig::new(4, 20, 33).pipeline(true);
+        let report = run_server_campaign(&cfg).unwrap();
+        assert!(report.is_linearizable(), "verdict: {:?}", report.verdict);
+        assert!(report.crashes > 0, "kills must land under live load");
+        assert_eq!(report.client_stats.completed, 80);
+        assert!(
+            report.stats.async_flushes > 0,
+            "batch windows never rode the pipeline"
+        );
+        assert!(
+            report.psan_violations.is_empty(),
+            "sanitizer findings: {:?}",
+            report.psan_violations
+        );
     }
 
     #[test]

@@ -84,5 +84,6 @@ pub use funcs::{
 pub use reqtable::{KvRequestTable, ReqSubmit};
 pub use shard::{shard_of, KvBatch, ShardedKvStore};
 pub use store::{
-    CompactionStats, GenerationInfo, KvApplied, KvBatchOp, KvVariant, PKvStore, VersionRecord,
+    CompactionStats, GenerationInfo, KvApplied, KvBatchOp, KvPendingBatch, KvVariant, PKvStore,
+    VersionRecord,
 };

@@ -220,6 +220,25 @@ impl ShardedKvStore {
         self.shards[0].is_eager()
     }
 
+    /// Enables or disables the asynchronous flush pipeline on every
+    /// shard ([`PKvStore::set_pipeline`]). A pipelined cross-shard
+    /// [`KvBatch::commit`] additionally *begins* every touched shard's
+    /// group commit before committing any of them, so the shards'
+    /// flush flights overlap across regions, not just within one.
+    /// Ignored on an eager store.
+    pub fn set_pipeline(&mut self, on: bool) {
+        for shard in &mut self.shards {
+            shard.set_pipeline(on);
+        }
+    }
+
+    /// `true` when the shards overlap persist round-trips through the
+    /// asynchronous flush pipeline.
+    #[must_use]
+    pub fn is_pipelined(&self) -> bool {
+        self.shards[0].is_pipelined()
+    }
+
     fn route(&self, key: u64) -> &PKvStore {
         &self.shards[self.shard_of(key)]
     }
@@ -506,6 +525,23 @@ impl KvBatch<'_> {
             entry.1.push(op);
         }
         let mut outcomes = vec![KvApplied::PrecondFailed; self.ops.len()];
+        if self.store.is_pipelined() {
+            // Pipelined: begin every touched shard's group commit first
+            // — each begin issues its record/tail flights and returns —
+            // then commit them in shard order. All shards' round-trips
+            // overlap instead of each shard paying its own serially.
+            let mut pending = Vec::with_capacity(per_shard.len());
+            for (shard, (indexes, ops)) in &per_shard {
+                pending.push((indexes, self.store.shard(*shard).apply_batch_begin(ops)?));
+            }
+            for (indexes, batch) in pending {
+                let shard_outcomes = batch.commit()?;
+                for (&i, outcome) in indexes.iter().zip(shard_outcomes) {
+                    outcomes[i] = outcome;
+                }
+            }
+            return Ok(outcomes);
+        }
         for (shard, (indexes, ops)) in per_shard {
             let shard_outcomes = self.store.shard(shard).apply_batch(&ops)?;
             for (i, outcome) in indexes.into_iter().zip(shard_outcomes) {
@@ -802,6 +838,34 @@ mod tests {
         assert_eq!(kv.contents().unwrap().len(), 1024);
         let agg: u64 = kv.flush_epochs().unwrap().iter().sum();
         assert!(agg > 0);
+    }
+
+    #[test]
+    fn pipelined_cross_shard_batch_overlaps_flights_and_stays_clean() {
+        let stripe = PMemBuilder::new().len(1 << 18).psan(true).build_striped(4);
+        let mut kv = ShardedKvStore::format(stripe.regions(), 8, 64, KvVariant::Nsrl).unwrap();
+        kv.set_pipeline(true);
+        assert!(kv.is_pipelined());
+        let mut batch = kv.batch();
+        for key in 0..32u64 {
+            batch.put(0, key + 1, key, key as i64);
+        }
+        batch.cas(0, 100, 5, 5, 50);
+        batch.delete(0, 101, 6);
+        let outcomes = batch.commit().unwrap();
+        assert!(outcomes.iter().all(|o| o.took_effect()));
+        assert_eq!(kv.get(5).unwrap(), Some(50));
+        assert_eq!(kv.get(6).unwrap(), None);
+        for (s, epoch) in kv.flush_epochs().unwrap().into_iter().enumerate() {
+            assert_eq!(epoch, 1, "shard {s} must commit exactly once");
+        }
+        let agg = stripe.aggregate_stats();
+        assert!(agg.async_flushes >= 8, "records + tail flights per shard");
+        stripe.crash_all(3, 0.0);
+        let stripe2 = stripe.reopen_all().unwrap();
+        let kv2 = ShardedKvStore::open(stripe2.regions(), KvVariant::Nsrl).unwrap();
+        assert_eq!(kv2.contents().unwrap().len(), 31);
+        assert!(stripe2.psan_violations().is_empty());
     }
 
     #[test]

@@ -110,7 +110,7 @@
 
 use pstack_core::PError;
 use pstack_heap::PHeap;
-use pstack_nvram::{op_label, MemError, PMem, POffset, RootCell};
+use pstack_nvram::{op_label, FlushTicket, MemError, PMem, POffset, QuiesceGuard, RootCell};
 use std::collections::BTreeMap;
 
 const KV_MAGIC: u64 = 0x5053_4B56_5354_4F32; // "PSKVSTO2" (generational)
@@ -467,6 +467,86 @@ pub struct PKvStore {
     /// detectable publication, group commits quiesce the region —
     /// through the mutator gate shared by every handle on the region).
     eager: bool,
+    /// Volatile knob ([`PKvStore::set_pipeline`]): `true` routes group
+    /// commits and compaction through the asynchronous flush pipeline
+    /// ([`PMem::flush_async`] tickets) so persist round-trips overlap.
+    /// Off by default — the synchronous path is the measured baseline.
+    pipeline: bool,
+}
+
+/// Phase-1 output of a group commit: records written (volatile), per
+/// touched bucket the durable pre-batch head and the staged head to
+/// publish, and the `[lo, hi]` slot span (`None` when nothing staged).
+struct StagedBatch {
+    outcomes: Vec<KvApplied>,
+    pre_heads: BTreeMap<u64, u64>,
+    staged_heads: BTreeMap<u64, u64>,
+    slots: Option<(u64, u64)>,
+}
+
+/// A group commit staged by [`PKvStore::apply_batch_begin`] whose
+/// record and log-tail persists are in flight as asynchronous flush
+/// commands. Holds the region quiesced until committed or dropped;
+/// nothing is visible (or recoverable) until [`KvPendingBatch::commit`]
+/// awaits the flights and publishes the bucket heads.
+#[must_use = "a pending batch publishes nothing until committed"]
+pub struct KvPendingBatch<'a> {
+    store: &'a PKvStore,
+    /// `None` on an eager store (ops were applied per-op in `begin`).
+    _quiesce: Option<QuiesceGuard<'a>>,
+    outcomes: Vec<KvApplied>,
+    pre_heads: BTreeMap<u64, u64>,
+    staged_heads: BTreeMap<u64, u64>,
+    slots: Option<(u64, u64)>,
+    tickets: Vec<FlushTicket>,
+}
+
+impl KvPendingBatch<'_> {
+    /// `true` when the batch staged at least one record, i.e. commit
+    /// has persists in flight and heads to publish.
+    #[must_use]
+    pub fn is_staged(&self) -> bool {
+        self.slots.is_some()
+    }
+
+    /// Awaits the in-flight persists and publishes the batch — phases
+    /// 3–5 of [`PKvStore::apply_batch`]. Outcomes are reported in
+    /// submission order, exactly as `apply_batch` would.
+    ///
+    /// # Errors
+    ///
+    /// A propagated crash (recover each op with its recovery dual
+    /// after restart).
+    pub fn commit(self) -> Result<Vec<KvApplied>, PError> {
+        let store = self.store;
+        let Some((lo, hi)) = self.slots else {
+            return Ok(self.outcomes);
+        };
+        // Drain every flight before any head can reach its records:
+        // both tickets ride overlapping round-trips, so this costs
+        // about one device latency, not one per flush.
+        for ticket in &self.tickets {
+            store.pmem.await_ticket(ticket)?;
+        }
+        // Phase 3 — publish: flip each touched bucket's head once, to
+        // the newest staged record (all-or-nothing per bucket).
+        for (&bucket, &new_head) in &self.staged_heads {
+            let expected = self.pre_heads[&bucket];
+            if !store.pmem.compare_exchange(
+                POffset::new(bucket),
+                &expected.to_le_bytes(),
+                &new_head.to_le_bytes(),
+            )? {
+                return Err(PError::CorruptStack(
+                    "bucket head moved under a group commit — every batched-store mutation \
+                     must register with the region's mutator gate"
+                        .into(),
+                ));
+            }
+        }
+        store.seal_batch(lo, hi, &self.staged_heads)?;
+        Ok(self.outcomes)
+    }
 }
 
 fn round64(v: u64) -> u64 {
@@ -622,6 +702,7 @@ impl PKvStore {
             nbuckets,
             variant,
             eager,
+            pipeline: false,
         }
     }
 
@@ -708,6 +789,28 @@ impl PKvStore {
     #[must_use]
     pub fn is_eager(&self) -> bool {
         self.eager
+    }
+
+    /// Enables or disables the asynchronous flush pipeline for this
+    /// handle (volatile; clones made *after* the call inherit it).
+    /// When on, [`PKvStore::apply_batch`] issues its record and
+    /// log-tail persists as overlapping [`PMem::flush_async`] flights
+    /// and awaits them together before publishing, and
+    /// [`PKvStore::compact`] overlaps the carry-block persist with
+    /// carry building. Durability ordering is unchanged — nothing is
+    /// published before its records' tickets complete — so the
+    /// evidence-scan recovery argument carries over verbatim; only the
+    /// wall-clock shape of a commit differs. Ignored on an eager store:
+    /// per-write durability leaves no round-trips to overlap.
+    pub fn set_pipeline(&mut self, on: bool) {
+        self.pipeline = on && !self.eager;
+    }
+
+    /// `true` when group commits and compaction overlap their persist
+    /// round-trips through the asynchronous flush pipeline.
+    #[must_use]
+    pub fn is_pipelined(&self) -> bool {
+        self.pipeline
     }
 
     /// Completed group commits since format — the persistent flush
@@ -1034,6 +1137,9 @@ impl PKvStore {
         if self.eager {
             return ops.iter().map(|&op| self.apply_one(op)).collect();
         }
+        if self.pipeline {
+            return self.apply_batch_begin(ops)?.commit();
+        }
         // Region-scoped (not handle-scoped): any handle opened on this
         // region — clone or independent `open` — quiesces here, and so
         // does `compact`; in-flight lock-free mutators are waited out,
@@ -1041,44 +1147,10 @@ impl PKvStore {
         // bucket head can move under the batch.
         let _serialize = self.pmem.quiesce();
         let gen = self.active_gen()?;
-        let mut outcomes = vec![KvApplied::PrecondFailed; ops.len()];
-        // Per touched bucket: the durable pre-batch head and the staged
-        // head the batch will publish.
-        let mut pre_heads: BTreeMap<u64, u64> = BTreeMap::new();
-        let mut staged_heads: BTreeMap<u64, u64> = BTreeMap::new();
-        let mut slots: Option<(u64, u64)> = None;
-
-        // Phase 1 — stage: resolve preconditions against the staged
-        // chain state, reserve slots, write records (volatile).
-        for (i, op) in ops.iter().enumerate() {
-            let (pid, seq, key, kind, value, precond) = op.parts();
-            let bucket = self.bucket_off(&gen, key).get();
-            let head = match staged_heads.get(&bucket) {
-                Some(&h) => h,
-                None => {
-                    let h = self.pmem.read_u64(POffset::new(bucket))?;
-                    pre_heads.insert(bucket, h);
-                    h
-                }
-            };
-            let Some(value) = self.resolve_value(head, key, value, &precond, gen.number)? else {
-                continue;
-            };
-            let Some(off) = self.reserve(&gen)? else {
-                outcomes[i] = KvApplied::LogFull;
-                continue;
-            };
-            self.write_record(off, kind, key, value, (pid, seq), head)?;
-            staged_heads.insert(bucket, off);
-            slots = Some(match slots {
-                None => (off, off),
-                Some((lo, hi)) => (lo.min(off), hi.max(off)),
-            });
-            outcomes[i] = KvApplied::Applied;
-        }
-        let Some((lo, hi)) = slots else {
+        let staged = self.stage_batch(&gen, ops)?;
+        let Some((lo, hi)) = staged.slots else {
             // Nothing staged: no records, no tail movement to persist.
-            return Ok(outcomes);
+            return Ok(staged.outcomes);
         };
 
         // Phase 2 — persist the records and the log tail with one
@@ -1097,8 +1169,8 @@ impl PKvStore {
         // Phase 3 — publish: flip each touched bucket's head once, to
         // the newest staged record. Intermediate staged heads are never
         // published, so per bucket the batch is all-or-nothing.
-        for (&bucket, &new_head) in &staged_heads {
-            let expected = pre_heads[&bucket];
+        for (&bucket, &new_head) in &staged.staged_heads {
+            let expected = staged.pre_heads[&bucket];
             if !self.pmem.compare_exchange(
                 POffset::new(bucket),
                 &expected.to_le_bytes(),
@@ -1112,6 +1184,64 @@ impl PKvStore {
             }
         }
 
+        self.seal_batch(lo, hi, &staged.staged_heads)?;
+        Ok(staged.outcomes)
+    }
+
+    /// Phase 1 of a group commit, shared by the synchronous and
+    /// pipelined paths: resolve preconditions against the staged chain
+    /// state, reserve slots, write records (volatile). The caller
+    /// holds the region quiesced.
+    fn stage_batch(&self, gen: &Gen, ops: &[KvBatchOp]) -> Result<StagedBatch, PError> {
+        let mut outcomes = vec![KvApplied::PrecondFailed; ops.len()];
+        // Per touched bucket: the durable pre-batch head and the staged
+        // head the batch will publish.
+        let mut pre_heads: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut staged_heads: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut slots: Option<(u64, u64)> = None;
+        for (i, op) in ops.iter().enumerate() {
+            let (pid, seq, key, kind, value, precond) = op.parts();
+            let bucket = self.bucket_off(gen, key).get();
+            let head = match staged_heads.get(&bucket) {
+                Some(&h) => h,
+                None => {
+                    let h = self.pmem.read_u64(POffset::new(bucket))?;
+                    pre_heads.insert(bucket, h);
+                    h
+                }
+            };
+            let Some(value) = self.resolve_value(head, key, value, &precond, gen.number)? else {
+                continue;
+            };
+            let Some(off) = self.reserve(gen)? else {
+                outcomes[i] = KvApplied::LogFull;
+                continue;
+            };
+            self.write_record(off, kind, key, value, (pid, seq), head)?;
+            staged_heads.insert(bucket, off);
+            slots = Some(match slots {
+                None => (off, off),
+                Some((lo, hi)) => (lo.min(off), hi.max(off)),
+            });
+            outcomes[i] = KvApplied::Applied;
+        }
+        Ok(StagedBatch {
+            outcomes,
+            pre_heads,
+            staged_heads,
+            slots,
+        })
+    }
+
+    /// Phases 4–5 of a group commit, shared by the synchronous and
+    /// pipelined paths. The caller has published the heads (phase 3)
+    /// with records and log tail already durable.
+    fn seal_batch(
+        &self,
+        lo: u64,
+        hi: u64,
+        staged_heads: &BTreeMap<u64, u64>,
+    ) -> Result<(), PError> {
         // Phase 4 — persist the heads: one flush spanning the touched
         // buckets (clean lines in between persist nothing, touched
         // lines coalesce).
@@ -1135,7 +1265,76 @@ impl PKvStore {
             .write_u64(self.base + OFF_FLUSH_EPOCH, epoch + 1)?;
         self.pmem.flush(self.base + OFF_FLUSH_EPOCH, 8)?;
         pstack_telemetry::flush_epoch(self.pmem.telemetry_label_id(), epoch + 1);
-        Ok(outcomes)
+        Ok(())
+    }
+
+    /// Stages a group commit and **issues** its record and log-tail
+    /// persists as asynchronous flush commands without publishing:
+    /// phase 1 of [`PKvStore::apply_batch`] plus a pipelined phase 2.
+    /// The two flights ride the device queue concurrently, so draining
+    /// them costs about one round-trip instead of two — and while they
+    /// are in flight the caller is free to build other work (another
+    /// shard's batch, the next batch's records) before making this one
+    /// visible with [`KvPendingBatch::commit`].
+    ///
+    /// The returned handle keeps the region quiesced. Dropping it
+    /// without committing abandons the staged records as unpublished
+    /// orphans — invisible to lookups, scans and recovery alike, the
+    /// same shape a pre-publish crash leaves.
+    ///
+    /// On an eager store the batch is applied per-op immediately and
+    /// the returned handle's commit is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// A propagated crash (recover each op with its recovery dual
+    /// after restart).
+    pub fn apply_batch_begin(&self, ops: &[KvBatchOp]) -> Result<KvPendingBatch<'_>, PError> {
+        if self.eager {
+            let outcomes = ops
+                .iter()
+                .map(|&op| self.apply_one(op))
+                .collect::<Result<Vec<_>, _>>()?;
+            return Ok(KvPendingBatch {
+                store: self,
+                _quiesce: None,
+                outcomes,
+                pre_heads: BTreeMap::new(),
+                staged_heads: BTreeMap::new(),
+                slots: None,
+                tickets: Vec::new(),
+            });
+        }
+        let quiesce = self.pmem.quiesce();
+        let gen = self.active_gen()?;
+        let staged = self.stage_batch(&gen, ops)?;
+        let mut tickets = Vec::new();
+        if let Some((lo, hi)) = staged.slots {
+            // Pipelined phase 2: issue the record-span and log-tail
+            // flights back to back; their round-trips overlap in the
+            // device queue. KvVariant::EarlyPublish omits the record
+            // flight (PSan's negative control), exactly as the
+            // synchronous path omits the record flush.
+            if self.variant != KvVariant::EarlyPublish {
+                tickets.push(
+                    self.pmem
+                        .flush_async(POffset::new(lo), (hi - lo + RECORD_STRIDE) as usize)?,
+                );
+            }
+            tickets.push(
+                self.pmem
+                    .flush_async(POffset::new(gen.base + GEN_OFF_LOG_TAIL), 8)?,
+            );
+        }
+        Ok(KvPendingBatch {
+            store: self,
+            _quiesce: Some(quiesce),
+            outcomes: staged.outcomes,
+            pre_heads: staged.pre_heads,
+            staged_heads: staged.staged_heads,
+            slots: staged.slots,
+            tickets,
+        })
     }
 
     /// Stores `value` under `key` as process `pid` with unique tag
@@ -1581,6 +1780,17 @@ impl PKvStore {
             number: gen.number + 1,
             log_cap: new_cap,
         };
+        // Pipelined compaction overlaps durability with building: every
+        // `CARRY_CHUNK` fully-written carry slots are issued as an
+        // asynchronous flush flight whose round-trip runs while later
+        // buckets are still being collected and written. The final
+        // whole-block flight below covers the prefix (header + bucket
+        // heads, written throughout this loop) and elides the lines
+        // already staged in these chunk flights.
+        let pipelined = self.pipeline && self.variant != KvVariant::NoPersistBeforeSwap;
+        const CARRY_CHUNK: u64 = 64;
+        let mut carry_tickets: Vec<FlushTicket> = Vec::new();
+        let mut issued_upto = 0u64;
         let mut slot = 0u64;
         for (b, keep) in live.iter().enumerate() {
             let mut head = 0u64;
@@ -1602,6 +1812,13 @@ impl PKvStore {
                 self.pmem
                     .write_u64(self.bucket_off_at(&new_gen, b as u64), head)?;
             }
+            if pipelined && slot - issued_upto >= CARRY_CHUNK {
+                carry_tickets.push(self.pmem.flush_async(
+                    POffset::new(self.record_off(&new_gen, issued_upto)),
+                    ((slot - issued_upto) * RECORD_STRIDE) as usize,
+                )?);
+                issued_upto = slot;
+            }
         }
         self.pmem
             .write_u64(POffset::new(nb + GEN_OFF_LOG_TAIL), live_total)?;
@@ -1613,7 +1830,20 @@ impl PKvStore {
         // control: the root swap below then commits a still-volatile
         // generation, which the sanitizer flags at the selector flip.
         let new_block_len = gen_prefix_len(self.nbuckets) + live_total * RECORD_STRIDE;
-        if self.variant != KvVariant::NoPersistBeforeSwap {
+        if pipelined {
+            // The final flight: the prefix (header + bucket heads) and
+            // any carries past the last full chunk. Carry lines already
+            // staged in the chunk flights are elided line by line, so
+            // no byte is persisted twice. Awaiting in issue order then
+            // drains the whole pipeline in about one round-trip.
+            carry_tickets.push(
+                self.pmem
+                    .flush_async(POffset::new(nb), new_block_len as usize)?,
+            );
+            for ticket in &carry_tickets {
+                self.pmem.await_ticket(ticket)?;
+            }
+        } else if self.variant != KvVariant::NoPersistBeforeSwap {
             self.pmem.flush(POffset::new(nb), new_block_len as usize)?;
         }
 
@@ -1790,6 +2020,169 @@ mod tests {
         let heap = PHeap::format(pmem.clone(), POffset::new(0), 1 << 19).unwrap();
         let kv = PKvStore::format(pmem.clone(), &heap, nbuckets, log_cap, KvVariant::Nsrl).unwrap();
         (pmem, heap, kv)
+    }
+
+    fn pipelined_fixture(nbuckets: u64, log_cap: u64) -> (PMem, PHeap, PKvStore) {
+        let (pmem, heap, mut kv) = buffered_fixture(nbuckets, log_cap);
+        kv.set_pipeline(true);
+        assert!(kv.is_pipelined());
+        (pmem, heap, kv)
+    }
+
+    #[test]
+    fn pipelined_batch_matches_synchronous_outcomes_and_state() {
+        let ops = [
+            KvBatchOp::Put {
+                pid: 0,
+                seq: 1,
+                key: 7,
+                value: 70,
+            },
+            KvBatchOp::Cas {
+                pid: 0,
+                seq: 2,
+                key: 7,
+                expected: 70,
+                new: 71,
+            },
+            KvBatchOp::Delete {
+                pid: 0,
+                seq: 3,
+                key: 9,
+            },
+            KvBatchOp::Put {
+                pid: 0,
+                seq: 4,
+                key: 8,
+                value: 80,
+            },
+        ];
+        let (_, _, sync_kv) = buffered_fixture(8, 64);
+        let (pmem, _, pipe_kv) = pipelined_fixture(8, 64);
+        let sync_out = sync_kv.apply_batch(&ops).unwrap();
+        let pipe_out = pipe_kv.apply_batch(&ops).unwrap();
+        assert_eq!(sync_out, pipe_out);
+        assert_eq!(sync_kv.contents().unwrap(), pipe_kv.contents().unwrap());
+        assert_eq!(pipe_kv.flush_epoch().unwrap(), 1);
+        assert_eq!(pmem.inflight_tickets(), 0, "commit drains its flights");
+        let snap = pmem.stats().snapshot();
+        assert!(snap.async_flushes >= 2, "records + tail rode flights");
+        // Everything the epoch advertises is durable.
+        pmem.crash_now(0, 0.0);
+        let pmem2 = pmem.reopen().unwrap();
+        let kv2 = PKvStore::open(pmem2.clone(), pipe_kv.base(), KvVariant::Nsrl).unwrap();
+        assert_eq!(kv2.get(7).unwrap(), Some(71));
+        assert_eq!(kv2.get(8).unwrap(), Some(80));
+        assert_eq!(kv2.flush_epoch().unwrap(), 1);
+        assert!(pmem2.psan_violations().is_empty());
+    }
+
+    #[test]
+    fn pipelined_batch_saves_a_round_trip() {
+        // With device latency L, a synchronous batch pays 4 round-trips
+        // (records, tail, heads, epoch); the pipeline overlaps records
+        // with the tail and pays ~3.
+        let lat = std::time::Duration::from_millis(5);
+        let mk = |pipeline: bool| {
+            let pmem = PMemBuilder::new()
+                .len(1 << 19)
+                .flush_latency(lat)
+                .build_in_memory();
+            let heap = PHeap::format(pmem.clone(), POffset::new(0), 1 << 19).unwrap();
+            let mut kv = PKvStore::format(pmem.clone(), &heap, 8, 64, KvVariant::Nsrl).unwrap();
+            kv.set_pipeline(pipeline);
+            let ops: Vec<KvBatchOp> = (0..16)
+                .map(|i| KvBatchOp::Put {
+                    pid: 0,
+                    seq: i + 1,
+                    key: i,
+                    value: i as i64,
+                })
+                .collect();
+            let t0 = std::time::Instant::now();
+            kv.apply_batch(&ops).unwrap();
+            t0.elapsed()
+        };
+        let sync = mk(false);
+        let pipe = mk(true);
+        assert!(sync >= lat * 4, "sync batch pays 4 round-trips: {sync:?}");
+        assert!(
+            pipe < sync - lat / 2,
+            "pipeline must save most of a round-trip: sync {sync:?} vs pipelined {pipe:?}"
+        );
+    }
+
+    #[test]
+    fn uncommitted_pending_batch_leaves_invisible_orphans() {
+        let (pmem, _, kv) = pipelined_fixture(8, 64);
+        let pending = kv
+            .apply_batch_begin(&[KvBatchOp::Put {
+                pid: 0,
+                seq: 1,
+                key: 7,
+                value: 70,
+            }])
+            .unwrap();
+        assert!(pending.is_staged());
+        drop(pending);
+        // Records staged but never published: invisible, epoch
+        // unmoved, and the abandoned flights are simply drained by the
+        // next synchronization point.
+        assert_eq!(kv.get(7).unwrap(), None);
+        assert_eq!(kv.flush_epoch().unwrap(), 0);
+        pmem.fence();
+        assert_eq!(pmem.inflight_tickets(), 0);
+        assert!(kv.put(0, 2, 7, 71).unwrap(), "store still writable");
+        assert_eq!(kv.get(7).unwrap(), Some(71));
+    }
+
+    #[test]
+    fn pipelined_compaction_preserves_live_state() {
+        let (pmem, heap, kv) = pipelined_fixture(8, 256);
+        // 128 live keys → two full 64-slot carry chunks, so the chunk
+        // flights really overlap with carry building.
+        for i in 0..128u64 {
+            assert!(kv.put(0, i + 1, i, i as i64).unwrap());
+        }
+        let stats = kv.compact(&heap).unwrap();
+        assert_eq!(stats.carried, 128);
+        assert_eq!(pmem.inflight_tickets(), 0, "compaction drained its flights");
+        let snap = pmem.stats().snapshot();
+        assert!(
+            snap.elided_lines > 0,
+            "the whole-block flight must elide chunk-staged carry lines"
+        );
+        pmem.crash_now(0, 0.0);
+        let pmem2 = pmem.reopen().unwrap();
+        let kv2 = PKvStore::open(pmem2.clone(), kv.base(), KvVariant::Nsrl).unwrap();
+        assert_eq!(kv2.generation().unwrap(), 1);
+        for i in 0..128u64 {
+            assert_eq!(kv2.get(i).unwrap(), Some(i as i64));
+        }
+        assert!(pmem2.psan_violations().is_empty());
+    }
+
+    #[test]
+    fn pipelined_early_publish_variant_is_flagged_at_the_head_cas() {
+        use pstack_nvram::PsanViolationKind;
+        let pmem = PMemBuilder::new().len(1 << 19).psan(true).build_in_memory();
+        let heap = PHeap::format(pmem.clone(), POffset::new(0), 1 << 19).unwrap();
+        let mut kv = PKvStore::format(pmem.clone(), &heap, 8, 64, KvVariant::EarlyPublish).unwrap();
+        kv.set_pipeline(true);
+        kv.apply_batch(&[KvBatchOp::Put {
+            pid: 0,
+            seq: 1,
+            key: 7,
+            value: 70,
+        }])
+        .unwrap();
+        let violations = pmem.psan_violations();
+        assert!(
+            violations
+                .iter()
+                .any(|v| matches!(v.kind, PsanViolationKind::EarlyPublish { .. })),
+            "pipelined negative control must still trip PSan: {violations:?}"
+        );
     }
 
     #[test]
@@ -2059,6 +2452,123 @@ mod tests {
                 "crash at {k}: PSan flagged the correct protocol: {violations:?}"
             );
         }
+    }
+
+    #[test]
+    fn pipelined_crash_points_keep_exactly_the_completed_flight_prefix() {
+        // The async-pipeline dual of the sweep above: crash at every
+        // persistence event inside a *pipelined* batch window, so kills
+        // land with zero, one, and two flights in the device queue —
+        // before the first issue, between the record and tail issues,
+        // between issue and await, and after the publish CAS. Whatever
+        // the cut, recovery must see exactly the completed-flight
+        // prefix durable: decodable records, unique tags, per-bucket
+        // all-or-nothing heads, and recovery duals that finish the
+        // batch exactly once.
+        let ops = [
+            KvBatchOp::Put {
+                pid: 1,
+                seq: 1,
+                key: 0,
+                value: 10,
+            },
+            KvBatchOp::Put {
+                pid: 1,
+                seq: 2,
+                key: 2,
+                value: 20,
+            },
+            KvBatchOp::Put {
+                pid: 1,
+                seq: 3,
+                key: 4,
+                value: 40,
+            },
+            KvBatchOp::Cas {
+                pid: 1,
+                seq: 4,
+                key: 0,
+                expected: 10,
+                new: 11,
+            },
+            KvBatchOp::Delete {
+                pid: 1,
+                seq: 5,
+                key: 2,
+            },
+        ];
+        let probe = || {
+            let pmem = PMemBuilder::new().len(1 << 16).psan(true).build_in_memory();
+            let heap = PHeap::format(pmem.clone(), POffset::new(0), 1 << 16).unwrap();
+            let mut kv = PKvStore::format(pmem.clone(), &heap, 2, 16, KvVariant::Nsrl).unwrap();
+            kv.set_pipeline(true);
+            (pmem, kv)
+        };
+
+        // Golden run: the batch stages two overlapping flights (records
+        // and log tail), both still queued when `begin` returns.
+        let (pmem, kv) = probe();
+        let e0 = pmem.events();
+        let pending = kv.apply_batch_begin(&ops).unwrap();
+        let staged_events = pmem.events() - e0;
+        assert_eq!(pmem.inflight_tickets(), 2, "records + tail in flight");
+        assert!(pending.commit().unwrap().iter().all(|o| o.took_effect()));
+        let total = pmem.events() - e0;
+        let want = kv.contents().unwrap();
+        assert!(total > staged_events, "publish consumes events too");
+
+        let mut inflight_kills = 0usize;
+        for k in 0..total {
+            let (pmem, kv) = probe();
+            pmem.arm_failpoint(FailPlan::after_events(k));
+            let err = kv.apply_batch(&ops).unwrap_err();
+            assert!(err.is_crash(), "crash at event {k}");
+            // Countdowns landing before the staging point cut the
+            // window while flights are still queued on the device.
+            if k < staged_events {
+                inflight_kills += 1;
+            }
+            let pmem2 = pmem.reopen().unwrap();
+            let kv2 = PKvStore::open(pmem2.clone(), kv.base(), KvVariant::Nsrl).unwrap();
+
+            let mut tags = std::collections::HashSet::new();
+            for chain in kv2.snapshot().unwrap() {
+                for rec in chain {
+                    assert!(tags.insert((rec.pid, rec.seq)), "crash at {k}: dup tag");
+                }
+            }
+            for bucket in 0..2 {
+                let batch_recs = kv2
+                    .chain(bucket)
+                    .unwrap()
+                    .iter()
+                    .filter(|r| r.pid == 1)
+                    .count();
+                let full = ops.iter().filter(|op| mix(op.key()) % 2 == bucket).count();
+                assert!(
+                    batch_recs == 0 || batch_recs == full,
+                    "crash at {k}: bucket {bucket} published {batch_recs}/{full} — torn batch"
+                );
+            }
+
+            assert!(kv2.recover_put(1, 1, 0, 10).unwrap());
+            assert!(kv2.recover_put(1, 2, 2, 20).unwrap());
+            assert!(kv2.recover_put(1, 3, 4, 40).unwrap());
+            assert!(kv2.recover_cas(1, 4, 0, 10, 11).unwrap());
+            assert!(kv2.recover_delete(1, 5, 2).unwrap());
+            assert_eq!(kv2.contents().unwrap(), want, "crash at event {k}");
+            let published: usize = kv2.snapshot().unwrap().iter().map(Vec::len).sum();
+            assert_eq!(published, ops.len(), "crash at {k}: duplicate application");
+            let violations = pmem2.psan_violations();
+            assert!(
+                violations.is_empty(),
+                "crash at {k}: PSan flagged the correct protocol: {violations:?}"
+            );
+        }
+        assert!(
+            inflight_kills > 2,
+            "the sweep never cut the window with flights in flight"
+        );
     }
 
     #[test]

@@ -37,6 +37,17 @@ pub(crate) trait Backend: Send {
     /// Mirrors one persisted line to durable storage.
     fn persist_line(&mut self, offset: usize, data: &[u8]) -> Result<(), MemError>;
 
+    /// Mirrors a batch of persisted lines in one call — the completion
+    /// of an asynchronous flush command applying a whole flight. The
+    /// default loops [`Backend::persist_line`]; backends with a
+    /// cheaper batched path (vectored writes, one `msync`) override.
+    fn persist_lines(&mut self, lines: &[(usize, &[u8])]) -> Result<(), MemError> {
+        for (offset, data) in lines {
+            self.persist_line(*offset, data)?;
+        }
+        Ok(())
+    }
+
     /// Loads the durable image into `buf` when the region is (re)opened.
     fn load(&mut self, buf: &mut [u8]) -> Result<(), MemError>;
 

@@ -58,7 +58,10 @@ pub use backend::BackendKind;
 pub use error::MemError;
 pub use failpoint::FailPlan;
 pub use offset::POffset;
-pub use pmem::{PMem, PMemBuilder, DEFAULT_CACHE_LINE, DEFAULT_REGION_LEN};
+pub use pmem::{
+    FlushTicket, MutatorGuard, PMem, PMemBuilder, QuiesceGuard, DEFAULT_CACHE_LINE,
+    DEFAULT_REGION_LEN,
+};
 pub use psan::{op_label, OpLabelGuard, PsanViolation, PsanViolationKind, ShadowState};
 pub use rootswap::{RootCell, ROOT_CELL_LEN};
 pub use stats::{MemStats, StatsSnapshot};

@@ -19,7 +19,7 @@
 //! granularity — exactly the granularity at which a `kill` can cut a real
 //! execution between flushes.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex};
@@ -267,6 +267,7 @@ impl PMemBuilder {
                     dirty: HashMap::new(),
                     backend,
                     fail: FailState::default(),
+                    flights: FlightState::default(),
                 }),
                 gate: MutatorGate::new(),
             }),
@@ -280,6 +281,51 @@ struct State {
     dirty: HashMap<usize, Vec<u8>>,
     backend: Box<dyn Backend>,
     fail: FailState,
+    flights: FlightState,
+}
+
+/// One asynchronous flush command in flight: the line snapshots it
+/// promised to make durable and the wall-clock deadline at which the
+/// emulated device completes it (`None` with no configured
+/// [`PMemBuilder::flush_latency`] — completes on the next touch).
+struct Flight {
+    serial: u64,
+    deadline: Option<std::time::Instant>,
+    lines: Vec<(usize, Vec<u8>)>,
+}
+
+/// The region's asynchronous flush queue (see [`PMem::flush_async`]).
+/// There is no device thread: completions are applied lazily by the
+/// application threads that await, fence or synchronously flush, once
+/// a flight's deadline has passed — which keeps seeded campaign
+/// executions deterministic.
+#[derive(Default)]
+struct FlightState {
+    /// Serial of the most recently issued flight.
+    issued: u64,
+    /// Serial of the most recently applied (completed) flight.
+    completed: u64,
+    queue: VecDeque<Flight>,
+    /// Line index → serial of the in-flight flight holding its current
+    /// snapshot. Cleared when the line is re-dirtied (the snapshot is
+    /// stale) or persisted synchronously (the fresher persist subsumes
+    /// the promise).
+    staged: HashMap<usize, u64>,
+}
+
+/// Claim ticket for an asynchronous flush issued with
+/// [`PMem::flush_async`]. The round-trip is in flight on the region's
+/// flush queue; [`PMem::await_ticket`] (or a [`PMem::fence`], or a
+/// synchronous flush covering the same lines) blocks until the staged
+/// content is durable. Cheap value type, bound to the issuing region
+/// boot — awaiting it against another region or a reopened boot is an
+/// error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlushTicket {
+    /// Identity of the issuing region boot.
+    region: usize,
+    /// Flush-queue serial this ticket waits for.
+    serial: u64,
 }
 
 struct Inner {
@@ -638,7 +684,10 @@ impl PMem {
             }
             if self.inner.eager_flush {
                 let probe = pstack_telemetry::persist_probe();
-                let persisted = self.persist_range_locked(&mut st, off.as_usize(), data.len())?;
+                // Eager regions never hold staged flights (nothing stays
+                // dirty), so the covering serial is always `None`.
+                let (persisted, _) =
+                    self.persist_range_locked(&mut st, off.as_usize(), data.len())?;
                 round_trip = Some((probe, persisted));
             }
         }
@@ -679,6 +728,12 @@ impl PMem {
             let line_start = li * line;
             let within = abs - line_start;
             let n = (line - within).min(data.len() - pos);
+            if !st.flights.staged.is_empty() {
+                // Re-dirtying a line staged in an in-flight async flush:
+                // the flight's snapshot is stale, so later flushes of
+                // this line must persist anew instead of riding it.
+                st.flights.staged.remove(&li);
+            }
             let image = &st.image;
             let content = st
                 .dirty
@@ -704,36 +759,46 @@ impl PMem {
         // Telemetry round-trip timer: a no-op unless recording (and
         // compiled away entirely without the `telemetry` feature).
         let probe = pstack_telemetry::persist_probe();
-        let persisted = {
+        let (persisted, covering) = {
             let mut st = self.inner.state.lock();
             MemStats::bump(&self.inner.stats.flush_calls);
             self.persist_range_locked(&mut st, off.as_usize(), len)?
         };
         self.settle_round_trip(probe, persisted);
+        if let Some(serial) = covering {
+            // Lines elided because an in-flight async flush already
+            // carries their snapshot: synchronous semantics ("durable
+            // on return") still hold — by awaiting that flight.
+            self.await_serial(serial)?;
+        }
         self.maybe_jitter();
         Ok(())
     }
 
     /// The locked half of a persist round-trip: drains the dirty lines
     /// covering the range into the backend and returns how many lines
-    /// persisted. The per-round-trip device latency is paid by
-    /// [`PMem::settle_round_trip`] **after** the region lock is
-    /// released, so concurrent mutators' round-trips on one region
-    /// overlap (a queued-command device: the data is durable when the
-    /// command is accepted here; the latency is the completion wait).
+    /// persisted, plus the youngest in-flight async flush whose staged
+    /// snapshot made a covered line elidable (the caller must await it
+    /// to keep synchronous durability semantics). The per-round-trip
+    /// device latency is paid by [`PMem::settle_round_trip`] **after**
+    /// the region lock is released, so concurrent mutators' round-trips
+    /// on one region overlap (a queued-command device: the data is
+    /// durable when the command is accepted here; the latency is the
+    /// completion wait).
     fn persist_range_locked(
         &self,
         st: &mut State,
         start: usize,
         len: usize,
-    ) -> Result<u64, MemError> {
+    ) -> Result<(u64, Option<u64>), MemError> {
         if len == 0 {
-            return Ok(0);
+            return Ok((0, None));
         }
         let line = self.inner.line_size;
         let first = start / line;
         let last = (start + len - 1) / line;
         let mut persisted = 0u64;
+        let mut covering: Option<u64> = None;
         for li in first..=last {
             // In eager mode the write that queued this line already
             // counted as the persistence event; per-line events would
@@ -743,6 +808,16 @@ impl PMem {
                 self.on_event(st).inspect_err(|_| {
                     Self::note_persist(&self.inner.stats, persisted);
                 })?;
+            }
+            if let Some(&serial) = st.flights.staged.get(&li) {
+                // The line is staged in an in-flight async flush and has
+                // not been re-dirtied since: the flight's snapshot is
+                // current, so this persist is elided (FliT-style
+                // per-line durable tracking) and the caller awaits the
+                // flight instead.
+                MemStats::bump(&self.inner.stats.elided_lines);
+                covering = Some(covering.map_or(serial, |c: u64| c.max(serial)));
+                continue;
             }
             if let Some(content) = st.dirty.remove(&li) {
                 let line_start = li * line;
@@ -758,6 +833,14 @@ impl PMem {
                 if let Some(psan) = &self.inner.psan {
                     psan.note_persist_line(li, st.fail.events);
                 }
+                if !st.flights.queue.is_empty() {
+                    // This fresher persist subsumes any queued snapshot
+                    // of the line: drop it so a completing flight can
+                    // never roll the backend back.
+                    for f in &mut st.flights.queue {
+                        f.lines.retain(|(l, _)| *l != li);
+                    }
+                }
                 persisted += 1;
                 if let Some(delay) = self.inner.persist_delay {
                     // Slow device: the delay is paid with the region
@@ -767,7 +850,7 @@ impl PMem {
             }
         }
         Self::note_persist(&self.inner.stats, persisted);
-        if persisted == 0 {
+        if persisted == 0 && covering.is_none() {
             // A non-empty flush that persisted nothing: every covered
             // line was already durable. Diagnostic, not a violation.
             MemStats::bump(&self.inner.stats.redundant_persists);
@@ -777,7 +860,7 @@ impl PMem {
             // now ordered, i.e. durable.
             psan.note_flush_complete(st.fail.events);
         }
-        Ok(persisted)
+        Ok((persisted, covering))
     }
 
     /// The unlocked half of a persist round-trip: pays the emulated
@@ -798,6 +881,208 @@ impl PMem {
             self.inner.tlabel.load(Ordering::Relaxed),
             persisted as usize,
         );
+    }
+
+    /// Issues an **asynchronous flush** of the lines covering
+    /// `[off, off + len)`: the round-trip is queued on the region's
+    /// flush queue with its device latency charged off-thread, and the
+    /// returned [`FlushTicket`] is awaited — with [`PMem::await_ticket`],
+    /// a [`PMem::fence`], or any synchronous flush over the same lines —
+    /// at the point that needs durability, typically right before a
+    /// commit-point CAS or root swap. Work done between issue and await
+    /// overlaps the round-trip; that overlap is the pipeline win.
+    ///
+    /// Dirty lines are snapshotted at issue time: once awaited, the
+    /// ticket guarantees the content *as of this call* is durable, even
+    /// if the lines are re-dirtied in between. A covered line already
+    /// staged by an earlier un-completed ticket (and not re-dirtied
+    /// since) is elided — the returned ticket rides the earlier flight.
+    /// A call whose every covered line is clean or already staged
+    /// elides the whole round-trip (counted in `redundant_persists`).
+    /// Covered lines consume persistence events exactly like a
+    /// synchronous flush, so crash-point enumeration sees the same
+    /// event stream; a crash with the flight still queued keeps only
+    /// completed flights durable (staged lines take the survivor
+    /// lottery like any other dirty line).
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::Crashed`] (including a fail-point firing on a
+    /// covered line's event) or [`MemError::OutOfBounds`].
+    pub fn flush_async(&self, off: POffset, len: usize) -> Result<FlushTicket, MemError> {
+        self.check_alive()?;
+        self.check_bounds(off, len)?;
+        let _issue = pstack_telemetry::span("flush.issue");
+        let region = Arc::as_ptr(&self.inner) as usize;
+        let mut st = self.inner.state.lock();
+        MemStats::bump(&self.inner.stats.flush_calls);
+        if len == 0 {
+            let serial = st.flights.completed;
+            return Ok(FlushTicket { region, serial });
+        }
+        let line = self.inner.line_size;
+        let first = off.as_usize() / line;
+        let last = (off.as_usize() + len - 1) / line;
+        let serial = st.flights.issued + 1;
+        let mut lines = Vec::new();
+        let mut covering: Option<u64> = None;
+        for li in first..=last {
+            if !self.inner.eager_flush {
+                self.on_event(&mut st)?;
+            }
+            if let Some(&s) = st.flights.staged.get(&li) {
+                MemStats::bump(&self.inner.stats.elided_lines);
+                covering = Some(covering.map_or(s, |c: u64| c.max(s)));
+                continue;
+            }
+            if let Some(content) = st.dirty.get(&li) {
+                lines.push((li, content.clone()));
+                st.flights.staged.insert(li, serial);
+                if let Some(psan) = &self.inner.psan {
+                    psan.note_persist_line_ticket(li, serial, st.fail.events);
+                }
+            }
+        }
+        if lines.is_empty() {
+            // Nothing newly staged: the round-trip is elided outright.
+            // The ticket resolves to the youngest flight still carrying
+            // a covered line, or to "already complete".
+            MemStats::bump(&self.inner.stats.redundant_persists);
+            let serial = covering.unwrap_or(st.flights.completed);
+            return Ok(FlushTicket { region, serial });
+        }
+        st.flights.issued = serial;
+        let deadline = match self.inner.flush_latency {
+            Some(latency) => {
+                MemStats::add(
+                    &self.inner.stats.async_latency_charged_ns,
+                    latency.as_nanos() as u64,
+                );
+                Some(std::time::Instant::now() + latency)
+            }
+            None => None,
+        };
+        st.flights.queue.push_back(Flight {
+            serial,
+            deadline,
+            lines,
+        });
+        MemStats::bump(&self.inner.stats.async_flushes);
+        Ok(FlushTicket { region, serial })
+    }
+
+    /// Blocks until the flush issued as `ticket` completed, applying
+    /// its staged snapshots (and those of every older flight) to
+    /// durable storage. Returns immediately for tickets already
+    /// completed or fully elided at issue.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::Crashed`] if the region crashed with the flight
+    /// still queued — its staged lines kept only their crash-lottery
+    /// outcome, so recovery sees exactly the completed-ticket prefix —
+    /// and [`MemError::InvalidConfig`] for a ticket from a different
+    /// region or an earlier boot.
+    pub fn await_ticket(&self, ticket: &FlushTicket) -> Result<(), MemError> {
+        if ticket.region != Arc::as_ptr(&self.inner) as usize {
+            return Err(MemError::InvalidConfig(
+                "flush ticket belongs to a different region or boot".into(),
+            ));
+        }
+        self.await_serial(ticket.serial)
+    }
+
+    /// Completes every queued flight up to `serial`: sleeps out the
+    /// youngest covered deadline with the region lock released (so
+    /// concurrent awaits — and round-trips on other regions — overlap),
+    /// then applies the snapshots under the lock.
+    fn await_serial(&self, serial: u64) -> Result<(), MemError> {
+        let deadline = {
+            let st = self.inner.state.lock();
+            if st.flights.completed >= serial {
+                return Ok(());
+            }
+            if self.is_crashed() {
+                return Err(MemError::Crashed);
+            }
+            st.flights
+                .queue
+                .iter()
+                .take_while(|f| f.serial <= serial)
+                .filter_map(|f| f.deadline)
+                .last()
+        };
+        let _await = pstack_telemetry::span("flush.await");
+        let probe = pstack_telemetry::persist_probe();
+        if let Some(d) = deadline {
+            let now = std::time::Instant::now();
+            if d > now {
+                let wait = d - now;
+                std::thread::sleep(wait);
+                MemStats::add(
+                    &self.inner.stats.async_latency_waited_ns,
+                    wait.as_nanos() as u64,
+                );
+            }
+        }
+        let persisted = {
+            let mut st = self.inner.state.lock();
+            if self.is_crashed() {
+                return Err(MemError::Crashed);
+            }
+            let mut persisted = 0u64;
+            while st.flights.queue.front().is_some_and(|f| f.serial <= serial) {
+                let flight = st.flights.queue.pop_front().expect("checked front");
+                persisted += self.apply_flight(&mut st, flight)?;
+            }
+            persisted
+        };
+        probe.record(
+            self.inner.tlabel.load(Ordering::Relaxed),
+            persisted as usize,
+        );
+        Ok(())
+    }
+
+    /// Applies one completed flight: copies its snapshots into the
+    /// image and the backend, retires their staged markers, and
+    /// promotes the ticket's shadow lines. Consumes no persistence
+    /// events — those were charged at issue.
+    fn apply_flight(&self, st: &mut State, flight: Flight) -> Result<u64, MemError> {
+        let line = self.inner.line_size;
+        let batch: Vec<(usize, &[u8])> = flight
+            .lines
+            .iter()
+            .map(|(li, content)| (li * line, content.as_slice()))
+            .collect();
+        st.backend.persist_lines(&batch)?;
+        let mut persisted = 0u64;
+        for (li, content) in &flight.lines {
+            let line_start = li * line;
+            st.image[line_start..line_start + line].copy_from_slice(content);
+            MemStats::bump(&self.inner.stats.lines_persisted);
+            persisted += 1;
+            if st.flights.staged.get(li) == Some(&flight.serial) {
+                // Not re-dirtied since issue: the snapshot is the live
+                // content, so the cache entry retires with the marker.
+                st.flights.staged.remove(li);
+                st.dirty.remove(li);
+            }
+        }
+        Self::note_persist(&self.inner.stats, persisted);
+        st.flights.completed = flight.serial;
+        if let Some(psan) = &self.inner.psan {
+            psan.note_ticket_complete(flight.serial, st.fail.events);
+        }
+        Ok(persisted)
+    }
+
+    /// Number of asynchronous flushes issued but not yet completed
+    /// (flights still on the queue). Crash campaigns use this to prove
+    /// kills land while flushes are in flight.
+    #[must_use]
+    pub fn inflight_tickets(&self) -> u64 {
+        self.inner.state.lock().flights.queue.len() as u64
     }
 
     /// Accounts one persist round-trip that made `lines` lines durable:
@@ -821,11 +1106,15 @@ impl PMem {
         self.flush(off, data.len())
     }
 
-    /// Persistence fence. Our flushes are synchronous, so this is a
-    /// statistics-only marker corresponding to `sfence` on real hardware
+    /// Persistence fence: completes every in-flight asynchronous flush
+    /// (the strongest await), then records the `sfence`-style marker
     /// (under PSan it additionally orders any lines still in the
-    /// `Flushed` shadow state).
+    /// `Flushed` shadow state). Errors from draining — a crashed
+    /// region — are swallowed to keep the infallible signature; the
+    /// crash surfaces on the next access.
     pub fn fence(&self) {
+        let target = self.inner.state.lock().flights.issued;
+        let _ = self.await_serial(target);
         MemStats::bump(&self.inner.stats.fences);
         pstack_telemetry::fence_event(self.inner.tlabel.load(Ordering::Relaxed));
         if let Some(psan) = &self.inner.psan {
@@ -879,7 +1168,7 @@ impl PMem {
         }
         if self.inner.eager_flush {
             let probe = pstack_telemetry::persist_probe();
-            let persisted = self.persist_range_locked(&mut st, off.as_usize(), new.len())?;
+            let (persisted, _) = self.persist_range_locked(&mut st, off.as_usize(), new.len())?;
             drop(st);
             self.settle_round_trip(probe, persisted);
         } else {
@@ -970,6 +1259,12 @@ impl PMem {
             outcomes.push((li, survives));
         }
         st.dirty.clear();
+        // Un-completed flights die with the cache: their staged lines
+        // just took the lottery above (so recovery sees exactly the
+        // completed-ticket prefix, plus any lucky survivors), and
+        // pending tickets fail their await with `Crashed`.
+        st.flights.queue.clear();
+        st.flights.staged.clear();
         pstack_telemetry::crash(self.inner.tlabel.load(Ordering::Relaxed), st.fail.events);
         if let Some(psan) = &self.inner.psan {
             // Dropped lines revert to their durable content (shadow
@@ -1021,6 +1316,7 @@ impl PMem {
                     dirty: HashMap::new(),
                     backend,
                     fail: FailState::default(),
+                    flights: FlightState::default(),
                 }),
             }),
         })
@@ -1810,6 +2106,257 @@ mod tests {
             .compare_exchange(POffset::new(8), &0u64.to_le_bytes(), &256u64.to_le_bytes())
             .unwrap());
         assert!(p.psan_violations().is_empty());
+    }
+
+    #[test]
+    fn flush_async_then_await_is_durable() {
+        let p = small();
+        p.write_u64(POffset::new(8), 77).unwrap();
+        let t = p.flush_async(POffset::new(8), 8).unwrap();
+        assert_eq!(p.inflight_tickets(), 1);
+        p.await_ticket(&t).unwrap();
+        assert_eq!(p.inflight_tickets(), 0);
+        // Re-awaiting a completed ticket is a cheap no-op.
+        p.await_ticket(&t).unwrap();
+        p.crash_now(0, 0.0);
+        let p = p.reopen().unwrap();
+        assert_eq!(p.read_u64(POffset::new(8)).unwrap(), 77);
+    }
+
+    #[test]
+    fn unawaited_ticket_lines_take_the_lottery() {
+        let p = small();
+        p.write_u64(POffset::new(8), 77).unwrap();
+        let t = p.flush_async(POffset::new(8), 8).unwrap();
+        p.crash_now(0, 0.0);
+        assert!(matches!(p.await_ticket(&t), Err(MemError::Crashed)));
+        let p = p.reopen().unwrap();
+        // The flight never completed: only the completed-ticket prefix
+        // (here: nothing) is durable.
+        assert_eq!(p.read_u64(POffset::new(8)).unwrap(), 0);
+    }
+
+    #[test]
+    fn completed_prefix_survives_with_later_ticket_in_flight() {
+        let p = small();
+        p.write_u64(POffset::new(0), 1).unwrap();
+        let t1 = p.flush_async(POffset::new(0), 8).unwrap();
+        p.await_ticket(&t1).unwrap();
+        p.write_u64(POffset::new(64), 2).unwrap();
+        let _t2 = p.flush_async(POffset::new(64), 8).unwrap();
+        p.crash_now(0, 0.0);
+        let p = p.reopen().unwrap();
+        assert_eq!(p.read_u64(POffset::new(0)).unwrap(), 1);
+        assert_eq!(p.read_u64(POffset::new(64)).unwrap(), 0);
+    }
+
+    #[test]
+    fn async_flush_overlaps_round_trip_with_work() {
+        let p = PMemBuilder::new()
+            .len(1024)
+            .line_size(64)
+            .flush_latency(std::time::Duration::from_millis(10))
+            .build_in_memory();
+        p.write_u64(POffset::new(0), 7).unwrap();
+        let issued = std::time::Instant::now();
+        let t = p.flush_async(POffset::new(0), 8).unwrap();
+        // "Record building" overlapping the round-trip.
+        std::thread::sleep(std::time::Duration::from_millis(14));
+        let awaiting = std::time::Instant::now();
+        p.await_ticket(&t).unwrap();
+        assert!(
+            awaiting.elapsed() < std::time::Duration::from_millis(8),
+            "deadline passed during the overlapped work: {:?}",
+            awaiting.elapsed()
+        );
+        // Without overlapped work the await pays the remaining latency.
+        p.write_u64(POffset::new(64), 8).unwrap();
+        let t = p.flush_async(POffset::new(64), 8).unwrap();
+        p.await_ticket(&t).unwrap();
+        assert!(issued.elapsed() >= std::time::Duration::from_millis(24));
+        let snap = p.stats().snapshot();
+        assert_eq!(snap.async_flushes, 2);
+        assert!(snap.async_latency_charged_ns >= 20_000_000);
+        assert!(snap.async_latency_waited_ns < snap.async_latency_charged_ns);
+    }
+
+    #[test]
+    fn sync_flush_elides_staged_lines_and_awaits_their_flight() {
+        let p = small();
+        p.write_u64(POffset::new(0), 1).unwrap();
+        p.write_u64(POffset::new(64), 2).unwrap();
+        let _t = p.flush_async(POffset::new(0), 8).unwrap();
+        let before = p.stats().snapshot();
+        // Sync flush covering the staged line and a fresh one: the
+        // staged line is elided, the flight is awaited, and on return
+        // everything is durable.
+        p.flush(POffset::new(0), 128).unwrap();
+        let d = p.stats().snapshot() - before;
+        assert_eq!(d.elided_lines, 1);
+        assert_eq!(d.lines_persisted, 2, "fresh line + applied flight");
+        assert_eq!(p.inflight_tickets(), 0);
+        p.crash_now(0, 0.0);
+        let p = p.reopen().unwrap();
+        assert_eq!(p.read_u64(POffset::new(0)).unwrap(), 1);
+        assert_eq!(p.read_u64(POffset::new(64)).unwrap(), 2);
+    }
+
+    #[test]
+    fn redirtied_staged_line_is_not_rolled_back_by_its_flight() {
+        let p = small();
+        p.write_u64(POffset::new(0), 1).unwrap();
+        let t = p.flush_async(POffset::new(0), 8).unwrap();
+        // Re-dirty after staging: the marker clears, the sync flush
+        // persists the new content and purges the stale snapshot.
+        p.write_u64(POffset::new(0), 2).unwrap();
+        p.flush(POffset::new(0), 8).unwrap();
+        p.await_ticket(&t).unwrap();
+        assert_eq!(p.read_u64(POffset::new(0)).unwrap(), 2);
+        p.crash_now(0, 0.0);
+        let p = p.reopen().unwrap();
+        assert_eq!(p.read_u64(POffset::new(0)).unwrap(), 2);
+    }
+
+    #[test]
+    fn fully_elided_async_flush_is_redundant_and_instant() {
+        let p = small();
+        p.write_u64(POffset::new(0), 1).unwrap();
+        p.flush(POffset::new(0), 8).unwrap();
+        let before = p.stats().snapshot();
+        let t = p.flush_async(POffset::new(0), 8).unwrap();
+        let d = p.stats().snapshot() - before;
+        assert_eq!(d.redundant_persists, 1);
+        assert_eq!(d.async_flushes, 0);
+        p.await_ticket(&t).unwrap();
+        // Riding an earlier flight: a second async flush of a staged
+        // line elides per-line instead of staging twice.
+        p.write_u64(POffset::new(64), 2).unwrap();
+        let t1 = p.flush_async(POffset::new(64), 8).unwrap();
+        let before = p.stats().snapshot();
+        let t2 = p.flush_async(POffset::new(64), 8).unwrap();
+        let d = p.stats().snapshot() - before;
+        assert_eq!(d.elided_lines, 1);
+        assert_eq!(d.redundant_persists, 1);
+        assert_eq!(t2, t1, "the elided ticket rides the earlier flight");
+        p.await_ticket(&t2).unwrap();
+        p.crash_now(0, 0.0);
+        let p = p.reopen().unwrap();
+        assert_eq!(p.read_u64(POffset::new(64)).unwrap(), 2);
+    }
+
+    #[test]
+    fn fence_drains_inflight_tickets() {
+        let p = small();
+        p.write_u64(POffset::new(0), 5).unwrap();
+        let _t = p.flush_async(POffset::new(0), 8).unwrap();
+        assert_eq!(p.inflight_tickets(), 1);
+        p.fence();
+        assert_eq!(p.inflight_tickets(), 0);
+        p.crash_now(0, 0.0);
+        let p = p.reopen().unwrap();
+        assert_eq!(p.read_u64(POffset::new(0)).unwrap(), 5);
+    }
+
+    #[test]
+    fn flush_async_consumes_events_like_sync_flush() {
+        let p = small();
+        let e0 = p.events();
+        p.write_u8(POffset::new(0), 1).unwrap();
+        let t = p.flush_async(POffset::new(0), 1).unwrap();
+        assert_eq!(p.events(), e0 + 2, "write + one covered line");
+        p.await_ticket(&t).unwrap();
+        assert_eq!(p.events(), e0 + 2, "applying a flight is event-free");
+    }
+
+    #[test]
+    fn failpoint_fires_during_async_issue() {
+        let p = small();
+        p.write(POffset::new(0), &[1u8; 64]).unwrap();
+        p.write(POffset::new(64), &[2u8; 64]).unwrap();
+        p.arm_failpoint(FailPlan::after_events(0));
+        let err = p.flush_async(POffset::new(0), 128).unwrap_err();
+        assert!(matches!(err, MemError::Crashed));
+        let p = p.reopen().unwrap();
+        assert_eq!(p.read_u8(POffset::new(0)).unwrap(), 0);
+        assert_eq!(p.read_u8(POffset::new(64)).unwrap(), 0);
+    }
+
+    #[test]
+    fn ticket_from_another_region_is_rejected() {
+        let a = small();
+        let b = small();
+        a.write_u8(POffset::new(0), 1).unwrap();
+        let t = a.flush_async(POffset::new(0), 1).unwrap();
+        assert!(matches!(
+            b.await_ticket(&t),
+            Err(MemError::InvalidConfig(_))
+        ));
+        a.await_ticket(&t).unwrap();
+    }
+
+    #[test]
+    fn psan_tracks_ticket_lifecycle() {
+        use crate::psan::ShadowState;
+        let p = psan_region();
+        let off = POffset::new(64);
+        p.write_u64(off, 7).unwrap();
+        let t = p.flush_async(off, 8).unwrap();
+        assert_eq!(p.psan_line_state(off), Some(ShadowState::Flushed));
+        // A sync round-trip elsewhere must NOT promote the staged line.
+        p.write_u64(POffset::new(256), 1).unwrap();
+        p.flush(POffset::new(256), 8).unwrap();
+        assert_eq!(p.psan_line_state(off), Some(ShadowState::Flushed));
+        p.await_ticket(&t).unwrap();
+        assert_eq!(p.psan_line_state(off), Some(ShadowState::Durable));
+        assert!(p.psan_violations().is_empty());
+    }
+
+    #[test]
+    fn psan_flags_publish_against_unawaited_ticket() {
+        let p = psan_region();
+        p.psan_register_publish_range(POffset::new(0), 64, 64);
+        p.write(POffset::new(256), &[9u8; 48]).unwrap();
+        let t = p.flush_async(POffset::new(256), 48).unwrap();
+        // Publishing before awaiting: the record rides an un-completed
+        // flight — early publish.
+        let _g = crate::psan::op_label("test.early-ticket-publish");
+        assert!(p
+            .compare_exchange(POffset::new(8), &0u64.to_le_bytes(), &256u64.to_le_bytes())
+            .unwrap());
+        let v = p.psan_violations();
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(matches!(
+            v[0].kind,
+            crate::psan::PsanViolationKind::EarlyPublish { published: 256 }
+        ));
+        assert_eq!(v[0].op_label, "test.early-ticket-publish");
+
+        // Awaiting first keeps the same protocol clean.
+        let p = psan_region();
+        p.psan_register_publish_range(POffset::new(0), 64, 64);
+        p.write(POffset::new(256), &[9u8; 48]).unwrap();
+        let t2 = p.flush_async(POffset::new(256), 48).unwrap();
+        p.await_ticket(&t2).unwrap();
+        assert!(p
+            .compare_exchange(POffset::new(8), &0u64.to_le_bytes(), &256u64.to_le_bytes())
+            .unwrap());
+        assert!(p.psan_violations().is_empty());
+        let _ = t;
+    }
+
+    #[test]
+    fn psan_staged_survivor_is_a_ghost() {
+        let p = psan_region();
+        p.write_u64(POffset::new(128), 42).unwrap();
+        let _t = p.flush_async(POffset::new(128), 8).unwrap();
+        // The line survives the lottery without its flight completing:
+        // the bytes were never durable.
+        p.crash_now(0, 1.0);
+        let p = p.reopen().unwrap();
+        assert_eq!(p.read_u64(POffset::new(128)).unwrap(), 42);
+        let v = p.psan_violations();
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].kind, crate::psan::PsanViolationKind::GhostRead);
     }
 
     #[test]

@@ -282,6 +282,13 @@ struct ShadowInner {
     /// line ever touched) — entries whose line was re-dirtied in the
     /// meantime are skipped on drain.
     pending_flush: Vec<usize>,
+    /// Ticket-staged lines per in-flight asynchronous flush, promoted
+    /// by [`Self::note_ticket_complete`] when the flight applies. Kept
+    /// apart from `pending_flush` so a synchronous round-trip (or
+    /// fence) completing on the region cannot promote lines whose own
+    /// flight is still queued — publishing against an un-awaited
+    /// ticket must stay an attributable early-publish.
+    ticket_pending: HashMap<u64, Vec<usize>>,
     publish: Vec<PublishRange>,
     /// Commit extents declared ahead of the next root swap (drained by
     /// the swap that consumes them).
@@ -323,10 +330,16 @@ impl ShadowInner {
 
     fn check_span_durable(&mut self, start: u64, len: u64, kind: PsanViolationKind, events: u64) {
         for li in self.line_range(start, len as usize) {
+            // `Flushed` is as bad as `Dirty` at a commit point: the
+            // line rides an un-completed async flight (synchronous
+            // round-trips promote to `Durable` before their region
+            // call returns, so an in-thread observer never sees their
+            // transient `Flushed`). Publishing against an un-awaited
+            // ticket is the early-publish bug class.
             if self
                 .lines
                 .get(&li)
-                .is_some_and(|l| l.state == ShadowState::Dirty)
+                .is_some_and(|l| matches!(l.state, ShadowState::Dirty | ShadowState::Flushed))
             {
                 self.violate(kind, li, events);
             }
@@ -355,6 +368,7 @@ impl PsanCell {
                 lines: HashMap::new(),
                 ghosts: HashMap::new(),
                 pending_flush: Vec::new(),
+                ticket_pending: HashMap::new(),
                 publish: Vec::new(),
                 commits: Vec::new(),
                 waivers: Vec::new(),
@@ -410,6 +424,41 @@ impl PsanCell {
                 line.clear_mask();
                 line.push_hist("persist", events);
                 inner.pending_flush.push(li);
+            }
+        }
+    }
+
+    /// An asynchronous flush snapshotted line `li` into flight
+    /// `serial`: `Dirty → Flushed`, but promotion waits for **that
+    /// flight's** completion, not any intervening sync round-trip or
+    /// fence. The written-bytes mask is kept: if a crash's survivor
+    /// lottery keeps the line before the flight completes, its bytes
+    /// were never durable — ghosts.
+    pub(crate) fn note_persist_line_ticket(&self, li: usize, serial: u64, events: u64) {
+        let mut inner = self.inner.lock();
+        if let Some(line) = inner.lines.get_mut(&li) {
+            if line.state == ShadowState::Dirty {
+                line.state = ShadowState::Flushed;
+                line.push_hist("persist-async", events);
+                inner.ticket_pending.entry(serial).or_default().push(li);
+            }
+        }
+    }
+
+    /// Flight `serial` applied: its staged lines — unless re-dirtied
+    /// since issue — are durable.
+    pub(crate) fn note_ticket_complete(&self, serial: u64, events: u64) {
+        let mut inner = self.inner.lock();
+        let Some(pending) = inner.ticket_pending.remove(&serial) else {
+            return;
+        };
+        for li in pending {
+            if let Some(line) = inner.lines.get_mut(&li) {
+                if line.state == ShadowState::Flushed {
+                    line.state = ShadowState::Durable;
+                    line.clear_mask();
+                    line.push_hist("ticket-durable", events);
+                }
             }
         }
     }
@@ -526,7 +575,11 @@ impl PsanCell {
                 continue;
             };
             match line.state {
-                ShadowState::Dirty if survived => {
+                // A `Flushed` line in the dirty set is ticket-staged:
+                // its flight never completed, so surviving the lottery
+                // is as ghostly as a plain dirty survivor (the mask is
+                // retained at staging time for exactly this).
+                ShadowState::Dirty | ShadowState::Flushed if survived => {
                     line.push_hist("crash-survive", events);
                     let prior = inner.ghosts.remove(&li);
                     let mut mask = line.mask;
@@ -543,16 +596,19 @@ impl PsanCell {
                         },
                     );
                 }
-                ShadowState::Dirty => {
+                ShadowState::Dirty | ShadowState::Flushed => {
                     // Reverted: content lost, line reads as its last
                     // durable bytes — shadow forgets it (Clean).
                 }
                 _ => {
-                    // Flushed/Durable lines are not in the dirty set;
+                    // Durable lines are not in the dirty set;
                     // defensive: treat as durable.
                 }
             }
         }
+        // Un-completed flights died with the cache; their worklists
+        // were adjudicated by the lottery above.
+        inner.ticket_pending.clear();
         // Any line still tracked was not in the dirty set: a line
         // persisted mid-flush (Flushed) is on media and survives.
         let pending = std::mem::take(&mut inner.pending_flush);

@@ -20,6 +20,10 @@ pub struct MemStats {
     pub(crate) persists: AtomicU64,
     pub(crate) coalesced_lines: AtomicU64,
     pub(crate) redundant_persists: AtomicU64,
+    pub(crate) async_flushes: AtomicU64,
+    pub(crate) elided_lines: AtomicU64,
+    pub(crate) async_latency_charged_ns: AtomicU64,
+    pub(crate) async_latency_waited_ns: AtomicU64,
     pub(crate) fences: AtomicU64,
     pub(crate) cas_ops: AtomicU64,
     pub(crate) crashes: AtomicU64,
@@ -38,6 +42,10 @@ impl MemStats {
             persists: self.persists.load(Ordering::Relaxed),
             coalesced_lines: self.coalesced_lines.load(Ordering::Relaxed),
             redundant_persists: self.redundant_persists.load(Ordering::Relaxed),
+            async_flushes: self.async_flushes.load(Ordering::Relaxed),
+            elided_lines: self.elided_lines.load(Ordering::Relaxed),
+            async_latency_charged_ns: self.async_latency_charged_ns.load(Ordering::Relaxed),
+            async_latency_waited_ns: self.async_latency_waited_ns.load(Ordering::Relaxed),
             fences: self.fences.load(Ordering::Relaxed),
             cas_ops: self.cas_ops.load(Ordering::Relaxed),
             crashes: self.crashes.load(Ordering::Relaxed),
@@ -100,6 +108,22 @@ pub struct StatsSnapshot {
     /// protocol could elide (e.g. unconditional flushes on an
     /// eager-flush region).
     pub redundant_persists: u64,
+    /// Asynchronous flush commands issued (flights queued by
+    /// [`PMem::flush_async`](crate::PMem::flush_async)); fully-elided
+    /// issues count as `redundant_persists` instead.
+    pub async_flushes: u64,
+    /// Individual line persists elided because the line was already
+    /// staged in an in-flight async flush (FliT-style per-line durable
+    /// tracking) — durability work the pipeline saved outright.
+    pub elided_lines: u64,
+    /// Nanoseconds of device round-trip latency charged to issued
+    /// flights. With `async_latency_waited_ns` this yields the overlap
+    /// fraction: `1 - waited / charged` is the share of flush latency
+    /// hidden behind useful work.
+    pub async_latency_charged_ns: u64,
+    /// Nanoseconds callers actually slept in awaits — the part of the
+    /// charged latency the pipeline failed to hide.
+    pub async_latency_waited_ns: u64,
     /// Number of persistence fences.
     pub fences: u64,
     /// Number of compare-exchange operations.
@@ -121,6 +145,10 @@ impl std::ops::Sub for StatsSnapshot {
             persists: self.persists - rhs.persists,
             coalesced_lines: self.coalesced_lines - rhs.coalesced_lines,
             redundant_persists: self.redundant_persists - rhs.redundant_persists,
+            async_flushes: self.async_flushes - rhs.async_flushes,
+            elided_lines: self.elided_lines - rhs.elided_lines,
+            async_latency_charged_ns: self.async_latency_charged_ns - rhs.async_latency_charged_ns,
+            async_latency_waited_ns: self.async_latency_waited_ns - rhs.async_latency_waited_ns,
             fences: self.fences - rhs.fences,
             cas_ops: self.cas_ops - rhs.cas_ops,
             crashes: self.crashes - rhs.crashes,
@@ -143,6 +171,10 @@ impl std::ops::Add for StatsSnapshot {
             persists: self.persists + rhs.persists,
             coalesced_lines: self.coalesced_lines + rhs.coalesced_lines,
             redundant_persists: self.redundant_persists + rhs.redundant_persists,
+            async_flushes: self.async_flushes + rhs.async_flushes,
+            elided_lines: self.elided_lines + rhs.elided_lines,
+            async_latency_charged_ns: self.async_latency_charged_ns + rhs.async_latency_charged_ns,
+            async_latency_waited_ns: self.async_latency_waited_ns + rhs.async_latency_waited_ns,
             fences: self.fences + rhs.fences,
             cas_ops: self.cas_ops + rhs.cas_ops,
             crashes: self.crashes + rhs.crashes,
@@ -155,8 +187,9 @@ impl fmt::Display for StatsSnapshot {
         write!(
             f,
             "reads={} writes={} bytes_written={} flush_calls={} lines_persisted={} \
-             persists={} coalesced_lines={} redundant_persists={} fences={} cas_ops={} \
-             crashes={}",
+             persists={} coalesced_lines={} redundant_persists={} async_flushes={} \
+             elided_lines={} async_latency_charged_ns={} async_latency_waited_ns={} \
+             fences={} cas_ops={} crashes={}",
             self.reads,
             self.writes,
             self.bytes_written,
@@ -165,6 +198,10 @@ impl fmt::Display for StatsSnapshot {
             self.persists,
             self.coalesced_lines,
             self.redundant_persists,
+            self.async_flushes,
+            self.elided_lines,
+            self.async_latency_charged_ns,
+            self.async_latency_waited_ns,
             self.fences,
             self.cas_ops,
             self.crashes
@@ -202,6 +239,10 @@ mod tests {
             "persists=",
             "coalesced_lines=",
             "redundant_persists=",
+            "async_flushes=",
+            "elided_lines=",
+            "async_latency_charged_ns=",
+            "async_latency_waited_ns=",
             "fences=",
             "cas_ops=",
             "crashes=",

@@ -47,7 +47,8 @@ use pstack_core::{
     Admission, AdmissionQueue, PContext, PError, RecoverableFunction, RetBytes, Task,
 };
 use pstack_kv::{
-    KvBatchOp, KvRequestTable, KvTaskAnswer, KvTaskOp, KvTaskResult, ReqSubmit, ShardedKvStore,
+    KvApplied, KvBatchOp, KvRequestTable, KvTaskAnswer, KvTaskOp, KvTaskResult, ReqSubmit,
+    ShardedKvStore,
 };
 use pstack_nvram::op_label;
 
@@ -197,6 +198,79 @@ impl KvServeFunction {
         } else {
             "server.window"
         });
+        let stage = self.stage_window(shard, slots, executor)?;
+        let outcomes = if stage.staged.is_empty() {
+            Vec::new()
+        } else {
+            let pstore = self.store.shard(shard as usize);
+            let ops: Vec<KvBatchOp> = stage.staged.iter().map(|&(_, _, op)| op).collect();
+            if recovery {
+                pstore.recover_batch(&ops)?
+            } else {
+                pstore.apply_batch(&ops)?
+            }
+        };
+        Self::finish_window(stage, outcomes)
+    }
+
+    /// Executes one round of batch windows, at most one per shard. On a
+    /// pipelined store ([`ShardedKvStore::set_pipeline`]) the
+    /// non-recovery windows are **begun** first — each shard's
+    /// record/log-tail persists are issued as asynchronous flush
+    /// flights, back to back across the shard regions — and committed
+    /// afterwards, so the whole round drains the flush pipeline in
+    /// about one device round-trip instead of each shard awaiting its
+    /// own serially. Recovery windows, and every window on a
+    /// non-pipelined store, run through
+    /// [`KvServeFunction::execute_window`] unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Shard out of range ([`PError::Task`]), or propagated store/NVRAM
+    /// errors.
+    pub fn execute_windows(
+        &self,
+        windows: &[(u32, bool, Vec<u32>)],
+        executor: u32,
+    ) -> Result<Vec<(u64, KvTaskAnswer)>, PError> {
+        let mut ready = Vec::new();
+        if !self.store.is_pipelined() {
+            for (shard, recovery, slots) in windows {
+                ready.extend(self.execute_window(*shard, slots, *recovery, executor)?);
+            }
+            return Ok(ready);
+        }
+        let _label = op_label("server.windows");
+        let mut pending = Vec::new();
+        for (shard, recovery, slots) in windows {
+            if *recovery {
+                // The evidence-scanning duals stay serial: recovery is
+                // off the hot path by design, and mixing scans into an
+                // open pipeline would buy nothing.
+                ready.extend(self.execute_window(*shard, slots, true, executor)?);
+                continue;
+            }
+            let stage = self.stage_window(*shard, slots, executor)?;
+            let ops: Vec<KvBatchOp> = stage.staged.iter().map(|&(_, _, op)| op).collect();
+            let batch = self.store.shard(*shard as usize).apply_batch_begin(&ops)?;
+            pending.push((stage, batch));
+        }
+        for (stage, batch) in pending {
+            let outcomes = batch.commit()?;
+            ready.extend(Self::finish_window(stage, outcomes)?);
+        }
+        Ok(ready)
+    }
+
+    /// The read-and-stage half of a window: replays already-durable
+    /// answers, resolves gets against committed state, and collects the
+    /// mutations to group-commit.
+    fn stage_window(
+        &self,
+        shard: u32,
+        slots: &[u32],
+        executor: u32,
+    ) -> Result<WindowStage<'_>, PError> {
         let table = self.tables.get(shard as usize).ok_or_else(|| {
             PError::Task(format!(
                 "shard {shard} out of range ({} shards)",
@@ -250,29 +324,53 @@ impl KvServeFunction {
                 )),
             }
         }
-        if !staged.is_empty() {
-            let ops: Vec<KvBatchOp> = staged.iter().map(|&(_, _, op)| op).collect();
-            let outcomes = if recovery {
-                pstore.recover_batch(&ops)?
-            } else {
-                pstore.apply_batch(&ops)?
-            };
-            for (&(slot, _, op), outcome) in staged.iter().zip(outcomes) {
-                let result = match op {
-                    KvBatchOp::Put { .. } => KvTaskResult::Stored(outcome.took_effect()),
-                    KvBatchOp::Delete { .. } => KvTaskResult::Deleted(outcome.took_effect()),
-                    KvBatchOp::Cas { .. } => KvTaskResult::Swapped(outcome.took_effect()),
-                };
-                answers.push((slot, executor, result));
-            }
-        }
-        table.mark_done_batch(&answers)?;
-        for &(slot, executor, result) in &answers {
-            let req_id = table.req_id(slot)?;
-            ready.push((req_id, KvTaskAnswer { executor, result }));
-        }
-        Ok(ready)
+        Ok(WindowStage {
+            table,
+            executor,
+            answers,
+            ready,
+            staged,
+        })
     }
+
+    /// The answer half of a window: maps group-commit outcomes to
+    /// results, persists all answers with one coalesced
+    /// [`KvRequestTable::mark_done_batch`], and only then returns the
+    /// `(req_id, answer)` pairs — answers are durable before they are
+    /// visible.
+    fn finish_window(
+        mut stage: WindowStage<'_>,
+        outcomes: Vec<KvApplied>,
+    ) -> Result<Vec<(u64, KvTaskAnswer)>, PError> {
+        for (&(slot, _, op), outcome) in stage.staged.iter().zip(outcomes) {
+            let result = match op {
+                KvBatchOp::Put { .. } => KvTaskResult::Stored(outcome.took_effect()),
+                KvBatchOp::Delete { .. } => KvTaskResult::Deleted(outcome.took_effect()),
+                KvBatchOp::Cas { .. } => KvTaskResult::Swapped(outcome.took_effect()),
+            };
+            stage.answers.push((slot, stage.executor, result));
+        }
+        stage.table.mark_done_batch(&stage.answers)?;
+        for &(slot, executor, result) in &stage.answers {
+            let req_id = stage.table.req_id(slot)?;
+            stage
+                .ready
+                .push((req_id, KvTaskAnswer { executor, result }));
+        }
+        Ok(stage.ready)
+    }
+}
+
+/// A batch window read and staged but not yet executed
+/// ([`KvServeFunction::stage_window`]): replayed answers in `ready`,
+/// get answers in `answers`, mutations awaiting their group commit in
+/// `staged`.
+struct WindowStage<'a> {
+    table: &'a KvRequestTable,
+    executor: u32,
+    answers: Vec<(u32, u32, KvTaskResult)>,
+    ready: Vec<(u64, KvTaskAnswer)>,
+    staged: Vec<(u32, u64, KvBatchOp)>,
 }
 
 impl RecoverableFunction for KvServeFunction {
@@ -488,15 +586,20 @@ impl ServerCore {
     ///
     /// Propagated store/table/NVRAM errors.
     pub fn pump_direct(&self, executor: u32) -> Result<Vec<(u64, KvTaskAnswer)>, PError> {
-        let mut ready = Vec::new();
-        for (shard, recovery, entries) in self.drain() {
-            let slots: Vec<u32> = entries.iter().map(|e| e.slot).collect();
-            ready.extend(
-                self.exec
-                    .execute_window(shard, &slots, recovery, executor)?,
-            );
-        }
-        Ok(ready)
+        let windows: Vec<(u32, bool, Vec<u32>)> = self
+            .drain()
+            .into_iter()
+            .map(|(shard, recovery, entries)| {
+                (
+                    shard,
+                    recovery,
+                    entries.iter().map(|e| e.slot).collect::<Vec<u32>>(),
+                )
+            })
+            .collect();
+        // One call for the whole round: on a pipelined store the
+        // shards' flush flights overlap across regions.
+        self.exec.execute_windows(&windows, executor)
     }
 
     /// Fully serves one request synchronously: admit, pump until its

@@ -17,7 +17,10 @@
 //! 4. outlive the version log: fill a shard past its formatted
 //!    capacity — without compaction the shard bricks (puts start
 //!    answering `false`), with the headroom-triggered generational
-//!    compaction every mutation lands.
+//!    compaction every mutation lands;
+//! 5. pipeline a group commit: the batch's record and log-tail
+//!    persists ride overlapping async flights (awaited before the
+//!    publish CAS), and the state still survives a power cut.
 //!
 //! The whole demo runs under a flight-recorder session: the summary
 //! (per-op latency percentiles, persist economy, the crash→recovery
@@ -204,6 +207,42 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stripe.psan_violations()
     );
     println!("  sanitizer: 0 persist-order violations across every act");
+
+    // Act 5: the async flush pipeline. A buffered store with the
+    // pipeline on commits a batch whose records and log-tail persists
+    // ride overlapping flights (`flush.issue`/`flush.await` span pairs
+    // in the trace); the awaits land before the publish CAS, so a
+    // power cut still keeps the whole window.
+    println!("\nflush pipeline: one group commit, two overlapping flights");
+    let pmem = PMemBuilder::new().len(1 << 18).psan(true).build_in_memory();
+    let heap = PHeap::format(pmem.clone(), 0u64.into(), 1 << 18)?;
+    let mut kv = PKvStore::format(pmem.clone(), &heap, 16, 128, KvVariant::Nsrl)?;
+    kv.set_pipeline(true);
+    let ops: Vec<pstack::kv::KvBatchOp> = (0..16)
+        .map(|i| pstack::kv::KvBatchOp::Put {
+            pid: 9,
+            seq: i + 1,
+            key: 2000 + i,
+            value: i as i64,
+        })
+        .collect();
+    assert!(kv.apply_batch(&ops)?.iter().all(|o| o.took_effect()));
+    let d = pmem.stats().snapshot();
+    println!(
+        "  {} async flights issued, {} redundant line flushes elided",
+        d.async_flushes, d.elided_lines
+    );
+    assert!(d.async_flushes >= 2, "records + tail must ride flights");
+    pmem.crash_now(5, 0.0); // power cut: awaited flights are durable
+    let pmem = pmem.reopen()?;
+    let kv = PKvStore::open(pmem.clone(), kv.base(), KvVariant::Nsrl)?;
+    assert_eq!(kv.get(2015)?, Some(15));
+    println!("  after power cut: key 2015 = {:?}", kv.get(2015)?);
+    assert!(
+        pmem.psan_violations().is_empty(),
+        "sanitizer: {:?}",
+        pmem.psan_violations()
+    );
 
     // The flight recorder saw every act: spans from the op labels,
     // persist round-trips, the crashes and the recovery phases.

@@ -458,11 +458,15 @@ impl BenchmarkGroup<'_> {
         // by the iteration count, which averages the p99/p999 outliers
         // (a compaction pause, a flush-epoch stall) into the mean; here
         // every iteration gets its own clock read and the percentiles
-        // are exact order statistics of the observed set.
+        // are exact order statistics of the observed set. The floor of
+        // 1000 keeps p999 a real order statistic: below that, index
+        // ceil(0.999·n)−1 collapses onto the same sample as p99 and the
+        // reported tail is fiction.
         let lat_iters = if per_iter.is_zero() {
             1000
         } else {
-            (self.measurement_time.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 5000) as usize
+            (self.measurement_time.as_nanos() / per_iter.as_nanos().max(1)).clamp(1000, 10_000)
+                as usize
         };
         let mut lats: Vec<Duration> = Vec::with_capacity(lat_iters);
         for _ in 0..lat_iters {

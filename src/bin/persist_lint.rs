@@ -20,6 +20,13 @@
 //!   lands, so the evidence (record bytes, log tail) must already be
 //!   persistent — flushing after the CAS is too late on a buffered
 //!   region.
+//! * `await-before-publish` — a commit-point CAS or `RootCell` swap
+//!   whose *preceding* ten lines issue an asynchronous flight
+//!   (`flush_async`) without any `await_ticket`/`fence`/synchronous
+//!   persist between issue and publish. An issued flight is only
+//!   *scheduled* durability; publishing against an un-awaited ticket
+//!   is the pipelined spelling of the early-publish bug (PSan catches
+//!   it at runtime, this catches it at review time).
 //!
 //! A finding is waived by `// persist-lint: allow(<rule>) <reason>` on
 //! the flagged line or the line above it. Waivers are printed so they
@@ -47,9 +54,18 @@ const STORE_PATTERNS: &[&str] = &[
     ".fill(",
 ];
 const PUBLISH_NAMES: &[&str] = &["root", "head", "epoch", "selector"];
-const PERSIST_PATTERNS: &[&str] = &["flush(", "persist(", "fence("];
+// `flush(` deliberately does not substring-match `flush_async(`: an
+// async issue is not durability evidence, only its await is.
+// `await_ticket(` and `.commit(` (a pending batch's await-then-publish
+// step) count as persists so pipelined commit paths lint clean.
+const PERSIST_PATTERNS: &[&str] = &["flush(", "persist(", "fence(", "await_ticket(", ".commit("];
+/// Flight issues: scheduled durability, not durability.
+const ASYNC_ISSUE_PATTERNS: &[&str] = &["flush_async("];
 // persist-lint: allow(publish-before-persist) the pattern table itself
 const CAS_PATTERNS: &[&str] = &[".compare_exchange(", ".fetch_update("];
+/// Publish calls the `await-before-publish` rule watches: CASes plus
+/// `RootCell::swap` (the compaction commit point).
+const PUBLISH_CALL_PATTERNS: &[&str] = &[".compare_exchange(", ".fetch_update(", ".swap("];
 /// Lines after a CAS call scanned for publish names — rustfmt splits a
 /// call's operands across up to this many continuation lines.
 const CAS_SPAN: usize = 3;
@@ -148,6 +164,31 @@ fn lint_file(path: &Path, src: &str, out: &mut Vec<Finding>) {
                 }
             }
         }
+        if contains_any(code, PUBLISH_CALL_PATTERNS) {
+            let span: String = lines[i..(i + 1 + CAS_SPAN).min(lines.len())]
+                .iter()
+                .map(|l| code_of(l).to_ascii_lowercase())
+                .collect::<Vec<_>>()
+                .join("\n");
+            if contains_any(&span, PUBLISH_NAMES) {
+                let before = &lines[i.saturating_sub(WINDOW)..i];
+                let issued = before
+                    .iter()
+                    .any(|l| contains_any(code_of(l), ASYNC_ISSUE_PATTERNS));
+                let awaited = before
+                    .iter()
+                    .any(|l| contains_any(code_of(l), PERSIST_PATTERNS));
+                if issued && !awaited {
+                    out.push(Finding {
+                        file: path.to_path_buf(),
+                        line: i + 1,
+                        rule: "await-before-publish",
+                        text: (*raw).to_string(),
+                        waived: waived(&lines, i, "await-before-publish"),
+                    });
+                }
+            }
+        }
     }
 }
 
@@ -207,5 +248,95 @@ fn main() -> ExitCode {
         ExitCode::from(1)
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The fixtures assemble each trigger pattern from fragments so the
+    // lint — which scans this very file — never sees a literal match
+    // inside the test strings. `call("flush", "_async")` produces the
+    // source line the tests exercise without spelling it out here.
+    fn call(recv: &str, head: &str, tail: &str, args: &str) -> String {
+        format!("{recv}.{head}{tail}({args})?;")
+    }
+
+    fn issue() -> String {
+        format!("let t = {}", call("pmem", "flush", "_async", "off, len"))
+    }
+
+    fn src_of(lines: &[String]) -> String {
+        let mut src = lines.join("\n");
+        src.push('\n');
+        src
+    }
+
+    fn rules_of(src: &str) -> Vec<&'static str> {
+        let mut findings = Vec::new();
+        lint_file(Path::new("x.rs"), src, &mut findings);
+        findings
+            .iter()
+            .filter(|f| !f.waived)
+            .map(|f| f.rule)
+            .collect()
+    }
+
+    #[test]
+    fn publish_against_unawaited_flight_is_flagged() {
+        let src = src_of(&[
+            issue(),
+            call("head_cell", "compare", "_exchange", "old_head, new_head"),
+        ]);
+        // The issue is not persist evidence, so the CAS trips both the
+        // sync rule and the pipelined one.
+        assert_eq!(
+            rules_of(&src),
+            vec!["publish-before-persist", "await-before-publish"]
+        );
+    }
+
+    #[test]
+    fn awaited_flight_before_publish_is_clean() {
+        let src = src_of(&[
+            issue(),
+            call("pmem", "await", "_ticket", "&t"),
+            call("head_cell", "compare", "_exchange", "old_head, new_head"),
+        ]);
+        assert_eq!(rules_of(&src), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn root_swap_against_unawaited_flight_is_flagged() {
+        let src = src_of(&[issue(), call("cell", "sw", "ap", "&guard, root.get()")]);
+        assert_eq!(rules_of(&src), vec!["await-before-publish"]);
+    }
+
+    #[test]
+    fn fence_counts_as_await_evidence() {
+        let src = src_of(&[
+            issue(),
+            call("pmem", "fen", "ce", ""),
+            call("cell", "sw", "ap", "&guard, root.get()"),
+        ]);
+        assert_eq!(rules_of(&src), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn waiver_silences_the_rule_but_stays_visible() {
+        let waiver = format!(
+            "// persist-lint: {}(await-before-publish) test double",
+            "allow"
+        );
+        let src = src_of(&[
+            issue(),
+            waiver,
+            call("cell", "sw", "ap", "&guard, root.get()"),
+        ]);
+        let mut findings = Vec::new();
+        lint_file(Path::new("x.rs"), &src, &mut findings);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].waived);
     }
 }
